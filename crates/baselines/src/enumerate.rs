@@ -1,0 +1,172 @@
+//! Exhaustive cycle enumeration — the "straightforward approach" of
+//! Section II, kept as exact ground truth for small graphs.
+
+use tsg_core::analysis::CycleTime;
+use tsg_core::{ArcId, SignalGraph};
+use tsg_graph::cycles::{simple_cycles_bounded, TooManyCycles};
+
+/// Every simple cycle of a graph with its length and occurrence period
+/// (Example 5's table).
+#[derive(Clone, Debug)]
+pub struct CycleInventory {
+    /// Each simple cycle as original-graph arcs, with `(length, ε)`.
+    pub cycles: Vec<(Vec<ArcId>, f64, u32)>,
+}
+
+impl CycleInventory {
+    /// Enumerates all simple cycles of `sg`, failing beyond `limit`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TooManyCycles`] when the graph has more than `limit`
+    /// simple cycles — the exponential blow-up the paper's algorithm is
+    /// designed to avoid.
+    pub fn build(sg: &SignalGraph, limit: usize) -> Result<Self, TooManyCycles> {
+        let view = sg.repetitive_view();
+        let raw = simple_cycles_bounded(&view.graph, limit)?;
+        let cycles = raw
+            .into_iter()
+            .map(|edges| {
+                let arcs: Vec<ArcId> = edges.iter().map(|e| view.arcs[e.index()]).collect();
+                let len = sg.path_length(&arcs);
+                let eps = sg.occurrence_period(&arcs);
+                (arcs, len, eps)
+            })
+            .collect();
+        Ok(CycleInventory { cycles })
+    }
+
+    /// The critical cycle: the entry maximising `length / ε`.
+    pub fn critical(&self) -> Option<&(Vec<ArcId>, f64, u32)> {
+        self.cycles
+            .iter()
+            .max_by(|a, b| (a.1 * b.2 as f64).total_cmp(&(b.1 * a.2 as f64)))
+    }
+
+    /// Number of simple cycles.
+    pub fn len(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// `true` when the graph has no cycles.
+    pub fn is_empty(&self) -> bool {
+        self.cycles.is_empty()
+    }
+}
+
+/// Computes the cycle time by exhaustive enumeration:
+/// `τ = max { C/ε | C a simple cycle }` (Proposition 5's corollary).
+///
+/// # Errors
+///
+/// Returns [`TooManyCycles`] past `limit` cycles.
+///
+/// # Examples
+///
+/// ```
+/// let sg = tsg_gen::ring(6, 2, 5.0);
+/// let tau = tsg_baselines::enumerate_cycle_time(&sg, 10_000).unwrap().unwrap();
+/// assert_eq!(tau.as_f64(), 15.0);
+/// ```
+pub fn enumerate_cycle_time(
+    sg: &SignalGraph,
+    limit: usize,
+) -> Result<Option<CycleTime>, TooManyCycles> {
+    let inv = CycleInventory::build(sg, limit)?;
+    Ok(inv
+        .critical()
+        .map(|(_, len, eps)| CycleTime::new(*len, *eps)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure2() -> SignalGraph {
+        let mut b = SignalGraph::builder();
+        let e = b.initial_event("e-");
+        let f = b.finite_event("f-");
+        let ap = b.event("a+");
+        let bp = b.event("b+");
+        let cp = b.event("c+");
+        let am = b.event("a-");
+        let bm = b.event("b-");
+        let cm = b.event("c-");
+        b.arc(e, f, 3.0);
+        b.disengageable_arc(e, ap, 2.0);
+        b.disengageable_arc(f, bp, 1.0);
+        b.arc(ap, cp, 3.0);
+        b.arc(bp, cp, 2.0);
+        b.arc(cp, am, 2.0);
+        b.arc(cp, bm, 1.0);
+        b.arc(am, cm, 3.0);
+        b.arc(bm, cm, 2.0);
+        b.marked_arc(cm, ap, 2.0);
+        b.marked_arc(cm, bp, 1.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn example5_four_simple_cycles() {
+        // Example 5: C1..C4 with lengths 10, 8, 8, 6, all ε = 1.
+        let sg = figure2();
+        let inv = CycleInventory::build(&sg, 100).unwrap();
+        assert_eq!(inv.len(), 4);
+        let mut lengths: Vec<f64> = inv.cycles.iter().map(|c| c.1).collect();
+        lengths.sort_by(f64::total_cmp);
+        assert_eq!(lengths, vec![6.0, 8.0, 8.0, 10.0]);
+        assert!(inv.cycles.iter().all(|c| c.2 == 1));
+    }
+
+    #[test]
+    fn example6_cycle_time() {
+        // Example 6: τ = max{10, 8, 8, 6} = 10.
+        let sg = figure2();
+        let tau = enumerate_cycle_time(&sg, 100).unwrap().unwrap();
+        assert_eq!(tau.as_f64(), 10.0);
+        assert_eq!(tau.periods(), 1);
+    }
+
+    #[test]
+    fn critical_is_c1() {
+        let sg = figure2();
+        let inv = CycleInventory::build(&sg, 100).unwrap();
+        let (arcs, len, eps) = inv.critical().unwrap();
+        assert_eq!(*len, 10.0);
+        assert_eq!(*eps, 1);
+        let labels: Vec<String> = arcs
+            .iter()
+            .map(|&a| sg.label(sg.arc(a).src()).to_string())
+            .collect();
+        assert!(labels.contains(&"a+".to_owned()));
+        assert!(labels.contains(&"a-".to_owned()));
+        assert!(!labels.contains(&"b+".to_owned()));
+    }
+
+    #[test]
+    fn agrees_with_paper_algorithm() {
+        use tsg_core::analysis::CycleTimeAnalysis;
+        let sg = figure2();
+        let fast = CycleTimeAnalysis::run(&sg).unwrap().cycle_time();
+        let slow = enumerate_cycle_time(&sg, 100).unwrap().unwrap();
+        assert_eq!(fast.as_f64(), slow.as_f64());
+    }
+
+    #[test]
+    fn limit_is_enforced() {
+        let sg = figure2();
+        assert!(enumerate_cycle_time(&sg, 2).is_err());
+    }
+
+    #[test]
+    fn acyclic_inventory_is_empty() {
+        let mut b = SignalGraph::builder();
+        let s = b.initial_event("s");
+        let t = b.finite_event("t");
+        b.arc(s, t, 1.0);
+        let sg = b.build().unwrap();
+        let inv = CycleInventory::build(&sg, 10).unwrap();
+        assert!(inv.is_empty());
+        assert!(enumerate_cycle_time(&sg, 10).unwrap().is_none());
+    }
+}

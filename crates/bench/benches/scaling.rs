@@ -1,0 +1,116 @@
+//! Scaling benchmarks for the O(b²m) complexity claim (Section VII) and
+//! the comparison against the related-work baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tsg_core::analysis::CycleTimeAnalysis;
+use tsg_gen::{
+    handshake_pipeline, random_live_tsg, ring, torus, PipelineConfig, RandomTsgConfig,
+};
+
+/// Rings at fixed token count: m grows, b stays 2 — the paper's algorithm
+/// should scale linearly.
+fn bench_ring_size_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("complexity/ring_size_b2");
+    for n in [64usize, 256, 1024, 4096] {
+        let sg = ring(n, 2, 1.0);
+        group.bench_with_input(BenchmarkId::new("paper", n), &sg, |b, sg| {
+            b.iter(|| CycleTimeAnalysis::run(black_box(sg)).unwrap().cycle_time().as_f64())
+        });
+        group.bench_with_input(BenchmarkId::new("howard", n), &sg, |b, sg| {
+            b.iter(|| tsg_baselines::howard_cycle_time(black_box(sg)).unwrap().as_f64())
+        });
+        group.bench_with_input(BenchmarkId::new("karp", n), &sg, |b, sg| {
+            b.iter(|| tsg_baselines::karp_cycle_time(black_box(sg)).unwrap().as_f64())
+        });
+        group.bench_with_input(BenchmarkId::new("lawler", n), &sg, |b, sg| {
+            b.iter(|| tsg_baselines::lawler_cycle_time(black_box(sg), 60).unwrap().as_f64())
+        });
+    }
+    group.finish();
+}
+
+/// Rings at fixed size with growing token count: b grows — the paper's
+/// algorithm pays O(b²).
+fn bench_ring_token_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("complexity/ring_tokens_n1024");
+    for tokens in [1usize, 4, 16, 64] {
+        let sg = ring(1024, tokens, 1.0);
+        group.bench_with_input(BenchmarkId::new("paper", tokens), &sg, |b, sg| {
+            b.iter(|| CycleTimeAnalysis::run(black_box(sg)).unwrap().cycle_time().as_f64())
+        });
+        group.bench_with_input(BenchmarkId::new("howard", tokens), &sg, |b, sg| {
+            b.iter(|| tsg_baselines::howard_cycle_time(black_box(sg)).unwrap().as_f64())
+        });
+    }
+    group.finish();
+}
+
+/// Handshake pipelines: realistic circuit-shaped graphs where b grows with
+/// depth (b ≈ 3·stages).
+fn bench_pipeline_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("complexity/pipeline");
+    for stages in [4usize, 16, 64] {
+        let sg = handshake_pipeline(stages, PipelineConfig::default());
+        group.bench_with_input(BenchmarkId::new("paper", stages), &sg, |b, sg| {
+            b.iter(|| CycleTimeAnalysis::run(black_box(sg)).unwrap().cycle_time().as_f64())
+        });
+        group.bench_with_input(BenchmarkId::new("howard", stages), &sg, |b, sg| {
+            b.iter(|| tsg_baselines::howard_cycle_time(black_box(sg)).unwrap().as_f64())
+        });
+        group.bench_with_input(BenchmarkId::new("karp", stages), &sg, |b, sg| {
+            b.iter(|| tsg_baselines::karp_cycle_time(black_box(sg)).unwrap().as_f64())
+        });
+    }
+    group.finish();
+}
+
+/// 2-D torus graphs: b = h + w − 1 grows with the side length while m
+/// grows quadratically — the regime between rings (b fixed) and saturated
+/// pipelines (b ∝ n).
+fn bench_torus_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("complexity/torus");
+    for side in [4usize, 8, 16] {
+        let sg = torus(side, side, 2.0, 3.0);
+        group.bench_with_input(BenchmarkId::new("paper", side), &sg, |b, sg| {
+            b.iter(|| CycleTimeAnalysis::run(black_box(sg)).unwrap().cycle_time().as_f64())
+        });
+        group.bench_with_input(BenchmarkId::new("howard", side), &sg, |b, sg| {
+            b.iter(|| tsg_baselines::howard_cycle_time(black_box(sg)).unwrap().as_f64())
+        });
+    }
+    group.finish();
+}
+
+/// Random dense graphs — the adversarial case for cycle enumeration, which
+/// explodes while the polynomial algorithms stay flat.
+fn bench_random_dense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("complexity/random_dense");
+    let cfg = RandomTsgConfig {
+        events: 24,
+        tokens: 6,
+        chords: 72,
+        max_delay: 9,
+        with_prefix: false,
+    };
+    let sg = random_live_tsg(1, cfg);
+    group.bench_function("paper", |b| {
+        b.iter(|| CycleTimeAnalysis::run(black_box(&sg)).unwrap().cycle_time().as_f64())
+    });
+    group.bench_function("howard", |b| {
+        b.iter(|| tsg_baselines::howard_cycle_time(black_box(&sg)).unwrap().as_f64())
+    });
+    group.bench_function("enumeration", |b| {
+        // the cap keeps the bench bounded; hitting it IS the result
+        b.iter(|| tsg_baselines::enumerate_cycle_time(black_box(&sg), 200_000))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = scaling;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_ring_size_sweep, bench_ring_token_sweep, bench_pipeline_sweep, bench_torus_sweep, bench_random_dense
+}
+criterion_main!(scaling);

@@ -1,0 +1,27 @@
+//! # tsg-circuit — gate-level asynchronous circuits
+//!
+//! The application substrate of the paper's Section VIII: speed-independent
+//! circuits built from C-elements, NOR/NAND gates, inverters and buffers,
+//! with *per-input-pin* propagation delays ("individual input-output
+//! characteristics of a transistor-level gate implementation", Section
+//! VIII.A).
+//!
+//! * [`gate`] — gate kinds and their next-state functions,
+//! * [`netlist`] — signals, gates, environment inputs; builder and
+//!   validation,
+//! * [`sim`] — an event-driven simulator with transport (per-pin) delays,
+//!   used to cross-validate analytical cycle times against observed
+//!   steady-state periods,
+//! * [`library`] — the paper's circuits: the Figure 1 C-element oscillator
+//!   and the Section VIII.D Muller ring, plus generic rings and pipelines,
+//! * [`parse`] — a small text netlist format (`.ckt`) reader/writer.
+
+pub mod gate;
+pub mod library;
+pub mod netlist;
+pub mod parse;
+pub mod sim;
+
+pub use gate::GateKind;
+pub use netlist::{Gate, Netlist, NetlistBuilder, NetlistError, SignalId};
+pub use sim::{EventDrivenSim, SimError, Transition};

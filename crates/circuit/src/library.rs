@@ -1,0 +1,247 @@
+//! The paper's circuits, plus generic parametric families.
+
+use tsg_core::SignalGraph;
+
+use crate::gate::GateKind;
+use crate::netlist::Netlist;
+
+/// The Figure 1a circuit: a C-element, two NOR gates and a buffer, with the
+/// input node `e` falling once at time 0.
+///
+/// Gate-level reconstruction (pin delays recovered from the paper's own
+/// timing tables — every downstream number matches Examples 3–6 and
+/// Section VIII.C digit for digit):
+///
+/// * `a = NOR(e:2, c:2)`, initially 0,
+/// * `b = NOR(f:1, c:1)`, initially 0,
+/// * `c = C(a:3, b:2)`, initially 0,
+/// * `f = BUF(e:3)`, initially 1,
+/// * `e` — environment input, initially 1, falls at t = 0.
+///
+/// # Examples
+///
+/// ```
+/// use tsg_circuit::{library, EventDrivenSim};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let nl = library::c_element_oscillator();
+/// let mut sim = EventDrivenSim::new(&nl);
+/// let trace = sim.run(100.0, 10_000)?;
+/// let a = nl.signal("a").unwrap();
+/// assert_eq!(EventDrivenSim::steady_period(&trace, a, true), Some(10.0));
+/// # Ok(())
+/// # }
+/// ```
+pub fn c_element_oscillator() -> Netlist {
+    let mut b = Netlist::builder();
+    b.input_with_flip("e", true);
+    b.gate("a", GateKind::Nor, &[("e", 2.0), ("c", 2.0)], false)
+        .expect("valid arity and delays");
+    b.gate("b", GateKind::Nor, &[("f", 1.0), ("c", 1.0)], false)
+        .expect("valid arity and delays");
+    b.gate("c", GateKind::CElement, &[("a", 3.0), ("b", 2.0)], false)
+        .expect("valid arity and delays");
+    b.gate("f", GateKind::Buffer, &[("e", 3.0)], true)
+        .expect("valid arity and delays");
+    b.build().expect("library circuit is well-formed")
+}
+
+/// The Figure 1b / Figure 2c **Timed Signal Graph** of the oscillator,
+/// built directly (the same graph `tsg-extract` derives from
+/// [`c_element_oscillator`]).
+///
+/// # Examples
+///
+/// ```
+/// use tsg_core::analysis::CycleTimeAnalysis;
+/// use tsg_circuit::library;
+///
+/// let tsg = library::c_element_oscillator_tsg();
+/// let tau = CycleTimeAnalysis::run(&tsg).unwrap().cycle_time();
+/// assert_eq!(tau.as_f64(), 10.0);
+/// ```
+pub fn c_element_oscillator_tsg() -> SignalGraph {
+    let mut b = SignalGraph::builder();
+    let e = b.initial_event("e-");
+    let f = b.finite_event("f-");
+    let ap = b.event("a+");
+    let bp = b.event("b+");
+    let cp = b.event("c+");
+    let am = b.event("a-");
+    let bm = b.event("b-");
+    let cm = b.event("c-");
+    b.arc(e, f, 3.0);
+    b.disengageable_arc(e, ap, 2.0);
+    b.disengageable_arc(f, bp, 1.0);
+    b.arc(ap, cp, 3.0);
+    b.arc(bp, cp, 2.0);
+    b.arc(cp, am, 2.0);
+    b.arc(cp, bm, 1.0);
+    b.arc(am, cm, 3.0);
+    b.arc(bm, cm, 2.0);
+    b.marked_arc(cm, ap, 2.0);
+    b.marked_arc(cm, bp, 1.0);
+    b.build().expect("the paper's graph is well-formed")
+}
+
+/// The Section VIII.D circuit: a Muller pipeline of `n` C-elements closed
+/// into a ring, one data token, every gate delay equal to `delay`.
+///
+/// Stage `k` is a C-element `s_k = C(s_{k-1}, i_k)` with `i_k = INV(s_{k+1})`
+/// (indices mod `n`). Initially the last stage's output is high and all
+/// others low, so inverter `i_{n-2}` reads the token.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+///
+/// # Examples
+///
+/// ```
+/// use tsg_circuit::{library, EventDrivenSim};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let nl = library::muller_ring(5, 1.0);
+/// let mut sim = EventDrivenSim::new(&nl);
+/// let trace = sim.run(300.0, 100_000)?;
+/// let a = nl.signal("s0").unwrap();
+/// // Section VIII.D: τ = 20/3, realised as the repeating pattern 6,7,7.
+/// let p = EventDrivenSim::average_period(&trace, a, true).unwrap();
+/// assert!((p - 20.0 / 3.0).abs() < 0.5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn muller_ring(n: usize, delay: f64) -> Netlist {
+    assert!(n >= 3, "a Muller ring needs at least three stages");
+    let mut b = Netlist::builder();
+    for k in 0..n {
+        let prev = format!("s{}", (k + n - 1) % n);
+        let inv = format!("i{k}");
+        let init = k == n - 1;
+        b.gate(
+            &format!("s{k}"),
+            GateKind::CElement,
+            &[(prev.as_str(), delay), (inv.as_str(), delay)],
+            init,
+        )
+        .expect("valid arity and delays");
+    }
+    for k in 0..n {
+        let next = format!("s{}", (k + 1) % n);
+        // i_k = INV(s_{k+1}); initially high unless it reads the token.
+        let init = (k + 1) % n != n - 1;
+        b.gate(
+            &format!("i{k}"),
+            GateKind::Inverter,
+            &[(next.as_str(), delay)],
+            init,
+        )
+        .expect("valid arity and delays");
+    }
+    b.build().expect("library circuit is well-formed")
+}
+
+/// An `n`-inverter ring oscillator (`n` odd) with uniform `delay`.
+///
+/// # Panics
+///
+/// Panics if `n` is even or `n < 3`.
+pub fn inverter_ring(n: usize, delay: f64) -> Netlist {
+    assert!(n >= 3 && n % 2 == 1, "inverter rings need odd n >= 3");
+    let mut b = Netlist::builder();
+    for i in 0..n {
+        let input = format!("g{}", (i + n - 1) % n);
+        b.gate(
+            &format!("g{i}"),
+            GateKind::Inverter,
+            &[(input.as_str(), delay)],
+            i % 2 == 1,
+        )
+        .expect("valid arity and delays");
+    }
+    b.build().expect("library circuit is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::EventDrivenSim;
+
+    #[test]
+    fn oscillator_netlist_shape() {
+        let nl = c_element_oscillator();
+        assert_eq!(nl.signal_count(), 5);
+        assert_eq!(nl.gate_count(), 4);
+        assert_eq!(nl.env_flips().len(), 1);
+    }
+
+    #[test]
+    fn oscillator_tsg_matches_paper_structure() {
+        let sg = c_element_oscillator_tsg();
+        assert_eq!(sg.event_count(), 8);
+        assert_eq!(sg.arc_count(), 11);
+        assert_eq!(sg.border_events().len(), 2);
+    }
+
+    #[test]
+    fn muller_ring_initial_state_consistency() {
+        let nl = muller_ring(5, 1.0);
+        // Exactly one gate excited initially: s0 = C(s4=1, i0=1) wants 1.
+        let excited = nl.excited_gates(nl.initial_state());
+        assert_eq!(excited.len(), 1);
+        let g = &nl.gates()[excited[0]];
+        assert_eq!(nl.name(g.output), "s0");
+    }
+
+    #[test]
+    fn muller_ring5_average_period_is_20_3() {
+        let nl = muller_ring(5, 1.0);
+        let mut sim = EventDrivenSim::new(&nl);
+        let trace = sim.run(2000.0, 1_000_000).unwrap();
+        let s = nl.signal("s0").unwrap();
+        let p = EventDrivenSim::average_period(&trace, s, true).unwrap();
+        assert!((p - 20.0 / 3.0).abs() < 0.05, "period {p}");
+    }
+
+    #[test]
+    fn muller_ring5_first_occurrences_match_section8d() {
+        // t_{a+0}(a+_i) − t_{a+0}(a+_0) = 6, 13, 20, 26, ... for s0.
+        let nl = muller_ring(5, 1.0);
+        let mut sim = EventDrivenSim::new(&nl);
+        let trace = sim.run(100.0, 100_000).unwrap();
+        let s = nl.signal("s0").unwrap();
+        let rises: Vec<f64> = trace
+            .iter()
+            .filter(|t| t.signal == s && t.value)
+            .map(|t| t.time)
+            .collect();
+        let deltas: Vec<f64> = rises.iter().map(|t| t - rises[0]).collect();
+        assert_eq!(&deltas[..5], &[0.0, 6.0, 13.0, 20.0, 26.0]);
+    }
+
+    #[test]
+    fn muller_rings_of_other_sizes_run() {
+        for n in [3usize, 4, 6, 8] {
+            let nl = muller_ring(n, 1.0);
+            let mut sim = EventDrivenSim::new(&nl);
+            let trace = sim.run(200.0, 100_000).unwrap();
+            assert!(!trace.is_empty(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn scaled_delays_scale_the_period() {
+        let nl = c_element_oscillator();
+        let mut sim = EventDrivenSim::new(&nl);
+        let t1 = sim.run(200.0, 100_000).unwrap();
+        let a = nl.signal("a").unwrap();
+        let p1 = EventDrivenSim::steady_period(&t1, a, true).unwrap();
+        assert_eq!(p1, 10.0);
+        // inverter_ring delay scaling
+        let nl3 = inverter_ring(3, 2.5);
+        let mut sim3 = EventDrivenSim::new(&nl3);
+        let t3 = sim3.run(200.0, 100_000).unwrap();
+        let g0 = nl3.signal("g0").unwrap();
+        assert_eq!(EventDrivenSim::steady_period(&t3, g0, true), Some(15.0));
+    }
+}

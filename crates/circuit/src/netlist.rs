@@ -1,0 +1,392 @@
+//! Netlists: signals, gates with per-pin delays, environment inputs.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::gate::GateKind;
+
+/// Identifier of a signal (a named node of the circuit).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SignalId(pub u32);
+
+impl SignalId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SignalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A gate instance: kind, ordered input pins with per-pin delays, output.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Gate {
+    /// The gate function.
+    pub kind: GateKind,
+    /// Input signals, in pin order.
+    pub inputs: Vec<SignalId>,
+    /// Propagation delay from each input pin to the output (same order as
+    /// `inputs`).
+    pub pin_delays: Vec<f64>,
+    /// The output signal this gate drives.
+    pub output: SignalId,
+}
+
+/// A gate-level circuit with an initial state.
+///
+/// Signals are either *gate outputs* (driven by exactly one gate) or
+/// *inputs* (driven by the environment). Environment inputs may carry a
+/// single scheduled transition at time 0 — the paper's Figure 1 input `e`
+/// falls once at the start — making the circuit autonomous afterwards.
+///
+/// # Examples
+///
+/// ```
+/// use tsg_circuit::{GateKind, Netlist};
+///
+/// # fn main() -> Result<(), tsg_circuit::NetlistError> {
+/// let mut b = Netlist::builder();
+/// let x = b.input("x", false);
+/// let y = b.gate("y", GateKind::Inverter, &[("x", 1.0)], true)?;
+/// let nl = b.build()?;
+/// assert_eq!(nl.signal_count(), 2);
+/// assert!(nl.driver(y).is_some());
+/// assert!(nl.driver(x).is_none());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Netlist {
+    names: Vec<String>,
+    by_name: HashMap<String, SignalId>,
+    gates: Vec<Gate>,
+    driver: Vec<Option<usize>>, // signal -> gate index
+    fanout: Vec<Vec<(usize, usize)>>, // signal -> (gate index, pin index)
+    initial: Vec<bool>,
+    /// Environment inputs that flip once at time 0.
+    env_flips: Vec<SignalId>,
+}
+
+/// Error produced while building or validating a [`Netlist`].
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// Two signals share a name.
+    DuplicateSignal(String),
+    /// A gate references an unknown signal name.
+    UnknownSignal(String),
+    /// A signal is driven by more than one gate.
+    MultipleDrivers(String),
+    /// A gate has an invalid number of inputs for its kind.
+    BadArity {
+        /// The gate's output signal name.
+        output: String,
+        /// The offending input count.
+        arity: usize,
+    },
+    /// A pin delay is negative or non-finite.
+    BadDelay {
+        /// The gate's output signal name.
+        output: String,
+        /// The offending value.
+        delay: f64,
+    },
+    /// The declared initial state is inconsistent: a non-sequential gate's
+    /// output disagrees with its inputs *and* the gate is listed as stable.
+    /// (Excited-at-reset gates are permitted; this error is reserved for
+    /// future strict modes and currently unused.)
+    InconsistentInitialState(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateSignal(n) => write!(f, "duplicate signal {n:?}"),
+            NetlistError::UnknownSignal(n) => write!(f, "unknown signal {n:?}"),
+            NetlistError::MultipleDrivers(n) => write!(f, "signal {n:?} has multiple drivers"),
+            NetlistError::BadArity { output, arity } => {
+                write!(f, "gate driving {output:?} has invalid arity {arity}")
+            }
+            NetlistError::BadDelay { output, delay } => {
+                write!(f, "gate driving {output:?} has invalid pin delay {delay}")
+            }
+            NetlistError::InconsistentInitialState(n) => {
+                write!(f, "initial state inconsistent at signal {n:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+impl Netlist {
+    /// Starts building a netlist.
+    pub fn builder() -> NetlistBuilder {
+        NetlistBuilder::default()
+    }
+
+    /// Number of signals.
+    pub fn signal_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of gates.
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// The name of `s`.
+    pub fn name(&self, s: SignalId) -> &str {
+        &self.names[s.index()]
+    }
+
+    /// Looks a signal up by name.
+    pub fn signal(&self, name: &str) -> Option<SignalId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// All signals in insertion order.
+    pub fn signals(&self) -> impl ExactSizeIterator<Item = SignalId> + '_ {
+        (0..self.names.len() as u32).map(SignalId)
+    }
+
+    /// The gates, in insertion order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// The gate driving `s`, if `s` is a gate output.
+    pub fn driver(&self, s: SignalId) -> Option<&Gate> {
+        self.driver[s.index()].map(|i| &self.gates[i])
+    }
+
+    /// Gates (with pin position) that read `s`.
+    pub fn fanout(&self, s: SignalId) -> &[(usize, usize)] {
+        &self.fanout[s.index()]
+    }
+
+    /// The declared initial value of every signal.
+    pub fn initial_state(&self) -> &[bool] {
+        &self.initial
+    }
+
+    /// Environment inputs that flip once at time 0 (e.g. `e` in Figure 1).
+    pub fn env_flips(&self) -> &[SignalId] {
+        &self.env_flips
+    }
+
+    /// `true` when `s` is an environment input (no driving gate).
+    pub fn is_input(&self, s: SignalId) -> bool {
+        self.driver[s.index()].is_none()
+    }
+
+    /// Evaluates the next value of every gate output in `state`, returning
+    /// the set of *excited* gates (whose output wants to change).
+    pub fn excited_gates(&self, state: &[bool]) -> Vec<usize> {
+        self.gates
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| {
+                let ins: Vec<bool> = g.inputs.iter().map(|s| state[s.index()]).collect();
+                g.kind.eval(&ins, state[g.output.index()]) != state[g.output.index()]
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Builder for [`Netlist`]; created by [`Netlist::builder`].
+#[derive(Clone, Debug, Default)]
+pub struct NetlistBuilder {
+    names: Vec<String>,
+    by_name: HashMap<String, SignalId>,
+    initial: Vec<bool>,
+    gates: Vec<Gate>,
+    env_flips: Vec<SignalId>,
+    errors: Vec<NetlistError>,
+}
+
+impl NetlistBuilder {
+    fn intern(&mut self, name: &str, initial: Option<bool>) -> SignalId {
+        if let Some(&id) = self.by_name.get(name) {
+            if let Some(v) = initial {
+                self.initial[id.index()] = v;
+            }
+            return id;
+        }
+        let id = SignalId(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        self.initial.push(initial.unwrap_or(false));
+        id
+    }
+
+    /// Declares an environment input with its initial value.
+    pub fn input(&mut self, name: &str, initial: bool) -> SignalId {
+        self.intern(name, Some(initial))
+    }
+
+    /// Declares an environment input that flips once at time 0 (like `e`
+    /// in Figure 1, which starts high and falls at the origin).
+    pub fn input_with_flip(&mut self, name: &str, initial: bool) -> SignalId {
+        let id = self.intern(name, Some(initial));
+        self.env_flips.push(id);
+        id
+    }
+
+    /// Adds a gate driving `output` from `(input name, pin delay)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError`] on arity or delay violations (signal-level
+    /// errors like duplicate drivers surface at [`build`](Self::build)).
+    pub fn gate(
+        &mut self,
+        output: &str,
+        kind: GateKind,
+        inputs: &[(&str, f64)],
+        initial: bool,
+    ) -> Result<SignalId, NetlistError> {
+        if !kind.arity_ok(inputs.len()) {
+            return Err(NetlistError::BadArity {
+                output: output.to_owned(),
+                arity: inputs.len(),
+            });
+        }
+        for &(_, d) in inputs {
+            if !d.is_finite() || d < 0.0 {
+                return Err(NetlistError::BadDelay {
+                    output: output.to_owned(),
+                    delay: d,
+                });
+            }
+        }
+        let out = self.intern(output, Some(initial));
+        let ins: Vec<SignalId> = inputs.iter().map(|(n, _)| self.intern(n, None)).collect();
+        let delays: Vec<f64> = inputs.iter().map(|&(_, d)| d).collect();
+        self.gates.push(Gate {
+            kind,
+            inputs: ins,
+            pin_delays: delays,
+            output: out,
+        });
+        Ok(out)
+    }
+
+    /// Validates and builds the netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first accumulated or structural [`NetlistError`].
+    pub fn build(self) -> Result<Netlist, NetlistError> {
+        if let Some(e) = self.errors.into_iter().next() {
+            return Err(e);
+        }
+        let n = self.names.len();
+        let mut driver: Vec<Option<usize>> = vec![None; n];
+        let mut fanout: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+        for (gi, g) in self.gates.iter().enumerate() {
+            if driver[g.output.index()].is_some() {
+                return Err(NetlistError::MultipleDrivers(
+                    self.names[g.output.index()].clone(),
+                ));
+            }
+            driver[g.output.index()] = Some(gi);
+            for (pin, s) in g.inputs.iter().enumerate() {
+                fanout[s.index()].push((gi, pin));
+            }
+        }
+        Ok(Netlist {
+            names: self.names,
+            by_name: self.by_name,
+            gates: self.gates,
+            driver,
+            fanout,
+            initial: self.initial,
+            env_flips: self.env_flips,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_inverter_pair() {
+        let mut b = Netlist::builder();
+        b.input("x", false);
+        b.gate("y", GateKind::Inverter, &[("x", 1.0)], true).unwrap();
+        b.gate("z", GateKind::Inverter, &[("y", 2.0)], false).unwrap();
+        let nl = b.build().unwrap();
+        assert_eq!(nl.signal_count(), 3);
+        assert_eq!(nl.gate_count(), 2);
+        let y = nl.signal("y").unwrap();
+        assert_eq!(nl.fanout(y).len(), 1);
+        assert_eq!(nl.name(y), "y");
+    }
+
+    #[test]
+    fn arity_violation() {
+        let mut b = Netlist::builder();
+        b.input("x", false);
+        b.input("w", false);
+        let err = b
+            .gate("y", GateKind::Inverter, &[("x", 1.0), ("w", 1.0)], false)
+            .unwrap_err();
+        assert!(matches!(err, NetlistError::BadArity { .. }));
+    }
+
+    #[test]
+    fn delay_violation() {
+        let mut b = Netlist::builder();
+        b.input("x", false);
+        let err = b
+            .gate("y", GateKind::Buffer, &[("x", -1.0)], false)
+            .unwrap_err();
+        assert!(matches!(err, NetlistError::BadDelay { .. }));
+    }
+
+    #[test]
+    fn multiple_drivers_rejected() {
+        let mut b = Netlist::builder();
+        b.input("x", false);
+        b.gate("y", GateKind::Buffer, &[("x", 1.0)], false).unwrap();
+        b.gate("y", GateKind::Inverter, &[("x", 1.0)], false).unwrap();
+        assert!(matches!(
+            b.build(),
+            Err(NetlistError::MultipleDrivers(_))
+        ));
+    }
+
+    #[test]
+    fn forward_references_allowed() {
+        // `a` reads `c` before `c` is declared as a gate output.
+        let mut b = Netlist::builder();
+        b.input_with_flip("e", true);
+        b.gate("a", GateKind::Nor, &[("e", 2.0), ("c", 2.0)], false)
+            .unwrap();
+        b.gate("c", GateKind::Buffer, &[("a", 3.0)], false).unwrap();
+        let nl = b.build().unwrap();
+        assert_eq!(nl.env_flips().len(), 1);
+        assert!(nl.is_input(nl.signal("e").unwrap()));
+        assert!(!nl.is_input(nl.signal("c").unwrap()));
+    }
+
+    #[test]
+    fn excited_gates_in_state() {
+        let mut b = Netlist::builder();
+        b.input("x", true);
+        b.gate("y", GateKind::Inverter, &[("x", 1.0)], true).unwrap();
+        let nl = b.build().unwrap();
+        // y = 1 but INV(1) = 0: excited.
+        assert_eq!(nl.excited_gates(nl.initial_state()), vec![0]);
+        let calm = vec![true, false];
+        assert!(nl.excited_gates(&calm).is_empty());
+    }
+}

@@ -1,0 +1,271 @@
+//! A small text netlist format (`.ckt`).
+//!
+//! ```text
+//! # Figure 1a of the paper
+//! input e = 1 flip          # environment input, falls at t = 0
+//! gate a nor(e:2, c:2) = 0  # output a, NOR of e and c, pin delays 2 and 2
+//! gate b nor(f:1, c:1) = 0
+//! gate c c(a:3, b:2) = 0
+//! gate f buf(e:3) = 1
+//! ```
+//!
+//! One declaration per line; `#` starts a comment; `= v` gives the initial
+//! value; the optional trailing `flip` on an `input` line schedules the
+//! one-shot environment transition at time 0.
+
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::gate::GateKind;
+use crate::netlist::{Netlist, NetlistError};
+
+/// Error produced when parsing a `.ckt` file.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum ParseCktError {
+    /// A line could not be parsed; carries the 1-based line number and a
+    /// description.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The parsed netlist failed validation.
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for ParseCktError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseCktError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            ParseCktError::Netlist(e) => write!(f, "netlist error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseCktError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseCktError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for ParseCktError {
+    fn from(e: NetlistError) -> Self {
+        ParseCktError::Netlist(e)
+    }
+}
+
+fn syntax(line: usize, message: impl Into<String>) -> ParseCktError {
+    ParseCktError::Syntax {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses `.ckt` text into a [`Netlist`].
+///
+/// # Errors
+///
+/// Returns [`ParseCktError`] on malformed lines or netlist-level
+/// violations.
+///
+/// # Examples
+///
+/// ```
+/// let text = "input x = 0\ngate y inv(x:1) = 1\n";
+/// let nl = tsg_circuit::parse::parse_ckt(text)?;
+/// assert_eq!(nl.gate_count(), 1);
+/// # Ok::<(), tsg_circuit::parse::ParseCktError>(())
+/// ```
+pub fn parse_ckt(text: &str) -> Result<Netlist, ParseCktError> {
+    let mut b = Netlist::builder();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        match words.next() {
+            Some("input") => {
+                let rest: Vec<&str> = words.collect();
+                // forms: `input NAME = V` or `input NAME = V flip`
+                if rest.len() < 3 || rest[1] != "=" {
+                    return Err(syntax(lineno, "expected `input NAME = 0|1 [flip]`"));
+                }
+                let name = rest[0];
+                let init = parse_bit(rest[2]).ok_or_else(|| syntax(lineno, "initial value must be 0 or 1"))?;
+                match rest.get(3) {
+                    None => {
+                        b.input(name, init);
+                    }
+                    Some(&"flip") => {
+                        b.input_with_flip(name, init);
+                    }
+                    Some(other) => {
+                        return Err(syntax(lineno, format!("unexpected token {other:?}")))
+                    }
+                }
+            }
+            Some("gate") => {
+                // form: gate NAME kind(in:delay, ...) = V
+                let rest = line["gate".len()..].trim();
+                let (head, init) = rest
+                    .rsplit_once('=')
+                    .ok_or_else(|| syntax(lineno, "missing `= 0|1`"))?;
+                let init = parse_bit(init.trim())
+                    .ok_or_else(|| syntax(lineno, "initial value must be 0 or 1"))?;
+                let head = head.trim();
+                let (name, call) = head
+                    .split_once(char::is_whitespace)
+                    .ok_or_else(|| syntax(lineno, "expected `gate NAME kind(...)`"))?;
+                let call = call.trim();
+                let open = call
+                    .find('(')
+                    .ok_or_else(|| syntax(lineno, "expected `kind(pins)`"))?;
+                if !call.ends_with(')') {
+                    return Err(syntax(lineno, "missing `)`"));
+                }
+                let kind: GateKind = call[..open]
+                    .trim()
+                    .parse()
+                    .map_err(|e| syntax(lineno, format!("{e}")))?;
+                let mut pins: Vec<(&str, f64)> = Vec::new();
+                let args = &call[open + 1..call.len() - 1];
+                for part in args.split(',') {
+                    let part = part.trim();
+                    if part.is_empty() {
+                        continue;
+                    }
+                    let (pin, delay) = match part.split_once(':') {
+                        Some((p, d)) => {
+                            let delay: f64 = d.trim().parse().map_err(|_| {
+                                syntax(lineno, format!("bad delay {d:?}"))
+                            })?;
+                            (p.trim(), delay)
+                        }
+                        None => (part, 0.0),
+                    };
+                    pins.push((pin, delay));
+                }
+                b.gate(name.trim(), kind, &pins, init)?;
+            }
+            Some(other) => {
+                return Err(syntax(lineno, format!("unknown directive {other:?}")))
+            }
+            None => unreachable!("empty lines are skipped"),
+        }
+    }
+    Ok(b.build()?)
+}
+
+fn parse_bit(s: &str) -> Option<bool> {
+    match s {
+        "0" => Some(false),
+        "1" => Some(true),
+        _ => None,
+    }
+}
+
+/// Serialises a netlist back to `.ckt` text; `parse_ckt` round-trips it.
+pub fn write_ckt(nl: &Netlist) -> String {
+    let mut out = String::new();
+    for s in nl.signals() {
+        if nl.is_input(s) {
+            let flip = if nl.env_flips().contains(&s) { " flip" } else { "" };
+            let _ = writeln!(
+                out,
+                "input {} = {}{}",
+                nl.name(s),
+                u8::from(nl.initial_state()[s.index()]),
+                flip
+            );
+        }
+    }
+    for g in nl.gates() {
+        let pins: Vec<String> = g
+            .inputs
+            .iter()
+            .zip(&g.pin_delays)
+            .map(|(s, d)| format!("{}:{}", nl.name(*s), d))
+            .collect();
+        let _ = writeln!(
+            out,
+            "gate {} {}({}) = {}",
+            nl.name(g.output),
+            g.kind,
+            pins.join(", "),
+            u8::from(nl.initial_state()[g.output.index()])
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG1: &str = "\
+# Figure 1a
+input e = 1 flip
+gate a nor(e:2, c:2) = 0
+gate b nor(f:1, c:1) = 0
+gate c c(a:3, b:2) = 0
+gate f buf(e:3) = 1
+";
+
+    #[test]
+    fn parses_figure1() {
+        let nl = parse_ckt(FIG1).unwrap();
+        assert_eq!(nl.signal_count(), 5);
+        assert_eq!(nl.gate_count(), 4);
+        assert_eq!(nl.env_flips().len(), 1);
+        let c = nl.driver(nl.signal("c").unwrap()).unwrap();
+        assert_eq!(c.kind, GateKind::CElement);
+        assert_eq!(c.pin_delays, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let nl = parse_ckt(FIG1).unwrap();
+        let text = write_ckt(&nl);
+        let nl2 = parse_ckt(&text).unwrap();
+        assert_eq!(nl.signal_count(), nl2.signal_count());
+        assert_eq!(nl.gate_count(), nl2.gate_count());
+        assert_eq!(nl.initial_state(), nl2.initial_state());
+        assert_eq!(write_ckt(&nl2), text);
+    }
+
+    #[test]
+    fn parse_matches_library() {
+        let parsed = parse_ckt(FIG1).unwrap();
+        let built = crate::library::c_element_oscillator();
+        assert_eq!(write_ckt(&parsed), write_ckt(&built));
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let err = parse_ckt("input x = 2\n").unwrap_err();
+        assert!(matches!(err, ParseCktError::Syntax { line: 1, .. }));
+        let err = parse_ckt("\n\nfrob x\n").unwrap_err();
+        assert!(matches!(err, ParseCktError::Syntax { line: 3, .. }));
+        let err = parse_ckt("gate y wat(x:1) = 0\n").unwrap_err();
+        assert!(err.to_string().contains("wat"));
+    }
+
+    #[test]
+    fn comments_and_default_delays() {
+        let nl = parse_ckt("input x = 0   # the input\ngate y buf(x) = 0\n").unwrap();
+        assert_eq!(nl.gates()[0].pin_delays, vec![0.0]);
+    }
+
+    #[test]
+    fn netlist_errors_propagate() {
+        let err = parse_ckt("input x = 0\ngate y inv(x:1, x:1) = 0\n").unwrap_err();
+        assert!(matches!(err, ParseCktError::Netlist(_)));
+    }
+}

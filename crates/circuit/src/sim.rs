@@ -1,0 +1,335 @@
+//! Event-driven timing simulation of a netlist (transport-delay model).
+//!
+//! Every input pin of every gate has a transport delay: a change of the
+//! input signal at time `t` becomes visible to the gate at `t + δ(pin)`.
+//! A gate's output flips the instant its function, evaluated on the
+//! *delayed* pin views, disagrees with the current output. This is exactly
+//! the MAX-execution semantics of Timed Signal Graphs (Section III.C), so
+//! the simulator serves as an independent oracle for the analytical cycle
+//! time: after the transient, the observed occurrence distances of every
+//! repeating signal must equal τ.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use crate::netlist::{Netlist, SignalId};
+
+/// One recorded signal change.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Transition {
+    /// Simulation time of the change.
+    pub time: f64,
+    /// The signal that changed.
+    pub signal: SignalId,
+    /// The value after the change.
+    pub value: bool,
+}
+
+/// Error conditions of [`EventDrivenSim::run`].
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The transition budget was exhausted before the horizon — typically a
+    /// zero-delay oscillation.
+    EventBudgetExhausted {
+        /// Number of transitions processed before giving up.
+        processed: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::EventBudgetExhausted { processed } => {
+                write!(f, "event budget exhausted after {processed} transitions")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Pin-arrival event in the queue (min-heap by time, then sequence).
+#[derive(Clone, Copy, Debug)]
+struct Arrival {
+    time: f64,
+    seq: u64,
+    gate: usize,
+    pin: usize,
+    value: bool,
+}
+
+impl PartialEq for Arrival {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Arrival {}
+impl PartialOrd for Arrival {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Arrival {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed for BinaryHeap (max-heap) to act as a min-heap.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The event-driven simulator.
+///
+/// # Examples
+///
+/// ```
+/// use tsg_circuit::{EventDrivenSim, GateKind, Netlist};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // A three-inverter ring oscillator with unit delays: period 6.
+/// let mut b = Netlist::builder();
+/// b.gate("a", GateKind::Inverter, &[("c", 1.0)], false)?;
+/// b.gate("b", GateKind::Inverter, &[("a", 1.0)], true)?;
+/// b.gate("c", GateKind::Inverter, &[("b", 1.0)], false)?;
+/// let nl = b.build()?;
+///
+/// let mut sim = EventDrivenSim::new(&nl);
+/// let trace = sim.run(100.0, 10_000)?;
+/// let a = nl.signal("a").unwrap();
+/// let period = EventDrivenSim::steady_period(&trace, a, true).unwrap();
+/// assert_eq!(period, 6.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct EventDrivenSim<'n> {
+    netlist: &'n Netlist,
+    state: Vec<bool>,
+    views: Vec<Vec<bool>>,
+    queue: BinaryHeap<Arrival>,
+    seq: u64,
+}
+
+impl<'n> EventDrivenSim<'n> {
+    /// Prepares a simulation from the netlist's initial state.
+    pub fn new(netlist: &'n Netlist) -> Self {
+        let state = netlist.initial_state().to_vec();
+        let views = netlist
+            .gates()
+            .iter()
+            .map(|g| g.inputs.iter().map(|s| state[s.index()]).collect())
+            .collect();
+        EventDrivenSim {
+            netlist,
+            state,
+            views,
+            queue: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    fn push(&mut self, time: f64, gate: usize, pin: usize, value: bool) {
+        self.seq += 1;
+        self.queue.push(Arrival {
+            time,
+            seq: self.seq,
+            gate,
+            pin,
+            value,
+        });
+    }
+
+    /// Changes `signal` to `value` at `time`: records the transition and
+    /// schedules pin arrivals at every fanout gate.
+    fn flip(&mut self, trace: &mut Vec<Transition>, time: f64, signal: SignalId, value: bool) {
+        self.state[signal.index()] = value;
+        trace.push(Transition {
+            time,
+            signal,
+            value,
+        });
+        let fanout: Vec<(usize, usize)> = self.netlist.fanout(signal).to_vec();
+        for (g, pin) in fanout {
+            let delay = self.netlist.gates()[g].pin_delays[pin];
+            self.push(time + delay, g, pin, value);
+        }
+    }
+
+    /// Re-evaluates gate `g` on its delayed views; flips its output at
+    /// `time` if excited.
+    fn settle(&mut self, trace: &mut Vec<Transition>, time: f64, g: usize) {
+        let gate = &self.netlist.gates()[g];
+        let out = gate.output;
+        let next = gate.kind.eval(&self.views[g], self.state[out.index()]);
+        if next != self.state[out.index()] {
+            self.flip(trace, time, out, next);
+        }
+    }
+
+    /// Runs until `horizon` (inclusive) or `max_transitions`, returning the
+    /// chronological trace of signal changes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EventBudgetExhausted`] when `max_transitions`
+    /// signal changes occur before the horizon — the signature of a
+    /// zero-delay loop.
+    pub fn run(&mut self, horizon: f64, max_transitions: usize) -> Result<Vec<Transition>, SimError> {
+        let mut trace = Vec::new();
+
+        // Environment one-shot flips at t = 0.
+        for &s in self.netlist.env_flips() {
+            let v = !self.state[s.index()];
+            self.flip(&mut trace, 0.0, s, v);
+        }
+        // Gates excited in the initial state fire at t = 0.
+        for g in 0..self.netlist.gate_count() {
+            self.settle(&mut trace, 0.0, g);
+        }
+
+        while let Some(ev) = self.queue.pop() {
+            if ev.time > horizon {
+                break;
+            }
+            if trace.len() >= max_transitions {
+                return Err(SimError::EventBudgetExhausted {
+                    processed: trace.len(),
+                });
+            }
+            self.views[ev.gate][ev.pin] = ev.value;
+            self.settle(&mut trace, ev.time, ev.gate);
+        }
+        Ok(trace)
+    }
+
+    /// The occurrence distance between the last two transitions of `signal`
+    /// to `value` in `trace` — the steady-state period when the transient
+    /// has died out.
+    pub fn steady_period(trace: &[Transition], signal: SignalId, value: bool) -> Option<f64> {
+        let times: Vec<f64> = trace
+            .iter()
+            .filter(|t| t.signal == signal && t.value == value)
+            .map(|t| t.time)
+            .collect();
+        (times.len() >= 2).then(|| times[times.len() - 1] - times[times.len() - 2])
+    }
+
+    /// Average occurrence distance of `signal` rising over the second half
+    /// of the trace — the empirical cycle-time estimate.
+    pub fn average_period(trace: &[Transition], signal: SignalId, value: bool) -> Option<f64> {
+        let times: Vec<f64> = trace
+            .iter()
+            .filter(|t| t.signal == signal && t.value == value)
+            .map(|t| t.time)
+            .collect();
+        if times.len() < 3 {
+            return None;
+        }
+        let mid = times.len() / 2;
+        Some((times[times.len() - 1] - times[mid]) / (times.len() - 1 - mid) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateKind;
+    use crate::netlist::Netlist;
+
+    fn inverter_ring(n: usize) -> Netlist {
+        assert!(n % 2 == 1);
+        let mut b = Netlist::builder();
+        for i in 0..n {
+            let input = format!("g{}", (i + n - 1) % n);
+            // alternate initial values so exactly one gate is excited
+            let init = i % 2 == 1;
+            b.gate(&format!("g{i}"), GateKind::Inverter, &[(input.as_str(), 1.0)], init)
+                .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn ring_oscillator_period() {
+        // n-inverter ring with unit delays oscillates with period 2n.
+        for n in [3usize, 5, 7] {
+            let nl = inverter_ring(n);
+            let mut sim = EventDrivenSim::new(&nl);
+            let trace = sim.run(20.0 * n as f64, 100_000).unwrap();
+            let s = nl.signal("g0").unwrap();
+            assert_eq!(
+                EventDrivenSim::steady_period(&trace, s, true),
+                Some(2.0 * n as f64),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn figure1_oscillator_trace_matches_example3() {
+        let nl = crate::library::c_element_oscillator();
+        let mut sim = EventDrivenSim::new(&nl);
+        let trace = sim.run(17.0, 10_000).unwrap();
+        let find = |name: &str, nth: usize| {
+            let s = nl.signal(name).unwrap();
+            trace
+                .iter()
+                .filter(|t| t.signal == s)
+                .nth(nth)
+                .map(|t| (t.time, t.value))
+        };
+        // Example 3's occurrence times.
+        assert_eq!(find("e", 0), Some((0.0, false)));
+        assert_eq!(find("f", 0), Some((3.0, false)));
+        assert_eq!(find("a", 0), Some((2.0, true)));
+        assert_eq!(find("b", 0), Some((4.0, true)));
+        assert_eq!(find("c", 0), Some((6.0, true)));
+        assert_eq!(find("a", 1), Some((8.0, false)));
+        assert_eq!(find("b", 1), Some((7.0, false)));
+        assert_eq!(find("c", 1), Some((11.0, false)));
+        assert_eq!(find("a", 2), Some((13.0, true)));
+        assert_eq!(find("b", 2), Some((12.0, true)));
+        assert_eq!(find("c", 2), Some((16.0, true)));
+    }
+
+    #[test]
+    fn figure1_steady_state_period_is_10() {
+        let nl = crate::library::c_element_oscillator();
+        let mut sim = EventDrivenSim::new(&nl);
+        let trace = sim.run(400.0, 100_000).unwrap();
+        for name in ["a", "b", "c"] {
+            let s = nl.signal(name).unwrap();
+            assert_eq!(
+                EventDrivenSim::steady_period(&trace, s, true),
+                Some(10.0),
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_delay_loop_hits_budget() {
+        let mut b = Netlist::builder();
+        b.gate("a", GateKind::Inverter, &[("a", 0.0)], false).unwrap();
+        let nl = b.build().unwrap();
+        let mut sim = EventDrivenSim::new(&nl);
+        assert!(matches!(
+            sim.run(1.0, 100),
+            Err(SimError::EventBudgetExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn stable_circuit_produces_no_events() {
+        let mut b = Netlist::builder();
+        b.input("x", true);
+        b.gate("y", GateKind::Buffer, &[("x", 1.0)], true).unwrap();
+        let nl = b.build().unwrap();
+        let mut sim = EventDrivenSim::new(&nl);
+        let trace = sim.run(100.0, 100).unwrap();
+        assert!(trace.is_empty());
+    }
+}

@@ -1,0 +1,364 @@
+//! `tsg` — command-line performance analyzer for Timed Signal Graphs.
+//!
+//! ```text
+//! tsg analyze FILE [--diagram] [--dot] [--baselines] [--default-delay X]
+//! tsg demo {oscillator|muller5|stack66}
+//! ```
+//!
+//! `.g` files are parsed as Signal Transition Graphs (marked-graph
+//! subclass, with the `.delay` timing extension); `.ckt` files are parsed
+//! as gate-level netlists, checked for semimodularity, and run through the
+//! TRASPEC-style extraction first.
+
+use std::process::ExitCode;
+
+use tsg_core::analysis::diagram::{self, DiagramOptions};
+use tsg_core::analysis::sim::TimingSimulation;
+use tsg_core::analysis::CycleTimeAnalysis;
+use tsg_core::SignalGraph;
+
+const USAGE: &str = "\
+tsg — performance analysis based on timing simulation (DAC'94)
+
+USAGE:
+    tsg analyze FILE [--diagram] [--dot] [--baselines] [--slack] [--default-delay X]
+    tsg convert FILE --to {g|dot}
+    tsg demo {oscillator|muller5|stack66}
+
+FILE formats (by extension):
+    .g     Signal Transition Graph (astg dialect, `.delay` extension)
+    .ckt   gate-level netlist (extracted via the TRASPEC-style flow)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Options {
+    diagram: bool,
+    dot: bool,
+    baselines: bool,
+    slack: bool,
+    default_delay: f64,
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    match args.first().map(String::as_str) {
+        Some("analyze") => {
+            let file = args.get(1).ok_or("analyze needs a FILE argument")?;
+            let mut opts = Options {
+                diagram: false,
+                dot: false,
+                baselines: false,
+                slack: false,
+                default_delay: 1.0,
+            };
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--diagram" => opts.diagram = true,
+                    "--dot" => opts.dot = true,
+                    "--baselines" => opts.baselines = true,
+                    "--slack" => opts.slack = true,
+                    "--default-delay" => {
+                        i += 1;
+                        opts.default_delay = args
+                            .get(i)
+                            .and_then(|v| v.parse().ok())
+                            .ok_or("--default-delay needs a number")?;
+                    }
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+                i += 1;
+            }
+            let text =
+                std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
+            let sg = load(file, &text, opts.default_delay)?;
+            Ok(report(&sg, &opts))
+        }
+        Some("convert") => {
+            let file = args.get(1).ok_or("convert needs a FILE argument")?;
+            let to = match (args.get(2).map(String::as_str), args.get(3)) {
+                (Some("--to"), Some(t)) => t.as_str(),
+                _ => return Err("convert needs `--to {g|dot}`".to_owned()),
+            };
+            let text =
+                std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
+            let sg = load(file, &text, 1.0)?;
+            match to {
+                "g" => tsg_stg::write_stg(&sg, "converted").map_err(|e| e.to_string()),
+                "dot" => Ok(tsg_core::dot::to_dot(&sg, "converted")),
+                other => Err(format!("unknown target format {other:?}")),
+            }
+        }
+        Some("demo") => {
+            let which = args.get(1).map(String::as_str).unwrap_or("oscillator");
+            let opts = Options {
+                diagram: true,
+                dot: false,
+                baselines: true,
+                slack: false,
+                default_delay: 1.0,
+            };
+            let sg = match which {
+                "oscillator" => tsg_circuit::library::c_element_oscillator_tsg(),
+                "muller5" => tsg_extract::extract(
+                    &tsg_circuit::library::muller_ring(5, 1.0),
+                    tsg_extract::ExtractOptions::default(),
+                )
+                .map_err(|e| e.to_string())?,
+                "stack66" => tsg_gen::stack66(),
+                other => return Err(format!("unknown demo {other:?}")),
+            };
+            Ok(report(&sg, &opts))
+        }
+        Some("--help") | Some("-h") | None => Ok(USAGE.to_owned()),
+        Some(other) => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn load(file: &str, text: &str, default_delay: f64) -> Result<SignalGraph, String> {
+    if file.ends_with(".ckt") {
+        let nl = tsg_circuit::parse::parse_ckt(text).map_err(|e| e.to_string())?;
+        if nl.signal_count() <= 24 {
+            let rep = tsg_extract::explore(&nl, 2_000_000);
+            if !rep.is_semimodular() {
+                return Err(format!(
+                    "circuit is not semimodular ({} violation(s)); not speed-independent",
+                    rep.violations.len()
+                ));
+            }
+        }
+        tsg_extract::extract(&nl, tsg_extract::ExtractOptions::default())
+            .map_err(|e| e.to_string())
+    } else {
+        tsg_stg::parse_stg(text, tsg_stg::StgOptions { default_delay })
+            .map_err(|e| e.to_string())
+    }
+}
+
+fn report(sg: &SignalGraph, opts: &Options) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "graph: {} events, {} arcs, {} border event(s)",
+        sg.event_count(),
+        sg.arc_count(),
+        sg.border_events().len()
+    );
+    match CycleTimeAnalysis::run(sg) {
+        Ok(a) => {
+            let _ = writeln!(out, "cycle time: {}", a.cycle_time());
+            let _ = writeln!(out, "critical cycle: {}", sg.display_path(a.critical_cycle()));
+            let borders: Vec<String> = a
+                .critical_borders()
+                .iter()
+                .map(|&e| sg.label(e).to_string())
+                .collect();
+            let _ = writeln!(out, "critical border event(s): {}", borders.join(", "));
+            for rec in a.records() {
+                let cells: Vec<String> = rec
+                    .distances
+                    .iter()
+                    .map(|(i, t, d)| format!("δ({i})={t}/{i}={d:.4}"))
+                    .collect();
+                let _ = writeln!(out, "  {:<6} {}", sg.label(rec.event).to_string(), cells.join("  "));
+            }
+        }
+        Err(e) => {
+            let _ = writeln!(out, "cycle time: undefined ({e})");
+        }
+    }
+    if opts.baselines {
+        let _ = writeln!(out, "baselines:");
+        if let Some(t) = tsg_baselines::howard_cycle_time(sg) {
+            let _ = writeln!(out, "  howard        : {}", t.as_f64());
+        }
+        if let Some(t) = tsg_baselines::karp_cycle_time(sg) {
+            let _ = writeln!(out, "  karp          : {}", t.as_f64());
+        }
+        if let Some(t) = tsg_baselines::lawler_cycle_time(sg, 60) {
+            let _ = writeln!(out, "  lawler        : {}", t.as_f64());
+        }
+        if let Ok(Some(t)) = tsg_baselines::enumerate_cycle_time(sg, 100_000) {
+            let _ = writeln!(out, "  enumeration   : {}", t.as_f64());
+        }
+        if let Some(t) = tsg_baselines::longrun_estimate(sg, 64) {
+            let _ = writeln!(out, "  long-run sim  : {t}");
+        }
+    }
+    if opts.slack {
+        match tsg_core::analysis::slack::SlackAnalysis::run(sg) {
+            Ok(sa) => {
+                let critical = sa.critical_arcs(1e-9);
+                let _ = writeln!(
+                    out,
+                    "slack: {} of {} cyclic arcs are timing-critical",
+                    critical.len(),
+                    sg.arc_ids().filter(|&a| sa.slack(a).is_some()).count()
+                );
+                for a in sg.arc_ids() {
+                    if let Some(s) = sa.slack(a) {
+                        let arc = sg.arc(a);
+                        let _ = writeln!(
+                            out,
+                            "  {} -> {} : {}",
+                            sg.label(arc.src()),
+                            sg.label(arc.dst()),
+                            if s <= 1e-9 {
+                                "CRITICAL".to_owned()
+                            } else {
+                                format!("slack {s}")
+                            }
+                        );
+                    }
+                }
+            }
+            Err(e) => {
+                let _ = writeln!(out, "slack: unavailable ({e})");
+            }
+        }
+    }
+    if opts.diagram && sg.repetitive_count() > 0 {
+        let sim = TimingSimulation::run(sg, 3);
+        let _ = writeln!(out, "timing diagram (3 periods):");
+        out.push_str(&diagram::render(sg, &sim, DiagramOptions::default()));
+    }
+    if opts.dot {
+        out.push_str(&tsg_core::dot::to_dot(sg, "tsg"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_is_printed() {
+        let out = run(&[]).unwrap();
+        assert!(out.contains("USAGE"));
+        let out = run(&["--help".into()]).unwrap();
+        assert!(out.contains("analyze"));
+    }
+
+    #[test]
+    fn demo_oscillator_reports_tau_10() {
+        let out = run(&["demo".into(), "oscillator".into()]).unwrap();
+        assert!(out.contains("cycle time: 10"), "{out}");
+        assert!(out.contains("critical cycle: a+ -3-> c+ -2-> a- -3-> c- -2*-> a+"));
+        assert!(out.contains("howard"));
+    }
+
+    #[test]
+    fn demo_muller5_reports_20_3() {
+        let out = run(&["demo".into(), "muller5".into()]).unwrap();
+        assert!(out.contains("cycle time: 20/3"), "{out}");
+    }
+
+    #[test]
+    fn demo_stack66_runs() {
+        let out = run(&["demo".into(), "stack66".into()]).unwrap();
+        assert!(out.contains("66 events, 112 arcs"), "{out}");
+    }
+
+    #[test]
+    fn unknown_flags_error() {
+        assert!(run(&["analyze".into(), "x.g".into(), "--wat".into()]).is_err());
+        assert!(run(&["frob".into()]).is_err());
+        assert!(run(&["demo".into(), "nope".into()]).is_err());
+    }
+
+    #[test]
+    fn analyze_stg_file() {
+        let dir = std::env::temp_dir().join("tsg-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("osc.g");
+        std::fs::write(&path, tsg_stg::EXAMPLE_OSCILLATOR).unwrap();
+        let out = run(&[
+            "analyze".into(),
+            path.to_string_lossy().into_owned(),
+            "--baselines".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("cycle time: 10"), "{out}");
+        assert!(out.contains("enumeration   : 10"));
+    }
+
+    #[test]
+    fn convert_stg_to_dot() {
+        let dir = std::env::temp_dir().join("tsg-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ring.g");
+        std::fs::write(&path, tsg_stg::EXAMPLE_RING5).unwrap();
+        let out = run(&[
+            "convert".into(),
+            path.to_string_lossy().into_owned(),
+            "--to".into(),
+            "dot".into(),
+        ])
+        .unwrap();
+        assert!(out.starts_with("digraph"));
+        let out = run(&[
+            "convert".into(),
+            path.to_string_lossy().into_owned(),
+            "--to".into(),
+            "g".into(),
+        ])
+        .unwrap();
+        assert!(out.contains(".marking"));
+        assert!(run(&[
+            "convert".into(),
+            path.to_string_lossy().into_owned(),
+            "--to".into(),
+            "pdf".into(),
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn analyze_with_slack() {
+        let dir = std::env::temp_dir().join("tsg-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("osc2.g");
+        std::fs::write(&path, tsg_stg::EXAMPLE_OSCILLATOR).unwrap();
+        let out = run(&[
+            "analyze".into(),
+            path.to_string_lossy().into_owned(),
+            "--slack".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("CRITICAL"), "{out}");
+        assert!(out.contains("timing-critical"), "{out}");
+    }
+
+    #[test]
+    fn analyze_ckt_file() {
+        let dir = std::env::temp_dir().join("tsg-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("osc.ckt");
+        let nl = tsg_circuit::library::c_element_oscillator();
+        std::fs::write(&path, tsg_circuit::parse::write_ckt(&nl)).unwrap();
+        let out = run(&[
+            "analyze".into(),
+            path.to_string_lossy().into_owned(),
+            "--diagram".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("cycle time: 10"), "{out}");
+        assert!(out.contains("timing diagram"));
+    }
+}

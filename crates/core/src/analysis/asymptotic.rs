@@ -1,0 +1,166 @@
+//! Asymptotic behaviour of average occurrence distances (Figure 4).
+//!
+//! For an event `e` on a critical cycle, the sequence `δ_{e0}(e_i)` attains
+//! the cycle time τ at some `i ≤ b` and keeps returning to it; for an event
+//! off every critical cycle the sequence stays strictly below τ while still
+//! converging to it (Proposition 8). This module produces those series and
+//! classifies events accordingly.
+
+use crate::analysis::cycle_time::{AnalysisError, CycleTimeAnalysis};
+use crate::analysis::initiated::InitiatedSimulation;
+use crate::event::EventId;
+use crate::graph::SignalGraph;
+
+/// One point of a δ-series.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeltaPoint {
+    /// The occurrence index `i`.
+    pub index: u32,
+    /// `t_{e0}(e_i)`.
+    pub time: f64,
+    /// `δ_{e0}(e_i) = t_{e0}(e_i) / i`.
+    pub delta: f64,
+}
+
+/// Computes the series `δ_{e0}(e_i)` for `0 < i <= periods`.
+///
+/// Undefined entries (instances not reachable from `e₀`) are skipped.
+///
+/// # Errors
+///
+/// Returns an error when `event` is not repetitive.
+///
+/// # Examples
+///
+/// ```
+/// use tsg_core::SignalGraph;
+/// use tsg_core::analysis::asymptotic::delta_series;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = SignalGraph::builder();
+/// let xp = b.event("x+");
+/// let xm = b.event("x-");
+/// b.arc(xp, xm, 3.0);
+/// b.marked_arc(xm, xp, 2.0);
+/// let sg = b.build()?;
+/// let series = delta_series(&sg, xp, 4)?;
+/// assert!(series.iter().all(|p| p.delta == 5.0));
+/// # Ok(())
+/// # }
+/// ```
+pub fn delta_series(
+    sg: &SignalGraph,
+    event: EventId,
+    periods: u32,
+) -> Result<Vec<DeltaPoint>, crate::analysis::initiated::NotRepetitive> {
+    let sim = InitiatedSimulation::run(sg, event, periods)?;
+    Ok(sim
+        .distance_series()
+        .into_iter()
+        .map(|(index, time, delta)| DeltaPoint { index, time, delta })
+        .collect())
+}
+
+/// Decides whether `event` lies on a critical cycle, by the Proposition 7/8
+/// dichotomy: the event's δ-series over `b` periods attains τ iff the event
+/// is on a critical cycle.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::NoCyclicBehavior`] for graphs without
+/// repetitive events, and treats prefix events as off-cycle.
+pub fn on_critical_cycle(sg: &SignalGraph, event: EventId) -> Result<bool, AnalysisError> {
+    if !sg.is_repetitive(event) {
+        return Ok(false);
+    }
+    let analysis = CycleTimeAnalysis::run(sg)?;
+    let tau = analysis.cycle_time();
+    let b = sg.border_events().len() as u32;
+    let series = delta_series(sg, event, b.max(1))
+        .expect("repetitive event checked above");
+    Ok(series
+        .iter()
+        .any(|p| p.time * tau.periods() as f64 == tau.length() * p.index as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SignalGraph;
+
+    fn figure2() -> SignalGraph {
+        let mut b = SignalGraph::builder();
+        let e = b.initial_event("e-");
+        let f = b.finite_event("f-");
+        let ap = b.event("a+");
+        let bp = b.event("b+");
+        let cp = b.event("c+");
+        let am = b.event("a-");
+        let bm = b.event("b-");
+        let cm = b.event("c-");
+        b.arc(e, f, 3.0);
+        b.disengageable_arc(e, ap, 2.0);
+        b.disengageable_arc(f, bp, 1.0);
+        b.arc(ap, cp, 3.0);
+        b.arc(bp, cp, 2.0);
+        b.arc(cp, am, 2.0);
+        b.arc(cp, bm, 1.0);
+        b.arc(am, cm, 3.0);
+        b.arc(bm, cm, 2.0);
+        b.marked_arc(cm, ap, 2.0);
+        b.marked_arc(cm, bp, 1.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn on_cycle_event_attains_tau() {
+        let sg = figure2();
+        let ap = sg.event_by_label("a+").unwrap();
+        let series = delta_series(&sg, ap, 10).unwrap();
+        assert!(series.iter().any(|p| p.delta == 10.0));
+        assert!(on_critical_cycle(&sg, ap).unwrap());
+    }
+
+    #[test]
+    fn off_cycle_event_stays_below_tau() {
+        let sg = figure2();
+        let bp = sg.event_by_label("b+").unwrap();
+        let series = delta_series(&sg, bp, 10).unwrap();
+        assert!(series.iter().all(|p| p.delta < 10.0));
+        assert!(!on_critical_cycle(&sg, bp).unwrap());
+    }
+
+    #[test]
+    fn off_cycle_series_is_monotone_toward_tau_here() {
+        // Not true in general (the paper notes oscillation), but for this
+        // graph the b+ series increases toward 10.
+        let sg = figure2();
+        let bp = sg.event_by_label("b+").unwrap();
+        let series = delta_series(&sg, bp, 30).unwrap();
+        for w in series.windows(2) {
+            assert!(w[1].delta >= w[0].delta);
+        }
+        assert!(series.last().unwrap().delta > 9.9);
+    }
+
+    #[test]
+    fn prefix_event_is_off_cycle() {
+        let sg = figure2();
+        let e = sg.event_by_label("e-").unwrap();
+        assert!(!on_critical_cycle(&sg, e).unwrap());
+    }
+
+    #[test]
+    fn non_critical_events_of_critical_signal() {
+        // All four of a+, a-, c+, c- are on the critical cycle.
+        let sg = figure2();
+        for l in ["a+", "a-", "c+", "c-"] {
+            let e = sg.event_by_label(l).unwrap();
+            assert!(on_critical_cycle(&sg, e).unwrap(), "{l} should be critical");
+        }
+        for l in ["b+", "b-"] {
+            let e = sg.event_by_label(l).unwrap();
+            assert!(!on_critical_cycle(&sg, e).unwrap(), "{l} should not be critical");
+        }
+    }
+}

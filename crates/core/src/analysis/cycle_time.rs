@@ -1,0 +1,475 @@
+//! The O(b²m) cycle-time algorithm (Sections VI–VII of the paper).
+//!
+//! The algorithm:
+//!
+//! 1. identify the `b` border events (a cut set, so one of them lies on a
+//!    critical cycle);
+//! 2. for each border event `g`, run a `g₀`-initiated timing simulation
+//!    over `b` periods (Proposition 7 bounds the occurrence period of any
+//!    simple cycle by the size of a minimum cut set ≤ `b`);
+//! 3. collect the average occurrence distances `δ_{g0}(g_i) = t_{g0}(g_i)/i`
+//!    after each full period;
+//! 4. the maximum of the collected `b²` values is the cycle time
+//!    (Propositions 7 and 8);
+//! 5. backtrack the winning simulation to recover a critical cycle
+//!    (Proposition 1), decomposing the closed walk into simple cycles
+//!    (Proposition 5).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::analysis::initiated::InitiatedSimulation;
+use crate::analysis::CycleTime;
+use crate::arc::ArcId;
+use crate::event::EventId;
+use crate::graph::SignalGraph;
+
+/// Error returned by [`CycleTimeAnalysis::run`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AnalysisError {
+    /// The graph has no repetitive events, hence no cycles and no cycle
+    /// time (a purely acyclic PERT computation).
+    NoCyclicBehavior,
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::NoCyclicBehavior => {
+                write!(f, "graph has no repetitive events: cycle time is undefined")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+/// The per-border-event record of collected average occurrence distances.
+#[derive(Clone, Debug)]
+pub struct BorderRecord {
+    /// The initiating border event.
+    pub event: EventId,
+    /// `(i, t_{g0}(g_i), δ_{g0}(g_i))` for each defined `0 < i <= b`.
+    pub distances: Vec<(u32, f64, f64)>,
+}
+
+impl BorderRecord {
+    /// The best `(t, i)` pair of this record by the ratio `t/i`, preferring
+    /// fewer periods on ties (the witness of a shorter simple cycle).
+    fn best(&self) -> Option<(f64, u32)> {
+        self.distances
+            .iter()
+            .copied()
+            .map(|(i, t, _)| (t, i))
+            .max_by(|a, b| ratio_cmp(*a, *b).then_with(|| b.1.cmp(&a.1)))
+    }
+}
+
+fn ratio_cmp(a: (f64, u32), b: (f64, u32)) -> std::cmp::Ordering {
+    // a.0/a.1 vs b.0/b.1 by cross multiplication (denominators positive).
+    (a.0 * b.1 as f64).total_cmp(&(b.0 * a.1 as f64))
+}
+
+/// Result of the paper's cycle-time algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use tsg_core::SignalGraph;
+/// use tsg_core::analysis::CycleTimeAnalysis;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = SignalGraph::builder();
+/// let xp = b.event("x+");
+/// let xm = b.event("x-");
+/// b.arc(xp, xm, 3.0);
+/// b.marked_arc(xm, xp, 2.0);
+/// let sg = b.build()?;
+///
+/// let analysis = CycleTimeAnalysis::run(&sg)?;
+/// assert_eq!(analysis.cycle_time().as_f64(), 5.0);
+/// assert_eq!(analysis.critical_cycle().len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct CycleTimeAnalysis {
+    cycle_time: CycleTime,
+    critical_cycle: Vec<ArcId>,
+    critical_borders: Vec<EventId>,
+    border: Vec<EventId>,
+    records: Vec<BorderRecord>,
+}
+
+impl CycleTimeAnalysis {
+    /// Runs the algorithm on a validated graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::NoCyclicBehavior`] when `sg` has no
+    /// repetitive events.
+    pub fn run(sg: &SignalGraph) -> Result<Self, AnalysisError> {
+        Self::run_with_periods(sg, None)
+    }
+
+    /// Runs the algorithm simulating `periods` periods per border event
+    /// instead of the default `b`.
+    ///
+    /// Correctness requires `periods` to be at least the maximum occurrence
+    /// period `ε_max` of a simple cycle. `b` is always sufficient; a tight
+    /// value can be computed with
+    /// [`border::exact_max_occurrence_period`](crate::analysis::border::exact_max_occurrence_period)
+    /// — the oscillator of Section VIII.C needs a single period, as the
+    /// paper remarks. (The paper's Proposition 6 bounds `ε_max` by the
+    /// minimum cut set size, which is not sound in general; see
+    /// [`border`](crate::analysis::border).)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::NoCyclicBehavior`] when `sg` has no
+    /// repetitive events.
+    pub fn run_with_periods(
+        sg: &SignalGraph,
+        periods: Option<u32>,
+    ) -> Result<Self, AnalysisError> {
+        let border = sg.border_events();
+        if border.is_empty() {
+            return Err(AnalysisError::NoCyclicBehavior);
+        }
+        let b = periods.unwrap_or(border.len() as u32).max(1);
+
+        // One shared evaluation structure for all b simulations.
+        let structure = crate::analysis::structure::CyclicStructure::new(sg);
+
+        let mut records = Vec::with_capacity(border.len());
+        for &g in &border {
+            let sim = InitiatedSimulation::run_with(sg, &structure, g, b, false)
+                .expect("border events are repetitive by construction");
+            records.push(BorderRecord {
+                event: g,
+                distances: sim.distance_series(),
+            });
+        }
+
+        // Step 4: the largest average occurrence distance is the cycle time.
+        let (mut best, mut best_idx): (Option<(f64, u32)>, usize) = (None, 0);
+        for (k, rec) in records.iter().enumerate() {
+            if let Some(cand) = rec.best() {
+                if best.is_none() || ratio_cmp(cand, best.unwrap()).is_gt() {
+                    best = Some(cand);
+                    best_idx = k;
+                }
+            }
+        }
+        let (length, periods_spanned) =
+            best.expect("every border event lies on a cycle with period <= b");
+        let cycle_time = CycleTime::new(length, periods_spanned);
+
+        // Step 5: re-run the winning simulation with parent tracking and
+        // backtrack a critical cycle from it.
+        let winner =
+            InitiatedSimulation::run_with(sg, &structure, border[best_idx], periods_spanned, true)
+                .expect("winner is a border event");
+        let walk = winner
+            .backtrack_in(sg, border[best_idx], periods_spanned)
+            .expect("winning instance is reachable");
+        let critical_cycle = best_simple_cycle(sg, border[best_idx], &walk);
+
+        // Proposition 8: border events strictly below τ are off all
+        // critical cycles; those attaining τ are on one.
+        let critical_borders = records
+            .iter()
+            .filter_map(|rec| {
+                rec.best().and_then(|cand| {
+                    ratio_cmp(cand, (length, periods_spanned))
+                        .is_eq()
+                        .then_some(rec.event)
+                })
+            })
+            .collect();
+
+        Ok(CycleTimeAnalysis {
+            cycle_time,
+            critical_cycle,
+            critical_borders,
+            border,
+            records,
+        })
+    }
+
+    /// The cycle time `τ` of the graph.
+    pub fn cycle_time(&self) -> CycleTime {
+        self.cycle_time
+    }
+
+    /// A critical cycle: a simple cycle whose effective length `C/ε`
+    /// equals the cycle time.
+    pub fn critical_cycle(&self) -> &[ArcId] {
+        &self.critical_cycle
+    }
+
+    /// The border events that lie on a critical cycle (attain `τ`).
+    pub fn critical_borders(&self) -> &[EventId] {
+        &self.critical_borders
+    }
+
+    /// The border events the simulations were initiated from.
+    pub fn border_events(&self) -> &[EventId] {
+        &self.border
+    }
+
+    /// The collected per-border average-occurrence-distance tables.
+    pub fn records(&self) -> &[BorderRecord] {
+        &self.records
+    }
+}
+
+/// The effective length `C/ε` of a cycle, as a [`CycleTime`].
+///
+/// # Panics
+///
+/// Panics if the cycle has no marked arc (impossible in a validated live
+/// graph).
+pub fn cycle_ratio(sg: &SignalGraph, cycle: &[ArcId]) -> CycleTime {
+    CycleTime::new(sg.path_length(cycle), sg.occurrence_period(cycle))
+}
+
+/// Decomposes the closed walk `start -walk-> start` into simple cycles and
+/// returns the one with the largest effective length (Proposition 5
+/// guarantees it attains the walk's ratio).
+fn best_simple_cycle(sg: &SignalGraph, start: EventId, walk: &[ArcId]) -> Vec<ArcId> {
+    let mut cycles: Vec<Vec<ArcId>> = Vec::new();
+    let mut pos: HashMap<EventId, usize> = HashMap::new();
+    pos.insert(start, 0);
+    let mut arcs: Vec<ArcId> = Vec::new();
+    for &a in walk {
+        arcs.push(a);
+        let v = sg.arc(a).dst();
+        if let Some(&k) = pos.get(&v) {
+            // arcs[k..] close a cycle at v
+            let cycle: Vec<ArcId> = arcs.split_off(k);
+            for c in &cycle {
+                let node = sg.arc(*c).dst();
+                if node != v {
+                    pos.remove(&node);
+                }
+            }
+            cycles.push(cycle);
+        } else {
+            pos.insert(v, arcs.len());
+        }
+    }
+    debug_assert!(arcs.is_empty(), "walk must decompose exactly into cycles");
+    let best = cycles
+        .into_iter()
+        .max_by(|x, y| {
+            let rx = (sg.path_length(x), sg.occurrence_period(x));
+            let ry = (sg.path_length(y), sg.occurrence_period(y));
+            ratio_cmp(rx, ry)
+        })
+        .expect("closed walk contains at least one cycle");
+    canonical_rotation(sg, best)
+}
+
+/// Rotates a cycle so it starts at its smallest (event id, arc id) pair —
+/// gives deterministic output independent of which border event won.
+fn canonical_rotation(sg: &SignalGraph, cycle: Vec<ArcId>) -> Vec<ArcId> {
+    let k = cycle
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, &a)| (sg.arc(a).src(), a))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    let mut out = Vec::with_capacity(cycle.len());
+    out.extend_from_slice(&cycle[k..]);
+    out.extend_from_slice(&cycle[..k]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SignalGraph;
+
+    fn figure2() -> SignalGraph {
+        let mut b = SignalGraph::builder();
+        let e = b.initial_event("e-");
+        let f = b.finite_event("f-");
+        let ap = b.event("a+");
+        let bp = b.event("b+");
+        let cp = b.event("c+");
+        let am = b.event("a-");
+        let bm = b.event("b-");
+        let cm = b.event("c-");
+        b.arc(e, f, 3.0);
+        b.disengageable_arc(e, ap, 2.0);
+        b.disengageable_arc(f, bp, 1.0);
+        b.arc(ap, cp, 3.0);
+        b.arc(bp, cp, 2.0);
+        b.arc(cp, am, 2.0);
+        b.arc(cp, bm, 1.0);
+        b.arc(am, cm, 3.0);
+        b.arc(bm, cm, 2.0);
+        b.marked_arc(cm, ap, 2.0);
+        b.marked_arc(cm, bp, 1.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn oscillator_cycle_time_is_10() {
+        // Section VIII.C: τ = max{10, 10, 8, 9} = 10.
+        let sg = figure2();
+        let a = CycleTimeAnalysis::run(&sg).unwrap();
+        assert_eq!(a.cycle_time().as_f64(), 10.0);
+        assert_eq!(a.cycle_time().periods(), 1);
+    }
+
+    #[test]
+    fn oscillator_collected_distances() {
+        // a+: 10/1, 20/2; b+: 8/1, 18/2.
+        let sg = figure2();
+        let a = CycleTimeAnalysis::run(&sg).unwrap();
+        let rec = |l: &str| {
+            a.records()
+                .iter()
+                .find(|r| sg.label(r.event).to_string() == l)
+                .unwrap()
+        };
+        assert_eq!(rec("a+").distances, vec![(1, 10.0, 10.0), (2, 20.0, 10.0)]);
+        assert_eq!(rec("b+").distances, vec![(1, 8.0, 8.0), (2, 18.0, 9.0)]);
+    }
+
+    #[test]
+    fn oscillator_critical_cycle() {
+        // Example 5/6: C1 = a+ -> c+ -> a- -> c- is the length-10 critical
+        // cycle (the paper's VIII.C misprints C2 here; see EXPERIMENTS.md).
+        let sg = figure2();
+        let a = CycleTimeAnalysis::run(&sg).unwrap();
+        assert_eq!(
+            sg.display_path(a.critical_cycle()),
+            "a+ -3-> c+ -2-> a- -3-> c- -2*-> a+"
+        );
+        assert_eq!(cycle_ratio(&sg, a.critical_cycle()).as_f64(), 10.0);
+    }
+
+    #[test]
+    fn oscillator_critical_borders() {
+        // a+ attains τ; b+ stays strictly below (Proposition 8).
+        let sg = figure2();
+        let a = CycleTimeAnalysis::run(&sg).unwrap();
+        let labels: Vec<String> = a
+            .critical_borders()
+            .iter()
+            .map(|&e| sg.label(e).to_string())
+            .collect();
+        assert_eq!(labels, vec!["a+"]);
+    }
+
+    #[test]
+    fn one_period_suffices_with_minimum_cut_knowledge() {
+        // Section VIII.C: "As a minimum cut set consists of one element
+        // (e.g. {c+}), one period is needed only."
+        let sg = figure2();
+        let a = CycleTimeAnalysis::run_with_periods(&sg, Some(1)).unwrap();
+        assert_eq!(a.cycle_time().as_f64(), 10.0);
+    }
+
+    #[test]
+    fn pure_prefix_graph_has_no_cycle_time() {
+        let mut b = SignalGraph::builder();
+        let s = b.initial_event("s");
+        let t = b.finite_event("t");
+        b.arc(s, t, 1.0);
+        let sg = b.build().unwrap();
+        assert_eq!(
+            CycleTimeAnalysis::run(&sg).unwrap_err(),
+            AnalysisError::NoCyclicBehavior
+        );
+    }
+
+    #[test]
+    fn self_loop_cycle_time() {
+        let mut b = SignalGraph::builder();
+        let x = b.event("x");
+        b.marked_arc(x, x, 7.5);
+        let sg = b.build().unwrap();
+        let a = CycleTimeAnalysis::run(&sg).unwrap();
+        assert_eq!(a.cycle_time().as_f64(), 7.5);
+        assert_eq!(a.critical_cycle().len(), 1);
+    }
+
+    #[test]
+    fn two_loop_max_is_selected() {
+        // x's loop is slower than y's: τ must be x's 9, not y's 4.
+        let mut b = SignalGraph::builder();
+        let xp = b.event("x+");
+        let xm = b.event("x-");
+        let y = b.event("y");
+        b.arc(xp, xm, 4.0);
+        b.marked_arc(xm, xp, 5.0);
+        b.arc(xp, y, 1.0);
+        b.marked_arc(y, xp, 3.0);
+        let sg = b.build().unwrap();
+        let a = CycleTimeAnalysis::run(&sg).unwrap();
+        assert_eq!(a.cycle_time().as_f64(), 9.0);
+        let cyc = sg.display_path(a.critical_cycle());
+        assert!(cyc.contains("x-"), "critical cycle should be the x loop: {cyc}");
+    }
+
+    #[test]
+    fn multi_period_cycle_detected() {
+        // A 4-event ring with two tokens: each "cycle" spans 2 periods.
+        // τ = total length / tokens = 8/2 = 4.
+        let mut b = SignalGraph::builder();
+        let n: Vec<_> = (0..4).map(|i| b.event(&format!("n{i}"))).collect();
+        b.marked_arc(n[0], n[1], 2.0);
+        b.arc(n[1], n[2], 2.0);
+        b.marked_arc(n[2], n[3], 2.0);
+        b.arc(n[3], n[0], 2.0);
+        let sg = b.build().unwrap();
+        let a = CycleTimeAnalysis::run(&sg).unwrap();
+        assert_eq!(a.cycle_time().as_f64(), 4.0);
+        assert_eq!(a.cycle_time().periods(), 2);
+        assert_eq!(a.critical_cycle().len(), 4);
+    }
+
+    #[test]
+    fn zero_delay_graph_has_zero_cycle_time() {
+        let mut b = SignalGraph::builder();
+        let x = b.event("x");
+        let y = b.event("y");
+        b.arc(x, y, 0.0);
+        b.marked_arc(y, x, 0.0);
+        let sg = b.build().unwrap();
+        let a = CycleTimeAnalysis::run(&sg).unwrap();
+        assert_eq!(a.cycle_time().as_f64(), 0.0);
+    }
+
+    #[test]
+    fn walk_decomposition_picks_heaviest_cycle() {
+        // Craft a walk that passes through a light cycle before the heavy
+        // one: ensured indirectly by a graph where the longest 2-period
+        // walk from the border event wraps through two different loops.
+        let mut b = SignalGraph::builder();
+        let p = b.event("p");
+        let q = b.event("q");
+        let r = b.event("r");
+        b.arc(p, q, 1.0);
+        b.marked_arc(q, p, 1.0); // loop A: length 2
+        b.arc(p, r, 5.0);
+        b.marked_arc(r, p, 5.0); // loop B: length 10
+        let sg = b.build().unwrap();
+        let a = CycleTimeAnalysis::run(&sg).unwrap();
+        assert_eq!(a.cycle_time().as_f64(), 10.0);
+        let cyc = sg.display_path(a.critical_cycle());
+        assert!(cyc.contains('r'), "{cyc}");
+    }
+
+    #[test]
+    fn exact_ratio_for_integral_delays() {
+        let sg = figure2();
+        let a = CycleTimeAnalysis::run(&sg).unwrap();
+        assert_eq!(a.cycle_time().exact().unwrap().to_string(), "10");
+    }
+}

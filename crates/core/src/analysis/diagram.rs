@@ -1,0 +1,253 @@
+//! ASCII timing diagrams (Figures 1c and 1d of the paper).
+//!
+//! Renders the waveform of every signal of a simulated graph on a character
+//! grid: `_` is low, `~` is high, `|` marks a transition column. Signals
+//! appear in first-transition order; a ruler line marks every fifth time
+//! unit.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::analysis::initiated::InitiatedSimulation;
+use crate::analysis::sim::TimingSimulation;
+use crate::event::Polarity;
+use crate::graph::SignalGraph;
+
+/// Rendering options for [`render`].
+#[derive(Clone, Copy, Debug)]
+pub struct DiagramOptions {
+    /// Characters per time unit (default 2).
+    pub chars_per_unit: f64,
+    /// Total simulated time to draw; defaults to the simulation horizon.
+    pub horizon: Option<f64>,
+}
+
+impl Default for DiagramOptions {
+    fn default() -> Self {
+        DiagramOptions {
+            chars_per_unit: 2.0,
+            horizon: None,
+        }
+    }
+}
+
+/// A signal's transition list: `(time, polarity)` sorted by time.
+type Waveform = Vec<(f64, Polarity)>;
+
+fn collect_waveforms(
+    sg: &SignalGraph,
+    mut time_of: impl FnMut(crate::event::EventId, u32) -> Option<f64>,
+    max_instances: u32,
+) -> BTreeMap<String, Waveform> {
+    let mut map: BTreeMap<String, Waveform> = BTreeMap::new();
+    for e in sg.events() {
+        let label = sg.label(e);
+        let Some(pol) = label.polarity() else {
+            continue;
+        };
+        for i in 0..max_instances {
+            match time_of(e, i) {
+                Some(t) => map
+                    .entry(label.signal().to_owned())
+                    .or_default()
+                    .push((t, pol)),
+                None => break,
+            }
+        }
+    }
+    for wf in map.values_mut() {
+        wf.sort_by(|a, b| a.0.total_cmp(&b.0));
+    }
+    map
+}
+
+fn render_waveforms(waveforms: &BTreeMap<String, Waveform>, horizon: f64, cpu: f64) -> String {
+    let width = (horizon * cpu).ceil() as usize + 1;
+    let name_w = waveforms.keys().map(String::len).max().unwrap_or(1).max(1);
+    let mut out = String::new();
+
+    // Ruler: a tick every 5 time units.
+    let mut ruler = vec![b' '; width];
+    let mut labels = vec![b' '; width + 8];
+    let mut t = 0.0;
+    while t <= horizon + 1e-9 {
+        let col = (t * cpu).round() as usize;
+        if col < width {
+            ruler[col] = b'+';
+            let s = format!("{}", t as i64);
+            for (k, ch) in s.bytes().enumerate() {
+                if col + k < labels.len() {
+                    labels[col + k] = ch;
+                }
+            }
+        }
+        t += 5.0;
+    }
+    let _ = writeln!(
+        out,
+        "{:name_w$} {}",
+        "t",
+        String::from_utf8_lossy(&labels).trim_end()
+    );
+    let _ = writeln!(out, "{:name_w$} {}", "", String::from_utf8_lossy(&ruler));
+
+    for (signal, wf) in waveforms {
+        let initial_high = wf
+            .first()
+            .map(|&(_, pol)| pol == Polarity::Fall)
+            .unwrap_or(false);
+        let mut row = String::with_capacity(width);
+        for col in 0..width {
+            // Level after the last transition at or before this column.
+            let mut level = initial_high;
+            let mut at_transition = false;
+            for &(tt, pol) in wf {
+                let tcol = (tt * cpu).round() as usize;
+                if tcol <= col {
+                    level = pol.level_after();
+                }
+                if tcol == col {
+                    at_transition = true;
+                }
+                if tcol > col {
+                    break;
+                }
+            }
+            row.push(if at_transition {
+                '|'
+            } else if level {
+                '~'
+            } else {
+                '_'
+            });
+        }
+        let _ = writeln!(out, "{signal:name_w$} {row}");
+    }
+    out
+}
+
+/// Renders the timing diagram of a full [`TimingSimulation`] (Figure 1c).
+///
+/// # Examples
+///
+/// ```
+/// use tsg_core::SignalGraph;
+/// use tsg_core::analysis::sim::TimingSimulation;
+/// use tsg_core::analysis::diagram::{render, DiagramOptions};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = SignalGraph::builder();
+/// let xp = b.event("x+");
+/// let xm = b.event("x-");
+/// b.arc(xp, xm, 3.0);
+/// b.marked_arc(xm, xp, 2.0);
+/// let sg = b.build()?;
+/// let sim = TimingSimulation::run(&sg, 3);
+/// let text = render(&sg, &sim, DiagramOptions::default());
+/// assert!(text.contains('x'));
+/// # Ok(())
+/// # }
+/// ```
+pub fn render(sg: &SignalGraph, sim: &TimingSimulation, opts: DiagramOptions) -> String {
+    let horizon = opts.horizon.unwrap_or_else(|| sim.horizon());
+    let wf = collect_waveforms(sg, |e, i| sim.time(e, i), sim.periods());
+    render_waveforms(&wf, horizon, opts.chars_per_unit)
+}
+
+/// Renders the diagram of an event-initiated simulation (Figure 1d):
+/// everything concurrent with or preceding the initiating event is drawn
+/// as already having happened at time 0.
+pub fn render_initiated(
+    sg: &SignalGraph,
+    sim: &InitiatedSimulation,
+    opts: DiagramOptions,
+) -> String {
+    let mut horizon: f64 = 0.0;
+    for e in sg.events() {
+        for i in 0..=sim.periods() {
+            if let Some(t) = sim.time(e, i) {
+                horizon = horizon.max(t);
+            }
+        }
+    }
+    let horizon = opts.horizon.unwrap_or(horizon);
+    let wf = collect_waveforms(sg, |e, i| sim.time(e, i), sim.periods() + 1);
+    render_waveforms(&wf, horizon, opts.chars_per_unit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SignalGraph;
+
+    fn oscillator() -> SignalGraph {
+        let mut b = SignalGraph::builder();
+        let xp = b.event("x+");
+        let xm = b.event("x-");
+        b.arc(xp, xm, 3.0);
+        b.marked_arc(xm, xp, 2.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn waveform_alternates() {
+        let sg = oscillator();
+        let sim = TimingSimulation::run(&sg, 3);
+        let text = render(&sg, &sim, DiagramOptions::default());
+        let line = text
+            .lines()
+            .find(|l| l.starts_with('x'))
+            .expect("signal row");
+        // x rises at 0, falls at 3, rises at 5...
+        assert!(line.contains('~'));
+        assert!(line.contains('_'));
+        assert!(line.contains('|'));
+    }
+
+    #[test]
+    fn ruler_has_ticks() {
+        let sg = oscillator();
+        let sim = TimingSimulation::run(&sg, 3);
+        let text = render(&sg, &sim, DiagramOptions::default());
+        let ruler = text.lines().nth(1).unwrap();
+        assert!(ruler.matches('+').count() >= 2);
+    }
+
+    #[test]
+    fn horizon_override_truncates() {
+        let sg = oscillator();
+        let sim = TimingSimulation::run(&sg, 3);
+        let text = render(
+            &sg,
+            &sim,
+            DiagramOptions {
+                chars_per_unit: 1.0,
+                horizon: Some(4.0),
+            },
+        );
+        let line = text.lines().find(|l| l.starts_with('x')).unwrap();
+        assert_eq!(line.len(), "x ".len() + 5);
+    }
+
+    #[test]
+    fn initiated_render_runs() {
+        use crate::analysis::initiated::InitiatedSimulation;
+        let sg = oscillator();
+        let xp = sg.event_by_label("x+").unwrap();
+        let sim = InitiatedSimulation::run(&sg, xp, 2).unwrap();
+        let text = render_initiated(&sg, &sim, DiagramOptions::default());
+        assert!(text.lines().count() >= 3);
+    }
+
+    #[test]
+    fn bare_signals_are_skipped() {
+        let mut b = SignalGraph::builder();
+        let x = b.event("tick");
+        b.marked_arc(x, x, 1.0);
+        let sg = b.build().unwrap();
+        let sim = TimingSimulation::run(&sg, 2);
+        let text = render(&sg, &sim, DiagramOptions::default());
+        // Only ruler lines; no waveform rows.
+        assert_eq!(text.lines().count(), 2);
+    }
+}

@@ -1,0 +1,376 @@
+//! Event-initiated timing simulation `t_g(·)` (Section IV.B).
+//!
+//! ```text
+//! t_g(f) = 0                                         if f = g or g ⇏ f
+//! t_g(f) = max { t_g(e) + δ | (e = g ∨ g ⇒ e) ∧ e →δ f }   otherwise
+//! ```
+//!
+//! The `g`-initiated simulation discards all history concurrent with or
+//! preceding `g₀`: by Proposition 1 it computes exactly the longest delay
+//! path from `g₀` to each instantiation in the unfolding. Average occurrence
+//! distances of the initiating event, `δ_{g0}(g_i) = t_{g0}(g_i) / i`, are
+//! the quantities the cycle-time algorithm maximises (Proposition 4/7).
+
+use crate::analysis::structure::CyclicStructure;
+use crate::arc::ArcId;
+use crate::event::EventId;
+use crate::graph::SignalGraph;
+
+/// Result of an event-initiated timing simulation.
+///
+/// # Examples
+///
+/// Example 4 of the paper (the `b+₀`-initiated simulation of Figure 2c) is
+/// reproduced in the tests; a minimal use:
+///
+/// ```
+/// use tsg_core::SignalGraph;
+/// use tsg_core::analysis::initiated::InitiatedSimulation;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = SignalGraph::builder();
+/// let xp = b.event("x+");
+/// let xm = b.event("x-");
+/// b.arc(xp, xm, 3.0);
+/// b.marked_arc(xm, xp, 2.0);
+/// let sg = b.build()?;
+///
+/// let sim = InitiatedSimulation::run(&sg, xp, 2).unwrap();
+/// assert_eq!(sim.time(xp, 0), Some(0.0));
+/// assert_eq!(sim.time(xm, 0), Some(3.0));
+/// assert_eq!(sim.time(xp, 1), Some(5.0));
+/// assert_eq!(sim.average_distance(1), Some(5.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct InitiatedSimulation {
+    origin: EventId,
+    periods: u32,
+    /// `times[p][e] = t_{g0}(e_p)`, `NEG_INFINITY` when `g₀ ⇏ e_p`.
+    times: Vec<Vec<f64>>,
+    /// Arg-max in-arc per `(period, event)` for path backtracking.
+    parent: Vec<Vec<Option<ArcId>>>,
+}
+
+/// Error returned by [`InitiatedSimulation::run`] when the initiating event
+/// is not repetitive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NotRepetitive(pub EventId);
+
+impl std::fmt::Display for NotRepetitive {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "initiating event {} is not repetitive", self.0)
+    }
+}
+
+impl std::error::Error for NotRepetitive {}
+
+impl InitiatedSimulation {
+    /// Runs the `origin₀`-initiated simulation over `periods` periods.
+    ///
+    /// Within the returned simulation, instance indices align with the
+    /// global unfolding: `time(e, p)` is `t_{g0}(e_p)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotRepetitive`] when `origin` is a prefix event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `periods == 0`.
+    pub fn run(
+        sg: &SignalGraph,
+        origin: EventId,
+        periods: u32,
+    ) -> Result<Self, NotRepetitive> {
+        let structure = CyclicStructure::new(sg);
+        Self::run_with(sg, &structure, origin, periods, true)
+    }
+
+    /// Shared-structure variant: the cycle-time algorithm builds one
+    /// [`CyclicStructure`] and runs all `b` border simulations over it,
+    /// tracking parents only for the winning re-run.
+    pub(crate) fn run_with(
+        sg: &SignalGraph,
+        structure: &CyclicStructure,
+        origin: EventId,
+        periods: u32,
+        track_parents: bool,
+    ) -> Result<Self, NotRepetitive> {
+        assert!(periods >= 1, "simulation needs at least one period");
+        if !sg.is_repetitive(origin) {
+            return Err(NotRepetitive(origin));
+        }
+        let n = sg.event_count();
+        let p_total = periods as usize + 1; // instance indices 0..=periods
+        let mut times = vec![vec![f64::NEG_INFINITY; n]; p_total];
+        let mut parent: Vec<Vec<Option<ArcId>>> = if track_parents {
+            vec![vec![None; n]; p_total]
+        } else {
+            Vec::new()
+        };
+        times[0][origin.index()] = 0.0;
+
+        #[allow(clippy::needless_range_loop)] // p drives split_at_mut and parent rows
+        for p in 0..p_total {
+            let (before, current) = times.split_at_mut(p);
+            let prev: Option<&[f64]> = before.last().map(Vec::as_slice);
+            let row = &mut current[0];
+            for &ev in &structure.order {
+                if p == 0 && ev == origin {
+                    continue; // t_g(g) = 0 by definition; no in-arc applies
+                }
+                let mut best = f64::NEG_INFINITY;
+                let mut best_arc = None;
+                for ia in structure.in_arcs(ev) {
+                    let src_t = if ia.marked {
+                        match prev {
+                            Some(prev_row) => prev_row[ia.src as usize],
+                            None => continue, // p == 0: token enables for free
+                        }
+                    } else {
+                        row[ia.src as usize]
+                    };
+                    if src_t == f64::NEG_INFINITY {
+                        continue;
+                    }
+                    let cand = src_t + ia.delay;
+                    if cand > best {
+                        best = cand;
+                        best_arc = Some(ia.arc);
+                    }
+                }
+                row[ev.index()] = best;
+                if track_parents {
+                    parent[p][ev.index()] = best_arc;
+                }
+            }
+        }
+
+        Ok(InitiatedSimulation {
+            origin,
+            periods,
+            times,
+            parent,
+        })
+    }
+
+    /// The initiating event `g`.
+    pub fn origin(&self) -> EventId {
+        self.origin
+    }
+
+    /// Number of periods simulated (instances `0..=periods` are available).
+    pub fn periods(&self) -> u32 {
+        self.periods
+    }
+
+    /// `t_{g0}(e_p)`, or `None` when `g₀ ⇏ e_p` (the paper reports such
+    /// entries as 0; see [`time_or_zero`](Self::time_or_zero)).
+    pub fn time(&self, e: EventId, instance: u32) -> Option<f64> {
+        self.times
+            .get(instance as usize)
+            .map(|row| row[e.index()])
+            .filter(|t| *t > f64::NEG_INFINITY)
+    }
+
+    /// `t_{g0}(e_p)` with the paper's convention: events not reached from
+    /// `g₀` are assigned occurrence time 0.
+    pub fn time_or_zero(&self, e: EventId, instance: u32) -> f64 {
+        self.time(e, instance).unwrap_or(0.0)
+    }
+
+    /// Average occurrence distance of the initiating event,
+    /// `δ_{g0}(g_i) = t_{g0}(g_i) / i` for `i > 0`.
+    ///
+    /// Returns `None` when `g_i` is not reachable from `g₀` (possible when
+    /// every cycle through `g` spans several periods) or `i` is out of
+    /// range.
+    pub fn average_distance(&self, i: u32) -> Option<f64> {
+        if i == 0 {
+            return None;
+        }
+        self.time(self.origin, i).map(|t| t / i as f64)
+    }
+
+    /// All defined `δ_{g0}(g_i)` for `0 < i <= periods`, as `(i, t, δ)`.
+    pub fn distance_series(&self) -> Vec<(u32, f64, f64)> {
+        (1..=self.periods)
+            .filter_map(|i| {
+                self.time(self.origin, i)
+                    .map(|t| (i, t, t / i as f64))
+            })
+            .collect()
+    }
+
+    /// Backtracks the longest path from `g₀` to `e_p` through the arg-max
+    /// parent arcs (Proposition 1), returning the Signal Graph arcs of the
+    /// path in forward order.
+    ///
+    /// Returns `None` when `e_p` is not reachable from `g₀` (or when the
+    /// simulation was run without parent tracking).
+    pub fn backtrack_in(&self, sg: &SignalGraph, e: EventId, instance: u32) -> Option<Vec<ArcId>> {
+        if self.parent.is_empty() {
+            return None;
+        }
+        self.time(e, instance)?;
+        let mut arcs = Vec::new();
+        let mut ev = e;
+        let mut p = instance as usize;
+        while let Some(a) = self.parent[p][ev.index()] {
+            arcs.push(a);
+            let arc = sg.arc(a);
+            if arc.is_marked() {
+                p -= 1;
+            }
+            ev = arc.src();
+        }
+        debug_assert!(
+            ev == self.origin && p == 0,
+            "backtrack must terminate at the origin instance"
+        );
+        arcs.reverse();
+        Some(arcs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SignalGraph;
+
+    fn figure2() -> SignalGraph {
+        let mut b = SignalGraph::builder();
+        let e = b.initial_event("e-");
+        let f = b.finite_event("f-");
+        let ap = b.event("a+");
+        let bp = b.event("b+");
+        let cp = b.event("c+");
+        let am = b.event("a-");
+        let bm = b.event("b-");
+        let cm = b.event("c-");
+        b.arc(e, f, 3.0);
+        b.disengageable_arc(e, ap, 2.0);
+        b.disengageable_arc(f, bp, 1.0);
+        b.arc(ap, cp, 3.0);
+        b.arc(bp, cp, 2.0);
+        b.arc(cp, am, 2.0);
+        b.arc(cp, bm, 1.0);
+        b.arc(am, cm, 3.0);
+        b.arc(bm, cm, 2.0);
+        b.marked_arc(cm, ap, 2.0);
+        b.marked_arc(cm, bp, 1.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn example4_b_initiated() {
+        // Paper Example 4: t_{b+0}: b+0 c+0 a-0 b-0 c-0 a+1 b+1 c+1
+        //                         =  0   2   4   3   7   9   8   12
+        let sg = figure2();
+        let bp = sg.event_by_label("b+").unwrap();
+        let sim = InitiatedSimulation::run(&sg, bp, 2).unwrap();
+        let t = |l: &str, i: u32| sim.time_or_zero(sg.event_by_label(l).unwrap(), i);
+        assert_eq!(t("b+", 0), 0.0);
+        assert_eq!(t("c+", 0), 2.0);
+        assert_eq!(t("a-", 0), 4.0);
+        assert_eq!(t("b-", 0), 3.0);
+        assert_eq!(t("c-", 0), 7.0);
+        assert_eq!(t("a+", 1), 9.0);
+        assert_eq!(t("b+", 1), 8.0);
+        assert_eq!(t("c+", 1), 12.0);
+        // events concurrent with or preceding b+0 read as zero
+        assert_eq!(t("e-", 0), 0.0);
+        assert_eq!(t("f-", 0), 0.0);
+        assert_eq!(t("a+", 0), 0.0);
+        assert_eq!(sim.time(sg.event_by_label("a+").unwrap(), 0), None);
+    }
+
+    #[test]
+    fn section8c_a_initiated_table() {
+        // Section VIII.C: t_{a+0}: a+0 b+0 c+0 a-0 b-0 c-0 a+1 b+1 .. c-1 a+2 b+2
+        //                        =  0   0   3   5   4   8   10  9  .. 18  20  19
+        let sg = figure2();
+        let ap = sg.event_by_label("a+").unwrap();
+        let sim = InitiatedSimulation::run(&sg, ap, 2).unwrap();
+        let t = |l: &str, i: u32| sim.time_or_zero(sg.event_by_label(l).unwrap(), i);
+        assert_eq!(t("a+", 0), 0.0);
+        assert_eq!(t("b+", 0), 0.0);
+        assert_eq!(t("c+", 0), 3.0);
+        assert_eq!(t("a-", 0), 5.0);
+        assert_eq!(t("b-", 0), 4.0);
+        assert_eq!(t("c-", 0), 8.0);
+        assert_eq!(t("a+", 1), 10.0);
+        assert_eq!(t("b+", 1), 9.0);
+        assert_eq!(t("c-", 1), 18.0);
+        assert_eq!(t("a+", 2), 20.0);
+        assert_eq!(t("b+", 2), 19.0);
+        // δ_{a+0}(a+1) = 10, δ_{a+0}(a+2) = 10
+        assert_eq!(sim.average_distance(1), Some(10.0));
+        assert_eq!(sim.average_distance(2), Some(10.0));
+    }
+
+    #[test]
+    fn section8c_b_initiated_distances() {
+        // Section VIII.C: δ_{b+0}(b+1) = 8, δ_{b+0}(b+2) = 9.
+        let sg = figure2();
+        let bp = sg.event_by_label("b+").unwrap();
+        let sim = InitiatedSimulation::run(&sg, bp, 2).unwrap();
+        assert_eq!(sim.average_distance(1), Some(8.0));
+        assert_eq!(sim.average_distance(2), Some(9.0));
+    }
+
+    #[test]
+    fn infinite_b_initiated_approaches_cycle_time_from_below() {
+        // Section VIII.C: max{8, 9, 9⅓, 9½, 9⅗, ...} → 10, never reaching it.
+        let sg = figure2();
+        let bp = sg.event_by_label("b+").unwrap();
+        let sim = InitiatedSimulation::run(&sg, bp, 40).unwrap();
+        let expect = [8.0, 9.0, 9.0 + 1.0 / 3.0, 9.5, 9.6];
+        for (i, want) in expect.iter().enumerate() {
+            let got = sim.average_distance(i as u32 + 1).unwrap();
+            assert!((got - want).abs() < 1e-12, "i={} {} != {}", i + 1, got, want);
+        }
+        for i in 1..=40 {
+            assert!(sim.average_distance(i).unwrap() < 10.0, "Prop 8: strictly below");
+        }
+        assert!(sim.average_distance(40).unwrap() > 9.9);
+    }
+
+    #[test]
+    fn backtrack_recovers_critical_walk() {
+        let sg = figure2();
+        let ap = sg.event_by_label("a+").unwrap();
+        let sim = InitiatedSimulation::run(&sg, ap, 2).unwrap();
+        let path = sim.backtrack_in(&sg, ap, 1).unwrap();
+        assert_eq!(sg.path_length(&path), 10.0);
+        assert_eq!(sg.occurrence_period(&path), 1);
+        // The walk is a+ -> c+ -> a- -> c- -> a+ (the true critical cycle).
+        assert_eq!(
+            sg.display_path(&path),
+            "a+ -3-> c+ -2-> a- -3-> c- -2*-> a+"
+        );
+    }
+
+    #[test]
+    fn distance_series_shape() {
+        let sg = figure2();
+        let ap = sg.event_by_label("a+").unwrap();
+        let sim = InitiatedSimulation::run(&sg, ap, 2).unwrap();
+        let series = sim.distance_series();
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0], (1, 10.0, 10.0));
+        assert_eq!(series[1], (2, 20.0, 10.0));
+    }
+
+    #[test]
+    fn prefix_origin_rejected() {
+        let sg = figure2();
+        let e = sg.event_by_label("e-").unwrap();
+        assert_eq!(
+            InitiatedSimulation::run(&sg, e, 2).unwrap_err(),
+            NotRepetitive(e)
+        );
+    }
+}

@@ -1,0 +1,348 @@
+//! Timing simulation `t(·)` of an unfolded Timed Signal Graph (Section IV.A).
+//!
+//! ```text
+//! t(f) = 0                                if f ∈ I_u
+//! t(f) = max { t(e) + δ | e →δ f }        otherwise
+//! ```
+//!
+//! where `I_u` — the initial events of the unfolding — are the events of `I`
+//! plus the repetitive events whose in-arcs are all initially marked.
+//!
+//! The simulation never materialises the (conceptually infinite) unfolding:
+//! it evaluates period-synchronously in a topological order of the
+//! unmarked-arc sub-DAG, feeding marked arcs from period `p` into period
+//! `p+1`. For acyclic graphs this degenerates to classical PERT analysis.
+
+use tsg_graph::topo;
+
+use crate::arc::ArcId;
+use crate::event::EventId;
+use crate::graph::SignalGraph;
+
+/// Result of a timing simulation over a fixed number of periods.
+///
+/// # Examples
+///
+/// Example 3 of the paper (first occurrence times of the Figure 2c graph)
+/// is reproduced in the crate's tests; a minimal use:
+///
+/// ```
+/// use tsg_core::SignalGraph;
+/// use tsg_core::analysis::sim::TimingSimulation;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = SignalGraph::builder();
+/// let xp = b.event("x+");
+/// let xm = b.event("x-");
+/// b.arc(xp, xm, 3.0);
+/// b.marked_arc(xm, xp, 2.0);
+/// let sg = b.build()?;
+///
+/// let sim = TimingSimulation::run(&sg, 3);
+/// assert_eq!(sim.time(xp, 0), Some(0.0));
+/// assert_eq!(sim.time(xm, 0), Some(3.0));
+/// assert_eq!(sim.time(xp, 1), Some(5.0));
+/// assert_eq!(sim.time(xm, 2), Some(13.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct TimingSimulation {
+    /// `prefix[e]` is the occurrence time of prefix event `e` (`None` for
+    /// repetitive events).
+    prefix: Vec<Option<f64>>,
+    /// `times[p][e]` is `t(e_p)` for repetitive `e` (`f64::NAN` for prefix
+    /// events, which only live in `prefix`).
+    times: Vec<Vec<f64>>,
+    periods: u32,
+}
+
+impl TimingSimulation {
+    /// Runs the timing simulation of `sg` over `periods` periods
+    /// (`periods >= 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `periods == 0`.
+    pub fn run(sg: &SignalGraph, periods: u32) -> Self {
+        assert!(periods >= 1, "simulation needs at least one period");
+        let n = sg.event_count();
+
+        // Prefix events first: they form a DAG by validation.
+        let mut prefix: Vec<Option<f64>> = vec![None; n];
+        let prefix_order = topo::topological_order_masked(sg.digraph(), |e| {
+            let arc = sg.arc(ArcId(e.0));
+            !sg.is_repetitive(arc.src()) && !sg.is_repetitive(arc.dst())
+        })
+        .expect("validated prefix subgraph is acyclic");
+        for node in prefix_order {
+            let ev = EventId(node.0);
+            if sg.is_repetitive(ev) {
+                continue;
+            }
+            let mut t: f64 = 0.0;
+            for a in sg.in_arcs(ev) {
+                let arc = sg.arc(a);
+                let src_t = prefix[arc.src().index()]
+                    .expect("prefix causes are topologically earlier");
+                t = t.max(src_t + arc.delay().get());
+            }
+            prefix[ev.index()] = Some(t);
+        }
+
+        // Topological order of repetitive events over unmarked arcs.
+        let rep_order: Vec<EventId> = topo::topological_order_masked(sg.digraph(), |e| {
+            let arc = sg.arc(ArcId(e.0));
+            sg.is_repetitive(arc.src()) && sg.is_repetitive(arc.dst()) && !arc.is_marked()
+        })
+        .expect("validated unmarked subgraph is acyclic")
+        .into_iter()
+        .map(|n| EventId(n.0))
+        .filter(|&e| sg.is_repetitive(e))
+        .collect();
+
+        let mut times: Vec<Vec<f64>> = vec![vec![f64::NAN; n]; periods as usize];
+        for p in 0..periods as usize {
+            for &ev in &rep_order {
+                let mut t: f64 = if p == 0 { 0.0 } else { f64::NEG_INFINITY };
+                for a in sg.in_arcs(ev) {
+                    let arc = sg.arc(a);
+                    let src = arc.src();
+                    let delta = arc.delay().get();
+                    let cand = if arc.is_disengageable() {
+                        if p == 0 {
+                            prefix[src.index()].expect("disengageable source is prefix") + delta
+                        } else {
+                            continue;
+                        }
+                    } else if arc.is_marked() {
+                        if p == 0 {
+                            continue; // the initial token enables for free
+                        }
+                        times[p - 1][src.index()] + delta
+                    } else {
+                        times[p][src.index()] + delta
+                    };
+                    t = t.max(cand);
+                }
+                debug_assert!(t.is_finite(), "repetitive event must be constrained");
+                times[p][ev.index()] = t;
+            }
+        }
+
+        TimingSimulation {
+            prefix,
+            times,
+            periods,
+        }
+    }
+
+    /// Number of simulated periods.
+    pub fn periods(&self) -> u32 {
+        self.periods
+    }
+
+    /// Occurrence time `t(e_i)`.
+    ///
+    /// Prefix events only have instance 0. Returns `None` for instances
+    /// outside the simulated horizon.
+    pub fn time(&self, e: EventId, instance: u32) -> Option<f64> {
+        if let Some(t) = self.prefix.get(e.index()).copied().flatten() {
+            return (instance == 0).then_some(t);
+        }
+        self.times
+            .get(instance as usize)
+            .map(|row| row[e.index()])
+            .filter(|t| t.is_finite())
+    }
+
+    /// Average occurrence distance `δ(e_i) = t(e_i) / (i + 1)`
+    /// (Section IV.C).
+    pub fn average_distance(&self, e: EventId, instance: u32) -> Option<f64> {
+        self.time(e, instance).map(|t| t / (instance + 1) as f64)
+    }
+
+    /// Occurrence distance `t(e_j) − t(e_i)` between two instantiations of
+    /// the same event.
+    pub fn occurrence_distance(&self, e: EventId, i: u32, j: u32) -> Option<f64> {
+        Some(self.time(e, j)? - self.time(e, i)?)
+    }
+
+    /// The latest occurrence time in the simulation (for diagram scaling).
+    pub fn horizon(&self) -> f64 {
+        let pre = self
+            .prefix
+            .iter()
+            .flatten()
+            .copied()
+            .fold(0.0f64, f64::max);
+        let cyc = self
+            .times
+            .iter()
+            .flat_map(|row| row.iter())
+            .copied()
+            .filter(|t| t.is_finite())
+            .fold(0.0f64, f64::max);
+        pre.max(cyc)
+    }
+
+    /// All `(event, instance, time)` triples, sorted by time then event id —
+    /// the order a timing diagram or trace table lists them in.
+    pub fn chronological(&self, sg: &SignalGraph) -> Vec<(EventId, u32, f64)> {
+        let mut out = Vec::new();
+        for e in sg.events() {
+            if let Some(t) = self.prefix[e.index()] {
+                out.push((e, 0, t));
+            } else {
+                for p in 0..self.periods {
+                    if let Some(t) = self.time(e, p) {
+                        out.push((e, p, t));
+                    }
+                }
+            }
+        }
+        out.sort_by(|a, b| a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SignalGraph;
+
+    /// The paper's Figure 2c graph (delays recovered from its own tables).
+    fn figure2() -> SignalGraph {
+        let mut b = SignalGraph::builder();
+        let e = b.initial_event("e-");
+        let f = b.finite_event("f-");
+        let ap = b.event("a+");
+        let bp = b.event("b+");
+        let cp = b.event("c+");
+        let am = b.event("a-");
+        let bm = b.event("b-");
+        let cm = b.event("c-");
+        b.arc(e, f, 3.0);
+        b.disengageable_arc(e, ap, 2.0);
+        b.disengageable_arc(f, bp, 1.0);
+        b.arc(ap, cp, 3.0);
+        b.arc(bp, cp, 2.0);
+        b.arc(cp, am, 2.0);
+        b.arc(cp, bm, 1.0);
+        b.arc(am, cm, 3.0);
+        b.arc(bm, cm, 2.0);
+        b.marked_arc(cm, ap, 2.0);
+        b.marked_arc(cm, bp, 1.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn example3_occurrence_times() {
+        // Paper Example 3: t(e-0 f-0 a+0 b+0 c+0 a-0 b-0 c-0 a+1 b+1 c+1)
+        //                 = 0   3   2   4   6   8   7   11  13  12  16
+        let sg = figure2();
+        let sim = TimingSimulation::run(&sg, 2);
+        let t = |label: &str, i: u32| sim.time(sg.event_by_label(label).unwrap(), i).unwrap();
+        assert_eq!(t("e-", 0), 0.0);
+        assert_eq!(t("f-", 0), 3.0);
+        assert_eq!(t("a+", 0), 2.0);
+        assert_eq!(t("b+", 0), 4.0);
+        assert_eq!(t("c+", 0), 6.0);
+        assert_eq!(t("a-", 0), 8.0);
+        assert_eq!(t("b-", 0), 7.0);
+        assert_eq!(t("c-", 0), 11.0);
+        assert_eq!(t("a+", 1), 13.0);
+        assert_eq!(t("b+", 1), 12.0);
+        assert_eq!(t("c+", 1), 16.0);
+    }
+
+    #[test]
+    fn section2_average_distance_sequence() {
+        // Section II: averages for a+ are 2, 13/2, 23/3, 33/4, 43/5, 53/6...
+        let sg = figure2();
+        let sim = TimingSimulation::run(&sg, 6);
+        let ap = sg.event_by_label("a+").unwrap();
+        let expect = [2.0, 13.0 / 2.0, 23.0 / 3.0, 33.0 / 4.0, 43.0 / 5.0, 53.0 / 6.0];
+        for (i, &want) in expect.iter().enumerate() {
+            let got = sim.average_distance(ap, i as u32).unwrap();
+            assert!((got - want).abs() < 1e-12, "i={i}: {got} != {want}");
+        }
+    }
+
+    #[test]
+    fn occurrence_distance_first_pair_is_11() {
+        // Section II: distance between a+0 and a+1 is 11.
+        let sg = figure2();
+        let sim = TimingSimulation::run(&sg, 2);
+        let ap = sg.event_by_label("a+").unwrap();
+        assert_eq!(sim.occurrence_distance(ap, 0, 1), Some(11.0));
+    }
+
+    #[test]
+    fn steady_state_distance_is_cycle_time() {
+        // After the initial period the oscillation stabilises at 10.
+        let sg = figure2();
+        let sim = TimingSimulation::run(&sg, 8);
+        let ap = sg.event_by_label("a+").unwrap();
+        for i in 1..7 {
+            assert_eq!(sim.occurrence_distance(ap, i, i + 1), Some(10.0));
+        }
+    }
+
+    #[test]
+    fn prefix_events_have_single_instance() {
+        let sg = figure2();
+        let sim = TimingSimulation::run(&sg, 2);
+        let e = sg.event_by_label("e-").unwrap();
+        assert_eq!(sim.time(e, 0), Some(0.0));
+        assert_eq!(sim.time(e, 1), None);
+    }
+
+    #[test]
+    fn out_of_horizon_is_none() {
+        let sg = figure2();
+        let sim = TimingSimulation::run(&sg, 2);
+        let ap = sg.event_by_label("a+").unwrap();
+        assert_eq!(sim.time(ap, 2), None);
+    }
+
+    #[test]
+    fn horizon_is_max_time() {
+        // The last event of the second period is c-_1 = 21 (Example 3's
+        // table stops earlier, at c+_1 = 16).
+        let sg = figure2();
+        let sim = TimingSimulation::run(&sg, 2);
+        assert_eq!(sim.horizon(), 21.0);
+    }
+
+    #[test]
+    fn chronological_order() {
+        let sg = figure2();
+        let sim = TimingSimulation::run(&sg, 1);
+        let order: Vec<String> = sim
+            .chronological(&sg)
+            .into_iter()
+            .map(|(e, i, _)| format!("{}_{}", sg.label(e), i))
+            .collect();
+        assert_eq!(
+            order,
+            vec!["e-_0", "a+_0", "f-_0", "b+_0", "c+_0", "b-_0", "a-_0", "c-_0"]
+        );
+    }
+
+    #[test]
+    fn pure_prefix_graph_is_pert() {
+        let mut b = SignalGraph::builder();
+        let s = b.initial_event("start");
+        let m1 = b.finite_event("mid1");
+        let m2 = b.finite_event("mid2");
+        let end = b.finite_event("end");
+        b.arc(s, m1, 3.0);
+        b.arc(s, m2, 5.0);
+        b.arc(m1, end, 4.0);
+        b.arc(m2, end, 1.0);
+        let sg = b.build().unwrap();
+        let sim = TimingSimulation::run(&sg, 1);
+        assert_eq!(sim.time(end, 0), Some(7.0)); // max(3+4, 5+1)
+    }
+}

@@ -1,0 +1,155 @@
+//! Precomputed evaluation structure shared by the timing simulations.
+//!
+//! The cycle-time algorithm runs `b` event-initiated simulations over the
+//! same graph; rebuilding the topological order and chasing `Arc` objects
+//! per simulation dominates the constant factor. [`CyclicStructure`]
+//! flattens the cyclic part once — repetitive events in unmarked-arc
+//! topological order, with a CSR table of in-arcs — and every simulation
+//! then runs over plain arrays.
+
+use tsg_graph::topo;
+
+use crate::arc::ArcId;
+use crate::event::EventId;
+use crate::graph::SignalGraph;
+
+/// One in-arc of a repetitive event, flattened.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct InArc {
+    /// Source event id (repetitive).
+    pub src: u32,
+    /// Arc delay.
+    pub delay: f64,
+    /// Initially marked (crosses the period border).
+    pub marked: bool,
+    /// The original arc (for backtracking).
+    pub arc: ArcId,
+}
+
+/// Flattened cyclic part of a Signal Graph.
+#[derive(Clone, Debug)]
+pub(crate) struct CyclicStructure {
+    /// Repetitive events in topological order of the unmarked subgraph.
+    pub order: Vec<EventId>,
+    /// CSR offsets: in-arcs of event `e` are `entries[offsets[e]..offsets[e+1]]`.
+    pub offsets: Vec<u32>,
+    /// Flattened in-arcs (repetitive→repetitive, non-disengageable only).
+    pub entries: Vec<InArc>,
+}
+
+impl CyclicStructure {
+    /// Builds the structure; `O(n + m)`.
+    pub fn new(sg: &SignalGraph) -> Self {
+        let order: Vec<EventId> = topo::topological_order_masked(sg.digraph(), |e| {
+            let arc = sg.arc(ArcId(e.0));
+            sg.is_repetitive(arc.src()) && sg.is_repetitive(arc.dst()) && !arc.is_marked()
+        })
+        .expect("validated unmarked subgraph is acyclic")
+        .into_iter()
+        .map(|n| EventId(n.0))
+        .filter(|&e| sg.is_repetitive(e))
+        .collect();
+
+        let n = sg.event_count();
+        let mut offsets = vec![0u32; n + 1];
+        for a in sg.arc_ids() {
+            let arc = sg.arc(a);
+            if sg.is_repetitive(arc.src())
+                && sg.is_repetitive(arc.dst())
+                && !arc.is_disengageable()
+            {
+                offsets[arc.dst().index() + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut entries = vec![
+            InArc {
+                src: 0,
+                delay: 0.0,
+                marked: false,
+                arc: ArcId(0),
+            };
+            *offsets.last().expect("offsets non-empty") as usize
+        ];
+        for a in sg.arc_ids() {
+            let arc = sg.arc(a);
+            if sg.is_repetitive(arc.src())
+                && sg.is_repetitive(arc.dst())
+                && !arc.is_disengageable()
+            {
+                let slot = cursor[arc.dst().index()];
+                entries[slot as usize] = InArc {
+                    src: arc.src().0,
+                    delay: arc.delay().get(),
+                    marked: arc.is_marked(),
+                    arc: a,
+                };
+                cursor[arc.dst().index()] += 1;
+            }
+        }
+        CyclicStructure {
+            order,
+            offsets,
+            entries,
+        }
+    }
+
+    /// In-arcs of event `e`.
+    #[inline]
+    pub fn in_arcs(&self, e: EventId) -> &[InArc] {
+        &self.entries[self.offsets[e.index()] as usize..self.offsets[e.index() + 1] as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SignalGraph;
+
+    #[test]
+    fn csr_matches_graph() {
+        let mut b = SignalGraph::builder();
+        let i = b.initial_event("go");
+        let x = b.event("x+");
+        let y = b.event("y+");
+        b.disengageable_arc(i, x, 1.0);
+        b.arc(x, y, 2.0);
+        b.marked_arc(y, x, 3.0);
+        let sg = b.build().unwrap();
+        let s = CyclicStructure::new(&sg);
+        assert_eq!(s.order.len(), 2);
+        // x has one cyclic in-arc (marked, from y); the disengageable one
+        // is excluded.
+        let ins = s.in_arcs(x);
+        assert_eq!(ins.len(), 1);
+        assert!(ins[0].marked);
+        assert_eq!(ins[0].delay, 3.0);
+        let ins_y = s.in_arcs(y);
+        assert_eq!(ins_y.len(), 1);
+        assert!(!ins_y[0].marked);
+    }
+
+    #[test]
+    fn order_respects_unmarked_arcs() {
+        let sg = {
+            let mut b = SignalGraph::builder();
+            let a = b.event("a");
+            let c = b.event("b");
+            let d = b.event("c");
+            b.arc(a, c, 1.0);
+            b.arc(c, d, 1.0);
+            b.marked_arc(d, a, 1.0);
+            b.build().unwrap()
+        };
+        let s = CyclicStructure::new(&sg);
+        let pos = |label: &str| {
+            let e = sg.event_by_label(label).unwrap();
+            s.order.iter().position(|&x| x == e).unwrap()
+        };
+        assert!(pos("a") < pos("b"));
+        assert!(pos("b") < pos("c"));
+    }
+}

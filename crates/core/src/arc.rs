@@ -1,0 +1,107 @@
+//! Arcs of a Timed Signal Graph: delay, initial marking, disengageability.
+
+use std::fmt;
+
+use crate::event::EventId;
+use crate::time::Delay;
+
+/// Identifier of an arc within a [`SignalGraph`](crate::SignalGraph).
+///
+/// Ids are dense indices assigned in insertion order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ArcId(pub u32);
+
+impl ArcId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ArcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "arc{}", self.0)
+    }
+}
+
+/// An arc of a Timed Signal Graph.
+///
+/// Combines the precedence relation `→`, the initial marking function `M`
+/// (boolean, since the graphs are initially safe) and the disengageable-arc
+/// set `O` of the paper's Section III with the delay label `δ` of Section
+/// III.C.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Arc {
+    src: EventId,
+    dst: EventId,
+    delay: Delay,
+    marked: bool,
+    disengageable: bool,
+}
+
+impl Arc {
+    pub(crate) fn new(
+        src: EventId,
+        dst: EventId,
+        delay: Delay,
+        marked: bool,
+        disengageable: bool,
+    ) -> Self {
+        Arc {
+            src,
+            dst,
+            delay,
+            marked,
+            disengageable,
+        }
+    }
+
+    /// Source event (the direct predecessor).
+    pub fn src(&self) -> EventId {
+        self.src
+    }
+
+    /// Destination event.
+    pub fn dst(&self) -> EventId {
+        self.dst
+    }
+
+    /// The delay `δ` between the occurrence of the source and the earliest
+    /// occurrence of the destination along this arc.
+    pub fn delay(&self) -> Delay {
+        self.delay
+    }
+
+    /// `true` when the arc carries an initial token (drawn `•` in the paper).
+    pub fn is_marked(&self) -> bool {
+        self.marked
+    }
+
+    /// `true` when the arc is disengageable: it constrains the execution
+    /// exactly once and then disappears (drawn crossed in the paper).
+    pub fn is_disengageable(&self) -> bool {
+        self.disengageable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let a = Arc::new(EventId(0), EventId(1), Delay::new(3.0).unwrap(), true, false);
+        assert_eq!(a.src(), EventId(0));
+        assert_eq!(a.dst(), EventId(1));
+        assert_eq!(a.delay().get(), 3.0);
+        assert!(a.is_marked());
+        assert!(!a.is_disengageable());
+    }
+
+    #[test]
+    fn arc_id_display() {
+        assert_eq!(ArcId(4).to_string(), "arc4");
+        assert_eq!(ArcId(4).index(), 4);
+    }
+}

@@ -1,0 +1,86 @@
+//! Graphviz (DOT) export of Signal Graphs.
+
+use std::fmt::Write as _;
+
+use crate::event::EventKind;
+use crate::graph::SignalGraph;
+
+/// Renders `sg` in Graphviz DOT syntax.
+///
+/// Repetitive events are ellipses, prefix events are boxes; marked arcs are
+/// decorated with a dot label (`●`), disengageable arcs are drawn dashed —
+/// mirroring the paper's Figure 2 conventions.
+///
+/// # Examples
+///
+/// ```
+/// use tsg_core::SignalGraph;
+/// use tsg_core::dot::to_dot;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = SignalGraph::builder();
+/// let xp = b.event("x+");
+/// let xm = b.event("x-");
+/// b.arc(xp, xm, 1.0);
+/// b.marked_arc(xm, xp, 1.0);
+/// let sg = b.build()?;
+/// let dot = to_dot(&sg, "osc");
+/// assert!(dot.starts_with("digraph osc"));
+/// assert!(dot.contains("\"x+\" [shape=ellipse]"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_dot(sg: &SignalGraph, name: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph {name} {{");
+    let _ = writeln!(s, "  rankdir=TB;");
+    for e in sg.events() {
+        let shape = match sg.kind(e) {
+            EventKind::Repetitive => "ellipse",
+            EventKind::Initial | EventKind::Finite => "box",
+        };
+        let _ = writeln!(s, "  \"{}\" [shape={}];", sg.label(e), shape);
+    }
+    for a in sg.arc_ids() {
+        let arc = sg.arc(a);
+        let mut attrs = vec![format!("label=\"{}\"", arc.delay())];
+        if arc.is_marked() {
+            attrs.push("taillabel=\"&#9679;\"".to_owned());
+        }
+        if arc.is_disengageable() {
+            attrs.push("style=dashed".to_owned());
+        }
+        let _ = writeln!(
+            s,
+            "  \"{}\" -> \"{}\" [{}];",
+            sg.label(arc.src()),
+            sg.label(arc.dst()),
+            attrs.join(", ")
+        );
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SignalGraph;
+
+    #[test]
+    fn dot_contains_all_arcs() {
+        let mut b = SignalGraph::builder();
+        let i = b.initial_event("go");
+        let xp = b.event("x+");
+        let xm = b.event("x-");
+        b.disengageable_arc(i, xp, 0.5);
+        b.arc(xp, xm, 1.0);
+        b.marked_arc(xm, xp, 1.0);
+        let sg = b.build().unwrap();
+        let dot = to_dot(&sg, "t");
+        assert!(dot.contains("\"go\" [shape=box]"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("taillabel"));
+        assert_eq!(dot.matches(" -> ").count(), 3);
+    }
+}

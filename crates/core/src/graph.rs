@@ -1,0 +1,343 @@
+//! The Timed Signal Graph: events, arcs, and structural queries.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use tsg_graph::{DiGraph, EdgeId, NodeId};
+
+use crate::arc::{Arc, ArcId};
+use crate::builder::SignalGraphBuilder;
+use crate::event::{EventId, EventKind, EventLabel};
+
+/// A Timed Signal Graph (Sections III.A and III.C of the paper).
+///
+/// A Signal Graph is the tuple `⟨A, I, →, M, O⟩`: events `A` (split here
+/// into repetitive, initial and finite [`EventKind`]s), initial events `I`,
+/// the precedence relation `→` with its initial marking `M` and the set of
+/// disengageable arcs `O`. A *Timed* Signal Graph additionally labels every
+/// arc with a delay `δ ∈ [0, ∞)`.
+///
+/// Instances are created through [`SignalGraph::builder`], which validates
+/// the structural restrictions the paper imposes (initial safety, liveness
+/// of the cyclic part, well-formedness of the prefix). A successfully built
+/// graph therefore always satisfies:
+///
+/// * the unmarked repetitive subgraph is acyclic (every cycle carries an
+///   initial token — liveness),
+/// * the repetitive subgraph is strongly connected,
+/// * disengageable arcs lead from prefix events to repetitive events and
+///   every prefix→repetitive arc is disengageable (well-formedness),
+/// * marked arcs connect repetitive events only,
+/// * initial events have no causes.
+///
+/// # Examples
+///
+/// Build the two-event oscillator `x+ ⇄ x-` with unit delays:
+///
+/// ```
+/// use tsg_core::SignalGraph;
+///
+/// let mut b = SignalGraph::builder();
+/// let xp = b.event("x+");
+/// let xm = b.event("x-");
+/// b.arc(xp, xm, 1.0);
+/// b.marked_arc(xm, xp, 1.0);
+/// let sg = b.build()?;
+/// assert_eq!(sg.event_count(), 2);
+/// assert_eq!(sg.border_events(), vec![xp]);
+/// # Ok::<(), tsg_core::validate::ValidationError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct SignalGraph {
+    pub(crate) events: Vec<EventNode>,
+    pub(crate) arcs: Vec<Arc>,
+    pub(crate) graph: DiGraph,
+    pub(crate) by_label: HashMap<String, EventId>,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct EventNode {
+    pub(crate) label: EventLabel,
+    pub(crate) kind: EventKind,
+}
+
+/// Alias emphasising that delays are part of the model, matching the
+/// paper's terminology.
+pub type TimedSignalGraph = SignalGraph;
+
+/// The repetitive (cyclic) subgraph of a [`SignalGraph`] with local dense
+/// ids, produced by [`SignalGraph::repetitive_view`].
+///
+/// Local node `i` corresponds to `events[i]`; local edge `j` corresponds to
+/// `arcs[j]` of the original graph.
+#[derive(Clone, Debug)]
+pub struct RepetitiveView {
+    /// The induced subgraph (nodes/edges use local ids).
+    pub graph: DiGraph,
+    /// Local node index → original event.
+    pub events: Vec<EventId>,
+    /// Local edge index → original arc.
+    pub arcs: Vec<ArcId>,
+    to_local: Vec<usize>,
+}
+
+impl RepetitiveView {
+    /// The local node id of `e`, if `e` is repetitive.
+    pub fn local(&self, e: EventId) -> Option<NodeId> {
+        match self.to_local.get(e.index()).copied() {
+            Some(usize::MAX) | None => None,
+            Some(i) => Some(NodeId(i as u32)),
+        }
+    }
+}
+
+impl SignalGraph {
+    /// Starts building a graph.
+    pub fn builder() -> SignalGraphBuilder {
+        SignalGraphBuilder::new()
+    }
+
+    /// Number of events (`|A|`).
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Number of arcs (`m` in the complexity analysis).
+    pub fn arc_count(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Number of repetitive events (`|A_r|`).
+    pub fn repetitive_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.kind == EventKind::Repetitive)
+            .count()
+    }
+
+    /// The label of `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is not an event of this graph.
+    pub fn label(&self, e: EventId) -> &EventLabel {
+        &self.events[e.index()].label
+    }
+
+    /// The kind of `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is not an event of this graph.
+    pub fn kind(&self, e: EventId) -> EventKind {
+        self.events[e.index()].kind
+    }
+
+    /// `true` when `e` is repetitive (`e ∈ A_r`).
+    pub fn is_repetitive(&self, e: EventId) -> bool {
+        self.kind(e) == EventKind::Repetitive
+    }
+
+    /// Looks up an event by its display label (e.g. `"a+"`).
+    pub fn event_by_label(&self, label: &str) -> Option<EventId> {
+        self.by_label.get(label).copied()
+    }
+
+    /// Iterator over all event ids in insertion order.
+    pub fn events(&self) -> impl ExactSizeIterator<Item = EventId> + '_ {
+        (0..self.events.len() as u32).map(EventId)
+    }
+
+    /// Iterator over the repetitive events.
+    pub fn repetitive_events(&self) -> impl Iterator<Item = EventId> + '_ {
+        self.events().filter(|&e| self.is_repetitive(e))
+    }
+
+    /// Iterator over the prefix (initial + finite) events.
+    pub fn prefix_events(&self) -> impl Iterator<Item = EventId> + '_ {
+        self.events().filter(|&e| !self.is_repetitive(e))
+    }
+
+    /// Iterator over all arc ids in insertion order.
+    pub fn arc_ids(&self) -> impl ExactSizeIterator<Item = ArcId> + '_ {
+        (0..self.arcs.len() as u32).map(ArcId)
+    }
+
+    /// The arc with id `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not an arc of this graph.
+    pub fn arc(&self, a: ArcId) -> &Arc {
+        &self.arcs[a.index()]
+    }
+
+    /// All arcs, indexed by [`ArcId`].
+    pub fn arcs(&self) -> &[Arc] {
+        &self.arcs
+    }
+
+    /// Arcs entering `e`.
+    pub fn in_arcs(&self, e: EventId) -> impl Iterator<Item = ArcId> + '_ {
+        self.graph
+            .in_edges(NodeId(e.0))
+            .iter()
+            .map(|&EdgeId(i)| ArcId(i))
+    }
+
+    /// Arcs leaving `e`.
+    pub fn out_arcs(&self, e: EventId) -> impl Iterator<Item = ArcId> + '_ {
+        self.graph
+            .out_edges(NodeId(e.0))
+            .iter()
+            .map(|&EdgeId(i)| ArcId(i))
+    }
+
+    /// The *border events*: repetitive events with at least one initially
+    /// marked in-arc (Section VI.A).
+    ///
+    /// The border set is a cut set of all cycles of a live Signal Graph —
+    /// every cycle carries a token, and the head of each marked arc is a
+    /// border event — so the cycle-time algorithm only initiates timing
+    /// simulations from these events.
+    pub fn border_events(&self) -> Vec<EventId> {
+        self.events()
+            .filter(|&e| {
+                self.is_repetitive(e) && self.in_arcs(e).any(|a| self.arc(a).is_marked())
+            })
+            .collect()
+    }
+
+    /// The underlying [`DiGraph`]: node `i` is event `i`, edge `j` is arc
+    /// `j`. Exposed so graph algorithms can run directly on the structure.
+    pub fn digraph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// Sum of the delays of `arcs`.
+    pub fn path_length(&self, arcs: &[ArcId]) -> f64 {
+        arcs.iter().map(|&a| self.arc(a).delay().get()).sum()
+    }
+
+    /// Number of marked arcs among `arcs` — for a cycle this is its
+    /// *occurrence period* `ε` (Section V.A).
+    pub fn occurrence_period(&self, arcs: &[ArcId]) -> u32 {
+        arcs.iter().filter(|&&a| self.arc(a).is_marked()).count() as u32
+    }
+
+    /// `true` when every delay is an exact integer (enables exact rational
+    /// cycle times).
+    pub fn has_integral_delays(&self) -> bool {
+        self.arcs.iter().all(|a| a.delay().is_integral())
+    }
+
+    /// Projects out the cyclic part: the subgraph induced by the repetitive
+    /// events. All cycles of the Signal Graph live in this view, so the
+    /// maximum-cycle-ratio baselines operate on it directly.
+    pub fn repetitive_view(&self) -> RepetitiveView {
+        let events: Vec<EventId> = self.repetitive_events().collect();
+        let mut to_local = vec![usize::MAX; self.event_count()];
+        for (i, &e) in events.iter().enumerate() {
+            to_local[e.index()] = i;
+        }
+        let mut graph = DiGraph::with_capacity(events.len(), self.arc_count());
+        for _ in 0..events.len() {
+            graph.add_node();
+        }
+        let mut arcs = Vec::new();
+        for a in self.arc_ids() {
+            let arc = self.arc(a);
+            let (s, d) = (to_local[arc.src().index()], to_local[arc.dst().index()]);
+            if s != usize::MAX && d != usize::MAX {
+                graph.add_edge(NodeId(s as u32), NodeId(d as u32));
+                arcs.push(a);
+            }
+        }
+        RepetitiveView {
+            graph,
+            events,
+            arcs,
+            to_local,
+        }
+    }
+
+    /// Renders a path or cycle as `a+ -3-> c+ -2-> a-`.
+    pub fn display_path(&self, arcs: &[ArcId]) -> String {
+        let mut s = String::new();
+        for (i, &a) in arcs.iter().enumerate() {
+            let arc = self.arc(a);
+            if i == 0 {
+                let _ = write!(s, "{}", self.label(arc.src()));
+            }
+            let _ = write!(
+                s,
+                " -{}{}-> {}",
+                arc.delay(),
+                if arc.is_marked() { "*" } else { "" },
+                self.label(arc.dst())
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_phase() -> SignalGraph {
+        let mut b = SignalGraph::builder();
+        let xp = b.event("x+");
+        let xm = b.event("x-");
+        b.arc(xp, xm, 1.0);
+        b.marked_arc(xm, xp, 2.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn counts_and_lookup() {
+        let sg = two_phase();
+        assert_eq!(sg.event_count(), 2);
+        assert_eq!(sg.arc_count(), 2);
+        assert_eq!(sg.repetitive_count(), 2);
+        let xp = sg.event_by_label("x+").unwrap();
+        assert_eq!(sg.label(xp).to_string(), "x+");
+        assert!(sg.is_repetitive(xp));
+        assert!(sg.event_by_label("y+").is_none());
+    }
+
+    #[test]
+    fn border_set_is_marked_heads() {
+        let sg = two_phase();
+        let xp = sg.event_by_label("x+").unwrap();
+        assert_eq!(sg.border_events(), vec![xp]);
+    }
+
+    #[test]
+    fn arc_iteration() {
+        let sg = two_phase();
+        let xm = sg.event_by_label("x-").unwrap();
+        let ins: Vec<_> = sg.in_arcs(xm).collect();
+        assert_eq!(ins.len(), 1);
+        assert_eq!(sg.arc(ins[0]).src(), sg.event_by_label("x+").unwrap());
+        let outs: Vec<_> = sg.out_arcs(xm).collect();
+        assert_eq!(outs.len(), 1);
+        assert!(sg.arc(outs[0]).is_marked());
+    }
+
+    #[test]
+    fn path_metrics() {
+        let sg = two_phase();
+        let all: Vec<_> = sg.arc_ids().collect();
+        assert_eq!(sg.path_length(&all), 3.0);
+        assert_eq!(sg.occurrence_period(&all), 1);
+        assert!(sg.has_integral_delays());
+    }
+
+    #[test]
+    fn display_path_format() {
+        let sg = two_phase();
+        let all: Vec<_> = sg.arc_ids().collect();
+        assert_eq!(sg.display_path(&all), "x+ -1-> x- -2*-> x+");
+    }
+}

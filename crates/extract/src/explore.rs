@@ -1,0 +1,225 @@
+//! Reachable-state exploration and semimodularity checking.
+//!
+//! Explores every interleaving of gate firings (and one-shot environment
+//! flips) from the initial state. The circuit is *semimodular* when no
+//! excited gate is ever disabled by the firing of a different gate —
+//! Muller's classical sufficient condition for speed-independent operation
+//! of autonomous circuits.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+use tsg_circuit::{Netlist, SignalId};
+
+/// A witnessed semimodularity violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SemimodularityViolation {
+    /// The signal whose gate was excited before the step.
+    pub disabled: SignalId,
+    /// The signal whose transition removed the excitation.
+    pub by: SignalId,
+}
+
+impl fmt::Display for SemimodularityViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "excitation of {} disabled by {}", self.disabled, self.by)
+    }
+}
+
+/// Result of [`explore`].
+#[derive(Clone, Debug)]
+pub struct ExploreReport {
+    /// Number of distinct reachable states (including environment-pending
+    /// distinctions).
+    pub states: usize,
+    /// All distinct semimodularity violations found.
+    pub violations: Vec<SemimodularityViolation>,
+    /// `true` when the exploration hit the state limit before finishing.
+    pub truncated: bool,
+}
+
+impl ExploreReport {
+    /// `true` when no violation was found (and the search completed).
+    pub fn is_semimodular(&self) -> bool {
+        self.violations.is_empty() && !self.truncated
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct State {
+    values: u64,
+    env_pending: u64,
+}
+
+/// Explores all interleavings of `netlist` from its initial state, visiting
+/// at most `max_states` states.
+///
+/// # Panics
+///
+/// Panics if the netlist has more than 64 signals (the packed-state limit;
+/// the circuits of interest here are far smaller).
+///
+/// # Examples
+///
+/// ```
+/// use tsg_circuit::library;
+/// use tsg_extract::explore;
+///
+/// let nl = library::c_element_oscillator();
+/// let report = explore(&nl, 100_000);
+/// assert!(report.is_semimodular());
+/// ```
+pub fn explore(netlist: &Netlist, max_states: usize) -> ExploreReport {
+    let n = netlist.signal_count();
+    assert!(n <= 64, "explore packs states into u64 (<= 64 signals)");
+
+    let initial = {
+        let mut v = 0u64;
+        for (i, &x) in netlist.initial_state().iter().enumerate() {
+            if x {
+                v |= (x as u64) << i;
+            }
+        }
+        let mut env = 0u64;
+        for &s in netlist.env_flips() {
+            env |= 1 << s.index();
+        }
+        State {
+            values: v,
+            env_pending: env,
+        }
+    };
+
+    let unpack = |s: State| -> Vec<bool> { (0..n).map(|i| s.values >> i & 1 == 1).collect() };
+
+    // An "action" is either firing an excited gate or an environment flip.
+    let actions = |s: State| -> Vec<SignalId> {
+        let vals = unpack(s);
+        let mut out: Vec<SignalId> = netlist
+            .excited_gates(&vals)
+            .into_iter()
+            .map(|g| netlist.gates()[g].output)
+            .collect();
+        for &e in netlist.env_flips() {
+            if s.env_pending >> e.index() & 1 == 1 {
+                out.push(e);
+            }
+        }
+        out
+    };
+
+    let apply = |s: State, sig: SignalId| -> State {
+        State {
+            values: s.values ^ (1 << sig.index()),
+            env_pending: s.env_pending & !(1 << sig.index()),
+        }
+    };
+
+    let mut seen: HashMap<State, ()> = HashMap::new();
+    let mut queue = VecDeque::new();
+    seen.insert(initial, ());
+    queue.push_back(initial);
+    let mut violations = Vec::new();
+    let mut truncated = false;
+
+    while let Some(s) = queue.pop_front() {
+        let enabled = actions(s);
+        for &a in &enabled {
+            let s2 = apply(s, a);
+            // Semimodularity: everything enabled in s (other than a itself)
+            // must stay enabled in s2. Environment flips cannot be disabled
+            // (their pending bit only clears by firing).
+            let enabled2 = actions(s2);
+            for &b in &enabled {
+                if b != a && !enabled2.contains(&b) {
+                    let v = SemimodularityViolation {
+                        disabled: b,
+                        by: a,
+                    };
+                    if !violations.contains(&v) {
+                        violations.push(v);
+                    }
+                }
+            }
+            if !seen.contains_key(&s2) {
+                if seen.len() >= max_states {
+                    truncated = true;
+                    continue;
+                }
+                seen.insert(s2, ());
+                queue.push_back(s2);
+            }
+        }
+    }
+
+    ExploreReport {
+        states: seen.len(),
+        violations,
+        truncated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsg_circuit::{library, GateKind, Netlist};
+
+    #[test]
+    fn oscillator_is_semimodular() {
+        let report = explore(&library::c_element_oscillator(), 100_000);
+        assert!(report.is_semimodular());
+        assert!(report.states > 4);
+    }
+
+    #[test]
+    fn muller_ring_is_semimodular() {
+        for n in [3usize, 5, 8] {
+            let report = explore(&library::muller_ring(n, 1.0), 1_000_000);
+            assert!(report.is_semimodular(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn inverter_ring_is_semimodular() {
+        let report = explore(&library::inverter_ring(5, 1.0), 100_000);
+        assert!(report.is_semimodular());
+    }
+
+    #[test]
+    fn hazardous_circuit_is_flagged() {
+        // y = AND(x, z) with z = INV(x): when x rises, y's excitation races
+        // with z's fall — firing z disables y (classic static hazard).
+        let mut b = Netlist::builder();
+        b.input_with_flip("x", false);
+        b.gate("z", GateKind::Inverter, &[("x", 1.0)], true).unwrap();
+        b.gate("y", GateKind::And, &[("x", 1.0), ("z", 1.0)], false)
+            .unwrap();
+        let nl = b.build().unwrap();
+        let report = explore(&nl, 100_000);
+        assert!(!report.is_semimodular());
+        let y = nl.signal("y").unwrap();
+        let z = nl.signal("z").unwrap();
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.disabled == y && v.by == z));
+    }
+
+    #[test]
+    fn state_limit_truncates() {
+        let report = explore(&library::muller_ring(8, 1.0), 4);
+        assert!(report.truncated);
+        assert!(!report.is_semimodular());
+    }
+
+    #[test]
+    fn quiescent_circuit_has_one_state() {
+        let mut b = Netlist::builder();
+        b.input("x", true);
+        b.gate("y", GateKind::Buffer, &[("x", 1.0)], true).unwrap();
+        let nl = b.build().unwrap();
+        let report = explore(&nl, 100);
+        assert_eq!(report.states, 1);
+        assert!(report.is_semimodular());
+    }
+}

@@ -1,0 +1,29 @@
+//! # tsg-extract — Signal Graph extraction from speed-independent circuits
+//!
+//! The TRASPEC step of the paper's flow (Section VIII.B, ref. \[9\]): given
+//! a gate-level netlist and an initial state, verify that the circuit's
+//! behaviour is well-behaved and derive the Timed Signal Graph that
+//! specifies it, ready for cycle-time analysis.
+//!
+//! Two complementary analyses:
+//!
+//! * [`explore()`](explore::explore) — exhaustive reachable-state exploration under all
+//!   interleavings, checking **semimodularity** (an excited gate is never
+//!   disabled by another gate's transition — the speed-independence
+//!   criterion for autonomous circuits);
+//! * [`extract()`](extract::extract) — the canonical **trigger-tracking simulation** that
+//!   builds the Signal Graph: each transition records the input pins whose
+//!   values are *critical* to its excitation (AND-causality). An excitation
+//!   with an empty critical set is OR-caused, which violates distributivity
+//!   and is reported as an error, mirroring TRASPEC's contract of producing
+//!   the graph only for distributive circuits.
+//!
+//! The extracted graph reproduces the paper's hand-drawn figures: Figure 1's
+//! oscillator yields exactly the Figure 2c graph, and the Section VIII.D
+//! Muller ring yields the Figure 5 graph with τ = 20/3.
+
+pub mod explore;
+pub mod extract;
+
+pub use explore::{explore, ExploreReport, SemimodularityViolation};
+pub use extract::{extract, ExtractError, ExtractOptions};

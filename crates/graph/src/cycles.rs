@@ -1,0 +1,262 @@
+//! Enumeration of simple cycles (Johnson's algorithm, edge-level).
+//!
+//! Cycles are reported as sequences of *edges* so that parallel edges — which
+//! in a Timed Signal Graph carry distinct delays and markings — yield
+//! distinct cycles. A cycle is *node-simple*: no node repeats.
+
+use std::collections::HashSet;
+
+use crate::{DiGraph, EdgeId, NodeId};
+
+/// A simple cycle, as the list of edges traversed in order.
+///
+/// The destination of each edge equals the source of the next one (cyclically).
+pub type Cycle = Vec<EdgeId>;
+
+/// Error returned when cycle enumeration exceeds the caller-supplied bound.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TooManyCycles {
+    /// The bound that was exceeded.
+    pub limit: usize,
+}
+
+impl std::fmt::Display for TooManyCycles {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "more than {} simple cycles", self.limit)
+    }
+}
+
+impl std::error::Error for TooManyCycles {}
+
+/// Enumerates every simple cycle of `g`.
+///
+/// The number of simple cycles can be exponential in the number of edges
+/// (the "straightforward approach" the paper's Section II warns against);
+/// this unbounded variant is intended for small graphs and tests. Prefer
+/// [`simple_cycles_bounded`] in library code.
+pub fn simple_cycles(g: &DiGraph) -> Vec<Cycle> {
+    simple_cycles_bounded(g, usize::MAX).expect("usize::MAX bound cannot be exceeded")
+}
+
+/// Enumerates the simple cycles of `g`, failing once more than `limit`
+/// cycles have been produced.
+///
+/// # Errors
+///
+/// Returns [`TooManyCycles`] when the enumeration would exceed `limit`.
+pub fn simple_cycles_bounded(g: &DiGraph, limit: usize) -> Result<Vec<Cycle>, TooManyCycles> {
+    let mut finder = Johnson {
+        g,
+        blocked: vec![false; g.node_count()],
+        block_map: vec![HashSet::new(); g.node_count()],
+        stack: Vec::new(),
+        result: Vec::new(),
+        start: NodeId(0),
+        limit,
+    };
+    for s in g.nodes() {
+        finder.start = s;
+        finder.blocked.iter_mut().for_each(|b| *b = false);
+        finder.block_map.iter_mut().for_each(|m| m.clear());
+        finder.circuit(s)?;
+        debug_assert!(finder.stack.is_empty());
+    }
+    Ok(finder.result)
+}
+
+struct Johnson<'g> {
+    g: &'g DiGraph,
+    blocked: Vec<bool>,
+    block_map: Vec<HashSet<NodeId>>,
+    stack: Vec<EdgeId>,
+    result: Vec<Cycle>,
+    start: NodeId,
+    limit: usize,
+}
+
+impl Johnson<'_> {
+    /// Recursive Johnson circuit search restricted to nodes with id >= start.
+    fn circuit(&mut self, v: NodeId) -> Result<bool, TooManyCycles> {
+        let mut found = false;
+        self.blocked[v.index()] = true;
+        for i in 0..self.g.out_degree(v) {
+            let e = self.g.out_edges(v)[i];
+            let w = self.g.dst(e);
+            if w < self.start {
+                continue; // enumerated from an earlier start node already
+            }
+            if w == self.start {
+                if self.result.len() == self.limit {
+                    return Err(TooManyCycles { limit: self.limit });
+                }
+                let mut cycle = self.stack.clone();
+                cycle.push(e);
+                self.result.push(cycle);
+                found = true;
+            } else if !self.blocked[w.index()] {
+                self.stack.push(e);
+                let sub = self.circuit(w)?;
+                self.stack.pop();
+                found |= sub;
+            }
+        }
+        if found {
+            self.unblock(v);
+        } else {
+            for i in 0..self.g.out_degree(v) {
+                let w = self.g.dst(self.g.out_edges(v)[i]);
+                if w >= self.start {
+                    self.block_map[w.index()].insert(v);
+                }
+            }
+        }
+        Ok(found)
+    }
+
+    fn unblock(&mut self, v: NodeId) {
+        self.blocked[v.index()] = false;
+        let waiting: Vec<NodeId> = self.block_map[v.index()].drain().collect();
+        for w in waiting {
+            if self.blocked[w.index()] {
+                self.unblock(w);
+            }
+        }
+    }
+}
+
+/// Checks that `cycle` is a well-formed node-simple cycle of `g`.
+///
+/// Useful as a test helper and as a validator for externally supplied
+/// critical cycles.
+pub fn is_simple_cycle(g: &DiGraph, cycle: &[EdgeId]) -> bool {
+    if cycle.is_empty() {
+        return false;
+    }
+    let mut seen = HashSet::new();
+    for (i, &e) in cycle.iter().enumerate() {
+        let next = cycle[(i + 1) % cycle.len()];
+        if g.dst(e) != g.src(next) {
+            return false;
+        }
+        if !seen.insert(g.src(e)) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> DiGraph {
+        let mut g = DiGraph::new();
+        let ids: Vec<_> = (0..n).map(|_| g.add_node()).collect();
+        for i in 0..n {
+            g.add_edge(ids[i], ids[(i + 1) % n]);
+        }
+        g
+    }
+
+    #[test]
+    fn single_ring_has_one_cycle() {
+        let g = ring(6);
+        let cycles = simple_cycles(&g);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].len(), 6);
+        assert!(is_simple_cycle(&g, &cycles[0]));
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        g.add_edge(a, a);
+        let cycles = simple_cycles(&g);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].len(), 1);
+    }
+
+    #[test]
+    fn parallel_edges_give_distinct_cycles() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b);
+        g.add_edge(a, b);
+        g.add_edge(b, a);
+        // two choices for a->b, one for b->a: two 2-cycles
+        assert_eq!(simple_cycles(&g).len(), 2);
+    }
+
+    #[test]
+    fn complete_digraph_k4_cycle_count() {
+        // K4 (complete digraph, no self loops) has 20 simple cycles:
+        // 12 of length 2? no: C(4,2)=6 2-cycles, 4*2=8 3-cycles, 6 4-cycles = 20.
+        let mut g = DiGraph::new();
+        let n: Vec<_> = (0..4).map(|_| g.add_node()).collect();
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    g.add_edge(n[i], n[j]);
+                }
+            }
+        }
+        let cycles = simple_cycles(&g);
+        assert_eq!(cycles.len(), 20);
+        assert!(cycles.iter().all(|c| is_simple_cycle(&g, c)));
+    }
+
+    #[test]
+    fn oscillator_shape_has_four_cycles() {
+        // The paper's Example 5 topology: a+,b+ -> c+ -> a-,b- -> c- -> a+,b+
+        let mut g = DiGraph::new();
+        let ap = g.add_node();
+        let bp = g.add_node();
+        let cp = g.add_node();
+        let am = g.add_node();
+        let bm = g.add_node();
+        let cm = g.add_node();
+        g.add_edge(ap, cp);
+        g.add_edge(bp, cp);
+        g.add_edge(cp, am);
+        g.add_edge(cp, bm);
+        g.add_edge(am, cm);
+        g.add_edge(bm, cm);
+        g.add_edge(cm, ap);
+        g.add_edge(cm, bp);
+        assert_eq!(simple_cycles(&g).len(), 4);
+    }
+
+    #[test]
+    fn bound_is_enforced() {
+        let g = ring(3);
+        assert!(simple_cycles_bounded(&g, 0).is_err());
+        assert_eq!(simple_cycles_bounded(&g, 1).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn dag_has_no_cycles() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b);
+        assert!(simple_cycles(&g).is_empty());
+    }
+
+    #[test]
+    fn is_simple_cycle_rejects_malformed() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        let e1 = g.add_edge(a, b);
+        let e2 = g.add_edge(b, c);
+        let e3 = g.add_edge(c, a);
+        let e4 = g.add_edge(b, a);
+        assert!(is_simple_cycle(&g, &[e1, e2, e3]));
+        assert!(!is_simple_cycle(&g, &[e1, e2])); // does not close
+        assert!(!is_simple_cycle(&g, &[])); // empty
+        assert!(is_simple_cycle(&g, &[e1, e4]));
+    }
+}

@@ -1,0 +1,189 @@
+//! Tarjan's strongly connected components, iterative formulation.
+
+use crate::{DiGraph, NodeId};
+
+/// Computes the strongly connected components of `g`.
+///
+/// Components are returned in reverse topological order of the condensation
+/// (a component appears before any component that can reach it), which is the
+/// order Tarjan's algorithm emits them in. Every node appears in exactly one
+/// component.
+///
+/// # Examples
+///
+/// ```
+/// use tsg_graph::DiGraph;
+/// use tsg_graph::scc::tarjan_scc;
+///
+/// let mut g = DiGraph::new();
+/// let a = g.add_node();
+/// let b = g.add_node();
+/// let c = g.add_node();
+/// g.add_edge(a, b);
+/// g.add_edge(b, a);
+/// g.add_edge(b, c);
+/// let sccs = tarjan_scc(&g);
+/// assert_eq!(sccs.len(), 2);
+/// ```
+pub fn tarjan_scc(g: &DiGraph) -> Vec<Vec<NodeId>> {
+    const UNVISITED: u32 = u32::MAX;
+    let n = g.node_count();
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut next_index = 0u32;
+    let mut components = Vec::new();
+
+    // Explicit DFS stack: (node, next out-edge position to examine).
+    let mut call: Vec<(NodeId, usize)> = Vec::new();
+
+    for root in g.nodes() {
+        if index[root.index()] != UNVISITED {
+            continue;
+        }
+        call.push((root, 0));
+        index[root.index()] = next_index;
+        lowlink[root.index()] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root.index()] = true;
+
+        while let Some(&mut (v, ref mut pos)) = call.last_mut() {
+            if *pos < g.out_degree(v) {
+                let e = g.out_edges(v)[*pos];
+                *pos += 1;
+                let w = g.dst(e);
+                if index[w.index()] == UNVISITED {
+                    index[w.index()] = next_index;
+                    lowlink[w.index()] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w.index()] = true;
+                    call.push((w, 0));
+                } else if on_stack[w.index()] {
+                    lowlink[v.index()] = lowlink[v.index()].min(index[w.index()]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    lowlink[parent.index()] = lowlink[parent.index()].min(lowlink[v.index()]);
+                }
+                if lowlink[v.index()] == index[v.index()] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w.index()] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    components.push(comp);
+                }
+            }
+        }
+    }
+    components
+}
+
+/// Returns, for each node, the index of its component in `tarjan_scc(g)`.
+pub fn component_index(g: &DiGraph) -> Vec<usize> {
+    let comps = tarjan_scc(g);
+    let mut idx = vec![0usize; g.node_count()];
+    for (ci, comp) in comps.iter().enumerate() {
+        for &n in comp {
+            idx[n.index()] = ci;
+        }
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> DiGraph {
+        let mut g = DiGraph::new();
+        let ids: Vec<_> = (0..n).map(|_| g.add_node()).collect();
+        for i in 0..n {
+            g.add_edge(ids[i], ids[(i + 1) % n]);
+        }
+        g
+    }
+
+    #[test]
+    fn single_cycle_is_one_component() {
+        let g = ring(5);
+        let sccs = tarjan_scc(&g);
+        assert_eq!(sccs.len(), 1);
+        assert_eq!(sccs[0].len(), 5);
+    }
+
+    #[test]
+    fn dag_has_singleton_components() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        g.add_edge(a, c);
+        let sccs = tarjan_scc(&g);
+        assert_eq!(sccs.len(), 3);
+        assert!(sccs.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn emits_reverse_topological_order() {
+        // a -> b, with self-cycles so both are nontrivial components.
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, a);
+        g.add_edge(b, b);
+        g.add_edge(a, b);
+        let sccs = tarjan_scc(&g);
+        // b's component (a sink) must come first.
+        assert_eq!(sccs[0], vec![b]);
+        assert_eq!(sccs[1], vec![a]);
+    }
+
+    #[test]
+    fn two_cycles_bridged() {
+        let mut g = DiGraph::new();
+        let n: Vec<_> = (0..6).map(|_| g.add_node()).collect();
+        for i in 0..3 {
+            g.add_edge(n[i], n[(i + 1) % 3]);
+        }
+        for i in 3..6 {
+            g.add_edge(n[i], n[3 + (i + 1 - 3) % 3]);
+        }
+        g.add_edge(n[0], n[3]);
+        let sccs = tarjan_scc(&g);
+        assert_eq!(sccs.len(), 2);
+        let idx = component_index(&g);
+        assert_eq!(idx[n[0].index()], idx[n[1].index()]);
+        assert_ne!(idx[n[0].index()], idx[n[4].index()]);
+    }
+
+    #[test]
+    fn deep_path_no_stack_overflow() {
+        // 100_000-node path exercises the iterative DFS.
+        let mut g = DiGraph::new();
+        let n = 100_000;
+        let first = g.add_nodes(n);
+        for i in 0..n - 1 {
+            g.add_edge(NodeId(first.0 + i as u32), NodeId(first.0 + i as u32 + 1));
+        }
+        assert_eq!(tarjan_scc(&g).len(), n);
+    }
+
+    #[test]
+    fn self_loop_component() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        g.add_edge(a, a);
+        assert_eq!(tarjan_scc(&g), vec![vec![a]]);
+    }
+}

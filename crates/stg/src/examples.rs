@@ -1,0 +1,157 @@
+//! Embedded example STG specifications.
+
+/// The cyclic part of the paper's Figure 2c oscillator, as a timed `.g`
+/// spec (the prefix `e-`/`f-` cannot be expressed in the format; the cycle
+/// time is unaffected, τ = 10).
+pub const EXAMPLE_OSCILLATOR: &str = "\
+.model oscillator_cyclic
+.outputs a b c
+.graph
+a+ c+
+b+ c+
+c+ a- b-
+a- c-
+b- c-
+c- a+ b+
+.marking { <c-,a+> <c-,b+> }
+.delay a+ c+ 3
+.delay b+ c+ 2
+.delay c+ a- 2
+.delay c+ b- 1
+.delay a- c- 3
+.delay b- c- 2
+.delay c- a+ 2
+.delay c- b+ 1
+.end
+";
+
+/// A four-phase handshake pipeline controller (three stages), unit delays:
+/// per-stage return-to-zero cycles with forward data coupling and marked
+/// backpressure arcs.
+pub const EXAMPLE_PIPELINE_2PH: &str = "\
+.model pipeline4ph
+.outputs r0 a0 r1 a1 r2 a2
+.graph
+r0+ a0+
+a0+ r0- r1+
+r0- a0-
+a0- r0+
+r1+ a1+
+a1+ r1- r2+ r0+
+r1- a1-
+a1- r1+ r0-
+r2+ a2+
+a2+ r2- r1+
+r2- a2-
+a2- r2+ r1-
+.marking { <a0-,r0+> <a1-,r1+> <a2-,r2+> <a1+,r0+> <a2+,r1+> }
+.end
+";
+
+/// The Section VIII.D Muller ring (5 stages), signal-graph level, unit
+/// delays — the same graph `tsg-extract` derives from the netlist.
+/// τ = 20/3, border events `{s0+, s1+, s2+, s4-}`.
+pub const EXAMPLE_RING5: &str = "\
+.model muller_ring5
+.outputs s0 s1 s2 s3 s4 i0 i1 i2 i3 i4
+.graph
+s0+ s1+ i4-
+s1+ s2+ i0-
+s2+ s3+ i1-
+s3+ s4+ i2-
+s4+ s0+ i3-
+s0- s1- i4+
+s1- s2- i0+
+s2- s3- i1+
+s3- s4- i2+
+s4- s0- i3+
+i0+ s0+
+i0- s0-
+i1+ s1+
+i1- s1-
+i2+ s2+
+i2- s2-
+i3+ s3+
+i3- s3-
+i4+ s4+
+i4- s4-
+.marking { <s4+,s0+> <i0+,s0+> <i1+,s1+> <i2+,s2+> <s3-,s4-> }
+.end
+";
+
+/// A specification with **multiple events per signal transition** (Section
+/// VIII.A: `a+/1` and `a+/2` are distinct events with their own delays) —
+/// a burst-mode style controller where `req` pulses twice per transfer.
+pub const EXAMPLE_MULTI_EVENT: &str = "\
+.model double_pulse
+.outputs req ack
+.graph
+req+/1 ack+
+ack+ req-/1
+req-/1 req+/2
+req+/2 req-/2
+req-/2 ack-
+ack- req+/1
+.marking { <ack-,req+/1> }
+.delay req+/1 ack+ 4
+.delay ack+ req-/1 1
+.delay req-/1 req+/2 2
+.delay req+/2 req-/2 3
+.delay req-/2 ack- 1
+.delay ack- req+/1 1
+.end
+";
+
+#[cfg(test)]
+mod tests {
+    use crate::reader::{parse_stg, StgOptions};
+    use tsg_core::analysis::CycleTimeAnalysis;
+
+    #[test]
+    fn oscillator_example_parses_to_tau_10() {
+        let sg = parse_stg(super::EXAMPLE_OSCILLATOR, StgOptions::default()).unwrap();
+        let tau = CycleTimeAnalysis::run(&sg).unwrap().cycle_time();
+        assert_eq!(tau.as_f64(), 10.0);
+    }
+
+    #[test]
+    fn pipeline_example_parses() {
+        let sg = parse_stg(super::EXAMPLE_PIPELINE_2PH, StgOptions::default()).unwrap();
+        assert_eq!(sg.event_count(), 12);
+        assert!(CycleTimeAnalysis::run(&sg).is_ok());
+    }
+
+    #[test]
+    fn multi_event_example_parses_and_analyzes() {
+        // Section VIII.A: multiple events of the same signal are distinct
+        // events with individual delays.
+        let sg = parse_stg(super::EXAMPLE_MULTI_EVENT, StgOptions::default()).unwrap();
+        assert_eq!(sg.event_count(), 6);
+        assert!(sg.event_by_label("req#1+").is_some());
+        assert!(sg.event_by_label("req#2+").is_some());
+        let tau = CycleTimeAnalysis::run(&sg).unwrap().cycle_time();
+        // single cycle: 4+1+2+3+1+1 = 12 over one token
+        assert_eq!(tau.as_f64(), 12.0);
+        // round-trips through the writer with /1, /2 notation preserved
+        let text = crate::writer::write_stg(&sg, "double_pulse").unwrap();
+        assert!(text.contains("req+/1") && text.contains("req+/2"));
+        let back = parse_stg(&text, StgOptions::default()).unwrap();
+        assert_eq!(back.event_count(), 6);
+    }
+
+    #[test]
+    fn ring5_example_matches_section8d() {
+        let sg = parse_stg(super::EXAMPLE_RING5, StgOptions::default()).unwrap();
+        assert_eq!(sg.event_count(), 20);
+        assert_eq!(sg.arc_count(), 30);
+        let mut borders: Vec<String> = sg
+            .border_events()
+            .iter()
+            .map(|&e| sg.label(e).to_string())
+            .collect();
+        borders.sort();
+        assert_eq!(borders, vec!["s0+", "s1+", "s2+", "s4-"]);
+        let tau = CycleTimeAnalysis::run(&sg).unwrap().cycle_time();
+        assert_eq!(tau.exact().unwrap(), tsg_core::Ratio::new(20, 3));
+    }
+}

@@ -1,0 +1,354 @@
+//! `.g` parser (marked-graph subclass, with the `.delay` timing extension).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use tsg_core::{EventId, SignalGraph, ValidationError};
+
+/// Parser options.
+#[derive(Clone, Copy, Debug)]
+pub struct StgOptions {
+    /// Delay assigned to arcs without a `.delay` annotation (default 1).
+    pub default_delay: f64,
+}
+
+impl Default for StgOptions {
+    fn default() -> Self {
+        StgOptions { default_delay: 1.0 }
+    }
+}
+
+/// Errors produced while parsing a `.g` file.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum StgError {
+    /// A line could not be parsed.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The STG uses explicit places or other non-marked-graph features.
+    NotMarkedGraph {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// A `.marking`/`.delay` entry references an arc that was never
+    /// declared in `.graph`.
+    UnknownArc {
+        /// Source transition as written.
+        src: String,
+        /// Destination transition as written.
+        dst: String,
+    },
+    /// The marked graph failed Signal Graph validation (e.g. token-free
+    /// cycle, not strongly connected).
+    Invalid(ValidationError),
+}
+
+impl fmt::Display for StgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StgError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            StgError::NotMarkedGraph { line, token } => {
+                write!(f, "line {line}: {token:?} is not a signal transition (explicit places are unsupported)")
+            }
+            StgError::UnknownArc { src, dst } => {
+                write!(f, "marking/delay references unknown arc {src} -> {dst}")
+            }
+            StgError::Invalid(e) => write!(f, "not a valid live Signal Graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StgError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StgError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+fn syntax(line: usize, message: impl Into<String>) -> StgError {
+    StgError::Syntax {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Normalises an STG transition token (`a+`, `req-`, `a+/1`) to the event
+/// label used by `tsg-core` (`a+`, `req-`, `a#1+`).
+///
+/// Returns `None` for tokens that are not signal transitions.
+fn normalize(token: &str) -> Option<String> {
+    let (stem, index) = match token.split_once('/') {
+        Some((s, i)) => {
+            i.parse::<u32>().ok()?;
+            (s, Some(i))
+        }
+        None => (token, None),
+    };
+    if stem.len() < 2 {
+        return None;
+    }
+    let (name, pol) = stem.split_at(stem.len() - 1);
+    if !matches!(pol, "+" | "-") {
+        return None;
+    }
+    Some(match index {
+        Some(i) => format!("{name}#{i}{pol}"),
+        None => format!("{name}{pol}"),
+    })
+}
+
+/// Parses `.g` text into a validated [`SignalGraph`].
+///
+/// # Errors
+///
+/// Returns [`StgError`] on syntax problems, non-marked-graph features,
+/// dangling marking/delay references, or structural invalidity of the
+/// resulting graph.
+pub fn parse_stg(text: &str, options: StgOptions) -> Result<SignalGraph, StgError> {
+    struct ArcSpec {
+        src: String,
+        dst: String,
+        delay: Option<f64>,
+        marked: bool,
+    }
+    let mut arcs: Vec<ArcSpec> = Vec::new();
+    let mut order: Vec<String> = Vec::new(); // transition labels in first-seen order
+    let mut seen: HashMap<String, ()> = HashMap::new();
+    let mut in_graph = false;
+
+    let note = |label: &str, order: &mut Vec<String>, seen: &mut HashMap<String, ()>| {
+        if seen.insert(label.to_owned(), ()).is_none() {
+            order.push(label.to_owned());
+        }
+    };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('.') {
+            let mut words = rest.split_whitespace();
+            match words.next() {
+                Some("graph") => in_graph = true,
+                Some("end") => in_graph = false,
+                Some("marking") => {
+                    let body = rest
+                        .strip_prefix("marking")
+                        .unwrap_or("")
+                        .trim()
+                        .trim_start_matches('{')
+                        .trim_end_matches('}');
+                    for tok in body.split('<') {
+                        let tok = tok.trim().trim_end_matches('>').trim();
+                        if tok.is_empty() {
+                            continue;
+                        }
+                        let (s, d) = tok
+                            .split_once(',')
+                            .ok_or_else(|| syntax(lineno, format!("bad marking token {tok:?}")))?;
+                        let s = normalize(s.trim())
+                            .ok_or_else(|| syntax(lineno, format!("bad transition {s:?}")))?;
+                        let d = normalize(d.trim())
+                            .ok_or_else(|| syntax(lineno, format!("bad transition {d:?}")))?;
+                        let arc = arcs
+                            .iter_mut()
+                            .find(|a| a.src == s && a.dst == d)
+                            .ok_or(StgError::UnknownArc { src: s, dst: d })?;
+                        arc.marked = true;
+                    }
+                }
+                Some("delay") => {
+                    let toks: Vec<&str> = words.collect();
+                    if toks.len() != 3 {
+                        return Err(syntax(lineno, "expected `.delay SRC DST VALUE`"));
+                    }
+                    let s = normalize(toks[0])
+                        .ok_or_else(|| syntax(lineno, format!("bad transition {:?}", toks[0])))?;
+                    let d = normalize(toks[1])
+                        .ok_or_else(|| syntax(lineno, format!("bad transition {:?}", toks[1])))?;
+                    let v: f64 = toks[2]
+                        .parse()
+                        .map_err(|_| syntax(lineno, format!("bad delay {:?}", toks[2])))?;
+                    let arc = arcs
+                        .iter_mut()
+                        .find(|a| a.src == s && a.dst == d)
+                        .ok_or(StgError::UnknownArc { src: s, dst: d })?;
+                    arc.delay = Some(v);
+                }
+                // interface declarations carry no structure we need
+                Some("model") | Some("inputs") | Some("outputs") | Some("internal")
+                | Some("dummy") | Some("name") => {}
+                Some(other) => {
+                    return Err(syntax(lineno, format!("unknown directive .{other}")))
+                }
+                None => return Err(syntax(lineno, "empty directive")),
+            }
+            continue;
+        }
+        if !in_graph {
+            return Err(syntax(lineno, "arc outside .graph section"));
+        }
+        let mut toks = line.split_whitespace();
+        let src_tok = toks.next().expect("non-empty line has a token");
+        let src = normalize(src_tok).ok_or(StgError::NotMarkedGraph {
+            line: lineno,
+            token: src_tok.to_owned(),
+        })?;
+        note(&src, &mut order, &mut seen);
+        for dst_tok in toks {
+            let dst = normalize(dst_tok).ok_or(StgError::NotMarkedGraph {
+                line: lineno,
+                token: dst_tok.to_owned(),
+            })?;
+            note(&dst, &mut order, &mut seen);
+            arcs.push(ArcSpec {
+                src: src.clone(),
+                dst,
+                delay: None,
+                marked: false,
+            });
+        }
+    }
+
+    let mut b = SignalGraph::builder();
+    let mut ids: HashMap<String, EventId> = HashMap::new();
+    for label in &order {
+        ids.insert(label.clone(), b.event(label));
+    }
+    for arc in &arcs {
+        let (s, d) = (ids[&arc.src], ids[&arc.dst]);
+        let delay = arc.delay.unwrap_or(options.default_delay);
+        if arc.marked {
+            b.marked_arc(s, d, delay);
+        } else {
+            b.arc(s, d, delay);
+        }
+    }
+    b.build().map_err(StgError::Invalid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsg_core::analysis::CycleTimeAnalysis;
+
+    #[test]
+    fn parses_minimal_toggle() {
+        let text = "\
+.model toggle
+.outputs x
+.graph
+x+ x-
+x- x+
+.marking { <x-,x+> }
+.end
+";
+        let sg = parse_stg(text, StgOptions::default()).unwrap();
+        assert_eq!(sg.event_count(), 2);
+        assert_eq!(sg.arc_count(), 2);
+        let tau = CycleTimeAnalysis::run(&sg).unwrap().cycle_time();
+        assert_eq!(tau.as_f64(), 2.0); // two unit-delay arcs
+    }
+
+    #[test]
+    fn delay_extension_applies() {
+        let text = "\
+.graph
+x+ x-
+x- x+
+.marking { <x-,x+> }
+.delay x+ x- 3
+.delay x- x+ 2.5
+.end
+";
+        let sg = parse_stg(text, StgOptions::default()).unwrap();
+        let tau = CycleTimeAnalysis::run(&sg).unwrap().cycle_time();
+        assert_eq!(tau.as_f64(), 5.5);
+    }
+
+    #[test]
+    fn fanout_lines_expand() {
+        let text = "\
+.graph
+a+ b+ c+
+b+ d+
+c+ d+
+d+ a+
+.marking { <d+,a+> }
+.end
+";
+        let sg = parse_stg(text, StgOptions::default()).unwrap();
+        assert_eq!(sg.arc_count(), 5);
+        assert_eq!(sg.event_count(), 4);
+    }
+
+    #[test]
+    fn indexed_transitions_normalise() {
+        let text = "\
+.graph
+a+/1 a-/1
+a-/1 a+/1
+.marking { <a-/1,a+/1> }
+.end
+";
+        let sg = parse_stg(text, StgOptions::default()).unwrap();
+        assert!(sg.event_by_label("a#1+").is_some());
+    }
+
+    #[test]
+    fn explicit_places_rejected() {
+        let text = "\
+.graph
+p0 a+
+a+ p0
+.end
+";
+        let err = parse_stg(text, StgOptions::default()).unwrap_err();
+        assert!(matches!(err, StgError::NotMarkedGraph { .. }));
+    }
+
+    #[test]
+    fn unknown_arc_in_marking() {
+        let text = "\
+.graph
+x+ x-
+x- x+
+.marking { <x+,x+> }
+.end
+";
+        assert!(matches!(
+            parse_stg(text, StgOptions::default()),
+            Err(StgError::UnknownArc { .. })
+        ));
+    }
+
+    #[test]
+    fn unmarked_stg_is_invalid() {
+        let text = "\
+.graph
+x+ x-
+x- x+
+.end
+";
+        assert!(matches!(
+            parse_stg(text, StgOptions::default()),
+            Err(StgError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn syntax_error_line_numbers() {
+        let err = parse_stg("x+ x-\n", StgOptions::default()).unwrap_err();
+        assert!(matches!(err, StgError::Syntax { line: 1, .. }));
+    }
+}

@@ -1,0 +1,78 @@
+//! Design-space exploration with the analyzer in the loop: sweep the gate
+//! delays of a handshake pipeline, watch the critical cycle move between
+//! the stage logic and the inter-stage coupling, and quantify per-arc
+//! slack — the "bottleneck hunting" workflow the paper's introduction
+//! motivates.
+//!
+//! ```sh
+//! cargo run --example design_space
+//! ```
+
+use tsg::core::analysis::slack::SlackAnalysis;
+use tsg::core::analysis::CycleTimeAnalysis;
+use tsg::gen::{handshake_pipeline, PipelineConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:>10} {:>10} {:>10} {:>8}  critical cycle",
+        "req_delay", "ack_delay", "coupling", "tau"
+    );
+    for req in [1.0, 2.0, 4.0] {
+        for coupling in [1.0, 4.0, 8.0] {
+            let cfg = PipelineConfig {
+                req_delay: req,
+                ack_delay: 1.0,
+                coupling_delay: coupling,
+            };
+            let sg = handshake_pipeline(8, cfg);
+            let analysis = CycleTimeAnalysis::run(&sg)?;
+            let cycle = sg.display_path(analysis.critical_cycle());
+            let shown = if cycle.len() > 48 {
+                format!("{}…", &cycle[..48])
+            } else {
+                cycle
+            };
+            println!(
+                "{:>10} {:>10} {:>10} {:>8}  {}",
+                req,
+                cfg.ack_delay,
+                coupling,
+                analysis.cycle_time().as_f64(),
+                shown
+            );
+        }
+    }
+
+    // Slack analysis: how far can each arc's delay stretch before the
+    // cycle time degrades? Zero-slack arcs are the bottlenecks.
+    let cfg = PipelineConfig::default();
+    let sg = handshake_pipeline(4, cfg);
+    let slack = SlackAnalysis::run(&sg)?;
+    println!("\nslack analysis (τ = {}):", slack.cycle_time());
+    let critical = slack.critical_arcs(1e-9);
+    println!(
+        "  {} of {} arcs are timing-critical (zero slack):",
+        critical.len(),
+        sg.arc_count()
+    );
+    for &a in critical.iter().take(8) {
+        let arc = sg.arc(a);
+        println!("    {} -> {}", sg.label(arc.src()), sg.label(arc.dst()));
+    }
+    // The loosest arcs — places where a slower, smaller gate would do.
+    let mut loose: Vec<(f64, String)> = sg
+        .arc_ids()
+        .filter_map(|a| {
+            slack.slack(a).map(|s| {
+                let arc = sg.arc(a);
+                (s, format!("{} -> {}", sg.label(arc.src()), sg.label(arc.dst())))
+            })
+        })
+        .collect();
+    loose.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+    println!("  loosest arcs:");
+    for (s, arc) in loose.iter().take(5) {
+        println!("    {arc:<16} slack {s:.3}");
+    }
+    Ok(())
+}

@@ -1,0 +1,35 @@
+//! Quickstart: build a Timed Signal Graph and compute its cycle time.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use tsg::core::analysis::CycleTimeAnalysis;
+use tsg::core::SignalGraph;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A two-stage self-timed loop: req rises, ack follows, req falls,
+    // ack falls, and a token lets the cycle restart.
+    let mut b = SignalGraph::builder();
+    let req_p = b.event("req+");
+    let ack_p = b.event("ack+");
+    let req_m = b.event("req-");
+    let ack_m = b.event("ack-");
+    b.arc(req_p, ack_p, 4.0); // logic delay
+    b.arc(ack_p, req_m, 1.0);
+    b.arc(req_m, ack_m, 4.0);
+    b.marked_arc(ack_m, req_p, 1.0); // the restart token
+    let sg = b.build()?;
+
+    let analysis = CycleTimeAnalysis::run(&sg)?;
+    println!("events        : {}", sg.event_count());
+    println!("border events : {}", analysis.border_events().len());
+    println!("cycle time    : {}", analysis.cycle_time());
+    println!(
+        "critical cycle: {}",
+        sg.display_path(analysis.critical_cycle())
+    );
+
+    assert_eq!(analysis.cycle_time().as_f64(), 10.0);
+    Ok(())
+}
