@@ -30,11 +30,7 @@ pub fn howard_cycle_time(sg: &SignalGraph) -> Option<CycleTime> {
     if n == 0 {
         return None;
     }
-    let delay: Vec<f64> = view
-        .arcs
-        .iter()
-        .map(|&a| sg.arc(a).delay().get())
-        .collect();
+    let delay: Vec<f64> = view.arcs.iter().map(|&a| sg.arc(a).delay().get()).collect();
     let tokens: Vec<f64> = view
         .arcs
         .iter()
@@ -51,7 +47,14 @@ pub fn howard_cycle_time(sg: &SignalGraph) -> Option<CycleTime> {
     const EPS: f64 = 1e-12;
 
     for _round in 0..(n * n + 16) {
-        evaluate_policy(&view.graph, &policy, &delay, &tokens, &mut ratio, &mut value);
+        evaluate_policy(
+            &view.graph,
+            &policy,
+            &delay,
+            &tokens,
+            &mut ratio,
+            &mut value,
+        );
         let mut improved = false;
         for e in 0..view.arcs.len() {
             let u = view.graph.src(tsg_graph::EdgeId(e as u32)).index();

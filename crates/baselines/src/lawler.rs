@@ -31,11 +31,7 @@ pub fn lawler_cycle_time(sg: &SignalGraph, iterations: u32) -> Option<CycleTime>
     if view.graph.node_count() == 0 {
         return None;
     }
-    let delay: Vec<f64> = view
-        .arcs
-        .iter()
-        .map(|&a| sg.arc(a).delay().get())
-        .collect();
+    let delay: Vec<f64> = view.arcs.iter().map(|&a| sg.arc(a).delay().get()).collect();
     let tokens: Vec<f64> = view
         .arcs
         .iter()

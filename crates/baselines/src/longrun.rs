@@ -6,9 +6,15 @@
 //! gives no exactness guarantee at any finite horizon — which is precisely
 //! what the benchmarks demonstrate by comparing it with the exact
 //! algorithms.
+//!
+//! The simulation itself runs event-drivenly on the shared `tsg-sim`
+//! kernel ([`EventSimulation`]), the same queue that powers the
+//! gate-level netlist simulator; [`longrun_estimate_batch`] fans whole
+//! scenario sweeps out across threads with [`BatchRunner`].
 
-use tsg_core::analysis::sim::TimingSimulation;
+use tsg_core::analysis::event_sim::EventSimulation;
 use tsg_core::SignalGraph;
+use tsg_sim::BatchRunner;
 
 /// Estimates the cycle time from a `periods`-long timing simulation as the
 /// average occurrence distance of a border event over the second half of
@@ -28,11 +34,30 @@ pub fn longrun_estimate(sg: &SignalGraph, periods: u32) -> Option<f64> {
         return None;
     }
     let probe = *sg.border_events().first()?;
-    let sim = TimingSimulation::run(sg, periods);
+    let sim = EventSimulation::run(sg, periods);
     let mid = periods / 2;
     let t_mid = sim.time(probe, mid)?;
     let t_end = sim.time(probe, periods - 1)?;
     Some((t_end - t_mid) / (periods - 1 - mid) as f64)
+}
+
+/// Runs [`longrun_estimate`] over many independent scenarios in parallel.
+///
+/// Scenario simulations share nothing, so they scale across threads on
+/// the kernel's [`BatchRunner`]; results come back in input order, making
+/// the batch observably identical to a sequential loop over
+/// [`longrun_estimate`].
+///
+/// # Examples
+///
+/// ```
+/// let scenarios: Vec<_> = (2..10).map(|k| tsg_gen::ring(12, k, 3.0)).collect();
+/// let estimates = tsg_baselines::longrun_estimate_batch(&scenarios, 64);
+/// assert_eq!(estimates.len(), 8);
+/// assert!(estimates.iter().all(|e| e.is_some()));
+/// ```
+pub fn longrun_estimate_batch(scenarios: &[SignalGraph], periods: u32) -> Vec<Option<f64>> {
+    BatchRunner::new().run(scenarios, |sg| longrun_estimate(sg, periods))
 }
 
 #[cfg(test)]
@@ -73,5 +98,18 @@ mod tests {
     fn degenerate_inputs() {
         let sg = tsg_gen::ring(4, 1, 1.0);
         assert!(longrun_estimate(&sg, 1).is_none());
+    }
+
+    #[test]
+    fn batch_matches_sequential() {
+        let scenarios: Vec<SignalGraph> = (0..9)
+            .map(|seed| tsg_gen::random_live_tsg(seed, tsg_gen::RandomTsgConfig::default()))
+            .collect();
+        let batch = longrun_estimate_batch(&scenarios, 64);
+        let sequential: Vec<Option<f64>> = scenarios
+            .iter()
+            .map(|sg| longrun_estimate(sg, 64))
+            .collect();
+        assert_eq!(batch, sequential);
     }
 }

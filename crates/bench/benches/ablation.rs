@@ -17,18 +17,14 @@ fn bench_period_bound(c: &mut Criterion) {
         let sg = handshake_pipeline(stages, PipelineConfig::default());
         let b_periods = sg.border_events().len() as u32;
         let min_cut = exact_max_occurrence_period(&sg, 1_000_000).unwrap_or(b_periods);
-        group.bench_with_input(
-            BenchmarkId::new("b_periods", stages),
-            &sg,
-            |bench, sg| {
-                bench.iter(|| {
-                    CycleTimeAnalysis::run_with_periods(black_box(sg), Some(b_periods))
-                        .unwrap()
-                        .cycle_time()
-                        .as_f64()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("b_periods", stages), &sg, |bench, sg| {
+            bench.iter(|| {
+                CycleTimeAnalysis::run_with_periods(black_box(sg), Some(b_periods))
+                    .unwrap()
+                    .cycle_time()
+                    .as_f64()
+            })
+        });
         group.bench_with_input(
             BenchmarkId::new("exact_eps_periods", stages),
             &sg,
@@ -76,7 +72,12 @@ fn bench_longrun_horizon(c: &mut Criterion) {
         );
     }
     group.bench_function("exact_paper_algorithm", |b| {
-        b.iter(|| CycleTimeAnalysis::run(black_box(&sg)).unwrap().cycle_time().as_f64())
+        b.iter(|| {
+            CycleTimeAnalysis::run(black_box(&sg))
+                .unwrap()
+                .cycle_time()
+                .as_f64()
+        })
     });
     group.finish();
 }

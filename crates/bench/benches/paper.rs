@@ -12,7 +12,12 @@ use tsg_core::analysis::CycleTimeAnalysis;
 fn bench_stack66(c: &mut Criterion) {
     let sg = tsg_gen::stack66();
     c.bench_function("perf8b/stack66_cycle_time", |b| {
-        b.iter(|| CycleTimeAnalysis::run(black_box(&sg)).unwrap().cycle_time().as_f64())
+        b.iter(|| {
+            CycleTimeAnalysis::run(black_box(&sg))
+                .unwrap()
+                .cycle_time()
+                .as_f64()
+        })
     });
 }
 
@@ -52,9 +57,8 @@ fn bench_muller_ring(c: &mut Criterion) {
     let nl = tsg_circuit::library::muller_ring(5, 1.0);
     c.bench_function("tab8d/muller5_extract_and_analyze", |b| {
         b.iter(|| {
-            let sg =
-                tsg_extract::extract(black_box(&nl), tsg_extract::ExtractOptions::default())
-                    .unwrap();
+            let sg = tsg_extract::extract(black_box(&nl), tsg_extract::ExtractOptions::default())
+                .unwrap();
             CycleTimeAnalysis::run(&sg).unwrap().cycle_time().as_f64()
         })
     });
@@ -74,9 +78,7 @@ fn bench_asymptotic(c: &mut Criterion) {
     let sg = tsg_circuit::library::c_element_oscillator_tsg();
     let bp = sg.event_by_label("b+").unwrap();
     c.bench_function("fig4/delta_series_40", |b| {
-        b.iter(|| {
-            tsg_core::analysis::asymptotic::delta_series(black_box(&sg), bp, 40).unwrap()
-        })
+        b.iter(|| tsg_core::analysis::asymptotic::delta_series(black_box(&sg), bp, 40).unwrap())
     });
 }
 

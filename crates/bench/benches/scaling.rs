@@ -5,9 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use tsg_core::analysis::CycleTimeAnalysis;
-use tsg_gen::{
-    handshake_pipeline, random_live_tsg, ring, torus, PipelineConfig, RandomTsgConfig,
-};
+use tsg_gen::{handshake_pipeline, random_live_tsg, ring, torus, PipelineConfig, RandomTsgConfig};
 
 /// Rings at fixed token count: m grows, b stays 2 — the paper's algorithm
 /// should scale linearly.
@@ -16,16 +14,33 @@ fn bench_ring_size_sweep(c: &mut Criterion) {
     for n in [64usize, 256, 1024, 4096] {
         let sg = ring(n, 2, 1.0);
         group.bench_with_input(BenchmarkId::new("paper", n), &sg, |b, sg| {
-            b.iter(|| CycleTimeAnalysis::run(black_box(sg)).unwrap().cycle_time().as_f64())
+            b.iter(|| {
+                CycleTimeAnalysis::run(black_box(sg))
+                    .unwrap()
+                    .cycle_time()
+                    .as_f64()
+            })
         });
         group.bench_with_input(BenchmarkId::new("howard", n), &sg, |b, sg| {
-            b.iter(|| tsg_baselines::howard_cycle_time(black_box(sg)).unwrap().as_f64())
+            b.iter(|| {
+                tsg_baselines::howard_cycle_time(black_box(sg))
+                    .unwrap()
+                    .as_f64()
+            })
         });
         group.bench_with_input(BenchmarkId::new("karp", n), &sg, |b, sg| {
-            b.iter(|| tsg_baselines::karp_cycle_time(black_box(sg)).unwrap().as_f64())
+            b.iter(|| {
+                tsg_baselines::karp_cycle_time(black_box(sg))
+                    .unwrap()
+                    .as_f64()
+            })
         });
         group.bench_with_input(BenchmarkId::new("lawler", n), &sg, |b, sg| {
-            b.iter(|| tsg_baselines::lawler_cycle_time(black_box(sg), 60).unwrap().as_f64())
+            b.iter(|| {
+                tsg_baselines::lawler_cycle_time(black_box(sg), 60)
+                    .unwrap()
+                    .as_f64()
+            })
         });
     }
     group.finish();
@@ -38,10 +53,19 @@ fn bench_ring_token_sweep(c: &mut Criterion) {
     for tokens in [1usize, 4, 16, 64] {
         let sg = ring(1024, tokens, 1.0);
         group.bench_with_input(BenchmarkId::new("paper", tokens), &sg, |b, sg| {
-            b.iter(|| CycleTimeAnalysis::run(black_box(sg)).unwrap().cycle_time().as_f64())
+            b.iter(|| {
+                CycleTimeAnalysis::run(black_box(sg))
+                    .unwrap()
+                    .cycle_time()
+                    .as_f64()
+            })
         });
         group.bench_with_input(BenchmarkId::new("howard", tokens), &sg, |b, sg| {
-            b.iter(|| tsg_baselines::howard_cycle_time(black_box(sg)).unwrap().as_f64())
+            b.iter(|| {
+                tsg_baselines::howard_cycle_time(black_box(sg))
+                    .unwrap()
+                    .as_f64()
+            })
         });
     }
     group.finish();
@@ -54,13 +78,26 @@ fn bench_pipeline_sweep(c: &mut Criterion) {
     for stages in [4usize, 16, 64] {
         let sg = handshake_pipeline(stages, PipelineConfig::default());
         group.bench_with_input(BenchmarkId::new("paper", stages), &sg, |b, sg| {
-            b.iter(|| CycleTimeAnalysis::run(black_box(sg)).unwrap().cycle_time().as_f64())
+            b.iter(|| {
+                CycleTimeAnalysis::run(black_box(sg))
+                    .unwrap()
+                    .cycle_time()
+                    .as_f64()
+            })
         });
         group.bench_with_input(BenchmarkId::new("howard", stages), &sg, |b, sg| {
-            b.iter(|| tsg_baselines::howard_cycle_time(black_box(sg)).unwrap().as_f64())
+            b.iter(|| {
+                tsg_baselines::howard_cycle_time(black_box(sg))
+                    .unwrap()
+                    .as_f64()
+            })
         });
         group.bench_with_input(BenchmarkId::new("karp", stages), &sg, |b, sg| {
-            b.iter(|| tsg_baselines::karp_cycle_time(black_box(sg)).unwrap().as_f64())
+            b.iter(|| {
+                tsg_baselines::karp_cycle_time(black_box(sg))
+                    .unwrap()
+                    .as_f64()
+            })
         });
     }
     group.finish();
@@ -74,10 +111,19 @@ fn bench_torus_sweep(c: &mut Criterion) {
     for side in [4usize, 8, 16] {
         let sg = torus(side, side, 2.0, 3.0);
         group.bench_with_input(BenchmarkId::new("paper", side), &sg, |b, sg| {
-            b.iter(|| CycleTimeAnalysis::run(black_box(sg)).unwrap().cycle_time().as_f64())
+            b.iter(|| {
+                CycleTimeAnalysis::run(black_box(sg))
+                    .unwrap()
+                    .cycle_time()
+                    .as_f64()
+            })
         });
         group.bench_with_input(BenchmarkId::new("howard", side), &sg, |b, sg| {
-            b.iter(|| tsg_baselines::howard_cycle_time(black_box(sg)).unwrap().as_f64())
+            b.iter(|| {
+                tsg_baselines::howard_cycle_time(black_box(sg))
+                    .unwrap()
+                    .as_f64()
+            })
         });
     }
     group.finish();
@@ -96,10 +142,19 @@ fn bench_random_dense(c: &mut Criterion) {
     };
     let sg = random_live_tsg(1, cfg);
     group.bench_function("paper", |b| {
-        b.iter(|| CycleTimeAnalysis::run(black_box(&sg)).unwrap().cycle_time().as_f64())
+        b.iter(|| {
+            CycleTimeAnalysis::run(black_box(&sg))
+                .unwrap()
+                .cycle_time()
+                .as_f64()
+        })
     });
     group.bench_function("howard", |b| {
-        b.iter(|| tsg_baselines::howard_cycle_time(black_box(&sg)).unwrap().as_f64())
+        b.iter(|| {
+            tsg_baselines::howard_cycle_time(black_box(&sg))
+                .unwrap()
+                .as_f64()
+        })
     });
     group.bench_function("enumeration", |b| {
         // the cap keeps the bench bounded; hitting it IS the result

@@ -7,7 +7,8 @@
 //! ```
 //!
 //! Experiment ids follow DESIGN.md: `fig1b fig1c fig1d ex3 ex4 ex56 tab8c
-//! tab8d fig4 perf8b complexity`.
+//! tab8d fig4 perf8b complexity`, plus the post-paper `batch` sweep that
+//! exercises the tsg-sim kernel's parallel scenario execution.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -66,6 +67,7 @@ fn experiments() -> Vec<Experiment> {
         ("fig4", fig4),
         ("perf8b", perf8b),
         ("complexity", complexity),
+        ("batch", batch),
     ]
 }
 
@@ -147,8 +149,17 @@ fn ex3() -> String {
     let sim = TimingSimulation::run(&sg, 2);
     let mut out = String::from("event   ");
     let cols = [
-        ("e-", 0), ("f-", 0), ("a+", 0), ("b+", 0), ("c+", 0), ("a-", 0),
-        ("b-", 0), ("c-", 0), ("a+", 1), ("b+", 1), ("c+", 1),
+        ("e-", 0),
+        ("f-", 0),
+        ("a+", 0),
+        ("b+", 0),
+        ("c+", 0),
+        ("a-", 0),
+        ("b-", 0),
+        ("c-", 0),
+        ("a+", 1),
+        ("b+", 1),
+        ("c+", 1),
     ];
     for (l, i) in cols {
         let _ = write!(out, "{l}{i:<4}");
@@ -156,7 +167,9 @@ fn ex3() -> String {
     let _ = writeln!(out);
     let _ = write!(out, "t(event)");
     for (l, i) in cols {
-        let t = sim.time(sg.event_by_label(l).expect("event"), i).expect("simulated");
+        let t = sim
+            .time(sg.event_by_label(l).expect("event"), i)
+            .expect("simulated");
         let _ = write!(out, "{t:<6}");
     }
     let _ = writeln!(out);
@@ -170,8 +183,14 @@ fn ex4() -> String {
     let bp = sg.event_by_label("b+").expect("b+ exists");
     let sim = InitiatedSimulation::run(&sg, bp, 2).expect("repetitive");
     let cols = [
-        ("b+", 0), ("c+", 0), ("a-", 0), ("b-", 0), ("c-", 0),
-        ("a+", 1), ("b+", 1), ("c+", 1),
+        ("b+", 0),
+        ("c+", 0),
+        ("a-", 0),
+        ("b-", 0),
+        ("c-", 0),
+        ("a+", 1),
+        ("b+", 1),
+        ("c+", 1),
     ];
     let mut out = String::from("event        ");
     for (l, i) in cols {
@@ -198,7 +217,11 @@ fn ex56() -> String {
         .cycles
         .iter()
         .map(|(arcs, len, eps)| {
-            format!("  C = {}  length {len}, ε = {eps}, C/ε = {}", sg.display_path(arcs), len / *eps as f64)
+            format!(
+                "  C = {}  length {len}, ε = {eps}, C/ε = {}",
+                sg.display_path(arcs),
+                len / *eps as f64
+            )
         })
         .collect();
     rows.sort();
@@ -221,9 +244,20 @@ fn tab8c() -> String {
     let sg = oscillator();
     let mut out = String::new();
     let events = [
-        ("a+", 0), ("b+", 0), ("c+", 0), ("a-", 0), ("b-", 0), ("c-", 0),
-        ("a+", 1), ("b+", 1), ("c+", 1), ("a-", 1), ("b-", 1), ("c-", 1),
-        ("a+", 2), ("b+", 2),
+        ("a+", 0),
+        ("b+", 0),
+        ("c+", 0),
+        ("a-", 0),
+        ("b-", 0),
+        ("c-", 0),
+        ("a+", 1),
+        ("b+", 1),
+        ("c+", 1),
+        ("a-", 1),
+        ("b-", 1),
+        ("c-", 1),
+        ("a+", 2),
+        ("b+", 2),
     ];
     let mut header = String::from("event        ");
     for (l, i) in events {
@@ -245,8 +279,16 @@ fn tab8c() -> String {
         let _ = writeln!(out);
     }
     let a = CycleTimeAnalysis::run(&sg).expect("cyclic");
-    let _ = writeln!(out, "τ = max{{10, 10, 8, 9}} = {} (paper: 10)", a.cycle_time());
-    let _ = writeln!(out, "critical cycle: {}", sg.display_path(a.critical_cycle()));
+    let _ = writeln!(
+        out,
+        "τ = max{{10, 10, 8, 9}} = {} (paper: 10)",
+        a.cycle_time()
+    );
+    let _ = writeln!(
+        out,
+        "critical cycle: {}",
+        sg.display_path(a.critical_cycle())
+    );
     let _ = writeln!(
         out,
         "note: the paper's VIII.C text prints the critical cycle as a+->c+->b-->c-->a+ \
@@ -278,7 +320,10 @@ fn tab8d() -> String {
     );
     let s0 = sg.event_by_label("s0+").expect("s0+ exists");
     let sim = InitiatedSimulation::run(&sg, s0, 10).expect("repetitive");
-    let _ = writeln!(out, "i            1    2    3    4    5    6    7    8    9    10");
+    let _ = writeln!(
+        out,
+        "i            1    2    3    4    5    6    7    8    9    10"
+    );
     let mut t_row = String::from("t_a+0(a+_i) ");
     let mut d_row = String::from("δ per step  ");
     let mut avg_row = String::from("δ_a+0(a+_i) ");
@@ -310,7 +355,10 @@ fn tab8d() -> String {
 fn fig4() -> String {
     let sg = oscillator();
     let mut out = String::new();
-    for (label, claim) in [("a+", "on a critical cycle"), ("b+", "off the critical cycle")] {
+    for (label, claim) in [
+        ("a+", "on a critical cycle"),
+        ("b+", "off the critical cycle"),
+    ] {
         let e = sg.event_by_label(label).expect("event");
         let series = delta_series(&sg, e, 40).expect("repetitive");
         let _ = writeln!(out, "{label} ({claim}):");
@@ -319,7 +367,12 @@ fn fig4() -> String {
             .take(8)
             .map(|p| format!("{:.4}", p.delta))
             .collect();
-        let _ = writeln!(out, "  δ series: {} ... -> {:.4} at i=40", shown.join(", "), series.last().expect("non-empty").delta);
+        let _ = writeln!(
+            out,
+            "  δ series: {} ... -> {:.4} at i=40",
+            shown.join(", "),
+            series.last().expect("non-empty").delta
+        );
         let attains = series.iter().any(|p| p.delta == 10.0);
         let _ = writeln!(out, "  attains τ=10: {attains}");
     }
@@ -354,6 +407,84 @@ fn perf8b() -> String {
     out
 }
 
+/// Parallel scenario sweep on the tsg-sim kernel: the long-run estimator
+/// over a mixed batch of generated workloads, sequential vs. batched,
+/// cross-checked against the exact analysis.
+fn batch() -> String {
+    use tsg_sim::BatchRunner;
+
+    let mut scenarios: Vec<(String, SignalGraph)> = Vec::new();
+    for n in [64usize, 256] {
+        scenarios.push((format!("ring n={n} b=2"), tsg_gen::ring(n, 2, 1.0)));
+    }
+    for side in [4usize, 6] {
+        scenarios.push((
+            format!("torus {side}x{side}"),
+            tsg_gen::torus(side, side, 2.0, 3.0),
+        ));
+    }
+    for stages in [4usize, 8] {
+        scenarios.push((
+            format!("pipeline stages={stages}"),
+            tsg_gen::handshake_pipeline(stages, tsg_gen::PipelineConfig::default()),
+        ));
+    }
+    for seed in 0..6u64 {
+        scenarios.push((
+            format!("random seed={seed}"),
+            tsg_gen::random_live_tsg(seed, tsg_gen::RandomTsgConfig::default()),
+        ));
+    }
+    let graphs: Vec<SignalGraph> = scenarios.iter().map(|(_, sg)| sg.clone()).collect();
+    let periods = 192;
+
+    let t_seq = Instant::now();
+    let sequential: Vec<Option<f64>> = graphs
+        .iter()
+        .map(|sg| tsg_baselines::longrun_estimate(sg, periods))
+        .collect();
+    let t_seq = t_seq.elapsed();
+
+    // Run the sweep on an explicit runner so the reported thread count
+    // is the one that actually executed it.
+    let runner = BatchRunner::new();
+    let t_par = Instant::now();
+    let batched: Vec<Option<f64>> =
+        runner.run(&graphs, |sg| tsg_baselines::longrun_estimate(sg, periods));
+    let t_par = t_par.elapsed();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} scenarios × {periods} periods on {} thread(s)",
+        graphs.len(),
+        runner.threads()
+    );
+    let _ = writeln!(
+        out,
+        "{:<24} {:>12} {:>12} {:>8}",
+        "scenario", "longrun", "exact τ", "agree"
+    );
+    for (i, (name, sg)) in scenarios.iter().enumerate() {
+        let est = batched[i].expect("all scenarios are live");
+        let exact = CycleTimeAnalysis::run(sg)
+            .expect("cyclic")
+            .cycle_time()
+            .as_f64();
+        let agree = (est - exact).abs() <= exact * 0.05 + 1e-9;
+        let _ = writeln!(out, "{name:<24} {est:>12.4} {exact:>12.4} {agree:>8}");
+    }
+    assert_eq!(batched, sequential, "batch must equal the sequential loop");
+    let _ = writeln!(
+        out,
+        "sequential {:.1} ms, batched {:.1} ms ({:.2}x)",
+        t_seq.as_secs_f64() * 1e3,
+        t_par.as_secs_f64() * 1e3,
+        t_seq.as_secs_f64() / t_par.as_secs_f64().max(1e-9)
+    );
+    out
+}
+
 /// Section VII: the O(b²m) scaling claim, against the baselines.
 fn complexity() -> String {
     let mut out = String::new();
@@ -375,12 +506,22 @@ fn complexity() -> String {
             start.elapsed().as_secs_f64() * 1e6 / n as f64
         };
         let paper = time_us(&|| {
-            CycleTimeAnalysis::run(sg).expect("cyclic").cycle_time().as_f64()
+            CycleTimeAnalysis::run(sg)
+                .expect("cyclic")
+                .cycle_time()
+                .as_f64()
         });
-        let howard = time_us(&|| tsg_baselines::howard_cycle_time(sg).expect("cyclic").as_f64());
+        let howard = time_us(&|| {
+            tsg_baselines::howard_cycle_time(sg)
+                .expect("cyclic")
+                .as_f64()
+        });
         let karp = time_us(&|| tsg_baselines::karp_cycle_time(sg).expect("cyclic").as_f64());
-        let lawler =
-            time_us(&|| tsg_baselines::lawler_cycle_time(sg, 60).expect("cyclic").as_f64());
+        let lawler = time_us(&|| {
+            tsg_baselines::lawler_cycle_time(sg, 60)
+                .expect("cyclic")
+                .as_f64()
+        });
         let _ = writeln!(
             out,
             "{:<28} {:>8} {:>8} {:>6} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",

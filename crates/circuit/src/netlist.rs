@@ -65,7 +65,7 @@ pub struct Netlist {
     names: Vec<String>,
     by_name: HashMap<String, SignalId>,
     gates: Vec<Gate>,
-    driver: Vec<Option<usize>>, // signal -> gate index
+    driver: Vec<Option<usize>>,       // signal -> gate index
     fanout: Vec<Vec<(usize, usize)>>, // signal -> (gate index, pin index)
     initial: Vec<bool>,
     /// Environment inputs that flip once at time 0.
@@ -321,8 +321,10 @@ mod tests {
     fn build_inverter_pair() {
         let mut b = Netlist::builder();
         b.input("x", false);
-        b.gate("y", GateKind::Inverter, &[("x", 1.0)], true).unwrap();
-        b.gate("z", GateKind::Inverter, &[("y", 2.0)], false).unwrap();
+        b.gate("y", GateKind::Inverter, &[("x", 1.0)], true)
+            .unwrap();
+        b.gate("z", GateKind::Inverter, &[("y", 2.0)], false)
+            .unwrap();
         let nl = b.build().unwrap();
         assert_eq!(nl.signal_count(), 3);
         assert_eq!(nl.gate_count(), 2);
@@ -357,11 +359,9 @@ mod tests {
         let mut b = Netlist::builder();
         b.input("x", false);
         b.gate("y", GateKind::Buffer, &[("x", 1.0)], false).unwrap();
-        b.gate("y", GateKind::Inverter, &[("x", 1.0)], false).unwrap();
-        assert!(matches!(
-            b.build(),
-            Err(NetlistError::MultipleDrivers(_))
-        ));
+        b.gate("y", GateKind::Inverter, &[("x", 1.0)], false)
+            .unwrap();
+        assert!(matches!(b.build(), Err(NetlistError::MultipleDrivers(_))));
     }
 
     #[test]
@@ -382,7 +382,8 @@ mod tests {
     fn excited_gates_in_state() {
         let mut b = Netlist::builder();
         b.input("x", true);
-        b.gate("y", GateKind::Inverter, &[("x", 1.0)], true).unwrap();
+        b.gate("y", GateKind::Inverter, &[("x", 1.0)], true)
+            .unwrap();
         let nl = b.build().unwrap();
         // y = 1 but INV(1) = 0: excited.
         assert_eq!(nl.excited_gates(nl.initial_state()), vec![0]);

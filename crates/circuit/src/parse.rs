@@ -98,7 +98,8 @@ pub fn parse_ckt(text: &str) -> Result<Netlist, ParseCktError> {
                     return Err(syntax(lineno, "expected `input NAME = 0|1 [flip]`"));
                 }
                 let name = rest[0];
-                let init = parse_bit(rest[2]).ok_or_else(|| syntax(lineno, "initial value must be 0 or 1"))?;
+                let init = parse_bit(rest[2])
+                    .ok_or_else(|| syntax(lineno, "initial value must be 0 or 1"))?;
                 match rest.get(3) {
                     None => {
                         b.input(name, init);
@@ -143,9 +144,10 @@ pub fn parse_ckt(text: &str) -> Result<Netlist, ParseCktError> {
                     }
                     let (pin, delay) = match part.split_once(':') {
                         Some((p, d)) => {
-                            let delay: f64 = d.trim().parse().map_err(|_| {
-                                syntax(lineno, format!("bad delay {d:?}"))
-                            })?;
+                            let delay: f64 = d
+                                .trim()
+                                .parse()
+                                .map_err(|_| syntax(lineno, format!("bad delay {d:?}")))?;
                             (p.trim(), delay)
                         }
                         None => (part, 0.0),
@@ -154,9 +156,7 @@ pub fn parse_ckt(text: &str) -> Result<Netlist, ParseCktError> {
                 }
                 b.gate(name.trim(), kind, &pins, init)?;
             }
-            Some(other) => {
-                return Err(syntax(lineno, format!("unknown directive {other:?}")))
-            }
+            Some(other) => return Err(syntax(lineno, format!("unknown directive {other:?}"))),
             None => unreachable!("empty lines are skipped"),
         }
     }
@@ -176,7 +176,11 @@ pub fn write_ckt(nl: &Netlist) -> String {
     let mut out = String::new();
     for s in nl.signals() {
         if nl.is_input(s) {
-            let flip = if nl.env_flips().contains(&s) { " flip" } else { "" };
+            let flip = if nl.env_flips().contains(&s) {
+                " flip"
+            } else {
+                ""
+            };
             let _ = writeln!(
                 out,
                 "input {} = {}{}",

@@ -8,10 +8,16 @@
 //! the simulator serves as an independent oracle for the analytical cycle
 //! time: after the transient, the observed occurrence distances of every
 //! repeating signal must equal τ.
+//!
+//! The pending-event machinery — deterministic `(time, seq)` ordering,
+//! NaN and negative-delay rejection — lives in the shared
+//! [`tsg_sim::EventQueue`] kernel; this module only contributes the gate
+//! semantics. Enable [`EventDrivenSim::enable_trace`] to capture every
+//! signal change in a [`TraceRecorder`] and dump a VCD waveform.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 use std::fmt;
+
+use tsg_sim::{EventQueue, TraceId, TraceRecorder};
 
 use crate::netlist::{Netlist, SignalId};
 
@@ -50,35 +56,12 @@ impl fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
-/// Pin-arrival event in the queue (min-heap by time, then sequence).
+/// Pin-arrival payload carried by the kernel event queue.
 #[derive(Clone, Copy, Debug)]
 struct Arrival {
-    time: f64,
-    seq: u64,
     gate: usize,
     pin: usize,
     value: bool,
-}
-
-impl PartialEq for Arrival {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == Ordering::Equal
-    }
-}
-impl Eq for Arrival {}
-impl PartialOrd for Arrival {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Arrival {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed for BinaryHeap (max-heap) to act as a min-heap.
-        other
-            .time
-            .total_cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
 }
 
 /// The event-driven simulator.
@@ -109,8 +92,8 @@ pub struct EventDrivenSim<'n> {
     netlist: &'n Netlist,
     state: Vec<bool>,
     views: Vec<Vec<bool>>,
-    queue: BinaryHeap<Arrival>,
-    seq: u64,
+    queue: EventQueue<Arrival>,
+    trace: Option<(TraceRecorder, Vec<TraceId>)>,
 }
 
 impl<'n> EventDrivenSim<'n> {
@@ -126,20 +109,35 @@ impl<'n> EventDrivenSim<'n> {
             netlist,
             state,
             views,
-            queue: BinaryHeap::new(),
-            seq: 0,
+            queue: EventQueue::new(),
+            trace: None,
         }
     }
 
-    fn push(&mut self, time: f64, gate: usize, pin: usize, value: bool) {
-        self.seq += 1;
-        self.queue.push(Arrival {
-            time,
-            seq: self.seq,
-            gate,
-            pin,
-            value,
-        });
+    /// Attaches a [`TraceRecorder`] capturing every signal change.
+    ///
+    /// All netlist signals are declared up front; [`EventDrivenSim::run`]
+    /// records their initial values at `t = 0` when it starts, so the
+    /// resulting VCD shows the full state. Retrieve the recorder with
+    /// [`EventDrivenSim::take_trace`] afterwards.
+    pub fn enable_trace(&mut self) {
+        let mut recorder = TraceRecorder::new("netlist");
+        let ids: Vec<TraceId> = self
+            .netlist
+            .signals()
+            .map(|s| recorder.declare(self.netlist.name(s)))
+            .collect();
+        self.trace = Some((recorder, ids));
+    }
+
+    /// The attached trace recorder, if tracing is enabled.
+    pub fn trace(&self) -> Option<&TraceRecorder> {
+        self.trace.as_ref().map(|(rec, _)| rec)
+    }
+
+    /// Detaches and returns the trace recorder.
+    pub fn take_trace(&mut self) -> Option<TraceRecorder> {
+        self.trace.take().map(|(rec, _)| rec)
     }
 
     /// Changes `signal` to `value` at `time`: records the transition and
@@ -151,10 +149,21 @@ impl<'n> EventDrivenSim<'n> {
             signal,
             value,
         });
-        let fanout: Vec<(usize, usize)> = self.netlist.fanout(signal).to_vec();
-        for (g, pin) in fanout {
+        if let Some((recorder, ids)) = &mut self.trace {
+            recorder.record(time, ids[signal.index()], value);
+        }
+        for &(g, pin) in self.netlist.fanout(signal) {
             let delay = self.netlist.gates()[g].pin_delays[pin];
-            self.push(time + delay, g, pin, value);
+            // The kernel rejects NaN and negative effective delays at
+            // enqueue time (netlist validation already guarantees both).
+            self.queue.schedule(
+                time + delay,
+                Arrival {
+                    gate: g,
+                    pin,
+                    value,
+                },
+            );
         }
     }
 
@@ -172,12 +181,37 @@ impl<'n> EventDrivenSim<'n> {
     /// Runs until `horizon` (inclusive) or `max_transitions`, returning the
     /// chronological trace of signal changes.
     ///
+    /// Every call restarts the simulation from the netlist's initial
+    /// state at `t = 0`; running twice deterministically replays the
+    /// identical transition stream. (An attached trace recorder keeps
+    /// accumulating — detach it with [`EventDrivenSim::take_trace`]
+    /// between runs for one waveform per run.)
+    ///
     /// # Errors
     ///
     /// Returns [`SimError::EventBudgetExhausted`] when `max_transitions`
     /// signal changes occur before the horizon — the signature of a
     /// zero-delay loop.
-    pub fn run(&mut self, horizon: f64, max_transitions: usize) -> Result<Vec<Transition>, SimError> {
+    pub fn run(
+        &mut self,
+        horizon: f64,
+        max_transitions: usize,
+    ) -> Result<Vec<Transition>, SimError> {
+        self.state.copy_from_slice(self.netlist.initial_state());
+        for (g, view) in self.views.iter_mut().enumerate() {
+            for (pin, s) in self.netlist.gates()[g].inputs.iter().enumerate() {
+                view[pin] = self.state[s.index()];
+            }
+        }
+        self.queue.clear();
+        if let Some((recorder, ids)) = &mut self.trace {
+            // Snapshot the (just reset) initial state so the waveform's
+            // $dumpvars always matches the replayed edges.
+            for s in self.netlist.signals() {
+                recorder.record(0.0, ids[s.index()], self.state[s.index()]);
+            }
+        }
+
         let mut trace = Vec::new();
 
         // Environment one-shot flips at t = 0.
@@ -199,8 +233,9 @@ impl<'n> EventDrivenSim<'n> {
                     processed: trace.len(),
                 });
             }
-            self.views[ev.gate][ev.pin] = ev.value;
-            self.settle(&mut trace, ev.time, ev.gate);
+            let Arrival { gate, pin, value } = ev.payload;
+            self.views[gate][pin] = value;
+            self.settle(&mut trace, ev.time, gate);
         }
         Ok(trace)
     }
@@ -246,8 +281,13 @@ mod tests {
             let input = format!("g{}", (i + n - 1) % n);
             // alternate initial values so exactly one gate is excited
             let init = i % 2 == 1;
-            b.gate(&format!("g{i}"), GateKind::Inverter, &[(input.as_str(), 1.0)], init)
-                .unwrap();
+            b.gate(
+                &format!("g{i}"),
+                GateKind::Inverter,
+                &[(input.as_str(), 1.0)],
+                init,
+            )
+            .unwrap();
         }
         b.build().unwrap()
     }
@@ -313,7 +353,8 @@ mod tests {
     #[test]
     fn zero_delay_loop_hits_budget() {
         let mut b = Netlist::builder();
-        b.gate("a", GateKind::Inverter, &[("a", 0.0)], false).unwrap();
+        b.gate("a", GateKind::Inverter, &[("a", 0.0)], false)
+            .unwrap();
         let nl = b.build().unwrap();
         let mut sim = EventDrivenSim::new(&nl);
         assert!(matches!(
@@ -331,5 +372,47 @@ mod tests {
         let mut sim = EventDrivenSim::new(&nl);
         let trace = sim.run(100.0, 100).unwrap();
         assert!(trace.is_empty());
+    }
+
+    #[test]
+    fn trace_recorder_captures_vcd() {
+        let nl = crate::library::c_element_oscillator();
+        let mut sim = EventDrivenSim::new(&nl);
+        sim.enable_trace();
+        let transitions = sim.run(17.0, 10_000).unwrap();
+        let recorder = sim.take_trace().unwrap();
+        // One recorded change per transition plus the initial snapshot.
+        assert_eq!(
+            recorder.changes().len(),
+            transitions.len() + nl.signal_count()
+        );
+        let vcd = recorder.to_vcd_string();
+        assert!(vcd.contains("$scope module netlist $end"));
+        for s in nl.signals() {
+            assert!(vcd.contains(&format!(" {} $end", nl.name(s))), "{vcd}");
+        }
+        // Example 3: a rises at t=2 → timestamp #2000 at 1ps resolution.
+        assert!(vcd.contains("#2000"), "{vcd}");
+    }
+
+    #[test]
+    fn run_is_restartable_and_deterministic() {
+        let nl = crate::library::c_element_oscillator();
+        let mut sim = EventDrivenSim::new(&nl);
+        let first = sim.run(50.0, 100_000).unwrap();
+        let second = sim.run(50.0, 100_000).unwrap();
+        assert!(!first.is_empty());
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn trace_is_off_by_default_and_detachable() {
+        let nl = crate::library::c_element_oscillator();
+        let mut sim = EventDrivenSim::new(&nl);
+        assert!(sim.trace().is_none());
+        sim.enable_trace();
+        assert!(sim.trace().is_some());
+        let _ = sim.take_trace();
+        assert!(sim.trace().is_none());
     }
 }

@@ -13,21 +13,30 @@
 use std::process::ExitCode;
 
 use tsg_core::analysis::diagram::{self, DiagramOptions};
+use tsg_core::analysis::event_sim::EventSimulation;
 use tsg_core::analysis::sim::TimingSimulation;
 use tsg_core::analysis::CycleTimeAnalysis;
 use tsg_core::SignalGraph;
+use tsg_sim::TraceRecorder;
 
 const USAGE: &str = "\
 tsg — performance analysis based on timing simulation (DAC'94)
 
 USAGE:
     tsg analyze FILE [--diagram] [--dot] [--baselines] [--slack] [--default-delay X]
+    tsg sim FILE.g [--periods N] [--vcd PATH] [--default-delay X]
+    tsg sim FILE.ckt [--horizon X] [--vcd PATH]
     tsg convert FILE --to {g|dot}
     tsg demo {oscillator|muller5|stack66}
 
 FILE formats (by extension):
     .g     Signal Transition Graph (astg dialect, `.delay` extension)
-    .ckt   gate-level netlist (extracted via the TRASPEC-style flow)
+    .ckt   gate-level netlist (extracted via the TRASPEC-style flow;
+           `sim` runs the netlist directly through the event-driven
+           transport-delay simulator)
+
+`sim` runs the shared tsg-sim event kernel and prints the transition
+stream; `--vcd PATH` additionally dumps a waveform any VCD viewer opens.
 ";
 
 fn main() -> ExitCode {
@@ -83,10 +92,88 @@ fn run(args: &[String]) -> Result<String, String> {
                 }
                 i += 1;
             }
-            let text =
-                std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
+            let text = std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
             let sg = load(file, &text, opts.default_delay)?;
             Ok(report(&sg, &opts))
+        }
+        Some("sim") => {
+            let file = args.get(1).ok_or("sim needs a FILE argument")?;
+            let mut periods: Option<u32> = None;
+            let mut horizon: Option<f64> = None;
+            let mut vcd: Option<String> = None;
+            let mut default_delay: Option<f64> = None;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--periods" => {
+                        i += 1;
+                        periods = Some(
+                            args.get(i)
+                                .and_then(|v| v.parse().ok())
+                                .filter(|&p| p >= 1)
+                                .ok_or("--periods needs a positive integer")?,
+                        );
+                    }
+                    "--horizon" => {
+                        i += 1;
+                        horizon = Some(
+                            args.get(i)
+                                .and_then(|v| v.parse().ok())
+                                .filter(|h: &f64| h.is_finite() && *h > 0.0)
+                                .ok_or("--horizon needs a positive number")?,
+                        );
+                    }
+                    "--vcd" => {
+                        i += 1;
+                        vcd = Some(args.get(i).cloned().ok_or("--vcd needs an output PATH")?);
+                    }
+                    "--default-delay" => {
+                        i += 1;
+                        default_delay = Some(
+                            args.get(i)
+                                .and_then(|v| v.parse().ok())
+                                .ok_or("--default-delay needs a number")?,
+                        );
+                    }
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+                i += 1;
+            }
+            let text = std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
+            if file.ends_with(".ckt") {
+                if periods.is_some() {
+                    return Err(
+                        "--periods applies to .g signal graphs; netlist simulations take \
+                         --horizon"
+                            .to_owned(),
+                    );
+                }
+                if default_delay.is_some() {
+                    return Err(
+                        "--default-delay applies to .g signal graphs; netlists carry their \
+                         own pin delays"
+                            .to_owned(),
+                    );
+                }
+                let nl = tsg_circuit::parse::parse_ckt(&text).map_err(|e| e.to_string())?;
+                simulate_netlist(&nl, horizon.unwrap_or(100.0), vcd.as_deref())
+            } else {
+                if horizon.is_some() {
+                    return Err(
+                        "--horizon applies to .ckt netlists; signal-graph simulations take \
+                         --periods"
+                            .to_owned(),
+                    );
+                }
+                let sg = tsg_stg::parse_stg(
+                    &text,
+                    tsg_stg::StgOptions {
+                        default_delay: default_delay.unwrap_or(1.0),
+                    },
+                )
+                .map_err(|e| e.to_string())?;
+                simulate_graph(&sg, periods.unwrap_or(4), vcd.as_deref())
+            }
         }
         Some("convert") => {
             let file = args.get(1).ok_or("convert needs a FILE argument")?;
@@ -94,8 +181,7 @@ fn run(args: &[String]) -> Result<String, String> {
                 (Some("--to"), Some(t)) => t.as_str(),
                 _ => return Err("convert needs `--to {g|dot}`".to_owned()),
             };
-            let text =
-                std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
+            let text = std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
             let sg = load(file, &text, 1.0)?;
             match to {
                 "g" => tsg_stg::write_stg(&sg, "converted").map_err(|e| e.to_string()),
@@ -129,6 +215,70 @@ fn run(args: &[String]) -> Result<String, String> {
     }
 }
 
+/// `tsg sim` on a gate-level netlist: the event-driven transport-delay
+/// simulator on the shared kernel, with optional VCD capture.
+fn simulate_netlist(
+    nl: &tsg_circuit::Netlist,
+    horizon: f64,
+    vcd: Option<&str>,
+) -> Result<String, String> {
+    use std::fmt::Write as _;
+    let mut sim = tsg_circuit::EventDrivenSim::new(nl);
+    if vcd.is_some() {
+        sim.enable_trace();
+    }
+    let trace = sim
+        .run(horizon, 2_000_000)
+        .map_err(|e| format!("simulation failed: {e}"))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "simulated {} transition(s) on {} signal(s) to horizon {horizon}",
+        trace.len(),
+        nl.signal_count()
+    );
+    for s in nl.signals() {
+        if let Some(period) = tsg_circuit::EventDrivenSim::steady_period(&trace, s, true) {
+            let _ = writeln!(out, "  {:<8} steady period {period}", nl.name(s));
+        }
+    }
+    if let Some(path) = vcd {
+        let recorder = sim.take_trace().expect("trace was enabled");
+        recorder
+            .dump_vcd(path)
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        let _ = writeln!(out, "VCD waveform written to {path}");
+    }
+    Ok(out)
+}
+
+/// `tsg sim` on a Signal Graph: the kernel-backed event simulation over
+/// a fixed number of periods, with optional VCD capture.
+fn simulate_graph(sg: &SignalGraph, periods: u32, vcd: Option<&str>) -> Result<String, String> {
+    use std::fmt::Write as _;
+    let sim = EventSimulation::run(sg, periods);
+    let chron = sim.chronological(sg);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "simulated {} occurrence(s) of {} event(s) over {periods} period(s)",
+        chron.len(),
+        sg.event_count()
+    );
+    for (e, i, t) in &chron {
+        let _ = writeln!(out, "  t({}_{i}) = {t}", sg.label(*e));
+    }
+    if let Some(path) = vcd {
+        let mut recorder = TraceRecorder::new("tsg");
+        sim.record_trace(sg, &mut recorder);
+        recorder
+            .dump_vcd(path)
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        let _ = writeln!(out, "VCD waveform written to {path}");
+    }
+    Ok(out)
+}
+
 fn load(file: &str, text: &str, default_delay: f64) -> Result<SignalGraph, String> {
     if file.ends_with(".ckt") {
         let nl = tsg_circuit::parse::parse_ckt(text).map_err(|e| e.to_string())?;
@@ -141,11 +291,9 @@ fn load(file: &str, text: &str, default_delay: f64) -> Result<SignalGraph, Strin
                 ));
             }
         }
-        tsg_extract::extract(&nl, tsg_extract::ExtractOptions::default())
-            .map_err(|e| e.to_string())
+        tsg_extract::extract(&nl, tsg_extract::ExtractOptions::default()).map_err(|e| e.to_string())
     } else {
-        tsg_stg::parse_stg(text, tsg_stg::StgOptions { default_delay })
-            .map_err(|e| e.to_string())
+        tsg_stg::parse_stg(text, tsg_stg::StgOptions { default_delay }).map_err(|e| e.to_string())
     }
 }
 
@@ -162,7 +310,11 @@ fn report(sg: &SignalGraph, opts: &Options) -> String {
     match CycleTimeAnalysis::run(sg) {
         Ok(a) => {
             let _ = writeln!(out, "cycle time: {}", a.cycle_time());
-            let _ = writeln!(out, "critical cycle: {}", sg.display_path(a.critical_cycle()));
+            let _ = writeln!(
+                out,
+                "critical cycle: {}",
+                sg.display_path(a.critical_cycle())
+            );
             let borders: Vec<String> = a
                 .critical_borders()
                 .iter()
@@ -175,7 +327,12 @@ fn report(sg: &SignalGraph, opts: &Options) -> String {
                     .iter()
                     .map(|(i, t, d)| format!("δ({i})={t}/{i}={d:.4}"))
                     .collect();
-                let _ = writeln!(out, "  {:<6} {}", sg.label(rec.event).to_string(), cells.join("  "));
+                let _ = writeln!(
+                    out,
+                    "  {:<6} {}",
+                    sg.label(rec.event).to_string(),
+                    cells.join("  ")
+                );
             }
         }
         Err(e) => {
@@ -343,6 +500,91 @@ mod tests {
         .unwrap();
         assert!(out.contains("CRITICAL"), "{out}");
         assert!(out.contains("timing-critical"), "{out}");
+    }
+
+    #[test]
+    fn sim_stg_file_prints_occurrences() {
+        let dir = std::env::temp_dir().join("tsg-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sim-osc.g");
+        std::fs::write(&path, tsg_stg::EXAMPLE_OSCILLATOR).unwrap();
+        let out = run(&[
+            "sim".into(),
+            path.to_string_lossy().into_owned(),
+            "--periods".into(),
+            "2".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("over 2 period(s)"), "{out}");
+        assert!(out.contains("t(a+_0)"), "{out}");
+    }
+
+    #[test]
+    fn sim_stg_file_writes_vcd() {
+        let dir = std::env::temp_dir().join("tsg-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sim-vcd.g");
+        let vcd = dir.join("sim-vcd.vcd");
+        std::fs::write(&path, tsg_stg::EXAMPLE_OSCILLATOR).unwrap();
+        let out = run(&[
+            "sim".into(),
+            path.to_string_lossy().into_owned(),
+            "--vcd".into(),
+            vcd.to_string_lossy().into_owned(),
+        ])
+        .unwrap();
+        assert!(out.contains("VCD waveform written"), "{out}");
+        let dump = std::fs::read_to_string(&vcd).unwrap();
+        assert!(dump.contains("$timescale 1ps $end"), "{dump}");
+        assert!(dump.contains("$var wire 1"), "{dump}");
+    }
+
+    #[test]
+    fn sim_ckt_file_reports_steady_period_and_vcd() {
+        let dir = std::env::temp_dir().join("tsg-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sim-osc.ckt");
+        let vcd = dir.join("sim-osc.vcd");
+        let nl = tsg_circuit::library::c_element_oscillator();
+        std::fs::write(&path, tsg_circuit::parse::write_ckt(&nl)).unwrap();
+        let out = run(&[
+            "sim".into(),
+            path.to_string_lossy().into_owned(),
+            "--horizon".into(),
+            "400".into(),
+            "--vcd".into(),
+            vcd.to_string_lossy().into_owned(),
+        ])
+        .unwrap();
+        assert!(out.contains("steady period 10"), "{out}");
+        assert!(out.contains("VCD waveform written"), "{out}");
+        assert!(std::fs::read_to_string(&vcd).unwrap().contains("$dumpvars"));
+    }
+
+    #[test]
+    fn sim_flag_validation() {
+        assert!(run(&["sim".into()]).is_err());
+        let dir = std::env::temp_dir().join("tsg-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("flags.g");
+        std::fs::write(&path, tsg_stg::EXAMPLE_OSCILLATOR).unwrap();
+        let p = path.to_string_lossy().into_owned();
+        assert!(run(&["sim".into(), p.clone(), "--periods".into(), "0".into()]).is_err());
+        assert!(run(&["sim".into(), p.clone(), "--horizon".into(), "nan".into()]).is_err());
+        assert!(run(&["sim".into(), p.clone(), "--vcd".into()]).is_err());
+        assert!(run(&["sim".into(), p.clone(), "--wat".into()]).is_err());
+        // Flags that do not apply to the input kind are rejected, not
+        // silently ignored.
+        let err = run(&["sim".into(), p, "--horizon".into(), "50".into()]).unwrap_err();
+        assert!(err.contains("--periods"), "{err}");
+        let ckt = dir.join("flags.ckt");
+        let nl = tsg_circuit::library::c_element_oscillator();
+        std::fs::write(&ckt, tsg_circuit::parse::write_ckt(&nl)).unwrap();
+        let c = ckt.to_string_lossy().into_owned();
+        let err = run(&["sim".into(), c.clone(), "--periods".into(), "3".into()]).unwrap_err();
+        assert!(err.contains("--horizon"), "{err}");
+        let err = run(&["sim".into(), c, "--default-delay".into(), "5".into()]).unwrap_err();
+        assert!(err.contains("--default-delay"), "{err}");
     }
 
     #[test]

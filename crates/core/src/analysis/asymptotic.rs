@@ -76,8 +76,7 @@ pub fn on_critical_cycle(sg: &SignalGraph, event: EventId) -> Result<bool, Analy
     let analysis = CycleTimeAnalysis::run(sg)?;
     let tau = analysis.cycle_time();
     let b = sg.border_events().len() as u32;
-    let series = delta_series(sg, event, b.max(1))
-        .expect("repetitive event checked above");
+    let series = delta_series(sg, event, b.max(1)).expect("repetitive event checked above");
     Ok(series
         .iter()
         .any(|p| p.time * tau.periods() as f64 == tau.length() * p.index as f64))
@@ -160,7 +159,10 @@ mod tests {
         }
         for l in ["b+", "b-"] {
             let e = sg.event_by_label(l).unwrap();
-            assert!(!on_critical_cycle(&sg, e).unwrap(), "{l} should not be critical");
+            assert!(
+                !on_critical_cycle(&sg, e).unwrap(),
+                "{l} should not be critical"
+            );
         }
     }
 }

@@ -129,10 +129,7 @@ impl CycleTimeAnalysis {
     ///
     /// Returns [`AnalysisError::NoCyclicBehavior`] when `sg` has no
     /// repetitive events.
-    pub fn run_with_periods(
-        sg: &SignalGraph,
-        periods: Option<u32>,
-    ) -> Result<Self, AnalysisError> {
+    pub fn run_with_periods(sg: &SignalGraph, periods: Option<u32>) -> Result<Self, AnalysisError> {
         let border = sg.border_events();
         if border.is_empty() {
             return Err(AnalysisError::NoCyclicBehavior);
@@ -414,7 +411,10 @@ mod tests {
         let a = CycleTimeAnalysis::run(&sg).unwrap();
         assert_eq!(a.cycle_time().as_f64(), 9.0);
         let cyc = sg.display_path(a.critical_cycle());
-        assert!(cyc.contains("x-"), "critical cycle should be the x loop: {cyc}");
+        assert!(
+            cyc.contains("x-"),
+            "critical cycle should be the x loop: {cyc}"
+        );
     }
 
     #[test]

@@ -1,0 +1,345 @@
+//! Kernel-backed discrete-event timing simulation of a Timed Signal Graph.
+//!
+//! [`TimingSimulation`](super::sim::TimingSimulation) evaluates the
+//! unfolding *period-synchronously*: one topological sweep per period.
+//! This module computes the identical occurrence times `t(e_i)` by
+//! running the graph as a true discrete-event system on the shared
+//! [`tsg_sim::EventQueue`] kernel: every arc sends a timed token, an
+//! event fires the instant its last token arrives, and each firing
+//! schedules the tokens of its successors.
+//!
+//! Having both evaluation strategies on one model is not redundancy —
+//! they cross-validate each other in the workspace tests, the
+//! event-driven form extends to workloads the synchronous sweep cannot
+//! express (early termination, tracing, interleaving with other event
+//! sources), and it feeds the long-run estimator in `tsg-baselines`
+//! through the same kernel as the gate-level netlist simulator.
+
+use tsg_sim::{EventQueue, TraceRecorder};
+
+use crate::event::{EventId, Polarity};
+use crate::graph::SignalGraph;
+
+/// A pending token arrival for instantiation `instance` of `target`.
+#[derive(Clone, Copy, Debug)]
+struct Token {
+    target: EventId,
+    instance: u32,
+}
+
+/// Occurrence times of a Timed Signal Graph computed event-drivenly on
+/// the `tsg-sim` kernel.
+///
+/// Produces exactly the times of
+/// [`TimingSimulation`](super::sim::TimingSimulation) — Section IV.A's
+/// `t(f) = max { t(e) + δ | e →δ f }` — but by event propagation instead
+/// of a period-synchronous sweep.
+///
+/// # Examples
+///
+/// ```
+/// use tsg_core::SignalGraph;
+/// use tsg_core::analysis::event_sim::EventSimulation;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = SignalGraph::builder();
+/// let xp = b.event("x+");
+/// let xm = b.event("x-");
+/// b.arc(xp, xm, 3.0);
+/// b.marked_arc(xm, xp, 2.0);
+/// let sg = b.build()?;
+///
+/// let sim = EventSimulation::run(&sg, 3);
+/// assert_eq!(sim.time(xp, 0), Some(0.0));
+/// assert_eq!(sim.time(xm, 0), Some(3.0));
+/// assert_eq!(sim.time(xp, 1), Some(5.0));
+/// assert_eq!(sim.time(xm, 2), Some(13.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct EventSimulation {
+    /// `times[p][e]` is `t(e_p)`; `NAN` marks never-fired slots (prefix
+    /// events only occupy instance 0).
+    times: Vec<Vec<f64>>,
+    periods: u32,
+}
+
+impl EventSimulation {
+    /// Runs the event-driven timing simulation over `periods` periods.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `periods == 0`.
+    pub fn run(sg: &SignalGraph, periods: u32) -> Self {
+        assert!(periods >= 1, "simulation needs at least one period");
+        let n = sg.event_count();
+        let p_max = periods as usize;
+
+        // Expected token count for each (event, instance) slot. An arc
+        // contributes to an instance exactly when the synchronous
+        // semantics consults it there:
+        //   prefix → prefix        : instance 0 of the target,
+        //   prefix → repetitive    : instance 0 (disengageable arcs),
+        //   repetitive, unmarked   : every instance p (from src at p),
+        //   repetitive, marked     : instances 1.. (from src at p−1);
+        //                            the initial token enables p = 0 free.
+        let mut expected = vec![vec![0u32; n]; p_max];
+        for a in sg.arc_ids() {
+            let arc = sg.arc(a);
+            let (src_rep, dst_rep) = (sg.is_repetitive(arc.src()), sg.is_repetitive(arc.dst()));
+            let dst = arc.dst().index();
+            match (src_rep, dst_rep) {
+                (false, _) => expected[0][dst] += 1,
+                (true, true) if arc.is_marked() => {
+                    for row in expected.iter_mut().skip(1) {
+                        row[dst] += 1;
+                    }
+                }
+                (true, true) => {
+                    for row in expected.iter_mut() {
+                        row[dst] += 1;
+                    }
+                }
+                (true, false) => {
+                    unreachable!("validated graphs have no repetitive → prefix arcs")
+                }
+            }
+        }
+
+        let mut times = vec![vec![f64::NAN; n]; p_max];
+        let mut remaining = expected;
+        let mut queue: EventQueue<Token> = EventQueue::new();
+
+        let fire = |sg: &SignalGraph,
+                    queue: &mut EventQueue<Token>,
+                    times: &mut Vec<Vec<f64>>,
+                    e: EventId,
+                    p: usize,
+                    t: f64| {
+            times[p][e.index()] = t;
+            for a in sg.out_arcs(e) {
+                let arc = sg.arc(a);
+                let dst = arc.dst();
+                let dst_rep = sg.is_repetitive(dst);
+                let target_instance = if !sg.is_repetitive(e) || !dst_rep {
+                    0
+                } else if arc.is_marked() {
+                    p + 1
+                } else {
+                    p
+                };
+                if target_instance >= p_max {
+                    continue; // beyond the simulated horizon
+                }
+                queue.schedule(
+                    t + arc.delay().get(),
+                    Token {
+                        target: dst,
+                        instance: target_instance as u32,
+                    },
+                );
+            }
+        };
+
+        // Sources: events whose slot expects no token. For repetitive
+        // events that is instance 0 with only marked in-arcs (the initial
+        // tokens enable them at t = 0); for prefix events, the initial
+        // events of the DAG.
+        for e in sg.events() {
+            let instances = if sg.is_repetitive(e) { p_max } else { 1 };
+            let unconstrained: Vec<usize> = remaining
+                .iter()
+                .take(instances)
+                .enumerate()
+                .filter(|(_, row)| row[e.index()] == 0)
+                .map(|(p, _)| p)
+                .collect();
+            for p in unconstrained {
+                fire(sg, &mut queue, &mut times, e, p, 0.0);
+            }
+        }
+
+        while let Some(ev) = queue.pop() {
+            let Token { target, instance } = ev.payload;
+            let (p, i) = (instance as usize, target.index());
+            debug_assert!(remaining[p][i] > 0, "token for an already-fired slot");
+            remaining[p][i] -= 1;
+            if remaining[p][i] == 0 {
+                // The queue pops in time order, so this last arrival IS
+                // the max over all in-arc contributions — except at
+                // instance 0, where the synchronous base case clamps
+                // times to at least 0 (all delays are non-negative, so
+                // the clamp only matters for empty maxima, handled
+                // above).
+                fire(sg, &mut queue, &mut times, target, p, ev.time);
+            }
+        }
+
+        EventSimulation { times, periods }
+    }
+
+    /// Number of simulated periods.
+    pub fn periods(&self) -> u32 {
+        self.periods
+    }
+
+    /// Occurrence time `t(e_i)`, or `None` outside the simulated horizon
+    /// (prefix events only have instance 0).
+    pub fn time(&self, e: EventId, instance: u32) -> Option<f64> {
+        self.times
+            .get(instance as usize)
+            .map(|row| row[e.index()])
+            .filter(|t| t.is_finite())
+    }
+
+    /// Average occurrence distance `δ(e_i) = t(e_i) / (i + 1)`.
+    pub fn average_distance(&self, e: EventId, instance: u32) -> Option<f64> {
+        self.time(e, instance).map(|t| t / (instance + 1) as f64)
+    }
+
+    /// All `(event, instance, time)` triples in chronological order
+    /// (ties by event id, then instance).
+    pub fn chronological(&self, sg: &SignalGraph) -> Vec<(EventId, u32, f64)> {
+        let mut out = Vec::new();
+        for e in sg.events() {
+            for p in 0..self.periods {
+                if let Some(t) = self.time(e, p) {
+                    out.push((e, p, t));
+                }
+            }
+        }
+        out.sort_by(|a, b| a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
+        out
+    }
+
+    /// Replays the simulation into a [`TraceRecorder`] for VCD dumping.
+    ///
+    /// Events labelled with signal polarities (`a+` / `a-`) drive a wire
+    /// named after the signal; bare labels drive a wire per event that
+    /// toggles on each occurrence.
+    pub fn record_trace(&self, sg: &SignalGraph, recorder: &mut TraceRecorder) {
+        let mut wires = std::collections::HashMap::new();
+        let ids: Vec<_> = sg
+            .events()
+            .map(|e| {
+                let name = sg.label(e).signal().to_string();
+                *wires
+                    .entry(name.clone())
+                    .or_insert_with(|| recorder.declare(name))
+            })
+            .collect();
+        let mut levels: Vec<bool> = sg.events().map(|_| false).collect();
+        for (e, _, t) in self.chronological(sg) {
+            let value = match sg.label(e).polarity() {
+                Some(Polarity::Rise) => true,
+                Some(Polarity::Fall) => false,
+                None => {
+                    levels[e.index()] = !levels[e.index()];
+                    levels[e.index()]
+                }
+            };
+            recorder.record(t, ids[e.index()], value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::sim::TimingSimulation;
+    use crate::SignalGraph;
+
+    /// The paper's Figure 2c graph (same fixture as the synchronous sim).
+    fn figure2() -> SignalGraph {
+        let mut b = SignalGraph::builder();
+        let e = b.initial_event("e-");
+        let f = b.finite_event("f-");
+        let ap = b.event("a+");
+        let bp = b.event("b+");
+        let cp = b.event("c+");
+        let am = b.event("a-");
+        let bm = b.event("b-");
+        let cm = b.event("c-");
+        b.arc(e, f, 3.0);
+        b.disengageable_arc(e, ap, 2.0);
+        b.disengageable_arc(f, bp, 1.0);
+        b.arc(ap, cp, 3.0);
+        b.arc(bp, cp, 2.0);
+        b.arc(cp, am, 2.0);
+        b.arc(cp, bm, 1.0);
+        b.arc(am, cm, 3.0);
+        b.arc(bm, cm, 2.0);
+        b.marked_arc(cm, ap, 2.0);
+        b.marked_arc(cm, bp, 1.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn example3_occurrence_times() {
+        let sg = figure2();
+        let sim = EventSimulation::run(&sg, 2);
+        let t = |label: &str, i: u32| sim.time(sg.event_by_label(label).unwrap(), i).unwrap();
+        assert_eq!(t("e-", 0), 0.0);
+        assert_eq!(t("f-", 0), 3.0);
+        assert_eq!(t("a+", 0), 2.0);
+        assert_eq!(t("b+", 0), 4.0);
+        assert_eq!(t("c+", 0), 6.0);
+        assert_eq!(t("a-", 0), 8.0);
+        assert_eq!(t("b-", 0), 7.0);
+        assert_eq!(t("c-", 0), 11.0);
+        assert_eq!(t("a+", 1), 13.0);
+        assert_eq!(t("b+", 1), 12.0);
+        assert_eq!(t("c+", 1), 16.0);
+    }
+
+    #[test]
+    fn agrees_with_synchronous_simulation() {
+        let sg = figure2();
+        let periods = 6;
+        let sync = TimingSimulation::run(&sg, periods);
+        let event = EventSimulation::run(&sg, periods);
+        for e in sg.events() {
+            for p in 0..periods {
+                assert_eq!(sync.time(e, p), event.time(e, p), "{}_{p}", sg.label(e));
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_events_have_single_instance() {
+        let sg = figure2();
+        let sim = EventSimulation::run(&sg, 2);
+        let e = sg.event_by_label("e-").unwrap();
+        assert_eq!(sim.time(e, 0), Some(0.0));
+        assert_eq!(sim.time(e, 1), None);
+    }
+
+    #[test]
+    fn chronological_matches_synchronous() {
+        let sg = figure2();
+        let sync = TimingSimulation::run(&sg, 2).chronological(&sg);
+        let event = EventSimulation::run(&sg, 2).chronological(&sg);
+        assert_eq!(sync, event);
+    }
+
+    #[test]
+    fn trace_produces_signal_wires() {
+        let sg = figure2();
+        let sim = EventSimulation::run(&sg, 2);
+        let mut rec = TraceRecorder::new("tsg");
+        sim.record_trace(&sg, &mut rec);
+        // Five signals: a, b, c, e, f — one wire each, not one per event.
+        assert_eq!(rec.signal_count(), 5);
+        let vcd = rec.to_vcd_string();
+        assert!(vcd.contains("$var wire 1"));
+        assert!(!rec.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one period")]
+    fn zero_periods_panics() {
+        let sg = figure2();
+        let _ = EventSimulation::run(&sg, 0);
+    }
+}

@@ -79,11 +79,7 @@ impl InitiatedSimulation {
     /// # Panics
     ///
     /// Panics if `periods == 0`.
-    pub fn run(
-        sg: &SignalGraph,
-        origin: EventId,
-        periods: u32,
-    ) -> Result<Self, NotRepetitive> {
+    pub fn run(sg: &SignalGraph, origin: EventId, periods: u32) -> Result<Self, NotRepetitive> {
         let structure = CyclicStructure::new(sg);
         Self::run_with(sg, &structure, origin, periods, true)
     }
@@ -197,10 +193,7 @@ impl InitiatedSimulation {
     /// All defined `δ_{g0}(g_i)` for `0 < i <= periods`, as `(i, t, δ)`.
     pub fn distance_series(&self) -> Vec<(u32, f64, f64)> {
         (1..=self.periods)
-            .filter_map(|i| {
-                self.time(self.origin, i)
-                    .map(|t| (i, t, t / i as f64))
-            })
+            .filter_map(|i| self.time(self.origin, i).map(|t| (i, t, t / i as f64)))
             .collect()
     }
 
@@ -330,10 +323,19 @@ mod tests {
         let expect = [8.0, 9.0, 9.0 + 1.0 / 3.0, 9.5, 9.6];
         for (i, want) in expect.iter().enumerate() {
             let got = sim.average_distance(i as u32 + 1).unwrap();
-            assert!((got - want).abs() < 1e-12, "i={} {} != {}", i + 1, got, want);
+            assert!(
+                (got - want).abs() < 1e-12,
+                "i={} {} != {}",
+                i + 1,
+                got,
+                want
+            );
         }
         for i in 1..=40 {
-            assert!(sim.average_distance(i).unwrap() < 10.0, "Prop 8: strictly below");
+            assert!(
+                sim.average_distance(i).unwrap() < 10.0,
+                "Prop 8: strictly below"
+            );
         }
         assert!(sim.average_distance(40).unwrap() > 9.9);
     }

@@ -2,6 +2,8 @@
 //!
 //! * [`sim::TimingSimulation`] — the timing simulation `t(·)` over the
 //!   unfolding (Section IV.A),
+//! * [`event_sim::EventSimulation`] — the same `t(·)` computed
+//!   discrete-event-style on the shared `tsg-sim` kernel,
 //! * [`initiated::InitiatedSimulation`] — the event-initiated simulation
 //!   `t_g(·)` (Section IV.B),
 //! * [`CycleTimeAnalysis`] — the O(b²m) cycle-time algorithm with
@@ -14,6 +16,7 @@ pub mod asymptotic;
 pub mod border;
 pub mod cycle_time;
 pub mod diagram;
+pub mod event_sim;
 pub mod initiated;
 pub mod sim;
 pub mod slack;
@@ -94,8 +97,7 @@ impl PartialEq for CycleTime {
 
 impl PartialOrd for CycleTime {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        (self.length * other.periods as f64)
-            .partial_cmp(&(other.length * self.periods as f64))
+        (self.length * other.periods as f64).partial_cmp(&(other.length * self.periods as f64))
     }
 }
 

@@ -83,8 +83,8 @@ impl TimingSimulation {
             let mut t: f64 = 0.0;
             for a in sg.in_arcs(ev) {
                 let arc = sg.arc(a);
-                let src_t = prefix[arc.src().index()]
-                    .expect("prefix causes are topologically earlier");
+                let src_t =
+                    prefix[arc.src().index()].expect("prefix causes are topologically earlier");
                 t = t.max(src_t + arc.delay().get());
             }
             prefix[ev.index()] = Some(t);
@@ -170,12 +170,7 @@ impl TimingSimulation {
 
     /// The latest occurrence time in the simulation (for diagram scaling).
     pub fn horizon(&self) -> f64 {
-        let pre = self
-            .prefix
-            .iter()
-            .flatten()
-            .copied()
-            .fold(0.0f64, f64::max);
+        let pre = self.prefix.iter().flatten().copied().fold(0.0f64, f64::max);
         let cyc = self
             .times
             .iter()
@@ -262,7 +257,14 @@ mod tests {
         let sg = figure2();
         let sim = TimingSimulation::run(&sg, 6);
         let ap = sg.event_by_label("a+").unwrap();
-        let expect = [2.0, 13.0 / 2.0, 23.0 / 3.0, 33.0 / 4.0, 43.0 / 5.0, 53.0 / 6.0];
+        let expect = [
+            2.0,
+            13.0 / 2.0,
+            23.0 / 3.0,
+            33.0 / 4.0,
+            43.0 / 5.0,
+            53.0 / 6.0,
+        ];
         for (i, &want) in expect.iter().enumerate() {
             let got = sim.average_distance(ap, i as u32).unwrap();
             assert!((got - want).abs() < 1e-12, "i={i}: {got} != {want}");

@@ -54,9 +54,7 @@ impl CyclicStructure {
         let mut offsets = vec![0u32; n + 1];
         for a in sg.arc_ids() {
             let arc = sg.arc(a);
-            if sg.is_repetitive(arc.src())
-                && sg.is_repetitive(arc.dst())
-                && !arc.is_disengageable()
+            if sg.is_repetitive(arc.src()) && sg.is_repetitive(arc.dst()) && !arc.is_disengageable()
             {
                 offsets[arc.dst().index() + 1] += 1;
             }
@@ -76,9 +74,7 @@ impl CyclicStructure {
         ];
         for a in sg.arc_ids() {
             let arc = sg.arc(a);
-            if sg.is_repetitive(arc.src())
-                && sg.is_repetitive(arc.dst())
-                && !arc.is_disengageable()
+            if sg.is_repetitive(arc.src()) && sg.is_repetitive(arc.dst()) && !arc.is_disengageable()
             {
                 let slot = cursor[arc.dst().index()];
                 entries[slot as usize] = InArc {

@@ -91,7 +91,13 @@ mod tests {
 
     #[test]
     fn accessors() {
-        let a = Arc::new(EventId(0), EventId(1), Delay::new(3.0).unwrap(), true, false);
+        let a = Arc::new(
+            EventId(0),
+            EventId(1),
+            Delay::new(3.0).unwrap(),
+            true,
+            false,
+        );
         assert_eq!(a.src(), EventId(0));
         assert_eq!(a.dst(), EventId(1));
         assert_eq!(a.delay().get(), 3.0);

@@ -93,7 +93,14 @@ impl SignalGraphBuilder {
         self.add_event(label, kind)
     }
 
-    fn push_arc(&mut self, src: EventId, dst: EventId, delay: f64, marked: bool, dis: bool) -> ArcId {
+    fn push_arc(
+        &mut self,
+        src: EventId,
+        dst: EventId,
+        delay: f64,
+        marked: bool,
+        dis: bool,
+    ) -> ArcId {
         let delay = match Delay::new(delay) {
             Ok(d) => d,
             Err(e) => {
@@ -188,10 +195,7 @@ mod tests {
         let a2 = b.event("a+");
         b.arc(a1, a2, 1.0);
         b.marked_arc(a2, a1, 1.0);
-        assert!(matches!(
-            b.build(),
-            Err(ValidationError::DuplicateLabel(_))
-        ));
+        assert!(matches!(b.build(), Err(ValidationError::DuplicateLabel(_))));
     }
 
     #[test]

@@ -202,9 +202,7 @@ impl SignalGraph {
     /// simulations from these events.
     pub fn border_events(&self) -> Vec<EventId> {
         self.events()
-            .filter(|&e| {
-                self.is_repetitive(e) && self.in_arcs(e).any(|a| self.arc(a).is_marked())
-            })
+            .filter(|&e| self.is_repetitive(e) && self.in_arcs(e).any(|a| self.arc(a).is_marked()))
             .collect()
     }
 

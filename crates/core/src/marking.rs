@@ -61,11 +61,7 @@ impl Marking {
     /// arcs armed, no prefix event fired.
     pub fn initial(sg: &SignalGraph) -> Self {
         Marking {
-            tokens: sg
-                .arcs()
-                .iter()
-                .map(|a| u32::from(a.is_marked()))
-                .collect(),
+            tokens: sg.arcs().iter().map(|a| u32::from(a.is_marked())).collect(),
             spent: vec![false; sg.arc_count()],
             fired_prefix: vec![false; sg.event_count()],
         }

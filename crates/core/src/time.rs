@@ -221,7 +221,10 @@ mod tests {
     fn ratio_ordering_is_exact() {
         assert!(Ratio::new(20, 3) > Ratio::new(13, 2)); // 6.67 > 6.5
         assert!(Ratio::new(1, 3) < Ratio::new(1, 2));
-        assert_eq!(Ratio::new(2, 4).cmp(&Ratio::new(1, 2)), std::cmp::Ordering::Equal);
+        assert_eq!(
+            Ratio::new(2, 4).cmp(&Ratio::new(1, 2)),
+            std::cmp::Ordering::Equal
+        );
     }
 
     #[test]

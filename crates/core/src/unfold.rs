@@ -90,10 +90,11 @@ impl Unfolding {
         let mut graph = DiGraph::new();
         let mut origin_arc = Vec::new();
 
-        let add = |event: EventId, index: u32,
-                       instances: &mut Vec<Instance>,
-                       lookup: &mut HashMap<(EventId, u32), InstId>,
-                       graph: &mut DiGraph| {
+        let add = |event: EventId,
+                   index: u32,
+                   instances: &mut Vec<Instance>,
+                   lookup: &mut HashMap<(EventId, u32), InstId>,
+                   graph: &mut DiGraph| {
             let id = InstId(instances.len() as u32);
             instances.push(Instance { event, index });
             lookup.insert((event, index), id);

@@ -89,7 +89,10 @@ impl fmt::Display for ValidationError {
                 write!(f, "finite event {e} has no cause; declare it initial")
             }
             ValidationError::RepetitiveBeforePrefix { src, dst } => {
-                write!(f, "arc {src}->{dst} leads from a repetitive event to a prefix event")
+                write!(
+                    f,
+                    "arc {src}->{dst} leads from a repetitive event to a prefix event"
+                )
             }
             ValidationError::MarkedArcOutsideCycle { src, dst } => {
                 write!(f, "marked arc {src}->{dst} must connect repetitive events")
@@ -101,10 +104,17 @@ impl fmt::Display for ValidationError {
                 )
             }
             ValidationError::PrefixArcNotDisengageable { src, dst } => {
-                write!(f, "prefix->repetitive arc {src}->{dst} must be disengageable")
+                write!(
+                    f,
+                    "prefix->repetitive arc {src}->{dst} must be disengageable"
+                )
             }
             ValidationError::TokenFreeCycle { events } => {
-                write!(f, "cycle without initial token through {} event(s): graph is not live", events.len())
+                write!(
+                    f,
+                    "cycle without initial token through {} event(s): graph is not live",
+                    events.len()
+                )
             }
             ValidationError::NotStronglyConnected => {
                 write!(f, "repetitive subgraph is not strongly connected")
@@ -340,14 +350,20 @@ mod tests {
         // two independent self-loops: live but not strongly connected
         b.marked_arc(a, a, 1.0);
         b.marked_arc(c, c, 1.0);
-        assert_eq!(b.build().unwrap_err(), ValidationError::NotStronglyConnected);
+        assert_eq!(
+            b.build().unwrap_err(),
+            ValidationError::NotStronglyConnected
+        );
     }
 
     #[test]
     fn single_event_needs_self_arc() {
         let mut b = SignalGraph::builder();
         b.event("a+");
-        assert_eq!(b.build().unwrap_err(), ValidationError::NotStronglyConnected);
+        assert_eq!(
+            b.build().unwrap_err(),
+            ValidationError::NotStronglyConnected
+        );
 
         let mut b = SignalGraph::builder();
         let a = b.event("a+");

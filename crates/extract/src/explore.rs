@@ -132,10 +132,7 @@ pub fn explore(netlist: &Netlist, max_states: usize) -> ExploreReport {
             let enabled2 = actions(s2);
             for &b in &enabled {
                 if b != a && !enabled2.contains(&b) {
-                    let v = SemimodularityViolation {
-                        disabled: b,
-                        by: a,
-                    };
+                    let v = SemimodularityViolation { disabled: b, by: a };
                     if !violations.contains(&v) {
                         violations.push(v);
                     }
@@ -191,7 +188,8 @@ mod tests {
         // with z's fall — firing z disables y (classic static hazard).
         let mut b = Netlist::builder();
         b.input_with_flip("x", false);
-        b.gate("z", GateKind::Inverter, &[("x", 1.0)], true).unwrap();
+        b.gate("z", GateKind::Inverter, &[("x", 1.0)], true)
+            .unwrap();
         b.gate("y", GateKind::And, &[("x", 1.0), ("z", 1.0)], false)
             .unwrap();
         let nl = b.build().unwrap();

@@ -88,7 +88,10 @@ impl fmt::Display for ExtractError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ExtractError::OrCausality { signal } => {
-                write!(f, "OR-caused excitation of {signal:?}: circuit is not distributive")
+                write!(
+                    f,
+                    "OR-caused excitation of {signal:?}: circuit is not distributive"
+                )
             }
             ExtractError::NotPeriodic { signal } => {
                 write!(f, "trigger pattern of {signal:?} is not periodic")
@@ -258,7 +261,14 @@ pub fn extract(netlist: &Netlist, options: ExtractOptions) -> Result<SignalGraph
         }
     }
 
-    fold(netlist, &recs, &last_fire_round, max_rounds, nsig, min_instances)
+    fold(
+        netlist,
+        &recs,
+        &last_fire_round,
+        max_rounds,
+        nsig,
+        min_instances,
+    )
 }
 
 /// Folds the recorded unfolding into a Signal Graph.
@@ -273,10 +283,7 @@ fn fold(
     // Classify signals: repetitive = still firing near the end.
     let window = nsig + 2;
     let repetitive: Vec<bool> = (0..nsig)
-        .map(|s| {
-            last_fire_round[s]
-                .is_some_and(|r| r + window >= max_rounds)
-        })
+        .map(|s| last_fire_round[s].is_some_and(|r| r + window >= max_rounds))
         .collect();
 
     // Per-record instance numbers (per signal+value).
@@ -409,9 +416,7 @@ fn fold(
                     let val = netlist.initial_state()[t.pin_signal.index()];
                     if repetitive[t.pin_signal.index()] {
                         let matches = steady.iter().any(|it| {
-                            it.src_signal == t.pin_signal
-                                && it.src_value == val
-                                && it.offset == 1
+                            it.src_signal == t.pin_signal && it.src_value == val && it.offset == 1
                         });
                         if !matches {
                             return Err(ExtractError::NotPeriodic {
@@ -528,9 +533,17 @@ mod tests {
         assert_eq!(
             arcs,
             vec![
-                "a+->c+:3", "a-->c-:3", "b+->c+:2", "b-->c-:2",
-                "c+->a-:2", "c+->b-:1", "c-->a+:2*", "c-->b+:1*",
-                "e-->a+:2x", "e-->f-:3", "f-->b+:1x",
+                "a+->c+:3",
+                "a-->c-:3",
+                "b+->c+:2",
+                "b-->c-:2",
+                "c+->a-:2",
+                "c+->b-:1",
+                "c-->a+:2*",
+                "c-->b+:1*",
+                "e-->a+:2x",
+                "e-->f-:3",
+                "f-->b+:1x",
             ]
         );
     }
@@ -609,7 +622,8 @@ mod tests {
         let mut b = Netlist::builder();
         b.input_with_flip("x", true);
         b.gate("y", GateKind::Buffer, &[("x", 2.0)], true).unwrap();
-        b.gate("z", GateKind::Inverter, &[("y", 1.0)], false).unwrap();
+        b.gate("z", GateKind::Inverter, &[("y", 1.0)], false)
+            .unwrap();
         let nl = b.build().unwrap();
         let sg = extract(&nl, ExtractOptions::default()).unwrap();
         // x-, y-, z+ : all prefix, no repetitive events.

@@ -158,8 +158,8 @@ mod tests {
     fn many_seeds_build_and_analyze() {
         for seed in 0..50 {
             let sg = random_live_tsg(seed, RandomTsgConfig::default());
-            let analysis = CycleTimeAnalysis::run(&sg)
-                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            let analysis =
+                CycleTimeAnalysis::run(&sg).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             assert!(analysis.cycle_time().as_f64() >= 0.0);
         }
     }

@@ -61,10 +61,7 @@ mod tests {
     fn token_count_matches() {
         for tokens in 1..=6 {
             let sg = ring(6, tokens, 1.0);
-            let marked = sg
-                .arc_ids()
-                .filter(|&a| sg.arc(a).is_marked())
-                .count();
+            let marked = sg.arc_ids().filter(|&a| sg.arc(a).is_marked()).count();
             assert_eq!(marked, tokens, "tokens={tokens}");
             assert_eq!(sg.border_events().len(), tokens);
         }

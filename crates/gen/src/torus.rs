@@ -114,10 +114,7 @@ mod tests {
     fn baselines_agree_on_torus() {
         let sg = torus(4, 4, 3.0, 2.0);
         let want = CycleTimeAnalysis::run(&sg).unwrap().cycle_time().as_f64();
-        assert_eq!(
-            tsg_baselines_check::howard(&sg),
-            want
-        );
+        assert_eq!(tsg_baselines_check::howard(&sg), want);
     }
 
     // tiny indirection so the dev-dependency is only named once

@@ -1,0 +1,43 @@
+//! # tsg-sim — the shared event-simulation kernel
+//!
+//! Every simulator in the workspace — the gate-level transport-delay
+//! netlist simulator in `tsg-circuit`, the kernel-backed Timed Signal
+//! Graph event simulation in `tsg-core`, and the long-run estimator in
+//! `tsg-baselines` — runs on the three primitives in this crate:
+//!
+//! * [`EventQueue`] — a monotone pending-event queue with deterministic
+//!   `(time, seq)` tie-breaking and a NaN-rejecting total order. Times
+//!   never go backwards and never go undefined, by construction: invalid
+//!   schedules are rejected at enqueue time, not discovered at pop time.
+//! * [`TraceRecorder`] — captures timed signal transitions during (or
+//!   after) a simulation and dumps them as a VCD waveform any standard
+//!   viewer (GTKWave, Surfer) can open.
+//! * [`BatchRunner`] — fans many independent scenarios (different seeds,
+//!   netlists or delay assignments) out across OS threads with
+//!   [`std::thread::scope`], preserving input order in the results.
+//!
+//! The kernel is deliberately free of Signal-Graph or netlist semantics:
+//! payloads are caller-defined, signals are plain names, scenarios are
+//! plain closures. That is what lets one queue implementation serve both
+//! simulators and every future backend.
+//!
+//! # Example
+//!
+//! ```
+//! use tsg_sim::EventQueue;
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(2.0, "b");
+//! q.schedule(1.0, "a");
+//! q.schedule(2.0, "c"); // same time: FIFO by sequence number
+//! let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+//! assert_eq!(order, ["a", "b", "c"]);
+//! ```
+
+pub mod batch;
+pub mod queue;
+pub mod trace;
+
+pub use batch::BatchRunner;
+pub use queue::{Event, EventQueue, ScheduleError};
+pub use trace::{TraceId, TraceRecorder};

@@ -1,0 +1,317 @@
+//! Trace recording and VCD waveform dumping.
+//!
+//! A [`TraceRecorder`] is a passive sink: a simulator declares the
+//! signals it drives, then records `(time, signal, value)` transitions
+//! as they happen (or replays them afterwards). The recorder keeps the
+//! full transition stream for programmatic inspection and serialises it
+//! as a Value Change Dump, the lingua franca of waveform viewers —
+//! the same capture-then-`dump_vcd` design rhdl's traced simulations
+//! use.
+//!
+//! Times are arbitrary `f64` units (the workspace convention is
+//! nanoseconds); the VCD writer emits a `1ps` timescale and scales by
+//! 1000, so fractional delays down to a thousandth of a unit survive the
+//! integer conversion losslessly.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// Handle of a declared trace signal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TraceId(pub u32);
+
+impl TraceId {
+    /// The signal's index in declaration order.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One recorded transition.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Change {
+    /// Simulation time of the transition.
+    pub time: f64,
+    /// The signal that changed.
+    pub signal: TraceId,
+    /// The value after the transition.
+    pub value: bool,
+}
+
+/// Records timed boolean signal transitions and writes VCD.
+///
+/// # Examples
+///
+/// ```
+/// use tsg_sim::TraceRecorder;
+///
+/// let mut rec = TraceRecorder::new("demo");
+/// let clk = rec.declare("clk");
+/// rec.record(0.0, clk, false);
+/// rec.record(1.0, clk, true);
+/// rec.record(2.0, clk, false);
+/// let vcd = rec.to_vcd_string();
+/// assert!(vcd.contains("$timescale 1ps $end"));
+/// assert!(vcd.contains("$var wire 1"));
+/// assert!(vcd.contains("#1000"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct TraceRecorder {
+    module: String,
+    names: Vec<String>,
+    changes: Vec<Change>,
+}
+
+/// VCD identifier code for the `i`-th signal: base-94 over the printable
+/// ASCII range `!`..=`~`, the encoding every VCD producer uses.
+fn id_code(mut i: usize) -> String {
+    let mut code = String::new();
+    loop {
+        code.push((33 + (i % 94)) as u8 as char);
+        i /= 94;
+        if i == 0 {
+            break;
+        }
+        i -= 1;
+    }
+    code
+}
+
+impl TraceRecorder {
+    /// An empty recorder; `module` names the VCD scope.
+    pub fn new(module: impl Into<String>) -> Self {
+        TraceRecorder {
+            module: module.into(),
+            names: Vec::new(),
+            changes: Vec::new(),
+        }
+    }
+
+    /// Declares a signal, returning its handle.
+    pub fn declare(&mut self, name: impl Into<String>) -> TraceId {
+        let id = TraceId(self.names.len() as u32);
+        self.names.push(name.into());
+        id
+    }
+
+    /// Number of declared signals.
+    pub fn signal_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// The name a signal was declared with.
+    pub fn name(&self, id: TraceId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Records a transition of `signal` to `value` at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is NaN/infinite/negative or `signal` was never
+    /// declared — the same reject-at-entry contract as the event queue.
+    pub fn record(&mut self, time: f64, signal: TraceId, value: bool) {
+        assert!(
+            time.is_finite() && time >= 0.0,
+            "trace time must be finite and non-negative, got {time}"
+        );
+        assert!(
+            signal.index() < self.names.len(),
+            "trace signal {signal:?} was never declared"
+        );
+        self.changes.push(Change {
+            time,
+            signal,
+            value,
+        });
+    }
+
+    /// The recorded transitions, in recording order.
+    pub fn changes(&self) -> &[Change] {
+        &self.changes
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+
+    /// Writes the trace as VCD.
+    ///
+    /// Transitions are sorted by `(time, recording order)`; the last
+    /// write at a given instant wins, matching event-queue semantics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write_vcd<W: Write>(&self, mut w: W) -> io::Result<()> {
+        let codes: Vec<String> = (0..self.names.len()).map(id_code).collect();
+        writeln!(w, "$date offline $end")?;
+        writeln!(w, "$version tsg-sim TraceRecorder $end")?;
+        writeln!(w, "$timescale 1ps $end")?;
+        writeln!(w, "$scope module {} $end", self.module)?;
+        for (name, code) in self.names.iter().zip(&codes) {
+            // VCD identifiers must not contain whitespace; signal *names*
+            // with spaces are the caller's own naming choice to avoid.
+            writeln!(w, "$var wire 1 {code} {name} $end")?;
+        }
+        writeln!(w, "$upscope $end")?;
+        writeln!(w, "$enddefinitions $end")?;
+
+        let mut ordered: Vec<(usize, &Change)> = self.changes.iter().enumerate().collect();
+        ordered.sort_by(|(ia, a), (ib, b)| a.time.total_cmp(&b.time).then(ia.cmp(ib)));
+
+        // Initial values: only changes recorded at exactly t = 0 belong
+        // in $dumpvars; a signal whose first change comes later starts
+        // as `x` and keeps its timestamped edge.
+        writeln!(w, "$dumpvars")?;
+        let mut initial: Vec<Option<bool>> = vec![None; self.names.len()];
+        for (_, c) in &ordered {
+            if c.time > 0.0 {
+                break;
+            }
+            initial[c.signal.index()] = Some(c.value);
+        }
+        for (init, code) in initial.iter().zip(&codes) {
+            match init {
+                Some(v) => writeln!(w, "{}{code}", u8::from(*v))?,
+                None => writeln!(w, "x{code}")?,
+            }
+        }
+        writeln!(w, "$end")?;
+
+        let mut last_stamp: Option<u64> = None;
+        for (_, c) in &ordered {
+            if c.time <= 0.0 {
+                continue; // folded into $dumpvars
+            }
+            let stamp = (c.time * 1000.0).round() as u64;
+            if last_stamp != Some(stamp) {
+                writeln!(w, "#{stamp}")?;
+                last_stamp = Some(stamp);
+            }
+            writeln!(w, "{}{}", u8::from(c.value), codes[c.signal.index()])?;
+        }
+        Ok(())
+    }
+
+    /// The VCD as a string (for tests and small traces).
+    pub fn to_vcd_string(&self) -> String {
+        let mut buf = Vec::new();
+        self.write_vcd(&mut buf)
+            .expect("writing to a Vec cannot fail");
+        String::from_utf8(buf).expect("VCD output is ASCII")
+    }
+
+    /// Writes the VCD to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation and write errors.
+    pub fn dump_vcd(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let file = BufWriter::new(File::create(path)?);
+        self.write_vcd(file)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_codes_are_unique_and_printable() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000 {
+            let code = id_code(i);
+            assert!(code.bytes().all(|b| (33..127).contains(&b)), "{code:?}");
+            assert!(seen.insert(code));
+        }
+    }
+
+    #[test]
+    fn vcd_structure() {
+        let mut rec = TraceRecorder::new("osc");
+        let a = rec.declare("a");
+        let b = rec.declare("b");
+        rec.record(0.0, a, false);
+        rec.record(0.0, b, true);
+        rec.record(2.5, a, true);
+        rec.record(4.0, b, false);
+        let vcd = rec.to_vcd_string();
+        assert!(vcd.contains("$scope module osc $end"));
+        assert!(vcd.contains("$var wire 1 ! a $end"));
+        assert!(vcd.contains("$var wire 1 \" b $end"));
+        // initial values folded into $dumpvars
+        assert!(vcd.contains("$dumpvars\n0!\n1\"\n$end"));
+        assert!(vcd.contains("#2500\n1!"));
+        assert!(vcd.contains("#4000\n0\""));
+    }
+
+    #[test]
+    fn undeclared_signal_is_x_at_start() {
+        let mut rec = TraceRecorder::new("m");
+        let a = rec.declare("a");
+        let b = rec.declare("late");
+        rec.record(0.0, a, true);
+        rec.record(3.0, b, true);
+        let vcd = rec.to_vcd_string();
+        assert!(vcd.contains("x\""), "{vcd}");
+    }
+
+    #[test]
+    fn out_of_order_records_are_sorted() {
+        let mut rec = TraceRecorder::new("m");
+        let a = rec.declare("a");
+        rec.record(5.0, a, true);
+        rec.record(1.0, a, false);
+        let vcd = rec.to_vcd_string();
+        let p0 = vcd.find("#1000\n0!").unwrap();
+        let p1 = vcd.find("#5000\n1!").unwrap();
+        assert!(p0 < p1, "{vcd}");
+    }
+
+    #[test]
+    fn late_first_edge_keeps_its_timestamp() {
+        // A trace starting after t = 0 must not fold its first edge into
+        // $dumpvars: the signal starts `x` and the edge keeps its stamp.
+        let mut rec = TraceRecorder::new("m");
+        let a = rec.declare("a");
+        rec.record(5.0, a, true);
+        rec.record(7.0, a, false);
+        let vcd = rec.to_vcd_string();
+        assert!(vcd.contains("$dumpvars\nx!\n$end"), "{vcd}");
+        assert!(vcd.contains("#5000\n1!"), "{vcd}");
+        assert!(vcd.contains("#7000\n0!"), "{vcd}");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_time_rejected() {
+        let mut rec = TraceRecorder::new("m");
+        let a = rec.declare("a");
+        rec.record(f64::NAN, a, true);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_time_rejected() {
+        let mut rec = TraceRecorder::new("m");
+        let a = rec.declare("a");
+        rec.record(-1.0, a, true);
+    }
+
+    #[test]
+    #[should_panic(expected = "never declared")]
+    fn undeclared_id_rejected() {
+        let mut rec = TraceRecorder::new("m");
+        rec.record(0.0, TraceId(3), true);
+    }
+
+    #[test]
+    fn empty_trace_still_valid_vcd() {
+        let rec = TraceRecorder::new("m");
+        let vcd = rec.to_vcd_string();
+        assert!(vcd.contains("$enddefinitions"));
+    }
+}

@@ -36,8 +36,6 @@ mod examples;
 mod reader;
 mod writer;
 
-pub use examples::{
-    EXAMPLE_MULTI_EVENT, EXAMPLE_OSCILLATOR, EXAMPLE_PIPELINE_2PH, EXAMPLE_RING5,
-};
+pub use examples::{EXAMPLE_MULTI_EVENT, EXAMPLE_OSCILLATOR, EXAMPLE_PIPELINE_2PH, EXAMPLE_RING5};
 pub use reader::{parse_stg, StgError, StgOptions};
 pub use writer::{write_stg, WriteStgError};

@@ -188,9 +188,7 @@ pub fn parse_stg(text: &str, options: StgOptions) -> Result<SignalGraph, StgErro
                 // interface declarations carry no structure we need
                 Some("model") | Some("inputs") | Some("outputs") | Some("internal")
                 | Some("dummy") | Some("name") => {}
-                Some(other) => {
-                    return Err(syntax(lineno, format!("unknown directive .{other}")))
-                }
+                Some(other) => return Err(syntax(lineno, format!("unknown directive .{other}"))),
                 None => return Err(syntax(lineno, "empty directive")),
             }
             continue;

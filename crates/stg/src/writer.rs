@@ -36,9 +36,11 @@ impl std::error::Error for WriteStgError {}
 
 fn stg_token(sg: &SignalGraph, e: tsg_core::EventId) -> Result<String, WriteStgError> {
     let label = sg.label(e);
-    let pol = label.polarity().ok_or_else(|| WriteStgError::NotATransition {
-        label: label.to_string(),
-    })?;
+    let pol = label
+        .polarity()
+        .ok_or_else(|| WriteStgError::NotATransition {
+            label: label.to_string(),
+        })?;
     let p = match pol {
         Polarity::Rise => "+",
         Polarity::Fall => "-",

@@ -65,7 +65,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .filter_map(|a| {
             slack.slack(a).map(|s| {
                 let arc = sg.arc(a);
-                (s, format!("{} -> {}", sg.label(arc.src()), sg.label(arc.dst())))
+                (
+                    s,
+                    format!("{} -> {}", sg.label(arc.src()), sg.label(arc.dst())),
+                )
             })
         })
         .collect();

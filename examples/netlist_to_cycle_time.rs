@@ -71,7 +71,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "  lawler      : {}",
-        baselines::lawler_cycle_time(&sg, 60).expect("cyclic").as_f64()
+        baselines::lawler_cycle_time(&sg, 60)
+            .expect("cyclic")
+            .as_f64()
     );
     println!(
         "  long-run sim: {}",

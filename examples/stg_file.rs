@@ -6,7 +6,9 @@
 //! ```
 
 use tsg::core::analysis::CycleTimeAnalysis;
-use tsg::stg::{parse_stg, write_stg, StgOptions, EXAMPLE_OSCILLATOR, EXAMPLE_PIPELINE_2PH, EXAMPLE_RING5};
+use tsg::stg::{
+    parse_stg, write_stg, StgOptions, EXAMPLE_OSCILLATOR, EXAMPLE_PIPELINE_2PH, EXAMPLE_RING5,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (name, text) in [

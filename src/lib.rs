@@ -17,7 +17,10 @@
 //! * [`stg`] — `.g` Signal Transition Graph file I/O,
 //! * [`gen`] — workload generators (Muller rings, pipelines, stacks, seeded
 //!   random live graphs),
-//! * [`graph`] — the underlying directed-graph algorithm substrate.
+//! * [`graph`] — the underlying directed-graph algorithm substrate,
+//! * [`sim`] — the shared event-simulation kernel: the monotone event
+//!   queue, VCD trace recording, and parallel batch execution that every
+//!   simulator in the workspace runs on.
 //!
 //! # Quickstart
 //!
@@ -41,4 +44,5 @@ pub use tsg_core as core;
 pub use tsg_extract as extract;
 pub use tsg_gen as gen;
 pub use tsg_graph as graph;
+pub use tsg_sim as sim;
 pub use tsg_stg as stg;

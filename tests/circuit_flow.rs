@@ -21,8 +21,7 @@ fn analysis_matches_des_on_library() {
         ("inv_ring7", library::inverter_ring(7, 3.0), "g0"),
     ];
     for (name, nl, probe) in circuits {
-        let sg = extract(&nl, ExtractOptions::default())
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let sg = extract(&nl, ExtractOptions::default()).unwrap_or_else(|e| panic!("{name}: {e}"));
         let tau = CycleTimeAnalysis::run(&sg).unwrap().cycle_time().as_f64();
         let mut des = EventDrivenSim::new(&nl);
         let trace = des.run(tau * 400.0, 2_000_000).unwrap();

@@ -136,15 +136,9 @@ fn section8b_stack_consensus() {
     let sg = tsg::gen::stack66();
     assert_eq!((sg.event_count(), sg.arc_count()), (66, 112));
     let tau = CycleTimeAnalysis::run(&sg).unwrap().cycle_time().as_f64();
-    assert_eq!(
-        baselines::howard_cycle_time(&sg).unwrap().as_f64(),
-        tau
-    );
+    assert_eq!(baselines::howard_cycle_time(&sg).unwrap().as_f64(), tau);
     assert_eq!(baselines::karp_cycle_time(&sg).unwrap().as_f64(), tau);
-    assert_eq!(
-        baselines::lawler_cycle_time(&sg, 60).unwrap().as_f64(),
-        tau
-    );
+    assert_eq!(baselines::lawler_cycle_time(&sg, 60).unwrap().as_f64(), tau);
     assert_eq!(
         baselines::enumerate_cycle_time(&sg, 5_000_000)
             .unwrap()

@@ -1,0 +1,185 @@
+//! Vendored, dependency-free subset of the `rand` crate API.
+//!
+//! The build environment has no registry access, so this workspace ships
+//! the narrow slice of `rand` 0.8 that `tsg-gen` uses: [`SeedableRng`],
+//! [`Rng::gen_range`] over integer ranges, and [`rngs::SmallRng`].
+//!
+//! `SmallRng` is xoshiro256++ (the same family the real crate uses on
+//! 64-bit targets), seeded through SplitMix64 exactly as
+//! `seed_from_u64` specifies, so streams are deterministic, portable and
+//! of high enough quality for workload generation. This shim makes no
+//! attempt to be distribution-compatible with upstream `rand` — only
+//! API-compatible for the calls in this workspace.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable random generators (subset: [`SeedableRng::seed_from_u64`]).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that `gen_range` can sample uniformly from a range.
+pub trait SampleUniform: Copy {
+    /// Uniform sample from `[low, high)`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+/// Range argument of [`Rng::gen_range`] — half-open or inclusive.
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "cannot sample empty range");
+                let span = (high as u128).wrapping_sub(low as u128) as u128;
+                // Modulo bias is < 2^-64 for the spans used here.
+                let draw = ((rng.next_u64() as u128) % span) as $t;
+                low.wrapping_add(draw)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+macro_rules! impl_sample_range_inclusive {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (low, high) = (*self.start(), *self.end());
+                assert!(low <= high, "cannot sample empty range");
+                if low == <$t>::MIN && high == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let span = (high as u128).wrapping_sub(low as u128) + 1;
+                let draw = ((rng.next_u64() as u128) % span) as $t;
+                low.wrapping_add(draw)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_inclusive!(u8, u16, u32, u64, usize);
+
+/// The raw entropy source.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// High-level sampling helpers over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open `a..b` or inclusive `a..=b`).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample(self)
+    }
+
+    /// A uniformly random `bool`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator (xoshiro256++).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.gen_range(0u32..=1000), b.gen_range(0u32..=1000));
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.gen_range(0u64..u64::MAX)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen_range(0u64..u64::MAX)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(0u32..=9);
+            assert!(y <= 9);
+        }
+    }
+
+    #[test]
+    fn full_u64_range_does_not_overflow() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let _ = rng.gen_range(0u64..=u64::MAX);
+    }
+}
