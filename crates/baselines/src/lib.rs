@@ -32,4 +32,4 @@ pub use enumerate::{enumerate_cycle_time, CycleInventory};
 pub use howard::howard_cycle_time;
 pub use karp::karp_cycle_time;
 pub use lawler::lawler_cycle_time;
-pub use longrun::{longrun_estimate, longrun_estimate_batch};
+pub use longrun::{longrun_estimate, longrun_estimate_batch, longrun_estimate_batch_on};

@@ -48,6 +48,11 @@ pub fn longrun_estimate(sg: &SignalGraph, periods: u32) -> Option<f64> {
 /// the batch observably identical to a sequential loop over
 /// [`longrun_estimate`].
 ///
+/// Sizes its pool with [`BatchRunner::sized`], the workspace's one
+/// pool-sizing rule; pass an explicit runner through
+/// [`longrun_estimate_batch_on`] to share a pool or honour a
+/// `--threads` flag.
+///
 /// # Examples
 ///
 /// ```
@@ -57,7 +62,17 @@ pub fn longrun_estimate(sg: &SignalGraph, periods: u32) -> Option<f64> {
 /// assert!(estimates.iter().all(|e| e.is_some()));
 /// ```
 pub fn longrun_estimate_batch(scenarios: &[SignalGraph], periods: u32) -> Vec<Option<f64>> {
-    BatchRunner::new().run(scenarios, |sg| longrun_estimate(sg, periods))
+    longrun_estimate_batch_on(&BatchRunner::sized(None), scenarios, periods)
+}
+
+/// [`longrun_estimate_batch`] on a caller-provided runner — the variant
+/// CLI `--threads` flags and shared pools use.
+pub fn longrun_estimate_batch_on(
+    runner: &BatchRunner,
+    scenarios: &[SignalGraph],
+    periods: u32,
+) -> Vec<Option<f64>> {
+    runner.run(scenarios, |sg| longrun_estimate(sg, periods))
 }
 
 #[cfg(test)]
@@ -111,5 +126,10 @@ mod tests {
             .map(|sg| longrun_estimate(sg, 64))
             .collect();
         assert_eq!(batch, sequential);
+        // Explicit runners give the same answers at any thread count.
+        for threads in [1, 3] {
+            let on = longrun_estimate_batch_on(&BatchRunner::with_threads(threads), &scenarios, 64);
+            assert_eq!(on, sequential);
+        }
     }
 }

@@ -1,0 +1,145 @@
+//! Kernel microbenchmarks: the event-queue backends and the parallel
+//! analysis pipeline.
+//!
+//! ```sh
+//! cargo bench --bench kernel
+//! cargo bench --bench kernel -- --test     # CI smoke mode
+//! ```
+//!
+//! Four groups:
+//!
+//! * `queue_push_pop` — bulk push then full drain, per backend, over a
+//!   queue-depth sweep: the raw `O(log n)` vs `O(1)` story.
+//! * `queue_hold` — the classic hold model (pop one, push one a bounded
+//!   delay ahead) at steady depth: the access pattern every simulator in
+//!   the workspace actually generates.
+//! * `dispatch_overhead` — the runtime-selectable `AnyQueue` against the
+//!   static heap backend, same workload: the price of the CLI's
+//!   `--queue` flag.
+//! * `analysis` — `CycleTimeAnalysis::run` vs `analyze_batch` over a
+//!   64-graph `tsg_gen` sweep at 1/2/4/8 threads.
+//!
+//! The `bench` binary runs the same workloads outside Criterion and
+//! writes machine-readable `BENCH_kernel.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tsg_bench::{hold, push_pop, DELAY_BOUND};
+use tsg_core::analysis::CycleTimeAnalysis;
+use tsg_core::SignalGraph;
+use tsg_sim::{AnyQueue, BatchRunner, BinaryHeapQueue, CalendarQueue, EventQueue, QueueKind};
+
+fn bench_push_pop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue_push_pop");
+    for depth in [64usize, 1024, 16384] {
+        group.bench_with_input(
+            BenchmarkId::new("binary_heap", depth),
+            &depth,
+            |b, &depth| b.iter(|| push_pop(EventQueue::with_capacity(depth), black_box(depth))),
+        );
+        group.bench_with_input(BenchmarkId::new("calendar", depth), &depth, |b, &depth| {
+            b.iter(|| {
+                push_pop(
+                    EventQueue::with_backend(CalendarQueue::with_delay_bound(DELAY_BOUND)),
+                    black_box(depth),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_hold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue_hold");
+    for depth in [64usize, 1024, 16384] {
+        group.bench_with_input(
+            BenchmarkId::new("binary_heap", depth),
+            &depth,
+            |b, &depth| {
+                b.iter(|| {
+                    hold(
+                        EventQueue::with_capacity(depth),
+                        black_box(depth),
+                        4 * depth,
+                    )
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("calendar", depth), &depth, |b, &depth| {
+            b.iter(|| {
+                hold(
+                    EventQueue::with_backend(CalendarQueue::with_delay_bound(DELAY_BOUND)),
+                    black_box(depth),
+                    4 * depth,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dispatch_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch_overhead");
+    let depth = 1024usize;
+    group.bench_function("static_heap", |b| {
+        b.iter(|| {
+            hold(
+                EventQueue::with_backend(BinaryHeapQueue::with_capacity(depth)),
+                black_box(depth),
+                4 * depth,
+            )
+        })
+    });
+    group.bench_function("any_heap", |b| {
+        b.iter(|| {
+            hold(
+                EventQueue::with_backend(AnyQueue::of(QueueKind::Heap)),
+                black_box(depth),
+                4 * depth,
+            )
+        })
+    });
+    group.finish();
+}
+
+/// The 64-graph `tsg_gen` sweep of the acceptance criterion.
+fn sweep_graphs() -> Vec<SignalGraph> {
+    (0..64u64)
+        .map(|seed| tsg_gen::random_live_tsg(seed, tsg_gen::RandomTsgConfig::default()))
+        .collect()
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let graphs = sweep_graphs();
+    let mut group = c.benchmark_group("analysis");
+    group.bench_function("sequential_64", |b| {
+        b.iter(|| {
+            graphs
+                .iter()
+                .map(|sg| CycleTimeAnalysis::run(sg).unwrap().cycle_time().as_f64())
+                .sum::<f64>()
+        })
+    });
+    for threads in [1usize, 2, 4, 8] {
+        let runner = BatchRunner::with_threads(threads);
+        group.bench_with_input(
+            BenchmarkId::new("analyze_batch_64", threads),
+            &threads,
+            |b, _| {
+                b.iter(|| {
+                    CycleTimeAnalysis::analyze_batch(black_box(&graphs), &runner)
+                        .into_iter()
+                        .map(|a| a.unwrap().cycle_time().as_f64())
+                        .sum::<f64>()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = kernel;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_push_pop, bench_hold, bench_dispatch_overhead, bench_analysis
+}
+criterion_main!(kernel);

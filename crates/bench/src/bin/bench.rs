@@ -1,0 +1,294 @@
+//! `bench` — the kernel performance tracker.
+//!
+//! ```text
+//! bench [--quick] [--threads N] [--out PATH]
+//! ```
+//!
+//! Runs the kernel's hot paths outside Criterion — per-backend queue
+//! throughput (bulk push/pop and the steady-state hold model) and
+//! `CycleTimeAnalysis::analyze_batch` against the sequential loop on a
+//! 64-graph `tsg_gen` sweep — and writes the numbers to
+//! `BENCH_kernel.json` (see the README's "Performance" section for how
+//! to read it). CI runs `bench --quick` on every PR, so the perf
+//! trajectory of the queue backends and the batch pipeline is recorded
+//! from PR 2 on.
+//!
+//! Every analysis result is asserted bit-identical between the
+//! sequential and batched pipelines before any number is reported: a
+//! speedup of a wrong answer is not a speedup.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use tsg_bench::{hold, push_pop, DELAY_BOUND};
+use tsg_core::analysis::CycleTimeAnalysis;
+use tsg_core::SignalGraph;
+use tsg_sim::{BatchRunner, CalendarQueue, EventQueue};
+
+/// Best-of-`reps` wall time for `f`, which reports how many queue
+/// operations it performed.
+fn best_of(reps: usize, mut f: impl FnMut() -> usize) -> (f64, usize) {
+    let mut best = f64::INFINITY;
+    let mut ops = 0;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        ops = f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    (best, ops)
+}
+
+struct QueueRow {
+    backend: &'static str,
+    workload: &'static str,
+    depth: usize,
+    ops: usize,
+    seconds: f64,
+}
+
+impl QueueRow {
+    fn mops(&self) -> f64 {
+        self.ops as f64 / self.seconds.max(1e-12) / 1e6
+    }
+}
+
+fn measure_queues(depths: &[usize], reps: usize) -> Vec<QueueRow> {
+    let mut rows = Vec::new();
+    for &depth in depths {
+        let (heap_pp, ops) = best_of(reps, || push_pop(EventQueue::with_capacity(depth), depth));
+        rows.push(QueueRow {
+            backend: "binary_heap",
+            workload: "push_pop",
+            depth,
+            ops,
+            seconds: heap_pp,
+        });
+        let (cal_pp, ops) = best_of(reps, || {
+            push_pop(
+                EventQueue::with_backend(CalendarQueue::with_delay_bound(DELAY_BOUND)),
+                depth,
+            )
+        });
+        rows.push(QueueRow {
+            backend: "calendar",
+            workload: "push_pop",
+            depth,
+            ops,
+            seconds: cal_pp,
+        });
+        let hold_ops = 4 * depth;
+        let (heap_h, ops) = best_of(reps, || {
+            hold(EventQueue::with_capacity(depth), depth, hold_ops)
+        });
+        rows.push(QueueRow {
+            backend: "binary_heap",
+            workload: "hold",
+            depth,
+            ops,
+            seconds: heap_h,
+        });
+        let (cal_h, ops) = best_of(reps, || {
+            hold(
+                EventQueue::with_backend(CalendarQueue::with_delay_bound(DELAY_BOUND)),
+                depth,
+                hold_ops,
+            )
+        });
+        rows.push(QueueRow {
+            backend: "calendar",
+            workload: "hold",
+            depth,
+            ops,
+            seconds: cal_h,
+        });
+    }
+    rows
+}
+
+struct BatchRow {
+    threads: usize,
+    seconds: f64,
+    speedup: f64,
+}
+
+/// The 64-graph sweep of the acceptance criterion: sequential loop vs
+/// `analyze_batch` at several thread counts, asserted bit-identical.
+fn measure_analysis(
+    graphs: &[SignalGraph],
+    thread_counts: &[usize],
+    reps: usize,
+) -> (f64, Vec<BatchRow>) {
+    let reference: Vec<(u64, u32)> = graphs
+        .iter()
+        .map(|sg| {
+            let a = CycleTimeAnalysis::run(sg).expect("generated graphs are live");
+            (a.cycle_time().as_f64().to_bits(), a.cycle_time().periods())
+        })
+        .collect();
+
+    let mut seq_best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        let got: Vec<(u64, u32)> = graphs
+            .iter()
+            .map(|sg| {
+                let a = CycleTimeAnalysis::run(sg).expect("live");
+                (a.cycle_time().as_f64().to_bits(), a.cycle_time().periods())
+            })
+            .collect();
+        seq_best = seq_best.min(t.elapsed().as_secs_f64());
+        assert_eq!(got, reference);
+    }
+
+    let mut rows = Vec::new();
+    for &threads in thread_counts {
+        let runner = BatchRunner::with_threads(threads);
+        let mut best = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            let t = Instant::now();
+            let got: Vec<(u64, u32)> = CycleTimeAnalysis::analyze_batch(graphs, &runner)
+                .into_iter()
+                .map(|a| {
+                    let a = a.expect("live");
+                    (a.cycle_time().as_f64().to_bits(), a.cycle_time().periods())
+                })
+                .collect();
+            best = best.min(t.elapsed().as_secs_f64());
+            assert_eq!(
+                got, reference,
+                "analyze_batch diverged at {threads} threads"
+            );
+        }
+        rows.push(BatchRow {
+            threads,
+            seconds: best,
+            speedup: seq_best / best.max(1e-12),
+        });
+    }
+    (seq_best, rows)
+}
+
+fn json_report(
+    quick: bool,
+    queue_rows: &[QueueRow],
+    graphs: usize,
+    seq_seconds: f64,
+    batch_rows: &[BatchRow],
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": \"tsg-bench-kernel/1\",");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(
+        out,
+        "  \"threads_available\": {},",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    let _ = writeln!(out, "  \"queue\": [");
+    for (i, r) in queue_rows.iter().enumerate() {
+        let comma = if i + 1 < queue_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"backend\": \"{}\", \"workload\": \"{}\", \"depth\": {}, \"ops\": {}, \
+             \"seconds\": {:.9}, \"mops_per_sec\": {:.3}}}{comma}",
+            r.backend,
+            r.workload,
+            r.depth,
+            r.ops,
+            r.seconds,
+            r.mops()
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"analysis\": {{");
+    let _ = writeln!(out, "    \"graphs\": {graphs},");
+    let _ = writeln!(out, "    \"sequential_seconds\": {seq_seconds:.9},");
+    let _ = writeln!(out, "    \"bit_identical\": true,");
+    let _ = writeln!(out, "    \"analyze_batch\": [");
+    for (i, r) in batch_rows.iter().enumerate() {
+        let comma = if i + 1 < batch_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "      {{\"threads\": {}, \"seconds\": {:.9}, \"speedup\": {:.3}}}{comma}",
+            r.threads, r.seconds, r.speedup
+        );
+    }
+    let _ = writeln!(out, "    ]");
+    let _ = writeln!(out, "  }}");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut out_path = "BENCH_kernel.json".to_owned();
+    if let Some(pos) = args.iter().position(|a| a == "--out") {
+        match args.get(pos + 1) {
+            Some(p) if !p.starts_with("--") => out_path = p.clone(),
+            _ => {
+                eprintln!("--out needs a PATH");
+                std::process::exit(1);
+            }
+        }
+    }
+    let threads_arg = match args.iter().position(|a| a == "--threads") {
+        Some(pos) => match BatchRunner::parse_threads(args.get(pos + 1).map(String::as_str)) {
+            Ok(n) => Some(n),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        },
+        None => None,
+    };
+
+    let (depths, reps, graph_count): (&[usize], usize, usize) = if quick {
+        (&[256, 4096], 2, 16)
+    } else {
+        (&[64, 1024, 16384, 131072], 5, 64)
+    };
+
+    eprintln!("measuring queue backends ({} depths)...", depths.len());
+    let queue_rows = measure_queues(depths, reps);
+    for r in &queue_rows {
+        eprintln!(
+            "  {:<12} {:<9} depth {:>7}: {:>9.3} Mops/s",
+            r.backend,
+            r.workload,
+            r.depth,
+            r.mops()
+        );
+    }
+
+    let graphs: Vec<SignalGraph> = (0..graph_count as u64)
+        .map(|seed| tsg_gen::random_live_tsg(seed, tsg_gen::RandomTsgConfig::default()))
+        .collect();
+    let thread_counts: Vec<usize> = match threads_arg {
+        None => vec![1, 2, 4, 8],
+        Some(1) => vec![1], // the 1-thread baseline row, once
+        Some(n) => vec![1, n],
+    };
+    eprintln!(
+        "measuring analyze vs analyze_batch on {} graphs...",
+        graphs.len()
+    );
+    let (seq_seconds, batch_rows) = measure_analysis(&graphs, &thread_counts, reps);
+    eprintln!("  sequential: {:.1} ms", seq_seconds * 1e3);
+    for r in &batch_rows {
+        eprintln!(
+            "  analyze_batch x{}: {:.1} ms ({:.2}x)",
+            r.threads,
+            r.seconds * 1e3,
+            r.speedup
+        );
+    }
+
+    let report = json_report(quick, &queue_rows, graphs.len(), seq_seconds, &batch_rows);
+    if let Err(e) = std::fs::write(&out_path, &report) {
+        eprintln!("writing {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("{report}");
+    eprintln!("wrote {out_path}");
+}

@@ -3,6 +3,7 @@
 //! ```text
 //! repro                 # run all experiments
 //! repro --experiment ex3
+//! repro --threads 4     # pool size for the batch experiment
 //! repro --list
 //! ```
 //!
@@ -21,8 +22,23 @@ use tsg_core::analysis::sim::TimingSimulation;
 use tsg_core::analysis::CycleTimeAnalysis;
 use tsg_core::SignalGraph;
 
+/// Pool size for the batch experiment, set once from `--threads N`.
+/// `None` defers to [`tsg_sim::BatchRunner::sized`]'s default (all
+/// cores) — the same resolution rule every other tool uses.
+static THREADS: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--threads") {
+        match tsg_sim::BatchRunner::parse_threads(args.get(pos + 1).map(String::as_str)) {
+            Ok(n) => THREADS.set(Some(n)).expect("set once"),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+        args.drain(pos..(pos + 2).min(args.len()));
+    }
     let all = experiments();
     match args.first().map(String::as_str) {
         Some("--list") => {
@@ -445,12 +461,12 @@ fn batch() -> String {
         .collect();
     let t_seq = t_seq.elapsed();
 
-    // Run the sweep on an explicit runner so the reported thread count
-    // is the one that actually executed it.
-    let runner = BatchRunner::new();
+    // One explicit runner — sized by `--threads N` or the machine — so
+    // the reported thread count is the one that actually executed it.
+    let runner = BatchRunner::sized(THREADS.get().copied().flatten());
     let t_par = Instant::now();
     let batched: Vec<Option<f64>> =
-        runner.run(&graphs, |sg| tsg_baselines::longrun_estimate(sg, periods));
+        tsg_baselines::longrun_estimate_batch_on(&runner, &graphs, periods);
     let t_par = t_par.elapsed();
 
     let mut out = String::new();
@@ -478,6 +494,41 @@ fn batch() -> String {
     let _ = writeln!(
         out,
         "sequential {:.1} ms, batched {:.1} ms ({:.2}x)",
+        t_seq.as_secs_f64() * 1e3,
+        t_par.as_secs_f64() * 1e3,
+        t_seq.as_secs_f64() / t_par.as_secs_f64().max(1e-9)
+    );
+
+    // The same sweep through the exact analysis: `analyze_batch` fans
+    // whole cycle-time analyses (each itself b border simulations) over
+    // per-worker arenas, bit-identical to the sequential loop.
+    let t_seq = Instant::now();
+    let seq_exact: Vec<f64> = graphs
+        .iter()
+        .map(|sg| {
+            CycleTimeAnalysis::run(sg)
+                .expect("cyclic")
+                .cycle_time()
+                .as_f64()
+        })
+        .collect();
+    let t_seq = t_seq.elapsed();
+    let t_par = Instant::now();
+    let par_exact: Vec<f64> = CycleTimeAnalysis::analyze_batch(&graphs, &runner)
+        .into_iter()
+        .map(|a| a.expect("cyclic").cycle_time().as_f64())
+        .collect();
+    let t_par = t_par.elapsed();
+    assert!(
+        seq_exact
+            .iter()
+            .zip(&par_exact)
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "analyze_batch must be bit-identical to sequential analyses"
+    );
+    let _ = writeln!(
+        out,
+        "analyze_batch: sequential {:.1} ms, batched {:.1} ms ({:.2}x) — bit-identical",
         t_seq.as_secs_f64() * 1e3,
         t_par.as_secs_f64() * 1e3,
         t_seq.as_secs_f64() / t_par.as_secs_f64().max(1e-9)

@@ -17,7 +17,7 @@
 
 use std::fmt;
 
-use tsg_sim::{EventQueue, TraceId, TraceRecorder};
+use tsg_sim::{AnyQueue, EventQueue, QueueKind, TraceId, TraceRecorder};
 
 use crate::netlist::{Netlist, SignalId};
 
@@ -92,26 +92,48 @@ pub struct EventDrivenSim<'n> {
     netlist: &'n Netlist,
     state: Vec<bool>,
     views: Vec<Vec<bool>>,
-    queue: EventQueue<Arrival>,
+    queue: EventQueue<Arrival, AnyQueue<Arrival>>,
     trace: Option<(TraceRecorder, Vec<TraceId>)>,
 }
 
 impl<'n> EventDrivenSim<'n> {
-    /// Prepares a simulation from the netlist's initial state.
+    /// Prepares a simulation from the netlist's initial state on the
+    /// default binary-heap queue backend.
     pub fn new(netlist: &'n Netlist) -> Self {
+        Self::with_queue(netlist, QueueKind::Heap)
+    }
+
+    /// Prepares a simulation running on the chosen kernel queue backend.
+    ///
+    /// Backends pop bit-identical streams, so this is purely a
+    /// performance choice: the calendar backend suits the bounded pin
+    /// delays of gate libraries. The queue is pre-sized to the netlist's
+    /// total fanout — a sizing heuristic for the typical pending load
+    /// (a fast signal feeding a slow pin can keep several arrivals in
+    /// flight per pin, growing it further) — and [`EventDrivenSim::run`]
+    /// reuses whatever allocation the first run settles on across
+    /// restarts.
+    pub fn with_queue(netlist: &'n Netlist, kind: QueueKind) -> Self {
         let state = netlist.initial_state().to_vec();
-        let views = netlist
+        let views: Vec<Vec<bool>> = netlist
             .gates()
             .iter()
             .map(|g| g.inputs.iter().map(|s| state[s.index()]).collect())
             .collect();
+        let mut queue = EventQueue::with_backend(AnyQueue::of(kind));
+        queue.reserve(views.iter().map(Vec::len).sum());
         EventDrivenSim {
             netlist,
             state,
             views,
-            queue: EventQueue::new(),
+            queue,
             trace: None,
         }
+    }
+
+    /// The label of the queue backend this simulator runs on.
+    pub fn queue_backend(&self) -> &'static str {
+        self.queue.backend_name()
     }
 
     /// Attaches a [`TraceRecorder`] capturing every signal change.
@@ -403,6 +425,36 @@ mod tests {
         let second = sim.run(50.0, 100_000).unwrap();
         assert!(!first.is_empty());
         assert_eq!(first, second);
+    }
+
+    #[test]
+    fn restart_reuses_queue_allocation() {
+        let nl = crate::library::muller_ring(9, 1.0);
+        let mut sim = EventDrivenSim::new(&nl);
+        let cap_before = sim.queue.capacity();
+        assert!(cap_before > 0, "queue is pre-sized to the fanout");
+        let _ = sim.run(200.0, 1_000_000).unwrap();
+        let _ = sim.run(200.0, 1_000_000).unwrap();
+        // The heap may have grown past the pre-size during the first run,
+        // but the second run must not have had to regrow it.
+        let cap_mid = sim.queue.capacity();
+        let _ = sim.run(200.0, 1_000_000).unwrap();
+        assert_eq!(sim.queue.capacity(), cap_mid);
+    }
+
+    #[test]
+    fn calendar_queue_replays_identical_trace() {
+        for nl in [
+            crate::library::c_element_oscillator(),
+            crate::library::muller_ring(5, 1.0),
+            inverter_ring(7),
+        ] {
+            let heap_trace = EventDrivenSim::new(&nl).run(300.0, 1_000_000).unwrap();
+            let mut cal = EventDrivenSim::with_queue(&nl, QueueKind::Calendar);
+            assert_eq!(cal.queue_backend(), "calendar");
+            let cal_trace = cal.run(300.0, 1_000_000).unwrap();
+            assert_eq!(heap_trace, cal_trace);
+        }
     }
 
     #[test]

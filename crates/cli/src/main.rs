@@ -17,15 +17,18 @@ use tsg_core::analysis::event_sim::EventSimulation;
 use tsg_core::analysis::sim::TimingSimulation;
 use tsg_core::analysis::CycleTimeAnalysis;
 use tsg_core::SignalGraph;
-use tsg_sim::TraceRecorder;
+use tsg_sim::{BatchRunner, QueueKind, TraceRecorder};
 
 const USAGE: &str = "\
 tsg — performance analysis based on timing simulation (DAC'94)
 
 USAGE:
     tsg analyze FILE [--diagram] [--dot] [--baselines] [--slack] [--default-delay X]
-    tsg sim FILE.g [--periods N] [--vcd PATH] [--default-delay X]
-    tsg sim FILE.ckt [--horizon X] [--vcd PATH]
+                     [--threads N]
+    tsg sim FILE.g... [--periods N] [--vcd PATH] [--default-delay X]
+                      [--threads N] [--queue {heap|calendar}]
+    tsg sim FILE.ckt... [--horizon X] [--vcd PATH] [--threads N]
+                        [--queue {heap|calendar}]
     tsg convert FILE --to {g|dot}
     tsg demo {oscillator|muller5|stack66}
 
@@ -37,6 +40,9 @@ FILE formats (by extension):
 
 `sim` runs the shared tsg-sim event kernel and prints the transition
 stream; `--vcd PATH` additionally dumps a waveform any VCD viewer opens.
+`--queue` selects the kernel queue backend (default: heap). Several
+files fan out across a `--threads N` pool (default: all cores); the
+analysis itself also runs its border simulations on that pool.
 ";
 
 fn main() -> ExitCode {
@@ -61,6 +67,21 @@ struct Options {
     baselines: bool,
     slack: bool,
     default_delay: f64,
+    threads: Option<usize>,
+}
+
+/// Parsed flags of the `sim` subcommand, shared by every input file.
+struct SimOptions {
+    periods: Option<u32>,
+    horizon: Option<f64>,
+    vcd: Option<String>,
+    default_delay: Option<f64>,
+    threads: Option<usize>,
+    queue: QueueKind,
+}
+
+fn parse_threads(args: &[String], i: usize) -> Result<usize, String> {
+    BatchRunner::parse_threads(args.get(i).map(String::as_str))
 }
 
 fn run(args: &[String]) -> Result<String, String> {
@@ -73,6 +94,7 @@ fn run(args: &[String]) -> Result<String, String> {
                 baselines: false,
                 slack: false,
                 default_delay: 1.0,
+                threads: None,
             };
             let mut i = 2;
             while i < args.len() {
@@ -88,6 +110,10 @@ fn run(args: &[String]) -> Result<String, String> {
                             .and_then(|v| v.parse().ok())
                             .ok_or("--default-delay needs a number")?;
                     }
+                    "--threads" => {
+                        i += 1;
+                        opts.threads = Some(parse_threads(args, i)?);
+                    }
                     other => return Err(format!("unknown flag {other:?}")),
                 }
                 i += 1;
@@ -97,17 +123,28 @@ fn run(args: &[String]) -> Result<String, String> {
             Ok(report(&sg, &opts))
         }
         Some("sim") => {
-            let file = args.get(1).ok_or("sim needs a FILE argument")?;
-            let mut periods: Option<u32> = None;
-            let mut horizon: Option<f64> = None;
-            let mut vcd: Option<String> = None;
-            let mut default_delay: Option<f64> = None;
-            let mut i = 2;
+            let mut files: Vec<String> = Vec::new();
+            let mut i = 1;
+            while i < args.len() && !args[i].starts_with("--") {
+                files.push(args[i].clone());
+                i += 1;
+            }
+            if files.is_empty() {
+                return Err("sim needs a FILE argument".to_owned());
+            }
+            let mut opts = SimOptions {
+                periods: None,
+                horizon: None,
+                vcd: None,
+                default_delay: None,
+                threads: None,
+                queue: QueueKind::Heap,
+            };
             while i < args.len() {
                 match args[i].as_str() {
                     "--periods" => {
                         i += 1;
-                        periods = Some(
+                        opts.periods = Some(
                             args.get(i)
                                 .and_then(|v| v.parse().ok())
                                 .filter(|&p| p >= 1)
@@ -116,7 +153,7 @@ fn run(args: &[String]) -> Result<String, String> {
                     }
                     "--horizon" => {
                         i += 1;
-                        horizon = Some(
+                        opts.horizon = Some(
                             args.get(i)
                                 .and_then(|v| v.parse().ok())
                                 .filter(|h: &f64| h.is_finite() && *h > 0.0)
@@ -125,54 +162,74 @@ fn run(args: &[String]) -> Result<String, String> {
                     }
                     "--vcd" => {
                         i += 1;
-                        vcd = Some(args.get(i).cloned().ok_or("--vcd needs an output PATH")?);
+                        opts.vcd = Some(args.get(i).cloned().ok_or("--vcd needs an output PATH")?);
                     }
                     "--default-delay" => {
                         i += 1;
-                        default_delay = Some(
+                        opts.default_delay = Some(
                             args.get(i)
                                 .and_then(|v| v.parse().ok())
                                 .ok_or("--default-delay needs a number")?,
                         );
                     }
+                    "--threads" => {
+                        i += 1;
+                        opts.threads = Some(parse_threads(args, i)?);
+                    }
+                    "--queue" => {
+                        i += 1;
+                        opts.queue = args.get(i).ok_or("--queue needs a backend name")?.parse()?;
+                    }
                     other => return Err(format!("unknown flag {other:?}")),
                 }
                 i += 1;
             }
-            let text = std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
-            if file.ends_with(".ckt") {
-                if periods.is_some() {
-                    return Err(
-                        "--periods applies to .g signal graphs; netlist simulations take \
-                         --horizon"
-                            .to_owned(),
-                    );
+            if files.len() > 1 && opts.vcd.is_some() {
+                return Err(
+                    "--vcd writes one waveform; simulate one FILE at a time with it".to_owned(),
+                );
+            }
+            // Independent files fan out across the kernel's batch pool;
+            // results come back in input order, so the printout is
+            // identical to a sequential loop. Per-file failures don't
+            // discard the other files' transcripts: every section is
+            // printed, failed ones inline, and the command still exits
+            // nonzero if anything failed.
+            let outputs: Vec<Result<String, String>> =
+                BatchRunner::sized(opts.threads).run(&files, |file| simulate_file(file, &opts));
+            let single = files.len() == 1;
+            if single {
+                // Single-file errors already name the file where it
+                // matters (read/parse failures); no prefix, matching the
+                // pre-fan-out behaviour.
+                return outputs.into_iter().next().expect("one file, one result");
+            }
+            let mut out = String::new();
+            let mut failed: Vec<&String> = Vec::new();
+            for (file, result) in files.iter().zip(outputs) {
+                out.push_str(&format!("== {file} ==\n"));
+                match result {
+                    Ok(section) => out.push_str(&section),
+                    Err(e) => {
+                        out.push_str(&format!("error: {e}\n"));
+                        failed.push(file);
+                    }
                 }
-                if default_delay.is_some() {
-                    return Err(
-                        "--default-delay applies to .g signal graphs; netlists carry their \
-                         own pin delays"
-                            .to_owned(),
-                    );
-                }
-                let nl = tsg_circuit::parse::parse_ckt(&text).map_err(|e| e.to_string())?;
-                simulate_netlist(&nl, horizon.unwrap_or(100.0), vcd.as_deref())
+            }
+            if failed.is_empty() {
+                Ok(out)
             } else {
-                if horizon.is_some() {
-                    return Err(
-                        "--horizon applies to .ckt netlists; signal-graph simulations take \
-                         --periods"
-                            .to_owned(),
-                    );
-                }
-                let sg = tsg_stg::parse_stg(
-                    &text,
-                    tsg_stg::StgOptions {
-                        default_delay: default_delay.unwrap_or(1.0),
-                    },
-                )
-                .map_err(|e| e.to_string())?;
-                simulate_graph(&sg, periods.unwrap_or(4), vcd.as_deref())
+                print!("{out}");
+                Err(format!(
+                    "{} of {} file(s) failed: {}",
+                    failed.len(),
+                    files.len(),
+                    failed
+                        .iter()
+                        .map(|f| f.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ))
             }
         }
         Some("convert") => {
@@ -197,6 +254,7 @@ fn run(args: &[String]) -> Result<String, String> {
                 baselines: true,
                 slack: false,
                 default_delay: 1.0,
+                threads: None,
             };
             let sg = match which {
                 "oscillator" => tsg_circuit::library::c_element_oscillator_tsg(),
@@ -215,15 +273,64 @@ fn run(args: &[String]) -> Result<String, String> {
     }
 }
 
+/// One `tsg sim` input file: validates the kind-specific flags and runs
+/// the matching simulator on the selected queue backend.
+fn simulate_file(file: &str, opts: &SimOptions) -> Result<String, String> {
+    let text = std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
+    if file.ends_with(".ckt") {
+        if opts.periods.is_some() {
+            return Err(
+                "--periods applies to .g signal graphs; netlist simulations take --horizon"
+                    .to_owned(),
+            );
+        }
+        if opts.default_delay.is_some() {
+            return Err(
+                "--default-delay applies to .g signal graphs; netlists carry their own pin \
+                 delays"
+                    .to_owned(),
+            );
+        }
+        let nl = tsg_circuit::parse::parse_ckt(&text).map_err(|e| e.to_string())?;
+        simulate_netlist(
+            &nl,
+            opts.horizon.unwrap_or(100.0),
+            opts.vcd.as_deref(),
+            opts.queue,
+        )
+    } else {
+        if opts.horizon.is_some() {
+            return Err(
+                "--horizon applies to .ckt netlists; signal-graph simulations take --periods"
+                    .to_owned(),
+            );
+        }
+        let sg = tsg_stg::parse_stg(
+            &text,
+            tsg_stg::StgOptions {
+                default_delay: opts.default_delay.unwrap_or(1.0),
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        simulate_graph(
+            &sg,
+            opts.periods.unwrap_or(4),
+            opts.vcd.as_deref(),
+            opts.queue,
+        )
+    }
+}
+
 /// `tsg sim` on a gate-level netlist: the event-driven transport-delay
 /// simulator on the shared kernel, with optional VCD capture.
 fn simulate_netlist(
     nl: &tsg_circuit::Netlist,
     horizon: f64,
     vcd: Option<&str>,
+    queue: QueueKind,
 ) -> Result<String, String> {
     use std::fmt::Write as _;
-    let mut sim = tsg_circuit::EventDrivenSim::new(nl);
+    let mut sim = tsg_circuit::EventDrivenSim::with_queue(nl, queue);
     if vcd.is_some() {
         sim.enable_trace();
     }
@@ -254,9 +361,14 @@ fn simulate_netlist(
 
 /// `tsg sim` on a Signal Graph: the kernel-backed event simulation over
 /// a fixed number of periods, with optional VCD capture.
-fn simulate_graph(sg: &SignalGraph, periods: u32, vcd: Option<&str>) -> Result<String, String> {
+fn simulate_graph(
+    sg: &SignalGraph,
+    periods: u32,
+    vcd: Option<&str>,
+    queue: QueueKind,
+) -> Result<String, String> {
     use std::fmt::Write as _;
-    let sim = EventSimulation::run(sg, periods);
+    let sim = EventSimulation::run_on(sg, periods, queue);
     let chron = sim.chronological(sg);
     let mut out = String::new();
     let _ = writeln!(
@@ -307,7 +419,10 @@ fn report(sg: &SignalGraph, opts: &Options) -> String {
         sg.arc_count(),
         sg.border_events().len()
     );
-    match CycleTimeAnalysis::run(sg) {
+    // The b border-initiated simulations of the analysis fan out across
+    // the batch pool (`--threads N`, default all cores); the result is
+    // bit-identical to the sequential algorithm.
+    match CycleTimeAnalysis::run_parallel(sg, &BatchRunner::sized(opts.threads)) {
         Ok(a) => {
             let _ = writeln!(out, "cycle time: {}", a.cycle_time());
             let _ = writeln!(
@@ -559,6 +674,76 @@ mod tests {
         assert!(out.contains("steady period 10"), "{out}");
         assert!(out.contains("VCD waveform written"), "{out}");
         assert!(std::fs::read_to_string(&vcd).unwrap().contains("$dumpvars"));
+    }
+
+    #[test]
+    fn sim_many_files_fan_out_in_order() {
+        let dir = std::env::temp_dir().join("tsg-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let osc = dir.join("fan-osc.g");
+        let ring = dir.join("fan-ring.g");
+        std::fs::write(&osc, tsg_stg::EXAMPLE_OSCILLATOR).unwrap();
+        std::fs::write(&ring, tsg_stg::EXAMPLE_RING5).unwrap();
+        let out = run(&[
+            "sim".into(),
+            osc.to_string_lossy().into_owned(),
+            ring.to_string_lossy().into_owned(),
+            "--threads".into(),
+            "2".into(),
+        ])
+        .unwrap();
+        let osc_pos = out.find("fan-osc.g").unwrap();
+        let ring_pos = out.find("fan-ring.g").unwrap();
+        assert!(osc_pos < ring_pos, "input order preserved: {out}");
+        assert_eq!(out.matches("==").count(), 4, "one banner per file: {out}");
+        // --vcd with several files would clobber one waveform.
+        assert!(run(&[
+            "sim".into(),
+            osc.to_string_lossy().into_owned(),
+            ring.to_string_lossy().into_owned(),
+            "--vcd".into(),
+            dir.join("x.vcd").to_string_lossy().into_owned(),
+        ])
+        .is_err());
+        // One bad file fails the command but names the culprit instead
+        // of discarding the batch.
+        let bad = dir.join("fan-bad.g");
+        std::fs::write(&bad, "this is not an stg file").unwrap();
+        let err = run(&[
+            "sim".into(),
+            osc.to_string_lossy().into_owned(),
+            bad.to_string_lossy().into_owned(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("1 of 2 file(s) failed"), "{err}");
+        assert!(err.contains("fan-bad.g"), "{err}");
+    }
+
+    #[test]
+    fn sim_queue_backend_selection_is_observable_and_identical() {
+        let dir = std::env::temp_dir().join("tsg-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("queue-osc.g");
+        std::fs::write(&path, tsg_stg::EXAMPLE_OSCILLATOR).unwrap();
+        let p = path.to_string_lossy().into_owned();
+        let heap = run(&["sim".into(), p.clone(), "--queue".into(), "heap".into()]).unwrap();
+        let cal = run(&["sim".into(), p.clone(), "--queue".into(), "calendar".into()]).unwrap();
+        assert_eq!(heap, cal, "backends must produce identical transcripts");
+        assert!(run(&["sim".into(), p, "--queue".into(), "splay".into()]).is_err());
+    }
+
+    #[test]
+    fn analyze_threads_flag_matches_sequential() {
+        let dir = std::env::temp_dir().join("tsg-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("threads-osc.g");
+        std::fs::write(&path, tsg_stg::EXAMPLE_OSCILLATOR).unwrap();
+        let p = path.to_string_lossy().into_owned();
+        let seq = run(&["analyze".into(), p.clone(), "--threads".into(), "1".into()]).unwrap();
+        let par = run(&["analyze".into(), p.clone(), "--threads".into(), "4".into()]).unwrap();
+        assert_eq!(seq, par);
+        assert!(seq.contains("cycle time: 10"), "{seq}");
+        assert!(run(&["analyze".into(), p, "--threads".into(), "0".into()]).is_err());
     }
 
     #[test]

@@ -18,7 +18,10 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use crate::analysis::initiated::InitiatedSimulation;
+use tsg_sim::BatchRunner;
+
+use crate::analysis::initiated::SimArena;
+use crate::analysis::structure::CyclicStructure;
 use crate::analysis::CycleTime;
 use crate::arc::ArcId;
 use crate::event::EventId;
@@ -130,6 +133,26 @@ impl CycleTimeAnalysis {
     /// Returns [`AnalysisError::NoCyclicBehavior`] when `sg` has no
     /// repetitive events.
     pub fn run_with_periods(sg: &SignalGraph, periods: Option<u32>) -> Result<Self, AnalysisError> {
+        Self::run_in(sg, periods, &mut SimArena::new())
+    }
+
+    /// Allocation-reusing core: runs the algorithm with the time/parent
+    /// matrices of all `b` simulations living in `arena`.
+    ///
+    /// Repeated analyses over one arena — a design-space inner loop, a
+    /// worker thread of [`CycleTimeAnalysis::analyze_batch`] — stop
+    /// churning the allocator: after the first analysis of the largest
+    /// shape, the matrices are never reallocated again.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::NoCyclicBehavior`] when `sg` has no
+    /// repetitive events.
+    pub fn run_in(
+        sg: &SignalGraph,
+        periods: Option<u32>,
+        arena: &mut SimArena,
+    ) -> Result<Self, AnalysisError> {
         let border = sg.border_events();
         if border.is_empty() {
             return Err(AnalysisError::NoCyclicBehavior);
@@ -137,18 +160,100 @@ impl CycleTimeAnalysis {
         let b = periods.unwrap_or(border.len() as u32).max(1);
 
         // One shared evaluation structure for all b simulations.
-        let structure = crate::analysis::structure::CyclicStructure::new(sg);
+        let structure = CyclicStructure::new(sg);
 
         let mut records = Vec::with_capacity(border.len());
         for &g in &border {
-            let sim = InitiatedSimulation::run_with(sg, &structure, g, b, false)
+            arena
+                .run_with(sg, &structure, g, b, false)
                 .expect("border events are repetitive by construction");
             records.push(BorderRecord {
                 event: g,
-                distances: sim.distance_series(),
+                distances: arena.distance_series(),
             });
         }
 
+        Self::finish(sg, &structure, border, records, arena)
+    }
+
+    /// Runs the algorithm with the `b` border-initiated simulations
+    /// fanned out across `runner`'s threads.
+    ///
+    /// Each worker reuses one [`SimArena`] for all the simulations it
+    /// claims; records come back in border order, so the result —
+    /// cycle time, critical cycle, records — is bit-identical to
+    /// [`CycleTimeAnalysis::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::NoCyclicBehavior`] when `sg` has no
+    /// repetitive events.
+    pub fn run_parallel(sg: &SignalGraph, runner: &BatchRunner) -> Result<Self, AnalysisError> {
+        let border = sg.border_events();
+        if border.is_empty() {
+            return Err(AnalysisError::NoCyclicBehavior);
+        }
+        let b = border.len() as u32;
+        let structure = CyclicStructure::new(sg);
+
+        let records: Vec<BorderRecord> =
+            runner.run_with_state(&border, SimArena::new, |arena, &g| {
+                arena
+                    .run_with(sg, &structure, g, b, false)
+                    .expect("border events are repetitive by construction");
+                BorderRecord {
+                    event: g,
+                    distances: arena.distance_series(),
+                }
+            });
+
+        Self::finish(sg, &structure, border, records, &mut SimArena::new())
+    }
+
+    /// Analyzes many graphs in parallel — the many-graph sweep behind
+    /// `tsg analyze --threads`, the `repro` batch experiment and the
+    /// kernel benchmarks.
+    ///
+    /// Scenarios fan out across `runner` with a per-worker [`SimArena`],
+    /// so a 1000-graph sweep allocates a thread-count's worth of
+    /// matrices, not a thousand. Results preserve input order and each
+    /// entry is bit-identical to a sequential [`CycleTimeAnalysis::run`]
+    /// on the same graph.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tsg_core::analysis::CycleTimeAnalysis;
+    /// use tsg_sim::BatchRunner;
+    ///
+    /// let graphs: Vec<_> = (2..6).map(|k| {
+    ///     let mut b = tsg_core::SignalGraph::builder();
+    ///     let x = b.event("x");
+    ///     b.marked_arc(x, x, k as f64);
+    ///     b.build().unwrap()
+    /// }).collect();
+    /// let out = CycleTimeAnalysis::analyze_batch(&graphs, &BatchRunner::with_threads(2));
+    /// assert_eq!(out[1].as_ref().unwrap().cycle_time().as_f64(), 3.0);
+    /// ```
+    pub fn analyze_batch(
+        graphs: &[SignalGraph],
+        runner: &BatchRunner,
+    ) -> Vec<Result<Self, AnalysisError>> {
+        runner.run_with_state(graphs, SimArena::new, |arena, sg| {
+            Self::run_in(sg, None, arena)
+        })
+    }
+
+    /// Steps 4–5 of the algorithm, shared by every entry point: pick the
+    /// winning record, re-run it with parent tracking in `arena`, and
+    /// backtrack the critical cycle.
+    fn finish(
+        sg: &SignalGraph,
+        structure: &CyclicStructure,
+        border: Vec<EventId>,
+        records: Vec<BorderRecord>,
+        arena: &mut SimArena,
+    ) -> Result<Self, AnalysisError> {
         // Step 4: the largest average occurrence distance is the cycle time.
         let (mut best, mut best_idx): (Option<(f64, u32)>, usize) = (None, 0);
         for (k, rec) in records.iter().enumerate() {
@@ -165,10 +270,10 @@ impl CycleTimeAnalysis {
 
         // Step 5: re-run the winning simulation with parent tracking and
         // backtrack a critical cycle from it.
-        let winner =
-            InitiatedSimulation::run_with(sg, &structure, border[best_idx], periods_spanned, true)
-                .expect("winner is a border event");
-        let walk = winner
+        arena
+            .run_with(sg, structure, border[best_idx], periods_spanned, true)
+            .expect("winner is a border event");
+        let walk = arena
             .backtrack_in(sg, border[best_idx], periods_spanned)
             .expect("winning instance is reachable");
         let critical_cycle = best_simple_cycle(sg, border[best_idx], &walk);
@@ -471,5 +576,83 @@ mod tests {
         let sg = figure2();
         let a = CycleTimeAnalysis::run(&sg).unwrap();
         assert_eq!(a.cycle_time().exact().unwrap().to_string(), "10");
+    }
+
+    fn assert_same_analysis(a: &CycleTimeAnalysis, b: &CycleTimeAnalysis, ctx: &str) {
+        assert_eq!(
+            a.cycle_time().as_f64().to_bits(),
+            b.cycle_time().as_f64().to_bits(),
+            "{ctx}: cycle time"
+        );
+        assert_eq!(a.cycle_time().periods(), b.cycle_time().periods(), "{ctx}");
+        assert_eq!(a.critical_cycle(), b.critical_cycle(), "{ctx}");
+        assert_eq!(a.critical_borders(), b.critical_borders(), "{ctx}");
+        assert_eq!(a.border_events(), b.border_events(), "{ctx}");
+        for (ra, rb) in a.records().iter().zip(b.records()) {
+            assert_eq!(ra.event, rb.event, "{ctx}");
+            assert_eq!(ra.distances, rb.distances, "{ctx}");
+        }
+    }
+
+    #[test]
+    fn run_parallel_is_bit_identical_to_run() {
+        use tsg_sim::BatchRunner;
+        let sg = figure2();
+        let seq = CycleTimeAnalysis::run(&sg).unwrap();
+        for threads in [1, 2, 8] {
+            let par =
+                CycleTimeAnalysis::run_parallel(&sg, &BatchRunner::with_threads(threads)).unwrap();
+            assert_same_analysis(&seq, &par, &format!("threads={threads}"));
+        }
+    }
+
+    #[test]
+    fn run_in_reuses_arena_across_analyses() {
+        use crate::analysis::initiated::SimArena;
+        let sg = figure2();
+        let mut arena = SimArena::new();
+        let first = CycleTimeAnalysis::run_in(&sg, None, &mut arena).unwrap();
+        // A second analysis over the warmed arena must match exactly.
+        let second = CycleTimeAnalysis::run_in(&sg, None, &mut arena).unwrap();
+        assert_same_analysis(&first, &second, "arena reuse");
+        assert_eq!(first.cycle_time().as_f64(), 10.0);
+    }
+
+    #[test]
+    fn analyze_batch_matches_sequential_runs() {
+        use tsg_sim::BatchRunner;
+        let graphs: Vec<SignalGraph> = (1..=6)
+            .map(|k| {
+                let mut b = SignalGraph::builder();
+                let xp = b.event("x+");
+                let xm = b.event("x-");
+                b.arc(xp, xm, k as f64);
+                b.marked_arc(xm, xp, 2.0 * k as f64);
+                b.build().unwrap()
+            })
+            .collect();
+        let batch = CycleTimeAnalysis::analyze_batch(&graphs, &BatchRunner::with_threads(4));
+        assert_eq!(batch.len(), graphs.len());
+        for (i, (sg, got)) in graphs.iter().zip(&batch).enumerate() {
+            let want = CycleTimeAnalysis::run(sg).unwrap();
+            assert_same_analysis(&want, got.as_ref().unwrap(), &format!("graph {i}"));
+        }
+    }
+
+    #[test]
+    fn analyze_batch_propagates_acyclic_errors_in_order() {
+        use tsg_sim::BatchRunner;
+        let cyclic = figure2();
+        let acyclic = {
+            let mut b = SignalGraph::builder();
+            let s = b.initial_event("s");
+            let t = b.finite_event("t");
+            b.arc(s, t, 1.0);
+            b.build().unwrap()
+        };
+        let graphs = vec![cyclic, acyclic];
+        let out = CycleTimeAnalysis::analyze_batch(&graphs, &BatchRunner::with_threads(2));
+        assert!(out[0].is_ok());
+        assert_eq!(out[1].clone().unwrap_err(), AnalysisError::NoCyclicBehavior);
     }
 }

@@ -15,7 +15,7 @@
 //! sources), and it feeds the long-run estimator in `tsg-baselines`
 //! through the same kernel as the gate-level netlist simulator.
 
-use tsg_sim::{EventQueue, TraceRecorder};
+use tsg_sim::{AnyQueue, EventQueue, QueueKind, TraceRecorder};
 
 use crate::event::{EventId, Polarity};
 use crate::graph::SignalGraph;
@@ -66,12 +66,26 @@ pub struct EventSimulation {
 }
 
 impl EventSimulation {
-    /// Runs the event-driven timing simulation over `periods` periods.
+    /// Runs the event-driven timing simulation over `periods` periods on
+    /// the default binary-heap queue backend.
     ///
     /// # Panics
     ///
     /// Panics if `periods == 0`.
     pub fn run(sg: &SignalGraph, periods: u32) -> Self {
+        Self::run_on(sg, periods, QueueKind::Heap)
+    }
+
+    /// Runs the simulation on the chosen kernel queue backend.
+    ///
+    /// All backends pop bit-identical streams, so the result is the same
+    /// whatever the choice — which backend is *faster* depends on the
+    /// delay distribution; `benches/kernel.rs` measures it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `periods == 0`.
+    pub fn run_on(sg: &SignalGraph, periods: u32, queue: QueueKind) -> Self {
         assert!(periods >= 1, "simulation needs at least one period");
         let n = sg.event_count();
         let p_max = periods as usize;
@@ -109,10 +123,13 @@ impl EventSimulation {
 
         let mut times = vec![vec![f64::NAN; n]; p_max];
         let mut remaining = expected;
-        let mut queue: EventQueue<Token> = EventQueue::new();
+        let mut queue: EventQueue<Token, AnyQueue<Token>> =
+            EventQueue::with_backend(AnyQueue::of(queue));
+        // Every arc sends at most one token per period.
+        queue.reserve(sg.arc_count());
 
         let fire = |sg: &SignalGraph,
-                    queue: &mut EventQueue<Token>,
+                    queue: &mut EventQueue<Token, AnyQueue<Token>>,
                     times: &mut Vec<Vec<f64>>,
                     e: EventId,
                     p: usize,
@@ -341,5 +358,17 @@ mod tests {
     fn zero_periods_panics() {
         let sg = figure2();
         let _ = EventSimulation::run(&sg, 0);
+    }
+
+    #[test]
+    fn calendar_backend_gives_identical_times() {
+        let sg = figure2();
+        let heap = EventSimulation::run_on(&sg, 4, QueueKind::Heap);
+        let calendar = EventSimulation::run_on(&sg, 4, QueueKind::Calendar);
+        for e in sg.events() {
+            for p in 0..4 {
+                assert_eq!(heap.time(e, p), calendar.time(e, p), "{}_{p}", sg.label(e));
+            }
+        }
     }
 }

@@ -10,48 +10,20 @@
 //! path from `g₀` to each instantiation in the unfolding. Average occurrence
 //! distances of the initiating event, `δ_{g0}(g_i) = t_{g0}(g_i) / i`, are
 //! the quantities the cycle-time algorithm maximises (Proposition 4/7).
+//!
+//! The time and parent matrices of a simulation live in a [`SimArena`]:
+//! one pair of flat, row-major buffers that successive runs reuse. The
+//! cycle-time algorithm runs `b` simulations per analysis and the batch
+//! APIs run thousands of analyses per sweep; without the arena every one
+//! of them would allocate (and fault in) its own `Vec<Vec<f64>>`.
 
 use crate::analysis::structure::CyclicStructure;
 use crate::arc::ArcId;
 use crate::event::EventId;
 use crate::graph::SignalGraph;
 
-/// Result of an event-initiated timing simulation.
-///
-/// # Examples
-///
-/// Example 4 of the paper (the `b+₀`-initiated simulation of Figure 2c) is
-/// reproduced in the tests; a minimal use:
-///
-/// ```
-/// use tsg_core::SignalGraph;
-/// use tsg_core::analysis::initiated::InitiatedSimulation;
-///
-/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// let mut b = SignalGraph::builder();
-/// let xp = b.event("x+");
-/// let xm = b.event("x-");
-/// b.arc(xp, xm, 3.0);
-/// b.marked_arc(xm, xp, 2.0);
-/// let sg = b.build()?;
-///
-/// let sim = InitiatedSimulation::run(&sg, xp, 2).unwrap();
-/// assert_eq!(sim.time(xp, 0), Some(0.0));
-/// assert_eq!(sim.time(xm, 0), Some(3.0));
-/// assert_eq!(sim.time(xp, 1), Some(5.0));
-/// assert_eq!(sim.average_distance(1), Some(5.0));
-/// # Ok(())
-/// # }
-/// ```
-#[derive(Clone, Debug)]
-pub struct InitiatedSimulation {
-    origin: EventId,
-    periods: u32,
-    /// `times[p][e] = t_{g0}(e_p)`, `NEG_INFINITY` when `g₀ ⇏ e_p`.
-    times: Vec<Vec<f64>>,
-    /// Arg-max in-arc per `(period, event)` for path backtracking.
-    parent: Vec<Vec<Option<ArcId>>>,
-}
+/// Sentinel for "no parent arc" in the flat parent matrix.
+const NO_PARENT: u32 = u32::MAX;
 
 /// Error returned by [`InitiatedSimulation::run`] when the initiating event
 /// is not repetitive.
@@ -66,11 +38,80 @@ impl std::fmt::Display for NotRepetitive {
 
 impl std::error::Error for NotRepetitive {}
 
-impl InitiatedSimulation {
-    /// Runs the `origin₀`-initiated simulation over `periods` periods.
-    ///
-    /// Within the returned simulation, instance indices align with the
-    /// global unfolding: `time(e, p)` is `t_{g0}(e_p)`.
+/// Reusable backing store — and result view — of event-initiated
+/// simulations.
+///
+/// An arena owns two flat, row-major matrices:
+///
+/// * `times[p * n + e] = t_{g0}(e_p)` (`NEG_INFINITY` when `g₀ ⇏ e_p`),
+/// * `parent[p * n + e]` = arg-max in-arc of `e_p`, for backtracking.
+///
+/// [`SimArena::run`] sizes them with `resize` — a no-op after the first
+/// simulation of equal or larger shape — and leaves the results in place,
+/// so the arena doubles as the accessor for the last run. Workers in
+/// `analyze_batch` hold one arena each for a whole sweep.
+///
+/// # Examples
+///
+/// ```
+/// use tsg_core::SignalGraph;
+/// use tsg_core::analysis::initiated::SimArena;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = SignalGraph::builder();
+/// let xp = b.event("x+");
+/// let xm = b.event("x-");
+/// b.arc(xp, xm, 3.0);
+/// b.marked_arc(xm, xp, 2.0);
+/// let sg = b.build()?;
+///
+/// let mut arena = SimArena::new();
+/// arena.run(&sg, xp, 2, false)?;
+/// assert_eq!(arena.time(xp, 1), Some(5.0));
+/// arena.run(&sg, xm, 2, false)?; // reuses both buffers
+/// assert_eq!(arena.time(xm, 1), Some(5.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct SimArena {
+    /// Flat `p_total × n` occurrence-time matrix of the last run.
+    times: Vec<f64>,
+    /// Flat `p_total × n` arg-max in-arc matrix (`NO_PARENT` = none);
+    /// empty when the last run did not track parents.
+    parent: Vec<u32>,
+    /// Events per row of the last run.
+    n: usize,
+    /// Rows of the last run (`periods + 1`).
+    p_total: usize,
+    /// Initiating event of the last run.
+    origin: EventId,
+    /// Periods of the last run.
+    periods: u32,
+}
+
+impl Default for SimArena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimArena {
+    /// An empty arena; the first [`SimArena::run`] sizes it.
+    pub fn new() -> Self {
+        SimArena {
+            times: Vec::new(),
+            parent: Vec::new(),
+            n: 0,
+            p_total: 0,
+            origin: EventId(0),
+            periods: 0,
+        }
+    }
+
+    /// Runs the `origin₀`-initiated simulation over `periods` periods,
+    /// reusing this arena's buffers, and leaves the result readable
+    /// through the arena's accessors.
     ///
     /// # Errors
     ///
@@ -79,46 +120,66 @@ impl InitiatedSimulation {
     /// # Panics
     ///
     /// Panics if `periods == 0`.
-    pub fn run(sg: &SignalGraph, origin: EventId, periods: u32) -> Result<Self, NotRepetitive> {
+    pub fn run(
+        &mut self,
+        sg: &SignalGraph,
+        origin: EventId,
+        periods: u32,
+        track_parents: bool,
+    ) -> Result<(), NotRepetitive> {
         let structure = CyclicStructure::new(sg);
-        Self::run_with(sg, &structure, origin, periods, true)
+        self.run_with(sg, &structure, origin, periods, track_parents)
     }
 
     /// Shared-structure variant: the cycle-time algorithm builds one
-    /// [`CyclicStructure`] and runs all `b` border simulations over it,
-    /// tracking parents only for the winning re-run.
+    /// [`CyclicStructure`] and runs all `b` border simulations over it.
     pub(crate) fn run_with(
+        &mut self,
         sg: &SignalGraph,
         structure: &CyclicStructure,
         origin: EventId,
         periods: u32,
         track_parents: bool,
-    ) -> Result<Self, NotRepetitive> {
+    ) -> Result<(), NotRepetitive> {
         assert!(periods >= 1, "simulation needs at least one period");
         if !sg.is_repetitive(origin) {
             return Err(NotRepetitive(origin));
         }
         let n = sg.event_count();
         let p_total = periods as usize + 1; // instance indices 0..=periods
-        let mut times = vec![vec![f64::NEG_INFINITY; n]; p_total];
-        let mut parent: Vec<Vec<Option<ArcId>>> = if track_parents {
-            vec![vec![None; n]; p_total]
-        } else {
-            Vec::new()
-        };
-        times[0][origin.index()] = 0.0;
+        let cells = p_total * n;
+        self.n = n;
+        self.p_total = p_total;
+        self.origin = origin;
+        self.periods = periods;
 
-        #[allow(clippy::needless_range_loop)] // p drives split_at_mut and parent rows
+        // `resize` + `fill` touch existing capacity only: after the first
+        // run of this shape, no allocator traffic.
+        self.times.resize(cells, f64::NEG_INFINITY);
+        self.times.fill(f64::NEG_INFINITY);
+        if track_parents {
+            self.parent.resize(cells, NO_PARENT);
+            self.parent.fill(NO_PARENT);
+        } else {
+            self.parent.clear();
+        }
+        self.times[origin.index()] = 0.0;
+
         for p in 0..p_total {
-            let (before, current) = times.split_at_mut(p);
-            let prev: Option<&[f64]> = before.last().map(Vec::as_slice);
-            let row = &mut current[0];
+            let (before, current) = self.times.split_at_mut(p * n);
+            let prev: Option<&[f64]> = (p > 0).then(|| &before[(p - 1) * n..]);
+            let row = &mut current[..n];
+            let parent_row = if track_parents {
+                &mut self.parent[p * n..(p + 1) * n]
+            } else {
+                &mut []
+            };
             for &ev in &structure.order {
                 if p == 0 && ev == origin {
                     continue; // t_g(g) = 0 by definition; no in-arc applies
                 }
                 let mut best = f64::NEG_INFINITY;
-                let mut best_arc = None;
+                let mut best_arc = NO_PARENT;
                 for ia in structure.in_arcs(ev) {
                     let src_t = if ia.marked {
                         match prev {
@@ -134,41 +195,38 @@ impl InitiatedSimulation {
                     let cand = src_t + ia.delay;
                     if cand > best {
                         best = cand;
-                        best_arc = Some(ia.arc);
+                        best_arc = ia.arc.0;
                     }
                 }
                 row[ev.index()] = best;
                 if track_parents {
-                    parent[p][ev.index()] = best_arc;
+                    parent_row[ev.index()] = best_arc;
                 }
             }
         }
-
-        Ok(InitiatedSimulation {
-            origin,
-            periods,
-            times,
-            parent,
-        })
+        Ok(())
     }
 
-    /// The initiating event `g`.
+    /// The initiating event `g` of the last run.
     pub fn origin(&self) -> EventId {
         self.origin
     }
 
-    /// Number of periods simulated (instances `0..=periods` are available).
+    /// Periods of the last run (instances `0..=periods` are available).
     pub fn periods(&self) -> u32 {
         self.periods
     }
 
-    /// `t_{g0}(e_p)`, or `None` when `g₀ ⇏ e_p` (the paper reports such
-    /// entries as 0; see [`time_or_zero`](Self::time_or_zero)).
+    /// `t_{g0}(e_p)` of the last run, or `None` when `g₀ ⇏ e_p` (the
+    /// paper reports such entries as 0; see
+    /// [`time_or_zero`](Self::time_or_zero)).
     pub fn time(&self, e: EventId, instance: u32) -> Option<f64> {
-        self.times
-            .get(instance as usize)
-            .map(|row| row[e.index()])
-            .filter(|t| *t > f64::NEG_INFINITY)
+        let p = instance as usize;
+        if p >= self.p_total {
+            return None;
+        }
+        let t = self.times[p * self.n + e.index()];
+        (t > f64::NEG_INFINITY).then_some(t)
     }
 
     /// `t_{g0}(e_p)` with the paper's convention: events not reached from
@@ -202,7 +260,7 @@ impl InitiatedSimulation {
     /// path in forward order.
     ///
     /// Returns `None` when `e_p` is not reachable from `g₀` (or when the
-    /// simulation was run without parent tracking).
+    /// last run did not track parents).
     pub fn backtrack_in(&self, sg: &SignalGraph, e: EventId, instance: u32) -> Option<Vec<ArcId>> {
         if self.parent.is_empty() {
             return None;
@@ -211,7 +269,12 @@ impl InitiatedSimulation {
         let mut arcs = Vec::new();
         let mut ev = e;
         let mut p = instance as usize;
-        while let Some(a) = self.parent[p][ev.index()] {
+        loop {
+            let slot = self.parent[p * self.n + ev.index()];
+            if slot == NO_PARENT {
+                break;
+            }
+            let a = ArcId(slot);
             arcs.push(a);
             let arc = sg.arc(a);
             if arc.is_marked() {
@@ -225,6 +288,100 @@ impl InitiatedSimulation {
         );
         arcs.reverse();
         Some(arcs)
+    }
+}
+
+/// Result of an event-initiated timing simulation.
+///
+/// A thin owner of a [`SimArena`] holding exactly one run — the
+/// convenient API when no buffer reuse is needed. Analyses that run many
+/// simulations (the cycle-time algorithm, `analyze_batch` sweeps) drive
+/// an arena directly.
+///
+/// # Examples
+///
+/// Example 4 of the paper (the `b+₀`-initiated simulation of Figure 2c) is
+/// reproduced in the tests; a minimal use:
+///
+/// ```
+/// use tsg_core::SignalGraph;
+/// use tsg_core::analysis::initiated::InitiatedSimulation;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = SignalGraph::builder();
+/// let xp = b.event("x+");
+/// let xm = b.event("x-");
+/// b.arc(xp, xm, 3.0);
+/// b.marked_arc(xm, xp, 2.0);
+/// let sg = b.build()?;
+///
+/// let sim = InitiatedSimulation::run(&sg, xp, 2).unwrap();
+/// assert_eq!(sim.time(xp, 0), Some(0.0));
+/// assert_eq!(sim.time(xm, 0), Some(3.0));
+/// assert_eq!(sim.time(xp, 1), Some(5.0));
+/// assert_eq!(sim.average_distance(1), Some(5.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct InitiatedSimulation {
+    arena: SimArena,
+}
+
+impl InitiatedSimulation {
+    /// Runs the `origin₀`-initiated simulation over `periods` periods.
+    ///
+    /// Within the returned simulation, instance indices align with the
+    /// global unfolding: `time(e, p)` is `t_{g0}(e_p)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotRepetitive`] when `origin` is a prefix event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `periods == 0`.
+    pub fn run(sg: &SignalGraph, origin: EventId, periods: u32) -> Result<Self, NotRepetitive> {
+        let mut arena = SimArena::new();
+        arena.run(sg, origin, periods, true)?;
+        Ok(InitiatedSimulation { arena })
+    }
+
+    /// The initiating event `g`.
+    pub fn origin(&self) -> EventId {
+        self.arena.origin()
+    }
+
+    /// Number of periods simulated (instances `0..=periods` are available).
+    pub fn periods(&self) -> u32 {
+        self.arena.periods()
+    }
+
+    /// `t_{g0}(e_p)`, or `None` when `g₀ ⇏ e_p` — see [`SimArena::time`].
+    pub fn time(&self, e: EventId, instance: u32) -> Option<f64> {
+        self.arena.time(e, instance)
+    }
+
+    /// `t_{g0}(e_p)` with the paper's zero convention — see
+    /// [`SimArena::time_or_zero`].
+    pub fn time_or_zero(&self, e: EventId, instance: u32) -> f64 {
+        self.arena.time_or_zero(e, instance)
+    }
+
+    /// `δ_{g0}(g_i)` — see [`SimArena::average_distance`].
+    pub fn average_distance(&self, i: u32) -> Option<f64> {
+        self.arena.average_distance(i)
+    }
+
+    /// All defined `δ_{g0}(g_i)` — see [`SimArena::distance_series`].
+    pub fn distance_series(&self) -> Vec<(u32, f64, f64)> {
+        self.arena.distance_series()
+    }
+
+    /// Backtracks the longest path from `g₀` to `e_p` — see
+    /// [`SimArena::backtrack_in`].
+    pub fn backtrack_in(&self, sg: &SignalGraph, e: EventId, instance: u32) -> Option<Vec<ArcId>> {
+        self.arena.backtrack_in(sg, e, instance)
     }
 }
 
@@ -374,5 +531,72 @@ mod tests {
             InitiatedSimulation::run(&sg, e, 2).unwrap_err(),
             NotRepetitive(e)
         );
+    }
+
+    #[test]
+    fn arena_reuse_across_runs_matches_fresh_runs() {
+        // One arena cycled through different origins, period counts and
+        // tracking modes gives bit-identical times to fresh simulations —
+        // no stale state survives the buffer reuse.
+        let sg = figure2();
+        let mut arena = SimArena::new();
+        let runs = [
+            ("a+", 3, true),
+            ("b+", 1, false),
+            ("a+", 2, false),
+            ("b+", 4, true),
+        ];
+        for (label, periods, track) in runs {
+            let g = sg.event_by_label(label).unwrap();
+            arena.run(&sg, g, periods, track).unwrap();
+            let fresh = InitiatedSimulation::run(&sg, g, periods).unwrap();
+            for e in sg.events() {
+                for p in 0..=periods {
+                    assert_eq!(
+                        arena.time(e, p),
+                        fresh.time(e, p),
+                        "{label} periods={periods} e={} p={p}",
+                        sg.label(e)
+                    );
+                }
+            }
+            assert_eq!(arena.distance_series(), fresh.distance_series());
+            if track {
+                assert_eq!(
+                    arena.backtrack_in(&sg, g, periods),
+                    fresh.backtrack_in(&sg, g, periods)
+                );
+            } else {
+                assert_eq!(arena.backtrack_in(&sg, g, periods), None);
+            }
+        }
+    }
+
+    #[test]
+    fn arena_shrinking_graph_leaves_no_ghosts() {
+        // A big graph followed by a small one: the small run must not see
+        // the big run's cells.
+        let big = {
+            let mut b = SignalGraph::builder();
+            let evs: Vec<_> = (0..12).map(|i| b.event(&format!("e{i}"))).collect();
+            for w in evs.windows(2) {
+                b.arc(w[0], w[1], 1.0);
+            }
+            b.marked_arc(evs[11], evs[0], 1.0);
+            b.build().unwrap()
+        };
+        let small = figure2();
+        let mut arena = SimArena::new();
+        arena
+            .run(&big, big.event_by_label("e0").unwrap(), 8, true)
+            .unwrap();
+        let bp = small.event_by_label("b+").unwrap();
+        arena.run(&small, bp, 2, true).unwrap();
+        let fresh = InitiatedSimulation::run(&small, bp, 2).unwrap();
+        for e in small.events() {
+            for p in 0..=2 {
+                assert_eq!(arena.time(e, p), fresh.time(e, p));
+            }
+        }
     }
 }

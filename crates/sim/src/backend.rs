@@ -1,0 +1,330 @@
+//! Swappable storage backends for the pending-event queue.
+//!
+//! [`EventQueue`](crate::EventQueue) enforces the *semantics* of event
+//! scheduling — finite times, monotonicity, deterministic `(time, seq)`
+//! tie-breaking — while a [`QueueBackend`] provides the *storage*. The
+//! split exists so the priority-queue data structure can be chosen per
+//! simulator and measured head-to-head (`benches/kernel.rs`) instead of
+//! guessed:
+//!
+//! * [`BinaryHeapQueue`] — the default `std::collections::BinaryHeap`:
+//!   `O(log n)` push/pop, robust for any time distribution.
+//! * [`CalendarQueue`](crate::CalendarQueue) — a bucketed calendar queue
+//!   tuned for the bounded-delay distributions gate libraries produce:
+//!   amortised `O(1)` push/pop when pending times stay within a bounded
+//!   window of the current time.
+//! * [`AnyQueue`] — a runtime-selectable wrapper over both, so CLI flags
+//!   and per-simulator configuration can pick a backend without
+//!   monomorphising every consumer.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::str::FromStr;
+
+use crate::calendar::CalendarQueue;
+use crate::queue::Event;
+
+/// Priority-queue storage contract used by [`EventQueue`](crate::EventQueue).
+///
+/// # Contract
+///
+/// The wrapper guarantees that `push` is only called with finite `time`
+/// no earlier than the time of the last popped entry, and that `seq` is
+/// strictly increasing across pushes. In return a backend must:
+///
+/// * pop entries in ascending `(time, seq)` order — bit-identical pop
+///   streams across backends are what the cross-backend tests assert;
+/// * retain its allocations on [`clear`](QueueBackend::clear), so
+///   restartable simulators reuse capacity across runs instead of
+///   regrowing it.
+pub trait QueueBackend<T> {
+    /// Inserts an entry. `time` is finite and `>=` the last popped time.
+    fn push(&mut self, time: f64, seq: u64, payload: T);
+    /// Removes and returns the entry with the smallest `(time, seq)`.
+    fn pop_min(&mut self) -> Option<Event<T>>;
+    /// The smallest pending time, if any.
+    fn peek_time(&self) -> Option<f64>;
+    /// Number of pending entries.
+    fn len(&self) -> usize;
+    /// Whether no entries are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Drops all entries and resets time-tracking state to `t = 0`,
+    /// keeping allocations.
+    fn clear(&mut self);
+    /// Pre-allocates room for `additional` more entries.
+    fn reserve(&mut self, additional: usize);
+    /// Total entries the backend can hold without reallocating.
+    fn capacity(&self) -> usize;
+    /// Short label for benchmark output (`"binary_heap"`, `"calendar"`).
+    fn name(&self) -> &'static str;
+}
+
+/// Heap entry: min-ordered by `(time, seq)` under a reversed comparison.
+#[derive(Clone, Copy, Debug)]
+struct Entry<T> {
+    time: f64,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed so the max-heap `BinaryHeap` pops the earliest entry.
+        // `total_cmp` keeps the order total even though entry times are
+        // already validated finite.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The default backend: a binary heap with `O(log n)` push and pop.
+#[derive(Clone, Debug)]
+pub struct BinaryHeapQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+}
+
+impl<T> Default for BinaryHeapQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> BinaryHeapQueue<T> {
+    /// An empty heap backend.
+    pub fn new() -> Self {
+        BinaryHeapQueue {
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// An empty heap backend with room for `capacity` entries.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BinaryHeapQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+        }
+    }
+}
+
+impl<T> QueueBackend<T> for BinaryHeapQueue<T> {
+    fn push(&mut self, time: f64, seq: u64, payload: T) {
+        self.heap.push(Entry { time, seq, payload });
+    }
+
+    fn pop_min(&mut self) -> Option<Event<T>> {
+        self.heap.pop().map(|e| Event {
+            time: e.time,
+            seq: e.seq,
+            payload: e.payload,
+        })
+    }
+
+    fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
+    fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
+    fn name(&self) -> &'static str {
+        "binary_heap"
+    }
+}
+
+/// Which queue backend a simulator should run on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum QueueKind {
+    /// The [`BinaryHeapQueue`] backend (the safe default).
+    #[default]
+    Heap,
+    /// The [`CalendarQueue`] backend (fastest for bounded-delay loads).
+    Calendar,
+}
+
+impl FromStr for QueueKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "heap" | "binary_heap" => Ok(QueueKind::Heap),
+            "calendar" => Ok(QueueKind::Calendar),
+            other => Err(format!(
+                "unknown queue backend {other:?} (expected `heap` or `calendar`)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for QueueKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            QueueKind::Heap => "heap",
+            QueueKind::Calendar => "calendar",
+        })
+    }
+}
+
+/// Runtime-selectable backend: one of the static backends behind a match.
+///
+/// Simulators that expose backend choice as configuration (`tsg sim
+/// --queue calendar`) hold an `AnyQueue` so a flag, not a type parameter,
+/// picks the data structure. The per-operation dispatch is a predictable
+/// two-way branch; the head-to-head benchmarks measure the static
+/// backends directly.
+#[derive(Clone, Debug)]
+pub enum AnyQueue<T> {
+    /// Binary-heap storage.
+    Heap(BinaryHeapQueue<T>),
+    /// Calendar-queue storage.
+    Calendar(CalendarQueue<T>),
+}
+
+impl<T> AnyQueue<T> {
+    /// A backend of the given kind.
+    pub fn of(kind: QueueKind) -> Self {
+        match kind {
+            QueueKind::Heap => AnyQueue::Heap(BinaryHeapQueue::new()),
+            QueueKind::Calendar => AnyQueue::Calendar(CalendarQueue::new()),
+        }
+    }
+
+    /// The kind of this backend.
+    pub fn kind(&self) -> QueueKind {
+        match self {
+            AnyQueue::Heap(_) => QueueKind::Heap,
+            AnyQueue::Calendar(_) => QueueKind::Calendar,
+        }
+    }
+}
+
+impl<T> Default for AnyQueue<T> {
+    fn default() -> Self {
+        AnyQueue::of(QueueKind::default())
+    }
+}
+
+impl<T> QueueBackend<T> for AnyQueue<T> {
+    fn push(&mut self, time: f64, seq: u64, payload: T) {
+        match self {
+            AnyQueue::Heap(b) => b.push(time, seq, payload),
+            AnyQueue::Calendar(b) => b.push(time, seq, payload),
+        }
+    }
+
+    fn pop_min(&mut self) -> Option<Event<T>> {
+        match self {
+            AnyQueue::Heap(b) => b.pop_min(),
+            AnyQueue::Calendar(b) => b.pop_min(),
+        }
+    }
+
+    fn peek_time(&self) -> Option<f64> {
+        match self {
+            AnyQueue::Heap(b) => b.peek_time(),
+            AnyQueue::Calendar(b) => b.peek_time(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            AnyQueue::Heap(b) => b.len(),
+            AnyQueue::Calendar(b) => b.len(),
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            AnyQueue::Heap(b) => QueueBackend::<T>::clear(b),
+            AnyQueue::Calendar(b) => QueueBackend::<T>::clear(b),
+        }
+    }
+
+    fn reserve(&mut self, additional: usize) {
+        match self {
+            AnyQueue::Heap(b) => QueueBackend::<T>::reserve(b, additional),
+            AnyQueue::Calendar(b) => QueueBackend::<T>::reserve(b, additional),
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        match self {
+            AnyQueue::Heap(b) => QueueBackend::<T>::capacity(b),
+            AnyQueue::Calendar(b) => QueueBackend::<T>::capacity(b),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            AnyQueue::Heap(b) => b.name(),
+            AnyQueue::Calendar(b) => b.name(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_kind_parses() {
+        assert_eq!("heap".parse::<QueueKind>().unwrap(), QueueKind::Heap);
+        assert_eq!(
+            "calendar".parse::<QueueKind>().unwrap(),
+            QueueKind::Calendar
+        );
+        assert!("fibonacci".parse::<QueueKind>().is_err());
+        assert_eq!(QueueKind::Calendar.to_string(), "calendar");
+    }
+
+    #[test]
+    fn any_queue_reports_kind_and_name() {
+        let q: AnyQueue<u32> = AnyQueue::of(QueueKind::Calendar);
+        assert_eq!(q.kind(), QueueKind::Calendar);
+        assert_eq!(q.name(), "calendar");
+        let q: AnyQueue<u32> = AnyQueue::default();
+        assert_eq!(q.kind(), QueueKind::Heap);
+        assert_eq!(q.name(), "binary_heap");
+    }
+
+    #[test]
+    fn heap_backend_pops_in_order_and_keeps_capacity() {
+        let mut b: BinaryHeapQueue<u32> = BinaryHeapQueue::with_capacity(64);
+        for (i, t) in [3.0, 1.0, 2.0, 1.0].iter().enumerate() {
+            b.push(*t, i as u64, i as u32);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| b.pop_min().map(|e| e.payload)).collect();
+        assert_eq!(order, [1, 3, 2, 0]);
+        let cap = QueueBackend::<u32>::capacity(&b);
+        assert!(cap >= 64);
+        QueueBackend::<u32>::clear(&mut b);
+        assert_eq!(QueueBackend::<u32>::capacity(&b), cap);
+    }
+}

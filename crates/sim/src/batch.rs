@@ -54,6 +54,36 @@ impl BatchRunner {
         BatchRunner { threads }
     }
 
+    /// The one pool-sizing rule of the workspace: an explicit request
+    /// (a `--threads N` flag) wins, otherwise the machine's available
+    /// parallelism. Every CLI and batch API resolves its thread count
+    /// here instead of rolling its own.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `Some(0)` is requested.
+    pub fn sized(threads: Option<usize>) -> Self {
+        match threads {
+            Some(n) => Self::with_threads(n),
+            None => Self::new(),
+        }
+    }
+
+    /// Parses the value of a `--threads N` flag — the other half of the
+    /// pool-sizing rule, shared by every binary so they all accept and
+    /// reject the same inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a user-facing message when the value is missing, not an
+    /// integer, or zero.
+    pub fn parse_threads(value: Option<&str>) -> Result<usize, String> {
+        value
+            .and_then(|v| v.parse().ok())
+            .filter(|&n: &usize| n >= 1)
+            .ok_or_else(|| "--threads needs a positive integer".to_owned())
+    }
+
     /// The number of worker threads this runner uses.
     pub fn threads(&self) -> usize {
         self.threads
@@ -71,12 +101,36 @@ impl BatchRunner {
         R: Send,
         F: Fn(&T) -> R + Sync,
     {
+        self.run_with_state(scenarios, || (), |(), s| f(s))
+    }
+
+    /// Like [`BatchRunner::run`], with a per-worker scratch state.
+    ///
+    /// `init` runs once on each worker thread; the resulting state is
+    /// handed mutably to every scenario that worker claims. This is how
+    /// allocation-reusing sweeps work: the state is an arena (e.g.
+    /// `tsg-core`'s `SimArena`), warmed by the first scenario and reused
+    /// by every later one, so a thousand-scenario sweep performs a
+    /// thread-count's worth of allocations instead of a thousand.
+    ///
+    /// The state must not influence results (it is scratch space):
+    /// scenarios are claimed dynamically, so which worker — and hence
+    /// which state instance — processes a scenario is scheduling-
+    /// dependent.
+    pub fn run_with_state<S, T, R, I, F>(&self, scenarios: &[T], init: I, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, &T) -> R + Sync,
+    {
         if scenarios.is_empty() {
             return Vec::new();
         }
         let workers = self.threads.min(scenarios.len());
         if workers == 1 {
-            return scenarios.iter().map(&f).collect();
+            let mut state = init();
+            return scenarios.iter().map(|s| f(&mut state, s)).collect();
         }
 
         let cursor = AtomicUsize::new(0);
@@ -88,14 +142,18 @@ impl BatchRunner {
             for _ in 0..workers {
                 let tx = tx.clone();
                 let cursor = &cursor;
+                let init = &init;
                 let f = &f;
-                scope.spawn(move || loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(scenario) = scenarios.get(i) else {
-                        break;
-                    };
-                    if tx.send((i, f(scenario))).is_err() {
-                        break;
+                scope.spawn(move || {
+                    let mut state = init();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(scenario) = scenarios.get(i) else {
+                            break;
+                        };
+                        if tx.send((i, f(&mut state, scenario))).is_err() {
+                            break;
+                        }
                     }
                 });
             }
@@ -157,6 +215,64 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_rejected() {
         let _ = BatchRunner::with_threads(0);
+    }
+
+    #[test]
+    fn sized_resolves_explicit_and_default() {
+        assert_eq!(BatchRunner::sized(Some(3)).threads(), 3);
+        assert_eq!(
+            BatchRunner::sized(None).threads(),
+            BatchRunner::new().threads()
+        );
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers_only() {
+        assert_eq!(BatchRunner::parse_threads(Some("4")), Ok(4));
+        assert!(BatchRunner::parse_threads(Some("0")).is_err());
+        assert!(BatchRunner::parse_threads(Some("four")).is_err());
+        assert!(BatchRunner::parse_threads(Some("-2")).is_err());
+        assert!(BatchRunner::parse_threads(None).is_err());
+    }
+
+    #[test]
+    fn per_worker_state_is_reused_not_shared() {
+        // Each worker counts the scenarios it processed in its own state;
+        // states never mix, and together they cover the batch exactly.
+        let items: Vec<usize> = (0..64).collect();
+        for threads in [1, 4] {
+            let out = BatchRunner::with_threads(threads).run_with_state(
+                &items,
+                || 0usize,
+                |seen, &x| {
+                    *seen += 1;
+                    (x, *seen)
+                },
+            );
+            assert_eq!(out.len(), 64);
+            // Results stay in input order regardless of which state
+            // processed them.
+            assert!(out.iter().enumerate().all(|(i, &(x, _))| x == i));
+            // Every worker's per-state counter covered the whole batch.
+            let total_seen = out.iter().map(|&(_, seen)| seen).max().unwrap();
+            assert!(total_seen >= 64 / threads.max(1));
+        }
+    }
+
+    #[test]
+    fn state_init_runs_per_worker() {
+        use std::sync::atomic::AtomicUsize;
+        let inits = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..16).collect();
+        BatchRunner::with_threads(4).run_with_state(
+            &items,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+            },
+            |(), &x| x,
+        );
+        let n = inits.load(Ordering::Relaxed);
+        assert!((1..=4).contains(&n), "init ran {n} times");
     }
 
     #[test]

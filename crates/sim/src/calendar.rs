@@ -1,0 +1,389 @@
+//! A bucketed calendar queue (Brown 1988) tuned for bounded-delay loads.
+//!
+//! Gate libraries schedule events a *bounded* delay ahead of the current
+//! time, so at any instant the pending set occupies a narrow time window
+//! `[now, now + D]`. A calendar queue exploits exactly that: time is cut
+//! into fixed-width "days" arranged in a circular year of buckets; a push
+//! hashes the event into its day's bucket in `O(1)`, and a pop scans
+//! forward from the current day, which for a dense bounded window finds
+//! the minimum after inspecting `O(1)` entries on average. The structure
+//! resizes itself — doubling or halving the bucket count and re-deriving
+//! the day width from the observed time span — to keep the average
+//! bucket occupancy constant as the load changes.
+//!
+//! Every entry carries its day index, computed once at insertion, and
+//! the pop scan matches on that stored index rather than re-deriving a
+//! window from floating-point arithmetic — so bucketing and scanning can
+//! never disagree about boundary times, and the pop stream is
+//! bit-identical to the binary-heap backend's `(time, seq)` order. A
+//! full year scanned without a candidate (a sparse far-future set) falls
+//! back to a direct minimum search, so the worst case stays `O(n)` per
+//! pop rather than unbounded.
+//!
+//! Known trade-off: `k` events sharing one *exact* time all land in one
+//! day, and each pop rescans the survivors — `O(k)` per pop, `O(k²)` to
+//! drain the burst — and no resize can split a zero-span day. Tie-heavy
+//! loads (unit-delay graphs where whole generations fire at integer
+//! times) are therefore the heap backend's home turf; measuring that
+//! contrast per workload is what `benches/kernel.rs` is for.
+
+use crate::backend::QueueBackend;
+use crate::queue::Event;
+
+/// Smallest number of buckets the calendar keeps.
+const MIN_BUCKETS: usize = 8;
+
+/// One stored entry: the event plus its precomputed day index.
+#[derive(Clone, Debug)]
+struct Slot<T> {
+    day: u64,
+    event: Event<T>,
+}
+
+/// A calendar-queue priority structure; see the module docs.
+#[derive(Clone, Debug)]
+pub struct CalendarQueue<T> {
+    /// Circular year of unsorted buckets; a slot with day `d` lives in
+    /// bucket `d % buckets.len()`.
+    buckets: Vec<Vec<Slot<T>>>,
+    /// Day width in simulation-time units.
+    width: f64,
+    /// Total pending entries.
+    len: usize,
+    /// Time of the last popped entry: a lower bound on all pending times.
+    last: f64,
+}
+
+impl<T> Default for CalendarQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> CalendarQueue<T> {
+    /// An empty calendar with unit day width.
+    pub fn new() -> Self {
+        Self::with_width(1.0)
+    }
+
+    /// An empty calendar with the given day `width`.
+    ///
+    /// The width is a performance hint, not a correctness parameter: any
+    /// positive finite value pops the same stream. Resizes re-derive it
+    /// from the observed distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `width` is finite and positive.
+    pub fn with_width(width: f64) -> Self {
+        assert!(
+            width.is_finite() && width > 0.0,
+            "CalendarQueue day width must be finite and positive, got {width}"
+        );
+        CalendarQueue {
+            buckets: std::iter::repeat_with(Vec::new).take(MIN_BUCKETS).collect(),
+            width,
+            len: 0,
+            last: 0.0,
+        }
+    }
+
+    /// A calendar sized for delays bounded by `max_delay`: the whole
+    /// delay window fits in one year, so a pop rarely wraps.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `max_delay` is finite and positive.
+    pub fn with_delay_bound(max_delay: f64) -> Self {
+        assert!(
+            max_delay.is_finite() && max_delay > 0.0,
+            "CalendarQueue delay bound must be finite and positive, got {max_delay}"
+        );
+        Self::with_width(max_delay / MIN_BUCKETS as f64)
+    }
+
+    /// Absolute (un-wrapped) day index of `time`.
+    ///
+    /// Monotone in `time`, which is all correctness needs: the cast
+    /// saturates for astronomically late times, affecting only bucket
+    /// placement (performance), never pop order.
+    #[inline]
+    fn day_of(&self, time: f64) -> u64 {
+        (time / self.width) as u64
+    }
+
+    /// Re-buckets every entry into `new_buckets` buckets, re-deriving the
+    /// width from the observed time span so one year covers roughly twice
+    /// the pending window.
+    fn resize(&mut self, new_buckets: usize) {
+        let new_buckets = new_buckets.max(MIN_BUCKETS);
+        let mut entries: Vec<Slot<T>> = Vec::with_capacity(self.len);
+        for bucket in &mut self.buckets {
+            entries.append(bucket);
+        }
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for s in &entries {
+            lo = lo.min(s.event.time);
+            hi = hi.max(s.event.time);
+        }
+        let span = hi - lo;
+        if span.is_finite() && span > 0.0 {
+            // Two years per span keeps average occupancy <= 2 right after
+            // a grow (grow triggers at len > 2 * buckets).
+            let width = 2.0 * span / new_buckets as f64;
+            if width.is_finite() && width > 0.0 {
+                self.width = width;
+            }
+        }
+        self.buckets.resize_with(new_buckets, Vec::new);
+        let n = self.buckets.len() as u64;
+        for mut slot in entries {
+            slot.day = self.day_of(slot.event.time);
+            self.buckets[(slot.day % n) as usize].push(slot);
+        }
+    }
+
+    /// Index-of-minimum within `bucket` among slots of exactly `day`.
+    fn min_in_day(bucket: &[Slot<T>], day: u64) -> Option<usize> {
+        bucket
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.day == day)
+            .min_by(|(_, a), (_, b)| {
+                a.event
+                    .time
+                    .total_cmp(&b.event.time)
+                    .then(a.event.seq.cmp(&b.event.seq))
+            })
+            .map(|(i, _)| i)
+    }
+}
+
+impl<T> QueueBackend<T> for CalendarQueue<T> {
+    fn push(&mut self, time: f64, seq: u64, payload: T) {
+        let day = self.day_of(time);
+        let n = self.buckets.len();
+        self.buckets[(day % n as u64) as usize].push(Slot {
+            day,
+            event: Event { time, seq, payload },
+        });
+        self.len += 1;
+        if self.len > 2 * n {
+            self.resize(n * 2);
+        }
+    }
+
+    fn pop_min(&mut self) -> Option<Event<T>> {
+        if self.len == 0 {
+            return None;
+        }
+        let n = self.buckets.len();
+        // Scan one year forward from the day holding `last`. Days are
+        // monotone in time, so the first populated day contains the
+        // global minimum, and within a day `(time, seq)` decides.
+        let first_day = self.day_of(self.last);
+        for step in 0..n as u64 {
+            let day = first_day + step;
+            let idx = (day % n as u64) as usize;
+            if let Some(i) = Self::min_in_day(&self.buckets[idx], day) {
+                let slot = self.buckets[idx].swap_remove(i);
+                self.len -= 1;
+                self.last = slot.event.time;
+                if self.len < n / 2 && n > MIN_BUCKETS {
+                    self.resize(n / 2);
+                }
+                return Some(slot.event);
+            }
+        }
+        // Sparse far-future set: a whole year held no candidate. Find the
+        // earliest populated day directly, then the minimum within it.
+        let (idx, i) = self
+            .buckets
+            .iter()
+            .enumerate()
+            .flat_map(|(b, bucket)| bucket.iter().enumerate().map(move |(i, s)| (b, i, s)))
+            .min_by(|(_, _, a), (_, _, b)| {
+                a.event
+                    .time
+                    .total_cmp(&b.event.time)
+                    .then(a.event.seq.cmp(&b.event.seq))
+            })
+            .map(|(b, i, _)| (b, i))
+            .expect("len > 0 implies a pending entry");
+        let slot = self.buckets[idx].swap_remove(i);
+        self.len -= 1;
+        self.last = slot.event.time;
+        Some(slot.event)
+    }
+
+    fn peek_time(&self) -> Option<f64> {
+        if self.len == 0 {
+            return None;
+        }
+        let n = self.buckets.len();
+        let first_day = self.day_of(self.last);
+        for step in 0..n as u64 {
+            let day = first_day + step;
+            let idx = (day % n as u64) as usize;
+            if let Some(i) = Self::min_in_day(&self.buckets[idx], day) {
+                return Some(self.buckets[idx][i].event.time);
+            }
+        }
+        self.buckets
+            .iter()
+            .flatten()
+            .map(|s| s.event.time)
+            .min_by(f64::total_cmp)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn clear(&mut self) {
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        self.len = 0;
+        self.last = 0.0;
+    }
+
+    fn reserve(&mut self, additional: usize) {
+        let n = self.buckets.len();
+        let per_bucket = additional.div_ceil(n);
+        for bucket in &mut self.buckets {
+            bucket.reserve(per_bucket);
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.buckets.iter().map(Vec::capacity).sum()
+    }
+
+    fn name(&self) -> &'static str {
+        "calendar"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain<T>(q: &mut CalendarQueue<T>) -> Vec<(f64, u64)> {
+        std::iter::from_fn(|| q.pop_min().map(|e| (e.time, e.seq))).collect()
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut q = CalendarQueue::new();
+        q.push(3.0, 1, 'a');
+        q.push(1.0, 2, 'b');
+        q.push(2.0, 3, 'c');
+        q.push(1.0, 4, 'd');
+        assert_eq!(drain(&mut q), [(1.0, 2), (1.0, 4), (2.0, 3), (3.0, 1)]);
+    }
+
+    #[test]
+    fn handles_far_future_sparse_sets() {
+        // A single event many years ahead exercises the direct-search
+        // fallback after a fruitless year scan.
+        let mut q = CalendarQueue::with_width(0.001);
+        q.push(1e9, 1, ());
+        assert_eq!(q.peek_time(), Some(1e9));
+        let ev = q.pop_min().unwrap();
+        assert_eq!(ev.time, 1e9);
+        assert!(q.pop_min().is_none());
+    }
+
+    #[test]
+    fn boundary_times_cannot_disagree_with_bucketing() {
+        // 3 * 0.3 rounds below 0.9 in f64; a window check computed as
+        // `day * width` would disagree with `time / width` bucketing
+        // here. The stored day index makes both sides identical.
+        let mut q = CalendarQueue::with_width(0.3);
+        let t = 3.0f64 * 0.3; // 0.8999999999999999
+        q.push(t, 1, "boundary");
+        q.push(1.0, 2, "later");
+        assert_eq!(q.pop_min().unwrap().payload, "boundary");
+        assert_eq!(q.pop_min().unwrap().payload, "later");
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_sorted() {
+        let mut q = CalendarQueue::new();
+        let mut seq = 0u64;
+        let mut popped = Vec::new();
+        // Bounded-delay "hold" pattern: pop one, push one slightly ahead.
+        for round in 0..64u64 {
+            seq += 1;
+            q.push(round as f64 * 0.37, seq, ());
+        }
+        while let Some(ev) = q.pop_min() {
+            popped.push(ev.time);
+            if popped.len() < 200 {
+                seq += 1;
+                q.push(ev.time + 2.5 + (seq % 7) as f64 * 0.31, seq, ());
+            }
+        }
+        let mut sorted = popped.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert_eq!(popped, sorted);
+        assert_eq!(popped.len(), 200 + 63);
+    }
+
+    #[test]
+    fn grows_and_shrinks_through_resizes() {
+        let mut q = CalendarQueue::with_width(0.5);
+        for i in 0..1000u64 {
+            q.push(i as f64 * 0.13, i, ());
+        }
+        assert!(q.buckets.len() > MIN_BUCKETS, "{}", q.buckets.len());
+        let order = drain(&mut q);
+        assert_eq!(order.len(), 1000);
+        assert!(order.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(q.buckets.len(), MIN_BUCKETS);
+    }
+
+    #[test]
+    fn equal_times_all_in_one_bucket_break_by_seq() {
+        let mut q = CalendarQueue::new();
+        for seq in (1..=50u64).rev() {
+            q.push(4.25, seq, seq);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop_min().map(|e| e.payload)).collect();
+        assert_eq!(order, (1..=50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clear_keeps_bucket_allocations() {
+        let mut q = CalendarQueue::new();
+        QueueBackend::<u32>::reserve(&mut q, 256);
+        let cap = QueueBackend::<u32>::capacity(&q);
+        assert!(cap >= 256);
+        for i in 0..32u64 {
+            q.push(i as f64, i, i as u32);
+        }
+        QueueBackend::<u32>::clear(&mut q);
+        assert_eq!(QueueBackend::<u32>::len(&q), 0);
+        assert!(QueueBackend::<u32>::capacity(&q) >= cap);
+        // The clock reset: old times are schedulable again.
+        q.push(0.5, 1, 9);
+        assert_eq!(q.pop_min().unwrap().payload, 9);
+    }
+
+    #[test]
+    fn zero_time_events() {
+        let mut q = CalendarQueue::new();
+        q.push(0.0, 1, 'x');
+        q.push(0.0, 2, 'y');
+        let a = q.pop_min().unwrap();
+        let b = q.pop_min().unwrap();
+        assert_eq!((a.payload, b.payload), ('x', 'y'));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn rejects_nonpositive_width() {
+        let _ = CalendarQueue::<()>::with_width(0.0);
+    }
+}

@@ -9,6 +9,10 @@
 //!   `(time, seq)` tie-breaking and a NaN-rejecting total order. Times
 //!   never go backwards and never go undefined, by construction: invalid
 //!   schedules are rejected at enqueue time, not discovered at pop time.
+//!   Storage is a swappable [`QueueBackend`] — the default
+//!   [`BinaryHeapQueue`], a [`CalendarQueue`] tuned for bounded-delay
+//!   loads, or the runtime-selectable [`AnyQueue`] — all popping
+//!   bit-identical streams.
 //! * [`TraceRecorder`] — captures timed signal transitions during (or
 //!   after) a simulation and dumps them as a VCD waveform any standard
 //!   viewer (GTKWave, Surfer) can open.
@@ -34,10 +38,14 @@
 //! assert_eq!(order, ["a", "b", "c"]);
 //! ```
 
+pub mod backend;
 pub mod batch;
+pub mod calendar;
 pub mod queue;
 pub mod trace;
 
+pub use backend::{AnyQueue, BinaryHeapQueue, QueueBackend, QueueKind};
 pub use batch::BatchRunner;
+pub use calendar::CalendarQueue;
 pub use queue::{Event, EventQueue, ScheduleError};
 pub use trace::{TraceId, TraceRecorder};

@@ -5,17 +5,24 @@
 //!
 //! 1. **Totally ordered times** — scheduled times must be finite; NaN is
 //!    rejected (a NaN comparison under raw `f64` ordering silently
-//!    corrupts a binary heap).
+//!    corrupts a priority queue).
 //! 2. **Monotonicity** — an event may not be scheduled before the
 //!    current simulation time (the time of the last popped event). This
 //!    is exactly the "no negative delays" rule: causes precede effects.
 //!
 //! Ties are broken by an enqueue sequence number, making pop order fully
 //! deterministic across runs, platforms and thread counts.
+//!
+//! The queue's *storage* is a swappable [`QueueBackend`]: the default
+//! [`BinaryHeapQueue`](crate::BinaryHeapQueue) or the bounded-delay-tuned
+//! [`CalendarQueue`](crate::CalendarQueue) — both pop bit-identical
+//! streams, so a simulator's backend is a performance choice, not a
+//! semantic one. `benches/kernel.rs` measures them head-to-head.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 use std::fmt;
+use std::marker::PhantomData;
+
+use crate::backend::{BinaryHeapQueue, QueueBackend};
 
 /// A scheduled event popped from an [`EventQueue`].
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -64,38 +71,10 @@ impl fmt::Display for ScheduleError {
 
 impl std::error::Error for ScheduleError {}
 
-/// Heap entry: min-ordered by `(time, seq)` under a reversed comparison.
-#[derive(Clone, Copy, Debug)]
-struct Entry<T> {
-    time: f64,
-    seq: u64,
-    payload: T,
-}
-
-impl<T> PartialEq for Entry<T> {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == Ordering::Equal
-    }
-}
-impl<T> Eq for Entry<T> {}
-impl<T> PartialOrd for Entry<T> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<T> Ord for Entry<T> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed so the max-heap `BinaryHeap` pops the earliest entry.
-        // `total_cmp` keeps the order total even though entry times are
-        // already validated finite.
-        other
-            .time
-            .total_cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
 /// A deterministic min-priority queue of timed events.
+///
+/// Generic over its storage [`QueueBackend`] `B`; the default is the
+/// binary heap, so `EventQueue<T>` behaves exactly as it always has.
 ///
 /// # Examples
 ///
@@ -113,26 +92,52 @@ impl<T> Ord for Entry<T> {
 /// // Popping advanced the clock: the past is closed.
 /// assert!(q.try_schedule(1.0, 'y').is_err());
 /// ```
+///
+/// Running on the calendar backend instead:
+///
+/// ```
+/// use tsg_sim::{CalendarQueue, EventQueue};
+///
+/// let mut q = EventQueue::with_backend(CalendarQueue::with_delay_bound(4.0));
+/// q.schedule(2.0, "b");
+/// q.schedule(1.0, "a");
+/// assert_eq!(q.pop().unwrap().payload, "a");
+/// ```
 #[derive(Clone, Debug)]
-pub struct EventQueue<T> {
-    heap: BinaryHeap<Entry<T>>,
+pub struct EventQueue<T, B = BinaryHeapQueue<T>> {
+    backend: B,
     seq: u64,
     now: f64,
+    _payload: PhantomData<fn(T) -> T>,
 }
 
-impl<T> Default for EventQueue<T> {
+impl<T, B: QueueBackend<T> + Default> Default for EventQueue<T, B> {
     fn default() -> Self {
-        Self::new()
+        Self::with_backend(B::default())
     }
 }
 
 impl<T> EventQueue<T> {
-    /// An empty queue at time `0.0`.
+    /// An empty binary-heap queue at time `0.0`.
     pub fn new() -> Self {
+        Self::with_backend(BinaryHeapQueue::new())
+    }
+
+    /// An empty binary-heap queue with room for `capacity` pending
+    /// events — sized once, a restartable simulator never regrows it.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_backend(BinaryHeapQueue::with_capacity(capacity))
+    }
+}
+
+impl<T, B: QueueBackend<T>> EventQueue<T, B> {
+    /// An empty queue at time `0.0` over the given storage backend.
+    pub fn with_backend(backend: B) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            backend,
             seq: 0,
             now: 0.0,
+            _payload: PhantomData,
         }
     }
 
@@ -144,12 +149,17 @@ impl<T> EventQueue<T> {
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.backend.len()
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.backend.is_empty()
+    }
+
+    /// The backend's label (`"binary_heap"`, `"calendar"`).
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
     }
 
     /// Schedules `payload` at absolute `time`.
@@ -169,11 +179,7 @@ impl<T> EventQueue<T> {
             });
         }
         self.seq += 1;
-        self.heap.push(Entry {
-            time,
-            seq: self.seq,
-            payload,
-        });
+        self.backend.push(time, self.seq, payload);
         Ok(())
     }
 
@@ -205,31 +211,40 @@ impl<T> EventQueue<T> {
 
     /// Pops the earliest pending event and advances the clock to it.
     pub fn pop(&mut self) -> Option<Event<T>> {
-        let entry = self.heap.pop()?;
-        self.now = entry.time;
-        Some(Event {
-            time: entry.time,
-            seq: entry.seq,
-            payload: entry.payload,
-        })
+        let event = self.backend.pop_min()?;
+        self.now = event.time;
+        Some(event)
     }
 
     /// The time of the earliest pending event without popping it.
     pub fn peek_time(&self) -> Option<f64> {
-        self.heap.peek().map(|e| e.time)
+        self.backend.peek_time()
     }
 
-    /// Drops all pending events and resets the clock to `0.0`.
+    /// Drops all pending events and resets the clock to `0.0`, keeping
+    /// the backend's allocations — restarting a simulator over the same
+    /// queue costs no reallocation.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        self.backend.clear();
         self.seq = 0;
         self.now = 0.0;
+    }
+
+    /// Pre-allocates room for `additional` more pending events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.backend.reserve(additional);
+    }
+
+    /// Pending events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.backend.capacity()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::calendar::CalendarQueue;
 
     #[test]
     fn pops_in_time_order() {
@@ -316,5 +331,54 @@ mod tests {
         q.clear();
         assert_eq!(q.now(), 0.0);
         assert!(q.try_schedule(0.5, ()).is_ok());
+    }
+
+    #[test]
+    fn clear_keeps_capacity_for_restarts() {
+        let mut q: EventQueue<u32> = EventQueue::with_capacity(512);
+        let cap = q.capacity();
+        assert!(cap >= 512);
+        for i in 0..400 {
+            q.schedule(i as f64, i);
+        }
+        q.clear();
+        assert_eq!(q.capacity(), cap, "clear must not shed the allocation");
+        assert!(q.is_empty());
+        q.reserve(1024);
+        assert!(q.capacity() >= 1024);
+    }
+
+    #[test]
+    fn backends_pop_identical_streams() {
+        let mut heap = EventQueue::new();
+        let mut cal = EventQueue::with_backend(CalendarQueue::new());
+        let times = [4.0, 0.5, 2.25, 2.25, 9.0, 0.5, 7.5, 3.0];
+        for (i, &t) in times.iter().enumerate() {
+            heap.schedule(t, i);
+            cal.schedule(t, i);
+        }
+        loop {
+            let (a, b) = (heap.pop(), cal.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn calendar_backend_enforces_same_invariants() {
+        let mut q = EventQueue::with_backend(CalendarQueue::new());
+        assert!(matches!(
+            q.try_schedule(f64::NAN, ()),
+            Err(ScheduleError::NonFiniteTime { .. })
+        ));
+        q.schedule(2.0, ());
+        q.pop();
+        assert!(matches!(
+            q.try_schedule(1.0, ()),
+            Err(ScheduleError::TimeRegression { .. })
+        ));
+        assert_eq!(q.backend_name(), "calendar");
     }
 }

@@ -19,8 +19,9 @@
 //!   random live graphs),
 //! * [`graph`] — the underlying directed-graph algorithm substrate,
 //! * [`sim`] — the shared event-simulation kernel: the monotone event
-//!   queue, VCD trace recording, and parallel batch execution that every
-//!   simulator in the workspace runs on.
+//!   queue with swappable storage backends (binary heap, calendar
+//!   queue), VCD trace recording, and parallel batch execution that
+//!   every simulator in the workspace runs on.
 //!
 //! # Quickstart
 //!

@@ -55,11 +55,17 @@ pub struct Bencher {
     warm_up: Duration,
     measurement: Duration,
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl Bencher {
     /// Calls `routine` repeatedly and records per-iteration wall time.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            // Smoke mode: exactly one unmeasured execution.
+            black_box(routine());
+            return;
+        }
         // Warm-up: run until the warm-up budget is spent (at least once).
         let start = Instant::now();
         loop {
@@ -95,6 +101,9 @@ pub struct Criterion {
     sample_size: usize,
     measurement_time: Duration,
     warm_up_time: Duration,
+    /// `cargo bench -- --test`: run every benchmark once, unmeasured —
+    /// the smoke mode CI uses to prove the suites compile and execute.
+    test_mode: bool,
 }
 
 impl Default for Criterion {
@@ -103,6 +112,7 @@ impl Default for Criterion {
             sample_size: 20,
             measurement_time: Duration::from_secs(1),
             warm_up_time: Duration::from_millis(200),
+            test_mode: std::env::args().any(|a| a == "--test"),
         }
     }
 }
@@ -139,11 +149,26 @@ impl Criterion {
     }
 
     fn run_one(&self, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        if self.test_mode {
+            // Smoke mode: one unmeasured execution, like criterion's
+            // `--test`. Configured sample sizes and budgets are ignored.
+            let mut bencher = Bencher {
+                samples: Vec::new(),
+                warm_up: Duration::ZERO,
+                measurement: Duration::ZERO,
+                sample_size: 1,
+                test_mode: true,
+            };
+            f(&mut bencher);
+            println!("{label:<48} test: ok");
+            return;
+        }
         let mut bencher = Bencher {
             samples: Vec::new(),
             warm_up: self.warm_up_time,
             measurement: self.measurement_time,
             sample_size: self.sample_size,
+            test_mode: false,
         };
         f(&mut bencher);
         let n = bencher.samples.len();
@@ -248,6 +273,24 @@ mod tests {
             .sample_size(3)
             .measurement_time(Duration::from_millis(20))
             .warm_up_time(Duration::from_millis(1))
+    }
+
+    #[test]
+    fn test_mode_runs_routine_briefly_ignoring_config() {
+        let mut calls = 0u64;
+        let mut c = Criterion {
+            sample_size: 1000,
+            measurement_time: Duration::from_secs(3600),
+            warm_up_time: Duration::from_secs(3600),
+            test_mode: true,
+        };
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        assert_eq!(calls, 1, "smoke mode is exactly one execution");
     }
 
     #[test]
