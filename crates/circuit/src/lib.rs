@@ -24,4 +24,4 @@ pub mod sim;
 
 pub use gate::GateKind;
 pub use netlist::{Gate, Netlist, NetlistBuilder, NetlistError, SignalId};
-pub use sim::{EventDrivenSim, SimError, Transition};
+pub use sim::{EventDrivenSim, SimError, SimQueue, Transition};

@@ -64,6 +64,40 @@ struct Arrival {
     value: bool,
 }
 
+/// Opaque, reusable queue storage for [`EventDrivenSim`].
+///
+/// A simulator borrows its netlist, so a long-running service cannot
+/// keep one `EventDrivenSim` warm across requests for different
+/// netlists — but it *can* keep the queue: `SimQueue` outlives any one
+/// simulator, carrying its allocation (and backend choice) from netlist
+/// to netlist. Build simulators with
+/// [`EventDrivenSim::with_reused_queue`] and reclaim the storage with
+/// [`EventDrivenSim::into_queue`].
+#[derive(Clone, Debug)]
+pub struct SimQueue {
+    inner: EventQueue<Arrival, AnyQueue<Arrival>>,
+}
+
+impl SimQueue {
+    /// An empty queue of the given backend kind.
+    pub fn new(kind: QueueKind) -> Self {
+        SimQueue {
+            inner: EventQueue::with_backend(AnyQueue::of(kind)),
+        }
+    }
+
+    /// The backend kind this queue runs on.
+    pub fn kind(&self) -> QueueKind {
+        self.inner.backend().kind()
+    }
+
+    /// Pending-event capacity (for the warm-pool zero-allocation
+    /// assertions).
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
+}
+
 /// The event-driven simulator.
 ///
 /// # Examples
@@ -114,13 +148,25 @@ impl<'n> EventDrivenSim<'n> {
     /// reuses whatever allocation the first run settles on across
     /// restarts.
     pub fn with_queue(netlist: &'n Netlist, kind: QueueKind) -> Self {
+        Self::with_reused_queue(netlist, SimQueue::new(kind))
+    }
+
+    /// Prepares a simulation on a recycled [`SimQueue`].
+    ///
+    /// The queue is cleared (capacity-preserving) and re-sized to this
+    /// netlist's fanout, so a service replaying many netlists through
+    /// one queue allocates only when a request outgrows every previous
+    /// one. Results are bit-identical to a fresh queue of the same kind:
+    /// `clear` resets the clock and sequence counter.
+    pub fn with_reused_queue(netlist: &'n Netlist, queue: SimQueue) -> Self {
         let state = netlist.initial_state().to_vec();
         let views: Vec<Vec<bool>> = netlist
             .gates()
             .iter()
             .map(|g| g.inputs.iter().map(|s| state[s.index()]).collect())
             .collect();
-        let mut queue = EventQueue::with_backend(AnyQueue::of(kind));
+        let mut queue = queue.inner;
+        queue.clear();
         queue.reserve(views.iter().map(Vec::len).sum());
         EventDrivenSim {
             netlist,
@@ -129,6 +175,12 @@ impl<'n> EventDrivenSim<'n> {
             queue,
             trace: None,
         }
+    }
+
+    /// Releases the simulator's queue storage for reuse with another
+    /// netlist.
+    pub fn into_queue(self) -> SimQueue {
+        SimQueue { inner: self.queue }
     }
 
     /// The label of the queue backend this simulator runs on.
@@ -455,6 +507,32 @@ mod tests {
             let cal_trace = cal.run(300.0, 1_000_000).unwrap();
             assert_eq!(heap_trace, cal_trace);
         }
+    }
+
+    #[test]
+    fn reused_queue_replays_identically_across_netlists() {
+        // One SimQueue cycled through different netlists gives the same
+        // traces as fresh simulators, and once warmed by the largest
+        // netlist it never regrows.
+        let big = crate::library::muller_ring(9, 1.0);
+        let small = crate::library::c_element_oscillator();
+        let mut queue = SimQueue::new(QueueKind::Calendar);
+        assert_eq!(queue.kind(), QueueKind::Calendar);
+        for _ in 0..2 {
+            for nl in [&big, &small] {
+                let mut warm = EventDrivenSim::with_reused_queue(nl, queue);
+                let got = warm.run(150.0, 1_000_000).unwrap();
+                queue = warm.into_queue();
+                let fresh = EventDrivenSim::with_queue(nl, QueueKind::Calendar)
+                    .run(150.0, 1_000_000)
+                    .unwrap();
+                assert_eq!(got, fresh);
+            }
+        }
+        let cap = queue.capacity();
+        let mut warm = EventDrivenSim::with_reused_queue(&big, queue);
+        let _ = warm.run(150.0, 1_000_000).unwrap();
+        assert_eq!(warm.into_queue().capacity(), cap, "warm replay regrew");
     }
 
     #[test]

@@ -2,22 +2,22 @@
 //!
 //! ```text
 //! tsg analyze FILE [--diagram] [--dot] [--baselines] [--default-delay X]
+//! tsg serve [--threads N] [--listen tcp:ADDR|unix:PATH]
 //! tsg demo {oscillator|muller5|stack66}
 //! ```
 //!
 //! `.g` files are parsed as Signal Transition Graphs (marked-graph
 //! subclass, with the `.delay` timing extension); `.ckt` files are parsed
 //! as gate-level netlists, checked for semimodularity, and run through the
-//! TRASPEC-style extraction first.
+//! TRASPEC-style extraction first. The analysis/simulation helpers live
+//! in `tsg_serve::ops`, shared with the long-running `tsg serve` mode so
+//! served responses are byte-identical to one-shot invocations.
 
 use std::process::ExitCode;
 
-use tsg_core::analysis::diagram::{self, DiagramOptions};
-use tsg_core::analysis::event_sim::EventSimulation;
-use tsg_core::analysis::sim::TimingSimulation;
-use tsg_core::analysis::CycleTimeAnalysis;
-use tsg_core::SignalGraph;
-use tsg_sim::{BatchRunner, QueueKind, TraceRecorder};
+use tsg_serve::ops::{self, AnalyzeOptions, SimOptions};
+use tsg_serve::ServeOptions;
+use tsg_sim::BatchRunner;
 
 const USAGE: &str = "\
 tsg — performance analysis based on timing simulation (DAC'94)
@@ -29,6 +29,7 @@ USAGE:
                       [--threads N] [--queue {heap|calendar}]
     tsg sim FILE.ckt... [--horizon X] [--vcd PATH] [--threads N]
                         [--queue {heap|calendar}]
+    tsg serve [--threads N] [--listen tcp:HOST:PORT | --listen unix:PATH]
     tsg convert FILE --to {g|dot}
     tsg demo {oscillator|muller5|stack66}
 
@@ -43,6 +44,12 @@ stream; `--vcd PATH` additionally dumps a waveform any VCD viewer opens.
 `--queue` selects the kernel queue backend (default: heap). Several
 files fan out across a `--threads N` pool (default: all cores); the
 analysis itself also runs its border simulations on that pool.
+
+`serve` runs the long-running analysis service: newline-delimited JSON
+requests (analyze/sim/batch/stats) on stdin — or a TCP/Unix socket with
+--listen — answered in request order by a persistent warm worker pool.
+Responses are byte-identical to the one-shot commands; EOF or Ctrl-C
+shuts down gracefully.
 ";
 
 fn main() -> ExitCode {
@@ -61,25 +68,6 @@ fn main() -> ExitCode {
     }
 }
 
-struct Options {
-    diagram: bool,
-    dot: bool,
-    baselines: bool,
-    slack: bool,
-    default_delay: f64,
-    threads: Option<usize>,
-}
-
-/// Parsed flags of the `sim` subcommand, shared by every input file.
-struct SimOptions {
-    periods: Option<u32>,
-    horizon: Option<f64>,
-    vcd: Option<String>,
-    default_delay: Option<f64>,
-    threads: Option<usize>,
-    queue: QueueKind,
-}
-
 fn parse_threads(args: &[String], i: usize) -> Result<usize, String> {
     BatchRunner::parse_threads(args.get(i).map(String::as_str))
 }
@@ -88,14 +76,7 @@ fn run(args: &[String]) -> Result<String, String> {
     match args.first().map(String::as_str) {
         Some("analyze") => {
             let file = args.get(1).ok_or("analyze needs a FILE argument")?;
-            let mut opts = Options {
-                diagram: false,
-                dot: false,
-                baselines: false,
-                slack: false,
-                default_delay: 1.0,
-                threads: None,
-            };
+            let mut opts = AnalyzeOptions::default();
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -119,8 +100,8 @@ fn run(args: &[String]) -> Result<String, String> {
                 i += 1;
             }
             let text = std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
-            let sg = load(file, &text, opts.default_delay)?;
-            Ok(report(&sg, &opts))
+            let sg = ops::load(file, &text, opts.default_delay)?;
+            Ok(ops::report(&sg, &opts))
         }
         Some("sim") => {
             let mut files: Vec<String> = Vec::new();
@@ -132,14 +113,8 @@ fn run(args: &[String]) -> Result<String, String> {
             if files.is_empty() {
                 return Err("sim needs a FILE argument".to_owned());
             }
-            let mut opts = SimOptions {
-                periods: None,
-                horizon: None,
-                vcd: None,
-                default_delay: None,
-                threads: None,
-                queue: QueueKind::Heap,
-            };
+            let mut threads: Option<usize> = None;
+            let mut opts = SimOptions::default();
             while i < args.len() {
                 match args[i].as_str() {
                     "--periods" => {
@@ -174,7 +149,7 @@ fn run(args: &[String]) -> Result<String, String> {
                     }
                     "--threads" => {
                         i += 1;
-                        opts.threads = Some(parse_threads(args, i)?);
+                        threads = Some(parse_threads(args, i)?);
                     }
                     "--queue" => {
                         i += 1;
@@ -196,7 +171,7 @@ fn run(args: &[String]) -> Result<String, String> {
             // printed, failed ones inline, and the command still exits
             // nonzero if anything failed.
             let outputs: Vec<Result<String, String>> =
-                BatchRunner::sized(opts.threads).run(&files, |file| simulate_file(file, &opts));
+                BatchRunner::sized(threads).run(&files, |file| ops::simulate_file(file, &opts));
             let single = files.len() == 1;
             if single {
                 // Single-file errors already name the file where it
@@ -232,6 +207,30 @@ fn run(args: &[String]) -> Result<String, String> {
                 ))
             }
         }
+        Some("serve") => {
+            let mut threads: Option<usize> = None;
+            let mut listen: Option<String> = None;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--threads" => {
+                        i += 1;
+                        threads = Some(parse_threads(args, i)?);
+                    }
+                    "--listen" => {
+                        i += 1;
+                        listen = Some(
+                            args.get(i)
+                                .cloned()
+                                .ok_or("--listen needs tcp:HOST:PORT or unix:PATH")?,
+                        );
+                    }
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+                i += 1;
+            }
+            serve(threads, listen.as_deref())
+        }
         Some("convert") => {
             let file = args.get(1).ok_or("convert needs a FILE argument")?;
             let to = match (args.get(2).map(String::as_str), args.get(3)) {
@@ -239,7 +238,7 @@ fn run(args: &[String]) -> Result<String, String> {
                 _ => return Err("convert needs `--to {g|dot}`".to_owned()),
             };
             let text = std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
-            let sg = load(file, &text, 1.0)?;
+            let sg = ops::load(file, &text, 1.0)?;
             match to {
                 "g" => tsg_stg::write_stg(&sg, "converted").map_err(|e| e.to_string()),
                 "dot" => Ok(tsg_core::dot::to_dot(&sg, "converted")),
@@ -248,13 +247,10 @@ fn run(args: &[String]) -> Result<String, String> {
         }
         Some("demo") => {
             let which = args.get(1).map(String::as_str).unwrap_or("oscillator");
-            let opts = Options {
+            let opts = AnalyzeOptions {
                 diagram: true,
-                dot: false,
                 baselines: true,
-                slack: false,
-                default_delay: 1.0,
-                threads: None,
+                ..AnalyzeOptions::default()
             };
             let sg = match which {
                 "oscillator" => tsg_circuit::library::c_element_oscillator_tsg(),
@@ -266,253 +262,64 @@ fn run(args: &[String]) -> Result<String, String> {
                 "stack66" => tsg_gen::stack66(),
                 other => return Err(format!("unknown demo {other:?}")),
             };
-            Ok(report(&sg, &opts))
+            Ok(ops::report(&sg, &opts))
         }
         Some("--help") | Some("-h") | None => Ok(USAGE.to_owned()),
         Some(other) => Err(format!("unknown command {other:?}")),
     }
 }
 
-/// One `tsg sim` input file: validates the kind-specific flags and runs
-/// the matching simulator on the selected queue backend.
-fn simulate_file(file: &str, opts: &SimOptions) -> Result<String, String> {
-    let text = std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
-    if file.ends_with(".ckt") {
-        if opts.periods.is_some() {
-            return Err(
-                "--periods applies to .g signal graphs; netlist simulations take --horizon"
-                    .to_owned(),
-            );
+/// The `tsg serve` front-end: picks the transport, installs the SIGINT
+/// flag, runs the warm-pool request loop, and reports the session
+/// counters on stderr (stdout stays pure protocol).
+fn serve(threads: Option<usize>, listen: Option<&str>) -> Result<String, String> {
+    let opts = ServeOptions { threads };
+    let shutdown = tsg_serve::install_sigint_flag();
+    let pool = BatchRunner::sized(threads).threads();
+    let stats = match listen {
+        None => {
+            eprintln!("tsg serve: reading requests from stdin ({pool} worker thread(s))");
+            tsg_serve::serve(
+                std::io::BufReader::new(std::io::stdin()),
+                std::io::stdout(),
+                &opts,
+                Some(shutdown),
+            )
         }
-        if opts.default_delay.is_some() {
-            return Err(
-                "--default-delay applies to .g signal graphs; netlists carry their own pin \
-                 delays"
-                    .to_owned(),
-            );
-        }
-        let nl = tsg_circuit::parse::parse_ckt(&text).map_err(|e| e.to_string())?;
-        simulate_netlist(
-            &nl,
-            opts.horizon.unwrap_or(100.0),
-            opts.vcd.as_deref(),
-            opts.queue,
-        )
-    } else {
-        if opts.horizon.is_some() {
-            return Err(
-                "--horizon applies to .ckt netlists; signal-graph simulations take --periods"
-                    .to_owned(),
-            );
-        }
-        let sg = tsg_stg::parse_stg(
-            &text,
-            tsg_stg::StgOptions {
-                default_delay: opts.default_delay.unwrap_or(1.0),
-            },
-        )
-        .map_err(|e| e.to_string())?;
-        simulate_graph(
-            &sg,
-            opts.periods.unwrap_or(4),
-            opts.vcd.as_deref(),
-            opts.queue,
-        )
-    }
-}
-
-/// `tsg sim` on a gate-level netlist: the event-driven transport-delay
-/// simulator on the shared kernel, with optional VCD capture.
-fn simulate_netlist(
-    nl: &tsg_circuit::Netlist,
-    horizon: f64,
-    vcd: Option<&str>,
-    queue: QueueKind,
-) -> Result<String, String> {
-    use std::fmt::Write as _;
-    let mut sim = tsg_circuit::EventDrivenSim::with_queue(nl, queue);
-    if vcd.is_some() {
-        sim.enable_trace();
-    }
-    let trace = sim
-        .run(horizon, 2_000_000)
-        .map_err(|e| format!("simulation failed: {e}"))?;
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "simulated {} transition(s) on {} signal(s) to horizon {horizon}",
-        trace.len(),
-        nl.signal_count()
-    );
-    for s in nl.signals() {
-        if let Some(period) = tsg_circuit::EventDrivenSim::steady_period(&trace, s, true) {
-            let _ = writeln!(out, "  {:<8} steady period {period}", nl.name(s));
-        }
-    }
-    if let Some(path) = vcd {
-        let recorder = sim.take_trace().expect("trace was enabled");
-        recorder
-            .dump_vcd(path)
-            .map_err(|e| format!("writing {path}: {e}"))?;
-        let _ = writeln!(out, "VCD waveform written to {path}");
-    }
-    Ok(out)
-}
-
-/// `tsg sim` on a Signal Graph: the kernel-backed event simulation over
-/// a fixed number of periods, with optional VCD capture.
-fn simulate_graph(
-    sg: &SignalGraph,
-    periods: u32,
-    vcd: Option<&str>,
-    queue: QueueKind,
-) -> Result<String, String> {
-    use std::fmt::Write as _;
-    let sim = EventSimulation::run_on(sg, periods, queue);
-    let chron = sim.chronological(sg);
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "simulated {} occurrence(s) of {} event(s) over {periods} period(s)",
-        chron.len(),
-        sg.event_count()
-    );
-    for (e, i, t) in &chron {
-        let _ = writeln!(out, "  t({}_{i}) = {t}", sg.label(*e));
-    }
-    if let Some(path) = vcd {
-        let mut recorder = TraceRecorder::new("tsg");
-        sim.record_trace(sg, &mut recorder);
-        recorder
-            .dump_vcd(path)
-            .map_err(|e| format!("writing {path}: {e}"))?;
-        let _ = writeln!(out, "VCD waveform written to {path}");
-    }
-    Ok(out)
-}
-
-fn load(file: &str, text: &str, default_delay: f64) -> Result<SignalGraph, String> {
-    if file.ends_with(".ckt") {
-        let nl = tsg_circuit::parse::parse_ckt(text).map_err(|e| e.to_string())?;
-        if nl.signal_count() <= 24 {
-            let rep = tsg_extract::explore(&nl, 2_000_000);
-            if !rep.is_semimodular() {
-                return Err(format!(
-                    "circuit is not semimodular ({} violation(s)); not speed-independent",
-                    rep.violations.len()
-                ));
+        Some(spec) => match spec.split_once(':') {
+            Some(("tcp", addr)) => {
+                let listener = std::net::TcpListener::bind(addr)
+                    .map_err(|e| format!("binding tcp {addr}: {e}"))?;
+                let local = listener.local_addr().map_err(|e| e.to_string())?;
+                eprintln!("tsg serve: listening on tcp {local} ({pool} worker thread(s))");
+                tsg_serve::serve_tcp(listener, &opts, Some(shutdown), None)
             }
-        }
-        tsg_extract::extract(&nl, tsg_extract::ExtractOptions::default()).map_err(|e| e.to_string())
-    } else {
-        tsg_stg::parse_stg(text, tsg_stg::StgOptions { default_delay }).map_err(|e| e.to_string())
-    }
-}
-
-fn report(sg: &SignalGraph, opts: &Options) -> String {
-    use std::fmt::Write as _;
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "graph: {} events, {} arcs, {} border event(s)",
-        sg.event_count(),
-        sg.arc_count(),
-        sg.border_events().len()
-    );
-    // The b border-initiated simulations of the analysis fan out across
-    // the batch pool (`--threads N`, default all cores); the result is
-    // bit-identical to the sequential algorithm.
-    match CycleTimeAnalysis::run_parallel(sg, &BatchRunner::sized(opts.threads)) {
-        Ok(a) => {
-            let _ = writeln!(out, "cycle time: {}", a.cycle_time());
-            let _ = writeln!(
-                out,
-                "critical cycle: {}",
-                sg.display_path(a.critical_cycle())
-            );
-            let borders: Vec<String> = a
-                .critical_borders()
-                .iter()
-                .map(|&e| sg.label(e).to_string())
-                .collect();
-            let _ = writeln!(out, "critical border event(s): {}", borders.join(", "));
-            for rec in a.records() {
-                let cells: Vec<String> = rec
-                    .distances
-                    .iter()
-                    .map(|(i, t, d)| format!("δ({i})={t}/{i}={d:.4}"))
-                    .collect();
-                let _ = writeln!(
-                    out,
-                    "  {:<6} {}",
-                    sg.label(rec.event).to_string(),
-                    cells.join("  ")
-                );
-            }
-        }
-        Err(e) => {
-            let _ = writeln!(out, "cycle time: undefined ({e})");
-        }
-    }
-    if opts.baselines {
-        let _ = writeln!(out, "baselines:");
-        if let Some(t) = tsg_baselines::howard_cycle_time(sg) {
-            let _ = writeln!(out, "  howard        : {}", t.as_f64());
-        }
-        if let Some(t) = tsg_baselines::karp_cycle_time(sg) {
-            let _ = writeln!(out, "  karp          : {}", t.as_f64());
-        }
-        if let Some(t) = tsg_baselines::lawler_cycle_time(sg, 60) {
-            let _ = writeln!(out, "  lawler        : {}", t.as_f64());
-        }
-        if let Ok(Some(t)) = tsg_baselines::enumerate_cycle_time(sg, 100_000) {
-            let _ = writeln!(out, "  enumeration   : {}", t.as_f64());
-        }
-        if let Some(t) = tsg_baselines::longrun_estimate(sg, 64) {
-            let _ = writeln!(out, "  long-run sim  : {t}");
-        }
-    }
-    if opts.slack {
-        match tsg_core::analysis::slack::SlackAnalysis::run(sg) {
-            Ok(sa) => {
-                let critical = sa.critical_arcs(1e-9);
-                let _ = writeln!(
-                    out,
-                    "slack: {} of {} cyclic arcs are timing-critical",
-                    critical.len(),
-                    sg.arc_ids().filter(|&a| sa.slack(a).is_some()).count()
-                );
-                for a in sg.arc_ids() {
-                    if let Some(s) = sa.slack(a) {
-                        let arc = sg.arc(a);
-                        let _ = writeln!(
-                            out,
-                            "  {} -> {} : {}",
-                            sg.label(arc.src()),
-                            sg.label(arc.dst()),
-                            if s <= 1e-9 {
-                                "CRITICAL".to_owned()
-                            } else {
-                                format!("slack {s}")
-                            }
-                        );
-                    }
+            #[cfg(unix)]
+            Some(("unix", path)) => {
+                // A previous non-graceful exit (kill -9, double Ctrl-C)
+                // leaves the socket file behind; unbound stale files must
+                // not block restarts on the same path.
+                if std::fs::metadata(path).is_ok()
+                    && std::os::unix::net::UnixStream::connect(path).is_err()
+                {
+                    let _ = std::fs::remove_file(path);
                 }
+                let listener = std::os::unix::net::UnixListener::bind(path)
+                    .map_err(|e| format!("binding unix {path}: {e}"))?;
+                eprintln!("tsg serve: listening on unix {path} ({pool} worker thread(s))");
+                let result = tsg_serve::serve_unix(listener, &opts, Some(shutdown), None);
+                let _ = std::fs::remove_file(path);
+                result
             }
-            Err(e) => {
-                let _ = writeln!(out, "slack: unavailable ({e})");
-            }
-        }
+            _ => return Err("--listen takes tcp:HOST:PORT or unix:PATH".to_owned()),
+        },
     }
-    if opts.diagram && sg.repetitive_count() > 0 {
-        let sim = TimingSimulation::run(sg, 3);
-        let _ = writeln!(out, "timing diagram (3 periods):");
-        out.push_str(&diagram::render(sg, &sim, DiagramOptions::default()));
-    }
-    if opts.dot {
-        out.push_str(&tsg_core::dot::to_dot(sg, "tsg"));
-    }
-    out
+    .map_err(|e| format!("serve: {e}"))?;
+    eprintln!(
+        "tsg serve: shut down after {} ok / {} failed request(s) on {} worker thread(s)",
+        stats.served, stats.failed, stats.threads
+    );
+    Ok(String::new())
 }
 
 #[cfg(test)]

@@ -1,0 +1,200 @@
+//! End-to-end `tsg serve` tests against the real binary.
+//!
+//! The acceptance bar: a mixed multi-request script piped into
+//! `tsg serve` comes back with one response line per request, in request
+//! order, and each `output` field is byte-identical to the equivalent
+//! one-shot `tsg analyze` / `tsg sim` invocation.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+use tsg_serve::json::Json;
+
+fn tsg() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tsg"))
+}
+
+/// Runs a one-shot `tsg` invocation and returns its stdout.
+fn one_shot(args: &[&str]) -> String {
+    let out = tsg().args(args).output().expect("spawn tsg");
+    assert!(
+        out.status.success(),
+        "tsg {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("tsg output is UTF-8")
+}
+
+/// Pipes `script` into `tsg serve` and returns the parsed response
+/// lines.
+fn serve_session(script: &str, extra: &[&str]) -> Vec<Json> {
+    let mut child = tsg()
+        .arg("serve")
+        .args(extra)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn tsg serve");
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(script.as_bytes())
+        .expect("write script");
+    let out = child.wait_with_output().expect("serve exits on EOF");
+    assert!(
+        out.status.success(),
+        "serve failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout)
+        .expect("responses are UTF-8")
+        .lines()
+        .map(|line| Json::parse(line).expect("response lines are JSON"))
+        .collect()
+}
+
+/// Writes the test fixtures once, returning their paths.
+fn fixtures() -> (PathBuf, PathBuf, PathBuf) {
+    let dir = std::env::temp_dir().join("tsg-cli-serve-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let osc_g = dir.join("osc.g");
+    let ring_g = dir.join("ring5.g");
+    let osc_ckt = dir.join("osc.ckt");
+    std::fs::write(&osc_g, tsg_stg::EXAMPLE_OSCILLATOR).unwrap();
+    std::fs::write(&ring_g, tsg_stg::EXAMPLE_RING5).unwrap();
+    std::fs::write(
+        &osc_ckt,
+        tsg_circuit::parse::write_ckt(&tsg_circuit::library::c_element_oscillator()),
+    )
+    .unwrap();
+    (osc_g, ring_g, osc_ckt)
+}
+
+#[test]
+fn mixed_50_request_script_is_in_order_and_byte_identical() {
+    let (osc_g, ring_g, osc_ckt) = fixtures();
+    let (osc_g, ring_g, osc_ckt) = (
+        osc_g.to_string_lossy().into_owned(),
+        ring_g.to_string_lossy().into_owned(),
+        osc_ckt.to_string_lossy().into_owned(),
+    );
+
+    // Five request shapes, each with its equivalent one-shot invocation.
+    // The serve pool runs 4 workers; ordering must come from the
+    // protocol, not from timing.
+    let shapes: Vec<(String, Vec<&str>)> = vec![
+        (
+            format!(
+                r#""cmd":"analyze","path":{}"#,
+                Json::from(osc_g.as_str()).dump()
+            ),
+            vec!["analyze", &osc_g],
+        ),
+        (
+            format!(
+                r#""cmd":"analyze","path":{},"baselines":true,"slack":true"#,
+                Json::from(osc_g.as_str()).dump()
+            ),
+            vec!["analyze", &osc_g, "--baselines", "--slack"],
+        ),
+        (
+            format!(
+                r#""cmd":"sim","path":{},"periods":2"#,
+                Json::from(osc_g.as_str()).dump()
+            ),
+            vec!["sim", &osc_g, "--periods", "2"],
+        ),
+        (
+            format!(
+                r#""cmd":"sim","path":{},"horizon":400,"queue":"calendar""#,
+                Json::from(osc_ckt.as_str()).dump()
+            ),
+            vec!["sim", &osc_ckt, "--horizon", "400", "--queue", "calendar"],
+        ),
+        (
+            format!(
+                r#""cmd":"sim","path":{}"#,
+                Json::from(ring_g.as_str()).dump()
+            ),
+            vec!["sim", &ring_g],
+        ),
+    ];
+    let expected: HashMap<usize, String> = shapes
+        .iter()
+        .enumerate()
+        .map(|(k, (_, args))| (k, one_shot(args)))
+        .collect();
+
+    let mut script = String::new();
+    for id in 0..50usize {
+        let (body, _) = &shapes[id % shapes.len()];
+        script.push_str(&format!("{{\"id\":{id},{body}}}\n"));
+    }
+    // Rider requests: a failing one and a stats probe, still in order.
+    script.push_str("{\"id\":50,\"cmd\":\"analyze\",\"path\":\"/nonexistent/x.g\"}\n");
+    script.push_str("{\"id\":51,\"cmd\":\"stats\"}\n");
+
+    let responses = serve_session(&script, &["--threads", "4"]);
+    assert_eq!(responses.len(), 52, "one response per request");
+    for (i, response) in responses.iter().enumerate() {
+        assert_eq!(
+            response.get("id").and_then(Json::as_f64),
+            Some(i as f64),
+            "responses must stream in request order"
+        );
+    }
+    for id in 0..50usize {
+        let response = &responses[id];
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)), "request {id}");
+        let output = response.get("output").and_then(Json::as_str).unwrap();
+        assert_eq!(
+            output,
+            expected[&(id % shapes.len())],
+            "request {id}: served output must be byte-identical to the one-shot CLI"
+        );
+    }
+    assert_eq!(responses[50].get("ok"), Some(&Json::Bool(false)));
+    assert!(responses[50]
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("reading /nonexistent/x.g"));
+    // With 4 workers the stats snapshot is a lower bound only; exact
+    // counters are covered by the single-worker test below.
+    assert_eq!(responses[51].get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(responses[51].get("threads"), Some(&Json::Num(4.0)));
+}
+
+#[test]
+fn single_worker_stats_count_exactly() {
+    let (osc_g, _, _) = fixtures();
+    let osc_g = osc_g.to_string_lossy().into_owned();
+    let p = Json::from(osc_g.as_str()).dump();
+    let script = format!(
+        "{{\"id\":1,\"cmd\":\"analyze\",\"path\":{p}}}\n\
+         {{\"id\":2,\"cmd\":\"analyze\",\"path\":\"/nonexistent/y.g\"}}\n\
+         {{\"id\":3,\"cmd\":\"sim\",\"path\":{p},\"periods\":1}}\n\
+         {{\"id\":4,\"cmd\":\"stats\"}}\n"
+    );
+    let responses = serve_session(&script, &["--threads", "1"]);
+    assert_eq!(responses.len(), 4);
+    assert_eq!(responses[3].get("served"), Some(&Json::Num(2.0)));
+    assert_eq!(responses[3].get("failed"), Some(&Json::Num(1.0)));
+    assert_eq!(responses[3].get("threads"), Some(&Json::Num(1.0)));
+}
+
+#[test]
+fn serve_rejects_bad_flags() {
+    let out = tsg().args(["serve", "--wat"]).output().unwrap();
+    assert!(!out.status.success());
+    let out = tsg()
+        .args(["serve", "--listen", "carrier-pigeon:coop"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("tcp:HOST:PORT"));
+}

@@ -27,6 +27,47 @@ struct Token {
     instance: u32,
 }
 
+/// Reusable scratch state of [`EventSimulation::run_in`]: the pending
+/// token queue and the flat expected-token matrix.
+///
+/// A long-running worker (the `tsg serve` pool) holds one scratch per
+/// queue kind and replays every `sim` request through it; after the
+/// first request of the largest shape, [`EventSimulation::run_in`]
+/// performs no queue or matrix allocation — `clear` keeps the queue's
+/// capacity and `resize`/`fill` touch existing cells only.
+#[derive(Clone, Debug)]
+pub struct EventSimScratch {
+    queue: EventQueue<Token, AnyQueue<Token>>,
+    /// Flat `periods × n` count of still-expected tokens per slot.
+    remaining: Vec<u32>,
+}
+
+impl EventSimScratch {
+    /// An empty scratch running on the given queue backend.
+    pub fn new(kind: QueueKind) -> Self {
+        EventSimScratch {
+            queue: EventQueue::with_backend(AnyQueue::of(kind)),
+            remaining: Vec::new(),
+        }
+    }
+
+    /// The queue backend this scratch runs simulations on.
+    pub fn kind(&self) -> QueueKind {
+        self.queue.backend().kind()
+    }
+
+    /// Pending-event capacity of the warm queue (for the warm-pool
+    /// zero-allocation assertions).
+    pub fn queue_capacity(&self) -> usize {
+        self.queue.capacity()
+    }
+
+    /// Allocated cells of the expected-token matrix.
+    pub fn matrix_capacity(&self) -> usize {
+        self.remaining.capacity()
+    }
+}
+
 /// Occurrence times of a Timed Signal Graph computed event-drivenly on
 /// the `tsg-sim` kernel.
 ///
@@ -86,33 +127,50 @@ impl EventSimulation {
     ///
     /// Panics if `periods == 0`.
     pub fn run_on(sg: &SignalGraph, periods: u32, queue: QueueKind) -> Self {
+        Self::run_in(sg, periods, &mut EventSimScratch::new(queue))
+    }
+
+    /// Allocation-reusing core: runs the simulation over `scratch`'s
+    /// warm queue and token matrix.
+    ///
+    /// Bit-identical to [`EventSimulation::run_on`] with `scratch`'s
+    /// queue kind — `clear` resets the queue's clock and sequence
+    /// counter, so a reused queue replays exactly like a fresh one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `periods == 0`.
+    pub fn run_in(sg: &SignalGraph, periods: u32, scratch: &mut EventSimScratch) -> Self {
         assert!(periods >= 1, "simulation needs at least one period");
         let n = sg.event_count();
         let p_max = periods as usize;
+        let EventSimScratch { queue, remaining } = scratch;
 
-        // Expected token count for each (event, instance) slot. An arc
-        // contributes to an instance exactly when the synchronous
-        // semantics consults it there:
+        // Expected token count for each (event, instance) slot, in the
+        // scratch's flat `p_max × n` matrix. An arc contributes to an
+        // instance exactly when the synchronous semantics consults it
+        // there:
         //   prefix → prefix        : instance 0 of the target,
         //   prefix → repetitive    : instance 0 (disengageable arcs),
         //   repetitive, unmarked   : every instance p (from src at p),
         //   repetitive, marked     : instances 1.. (from src at p−1);
         //                            the initial token enables p = 0 free.
-        let mut expected = vec![vec![0u32; n]; p_max];
+        remaining.resize(p_max * n, 0);
+        remaining.fill(0);
         for a in sg.arc_ids() {
             let arc = sg.arc(a);
             let (src_rep, dst_rep) = (sg.is_repetitive(arc.src()), sg.is_repetitive(arc.dst()));
             let dst = arc.dst().index();
             match (src_rep, dst_rep) {
-                (false, _) => expected[0][dst] += 1,
+                (false, _) => remaining[dst] += 1,
                 (true, true) if arc.is_marked() => {
-                    for row in expected.iter_mut().skip(1) {
-                        row[dst] += 1;
+                    for p in 1..p_max {
+                        remaining[p * n + dst] += 1;
                     }
                 }
                 (true, true) => {
-                    for row in expected.iter_mut() {
-                        row[dst] += 1;
+                    for p in 0..p_max {
+                        remaining[p * n + dst] += 1;
                     }
                 }
                 (true, false) => {
@@ -122,9 +180,7 @@ impl EventSimulation {
         }
 
         let mut times = vec![vec![f64::NAN; n]; p_max];
-        let mut remaining = expected;
-        let mut queue: EventQueue<Token, AnyQueue<Token>> =
-            EventQueue::with_backend(AnyQueue::of(queue));
+        queue.clear();
         // Every arc sends at most one token per period.
         queue.reserve(sg.arc_count());
 
@@ -165,31 +221,27 @@ impl EventSimulation {
         // events of the DAG.
         for e in sg.events() {
             let instances = if sg.is_repetitive(e) { p_max } else { 1 };
-            let unconstrained: Vec<usize> = remaining
-                .iter()
-                .take(instances)
-                .enumerate()
-                .filter(|(_, row)| row[e.index()] == 0)
-                .map(|(p, _)| p)
-                .collect();
-            for p in unconstrained {
-                fire(sg, &mut queue, &mut times, e, p, 0.0);
+            for p in 0..instances {
+                if remaining[p * n + e.index()] == 0 {
+                    fire(sg, queue, &mut times, e, p, 0.0);
+                }
             }
         }
 
         while let Some(ev) = queue.pop() {
             let Token { target, instance } = ev.payload;
             let (p, i) = (instance as usize, target.index());
-            debug_assert!(remaining[p][i] > 0, "token for an already-fired slot");
-            remaining[p][i] -= 1;
-            if remaining[p][i] == 0 {
+            let slot = p * n + i;
+            debug_assert!(remaining[slot] > 0, "token for an already-fired slot");
+            remaining[slot] -= 1;
+            if remaining[slot] == 0 {
                 // The queue pops in time order, so this last arrival IS
                 // the max over all in-arc contributions — except at
                 // instance 0, where the synchronous base case clamps
                 // times to at least 0 (all delays are non-negative, so
                 // the clamp only matters for empty maxima, handled
                 // above).
-                fire(sg, &mut queue, &mut times, target, p, ev.time);
+                fire(sg, queue, &mut times, target, p, ev.time);
             }
         }
 
@@ -358,6 +410,46 @@ mod tests {
     fn zero_periods_panics() {
         let sg = figure2();
         let _ = EventSimulation::run(&sg, 0);
+    }
+
+    #[test]
+    fn run_in_reuses_scratch_and_matches_cold_runs() {
+        let sg = figure2();
+        for kind in [QueueKind::Heap, QueueKind::Calendar] {
+            let mut scratch = EventSimScratch::new(kind);
+            assert_eq!(scratch.kind(), kind);
+            let cold = EventSimulation::run_on(&sg, 4, kind);
+            let first = EventSimulation::run_in(&sg, 4, &mut scratch);
+            let caps = (scratch.queue_capacity(), scratch.matrix_capacity());
+            let second = EventSimulation::run_in(&sg, 4, &mut scratch);
+            assert_eq!(
+                caps,
+                (scratch.queue_capacity(), scratch.matrix_capacity()),
+                "warm re-run must not regrow the scratch"
+            );
+            for e in sg.events() {
+                for p in 0..4 {
+                    assert_eq!(cold.time(e, p), first.time(e, p), "{}_{p}", sg.label(e));
+                    assert_eq!(cold.time(e, p), second.time(e, p), "{}_{p}", sg.label(e));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_shrinks_to_smaller_graphs_without_ghosts() {
+        // A big run followed by a small one over the same scratch: no
+        // stale tokens or counts may leak into the smaller shape.
+        let sg = figure2();
+        let mut scratch = EventSimScratch::new(QueueKind::Heap);
+        let _ = EventSimulation::run_in(&sg, 8, &mut scratch);
+        let warm = EventSimulation::run_in(&sg, 2, &mut scratch);
+        let cold = EventSimulation::run(&sg, 2);
+        for e in sg.events() {
+            for p in 0..2 {
+                assert_eq!(cold.time(e, p), warm.time(e, p), "{}_{p}", sg.label(e));
+            }
+        }
     }
 
     #[test]

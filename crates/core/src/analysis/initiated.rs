@@ -207,6 +207,16 @@ impl SimArena {
         Ok(())
     }
 
+    /// Allocated capacity of the `(times, parent)` buffers, in cells.
+    ///
+    /// A warm-pool worker asserts this stays constant across requests of
+    /// the same shape: `run` only `resize`s within existing capacity, so
+    /// after the first (largest) run the arena never touches the
+    /// allocator again.
+    pub fn capacity(&self) -> (usize, usize) {
+        (self.times.capacity(), self.parent.capacity())
+    }
+
     /// The initiating event `g` of the last run.
     pub fn origin(&self) -> EventId {
         self.origin

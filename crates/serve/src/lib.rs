@@ -1,0 +1,194 @@
+//! # tsg-serve — the long-running warm-pool analysis service
+//!
+//! The paper's pitch is timing simulation as *the* workhorse for
+//! performance analysis — which only pays off when many analyses can be
+//! issued cheaply against the same warm engine (the way Simopt drives
+//! repeated behavioural simulations from inside a CAD flow). This crate
+//! turns the workspace from a one-shot batch tool into that engine:
+//!
+//! * [`protocol`] — newline-delimited JSON requests (`analyze`, `sim`,
+//!   `batch`, `stats`) with ids echoed into in-order responses;
+//! * [`ops`] — the analysis operations themselves, shared with the
+//!   one-shot CLI so a served response is byte-identical to the
+//!   equivalent `tsg analyze` / `tsg sim` invocation, plus the warm
+//!   per-worker [`Workspace`] (one [`SimArena`] and pre-sized event
+//!   queue per worker — no per-request allocation on the hot path after
+//!   warm-up);
+//! * [`pool`] — the persistent worker pool: dynamic claiming, per-request
+//!   error isolation (including caught panics), ordered streaming
+//!   responses, graceful EOF/SIGINT shutdown, and served/failed
+//!   counters surfaced by the `stats` request;
+//! * transports — stdin/stdout ([`serve`]), TCP ([`serve_tcp`]) and Unix
+//!   sockets ([`serve_unix`]), one protocol session per connection.
+//!
+//! [`SimArena`]: tsg_core::analysis::initiated::SimArena
+//! [`Workspace`]: ops::Workspace
+//!
+//! ## Example
+//!
+//! ```
+//! use std::io::Cursor;
+//! use tsg_serve::{serve, ServeOptions};
+//!
+//! // In this raw string the `\n` sequences are JSON string escapes: the
+//! // inline `.g` text travels on one protocol line.
+//! let script = concat!(
+//!     r#"{"id": 1, "cmd": "sim", "name": "t.g", "periods": 1,"#,
+//!     r#" "text": ".model t\n.outputs x\n.graph\nx+ x-\nx- x+\n.marking { <x-,x+> }\n.end\n"}"#,
+//!     "\n",
+//!     r#"{"id": 2, "cmd": "stats"}"#,
+//!     "\n",
+//! );
+//! let mut out = Vec::new();
+//! let opts = ServeOptions { threads: Some(1) };
+//! let stats = serve(Cursor::new(script), &mut out, &opts, None).unwrap();
+//! assert_eq!(stats.served, 2);
+//! let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+//! assert!(lines[0].starts_with(r#"{"id":1,"ok":true"#));
+//! assert!(lines[1].contains(r#""served":1"#));
+//! ```
+
+use std::io::{self, BufReader};
+use std::net::TcpListener;
+#[cfg(unix)]
+use std::os::unix::net::UnixListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+pub mod json;
+pub mod ops;
+pub mod pool;
+pub mod protocol;
+
+pub use pool::{serve, ServeOptions, ServeStats};
+
+/// How often the socket accept loops poll the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// Serves protocol sessions over TCP: one connection at a time, each an
+/// independent session with its own pool and counters (returned stats
+/// aggregate all of them).
+///
+/// The loop exits when `shutdown` is raised or, if `max_connections` is
+/// set, after that many connections — without a bound and with no
+/// shutdown flag it serves forever. Per-connection I/O failures (a
+/// client vanishing mid-response) are reported to stderr and do not
+/// stop the listener.
+///
+/// # Errors
+///
+/// Returns listener-level I/O errors (binding problems surface in the
+/// caller; accept errors other than would-block are fatal).
+pub fn serve_tcp(
+    listener: TcpListener,
+    opts: &ServeOptions,
+    shutdown: Option<&AtomicBool>,
+    max_connections: Option<u64>,
+) -> io::Result<ServeStats> {
+    listener.set_nonblocking(true)?;
+    let mut total = ServeStats {
+        served: 0,
+        failed: 0,
+        threads: tsg_sim::BatchRunner::sized(opts.threads).threads(),
+    };
+    let mut connections = 0u64;
+    while max_connections.is_none_or(|max| connections < max) {
+        if shutdown.is_some_and(|flag| flag.load(Ordering::SeqCst)) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                stream.set_nonblocking(false)?;
+                let reader = BufReader::new(stream.try_clone()?);
+                match serve(reader, stream, opts, shutdown) {
+                    Ok(stats) => {
+                        total.served += stats.served;
+                        total.failed += stats.failed;
+                    }
+                    Err(e) => eprintln!("tsg serve: connection {peer}: {e}"),
+                }
+                connections += 1;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(total)
+}
+
+/// Serves protocol sessions over a Unix socket — same loop as
+/// [`serve_tcp`].
+///
+/// # Errors
+///
+/// Returns listener-level I/O errors.
+#[cfg(unix)]
+pub fn serve_unix(
+    listener: UnixListener,
+    opts: &ServeOptions,
+    shutdown: Option<&AtomicBool>,
+    max_connections: Option<u64>,
+) -> io::Result<ServeStats> {
+    listener.set_nonblocking(true)?;
+    let mut total = ServeStats {
+        served: 0,
+        failed: 0,
+        threads: tsg_sim::BatchRunner::sized(opts.threads).threads(),
+    };
+    let mut connections = 0u64;
+    while max_connections.is_none_or(|max| connections < max) {
+        if shutdown.is_some_and(|flag| flag.load(Ordering::SeqCst)) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false)?;
+                let reader = BufReader::new(stream.try_clone()?);
+                match serve(reader, stream, opts, shutdown) {
+                    Ok(stats) => {
+                        total.served += stats.served;
+                        total.failed += stats.failed;
+                    }
+                    Err(e) => eprintln!("tsg serve: unix connection: {e}"),
+                }
+                connections += 1;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(total)
+}
+
+/// Installs a SIGINT handler that raises (and returns) a global
+/// shutdown flag instead of killing the process: in-flight requests
+/// finish and responses flush before the serve loop exits. A second
+/// Ctrl-C restores the default disposition, so it kills as usual.
+///
+/// On non-Unix platforms this returns a flag nothing ever raises.
+pub fn install_sigint_flag() -> &'static AtomicBool {
+    static TRIGGERED: AtomicBool = AtomicBool::new(false);
+    #[cfg(unix)]
+    {
+        const SIGINT: i32 = 2;
+        const SIG_DFL: usize = 0;
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        extern "C" fn on_sigint(_: i32) {
+            TRIGGERED.store(true, Ordering::SeqCst);
+            // Graceful once: a second Ctrl-C gets the default (kill)
+            // behaviour back. `signal` is async-signal-safe.
+            unsafe { signal(SIGINT, SIG_DFL) };
+        }
+        unsafe { signal(SIGINT, on_sigint as *const () as usize) };
+    }
+    &TRIGGERED
+}
+
+// Integration-style pool tests live in `tests/`; unit tests for json,
+// protocol and ops sit in their modules.

@@ -1,0 +1,447 @@
+//! The analysis operations behind both the one-shot CLI and the serve
+//! worker loop.
+//!
+//! `tsg analyze` / `tsg sim` and the `tsg serve` request router execute
+//! the *same* functions from this module, so a served response is
+//! byte-identical to the one-shot command on the same input. The only
+//! difference is allocation strategy:
+//!
+//! * the one-shot entry points ([`report`], [`simulate_file`]) build
+//!   fresh state per invocation (and `report` fans the border
+//!   simulations across a thread pool);
+//! * a serve worker drives a persistent [`Workspace`] — one warm
+//!   [`SimArena`] plus pre-sized event queues — through
+//!   [`Workspace::analyze`] / [`Workspace::simulate`], which are
+//!   bit-identical to the cold paths (`CycleTimeAnalysis::run_in` ≡
+//!   `run_parallel`, `EventSimulation::run_in` ≡ `run_on`; both
+//!   equivalences are asserted in the workspace tests).
+
+use std::borrow::Cow;
+use std::fmt::Write as _;
+
+use tsg_core::analysis::diagram::{self, DiagramOptions};
+use tsg_core::analysis::event_sim::{EventSimScratch, EventSimulation};
+use tsg_core::analysis::initiated::SimArena;
+use tsg_core::analysis::sim::TimingSimulation;
+use tsg_core::analysis::{AnalysisError, CycleTimeAnalysis};
+use tsg_core::SignalGraph;
+use tsg_sim::{BatchRunner, QueueKind, TraceRecorder};
+
+/// Where a request's specification text comes from.
+#[derive(Clone, Debug)]
+pub enum Source {
+    /// A file on the server's filesystem.
+    Path(String),
+    /// Text shipped inline with the request; `name` supplies the
+    /// extension that selects the parser (`.g` vs `.ckt`).
+    Inline {
+        /// Name used for format detection and error messages.
+        name: String,
+        /// The specification text itself.
+        text: String,
+    },
+}
+
+impl Source {
+    /// The name used for format detection and error messages.
+    pub fn name(&self) -> &str {
+        match self {
+            Source::Path(p) => p,
+            Source::Inline { name, .. } => name,
+        }
+    }
+
+    /// The specification text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a read error message for an unreadable path.
+    pub fn read(&self) -> Result<Cow<'_, str>, String> {
+        match self {
+            Source::Path(file) => std::fs::read_to_string(file)
+                .map(Cow::Owned)
+                .map_err(|e| format!("reading {file}: {e}")),
+            Source::Inline { text, .. } => Ok(Cow::Borrowed(text)),
+        }
+    }
+}
+
+/// Flags of an `analyze` invocation (CLI flags or request fields).
+#[derive(Clone, Debug)]
+pub struct AnalyzeOptions {
+    /// Render a 3-period timing diagram.
+    pub diagram: bool,
+    /// Append the graph in DOT form.
+    pub dot: bool,
+    /// Run the related-work baseline algorithms.
+    pub baselines: bool,
+    /// Run the per-arc slack analysis.
+    pub slack: bool,
+    /// Delay assigned to arcs without a `.delay` annotation.
+    pub default_delay: f64,
+    /// Thread-pool size for the one-shot [`report`] path (`None` = all
+    /// cores); ignored by the warm per-worker path.
+    pub threads: Option<usize>,
+}
+
+impl Default for AnalyzeOptions {
+    fn default() -> Self {
+        AnalyzeOptions {
+            diagram: false,
+            dot: false,
+            baselines: false,
+            slack: false,
+            default_delay: 1.0,
+            threads: None,
+        }
+    }
+}
+
+/// Flags of a `sim` invocation, shared by every input file.
+#[derive(Clone, Debug, Default)]
+pub struct SimOptions {
+    /// Periods to simulate (`.g` inputs only).
+    pub periods: Option<u32>,
+    /// Simulation horizon (`.ckt` inputs only).
+    pub horizon: Option<f64>,
+    /// Dump a VCD waveform to this path (one-shot CLI only; the serve
+    /// protocol has no `vcd` field).
+    pub vcd: Option<String>,
+    /// Delay for unannotated arcs (`.g` inputs only).
+    pub default_delay: Option<f64>,
+    /// Kernel queue backend to run on.
+    pub queue: QueueKind,
+}
+
+/// Parses `text` as the format `file`'s extension names and returns the
+/// Signal Graph (netlists go through semimodularity checking and the
+/// TRASPEC-style extraction first).
+///
+/// # Errors
+///
+/// Returns parse/extraction failures as user-facing messages.
+pub fn load(file: &str, text: &str, default_delay: f64) -> Result<SignalGraph, String> {
+    if file.ends_with(".ckt") {
+        let nl = tsg_circuit::parse::parse_ckt(text).map_err(|e| e.to_string())?;
+        if nl.signal_count() <= 24 {
+            let rep = tsg_extract::explore(&nl, 2_000_000);
+            if !rep.is_semimodular() {
+                return Err(format!(
+                    "circuit is not semimodular ({} violation(s)); not speed-independent",
+                    rep.violations.len()
+                ));
+            }
+        }
+        tsg_extract::extract(&nl, tsg_extract::ExtractOptions::default()).map_err(|e| e.to_string())
+    } else {
+        tsg_stg::parse_stg(text, tsg_stg::StgOptions { default_delay }).map_err(|e| e.to_string())
+    }
+}
+
+/// The `tsg analyze` report, one-shot path: the `b` border-initiated
+/// simulations fan out across a [`BatchRunner`] pool sized by
+/// `opts.threads`.
+pub fn report(sg: &SignalGraph, opts: &AnalyzeOptions) -> String {
+    render_report(
+        sg,
+        opts,
+        CycleTimeAnalysis::run_parallel(sg, &BatchRunner::sized(opts.threads)),
+    )
+}
+
+/// The `tsg analyze` report, warm path: all simulations reuse `arena`.
+/// Byte-identical to [`report`] — `run_in` and `run_parallel` produce
+/// bit-identical analyses.
+pub fn report_in(sg: &SignalGraph, opts: &AnalyzeOptions, arena: &mut SimArena) -> String {
+    render_report(sg, opts, CycleTimeAnalysis::run_in(sg, None, arena))
+}
+
+fn render_report(
+    sg: &SignalGraph,
+    opts: &AnalyzeOptions,
+    analysis: Result<CycleTimeAnalysis, AnalysisError>,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "graph: {} events, {} arcs, {} border event(s)",
+        sg.event_count(),
+        sg.arc_count(),
+        sg.border_events().len()
+    );
+    match analysis {
+        Ok(a) => {
+            let _ = writeln!(out, "cycle time: {}", a.cycle_time());
+            let _ = writeln!(
+                out,
+                "critical cycle: {}",
+                sg.display_path(a.critical_cycle())
+            );
+            let borders: Vec<String> = a
+                .critical_borders()
+                .iter()
+                .map(|&e| sg.label(e).to_string())
+                .collect();
+            let _ = writeln!(out, "critical border event(s): {}", borders.join(", "));
+            for rec in a.records() {
+                let cells: Vec<String> = rec
+                    .distances
+                    .iter()
+                    .map(|(i, t, d)| format!("δ({i})={t}/{i}={d:.4}"))
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "  {:<6} {}",
+                    sg.label(rec.event).to_string(),
+                    cells.join("  ")
+                );
+            }
+        }
+        Err(e) => {
+            let _ = writeln!(out, "cycle time: undefined ({e})");
+        }
+    }
+    if opts.baselines {
+        let _ = writeln!(out, "baselines:");
+        if let Some(t) = tsg_baselines::howard_cycle_time(sg) {
+            let _ = writeln!(out, "  howard        : {}", t.as_f64());
+        }
+        if let Some(t) = tsg_baselines::karp_cycle_time(sg) {
+            let _ = writeln!(out, "  karp          : {}", t.as_f64());
+        }
+        if let Some(t) = tsg_baselines::lawler_cycle_time(sg, 60) {
+            let _ = writeln!(out, "  lawler        : {}", t.as_f64());
+        }
+        if let Ok(Some(t)) = tsg_baselines::enumerate_cycle_time(sg, 100_000) {
+            let _ = writeln!(out, "  enumeration   : {}", t.as_f64());
+        }
+        if let Some(t) = tsg_baselines::longrun_estimate(sg, 64) {
+            let _ = writeln!(out, "  long-run sim  : {t}");
+        }
+    }
+    if opts.slack {
+        match tsg_core::analysis::slack::SlackAnalysis::run(sg) {
+            Ok(sa) => {
+                let critical = sa.critical_arcs(1e-9);
+                let _ = writeln!(
+                    out,
+                    "slack: {} of {} cyclic arcs are timing-critical",
+                    critical.len(),
+                    sg.arc_ids().filter(|&a| sa.slack(a).is_some()).count()
+                );
+                for a in sg.arc_ids() {
+                    if let Some(s) = sa.slack(a) {
+                        let arc = sg.arc(a);
+                        let _ = writeln!(
+                            out,
+                            "  {} -> {} : {}",
+                            sg.label(arc.src()),
+                            sg.label(arc.dst()),
+                            if s <= 1e-9 {
+                                "CRITICAL".to_owned()
+                            } else {
+                                format!("slack {s}")
+                            }
+                        );
+                    }
+                }
+            }
+            Err(e) => {
+                let _ = writeln!(out, "slack: unavailable ({e})");
+            }
+        }
+    }
+    if opts.diagram && sg.repetitive_count() > 0 {
+        let sim = TimingSimulation::run(sg, 3);
+        let _ = writeln!(out, "timing diagram (3 periods):");
+        out.push_str(&diagram::render(sg, &sim, DiagramOptions::default()));
+    }
+    if opts.dot {
+        out.push_str(&tsg_core::dot::to_dot(sg, "tsg"));
+    }
+    out
+}
+
+/// One `tsg sim` input file, one-shot path: fresh state per invocation.
+///
+/// # Errors
+///
+/// Returns read/parse/flag-validation failures as user-facing messages.
+pub fn simulate_file(file: &str, opts: &SimOptions) -> Result<String, String> {
+    Workspace::new().simulate(&Source::Path(file.to_owned()), opts)
+}
+
+/// Index of a [`QueueKind`] into the per-kind warm-state slots.
+fn kind_slot(kind: QueueKind) -> usize {
+    match kind {
+        QueueKind::Heap => 0,
+        QueueKind::Calendar => 1,
+    }
+}
+
+/// A serve worker's persistent scratch state: the warm arena and the
+/// per-backend event queues every request executes on.
+///
+/// After the first request of each shape ("warm-up"), replaying a
+/// request of the same or smaller shape performs no arena or queue
+/// allocation — the capacity accessors exist so tests can assert exactly
+/// that.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    arena: SimArena,
+    graph: [Option<EventSimScratch>; 2],
+    netlist: [Option<tsg_circuit::SimQueue>; 2],
+}
+
+impl Workspace {
+    /// An empty workspace; the first request of each kind warms it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Capacity of the analysis arena's `(times, parent)` buffers.
+    pub fn arena_capacity(&self) -> (usize, usize) {
+        self.arena.capacity()
+    }
+
+    /// Capacity of the warm signal-graph simulation queue for `kind`
+    /// (`None` until a `.g` sim request warmed it).
+    pub fn graph_queue_capacity(&self, kind: QueueKind) -> Option<usize> {
+        self.graph[kind_slot(kind)]
+            .as_ref()
+            .map(EventSimScratch::queue_capacity)
+    }
+
+    /// Capacity of the warm netlist simulation queue for `kind` (`None`
+    /// until a `.ckt` sim request warmed it).
+    pub fn netlist_queue_capacity(&self, kind: QueueKind) -> Option<usize> {
+        self.netlist[kind_slot(kind)]
+            .as_ref()
+            .map(tsg_circuit::SimQueue::capacity)
+    }
+
+    /// `tsg analyze` on the warm arena. Byte-identical to the one-shot
+    /// [`report`] on the same source and options.
+    ///
+    /// # Errors
+    ///
+    /// Returns read/parse failures as user-facing messages.
+    pub fn analyze(&mut self, source: &Source, opts: &AnalyzeOptions) -> Result<String, String> {
+        let text = source.read()?;
+        let sg = load(source.name(), &text, opts.default_delay)?;
+        Ok(report_in(&sg, opts, &mut self.arena))
+    }
+
+    /// `tsg sim` on the warm queues. Byte-identical to the one-shot
+    /// [`simulate_file`] on the same source and options.
+    ///
+    /// # Errors
+    ///
+    /// Returns read/parse/flag-validation failures as user-facing
+    /// messages.
+    pub fn simulate(&mut self, source: &Source, opts: &SimOptions) -> Result<String, String> {
+        let text = source.read()?;
+        if source.name().ends_with(".ckt") {
+            if opts.periods.is_some() {
+                return Err(
+                    "--periods applies to .g signal graphs; netlist simulations take --horizon"
+                        .to_owned(),
+                );
+            }
+            if opts.default_delay.is_some() {
+                return Err(
+                    "--default-delay applies to .g signal graphs; netlists carry their own pin \
+                     delays"
+                        .to_owned(),
+                );
+            }
+            let nl = tsg_circuit::parse::parse_ckt(&text).map_err(|e| e.to_string())?;
+            self.simulate_netlist(&nl, opts)
+        } else {
+            if opts.horizon.is_some() {
+                return Err(
+                    "--horizon applies to .ckt netlists; signal-graph simulations take --periods"
+                        .to_owned(),
+                );
+            }
+            let sg = tsg_stg::parse_stg(
+                &text,
+                tsg_stg::StgOptions {
+                    default_delay: opts.default_delay.unwrap_or(1.0),
+                },
+            )
+            .map_err(|e| e.to_string())?;
+            self.simulate_graph(&sg, opts)
+        }
+    }
+
+    /// Gate-level event-driven simulation on the warm per-kind queue.
+    fn simulate_netlist(
+        &mut self,
+        nl: &tsg_circuit::Netlist,
+        opts: &SimOptions,
+    ) -> Result<String, String> {
+        let horizon = opts.horizon.unwrap_or(100.0);
+        let queue = self.netlist[kind_slot(opts.queue)]
+            .take()
+            .unwrap_or_else(|| tsg_circuit::SimQueue::new(opts.queue));
+        let mut sim = tsg_circuit::EventDrivenSim::with_reused_queue(nl, queue);
+        if opts.vcd.is_some() {
+            sim.enable_trace();
+        }
+        let run = sim.run(horizon, 2_000_000);
+        let recorder = sim.take_trace();
+        // Reclaim the queue before any early return: error isolation must
+        // not leak the warm allocation.
+        self.netlist[kind_slot(opts.queue)] = Some(sim.into_queue());
+        let trace = run.map_err(|e| format!("simulation failed: {e}"))?;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "simulated {} transition(s) on {} signal(s) to horizon {horizon}",
+            trace.len(),
+            nl.signal_count()
+        );
+        for s in nl.signals() {
+            if let Some(period) = tsg_circuit::EventDrivenSim::steady_period(&trace, s, true) {
+                let _ = writeln!(out, "  {:<8} steady period {period}", nl.name(s));
+            }
+        }
+        if let Some(path) = &opts.vcd {
+            recorder
+                .expect("trace was enabled")
+                .dump_vcd(path)
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            let _ = writeln!(out, "VCD waveform written to {path}");
+        }
+        Ok(out)
+    }
+
+    /// Signal-graph event simulation on the warm per-kind scratch.
+    fn simulate_graph(&mut self, sg: &SignalGraph, opts: &SimOptions) -> Result<String, String> {
+        let periods = opts.periods.unwrap_or(4);
+        let scratch = self.graph[kind_slot(opts.queue)]
+            .get_or_insert_with(|| EventSimScratch::new(opts.queue));
+        let sim = EventSimulation::run_in(sg, periods, scratch);
+        let chron = sim.chronological(sg);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "simulated {} occurrence(s) of {} event(s) over {periods} period(s)",
+            chron.len(),
+            sg.event_count()
+        );
+        for (e, i, t) in &chron {
+            let _ = writeln!(out, "  t({}_{i}) = {t}", sg.label(*e));
+        }
+        if let Some(path) = &opts.vcd {
+            let mut recorder = TraceRecorder::new("tsg");
+            sim.record_trace(sg, &mut recorder);
+            recorder
+                .dump_vcd(path)
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            let _ = writeln!(out, "VCD waveform written to {path}");
+        }
+        Ok(out)
+    }
+}

@@ -1,0 +1,286 @@
+//! The persistent warm-pool request loop.
+//!
+//! [`serve`] reads newline-delimited JSON requests from any `BufRead`,
+//! executes them on a fixed pool of worker threads — each holding one
+//! warm [`Workspace`] (arena + pre-sized queues) for its whole lifetime
+//! — and streams responses back in request order. Request failures
+//! (unreadable files, parse errors, even panicking handlers) are
+//! isolated to their response line; the pool keeps serving.
+//!
+//! The pool is sized by the same [`BatchRunner::sized`] rule as every
+//! batch API in the workspace, and workers claim requests dynamically,
+//! so a slow analysis on one worker never idles the others. A dedicated
+//! writer thread reorders completions back into request order (a
+//! `BTreeMap` keyed by arrival sequence) and flushes after every
+//! response, so a client pipelining requests sees each answer as soon as
+//! ordering allows.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Mutex};
+
+use std::time::Duration;
+
+use tsg_sim::BatchRunner;
+
+use crate::ops::{Source, Workspace};
+use crate::protocol::{self, Command, Request};
+
+/// How often the session loop re-checks the shutdown flag while waiting
+/// for the next request line.
+const SHUTDOWN_POLL: Duration = Duration::from_millis(50);
+
+/// Configuration of a serve session.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServeOptions {
+    /// Worker threads (`None` = all cores), resolved through
+    /// [`BatchRunner::sized`].
+    pub threads: Option<usize>,
+}
+
+/// Counters of a finished serve session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests answered with `ok: true`.
+    pub served: u64,
+    /// Requests answered with `ok: false`.
+    pub failed: u64,
+    /// Workers the pool ran.
+    pub threads: usize,
+}
+
+/// One accepted request line, tagged with its arrival order.
+struct Job {
+    seq: u64,
+    line: String,
+}
+
+/// Runs the request loop until `input` reaches EOF (or `shutdown` is
+/// raised), streaming one response line per request to `output` in
+/// request order.
+///
+/// Blank lines and `#` comment lines are skipped, so request scripts
+/// can be annotated. Input is drained on a dedicated thread, so a
+/// raised `shutdown` flag takes effect within one poll interval even
+/// while the session is blocked waiting for the next request line
+/// (`read` restarts after a signal under glibc's `SA_RESTART`, so
+/// checking the flag only between reads would leave an idle session
+/// uninterruptible): accepted requests finish, responses flush, and the
+/// loop exits cleanly.
+///
+/// # Errors
+///
+/// Returns I/O errors of the input or output stream. Request-level
+/// failures are *not* errors: they become `ok: false` response lines
+/// and count into [`ServeStats::failed`].
+pub fn serve<R, W>(
+    input: R,
+    mut output: W,
+    opts: &ServeOptions,
+    shutdown: Option<&AtomicBool>,
+) -> io::Result<ServeStats>
+where
+    R: BufRead + Send + 'static,
+    W: Write + Send,
+{
+    let threads = BatchRunner::sized(opts.threads).threads();
+    let served = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+
+    let (job_tx, job_rx) = mpsc::channel::<Job>();
+    let job_rx = Mutex::new(job_rx);
+    let (res_tx, res_rx) = mpsc::channel::<(u64, String)>();
+
+    let mut read_err: Option<io::Error> = None;
+    let write_result: io::Result<()> = std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let res_tx = res_tx.clone();
+            let (job_rx, served, failed) = (&job_rx, &served, &failed);
+            scope.spawn(move || {
+                // The warm state: lives as long as the pool, reused by
+                // every request this worker claims.
+                let mut workspace = Workspace::new();
+                loop {
+                    // Holding the lock across `recv` parks one idle
+                    // worker at a time; the others queue on the mutex.
+                    // Dispatch is serialized, execution is parallel.
+                    let job = { job_rx.lock().expect("reader never panics").recv() };
+                    let Ok(job) = job else {
+                        break; // input closed and queue drained
+                    };
+                    let response = handle(&job.line, &mut workspace, served, failed, threads);
+                    if res_tx.send((job.seq, response)).is_err() {
+                        break; // writer gone (output error): stop early
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+
+        let writer = scope.spawn(move || -> io::Result<()> {
+            let mut pending: BTreeMap<u64, String> = BTreeMap::new();
+            let mut next = 0u64;
+            for (seq, response) in res_rx {
+                pending.insert(seq, response);
+                // Flush every response the order now allows.
+                while let Some(ready) = pending.remove(&next) {
+                    output.write_all(ready.as_bytes())?;
+                    output.write_all(b"\n")?;
+                    output.flush()?;
+                    next += 1;
+                }
+            }
+            Ok(())
+        });
+
+        // Input drains on a detached thread (it may sit in a blocking
+        // `read` indefinitely); the session loop on the caller's thread
+        // polls it alongside the shutdown flag, tags accepted lines with
+        // their arrival order, and feeds the pool. After a shutdown the
+        // detached reader unblocks at its next line (or EOF/process
+        // exit) and finds the channel closed.
+        let (line_tx, line_rx) = mpsc::channel::<io::Result<String>>();
+        std::thread::spawn(move || {
+            let mut input = input;
+            let mut line = String::new();
+            loop {
+                line.clear();
+                let result = match input.read_line(&mut line) {
+                    Ok(0) => break, // EOF
+                    Ok(_) => Ok(std::mem::take(&mut line)),
+                    Err(e) => Err(e),
+                };
+                let failed = result.is_err();
+                if line_tx.send(result).is_err() || failed {
+                    break;
+                }
+            }
+        });
+        let mut seq = 0u64;
+        loop {
+            if shutdown.is_some_and(|flag| flag.load(Ordering::SeqCst)) {
+                break;
+            }
+            match line_rx.recv_timeout(SHUTDOWN_POLL) {
+                Ok(Ok(line)) => {
+                    let trimmed = line.trim();
+                    if trimmed.is_empty() || trimmed.starts_with('#') {
+                        continue;
+                    }
+                    let job = Job {
+                        seq,
+                        line: trimmed.to_owned(),
+                    };
+                    if job_tx.send(job).is_err() {
+                        break; // pool gone (only happens after an output error)
+                    }
+                    seq += 1;
+                }
+                Ok(Err(e)) => {
+                    read_err = Some(e);
+                    break;
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                Err(mpsc::RecvTimeoutError::Disconnected) => break, // EOF
+            }
+        }
+        // Closing the job channel drains the pool: workers finish what
+        // was accepted, then exit; the writer follows once the last
+        // result is flushed.
+        drop(job_tx);
+        writer.join().expect("writer thread never panics")
+    });
+
+    write_result?;
+    if let Some(e) = read_err {
+        return Err(e);
+    }
+    Ok(ServeStats {
+        served: served.load(Ordering::SeqCst),
+        failed: failed.load(Ordering::SeqCst),
+        threads,
+    })
+}
+
+/// Executes one request line against a worker's warm workspace and
+/// renders its response. Never panics: handler panics are caught and
+/// reported as that request's failure.
+fn handle(
+    line: &str,
+    workspace: &mut Workspace,
+    served: &AtomicU64,
+    failed: &AtomicU64,
+    threads: usize,
+) -> String {
+    let Request { id, cmd } = match protocol::parse_request(line) {
+        Ok(req) => req,
+        Err((id, msg)) => {
+            failed.fetch_add(1, Ordering::SeqCst);
+            return protocol::err_response(&id, &msg);
+        }
+    };
+    match cmd {
+        Command::Stats => {
+            // Snapshot first so the stats request does not count itself.
+            let response = protocol::stats_response(
+                &id,
+                served.load(Ordering::SeqCst),
+                failed.load(Ordering::SeqCst),
+                threads,
+            );
+            served.fetch_add(1, Ordering::SeqCst);
+            response
+        }
+        Command::Analyze { source, opts } => match isolate(|| workspace.analyze(&source, &opts)) {
+            Ok(output) => {
+                served.fetch_add(1, Ordering::SeqCst);
+                protocol::ok_response(&id, &output)
+            }
+            Err(e) => {
+                failed.fetch_add(1, Ordering::SeqCst);
+                protocol::err_response(&id, &e)
+            }
+        },
+        Command::Sim { source, opts } => match isolate(|| workspace.simulate(&source, &opts)) {
+            Ok(output) => {
+                served.fetch_add(1, Ordering::SeqCst);
+                protocol::ok_response(&id, &output)
+            }
+            Err(e) => {
+                failed.fetch_add(1, Ordering::SeqCst);
+                protocol::err_response(&id, &e)
+            }
+        },
+        Command::Batch { paths, opts } => {
+            let results: Vec<Result<String, String>> = paths
+                .iter()
+                .map(|path| isolate(|| workspace.analyze(&Source::Path(path.clone()), &opts)))
+                .collect();
+            // A batch is one request: it always yields an ok response
+            // with per-item results inline.
+            served.fetch_add(1, Ordering::SeqCst);
+            protocol::batch_response(&id, &results)
+        }
+    }
+}
+
+/// Runs a request handler, converting a panic into a per-request error
+/// so one poisoned input cannot take the worker (or the pool) down.
+fn isolate<F>(f: F) -> Result<String, String>
+where
+    F: FnOnce() -> Result<String, String>,
+{
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(result) => result,
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| panic.downcast_ref::<&str>().copied())
+                .unwrap_or("unknown panic");
+            Err(format!("internal error: request handler panicked: {msg}"))
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! The newline-delimited JSON request/response protocol of `tsg serve`.
+//!
+//! One request per line, one response line per request, responses in
+//! request order. Requests are JSON objects with a `cmd` field and an
+//! optional `id` echoed verbatim into the response:
+//!
+//! ```json
+//! {"id": 1, "cmd": "analyze", "path": "spec.g", "baselines": true}
+//! {"id": 2, "cmd": "sim", "path": "spec.g", "periods": 2}
+//! {"id": 3, "cmd": "sim", "text": ".model m\n...", "name": "inline.g"}
+//! {"id": 4, "cmd": "batch", "paths": ["a.g", "b.g"]}
+//! {"id": 5, "cmd": "stats"}
+//! ```
+//!
+//! Responses always carry `id` and `ok`:
+//!
+//! ```json
+//! {"id": 1, "ok": true, "output": "graph: ...\n"}
+//! {"id": 2, "ok": false, "error": "reading spec.g: ..."}
+//! {"id": 4, "ok": true, "results": [{"ok": true, "output": "..."}]}
+//! {"id": 5, "ok": true, "served": 4, "failed": 0, "threads": 8}
+//! ```
+//!
+//! Unknown fields are rejected, not ignored — the same strictness the
+//! CLI applies to unknown flags, so a typo'd option fails loudly instead
+//! of silently running with defaults.
+
+use crate::json::Json;
+use crate::ops::{AnalyzeOptions, SimOptions, Source};
+use tsg_sim::QueueKind;
+
+/// A parsed request body.
+#[derive(Clone, Debug)]
+pub enum Command {
+    /// Cycle-time analysis of one signal graph or netlist.
+    Analyze {
+        /// Where the specification text comes from.
+        source: Source,
+        /// Report options (subset of the CLI's `analyze` flags).
+        opts: AnalyzeOptions,
+    },
+    /// Event simulation of one signal graph or netlist.
+    Sim {
+        /// Where the specification text comes from.
+        source: Source,
+        /// Simulation options (subset of the CLI's `sim` flags).
+        opts: SimOptions,
+    },
+    /// Analysis sweep over many paths, one response with per-item
+    /// results.
+    Batch {
+        /// The files to analyze, in order.
+        paths: Vec<String>,
+        /// Report options shared by every item.
+        opts: AnalyzeOptions,
+    },
+    /// Service counters snapshot.
+    Stats,
+}
+
+/// One parsed request line.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// The request's `id`, echoed into the response (`null` if absent).
+    pub id: Json,
+    /// The request body.
+    pub cmd: Command,
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns the id to echo (null when the line was not even an object)
+/// plus a user-facing message.
+pub fn parse_request(line: &str) -> Result<Request, (Json, String)> {
+    let doc = Json::parse(line).map_err(|e| (Json::Null, format!("invalid JSON: {e}")))?;
+    let Some(fields) = doc.entries() else {
+        return Err((Json::Null, "request must be a JSON object".to_owned()));
+    };
+    let id = doc.get("id").cloned().unwrap_or(Json::Null);
+    let fail = |msg: String| (id.clone(), msg);
+    let cmd = doc
+        .get("cmd")
+        .ok_or_else(|| fail("request needs a \"cmd\" field".to_owned()))?
+        .as_str()
+        .ok_or_else(|| fail("\"cmd\" must be a string".to_owned()))?;
+
+    let known: &[&str] = match cmd {
+        "analyze" => &[
+            "id",
+            "cmd",
+            "path",
+            "text",
+            "name",
+            "diagram",
+            "dot",
+            "baselines",
+            "slack",
+            "default_delay",
+        ],
+        "sim" => &[
+            "id",
+            "cmd",
+            "path",
+            "text",
+            "name",
+            "periods",
+            "horizon",
+            "default_delay",
+            "queue",
+        ],
+        "batch" => &[
+            "id",
+            "cmd",
+            "paths",
+            "diagram",
+            "dot",
+            "baselines",
+            "slack",
+            "default_delay",
+        ],
+        "stats" => &["id", "cmd"],
+        other => return Err(fail(format!("unknown cmd {other:?}"))),
+    };
+    for (key, _) in fields {
+        if !known.contains(&key.as_str()) {
+            let hint = if cmd == "sim" && key == "vcd" {
+                "; waveform dumping is a one-shot CLI feature (`tsg sim --vcd`)"
+            } else {
+                ""
+            };
+            return Err(fail(format!("unknown field {key:?} for cmd {cmd:?}{hint}")));
+        }
+    }
+
+    let body = match cmd {
+        "analyze" => Command::Analyze {
+            source: source_of(&doc).map_err(&fail)?,
+            opts: analyze_opts(&doc).map_err(&fail)?,
+        },
+        "sim" => Command::Sim {
+            source: source_of(&doc).map_err(&fail)?,
+            opts: sim_opts(&doc).map_err(&fail)?,
+        },
+        "batch" => {
+            let paths = doc
+                .get("paths")
+                .ok_or("batch needs a \"paths\" array".to_owned())
+                .and_then(|v| {
+                    v.as_array()
+                        .ok_or("\"paths\" must be an array of strings".to_owned())
+                })
+                .map_err(&fail)?
+                .iter()
+                .map(|p| {
+                    p.as_str()
+                        .map(str::to_owned)
+                        .ok_or_else(|| fail("\"paths\" must be an array of strings".to_owned()))
+                })
+                .collect::<Result<Vec<String>, _>>()?;
+            Command::Batch {
+                paths,
+                opts: analyze_opts(&doc).map_err(&fail)?,
+            }
+        }
+        "stats" => Command::Stats,
+        _ => unreachable!("cmd validated above"),
+    };
+    Ok(Request { id, cmd: body })
+}
+
+/// Extracts the `path` / `text`(+`name`) source fields.
+fn source_of(doc: &Json) -> Result<Source, String> {
+    match (doc.get("path"), doc.get("text")) {
+        (Some(_), Some(_)) => Err("give either \"path\" or \"text\", not both".to_owned()),
+        (Some(p), None) => {
+            if doc.get("name").is_some() {
+                return Err("\"name\" only applies to inline \"text\" sources".to_owned());
+            }
+            Ok(Source::Path(
+                p.as_str().ok_or("\"path\" must be a string")?.to_owned(),
+            ))
+        }
+        (None, Some(t)) => Ok(Source::Inline {
+            name: match doc.get("name") {
+                Some(n) => n.as_str().ok_or("\"name\" must be a string")?.to_owned(),
+                None => "inline.g".to_owned(),
+            },
+            text: t.as_str().ok_or("\"text\" must be a string")?.to_owned(),
+        }),
+        (None, None) => Err("request needs a \"path\" or \"text\" source".to_owned()),
+    }
+}
+
+fn bool_field(doc: &Json, key: &str) -> Result<bool, String> {
+    match doc.get(key) {
+        None => Ok(false),
+        Some(v) => v.as_bool().ok_or(format!("{key:?} must be a boolean")),
+    }
+}
+
+fn analyze_opts(doc: &Json) -> Result<AnalyzeOptions, String> {
+    Ok(AnalyzeOptions {
+        diagram: bool_field(doc, "diagram")?,
+        dot: bool_field(doc, "dot")?,
+        baselines: bool_field(doc, "baselines")?,
+        slack: bool_field(doc, "slack")?,
+        default_delay: match doc.get("default_delay") {
+            None => 1.0,
+            Some(v) => v.as_f64().ok_or("\"default_delay\" must be a number")?,
+        },
+        // Intra-request parallelism is pool-level in serve mode; the
+        // warm path never consults this.
+        threads: None,
+    })
+}
+
+fn sim_opts(doc: &Json) -> Result<SimOptions, String> {
+    Ok(SimOptions {
+        periods: match doc.get("periods") {
+            None => None,
+            Some(v) => Some(
+                v.as_f64()
+                    .filter(|p| p.fract() == 0.0 && *p >= 1.0 && *p <= u32::MAX as f64)
+                    .map(|p| p as u32)
+                    .ok_or("\"periods\" must be a positive integer")?,
+            ),
+        },
+        horizon: match doc.get("horizon") {
+            None => None,
+            Some(v) => Some(
+                v.as_f64()
+                    .filter(|h| h.is_finite() && *h > 0.0)
+                    .ok_or("\"horizon\" must be a positive number")?,
+            ),
+        },
+        vcd: None,
+        default_delay: match doc.get("default_delay") {
+            None => None,
+            Some(v) => Some(v.as_f64().ok_or("\"default_delay\" must be a number")?),
+        },
+        queue: match doc.get("queue") {
+            None => QueueKind::Heap,
+            Some(v) => v
+                .as_str()
+                .ok_or("\"queue\" must be a string".to_owned())
+                .and_then(|s| s.parse::<QueueKind>())?,
+        },
+    })
+}
+
+/// A successful `analyze`/`sim` response.
+pub fn ok_response(id: &Json, output: &str) -> String {
+    Json::Obj(vec![
+        ("id".to_owned(), id.clone()),
+        ("ok".to_owned(), Json::Bool(true)),
+        ("output".to_owned(), Json::from(output)),
+    ])
+    .dump()
+}
+
+/// A per-request failure response (the request slot stays isolated: the
+/// service keeps running).
+pub fn err_response(id: &Json, error: &str) -> String {
+    Json::Obj(vec![
+        ("id".to_owned(), id.clone()),
+        ("ok".to_owned(), Json::Bool(false)),
+        ("error".to_owned(), Json::from(error)),
+    ])
+    .dump()
+}
+
+/// A `batch` response: per-item results in input order.
+pub fn batch_response(id: &Json, results: &[Result<String, String>]) -> String {
+    let items: Vec<Json> = results
+        .iter()
+        .map(|r| match r {
+            Ok(output) => Json::Obj(vec![
+                ("ok".to_owned(), Json::Bool(true)),
+                ("output".to_owned(), Json::from(output.as_str())),
+            ]),
+            Err(e) => Json::Obj(vec![
+                ("ok".to_owned(), Json::Bool(false)),
+                ("error".to_owned(), Json::from(e.as_str())),
+            ]),
+        })
+        .collect();
+    Json::Obj(vec![
+        ("id".to_owned(), id.clone()),
+        ("ok".to_owned(), Json::Bool(true)),
+        ("results".to_owned(), Json::Arr(items)),
+    ])
+    .dump()
+}
+
+/// A `stats` response: counters cover requests *completed* before this
+/// one executed (the stats request itself is excluded).
+pub fn stats_response(id: &Json, served: u64, failed: u64, threads: usize) -> String {
+    Json::Obj(vec![
+        ("id".to_owned(), id.clone()),
+        ("ok".to_owned(), Json::Bool(true)),
+        ("served".to_owned(), Json::from(served)),
+        ("failed".to_owned(), Json::from(failed)),
+        ("threads".to_owned(), Json::from(threads as u64)),
+    ])
+    .dump()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_analyze_with_options() {
+        let r = parse_request(r#"{"id":7,"cmd":"analyze","path":"a.g","baselines":true}"#).unwrap();
+        assert_eq!(r.id, Json::Num(7.0));
+        let Command::Analyze { source, opts } = r.cmd else {
+            panic!("wrong cmd");
+        };
+        assert_eq!(source.name(), "a.g");
+        assert!(opts.baselines);
+        assert!(!opts.slack);
+        assert_eq!(opts.default_delay, 1.0);
+    }
+
+    #[test]
+    fn parses_inline_sim_source() {
+        let r =
+            parse_request(r#"{"cmd":"sim","text":".model m","name":"m.g","periods":3}"#).unwrap();
+        assert_eq!(r.id, Json::Null);
+        let Command::Sim { source, opts } = r.cmd else {
+            panic!("wrong cmd");
+        };
+        assert_eq!(source.name(), "m.g");
+        assert_eq!(source.read().unwrap(), ".model m");
+        assert_eq!(opts.periods, Some(3));
+        assert_eq!(opts.queue, QueueKind::Heap);
+    }
+
+    #[test]
+    fn parses_queue_kind_and_rejects_unknown() {
+        let r = parse_request(r#"{"cmd":"sim","path":"c.ckt","queue":"calendar"}"#).unwrap();
+        let Command::Sim { opts, .. } = r.cmd else {
+            panic!("wrong cmd");
+        };
+        assert_eq!(opts.queue, QueueKind::Calendar);
+        let (_, e) = parse_request(r#"{"cmd":"sim","path":"c.ckt","queue":"splay"}"#).unwrap_err();
+        assert!(e.contains("unknown queue backend"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unknown_fields_and_vcd() {
+        let (id, e) =
+            parse_request(r#"{"id":"x","cmd":"analyze","path":"a.g","wat":1}"#).unwrap_err();
+        assert_eq!(id, Json::Str("x".into()));
+        assert!(e.contains("unknown field \"wat\""), "{e}");
+        let (_, e) = parse_request(r#"{"cmd":"sim","path":"a.g","vcd":"w.vcd"}"#).unwrap_err();
+        assert!(e.contains("one-shot CLI"), "{e}");
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for (line, needle) in [
+            ("nonsense", "invalid JSON"),
+            ("[1,2]", "must be a JSON object"),
+            (r#"{"id":1}"#, "needs a \"cmd\""),
+            (r#"{"cmd":"frob"}"#, "unknown cmd"),
+            (r#"{"cmd":"analyze"}"#, "\"path\" or \"text\""),
+            (r#"{"cmd":"analyze","path":"a.g","text":"x"}"#, "not both"),
+            (r#"{"cmd":"analyze","path":"a.g","name":"x"}"#, "inline"),
+            (
+                r#"{"cmd":"sim","path":"a.g","periods":0}"#,
+                "positive integer",
+            ),
+            (
+                r#"{"cmd":"sim","path":"a.g","periods":1.5}"#,
+                "positive integer",
+            ),
+            (
+                r#"{"cmd":"sim","path":"a.g","horizon":-2}"#,
+                "positive number",
+            ),
+            (r#"{"cmd":"batch"}"#, "\"paths\""),
+            (r#"{"cmd":"batch","paths":[1]}"#, "array of strings"),
+            (r#"{"cmd":"stats","path":"a.g"}"#, "unknown field"),
+        ] {
+            let (_, e) = parse_request(line).unwrap_err();
+            assert!(e.contains(needle), "{line}: {e}");
+        }
+    }
+
+    #[test]
+    fn responses_echo_ids_and_escape_output() {
+        assert_eq!(
+            ok_response(&Json::Num(3.0), "line1\nline2\n"),
+            r#"{"id":3,"ok":true,"output":"line1\nline2\n"}"#
+        );
+        assert_eq!(
+            err_response(&Json::Null, "bad \"quote\""),
+            r#"{"id":null,"ok":false,"error":"bad \"quote\""}"#
+        );
+        assert_eq!(
+            stats_response(&Json::Str("s".into()), 5, 1, 4),
+            r#"{"id":"s","ok":true,"served":5,"failed":1,"threads":4}"#
+        );
+        assert_eq!(
+            batch_response(&Json::Num(1.0), &[Ok("a\n".into()), Err("e".into())]),
+            r#"{"id":1,"ok":true,"results":[{"ok":true,"output":"a\n"},{"ok":false,"error":"e"}]}"#
+        );
+    }
+}

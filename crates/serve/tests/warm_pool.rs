@@ -1,0 +1,315 @@
+//! Warm-pool guarantees and protocol-session behaviour of `tsg-serve`.
+//!
+//! The acceptance bar of the serve mode: responses arrive in request
+//! order, byte-identical to the one-shot operations, with zero
+//! per-request arena/queue allocation after warm-up (asserted through
+//! the workspace capacity accessors), and failures isolated per request.
+
+use std::io::{Cursor, Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use tsg_serve::json::Json;
+use tsg_serve::ops::{self, AnalyzeOptions, SimOptions, Source, Workspace};
+use tsg_serve::{serve, serve_tcp, ServeOptions};
+use tsg_sim::QueueKind;
+
+/// One request line from `(key, value)` fields.
+fn req(fields: &[(&str, Json)]) -> String {
+    Json::Obj(
+        fields
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), v.clone()))
+            .collect(),
+    )
+    .dump()
+}
+
+/// Runs a serve session over in-memory I/O, returning its parsed
+/// response lines.
+fn session(script: &str, threads: usize) -> Vec<Json> {
+    let mut out = Vec::new();
+    let opts = ServeOptions {
+        threads: Some(threads),
+    };
+    serve(Cursor::new(script.to_owned()), &mut out, &opts, None).expect("in-memory serve");
+    String::from_utf8(out)
+        .expect("responses are UTF-8")
+        .lines()
+        .map(|line| Json::parse(line).expect("responses are valid JSON"))
+        .collect()
+}
+
+fn inline_g() -> Source {
+    Source::Inline {
+        name: "osc.g".to_owned(),
+        text: tsg_stg::EXAMPLE_OSCILLATOR.to_owned(),
+    }
+}
+
+fn inline_ckt() -> Source {
+    Source::Inline {
+        name: "osc.ckt".to_owned(),
+        text: tsg_circuit::parse::write_ckt(&tsg_circuit::library::c_element_oscillator()),
+    }
+}
+
+#[test]
+fn warm_analyze_is_allocation_free_and_byte_identical() {
+    let mut ws = Workspace::new();
+    let source = inline_g();
+    let opts = AnalyzeOptions {
+        baselines: true,
+        slack: true,
+        ..AnalyzeOptions::default()
+    };
+    let cold = {
+        let sg = ops::load("osc.g", tsg_stg::EXAMPLE_OSCILLATOR, 1.0).unwrap();
+        ops::report(&sg, &opts)
+    };
+    let first = ws.analyze(&source, &opts).unwrap();
+    assert_eq!(first, cold, "warm path must match the one-shot report");
+    let warm_caps = ws.arena_capacity();
+    assert!(warm_caps.0 > 0, "first analyze warms the arena");
+    for _ in 0..3 {
+        let again = ws.analyze(&source, &opts).unwrap();
+        assert_eq!(again, cold);
+        assert_eq!(
+            ws.arena_capacity(),
+            warm_caps,
+            "replaying an identical request must not touch the allocator"
+        );
+    }
+}
+
+#[test]
+fn warm_sim_queues_stay_put_per_backend() {
+    let mut ws = Workspace::new();
+    for kind in [QueueKind::Heap, QueueKind::Calendar] {
+        let g_opts = SimOptions {
+            periods: Some(3),
+            queue: kind,
+            ..SimOptions::default()
+        };
+        let c_opts = SimOptions {
+            horizon: Some(400.0),
+            queue: kind,
+            ..SimOptions::default()
+        };
+        let g_cold = Workspace::new().simulate(&inline_g(), &g_opts).unwrap();
+        let c_cold = Workspace::new().simulate(&inline_ckt(), &c_opts).unwrap();
+        assert_eq!(ws.simulate(&inline_g(), &g_opts).unwrap(), g_cold);
+        assert_eq!(ws.simulate(&inline_ckt(), &c_opts).unwrap(), c_cold);
+        let g_cap = ws.graph_queue_capacity(kind).expect("warmed");
+        let c_cap = ws.netlist_queue_capacity(kind).expect("warmed");
+        for _ in 0..3 {
+            assert_eq!(ws.simulate(&inline_g(), &g_opts).unwrap(), g_cold);
+            assert_eq!(ws.simulate(&inline_ckt(), &c_opts).unwrap(), c_cold);
+            assert_eq!(ws.graph_queue_capacity(kind), Some(g_cap));
+            assert_eq!(ws.netlist_queue_capacity(kind), Some(c_cap));
+        }
+    }
+}
+
+#[test]
+fn failed_netlist_run_keeps_the_warm_queue() {
+    // A zero-delay oscillation exhausts the event budget: the request
+    // fails, but the queue must come back to the workspace.
+    let mut ws = Workspace::new();
+    let bad = Source::Inline {
+        name: "loop.ckt".to_owned(),
+        text: "gate a inv(a:0) = 0\n".to_owned(),
+    };
+    let opts = SimOptions {
+        horizon: Some(10.0),
+        ..SimOptions::default()
+    };
+    let err = ws.simulate(&bad, &opts).unwrap_err();
+    assert!(err.contains("simulation failed"), "{err}");
+    assert!(
+        ws.netlist_queue_capacity(QueueKind::Heap).is_some(),
+        "error isolation must not leak the warm queue"
+    );
+    // And the workspace still serves good requests afterwards.
+    assert!(ws.simulate(&inline_ckt(), &opts).is_ok());
+}
+
+#[test]
+fn responses_arrive_in_request_order_with_error_isolation() {
+    let script = [
+        req(&[
+            ("id", Json::Num(0.0)),
+            ("cmd", Json::from("analyze")),
+            ("text", Json::from(tsg_stg::EXAMPLE_OSCILLATOR)),
+            ("name", Json::from("osc.g")),
+        ]),
+        "this is not json".to_owned(),
+        "# a comment line, skipped entirely".to_owned(),
+        req(&[
+            ("id", Json::Num(2.0)),
+            ("cmd", Json::from("sim")),
+            ("text", Json::from(tsg_stg::EXAMPLE_OSCILLATOR)),
+            ("name", Json::from("osc.g")),
+            ("periods", Json::Num(2.0)),
+        ]),
+        req(&[("id", Json::Num(3.0)), ("cmd", Json::from("frobnicate"))]),
+        req(&[("id", Json::Num(4.0)), ("cmd", Json::from("stats"))]),
+    ]
+    .join("\n")
+        + "\n";
+    // Single worker: deterministic counters (requests complete in order).
+    let responses = session(&script, 1);
+    assert_eq!(responses.len(), 5, "one response per request line");
+    let ids: Vec<&Json> = responses.iter().map(|r| r.get("id").unwrap()).collect();
+    assert_eq!(
+        ids,
+        [
+            &Json::Num(0.0),
+            &Json::Null, // unparseable line: id unrecoverable
+            &Json::Num(2.0),
+            &Json::Num(3.0),
+            &Json::Num(4.0),
+        ]
+    );
+    assert_eq!(responses[0].get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(responses[1].get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(responses[3].get("ok"), Some(&Json::Bool(false)));
+    // stats: 2 ok + 2 failures before it, itself excluded.
+    assert_eq!(responses[4].get("served"), Some(&Json::Num(2.0)));
+    assert_eq!(responses[4].get("failed"), Some(&Json::Num(2.0)));
+    assert_eq!(responses[4].get("threads"), Some(&Json::Num(1.0)));
+}
+
+#[test]
+fn parallel_pool_preserves_order_and_output() {
+    // 24 requests of varying cost over 4 workers: responses must still
+    // stream in request order and match the single-worker outputs.
+    let mut script = String::new();
+    for i in 0..24u32 {
+        script.push_str(&req(&[
+            ("id", Json::Num(f64::from(i))),
+            ("cmd", Json::from("sim")),
+            ("text", Json::from(tsg_stg::EXAMPLE_OSCILLATOR)),
+            ("name", Json::from("osc.g")),
+            ("periods", Json::Num(f64::from(1 + i % 7))),
+        ]));
+        script.push('\n');
+    }
+    let sequential = session(&script, 1);
+    let parallel = session(&script, 4);
+    assert_eq!(sequential, parallel);
+    for (i, r) in parallel.iter().enumerate() {
+        assert_eq!(r.get("id"), Some(&Json::Num(i as f64)));
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+    }
+}
+
+#[test]
+fn batch_sweeps_report_per_item_results_inline() {
+    let dir = std::env::temp_dir().join("tsg-serve-batch-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let good = dir.join("osc.g");
+    std::fs::write(&good, tsg_stg::EXAMPLE_OSCILLATOR).unwrap();
+    let missing = dir.join("nope.g");
+    let script = req(&[
+        ("id", Json::Num(1.0)),
+        ("cmd", Json::from("batch")),
+        (
+            "paths",
+            Json::Arr(vec![
+                Json::from(good.to_string_lossy().as_ref()),
+                Json::from(missing.to_string_lossy().as_ref()),
+            ]),
+        ),
+    ]) + "\n";
+    let responses = session(&script, 2);
+    assert_eq!(responses.len(), 1);
+    let results = responses[0].get("results").unwrap().as_array().unwrap();
+    assert_eq!(results.len(), 2);
+    assert_eq!(results[0].get("ok"), Some(&Json::Bool(true)));
+    assert!(results[0]
+        .get("output")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("cycle time: 10"));
+    assert_eq!(results[1].get("ok"), Some(&Json::Bool(false)));
+    assert!(results[1]
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("reading"));
+}
+
+#[test]
+fn shutdown_flag_stops_accepting_but_flushes_accepted_work() {
+    // A pre-raised flag: the session exits before reading anything.
+    let flag = AtomicBool::new(true);
+    let mut out = Vec::new();
+    let stats = serve(
+        Cursor::new(req(&[("cmd", Json::from("stats"))]) + "\n"),
+        &mut out,
+        &ServeOptions { threads: Some(1) },
+        Some(&flag),
+    )
+    .unwrap();
+    assert_eq!(stats.served + stats.failed, 0);
+    assert!(out.is_empty());
+    flag.store(false, Ordering::SeqCst);
+}
+
+#[test]
+fn tcp_session_round_trips() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        serve_tcp(listener, &ServeOptions { threads: Some(2) }, None, Some(1)).unwrap()
+    });
+    let mut client = std::net::TcpStream::connect(addr).unwrap();
+    let script = req(&[
+        ("id", Json::Num(1.0)),
+        ("cmd", Json::from("analyze")),
+        ("text", Json::from(tsg_stg::EXAMPLE_OSCILLATOR)),
+        ("name", Json::from("osc.g")),
+    ]) + "\n";
+    client.write_all(script.as_bytes()).unwrap();
+    client.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut reply = String::new();
+    client.read_to_string(&mut reply).unwrap();
+    let response = Json::parse(reply.trim()).unwrap();
+    assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+    assert!(response
+        .get("output")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("cycle time: 10"));
+    let stats = server.join().unwrap();
+    assert_eq!((stats.served, stats.failed), (1, 0));
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_session_round_trips() {
+    use std::os::unix::net::{UnixListener, UnixStream};
+    let path = std::env::temp_dir().join(format!("tsg-serve-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let listener = UnixListener::bind(&path).unwrap();
+    let sock = path.clone();
+    let server = std::thread::spawn(move || {
+        tsg_serve::serve_unix(listener, &ServeOptions { threads: Some(1) }, None, Some(1)).unwrap()
+    });
+    let mut client = UnixStream::connect(&sock).unwrap();
+    client
+        .write_all(
+            (req(&[("id", Json::from("u")), ("cmd", Json::from("stats"))]) + "\n").as_bytes(),
+        )
+        .unwrap();
+    client.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut reply = String::new();
+    client.read_to_string(&mut reply).unwrap();
+    assert!(reply.contains(r#""id":"u""#), "{reply}");
+    let stats = server.join().unwrap();
+    assert_eq!(stats.served, 1);
+    let _ = std::fs::remove_file(&path);
+}

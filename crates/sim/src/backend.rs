@@ -30,16 +30,23 @@ use crate::queue::Event;
 /// # Contract
 ///
 /// The wrapper guarantees that `push` is only called with finite `time`
-/// no earlier than the time of the last popped entry, and that `seq` is
-/// strictly increasing across pushes. In return a backend must:
+/// no earlier than the time of the last popped entry (negative times are
+/// legal before the first pop), and that `seq` is strictly increasing
+/// across pushes. In return a backend must:
 ///
+/// * enforce the finite-time policy itself — every backend's `push`
+///   panics on NaN/infinite times with the same message, so a backend
+///   driven directly (outside the [`EventQueue`](crate::EventQueue)
+///   wrapper) can never smuggle a non-finite time into its internal
+///   arithmetic;
 /// * pop entries in ascending `(time, seq)` order — bit-identical pop
 ///   streams across backends are what the cross-backend tests assert;
 /// * retain its allocations on [`clear`](QueueBackend::clear), so
 ///   restartable simulators reuse capacity across runs instead of
 ///   regrowing it.
 pub trait QueueBackend<T> {
-    /// Inserts an entry. `time` is finite and `>=` the last popped time.
+    /// Inserts an entry. `time` must be finite (every implementation
+    /// panics otherwise) and `>=` the last popped time.
     fn push(&mut self, time: f64, seq: u64, payload: T);
     /// Removes and returns the entry with the smallest `(time, seq)`.
     fn pop_min(&mut self) -> Option<Event<T>>;
@@ -123,6 +130,10 @@ impl<T> BinaryHeapQueue<T> {
 
 impl<T> QueueBackend<T> for BinaryHeapQueue<T> {
     fn push(&mut self, time: f64, seq: u64, payload: T) {
+        assert!(
+            time.is_finite(),
+            "queue backend time must be finite, got {time}"
+        );
         self.heap.push(Entry { time, seq, payload });
     }
 
@@ -312,6 +323,27 @@ mod tests {
         let q: AnyQueue<u32> = AnyQueue::default();
         assert_eq!(q.kind(), QueueKind::Heap);
         assert_eq!(q.name(), "binary_heap");
+    }
+
+    #[test]
+    fn backends_reject_non_finite_times_identically() {
+        // One finite-time policy, enforced at push in every backend with
+        // the same message — a backend driven directly can never differ
+        // from another about which times are representable.
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let heap = std::panic::catch_unwind(|| {
+                BinaryHeapQueue::new().push(bad, 1, 0u32);
+            })
+            .unwrap_err();
+            let cal = std::panic::catch_unwind(|| {
+                CalendarQueue::new().push(bad, 1, 0u32);
+            })
+            .unwrap_err();
+            let msg = |p: Box<dyn std::any::Any + Send>| {
+                p.downcast::<String>().map(|s| *s).unwrap_or_default()
+            };
+            assert_eq!(msg(heap), msg(cal));
+        }
     }
 
     #[test]

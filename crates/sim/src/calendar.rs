@@ -15,10 +15,13 @@
 //! the pop scan matches on that stored index rather than re-deriving a
 //! window from floating-point arithmetic — so bucketing and scanning can
 //! never disagree about boundary times, and the pop stream is
-//! bit-identical to the binary-heap backend's `(time, seq)` order. A
-//! full year scanned without a candidate (a sparse far-future set) falls
-//! back to a direct minimum search, so the worst case stays `O(n)` per
-//! pop rather than unbounded.
+//! bit-identical to the binary-heap backend's `(time, seq)` order. Days
+//! are signed and floor-derived, so negative times (legal before the
+//! first pop) bucket monotonically instead of aliasing with day 0, and
+//! non-finite times are rejected at `push` under the same policy as
+//! every other backend. A full year scanned without a candidate (a
+//! sparse far-future set) falls back to a direct minimum search, so the
+//! worst case stays `O(n)` per pop rather than unbounded.
 //!
 //! Known trade-off: `k` events sharing one *exact* time all land in one
 //! day, and each pop rescans the survivors — `O(k)` per pop, `O(k²)` to
@@ -36,7 +39,7 @@ const MIN_BUCKETS: usize = 8;
 /// One stored entry: the event plus its precomputed day index.
 #[derive(Clone, Debug)]
 struct Slot<T> {
-    day: u64,
+    day: i64,
     event: Event<T>,
 }
 
@@ -50,7 +53,10 @@ pub struct CalendarQueue<T> {
     width: f64,
     /// Total pending entries.
     len: usize,
-    /// Time of the last popped entry: a lower bound on all pending times.
+    /// A lower bound on all pending times: the time of the last popped
+    /// entry, lowered by any push below it (pre-pop pushes may carry
+    /// negative times — the backend contract only floors times at the
+    /// last *popped* time).
     last: f64,
 }
 
@@ -105,11 +111,21 @@ impl<T> CalendarQueue<T> {
     /// Absolute (un-wrapped) day index of `time`.
     ///
     /// Monotone in `time`, which is all correctness needs: the cast
-    /// saturates for astronomically late times, affecting only bucket
-    /// placement (performance), never pop order.
+    /// saturates for astronomically early/late times, affecting only
+    /// bucket placement (performance), never pop order. `floor` (not the
+    /// truncation a plain `as u64` cast performs) keeps the mapping
+    /// monotone across zero — truncation would saturate every negative
+    /// quotient to day 0, aliasing negative-time events with day-0 ones
+    /// and letting the stored-day scan pop them out of order.
     #[inline]
-    fn day_of(&self, time: f64) -> u64 {
-        (time / self.width) as u64
+    fn day_of(&self, time: f64) -> i64 {
+        (time / self.width).floor() as i64
+    }
+
+    /// Bucket index of absolute day `day` in a year of `n` buckets.
+    #[inline]
+    fn bucket_of(day: i64, n: usize) -> usize {
+        day.rem_euclid(n as i64) as usize
     }
 
     /// Re-buckets every entry into `new_buckets` buckets, re-deriving the
@@ -136,15 +152,15 @@ impl<T> CalendarQueue<T> {
             }
         }
         self.buckets.resize_with(new_buckets, Vec::new);
-        let n = self.buckets.len() as u64;
+        let n = self.buckets.len();
         for mut slot in entries {
             slot.day = self.day_of(slot.event.time);
-            self.buckets[(slot.day % n) as usize].push(slot);
+            self.buckets[Self::bucket_of(slot.day, n)].push(slot);
         }
     }
 
     /// Index-of-minimum within `bucket` among slots of exactly `day`.
-    fn min_in_day(bucket: &[Slot<T>], day: u64) -> Option<usize> {
+    fn min_in_day(bucket: &[Slot<T>], day: i64) -> Option<usize> {
         bucket
             .iter()
             .enumerate()
@@ -161,9 +177,17 @@ impl<T> CalendarQueue<T> {
 
 impl<T> QueueBackend<T> for CalendarQueue<T> {
     fn push(&mut self, time: f64, seq: u64, payload: T) {
+        assert!(
+            time.is_finite(),
+            "queue backend time must be finite, got {time}"
+        );
+        // Before the first pop the contract allows arbitrarily early
+        // (including negative) times; keep `last` a true lower bound so
+        // the pop scan starts at or before the earliest pending day.
+        self.last = self.last.min(time);
         let day = self.day_of(time);
         let n = self.buckets.len();
-        self.buckets[(day % n as u64) as usize].push(Slot {
+        self.buckets[Self::bucket_of(day, n)].push(Slot {
             day,
             event: Event { time, seq, payload },
         });
@@ -182,9 +206,9 @@ impl<T> QueueBackend<T> for CalendarQueue<T> {
         // monotone in time, so the first populated day contains the
         // global minimum, and within a day `(time, seq)` decides.
         let first_day = self.day_of(self.last);
-        for step in 0..n as u64 {
-            let day = first_day + step;
-            let idx = (day % n as u64) as usize;
+        for step in 0..n as i64 {
+            let day = first_day.saturating_add(step);
+            let idx = Self::bucket_of(day, n);
             if let Some(i) = Self::min_in_day(&self.buckets[idx], day) {
                 let slot = self.buckets[idx].swap_remove(i);
                 self.len -= 1;
@@ -222,9 +246,9 @@ impl<T> QueueBackend<T> for CalendarQueue<T> {
         }
         let n = self.buckets.len();
         let first_day = self.day_of(self.last);
-        for step in 0..n as u64 {
-            let day = first_day + step;
-            let idx = (day % n as u64) as usize;
+        for step in 0..n as i64 {
+            let day = first_day.saturating_add(step);
+            let idx = Self::bucket_of(day, n);
             if let Some(i) = Self::min_in_day(&self.buckets[idx], day) {
                 return Some(self.buckets[idx][i].event.time);
             }
@@ -385,5 +409,68 @@ mod tests {
     #[should_panic(expected = "finite and positive")]
     fn rejects_nonpositive_width() {
         let _ = CalendarQueue::<()>::with_width(0.0);
+    }
+
+    #[test]
+    fn negative_times_do_not_alias_with_day_zero() {
+        // Truncating `(time / width) as u64` used to map every negative
+        // quotient to day 0: an event at -3.7 landed in the same day as
+        // one at 0.2 and could pop after it. Floor-based signed days keep
+        // the mapping monotone through zero.
+        let mut q = CalendarQueue::new();
+        q.push(0.2, 1, "late");
+        q.push(-3.7, 2, "early");
+        q.push(-0.5, 3, "mid");
+        q.push(-3.7, 4, "early-tie");
+        assert_eq!(q.peek_time(), Some(-3.7));
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop_min().map(|e| e.payload)).collect();
+        assert_eq!(order, ["early", "early-tie", "mid", "late"]);
+    }
+
+    #[test]
+    fn negative_times_survive_resizes() {
+        let mut q = CalendarQueue::with_width(0.5);
+        for i in 0..500u64 {
+            q.push(i as f64 * 0.13 - 40.0, i, ());
+        }
+        let order = drain(&mut q);
+        assert_eq!(order.len(), 500);
+        assert!(order.windows(2).all(|w| w[0] <= w[1]), "{order:?}");
+    }
+
+    #[test]
+    fn interleaved_negative_schedule_stays_sorted() {
+        // Pops interleaved with pushes at/above the last popped (still
+        // negative) time — the monotonicity contract in the negative
+        // range.
+        let mut q = CalendarQueue::new();
+        for i in 0..16u64 {
+            q.push(-20.0 + i as f64 * 1.25, i, ());
+        }
+        let mut popped = Vec::new();
+        let mut seq = 16u64;
+        while let Some(ev) = q.pop_min() {
+            popped.push(ev.time);
+            if seq < 48 {
+                q.push(ev.time + 0.75, seq, ());
+                seq += 1;
+            }
+        }
+        let mut sorted = popped.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert_eq!(popped, sorted);
+        assert_eq!(popped.len(), 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn push_rejects_infinite_time() {
+        CalendarQueue::new().push(f64::INFINITY, 1, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn push_rejects_nan_time() {
+        CalendarQueue::new().push(f64::NAN, 1, ());
     }
 }

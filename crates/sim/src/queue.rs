@@ -162,6 +162,12 @@ impl<T, B: QueueBackend<T>> EventQueue<T, B> {
         self.backend.name()
     }
 
+    /// The storage backend, for introspection (kind, capacity) by
+    /// simulators that keep warm queues across runs.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
     /// Schedules `payload` at absolute `time`.
     ///
     /// # Errors

@@ -63,6 +63,12 @@ pub struct TraceRecorder {
     changes: Vec<Change>,
 }
 
+/// Rounded 1 ps timestamp of a recorded time (times are in the
+/// workspace's arbitrary units, written at 1000 stamps per unit).
+fn stamp_of(time: f64) -> u64 {
+    (time * 1000.0).round() as u64
+}
+
 /// VCD identifier code for the `i`-th signal: base-94 over the printable
 /// ASCII range `!`..=`~`, the encoding every VCD producer uses.
 fn id_code(mut i: usize) -> String {
@@ -141,6 +147,11 @@ impl TraceRecorder {
     ///
     /// Transitions are sorted by `(time, recording order)`; the last
     /// write at a given instant wins, matching event-queue semantics.
+    /// Output is grouped by *rounded* 1 ps stamp, not raw time: distinct
+    /// times that collide on the same stamp share one `#N` section, and
+    /// changes whose stamp rounds to 0 fold into `$dumpvars` — so the
+    /// dump is canonical (no duplicate time sections) for viewers and
+    /// diff-based tests alike.
     ///
     /// # Errors
     ///
@@ -162,13 +173,17 @@ impl TraceRecorder {
         let mut ordered: Vec<(usize, &Change)> = self.changes.iter().enumerate().collect();
         ordered.sort_by(|(ia, a), (ib, b)| a.time.total_cmp(&b.time).then(ia.cmp(ib)));
 
-        // Initial values: only changes recorded at exactly t = 0 belong
-        // in $dumpvars; a signal whose first change comes later starts
-        // as `x` and keeps its timestamped edge.
+        // Initial values: every change whose *stamp* rounds to 0 belongs
+        // in $dumpvars — including sub-half-picosecond times like 4e-4,
+        // which would otherwise open a `#0` section duplicating the
+        // time-zero state. A signal whose first change stamps later
+        // starts as `x` and keeps its timestamped edge. (Stamps are
+        // monotone in time, so the stamp-0 changes are exactly a prefix
+        // of the sorted order.)
         writeln!(w, "$dumpvars")?;
         let mut initial: Vec<Option<bool>> = vec![None; self.names.len()];
         for (_, c) in &ordered {
-            if c.time > 0.0 {
+            if stamp_of(c.time) > 0 {
                 break;
             }
             initial[c.signal.index()] = Some(c.value);
@@ -181,12 +196,15 @@ impl TraceRecorder {
         }
         writeln!(w, "$end")?;
 
+        // Body: one `#N` section per distinct stamp. Equal stamps are
+        // contiguous (stamps are monotone in the sorted times), so a
+        // single last-stamp check merges every collision.
         let mut last_stamp: Option<u64> = None;
         for (_, c) in &ordered {
-            if c.time <= 0.0 {
+            let stamp = stamp_of(c.time);
+            if stamp == 0 {
                 continue; // folded into $dumpvars
             }
-            let stamp = (c.time * 1000.0).round() as u64;
             if last_stamp != Some(stamp) {
                 writeln!(w, "#{stamp}")?;
                 last_stamp = Some(stamp);
@@ -283,6 +301,48 @@ mod tests {
         assert!(vcd.contains("$dumpvars\nx!\n$end"), "{vcd}");
         assert!(vcd.contains("#5000\n1!"), "{vcd}");
         assert!(vcd.contains("#7000\n0!"), "{vcd}");
+    }
+
+    #[test]
+    fn sub_half_picosecond_changes_fold_into_dumpvars() {
+        // t = 4e-4 rounds to stamp 0: it is part of the time-zero state,
+        // not a separate `#0` section duplicating $dumpvars.
+        let mut rec = TraceRecorder::new("m");
+        let a = rec.declare("a");
+        rec.record(0.0004, a, true);
+        rec.record(2.0, a, false);
+        let vcd = rec.to_vcd_string();
+        assert!(vcd.contains("$dumpvars\n1!\n$end"), "{vcd}");
+        assert!(!vcd.contains("#0\n"), "{vcd}");
+        assert!(vcd.contains("#2000\n0!"), "{vcd}");
+    }
+
+    #[test]
+    fn colliding_rounded_stamps_share_one_section() {
+        // 1.0001 and 1.0004 both round to stamp 1000: a single `#1000`
+        // header carries both edges (last write wins in viewers).
+        let mut rec = TraceRecorder::new("m");
+        let a = rec.declare("a");
+        let b = rec.declare("b");
+        rec.record(1.0001, a, true);
+        rec.record(1.0004, b, true);
+        rec.record(3.0, a, false);
+        let vcd = rec.to_vcd_string();
+        assert_eq!(vcd.matches("#1000\n").count(), 1, "{vcd}");
+        assert!(vcd.contains("#1000\n1!\n1\"\n"), "{vcd}");
+    }
+
+    #[test]
+    fn stamp_zero_and_exact_zero_merge() {
+        // An exact t = 0 record and a stamp-0 rounding both describe the
+        // initial state; the later recording wins, as at any instant.
+        let mut rec = TraceRecorder::new("m");
+        let a = rec.declare("a");
+        rec.record(0.0, a, false);
+        rec.record(0.0002, a, true);
+        let vcd = rec.to_vcd_string();
+        assert!(vcd.contains("$dumpvars\n1!\n$end"), "{vcd}");
+        assert!(!vcd.contains("#0\n"), "{vcd}");
     }
 
     #[test]

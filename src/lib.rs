@@ -14,6 +14,9 @@
 //!   timing simulator (Section VIII),
 //! * [`extract`] — Signal Graph extraction from speed-independent circuits
 //!   (the TRASPEC step of Section VIII.B),
+//! * [`serve`] — the long-running `tsg serve` analysis service: a
+//!   newline-delimited JSON protocol answered in order by a persistent
+//!   warm worker pool (one arena + pre-sized queues per worker),
 //! * [`stg`] — `.g` Signal Transition Graph file I/O,
 //! * [`gen`] — workload generators (Muller rings, pipelines, stacks, seeded
 //!   random live graphs),
@@ -45,5 +48,6 @@ pub use tsg_core as core;
 pub use tsg_extract as extract;
 pub use tsg_gen as gen;
 pub use tsg_graph as graph;
+pub use tsg_serve as serve;
 pub use tsg_sim as sim;
 pub use tsg_stg as stg;

@@ -14,7 +14,7 @@
 //! is exactly the global sorted order.
 
 use proptest::prelude::*;
-use tsg::sim::{CalendarQueue, EventQueue, QueueBackend};
+use tsg::sim::{BinaryHeapQueue, CalendarQueue, EventQueue, QueueBackend};
 
 /// A tiny deterministic generator (SplitMix64) so schedules derive from
 /// one seed.
@@ -127,6 +127,90 @@ proptest! {
         let c = drive_into(&mut cal, seed, ops);
         prop_assert_eq!(&h, &fresh);
         prop_assert_eq!(&c, &fresh);
+    }
+}
+
+/// Drives one *backend* directly (below the [`EventQueue`] wrapper)
+/// through a contract-legal schedule that may start in negative time:
+/// every push is at or after the last popped time, quantized to `step`
+/// so exact ties occur even at sub-picosecond resolution.
+fn drive_backend<B: QueueBackend<u32>>(
+    backend: &mut B,
+    seed: u64,
+    ops: usize,
+    start: f64,
+    step: f64,
+) -> (Stream, Stream) {
+    let mut rng = Mix(seed);
+    let mut pushed = Vec::new();
+    let mut popped = Vec::new();
+    let mut floor = start; // last popped time; `start` before the first pop
+    let mut seq = 0u64;
+    let mut id: u32 = 0;
+    for _ in 0..ops {
+        if !rng.next().is_multiple_of(3) {
+            let delay = (rng.delay(6.0) / step).round() * step;
+            let time = floor + delay;
+            seq += 1;
+            backend.push(time, seq, id);
+            pushed.push((time, id));
+            id += 1;
+        } else if let Some(ev) = backend.pop_min() {
+            floor = ev.time;
+            popped.push((ev.time, ev.payload));
+        }
+    }
+    while let Some(ev) = backend.pop_min() {
+        popped.push((ev.time, ev.payload));
+    }
+    (pushed, popped)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Negative and sub-picosecond schedules pop bit-identically on both
+    /// backends and match the sort oracle. This is the regression net
+    /// for the calendar queue's old truncating `day_of`, which aliased
+    /// every negative-time event with day 0.
+    #[test]
+    fn backends_agree_on_negative_and_subpicosecond_times(
+        seed in 0u64..1_000_000,
+        ops in 1usize..400,
+        start_units in 0usize..80,
+        step_exp in 0usize..5,
+    ) {
+        // Schedules begin as far as 200 time units before zero, and tie
+        // quantization goes down to 1e-4 units (a tenth of a picosecond
+        // at the VCD writer's 1000-stamps-per-unit scale).
+        let start = -(start_units as f64) * 2.5;
+        let step = 10f64.powi(-(step_exp as i32));
+        let mut heap = BinaryHeapQueue::new();
+        let mut cal = CalendarQueue::new();
+        let (pushed_h, popped_h) = drive_backend(&mut heap, seed, ops, start, step);
+        let (pushed_c, popped_c) = drive_backend(&mut cal, seed, ops, start, step);
+        prop_assert_eq!(&pushed_h, &pushed_c);
+        let mut oracle = pushed_h.clone();
+        oracle.sort_by(|a, b| a.0.total_cmp(&b.0));
+        prop_assert_eq!(&popped_h, &oracle, "heap vs oracle (seed {})", seed);
+        prop_assert_eq!(&popped_c, &oracle, "calendar vs oracle (seed {})", seed);
+    }
+
+    /// A width hint is performance-only in negative time too — including
+    /// widths far larger than the whole schedule span, where every event
+    /// lands in day -1 or 0.
+    #[test]
+    fn calendar_width_hint_is_semantics_free_below_zero(
+        seed in 0u64..100_000,
+        ops in 1usize..200,
+        width_exp in 0usize..7,
+    ) {
+        let width = 10f64.powi(width_exp as i32 - 3); // 1e-3 .. 1e3
+        let mut cal = CalendarQueue::with_width(width);
+        let (pushed, popped) = drive_backend(&mut cal, seed, ops, -50.0, 0.25);
+        let mut oracle = pushed;
+        oracle.sort_by(|a, b| a.0.total_cmp(&b.0));
+        prop_assert_eq!(popped, oracle);
     }
 }
 
