@@ -20,7 +20,8 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use tsg_bench::{hold, push_pop, DELAY_BOUND};
+use tsg_bench::{edit_loop_graph, edit_script, hold, push_pop, DELAY_BOUND, EDIT_LOOP_WORKLOAD};
+use tsg_core::analysis::session::AnalysisSession;
 use tsg_core::analysis::CycleTimeAnalysis;
 use tsg_core::SignalGraph;
 use tsg_sim::{BatchRunner, CalendarQueue, EventQueue};
@@ -168,12 +169,88 @@ fn measure_analysis(
     (seq_best, rows)
 }
 
+struct EditLoopRow {
+    edits: usize,
+    full_seconds: f64,
+    session_seconds: f64,
+    speedup: f64,
+    rows: usize,
+    rows_total: usize,
+}
+
+/// The bottleneck-hunting loop of the acceptance criterion: a delay
+/// edit script replayed as from-scratch re-analyses vs one warm
+/// [`AnalysisSession`], asserted bit-identical edit by edit.
+fn measure_edit_loop(edit_counts: &[usize], reps: usize) -> Vec<EditLoopRow> {
+    let base = edit_loop_graph();
+    let mut out = Vec::new();
+    for &edits in edit_counts {
+        let script = edit_script(&base, edits);
+
+        let mut full_best = f64::INFINITY;
+        let mut reference: Vec<u64> = Vec::new();
+        for _ in 0..reps.max(1) {
+            let mut sg = base.clone();
+            let t = Instant::now();
+            let taus: Vec<u64> = script
+                .iter()
+                .map(|e| {
+                    sg.set_delay(e.arc, e.delay).expect("valid edit");
+                    CycleTimeAnalysis::run(&sg)
+                        .expect("ring stays live")
+                        .cycle_time()
+                        .as_f64()
+                        .to_bits()
+                })
+                .collect();
+            full_best = full_best.min(t.elapsed().as_secs_f64());
+            reference = taus;
+        }
+
+        let mut session_best = f64::INFINITY;
+        let (mut rows, mut rows_total) = (0usize, 0usize);
+        for _ in 0..reps.max(1) {
+            // The open (one full analysis) is untimed warm-up: the
+            // scenario under measurement is the edit loop a live
+            // session serves.
+            let mut session = AnalysisSession::open(base.clone()).expect("ring is live");
+            (rows, rows_total) = (0, 0);
+            let t = Instant::now();
+            let taus: Vec<u64> = script
+                .iter()
+                .map(|e| {
+                    let delta = session.edit_delay(e.arc, e.delay).expect("valid edit");
+                    rows += delta.rows;
+                    rows_total += delta.rows_total;
+                    session.analysis().cycle_time().as_f64().to_bits()
+                })
+                .collect();
+            session_best = session_best.min(t.elapsed().as_secs_f64());
+            assert_eq!(
+                taus, reference,
+                "session edits diverged from from-scratch re-analysis"
+            );
+        }
+
+        out.push(EditLoopRow {
+            edits,
+            full_seconds: full_best,
+            session_seconds: session_best,
+            speedup: full_best / session_best.max(1e-12),
+            rows,
+            rows_total,
+        });
+    }
+    out
+}
+
 fn json_report(
     quick: bool,
     queue_rows: &[QueueRow],
     graphs: usize,
     seq_seconds: f64,
     batch_rows: &[BatchRow],
+    edit_rows: &[EditLoopRow],
 ) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
@@ -200,6 +277,21 @@ fn json_report(
         );
     }
     let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"edit_loop\": {{");
+    let _ = writeln!(out, "    \"workload\": \"{EDIT_LOOP_WORKLOAD}\",");
+    let _ = writeln!(out, "    \"bit_identical\": true,");
+    let _ = writeln!(out, "    \"sweeps\": [");
+    for (i, r) in edit_rows.iter().enumerate() {
+        let comma = if i + 1 < edit_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "      {{\"edits\": {}, \"full_seconds\": {:.9}, \"session_seconds\": {:.9}, \
+             \"speedup\": {:.3}, \"rows_resimulated\": {}, \"rows_full\": {}}}{comma}",
+            r.edits, r.full_seconds, r.session_seconds, r.speedup, r.rows, r.rows_total
+        );
+    }
+    let _ = writeln!(out, "    ]");
+    let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"analysis\": {{");
     let _ = writeln!(out, "    \"graphs\": {graphs},");
     let _ = writeln!(out, "    \"sequential_seconds\": {seq_seconds:.9},");
@@ -261,6 +353,20 @@ fn main() {
         );
     }
 
+    eprintln!("measuring the session edit loop ({EDIT_LOOP_WORKLOAD})...");
+    let edit_rows = measure_edit_loop(&[1, 8, 64], reps);
+    for r in &edit_rows {
+        eprintln!(
+            "  {:>3} edit(s): full {:>8.2} ms, session {:>8.2} ms ({:.2}x, {} of {} rows)",
+            r.edits,
+            r.full_seconds * 1e3,
+            r.session_seconds * 1e3,
+            r.speedup,
+            r.rows,
+            r.rows_total
+        );
+    }
+
     let graphs: Vec<SignalGraph> = (0..graph_count as u64)
         .map(|seed| tsg_gen::random_live_tsg(seed, tsg_gen::RandomTsgConfig::default()))
         .collect();
@@ -284,7 +390,14 @@ fn main() {
         );
     }
 
-    let report = json_report(quick, &queue_rows, graphs.len(), seq_seconds, &batch_rows);
+    let report = json_report(
+        quick,
+        &queue_rows,
+        graphs.len(),
+        seq_seconds,
+        &batch_rows,
+        &edit_rows,
+    );
     if let Err(e) = std::fs::write(&out_path, &report) {
         eprintln!("writing {out_path}: {e}");
         std::process::exit(1);

@@ -6,6 +6,8 @@
 //! tracked JSON measure the same workload by construction — tuning the
 //! distribution here changes both, never one.
 
+use tsg_core::analysis::session::DelayEdit;
+use tsg_core::{ArcId, SignalGraph};
 use tsg_sim::{EventQueue, QueueBackend};
 
 /// Upper bound of [`delay`]'s distribution; the calendar backend under
@@ -49,6 +51,31 @@ pub fn hold<B: QueueBackend<u64>>(mut q: EventQueue<u64, B>, depth: usize, ops: 
         q.schedule(ev.time + delay(i), ev.payload);
     }
     depth + 2 * ops
+}
+
+/// Label of the edit-loop workload — a ring whose 16 tokens sit far
+/// apart, so delay edits have real token distance to exploit.
+pub const EDIT_LOOP_WORKLOAD: &str = "ring n=256 tokens=16";
+
+/// The edit-loop graph matching [`EDIT_LOOP_WORKLOAD`].
+pub fn edit_loop_graph() -> SignalGraph {
+    tsg_gen::ring(256, 16, 1.0)
+}
+
+/// A deterministic bottleneck-hunting script over `sg`: `count` delay
+/// edits striding through the arcs, each nudging the current delay so
+/// no edit is ever a no-op.
+pub fn edit_script(sg: &SignalGraph, count: usize) -> Vec<DelayEdit> {
+    let m = sg.arc_count();
+    (0..count)
+        .map(|i| {
+            let arc = ArcId(((i * 37) % m) as u32);
+            DelayEdit {
+                arc,
+                delay: sg.arc(arc).delay().get() + 0.25 + (i % 4) as f64 * 0.25,
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -13,9 +13,12 @@
 //! in `tsg_serve::ops`, shared with the long-running `tsg serve` mode so
 //! served responses are byte-identical to one-shot invocations.
 
+use std::fmt::Write as _;
 use std::process::ExitCode;
 
-use tsg_serve::ops::{self, AnalyzeOptions, SimOptions};
+use tsg_core::analysis::session::AnalysisSession;
+use tsg_core::analysis::CycleTimeAnalysis;
+use tsg_serve::ops::{self, AnalyzeOptions, EditSpec, SimOptions};
 use tsg_serve::ServeOptions;
 use tsg_sim::BatchRunner;
 
@@ -29,6 +32,7 @@ USAGE:
                       [--threads N] [--queue {heap|calendar}]
     tsg sim FILE.ckt... [--horizon X] [--vcd PATH] [--threads N]
                         [--queue {heap|calendar}]
+    tsg explore FILE [--edit SRC->DST=DELAY]... [--default-delay X]
     tsg serve [--threads N] [--listen tcp:HOST:PORT | --listen unix:PATH]
     tsg convert FILE --to {g|dot}
     tsg demo {oscillator|muller5|stack66}
@@ -45,11 +49,18 @@ stream; `--vcd PATH` additionally dumps a waveform any VCD viewer opens.
 files fan out across a `--threads N` pool (default: all cores); the
 analysis itself also runs its border simulations on that pool.
 
+`explore` opens an incremental analysis session on FILE and applies
+each --edit (delay reassignment of the arc SRC->DST) in order,
+re-simulating only the dirty region per edit and reporting the cycle
+time after each step — the paper's bottleneck-hunting loop. The final
+state is verified bit-identical to a from-scratch analysis.
+
 `serve` runs the long-running analysis service: newline-delimited JSON
-requests (analyze/sim/batch/stats) on stdin — or a TCP/Unix socket with
---listen — answered in request order by a persistent warm worker pool.
-Responses are byte-identical to the one-shot commands; EOF or Ctrl-C
-shuts down gracefully.
+requests (analyze/sim/batch/stats/session.open/session.edit/
+session.close) on stdin — or a TCP/Unix socket with --listen, where
+concurrent connections share one pool — answered in request order by a
+persistent warm worker pool. Responses are byte-identical to the
+one-shot commands; EOF or Ctrl-C shuts down gracefully.
 ";
 
 fn main() -> ExitCode {
@@ -206,6 +217,80 @@ fn run(args: &[String]) -> Result<String, String> {
                         .join(", ")
                 ))
             }
+        }
+        Some("explore") => {
+            let file = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or("explore needs a FILE argument")?;
+            let mut edits: Vec<EditSpec> = Vec::new();
+            let mut default_delay = 1.0;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--edit" => {
+                        i += 1;
+                        let spec = args.get(i).ok_or("--edit needs SRC->DST=DELAY")?;
+                        edits.push(EditSpec::parse(spec)?);
+                    }
+                    "--default-delay" => {
+                        i += 1;
+                        default_delay = args
+                            .get(i)
+                            .and_then(|v| v.parse().ok())
+                            .ok_or("--default-delay needs a number")?;
+                    }
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+                i += 1;
+            }
+            let text = std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
+            let sg = ops::load(file, &text, default_delay)?;
+            let mut session = AnalysisSession::open(sg).map_err(|e| e.to_string())?;
+            let mut out = format!(
+                "opened session on {file}: {} events, {} arcs, {} border event(s)\n",
+                session.graph().event_count(),
+                session.graph().arc_count(),
+                session.analysis().border_events().len()
+            );
+            out.push_str(&ops::session_summary(&session));
+            for spec in &edits {
+                let delta = ops::apply_edits(&mut session, std::slice::from_ref(spec))?;
+                let _ = writeln!(
+                    out,
+                    "edit {}->{}={}: re-simulated {} of {} border simulation(s) ({} of {} rows)",
+                    spec.src,
+                    spec.dst,
+                    spec.delay,
+                    delta.dirty,
+                    delta.borders,
+                    delta.rows,
+                    delta.rows_total
+                );
+                out.push_str(&ops::session_summary(&session));
+            }
+            // Trust, but verify: the final incremental state must be
+            // bit-identical to a from-scratch analysis of the edited
+            // graph.
+            let scratch = CycleTimeAnalysis::run(session.graph()).map_err(|e| e.to_string())?;
+            let incremental = session.analysis();
+            if incremental.cycle_time().as_f64().to_bits()
+                != scratch.cycle_time().as_f64().to_bits()
+                || incremental.critical_cycle() != scratch.critical_cycle()
+            {
+                return Err(format!(
+                    "internal error: incremental analysis diverged from scratch \
+                     ({} vs {})",
+                    incremental.cycle_time(),
+                    scratch.cycle_time()
+                ));
+            }
+            let _ = writeln!(
+                out,
+                "verified: bit-identical to a from-scratch analysis after {} edit(s)",
+                session.edits_applied()
+            );
+            Ok(out)
         }
         Some("serve") => {
             let mut threads: Option<usize> = None;
@@ -577,6 +662,45 @@ mod tests {
         assert!(err.contains("--horizon"), "{err}");
         let err = run(&["sim".into(), c, "--default-delay".into(), "5".into()]).unwrap_err();
         assert!(err.contains("--default-delay"), "{err}");
+    }
+
+    #[test]
+    fn explore_applies_edits_incrementally() {
+        let dir = std::env::temp_dir().join("tsg-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("explore.g");
+        std::fs::write(&path, tsg_stg::EXAMPLE_OSCILLATOR).unwrap();
+        let p = path.to_string_lossy().into_owned();
+        let out = run(&[
+            "explore".into(),
+            p.clone(),
+            "--edit".into(),
+            "a+->c+=8".into(),
+            "--edit".into(),
+            "a+->c+=3".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("opened session"), "{out}");
+        assert!(out.contains("cycle time: 15"), "{out}");
+        assert!(out.contains("re-simulated"), "{out}");
+        assert!(out.contains("verified: bit-identical"), "{out}");
+        assert!(
+            out.matches("cycle time: 10").count() == 2,
+            "first and final state are the original graph: {out}"
+        );
+        // Flag validation.
+        assert!(run(&["explore".into()]).is_err());
+        assert!(run(&["explore".into(), p.clone(), "--edit".into()]).is_err());
+        let err = run(&[
+            "explore".into(),
+            p.clone(),
+            "--edit".into(),
+            "nonsense".into(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("SRC->DST=DELAY"), "{err}");
+        let err = run(&["explore".into(), p, "--edit".into(), "zz->a+=1".into()]).unwrap_err();
+        assert!(err.contains("no event labelled"), "{err}");
     }
 
     #[test]

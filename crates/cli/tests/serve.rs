@@ -188,6 +188,36 @@ fn single_worker_stats_count_exactly() {
 }
 
 #[test]
+fn session_script_through_the_binary_matches_explore() {
+    let (osc_g, _, _) = fixtures();
+    let osc_g = osc_g.to_string_lossy().into_owned();
+    let p = Json::from(osc_g.as_str()).dump();
+    let script = format!(
+        "{{\"id\":1,\"cmd\":\"session.open\",\"session\":\"s\",\"path\":{p}}}\n\
+         {{\"id\":2,\"cmd\":\"session.edit\",\"session\":\"s\",\"edits\":\
+         [{{\"src\":\"a+\",\"dst\":\"c+\",\"delay\":8}}]}}\n\
+         {{\"id\":3,\"cmd\":\"session.close\",\"session\":\"s\"}}\n"
+    );
+    let responses = serve_session(&script, &["--threads", "2"]);
+    assert_eq!(responses.len(), 3);
+    for r in &responses {
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r:?}");
+    }
+    let edited = responses[1].get("output").and_then(Json::as_str).unwrap();
+    assert!(edited.contains("cycle time: 15"), "{edited}");
+    assert!(edited.contains("re-simulated"), "{edited}");
+    // The served session and the one-shot explore command walk the same
+    // code path: their summaries agree on the edited cycle time.
+    let explored = one_shot(&["explore", &osc_g, "--edit", "a+->c+=8"]);
+    assert!(explored.contains("cycle time: 15"), "{explored}");
+    assert!(responses[2]
+        .get("output")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("after 1 edit(s)"),);
+}
+
+#[test]
 fn serve_rejects_bad_flags() {
     let out = tsg().args(["serve", "--wat"]).output().unwrap();
     assert!(!out.status.success());

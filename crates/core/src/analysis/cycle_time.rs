@@ -21,6 +21,7 @@ use std::fmt;
 use tsg_sim::BatchRunner;
 
 use crate::analysis::initiated::SimArena;
+use crate::analysis::session::{AnalysisSession, CycleTimeDelta, DelayEdit, EditError};
 use crate::analysis::structure::CyclicStructure;
 use crate::analysis::CycleTime;
 use crate::arc::ArcId;
@@ -244,10 +245,27 @@ impl CycleTimeAnalysis {
         })
     }
 
+    /// Applies `edits` to an open [`AnalysisSession`] and re-analyses
+    /// only the dirty region — the delta-query form of this algorithm.
+    /// See [`AnalysisSession::edit_delays`] for the dirtiness criterion;
+    /// the result is bit-identical to a from-scratch
+    /// [`CycleTimeAnalysis::run`] on the edited graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EditError`] for unknown arcs or invalid delays; the
+    /// session is left unchanged in that case.
+    pub fn rerun_in(
+        session: &mut AnalysisSession,
+        edits: &[DelayEdit],
+    ) -> Result<CycleTimeDelta, EditError> {
+        session.edit_delays(edits)
+    }
+
     /// Steps 4–5 of the algorithm, shared by every entry point: pick the
     /// winning record, re-run it with parent tracking in `arena`, and
     /// backtrack the critical cycle.
-    fn finish(
+    pub(crate) fn finish(
         sg: &SignalGraph,
         structure: &CyclicStructure,
         border: Vec<EventId>,

@@ -15,7 +15,7 @@
 //! sources), and it feeds the long-run estimator in `tsg-baselines`
 //! through the same kernel as the gate-level netlist simulator.
 
-use tsg_sim::{AnyQueue, EventQueue, QueueKind, TraceRecorder};
+use tsg_sim::{AnyQueue, EventQueue, QueueCheckpoint, QueueKind, TraceRecorder};
 
 use crate::event::{EventId, Polarity};
 use crate::graph::SignalGraph;
@@ -141,111 +141,39 @@ impl EventSimulation {
     ///
     /// Panics if `periods == 0`.
     pub fn run_in(sg: &SignalGraph, periods: u32, scratch: &mut EventSimScratch) -> Self {
-        assert!(periods >= 1, "simulation needs at least one period");
-        let n = sg.event_count();
-        let p_max = periods as usize;
+        let mut times = prime(sg, periods, scratch);
         let EventSimScratch { queue, remaining } = scratch;
-
-        // Expected token count for each (event, instance) slot, in the
-        // scratch's flat `p_max × n` matrix. An arc contributes to an
-        // instance exactly when the synchronous semantics consults it
-        // there:
-        //   prefix → prefix        : instance 0 of the target,
-        //   prefix → repetitive    : instance 0 (disengageable arcs),
-        //   repetitive, unmarked   : every instance p (from src at p),
-        //   repetitive, marked     : instances 1.. (from src at p−1);
-        //                            the initial token enables p = 0 free.
-        remaining.resize(p_max * n, 0);
-        remaining.fill(0);
-        for a in sg.arc_ids() {
-            let arc = sg.arc(a);
-            let (src_rep, dst_rep) = (sg.is_repetitive(arc.src()), sg.is_repetitive(arc.dst()));
-            let dst = arc.dst().index();
-            match (src_rep, dst_rep) {
-                (false, _) => remaining[dst] += 1,
-                (true, true) if arc.is_marked() => {
-                    for p in 1..p_max {
-                        remaining[p * n + dst] += 1;
-                    }
-                }
-                (true, true) => {
-                    for p in 0..p_max {
-                        remaining[p * n + dst] += 1;
-                    }
-                }
-                (true, false) => {
-                    unreachable!("validated graphs have no repetitive → prefix arcs")
-                }
-            }
-        }
-
-        let mut times = vec![vec![f64::NAN; n]; p_max];
-        queue.clear();
-        // Every arc sends at most one token per period.
-        queue.reserve(sg.arc_count());
-
-        let fire = |sg: &SignalGraph,
-                    queue: &mut EventQueue<Token, AnyQueue<Token>>,
-                    times: &mut Vec<Vec<f64>>,
-                    e: EventId,
-                    p: usize,
-                    t: f64| {
-            times[p][e.index()] = t;
-            for a in sg.out_arcs(e) {
-                let arc = sg.arc(a);
-                let dst = arc.dst();
-                let dst_rep = sg.is_repetitive(dst);
-                let target_instance = if !sg.is_repetitive(e) || !dst_rep {
-                    0
-                } else if arc.is_marked() {
-                    p + 1
-                } else {
-                    p
-                };
-                if target_instance >= p_max {
-                    continue; // beyond the simulated horizon
-                }
-                queue.schedule(
-                    t + arc.delay().get(),
-                    Token {
-                        target: dst,
-                        instance: target_instance as u32,
-                    },
-                );
-            }
-        };
-
-        // Sources: events whose slot expects no token. For repetitive
-        // events that is instance 0 with only marked in-arcs (the initial
-        // tokens enable them at t = 0); for prefix events, the initial
-        // events of the DAG.
-        for e in sg.events() {
-            let instances = if sg.is_repetitive(e) { p_max } else { 1 };
-            for p in 0..instances {
-                if remaining[p * n + e.index()] == 0 {
-                    fire(sg, queue, &mut times, e, p, 0.0);
-                }
-            }
-        }
-
-        while let Some(ev) = queue.pop() {
-            let Token { target, instance } = ev.payload;
-            let (p, i) = (instance as usize, target.index());
-            let slot = p * n + i;
-            debug_assert!(remaining[slot] > 0, "token for an already-fired slot");
-            remaining[slot] -= 1;
-            if remaining[slot] == 0 {
-                // The queue pops in time order, so this last arrival IS
-                // the max over all in-arc contributions — except at
-                // instance 0, where the synchronous base case clamps
-                // times to at least 0 (all delays are non-negative, so
-                // the clamp only matters for empty maxima, handled
-                // above).
-                fire(sg, queue, &mut times, target, p, ev.time);
-            }
-        }
-
+        drain(sg, queue, remaining, &mut times, None);
         EventSimulation { times, periods }
+    }
+
+    /// Runs the simulation until every event at or before `pause_at` has
+    /// been processed, then checkpoints: the kernel queue snapshot plus
+    /// the partial matrices, as a [`PausedEventSim`].
+    ///
+    /// [`PausedEventSim::resume`] completes the run — bit-identical to
+    /// an uninterrupted [`EventSimulation::run_in`], even when the
+    /// resuming scratch uses a *different* queue backend (a
+    /// [`QueueCheckpoint`] is storage-independent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `periods == 0`.
+    pub fn run_until(
+        sg: &SignalGraph,
+        periods: u32,
+        scratch: &mut EventSimScratch,
+        pause_at: f64,
+    ) -> PausedEventSim {
+        let mut times = prime(sg, periods, scratch);
+        let EventSimScratch { queue, remaining } = scratch;
+        drain(sg, queue, remaining, &mut times, Some(pause_at));
+        PausedEventSim {
+            queue: queue.checkpoint(),
+            remaining: remaining.clone(),
+            times,
+            periods,
+        }
     }
 
     /// Number of simulated periods.
@@ -309,6 +237,201 @@ impl EventSimulation {
                 }
             };
             recorder.record(t, ids[e.index()], value);
+        }
+    }
+}
+
+/// Sets up a run: sizes the expected-token matrix, primes the queue and
+/// fires the sources. Returns the (NaN-initialised) time matrix.
+///
+/// Expected token count for each (event, instance) slot, in the
+/// scratch's flat `p_max × n` matrix. An arc contributes to an instance
+/// exactly when the synchronous semantics consults it there:
+///   prefix → prefix        : instance 0 of the target,
+///   prefix → repetitive    : instance 0 (disengageable arcs),
+///   repetitive, unmarked   : every instance p (from src at p),
+///   repetitive, marked     : instances 1.. (from src at p−1);
+///                            the initial token enables p = 0 free.
+fn prime(sg: &SignalGraph, periods: u32, scratch: &mut EventSimScratch) -> Vec<Vec<f64>> {
+    assert!(periods >= 1, "simulation needs at least one period");
+    let n = sg.event_count();
+    let p_max = periods as usize;
+    let EventSimScratch { queue, remaining } = scratch;
+
+    remaining.resize(p_max * n, 0);
+    remaining.fill(0);
+    for a in sg.arc_ids() {
+        let arc = sg.arc(a);
+        let (src_rep, dst_rep) = (sg.is_repetitive(arc.src()), sg.is_repetitive(arc.dst()));
+        let dst = arc.dst().index();
+        match (src_rep, dst_rep) {
+            (false, _) => remaining[dst] += 1,
+            (true, true) if arc.is_marked() => {
+                for p in 1..p_max {
+                    remaining[p * n + dst] += 1;
+                }
+            }
+            (true, true) => {
+                for p in 0..p_max {
+                    remaining[p * n + dst] += 1;
+                }
+            }
+            (true, false) => {
+                unreachable!("validated graphs have no repetitive → prefix arcs")
+            }
+        }
+    }
+
+    let mut times = vec![vec![f64::NAN; n]; p_max];
+    queue.clear();
+    // Every arc sends at most one token per period.
+    queue.reserve(sg.arc_count());
+
+    // Sources: events whose slot expects no token. For repetitive
+    // events that is instance 0 with only marked in-arcs (the initial
+    // tokens enable them at t = 0); for prefix events, the initial
+    // events of the DAG.
+    for e in sg.events() {
+        let instances = if sg.is_repetitive(e) { p_max } else { 1 };
+        for p in 0..instances {
+            if remaining[p * n + e.index()] == 0 {
+                fire(sg, queue, &mut times, e, p, 0.0);
+            }
+        }
+    }
+    times
+}
+
+/// Records a firing and schedules the tokens of its successors.
+fn fire(
+    sg: &SignalGraph,
+    queue: &mut EventQueue<Token, AnyQueue<Token>>,
+    times: &mut [Vec<f64>],
+    e: EventId,
+    p: usize,
+    t: f64,
+) {
+    let p_max = times.len();
+    times[p][e.index()] = t;
+    for a in sg.out_arcs(e) {
+        let arc = sg.arc(a);
+        let dst = arc.dst();
+        let dst_rep = sg.is_repetitive(dst);
+        let target_instance = if !sg.is_repetitive(e) || !dst_rep {
+            0
+        } else if arc.is_marked() {
+            p + 1
+        } else {
+            p
+        };
+        if target_instance >= p_max {
+            continue; // beyond the simulated horizon
+        }
+        queue.schedule(
+            t + arc.delay().get(),
+            Token {
+                target: dst,
+                instance: target_instance as u32,
+            },
+        );
+    }
+}
+
+/// Consumes one popped token arrival: counts it off its slot and fires
+/// the event when it was the last one expected.
+#[inline]
+fn arrive(
+    sg: &SignalGraph,
+    queue: &mut EventQueue<Token, AnyQueue<Token>>,
+    remaining: &mut [u32],
+    times: &mut [Vec<f64>],
+    ev: tsg_sim::Event<Token>,
+) {
+    let Token { target, instance } = ev.payload;
+    let slot = instance as usize * sg.event_count() + target.index();
+    debug_assert!(remaining[slot] > 0, "token for an already-fired slot");
+    remaining[slot] -= 1;
+    if remaining[slot] == 0 {
+        // The queue pops in time order, so this last arrival IS
+        // the max over all in-arc contributions — except at
+        // instance 0, where the synchronous base case clamps
+        // times to at least 0 (all delays are non-negative, so
+        // the clamp only matters for empty maxima, handled in
+        // `prime`).
+        fire(sg, queue, times, target, instance as usize, ev.time);
+    }
+}
+
+/// Pops (and propagates) queued tokens — all of them, or only those at
+/// or before `pause_at`. The unpaused path pops directly: a peek on the
+/// calendar backend costs the same forward scan as the pop itself, so
+/// peeking is reserved for the pausing path that needs it.
+fn drain(
+    sg: &SignalGraph,
+    queue: &mut EventQueue<Token, AnyQueue<Token>>,
+    remaining: &mut [u32],
+    times: &mut [Vec<f64>],
+    pause_at: Option<f64>,
+) {
+    match pause_at {
+        None => {
+            while let Some(ev) = queue.pop() {
+                arrive(sg, queue, remaining, times, ev);
+            }
+        }
+        Some(stop) => {
+            while queue.peek_time().is_some_and(|t| t <= stop) {
+                let ev = queue.pop().expect("peeked");
+                arrive(sg, queue, remaining, times, ev);
+            }
+        }
+    }
+}
+
+/// A paused event-driven simulation: the kernel's [`QueueCheckpoint`]
+/// plus the partial token and time matrices, produced by
+/// [`EventSimulation::run_until`].
+///
+/// The checkpoint carries no queue-backend type, so a pause taken while
+/// simulating on one backend resumes on any other — the restart
+/// machinery a dirty-region re-simulation builds on.
+#[derive(Clone, Debug)]
+pub struct PausedEventSim {
+    queue: QueueCheckpoint<Token>,
+    remaining: Vec<u32>,
+    times: Vec<Vec<f64>>,
+    periods: u32,
+}
+
+impl PausedEventSim {
+    /// The simulation time the pause was taken at (time of the last
+    /// processed event).
+    pub fn time(&self) -> f64 {
+        self.queue.time()
+    }
+
+    /// Number of token arrivals still pending in the checkpoint.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Completes the simulation from the checkpoint on `scratch` —
+    /// which may run a different queue backend than the paused run.
+    ///
+    /// The result is bit-identical to an uninterrupted
+    /// [`EventSimulation::run_in`] over the same graph and period count.
+    /// Resuming does not consume the pause: the same checkpoint can be
+    /// replayed any number of times.
+    pub fn resume(&self, sg: &SignalGraph, scratch: &mut EventSimScratch) -> EventSimulation {
+        let EventSimScratch { queue, remaining } = scratch;
+        queue.restore(&self.queue);
+        remaining.clear();
+        remaining.extend_from_slice(&self.remaining);
+        let mut times = self.times.clone();
+        drain(sg, queue, remaining, &mut times, None);
+        EventSimulation {
+            times,
+            periods: self.periods,
         }
     }
 }
@@ -449,6 +572,66 @@ mod tests {
             for p in 0..2 {
                 assert_eq!(cold.time(e, p), warm.time(e, p), "{}_{p}", sg.label(e));
             }
+        }
+    }
+
+    #[test]
+    fn pause_and_resume_is_bit_identical_to_a_straight_run() {
+        let sg = figure2();
+        let straight = EventSimulation::run(&sg, 4);
+        for pause_at in [0.0, 1.0, 5.5, 10.0, 25.0, 1000.0] {
+            for kind in [QueueKind::Heap, QueueKind::Calendar] {
+                let mut scratch = EventSimScratch::new(kind);
+                let paused = EventSimulation::run_until(&sg, 4, &mut scratch, pause_at);
+                let resumed = paused.resume(&sg, &mut scratch);
+                for e in sg.events() {
+                    for p in 0..4 {
+                        assert_eq!(
+                            straight.time(e, p).map(f64::to_bits),
+                            resumed.time(e, p).map(f64::to_bits),
+                            "pause_at={pause_at} kind={kind:?} {}_{p}",
+                            sg.label(e)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pause_resumes_across_queue_backends() {
+        // A checkpoint is storage-independent: pause on the heap, resume
+        // on the calendar (and vice versa), same bits out. The same
+        // pause also replays more than once.
+        let sg = figure2();
+        let straight = EventSimulation::run(&sg, 3);
+        let mut heap = EventSimScratch::new(QueueKind::Heap);
+        let mut cal = EventSimScratch::new(QueueKind::Calendar);
+        let paused = EventSimulation::run_until(&sg, 3, &mut heap, 7.0);
+        assert!(paused.time() <= 7.0);
+        assert!(paused.pending() > 0);
+        for scratch in [&mut cal, &mut heap] {
+            for _ in 0..2 {
+                let resumed = paused.resume(&sg, scratch);
+                for e in sg.events() {
+                    for p in 0..3 {
+                        assert_eq!(straight.time(e, p), resumed.time(e, p));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pause_beyond_the_horizon_is_already_complete() {
+        let sg = figure2();
+        let mut scratch = EventSimScratch::new(QueueKind::Heap);
+        let paused = EventSimulation::run_until(&sg, 2, &mut scratch, f64::MAX);
+        assert_eq!(paused.pending(), 0);
+        let resumed = paused.resume(&sg, &mut scratch);
+        let straight = EventSimulation::run(&sg, 2);
+        for e in sg.events() {
+            assert_eq!(straight.time(e, 1), resumed.time(e, 1));
         }
     }
 

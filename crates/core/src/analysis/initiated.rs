@@ -165,7 +165,48 @@ impl SimArena {
         }
         self.times[origin.index()] = 0.0;
 
-        for p in 0..p_total {
+        self.compute_rows(structure, track_parents, 0);
+        Ok(())
+    }
+
+    /// Dirty-region restart: recomputes rows `start_row..` of the *same*
+    /// simulation this arena last ran, assuming every earlier row is
+    /// still exact for the current delay assignment. The caller
+    /// (an [`AnalysisSession`](crate::analysis::session::AnalysisSession))
+    /// guarantees that no edited arc can influence any cell below
+    /// `start_row`; under that precondition the resulting matrix is
+    /// bit-identical to a full re-run over the edited structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the arena's last run does not match `(origin,
+    /// periods)` or tracked parents (a resumed run cannot change shape).
+    pub(crate) fn rerun_rows_from(
+        &mut self,
+        structure: &CyclicStructure,
+        origin: EventId,
+        periods: u32,
+        start_row: usize,
+    ) {
+        assert!(
+            self.origin == origin
+                && self.periods == periods
+                && self.p_total == periods as usize + 1
+                && self.parent.is_empty(),
+            "dirty-region restart must resume the arena's own run"
+        );
+        if start_row >= self.p_total {
+            return; // the edit's influence starts beyond the horizon
+        }
+        self.compute_rows(structure, false, start_row);
+    }
+
+    /// The longest-path recurrence over rows `start_row..p_total`; row
+    /// `start_row - 1` (when any) must hold valid values.
+    fn compute_rows(&mut self, structure: &CyclicStructure, track_parents: bool, start_row: usize) {
+        let n = self.n;
+        let origin = self.origin;
+        for p in start_row..self.p_total {
             let (before, current) = self.times.split_at_mut(p * n);
             let prev: Option<&[f64]> = (p > 0).then(|| &before[(p - 1) * n..]);
             let row = &mut current[..n];
@@ -204,7 +245,6 @@ impl SimArena {
                 }
             }
         }
-        Ok(())
     }
 
     /// Allocated capacity of the `(times, parent)` buffers, in cells.

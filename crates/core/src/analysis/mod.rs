@@ -8,6 +8,8 @@
 //!   `t_g(·)` (Section IV.B),
 //! * [`CycleTimeAnalysis`] — the O(b²m) cycle-time algorithm with
 //!   critical-cycle backtracking (Sections VI–VII),
+//! * [`session::AnalysisSession`] — incremental delta re-analysis:
+//!   delay edits re-simulate only the dirty region,
 //! * [`border`] — border and cut sets (Section VI.A),
 //! * [`asymptotic`] — δ-series for Figure 4,
 //! * [`diagram`] — ASCII timing diagrams (Figure 1c/1d).
@@ -18,11 +20,13 @@ pub mod cycle_time;
 pub mod diagram;
 pub mod event_sim;
 pub mod initiated;
+pub mod session;
 pub mod sim;
 pub mod slack;
 pub(crate) mod structure;
 
 pub use cycle_time::{AnalysisError, BorderRecord, CycleTimeAnalysis};
+pub use session::{AnalysisSession, CycleTimeDelta, DelayEdit, EditError};
 
 use crate::time::Ratio;
 use std::fmt;

@@ -1,0 +1,658 @@
+//! Incremental analysis sessions: delta-driven re-analysis.
+//!
+//! The paper's headline workflow is bottleneck hunting — edit a gate
+//! delay, re-measure the cycle time, repeat. Re-running the full
+//! O(b²·m) algorithm per edit throws away almost all of the previous
+//! work: a delay edit leaves the graph's *structure* (topology, marking,
+//! border set) untouched, so of the `b` border-initiated simulations
+//! only the rows an edit can actually influence need recomputing. An
+//! [`AnalysisSession`] owns the graph plus all warm simulation state —
+//! the shared [`CyclicStructure`], the cached [`BorderRecord`]s, one
+//! warm [`SimArena`] per border event — and answers
+//! [`edit_delays`](AnalysisSession::edit_delays) queries by
+//! re-simulating only that dirty region.
+//!
+//! # The dirty-region criterion
+//!
+//! The simulation of border event `g` fills a `(b+1) × n` matrix of
+//! longest-path lengths `t_{g0}(e_p)` over the unfolding restricted to
+//! `b` periods; its record collects the diagonal `t_{g0}(g_i)`. Editing
+//! the delay of arc `a = u → v` can only change a cell `(e, p)` if some
+//! `g_0 → e_p` path passes through `a` — and any such path spends at
+//! least
+//!
+//! ```text
+//! r0(g, a)  =  ε(g → u) + marked(a)
+//! ```
+//!
+//! periods before crossing `a`, where `ε(x → y)` is the minimum number
+//! of marked arcs on any path from `x` to `y` in the cyclic structure
+//! (a 0-1 BFS, O(m) per edited arc). Every row below `r0` is therefore
+//! bit-exact for the edited graph, so the session keeps one warm matrix
+//! per border event and *resumes* each simulation at its `r0` instead
+//! of re-running it from scratch — rows at or beyond `r0` recompute
+//! from the cached row `r0 - 1` with the identical recurrence. The
+//! criterion is exact at period granularity: a simulation whose `r0`
+//! exceeds the horizon is not touched at all.
+//!
+//! The final winner-selection and critical-cycle backtracking re-run as
+//! usual (one parent-tracked simulation), so the produced
+//! [`CycleTimeAnalysis`] is **bit-identical** to a from-scratch run on
+//! the edited graph — asserted across generator families and random
+//! edit scripts in `tests/incremental.rs`. The price is memory: a
+//! session holds `b` matrices of `(b+1) × n` floats, O(b²·n) cells,
+//! instead of one.
+//!
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::analysis::cycle_time::{AnalysisError, BorderRecord, CycleTimeAnalysis};
+use crate::analysis::initiated::SimArena;
+use crate::analysis::structure::CyclicStructure;
+use crate::analysis::CycleTime;
+use crate::arc::ArcId;
+use crate::event::EventId;
+use crate::graph::SignalGraph;
+use crate::time::Delay;
+
+/// Sentinel for "not reachable" in the period-distance buffers.
+const UNREACHED: u32 = u32::MAX;
+
+/// Sentinel for "arc not in the cyclic structure" in the arc→entry map.
+const NO_ENTRY: u32 = u32::MAX;
+
+/// One delay edit: assign `delay` to `arc`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DelayEdit {
+    /// The arc whose delay changes.
+    pub arc: ArcId,
+    /// The new delay (must be finite and non-negative).
+    pub delay: f64,
+}
+
+/// What one delta query changed, and how much work it saved.
+#[derive(Clone, Copy, Debug)]
+pub struct CycleTimeDelta {
+    /// Cycle time before the edit batch.
+    pub before: CycleTime,
+    /// Cycle time after the edit batch.
+    pub after: CycleTime,
+    /// Border simulations that had to resume (their dirty region starts
+    /// within the simulated horizon).
+    pub dirty: usize,
+    /// Total border simulations a from-scratch run would perform.
+    pub borders: usize,
+    /// Matrix rows actually recomputed across all resumed simulations.
+    pub rows: usize,
+    /// Rows a from-scratch run would compute: `borders × (b + 1)`.
+    pub rows_total: usize,
+}
+
+/// Error of [`AnalysisSession::edit_delays`]; the session state is
+/// unchanged when one is returned.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum EditError {
+    /// The arc id is not an arc of the session's graph.
+    UnknownArc(ArcId),
+    /// The new delay is negative, infinite or NaN.
+    InvalidDelay {
+        /// The arc the edit addressed.
+        arc: ArcId,
+        /// The offending delay.
+        delay: f64,
+    },
+    /// A label-addressed edit named an event the graph does not have.
+    NoSuchEvent(String),
+    /// A label-addressed edit named an event pair with no connecting arc.
+    NoArcBetween(String, String),
+}
+
+impl fmt::Display for EditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EditError::UnknownArc(a) => write!(f, "unknown arc {a}"),
+            EditError::InvalidDelay { arc, delay } => {
+                write!(
+                    f,
+                    "invalid delay {delay} for {arc}: must be finite and >= 0"
+                )
+            }
+            EditError::NoSuchEvent(l) => write!(f, "no event labelled {l:?}"),
+            EditError::NoArcBetween(s, d) => write!(f, "no arc from {s:?} to {d:?}"),
+        }
+    }
+}
+
+impl std::error::Error for EditError {}
+
+/// An open incremental-analysis session; see the [module docs](self).
+///
+/// # Examples
+///
+/// ```
+/// use tsg_core::SignalGraph;
+/// use tsg_core::analysis::session::{AnalysisSession, DelayEdit};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = SignalGraph::builder();
+/// let xp = b.event("x+");
+/// let xm = b.event("x-");
+/// let up = b.arc(xp, xm, 3.0);
+/// b.marked_arc(xm, xp, 2.0);
+/// let sg = b.build()?;
+///
+/// let mut session = AnalysisSession::open(sg)?;
+/// assert_eq!(session.analysis().cycle_time().as_f64(), 5.0);
+/// let delta = session.edit_delay(up, 7.0)?;
+/// assert_eq!(delta.after.as_f64(), 9.0);
+/// assert_eq!(session.analysis().cycle_time().as_f64(), 9.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct AnalysisSession {
+    sg: SignalGraph,
+    structure: CyclicStructure,
+    /// `ArcId` → slot in `structure.entries` (`NO_ENTRY` when the arc is
+    /// outside the cyclic structure and no record can depend on it).
+    entry_of_arc: Vec<u32>,
+    border: Vec<EventId>,
+    /// Periods each border simulation runs (`border.len()`).
+    b: u32,
+    /// The cached per-border distance tables, master copies.
+    records: Vec<BorderRecord>,
+    /// One warm matrix per border event — the state the dirty-region
+    /// restarts resume into (O(b²·n) cells total).
+    border_arenas: Vec<SimArena>,
+    /// The arena `finish` re-runs the winner in (with parent tracking).
+    finish_arena: SimArena,
+    analysis: CycleTimeAnalysis,
+    edits: u64,
+    /// Scratch: per-border restart row of the current edit batch
+    /// (`UNREACHED` = untouched).
+    restart: Vec<u32>,
+    /// Scratch: `ε(e → u)` of the backward 0-1 BFS.
+    dist_back: Vec<u32>,
+    /// Scratch: the BFS deque.
+    deque: VecDeque<EventId>,
+}
+
+impl AnalysisSession {
+    /// Opens a session: one full analysis, with every intermediate the
+    /// delta queries need kept warm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::NoCyclicBehavior`] when `sg` has no
+    /// repetitive events.
+    pub fn open(sg: SignalGraph) -> Result<Self, AnalysisError> {
+        let border = sg.border_events();
+        if border.is_empty() {
+            return Err(AnalysisError::NoCyclicBehavior);
+        }
+        let b = border.len() as u32;
+        let structure = CyclicStructure::new(&sg);
+        let mut entry_of_arc = vec![NO_ENTRY; sg.arc_count()];
+        for (slot, entry) in structure.entries.iter().enumerate() {
+            entry_of_arc[entry.arc.index()] = slot as u32;
+        }
+
+        let mut border_arenas: Vec<SimArena> = Vec::with_capacity(border.len());
+        let mut records = Vec::with_capacity(border.len());
+        for &g in &border {
+            let mut arena = SimArena::new();
+            arena
+                .run_with(&sg, &structure, g, b, false)
+                .expect("border events are repetitive by construction");
+            records.push(BorderRecord {
+                event: g,
+                distances: arena.distance_series(),
+            });
+            border_arenas.push(arena);
+        }
+        let mut finish_arena = SimArena::new();
+        let analysis = CycleTimeAnalysis::finish(
+            &sg,
+            &structure,
+            border.clone(),
+            records.clone(),
+            &mut finish_arena,
+        )?;
+
+        let n = sg.event_count();
+        Ok(AnalysisSession {
+            sg,
+            structure,
+            entry_of_arc,
+            restart: vec![UNREACHED; border.len()],
+            border,
+            b,
+            records,
+            border_arenas,
+            finish_arena,
+            analysis,
+            edits: 0,
+            dist_back: vec![UNREACHED; n],
+            deque: VecDeque::new(),
+        })
+    }
+
+    /// The session's graph, with all applied edits.
+    pub fn graph(&self) -> &SignalGraph {
+        &self.sg
+    }
+
+    /// The current analysis — always bit-identical to
+    /// [`CycleTimeAnalysis::run`] on [`graph`](Self::graph).
+    pub fn analysis(&self) -> &CycleTimeAnalysis {
+        &self.analysis
+    }
+
+    /// Number of edit batches applied so far.
+    pub fn edits_applied(&self) -> u64 {
+        self.edits
+    }
+
+    /// Resolves a label-addressed edit (`src -> dst`) to the first arc
+    /// between the named events.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EditError::NoSuchEvent`] / [`EditError::NoArcBetween`]
+    /// with the offending labels.
+    pub fn resolve_arc(&self, src: &str, dst: &str) -> Result<ArcId, EditError> {
+        let s = self
+            .sg
+            .event_by_label(src)
+            .ok_or_else(|| EditError::NoSuchEvent(src.to_owned()))?;
+        let d = self
+            .sg
+            .event_by_label(dst)
+            .ok_or_else(|| EditError::NoSuchEvent(dst.to_owned()))?;
+        self.sg
+            .arc_between(s, d)
+            .ok_or_else(|| EditError::NoArcBetween(src.to_owned(), dst.to_owned()))
+    }
+
+    /// Applies one delay edit; see [`edit_delays`](Self::edit_delays).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EditError`] for an unknown arc or invalid delay.
+    pub fn edit_delay(&mut self, arc: ArcId, delay: f64) -> Result<CycleTimeDelta, EditError> {
+        self.edit_delays(&[DelayEdit { arc, delay }])
+    }
+
+    /// Applies a batch of delay edits and re-analyses only the dirty
+    /// region: each border simulation resumes at the first row the batch
+    /// can influence (the module-level `r0` criterion), reusing every
+    /// cached row below it; simulations whose `r0` lies beyond the
+    /// horizon are not touched at all.
+    ///
+    /// The updated [`analysis`](Self::analysis) is bit-identical to a
+    /// from-scratch [`CycleTimeAnalysis::run`] on the edited graph; the
+    /// returned [`CycleTimeDelta`] reports how many simulations resumed
+    /// and how many matrix rows were actually recomputed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EditError`] — and leaves the session untouched — when
+    /// any edit names an unknown arc or an invalid delay.
+    pub fn edit_delays(&mut self, edits: &[DelayEdit]) -> Result<CycleTimeDelta, EditError> {
+        // Validate the whole batch before mutating anything.
+        for e in edits {
+            if e.arc.index() >= self.sg.arc_count() {
+                return Err(EditError::UnknownArc(e.arc));
+            }
+            if Delay::new(e.delay).is_err() {
+                return Err(EditError::InvalidDelay {
+                    arc: e.arc,
+                    delay: e.delay,
+                });
+            }
+        }
+
+        let before = self.analysis.cycle_time();
+        self.restart.fill(UNREACHED);
+        for e in edits {
+            if self.sg.arc(e.arc).delay().get().to_bits() == e.delay.to_bits() {
+                continue; // no-op edit: influences nothing
+            }
+            self.sg
+                .set_delay(e.arc, e.delay)
+                .expect("delay validated above");
+            let slot = self.entry_of_arc[e.arc.index()];
+            if slot != NO_ENTRY {
+                self.structure.entries[slot as usize].delay = e.delay;
+                self.lower_restart_rows(e.arc);
+            }
+            // Arcs outside the cyclic structure (prefix/disengageable)
+            // never feed a border simulation: delay applied, zero dirty.
+        }
+
+        let p_total = self.b as usize + 1;
+        let (mut dirty_count, mut rows) = (0usize, 0usize);
+        for k in 0..self.border.len() {
+            let r0 = self.restart[k] as usize;
+            if r0 >= p_total {
+                continue; // influence starts beyond the horizon: clean
+            }
+            let g = self.border[k];
+            self.border_arenas[k].rerun_rows_from(&self.structure, g, self.b, r0);
+            self.records[k] = BorderRecord {
+                event: g,
+                distances: self.border_arenas[k].distance_series(),
+            };
+            dirty_count += 1;
+            rows += p_total - r0;
+        }
+
+        self.analysis = CycleTimeAnalysis::finish(
+            &self.sg,
+            &self.structure,
+            self.border.clone(),
+            self.records.clone(),
+            &mut self.finish_arena,
+        )
+        .expect("edits cannot change the border set");
+        self.edits += 1;
+        Ok(CycleTimeDelta {
+            before,
+            after: self.analysis.cycle_time(),
+            dirty: dirty_count,
+            borders: self.border.len(),
+            rows,
+            rows_total: self.border.len() * p_total,
+        })
+    }
+
+    /// Lowers each border's restart row to `ε(g → src(a)) + marked(a)`,
+    /// the first row of `g`'s simulation any path through `a` can touch.
+    fn lower_restart_rows(&mut self, a: ArcId) {
+        let arc = self.sg.arc(a);
+        let marked = arc.is_marked() as u32;
+        token_distances_to(&self.sg, arc.src(), &mut self.dist_back, &mut self.deque);
+        for (k, &g) in self.border.iter().enumerate() {
+            let to_u = self.dist_back[g.index()];
+            if to_u != UNREACHED {
+                self.restart[k] = self.restart[k].min(to_u.saturating_add(marked));
+            }
+        }
+    }
+}
+
+/// 0-1 BFS over the cyclic structure's arc set, backwards: `dist[e]`
+/// becomes the minimum number of marked arcs on any path from `e` to
+/// `target` (`UNREACHED` when no path exists). Marked arcs weigh 1
+/// (they cross a period border), unmarked arcs 0.
+fn token_distances_to(
+    sg: &SignalGraph,
+    target: EventId,
+    dist: &mut Vec<u32>,
+    deque: &mut VecDeque<EventId>,
+) {
+    dist.clear();
+    dist.resize(sg.event_count(), UNREACHED);
+    dist[target.index()] = 0;
+    deque.clear();
+    deque.push_back(target);
+    while let Some(e) = deque.pop_front() {
+        let d = dist[e.index()];
+        for a in sg.in_arcs(e) {
+            let arc = sg.arc(a);
+            if arc.is_disengageable()
+                || !sg.is_repetitive(arc.src())
+                || !sg.is_repetitive(arc.dst())
+            {
+                continue; // same arc set the simulations run on
+            }
+            let prev = arc.src();
+            let w = arc.is_marked() as u32;
+            if d + w < dist[prev.index()] {
+                dist[prev.index()] = d + w;
+                if w == 0 {
+                    deque.push_front(prev);
+                } else {
+                    deque.push_back(prev);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure2() -> SignalGraph {
+        let mut b = SignalGraph::builder();
+        let e = b.initial_event("e-");
+        let f = b.finite_event("f-");
+        let ap = b.event("a+");
+        let bp = b.event("b+");
+        let cp = b.event("c+");
+        let am = b.event("a-");
+        let bm = b.event("b-");
+        let cm = b.event("c-");
+        b.arc(e, f, 3.0);
+        b.disengageable_arc(e, ap, 2.0);
+        b.disengageable_arc(f, bp, 1.0);
+        b.arc(ap, cp, 3.0);
+        b.arc(bp, cp, 2.0);
+        b.arc(cp, am, 2.0);
+        b.arc(cp, bm, 1.0);
+        b.arc(am, cm, 3.0);
+        b.arc(bm, cm, 2.0);
+        b.marked_arc(cm, ap, 2.0);
+        b.marked_arc(cm, bp, 1.0);
+        b.build().unwrap()
+    }
+
+    fn assert_matches_scratch(session: &AnalysisSession, ctx: &str) {
+        let scratch = CycleTimeAnalysis::run(session.graph()).unwrap();
+        let a = session.analysis();
+        assert_eq!(
+            a.cycle_time().as_f64().to_bits(),
+            scratch.cycle_time().as_f64().to_bits(),
+            "{ctx}: cycle time"
+        );
+        assert_eq!(
+            a.cycle_time().periods(),
+            scratch.cycle_time().periods(),
+            "{ctx}"
+        );
+        assert_eq!(a.critical_cycle(), scratch.critical_cycle(), "{ctx}");
+        assert_eq!(a.critical_borders(), scratch.critical_borders(), "{ctx}");
+        assert_eq!(a.border_events(), scratch.border_events(), "{ctx}");
+        for (ra, rb) in a.records().iter().zip(scratch.records()) {
+            assert_eq!(ra.event, rb.event, "{ctx}");
+            assert_eq!(ra.distances, rb.distances, "{ctx}");
+        }
+    }
+
+    #[test]
+    fn open_matches_from_scratch_run() {
+        let session = AnalysisSession::open(figure2()).unwrap();
+        assert_eq!(session.analysis().cycle_time().as_f64(), 10.0);
+        assert_matches_scratch(&session, "open");
+    }
+
+    #[test]
+    fn edits_track_the_from_scratch_analysis_bit_identically() {
+        let sg = figure2();
+        let mut session = AnalysisSession::open(sg).unwrap();
+        let edit = |s: &AnalysisSession, src: &str, dst: &str| s.resolve_arc(src, dst).unwrap();
+        // Stretch the a-side, shrink it back, touch the b-side, then a
+        // marked arc — mixed single edits, each verified against scratch.
+        let script = [
+            ("a+", "c+", 8.0),
+            ("a+", "c+", 3.0),
+            ("b+", "c+", 9.5),
+            ("c-", "a+", 0.0),
+            ("c-", "a+", 2.0),
+        ];
+        for (i, (src, dst, delay)) in script.into_iter().enumerate() {
+            let arc = edit(&session, src, dst);
+            let delta = session.edit_delay(arc, delay).unwrap();
+            assert_eq!(delta.borders, 2);
+            assert_matches_scratch(&session, &format!("edit {i}: {src}->{dst}={delay}"));
+        }
+        assert_eq!(session.edits_applied(), 5);
+    }
+
+    #[test]
+    fn batched_edits_apply_atomically() {
+        let mut session = AnalysisSession::open(figure2()).unwrap();
+        let a1 = session.resolve_arc("a+", "c+").unwrap();
+        let a2 = session.resolve_arc("b-", "c-").unwrap();
+        let delta = session
+            .edit_delays(&[
+                DelayEdit {
+                    arc: a1,
+                    delay: 6.0,
+                },
+                DelayEdit {
+                    arc: a2,
+                    delay: 4.5,
+                },
+            ])
+            .unwrap();
+        assert_eq!(delta.before.as_f64(), 10.0);
+        assert_matches_scratch(&session, "batch");
+        assert_eq!(session.edits_applied(), 1);
+    }
+
+    #[test]
+    fn prefix_arc_edits_are_clean() {
+        // The e- → f- arc feeds no border simulation: the delta reports
+        // zero dirty borders and the analysis is unchanged (and still
+        // agrees with scratch, which ignores prefix delays too).
+        let mut session = AnalysisSession::open(figure2()).unwrap();
+        let e = session.graph().event_by_label("e-").unwrap();
+        let f = session.graph().event_by_label("f-").unwrap();
+        let arc = session.graph().arc_between(e, f).unwrap();
+        let delta = session.edit_delay(arc, 99.0).unwrap();
+        assert_eq!(delta.dirty, 0);
+        assert_eq!(delta.after.as_f64(), 10.0);
+        assert_eq!(session.graph().arc(arc).delay().get(), 99.0);
+        assert_matches_scratch(&session, "prefix edit");
+    }
+
+    #[test]
+    fn noop_edit_is_clean() {
+        let mut session = AnalysisSession::open(figure2()).unwrap();
+        let arc = session.resolve_arc("a+", "c+").unwrap();
+        let delta = session.edit_delay(arc, 3.0).unwrap();
+        assert_eq!(delta.dirty, 0);
+        assert_eq!(delta.after.as_f64(), 10.0);
+    }
+
+    #[test]
+    fn dirty_region_restart_reuses_rows_by_token_distance() {
+        // A long ring with tokens spread out plus a local side loop: an
+        // edit near n0 can only influence a distant border's simulation
+        // after the tokens between them have been spent, so those
+        // simulations resume deep into their matrices instead of
+        // re-running from row 0.
+        let mut b = SignalGraph::builder();
+        let n: Vec<_> = (0..12).map(|i| b.event(&format!("n{i}"))).collect();
+        // Three tokens spread around the ring → a 3-event border set,
+        // with several periods of distance between the token arcs.
+        for i in 0..12 {
+            let (src, dst) = (n[i], n[(i + 1) % 12]);
+            if i == 3 || i == 7 || i == 11 {
+                b.marked_arc(src, dst, 1.0);
+            } else {
+                b.arc(src, dst, 1.0);
+            }
+        }
+        let side = b.event("s");
+        b.arc(n[0], side, 1.0);
+        b.marked_arc(side, n[0], 1.0);
+        let sg = b.build().unwrap();
+        let mut session = AnalysisSession::open(sg).unwrap();
+        let borders = session.analysis().border_events().len();
+        assert_eq!(borders, 3, "n0, n4, n8");
+        let s = session.graph().event_by_label("s").unwrap();
+        let n0 = session.graph().event_by_label("n0").unwrap();
+        let arc = session.graph().arc_between(n0, s).unwrap();
+        let delta = session.edit_delay(arc, 5.0).unwrap();
+        // r0(n0) = 0, r0(n8) = 1, r0(n4) = 2 → 4 + 3 + 2 = 9 of 12 rows.
+        assert_eq!((delta.rows, delta.rows_total), (9, 12));
+        assert!(
+            delta.rows < delta.rows_total,
+            "token distance must cut recomputed rows: {} of {}",
+            delta.rows,
+            delta.rows_total
+        );
+        assert_matches_scratch(&session, "side loop edit");
+    }
+
+    #[test]
+    fn invalid_edits_leave_the_session_untouched() {
+        let mut session = AnalysisSession::open(figure2()).unwrap();
+        let arc = session.resolve_arc("a+", "c+").unwrap();
+        let bad_arc = ArcId(10_000);
+        assert_eq!(
+            session
+                .edit_delays(&[
+                    DelayEdit { arc, delay: 9.0 },
+                    DelayEdit {
+                        arc: bad_arc,
+                        delay: 1.0
+                    },
+                ])
+                .unwrap_err(),
+            EditError::UnknownArc(bad_arc)
+        );
+        assert!(matches!(
+            session.edit_delay(arc, f64::NAN).unwrap_err(),
+            EditError::InvalidDelay { .. }
+        ));
+        assert!(matches!(
+            session.edit_delay(arc, -1.0).unwrap_err(),
+            EditError::InvalidDelay { .. }
+        ));
+        // The rejected batch must not have applied its valid prefix.
+        assert_eq!(session.graph().arc(arc).delay().get(), 3.0);
+        assert_eq!(session.analysis().cycle_time().as_f64(), 10.0);
+        assert_eq!(session.edits_applied(), 0);
+    }
+
+    #[test]
+    fn resolve_arc_reports_label_errors() {
+        let session = AnalysisSession::open(figure2()).unwrap();
+        assert_eq!(
+            session.resolve_arc("zz", "a+").unwrap_err(),
+            EditError::NoSuchEvent("zz".to_owned())
+        );
+        assert_eq!(
+            session.resolve_arc("a+", "b+").unwrap_err(),
+            EditError::NoArcBetween("a+".to_owned(), "b+".to_owned())
+        );
+    }
+
+    #[test]
+    fn rerun_in_is_the_session_edit() {
+        let mut session = AnalysisSession::open(figure2()).unwrap();
+        let arc = session.resolve_arc("a+", "c+").unwrap();
+        let delta =
+            CycleTimeAnalysis::rerun_in(&mut session, &[DelayEdit { arc, delay: 12.0 }]).unwrap();
+        assert!(delta.after.as_f64() > delta.before.as_f64());
+        assert_matches_scratch(&session, "rerun_in");
+    }
+
+    #[test]
+    fn acyclic_graph_cannot_open_a_session() {
+        let mut b = SignalGraph::builder();
+        let s = b.initial_event("s");
+        let t = b.finite_event("t");
+        b.arc(s, t, 1.0);
+        let sg = b.build().unwrap();
+        assert_eq!(
+            AnalysisSession::open(sg).unwrap_err(),
+            AnalysisError::NoCyclicBehavior
+        );
+    }
+}

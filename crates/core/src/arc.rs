@@ -73,6 +73,12 @@ impl Arc {
         self.delay
     }
 
+    /// Replaces the delay — the only mutable attribute of an arc; see
+    /// [`SignalGraph::set_delay`](crate::SignalGraph::set_delay).
+    pub(crate) fn set_delay(&mut self, delay: Delay) {
+        self.delay = delay;
+    }
+
     /// `true` when the arc carries an initial token (drawn `•` in the paper).
     pub fn is_marked(&self) -> bool {
         self.marked

@@ -177,6 +177,35 @@ impl SignalGraph {
         &self.arcs
     }
 
+    /// Replaces the delay of arc `a` — the mutation behind
+    /// [`AnalysisSession`](crate::analysis::session::AnalysisSession)
+    /// delta queries and the `design_space` sweep.
+    ///
+    /// Only the delay label changes; the structure the builder validated
+    /// (topology, marking, disengageability) is untouched, so every
+    /// structural invariant of a built graph keeps holding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidDelay`](crate::time::InvalidDelay) for negative,
+    /// infinite or NaN delays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not an arc of this graph.
+    pub fn set_delay(&mut self, a: ArcId, delay: f64) -> Result<(), crate::time::InvalidDelay> {
+        let delay = crate::time::Delay::new(delay)?;
+        self.arcs[a.index()].set_delay(delay);
+        Ok(())
+    }
+
+    /// The first arc (in insertion order) leading from `src` to `dst`,
+    /// if any — how label-addressed delay edits (`tsg explore --edit
+    /// "a+->b+=3"`) resolve to an [`ArcId`].
+    pub fn arc_between(&self, src: EventId, dst: EventId) -> Option<ArcId> {
+        self.out_arcs(src).find(|&a| self.arc(a).dst() == dst)
+    }
+
     /// Arcs entering `e`.
     pub fn in_arcs(&self, e: EventId) -> impl Iterator<Item = ArcId> + '_ {
         self.graph

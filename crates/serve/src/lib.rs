@@ -7,19 +7,25 @@
 //! turns the workspace from a one-shot batch tool into that engine:
 //!
 //! * [`protocol`] — newline-delimited JSON requests (`analyze`, `sim`,
-//!   `batch`, `stats`) with ids echoed into in-order responses;
+//!   `batch`, `stats`, `session.open`/`edit`/`close`) with ids echoed
+//!   into in-order responses;
 //! * [`ops`] — the analysis operations themselves, shared with the
 //!   one-shot CLI so a served response is byte-identical to the
 //!   equivalent `tsg analyze` / `tsg sim` invocation, plus the warm
-//!   per-worker [`Workspace`] (one [`SimArena`] and pre-sized event
-//!   queue per worker — no per-request allocation on the hot path after
-//!   warm-up);
-//! * [`pool`] — the persistent worker pool: dynamic claiming, per-request
+//!   per-worker [`Workspace`] (one [`SimArena`], pre-sized event
+//!   queues and the open [`AnalysisSession`]s — no per-request
+//!   allocation on the hot path after warm-up);
+//! * [`pool`] — the persistent worker [`Pool`]: dynamic claiming on the
+//!   shared lane, per-worker pinned lanes that keep each incremental
+//!   session's edits in request order on one workspace, per-request
 //!   error isolation (including caught panics), ordered streaming
 //!   responses, graceful EOF/SIGINT shutdown, and served/failed
 //!   counters surfaced by the `stats` request;
 //! * transports — stdin/stdout ([`serve`]), TCP ([`serve_tcp`]) and Unix
-//!   sockets ([`serve_unix`]), one protocol session per connection.
+//!   sockets ([`serve_unix`]); socket connections are accepted
+//!   concurrently and all share the one pool.
+//!
+//! [`AnalysisSession`]: tsg_core::analysis::session::AnalysisSession
 //!
 //! [`SimArena`]: tsg_core::analysis::initiated::SimArena
 //! [`Workspace`]: ops::Workspace
@@ -53,6 +59,7 @@ use std::net::TcpListener;
 #[cfg(unix)]
 use std::os::unix::net::UnixListener;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 pub mod json;
@@ -60,20 +67,22 @@ pub mod ops;
 pub mod pool;
 pub mod protocol;
 
-pub use pool::{serve, ServeOptions, ServeStats};
+pub use pool::{serve, Pool, ServeOptions, ServeStats};
 
 /// How often the socket accept loops poll the shutdown flag.
 const ACCEPT_POLL: Duration = Duration::from_millis(25);
 
-/// Serves protocol sessions over TCP: one connection at a time, each an
-/// independent session with its own pool and counters (returned stats
-/// aggregate all of them).
+/// Serves protocol sessions over TCP: connections are accepted
+/// concurrently, each running its own in-order protocol session, all
+/// sharing **one** warm worker [`Pool`] (returned stats are the pool's
+/// aggregate counters).
 ///
-/// The loop exits when `shutdown` is raised or, if `max_connections` is
-/// set, after that many connections — without a bound and with no
-/// shutdown flag it serves forever. Per-connection I/O failures (a
-/// client vanishing mid-response) are reported to stderr and do not
-/// stop the listener.
+/// The accept loop exits when `shutdown` is raised or, if
+/// `max_connections` is set, after accepting that many connections —
+/// without a bound and with no shutdown flag it serves forever. Open
+/// connections are drained before the call returns. Per-connection I/O
+/// failures (a client vanishing mid-response) are reported to stderr
+/// and do not stop the listener or the pool.
 ///
 /// # Errors
 ///
@@ -86,40 +95,28 @@ pub fn serve_tcp(
     max_connections: Option<u64>,
 ) -> io::Result<ServeStats> {
     listener.set_nonblocking(true)?;
-    let mut total = ServeStats {
-        served: 0,
-        failed: 0,
-        threads: tsg_sim::BatchRunner::sized(opts.threads).threads(),
-    };
-    let mut connections = 0u64;
-    while max_connections.is_none_or(|max| connections < max) {
-        if shutdown.is_some_and(|flag| flag.load(Ordering::SeqCst)) {
-            break;
-        }
-        match listener.accept() {
+    accept_loop(
+        shutdown,
+        max_connections,
+        opts,
+        move |pool, flag| match listener.accept() {
             Ok((stream, peer)) => {
                 stream.set_nonblocking(false)?;
                 let reader = BufReader::new(stream.try_clone()?);
-                match serve(reader, stream, opts, shutdown) {
-                    Ok(stats) => {
-                        total.served += stats.served;
-                        total.failed += stats.failed;
+                Ok(Some(std::thread::spawn(move || {
+                    if let Err(e) = pool.serve_session(reader, stream, Some(flag.as_ref())) {
+                        eprintln!("tsg serve: connection {peer}: {e}");
                     }
-                    Err(e) => eprintln!("tsg serve: connection {peer}: {e}"),
-                }
-                connections += 1;
+                })))
             }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(ACCEPT_POLL);
-            }
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(total)
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        },
+    )
 }
 
-/// Serves protocol sessions over a Unix socket — same loop as
-/// [`serve_tcp`].
+/// Serves protocol sessions over a Unix socket — same concurrent
+/// shared-pool loop as [`serve_tcp`].
 ///
 /// # Errors
 ///
@@ -132,36 +129,72 @@ pub fn serve_unix(
     max_connections: Option<u64>,
 ) -> io::Result<ServeStats> {
     listener.set_nonblocking(true)?;
-    let mut total = ServeStats {
-        served: 0,
-        failed: 0,
-        threads: tsg_sim::BatchRunner::sized(opts.threads).threads(),
-    };
-    let mut connections = 0u64;
-    while max_connections.is_none_or(|max| connections < max) {
-        if shutdown.is_some_and(|flag| flag.load(Ordering::SeqCst)) {
-            break;
-        }
-        match listener.accept() {
+    accept_loop(
+        shutdown,
+        max_connections,
+        opts,
+        move |pool, flag| match listener.accept() {
             Ok((stream, _)) => {
                 stream.set_nonblocking(false)?;
                 let reader = BufReader::new(stream.try_clone()?);
-                match serve(reader, stream, opts, shutdown) {
-                    Ok(stats) => {
-                        total.served += stats.served;
-                        total.failed += stats.failed;
+                Ok(Some(std::thread::spawn(move || {
+                    if let Err(e) = pool.serve_session(reader, stream, Some(flag.as_ref())) {
+                        eprintln!("tsg serve: unix connection: {e}");
                     }
-                    Err(e) => eprintln!("tsg serve: unix connection: {e}"),
-                }
-                connections += 1;
+                })))
             }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        },
+    )
+}
+
+/// The shared accept loop of both socket transports: polls `accept` (a
+/// non-blocking accept attempt returning a spawned connection thread,
+/// `None` on would-block), mirrors the caller's shutdown flag into one
+/// the `'static` connection threads can watch, and drains every
+/// connection before reporting the pool's aggregate stats.
+fn accept_loop<F>(
+    shutdown: Option<&AtomicBool>,
+    max_connections: Option<u64>,
+    opts: &ServeOptions,
+    mut accept: F,
+) -> io::Result<ServeStats>
+where
+    F: FnMut(Arc<Pool>, Arc<AtomicBool>) -> io::Result<Option<std::thread::JoinHandle<()>>>,
+{
+    let pool = Arc::new(Pool::new(opts.threads));
+    // Connection threads need a `'static` flag; the loop below mirrors
+    // the caller's borrowed one into this owned bridge every poll.
+    let bridge = Arc::new(AtomicBool::new(false));
+    let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    let mut accepted = 0u64;
+    let result = loop {
+        if max_connections.is_some_and(|max| accepted >= max) {
+            break Ok(());
+        }
+        if shutdown.is_some_and(|flag| flag.load(Ordering::SeqCst)) {
+            bridge.store(true, Ordering::SeqCst);
+            break Ok(());
+        }
+        match accept(Arc::clone(&pool), Arc::clone(&bridge)) {
+            Ok(Some(handle)) => {
+                connections.push(handle);
+                accepted += 1;
+            }
+            Ok(None) => {
+                // Reap finished connections so a long-lived listener
+                // does not accumulate joined-out handles.
+                connections.retain(|h| !h.is_finished());
                 std::thread::sleep(ACCEPT_POLL);
             }
-            Err(e) => return Err(e),
+            Err(e) => break Err(e),
         }
+    };
+    for handle in connections {
+        let _ = handle.join();
     }
-    Ok(total)
+    result.map(|()| pool.stats())
 }
 
 /// Installs a SIGINT handler that raises (and returns) a global

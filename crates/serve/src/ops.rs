@@ -17,11 +17,13 @@
 //!   equivalences are asserted in the workspace tests).
 
 use std::borrow::Cow;
+use std::collections::HashMap;
 use std::fmt::Write as _;
 
 use tsg_core::analysis::diagram::{self, DiagramOptions};
 use tsg_core::analysis::event_sim::{EventSimScratch, EventSimulation};
 use tsg_core::analysis::initiated::SimArena;
+use tsg_core::analysis::session::{AnalysisSession, DelayEdit};
 use tsg_core::analysis::sim::TimingSimulation;
 use tsg_core::analysis::{AnalysisError, CycleTimeAnalysis};
 use tsg_core::SignalGraph;
@@ -63,6 +65,39 @@ impl Source {
                 .map_err(|e| format!("reading {file}: {e}")),
             Source::Inline { text, .. } => Ok(Cow::Borrowed(text)),
         }
+    }
+}
+
+/// One label-addressed delay edit of a `session.edit` request or a
+/// `tsg explore --edit` flag: set the delay of the arc `src -> dst`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EditSpec {
+    /// Label of the arc's source event (e.g. `"a+"`).
+    pub src: String,
+    /// Label of the arc's destination event.
+    pub dst: String,
+    /// The new delay.
+    pub delay: f64,
+}
+
+impl EditSpec {
+    /// Parses the CLI form `SRC->DST=DELAY` (e.g. `a+->c+=3.5`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a user-facing message for malformed specs.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let err = || format!("--edit takes SRC->DST=DELAY, got {spec:?}");
+        let (arc, delay) = spec.rsplit_once('=').ok_or_else(err)?;
+        let (src, dst) = arc.split_once("->").ok_or_else(err)?;
+        if src.is_empty() || dst.is_empty() {
+            return Err(err());
+        }
+        Ok(EditSpec {
+            src: src.to_owned(),
+            dst: dst.to_owned(),
+            delay: delay.parse().map_err(|_| err())?,
+        })
     }
 }
 
@@ -271,6 +306,53 @@ pub fn simulate_file(file: &str, opts: &SimOptions) -> Result<String, String> {
     Workspace::new().simulate(&Source::Path(file.to_owned()), opts)
 }
 
+/// Workspace key of connection `conn`'s session `name`.
+fn session_key(conn: u64, name: &str) -> String {
+    format!("{conn}/{name}")
+}
+
+/// The cycle-time summary lines every session response carries — also
+/// what `tsg explore` prints per step, so both front-ends describe a
+/// session state identically.
+pub fn session_summary(session: &AnalysisSession) -> String {
+    let analysis = session.analysis();
+    let mut out = String::new();
+    let _ = writeln!(out, "cycle time: {}", analysis.cycle_time());
+    let _ = writeln!(
+        out,
+        "critical cycle: {}",
+        session.graph().display_path(analysis.critical_cycle())
+    );
+    out
+}
+
+/// Resolves label-addressed `edits` against `session`'s graph and
+/// applies them as one batch — shared by the serve handler and `tsg
+/// explore`.
+///
+/// # Errors
+///
+/// Returns unresolvable labels or invalid delays as user-facing
+/// messages; the session is unchanged in that case.
+pub fn apply_edits(
+    session: &mut AnalysisSession,
+    edits: &[EditSpec],
+) -> Result<tsg_core::analysis::session::CycleTimeDelta, String> {
+    let resolved: Vec<DelayEdit> = edits
+        .iter()
+        .map(|e| {
+            session
+                .resolve_arc(&e.src, &e.dst)
+                .map(|arc| DelayEdit {
+                    arc,
+                    delay: e.delay,
+                })
+                .map_err(|err| err.to_string())
+        })
+        .collect::<Result<_, _>>()?;
+    session.edit_delays(&resolved).map_err(|e| e.to_string())
+}
+
 /// Index of a [`QueueKind`] into the per-kind warm-state slots.
 fn kind_slot(kind: QueueKind) -> usize {
     match kind {
@@ -291,6 +373,10 @@ pub struct Workspace {
     arena: SimArena,
     graph: [Option<EventSimScratch>; 2],
     netlist: [Option<tsg_circuit::SimQueue>; 2],
+    /// Open incremental sessions, keyed `"{conn}/{name}"` — the
+    /// dispatcher pins every request naming one session to one worker,
+    /// so a session's whole life happens inside a single workspace.
+    sessions: HashMap<String, AnalysisSession>,
 }
 
 impl Workspace {
@@ -373,6 +459,94 @@ impl Workspace {
             .map_err(|e| e.to_string())?;
             self.simulate_graph(&sg, opts)
         }
+    }
+
+    /// Number of sessions currently open in this workspace.
+    pub fn open_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// `session.open`: one full analysis, kept warm under
+    /// `"{conn}/{name}"` for the delta queries to come.
+    ///
+    /// # Errors
+    ///
+    /// Returns read/parse/analysis failures — or a name collision — as
+    /// user-facing messages.
+    pub fn session_open(
+        &mut self,
+        conn: u64,
+        name: &str,
+        source: &Source,
+        default_delay: f64,
+    ) -> Result<String, String> {
+        let key = session_key(conn, name);
+        if self.sessions.contains_key(&key) {
+            return Err(format!("session {name:?} is already open"));
+        }
+        let text = source.read()?;
+        let sg = load(source.name(), &text, default_delay)?;
+        let session = AnalysisSession::open(sg).map_err(|e| e.to_string())?;
+        let mut out = format!(
+            "opened session {name:?}: {} events, {} arcs, {} border event(s)\n",
+            session.graph().event_count(),
+            session.graph().arc_count(),
+            session.analysis().border_events().len()
+        );
+        out.push_str(&session_summary(&session));
+        self.sessions.insert(key, session);
+        Ok(out)
+    }
+
+    /// `session.edit`: applies one batch of label-addressed delay edits,
+    /// re-simulating only the dirty region.
+    ///
+    /// # Errors
+    ///
+    /// Returns unknown-session, unresolvable-label and invalid-delay
+    /// failures as user-facing messages; the session survives them
+    /// unchanged.
+    pub fn session_edit(
+        &mut self,
+        conn: u64,
+        name: &str,
+        edits: &[EditSpec],
+    ) -> Result<String, String> {
+        let session = self
+            .sessions
+            .get_mut(&session_key(conn, name))
+            .ok_or_else(|| format!("no open session {name:?}"))?;
+        let delta = apply_edits(session, edits)?;
+        let mut out = session_summary(session);
+        let _ = writeln!(
+            out,
+            "re-simulated {} of {} border simulation(s) ({} of {} rows)",
+            delta.dirty, delta.borders, delta.rows, delta.rows_total
+        );
+        Ok(out)
+    }
+
+    /// `session.close`: discards the session's warm state.
+    ///
+    /// # Errors
+    ///
+    /// Returns an unknown-session message.
+    pub fn session_close(&mut self, conn: u64, name: &str) -> Result<String, String> {
+        let session = self
+            .sessions
+            .remove(&session_key(conn, name))
+            .ok_or_else(|| format!("no open session {name:?}"))?;
+        Ok(format!(
+            "closed session {name:?} after {} edit(s)\n",
+            session.edits_applied()
+        ))
+    }
+
+    /// Drops every session a disconnected client left open — the pool
+    /// broadcasts this to all workers when a connection ends.
+    pub fn close_conn_sessions(&mut self, conn: u64) {
+        let prefix = session_key(conn, "");
+        self.sessions.retain(|key, _| !key.starts_with(&prefix));
     }
 
     /// Gate-level event-driven simulation on the warm per-kind queue.

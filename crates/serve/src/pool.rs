@@ -1,30 +1,40 @@
 //! The persistent warm-pool request loop.
 //!
-//! [`serve`] reads newline-delimited JSON requests from any `BufRead`,
-//! executes them on a fixed pool of worker threads — each holding one
-//! warm [`Workspace`] (arena + pre-sized queues) for its whole lifetime
-//! — and streams responses back in request order. Request failures
-//! (unreadable files, parse errors, even panicking handlers) are
-//! isolated to their response line; the pool keeps serving.
+//! A [`Pool`] owns a fixed set of worker threads — each holding one warm
+//! [`Workspace`] (arena + pre-sized queues + open sessions) for its
+//! whole lifetime — and any number of protocol *sessions* can feed it
+//! concurrently: stdin/stdout runs one ([`serve`]), the socket
+//! transports run one per accepted connection over the same shared pool
+//! ([`serve_tcp`](crate::serve_tcp)). Request failures (unreadable
+//! files, parse errors, even panicking handlers) are isolated to their
+//! response line; the pool keeps serving.
 //!
-//! The pool is sized by the same [`BatchRunner::sized`] rule as every
-//! batch API in the workspace, and workers claim requests dynamically,
-//! so a slow analysis on one worker never idles the others. A dedicated
-//! writer thread reorders completions back into request order (a
-//! `BTreeMap` keyed by arrival sequence) and flushes after every
-//! response, so a client pipelining requests sees each answer as soon as
-//! ordering allows.
+//! Two dispatch lanes feed the workers:
+//!
+//! * the **shared lane** — ordinary requests, claimed dynamically, so a
+//!   slow analysis on one worker never idles the others;
+//! * the **pinned lanes** — one FIFO per worker. Every request naming
+//!   an incremental session (`session.open`/`edit`/`close`) is pinned
+//!   to the worker `hash(connection, name)` selects, so a session's
+//!   whole life executes in request order against one workspace's warm
+//!   state — no cross-worker state handoff, no reordering of edits.
+//!
+//! Each protocol session has a dedicated writer thread that reorders
+//! completions back into request order (a `BTreeMap` keyed by arrival
+//! sequence) and flushes after every response, so a client pipelining
+//! requests sees each answer as soon as ordering allows.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, BufRead, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Mutex};
-
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 use std::time::Duration;
 
 use tsg_sim::BatchRunner;
 
+use crate::json::Json;
 use crate::ops::{Source, Workspace};
 use crate::protocol::{self, Command, Request};
 
@@ -40,7 +50,7 @@ pub struct ServeOptions {
     pub threads: Option<usize>,
 }
 
-/// Counters of a finished serve session.
+/// Counters of a pool (or a finished serve run).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ServeStats {
     /// Requests answered with `ok: true`.
@@ -51,174 +61,350 @@ pub struct ServeStats {
     pub threads: usize,
 }
 
-/// One accepted request line, tagged with its arrival order.
-struct Job {
-    seq: u64,
-    line: String,
+/// What a queued job carries.
+enum JobPayload {
+    /// One request line, already parsed by the dispatching session.
+    Request {
+        /// The protocol session (connection) the request arrived on.
+        conn: u64,
+        /// The parse outcome; errors become `ok: false` responses.
+        parsed: Result<Request, (Json, String)>,
+    },
+    /// Housekeeping broadcast: a connection ended, drop its sessions.
+    CloseSessions {
+        /// The ended connection.
+        conn: u64,
+    },
 }
 
-/// Runs the request loop until `input` reaches EOF (or `shutdown` is
-/// raised), streaming one response line per request to `output` in
-/// request order.
-///
-/// Blank lines and `#` comment lines are skipped, so request scripts
-/// can be annotated. Input is drained on a dedicated thread, so a
-/// raised `shutdown` flag takes effect within one poll interval even
-/// while the session is blocked waiting for the next request line
-/// (`read` restarts after a signal under glibc's `SA_RESTART`, so
-/// checking the flag only between reads would leave an idle session
-/// uninterruptible): accepted requests finish, responses flush, and the
-/// loop exits cleanly.
-///
-/// # Errors
-///
-/// Returns I/O errors of the input or output stream. Request-level
-/// failures are *not* errors: they become `ok: false` response lines
-/// and count into [`ServeStats::failed`].
-pub fn serve<R, W>(
-    input: R,
-    mut output: W,
-    opts: &ServeOptions,
-    shutdown: Option<&AtomicBool>,
-) -> io::Result<ServeStats>
-where
-    R: BufRead + Send + 'static,
-    W: Write + Send,
-{
-    let threads = BatchRunner::sized(opts.threads).threads();
-    let served = AtomicU64::new(0);
-    let failed = AtomicU64::new(0);
+/// One queued unit of work, tagged with its per-connection arrival
+/// order and the channel its response (if any) goes back on.
+struct Job {
+    seq: u64,
+    payload: JobPayload,
+    reply: Option<mpsc::Sender<(u64, String)>>,
+}
 
-    let (job_tx, job_rx) = mpsc::channel::<Job>();
-    let job_rx = Mutex::new(job_rx);
-    let (res_tx, res_rx) = mpsc::channel::<(u64, String)>();
+/// The two dispatch lanes; see the module docs.
+struct JobQueues {
+    shared: VecDeque<Job>,
+    pinned: Vec<VecDeque<Job>>,
+    closed: bool,
+}
 
-    let mut read_err: Option<io::Error> = None;
-    let write_result: io::Result<()> = std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let res_tx = res_tx.clone();
-            let (job_rx, served, failed) = (&job_rx, &served, &failed);
-            scope.spawn(move || {
-                // The warm state: lives as long as the pool, reused by
-                // every request this worker claims.
-                let mut workspace = Workspace::new();
+/// State shared between the pool handle and its workers.
+struct PoolShared {
+    queues: Mutex<JobQueues>,
+    available: Condvar,
+    served: AtomicU64,
+    failed: AtomicU64,
+    threads: usize,
+    next_conn: AtomicU64,
+}
+
+/// A persistent warm worker pool; see the module docs.
+///
+/// Dropping the pool closes the queues, drains what was accepted and
+/// joins the workers.
+pub struct Pool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawns a pool with `threads` workers (`None` = all cores, via
+    /// [`BatchRunner::sized`]), each owning one warm [`Workspace`].
+    pub fn new(threads: Option<usize>) -> Self {
+        let threads = BatchRunner::sized(threads).threads();
+        let shared = Arc::new(PoolShared {
+            queues: Mutex::new(JobQueues {
+                shared: VecDeque::new(),
+                pinned: (0..threads).map(|_| VecDeque::new()).collect(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            served: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            threads,
+            next_conn: AtomicU64::new(0),
+        });
+        let workers = (0..threads)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared, index))
+            })
+            .collect();
+        Pool { shared, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.shared.threads
+    }
+
+    /// Pool-wide counters: requests completed so far across every
+    /// protocol session this pool served.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            served: self.shared.served.load(Ordering::SeqCst),
+            failed: self.shared.failed.load(Ordering::SeqCst),
+            threads: self.shared.threads,
+        }
+    }
+
+    /// The worker every request naming session `name` on connection
+    /// `conn` is pinned to (FNV-1a, stable within the process).
+    fn pin_of(&self, conn: u64, name: &str) -> usize {
+        const FNV_PRIME: u64 = 0x100_0000_01b3;
+        let mut hash = 0xcbf2_9ce4_8422_2325u64 ^ conn.wrapping_mul(FNV_PRIME);
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        (hash % self.shared.threads as u64) as usize
+    }
+
+    /// Enqueues a job on the shared lane or a worker's pinned lane.
+    fn submit(&self, pin: Option<usize>, job: Job) {
+        let mut queues = self
+            .shared
+            .queues
+            .lock()
+            .expect("pool mutex never poisoned");
+        match pin {
+            Some(worker) => queues.pinned[worker].push_back(job),
+            None => queues.shared.push_back(job),
+        }
+        drop(queues);
+        match pin {
+            // Only the pinned worker can take it, and the condvar cannot
+            // target a thread: wake everyone, the wrong ones re-sleep.
+            Some(_) => self.shared.available.notify_all(),
+            None => self.shared.available.notify_one(),
+        }
+    }
+
+    /// Runs one protocol session over this pool until `input` reaches
+    /// EOF (or `shutdown` is raised), streaming one response line per
+    /// request to `output` in request order.
+    ///
+    /// Blank lines and `#` comment lines are skipped, so request
+    /// scripts can be annotated. Input is drained on a dedicated thread,
+    /// so a raised `shutdown` flag takes effect within one poll interval
+    /// even while the session is blocked waiting for the next request
+    /// line (`read` restarts after a signal under glibc's `SA_RESTART`,
+    /// so checking the flag only between reads would leave an idle
+    /// session uninterruptible): accepted requests finish, responses
+    /// flush, and the loop exits cleanly. When the session ends, the
+    /// client's open incremental sessions are swept from every worker.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors of the input or output stream. Request-level
+    /// failures are *not* errors: they become `ok: false` response
+    /// lines and count into the pool's `failed` counter.
+    pub fn serve_session<R, W>(
+        &self,
+        input: R,
+        mut output: W,
+        shutdown: Option<&AtomicBool>,
+    ) -> io::Result<()>
+    where
+        R: BufRead + Send + 'static,
+        W: Write + Send,
+    {
+        let conn = self.shared.next_conn.fetch_add(1, Ordering::SeqCst);
+        let (res_tx, res_rx) = mpsc::channel::<(u64, String)>();
+
+        let mut read_err: Option<io::Error> = None;
+        let write_result: io::Result<()> = std::thread::scope(|scope| {
+            let writer = scope.spawn(move || -> io::Result<()> {
+                let mut pending: BTreeMap<u64, String> = BTreeMap::new();
+                let mut next = 0u64;
+                for (seq, response) in res_rx {
+                    pending.insert(seq, response);
+                    // Flush every response the order now allows.
+                    while let Some(ready) = pending.remove(&next) {
+                        output.write_all(ready.as_bytes())?;
+                        output.write_all(b"\n")?;
+                        output.flush()?;
+                        next += 1;
+                    }
+                }
+                Ok(())
+            });
+
+            // Input drains on a detached thread (it may sit in a
+            // blocking `read` indefinitely); the session loop on the
+            // caller's thread polls it alongside the shutdown flag,
+            // parses accepted lines, tags them with their arrival order
+            // and feeds the pool — pinned to a worker when the request
+            // names an incremental session. After a shutdown the
+            // detached reader unblocks at its next line (or EOF/process
+            // exit) and finds the channel closed.
+            let (line_tx, line_rx) = mpsc::channel::<io::Result<String>>();
+            std::thread::spawn(move || {
+                let mut input = input;
+                let mut line = String::new();
                 loop {
-                    // Holding the lock across `recv` parks one idle
-                    // worker at a time; the others queue on the mutex.
-                    // Dispatch is serialized, execution is parallel.
-                    let job = { job_rx.lock().expect("reader never panics").recv() };
-                    let Ok(job) = job else {
-                        break; // input closed and queue drained
+                    line.clear();
+                    let result = match input.read_line(&mut line) {
+                        Ok(0) => break, // EOF
+                        Ok(_) => Ok(std::mem::take(&mut line)),
+                        Err(e) => Err(e),
                     };
-                    let response = handle(&job.line, &mut workspace, served, failed, threads);
-                    if res_tx.send((job.seq, response)).is_err() {
-                        break; // writer gone (output error): stop early
+                    let failed = result.is_err();
+                    if line_tx.send(result).is_err() || failed {
+                        break;
                     }
                 }
             });
-        }
-        drop(res_tx);
-
-        let writer = scope.spawn(move || -> io::Result<()> {
-            let mut pending: BTreeMap<u64, String> = BTreeMap::new();
-            let mut next = 0u64;
-            for (seq, response) in res_rx {
-                pending.insert(seq, response);
-                // Flush every response the order now allows.
-                while let Some(ready) = pending.remove(&next) {
-                    output.write_all(ready.as_bytes())?;
-                    output.write_all(b"\n")?;
-                    output.flush()?;
-                    next += 1;
-                }
-            }
-            Ok(())
-        });
-
-        // Input drains on a detached thread (it may sit in a blocking
-        // `read` indefinitely); the session loop on the caller's thread
-        // polls it alongside the shutdown flag, tags accepted lines with
-        // their arrival order, and feeds the pool. After a shutdown the
-        // detached reader unblocks at its next line (or EOF/process
-        // exit) and finds the channel closed.
-        let (line_tx, line_rx) = mpsc::channel::<io::Result<String>>();
-        std::thread::spawn(move || {
-            let mut input = input;
-            let mut line = String::new();
+            let mut seq = 0u64;
             loop {
-                line.clear();
-                let result = match input.read_line(&mut line) {
-                    Ok(0) => break, // EOF
-                    Ok(_) => Ok(std::mem::take(&mut line)),
-                    Err(e) => Err(e),
-                };
-                let failed = result.is_err();
-                if line_tx.send(result).is_err() || failed {
+                if shutdown.is_some_and(|flag| flag.load(Ordering::SeqCst)) {
                     break;
                 }
+                if writer.is_finished() {
+                    break; // output died: stop accepting for this session
+                }
+                match line_rx.recv_timeout(SHUTDOWN_POLL) {
+                    Ok(Ok(line)) => {
+                        let trimmed = line.trim();
+                        if trimmed.is_empty() || trimmed.starts_with('#') {
+                            continue;
+                        }
+                        let parsed = protocol::parse_request(trimmed);
+                        let pin = parsed
+                            .as_ref()
+                            .ok()
+                            .and_then(|request| request.cmd.session_name())
+                            .map(|name| self.pin_of(conn, name));
+                        self.submit(
+                            pin,
+                            Job {
+                                seq,
+                                payload: JobPayload::Request { conn, parsed },
+                                reply: Some(res_tx.clone()),
+                            },
+                        );
+                        seq += 1;
+                    }
+                    Ok(Err(e)) => {
+                        read_err = Some(e);
+                        break;
+                    }
+                    Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break, // EOF
+                }
             }
+            // Sweep the client's sessions from every worker. The pinned
+            // lanes are FIFO, so the sweep runs after every accepted
+            // session request.
+            for worker in 0..self.shared.threads {
+                self.submit(
+                    Some(worker),
+                    Job {
+                        seq: 0,
+                        payload: JobPayload::CloseSessions { conn },
+                        reply: None,
+                    },
+                );
+            }
+            // The writer exits once every accepted job's reply sender is
+            // gone: all responses flushed.
+            drop(res_tx);
+            writer.join().expect("writer thread never panics")
         });
-        let mut seq = 0u64;
-        loop {
-            if shutdown.is_some_and(|flag| flag.load(Ordering::SeqCst)) {
-                break;
-            }
-            match line_rx.recv_timeout(SHUTDOWN_POLL) {
-                Ok(Ok(line)) => {
-                    let trimmed = line.trim();
-                    if trimmed.is_empty() || trimmed.starts_with('#') {
-                        continue;
-                    }
-                    let job = Job {
-                        seq,
-                        line: trimmed.to_owned(),
-                    };
-                    if job_tx.send(job).is_err() {
-                        break; // pool gone (only happens after an output error)
-                    }
-                    seq += 1;
-                }
-                Ok(Err(e)) => {
-                    read_err = Some(e);
-                    break;
-                }
-                Err(mpsc::RecvTimeoutError::Timeout) => continue,
-                Err(mpsc::RecvTimeoutError::Disconnected) => break, // EOF
-            }
-        }
-        // Closing the job channel drains the pool: workers finish what
-        // was accepted, then exit; the writer follows once the last
-        // result is flushed.
-        drop(job_tx);
-        writer.join().expect("writer thread never panics")
-    });
 
-    write_result?;
-    if let Some(e) = read_err {
-        return Err(e);
+        write_result?;
+        if let Some(e) = read_err {
+            return Err(e);
+        }
+        Ok(())
     }
-    Ok(ServeStats {
-        served: served.load(Ordering::SeqCst),
-        failed: failed.load(Ordering::SeqCst),
-        threads,
-    })
 }
 
-/// Executes one request line against a worker's warm workspace and
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut queues = self
+                .shared
+                .queues
+                .lock()
+                .expect("pool mutex never poisoned");
+            queues.closed = true;
+        }
+        self.shared.available.notify_all();
+        for worker in self.workers.drain(..) {
+            worker.join().expect("worker threads never panic");
+        }
+    }
+}
+
+/// One worker: claims jobs — own pinned lane first, then the shared
+/// lane — against its lifelong warm workspace.
+fn worker_loop(shared: &PoolShared, index: usize) {
+    let mut workspace = Workspace::new();
+    loop {
+        let job = {
+            let mut queues = shared.queues.lock().expect("pool mutex never poisoned");
+            loop {
+                if let Some(job) = queues.pinned[index].pop_front() {
+                    break Some(job);
+                }
+                if let Some(job) = queues.shared.pop_front() {
+                    break Some(job);
+                }
+                if queues.closed {
+                    break None;
+                }
+                queues = shared
+                    .available
+                    .wait(queues)
+                    .expect("pool mutex never poisoned");
+            }
+        };
+        let Some(job) = job else {
+            break; // pool closed and queues drained
+        };
+        match job.payload {
+            JobPayload::CloseSessions { conn } => workspace.close_conn_sessions(conn),
+            JobPayload::Request { conn, parsed } => {
+                let response = handle(conn, parsed, &mut workspace, shared);
+                if let Some(reply) = &job.reply {
+                    // A dead session writer just discards the response;
+                    // the pool keeps serving its other sessions.
+                    let _ = reply.send((job.seq, response));
+                }
+            }
+        }
+    }
+}
+
+/// Executes one parsed request against a worker's warm workspace and
 /// renders its response. Never panics: handler panics are caught and
 /// reported as that request's failure.
 fn handle(
-    line: &str,
+    conn: u64,
+    parsed: Result<Request, (Json, String)>,
     workspace: &mut Workspace,
-    served: &AtomicU64,
-    failed: &AtomicU64,
-    threads: usize,
+    shared: &PoolShared,
 ) -> String {
-    let Request { id, cmd } = match protocol::parse_request(line) {
+    let Request { id, cmd } = match parsed {
         Ok(req) => req,
         Err((id, msg)) => {
-            failed.fetch_add(1, Ordering::SeqCst);
+            shared.failed.fetch_add(1, Ordering::SeqCst);
             return protocol::err_response(&id, &msg);
+        }
+    };
+    let respond = |result: Result<String, String>| match result {
+        Ok(output) => {
+            shared.served.fetch_add(1, Ordering::SeqCst);
+            protocol::ok_response(&id, &output)
+        }
+        Err(e) => {
+            shared.failed.fetch_add(1, Ordering::SeqCst);
+            protocol::err_response(&id, &e)
         }
     };
     match cmd {
@@ -226,33 +412,15 @@ fn handle(
             // Snapshot first so the stats request does not count itself.
             let response = protocol::stats_response(
                 &id,
-                served.load(Ordering::SeqCst),
-                failed.load(Ordering::SeqCst),
-                threads,
+                shared.served.load(Ordering::SeqCst),
+                shared.failed.load(Ordering::SeqCst),
+                shared.threads,
             );
-            served.fetch_add(1, Ordering::SeqCst);
+            shared.served.fetch_add(1, Ordering::SeqCst);
             response
         }
-        Command::Analyze { source, opts } => match isolate(|| workspace.analyze(&source, &opts)) {
-            Ok(output) => {
-                served.fetch_add(1, Ordering::SeqCst);
-                protocol::ok_response(&id, &output)
-            }
-            Err(e) => {
-                failed.fetch_add(1, Ordering::SeqCst);
-                protocol::err_response(&id, &e)
-            }
-        },
-        Command::Sim { source, opts } => match isolate(|| workspace.simulate(&source, &opts)) {
-            Ok(output) => {
-                served.fetch_add(1, Ordering::SeqCst);
-                protocol::ok_response(&id, &output)
-            }
-            Err(e) => {
-                failed.fetch_add(1, Ordering::SeqCst);
-                protocol::err_response(&id, &e)
-            }
-        },
+        Command::Analyze { source, opts } => respond(isolate(|| workspace.analyze(&source, &opts))),
+        Command::Sim { source, opts } => respond(isolate(|| workspace.simulate(&source, &opts))),
         Command::Batch { paths, opts } => {
             let results: Vec<Result<String, String>> = paths
                 .iter()
@@ -260,8 +428,21 @@ fn handle(
                 .collect();
             // A batch is one request: it always yields an ok response
             // with per-item results inline.
-            served.fetch_add(1, Ordering::SeqCst);
+            shared.served.fetch_add(1, Ordering::SeqCst);
             protocol::batch_response(&id, &results)
+        }
+        Command::SessionOpen {
+            session,
+            source,
+            default_delay,
+        } => respond(isolate(|| {
+            workspace.session_open(conn, &session, &source, default_delay)
+        })),
+        Command::SessionEdit { session, edits } => {
+            respond(isolate(|| workspace.session_edit(conn, &session, &edits)))
+        }
+        Command::SessionClose { session } => {
+            respond(isolate(|| workspace.session_close(conn, &session)))
         }
     }
 }
@@ -283,4 +464,27 @@ where
             Err(format!("internal error: request handler panicked: {msg}"))
         }
     }
+}
+
+/// Runs a single protocol session over a freshly spawned pool — the
+/// stdin/stdout serve mode, and the entry point in-memory tests drive.
+///
+/// # Errors
+///
+/// Returns I/O errors of the input or output stream; request-level
+/// failures become `ok: false` response lines and count into
+/// [`ServeStats::failed`].
+pub fn serve<R, W>(
+    input: R,
+    output: W,
+    opts: &ServeOptions,
+    shutdown: Option<&AtomicBool>,
+) -> io::Result<ServeStats>
+where
+    R: BufRead + Send + 'static,
+    W: Write + Send,
+{
+    let pool = Pool::new(opts.threads);
+    pool.serve_session(input, output, shutdown)?;
+    Ok(pool.stats())
 }

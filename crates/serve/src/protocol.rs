@@ -10,7 +10,19 @@
 //! {"id": 3, "cmd": "sim", "text": ".model m\n...", "name": "inline.g"}
 //! {"id": 4, "cmd": "batch", "paths": ["a.g", "b.g"]}
 //! {"id": 5, "cmd": "stats"}
+//! {"id": 6, "cmd": "session.open", "session": "s1", "path": "spec.g"}
+//! {"id": 7, "cmd": "session.edit", "session": "s1",
+//!  "edits": [{"src": "a+", "dst": "c+", "delay": 5}]}
+//! {"id": 8, "cmd": "session.close", "session": "s1"}
 //! ```
+//!
+//! The `session.*` commands drive an incremental
+//! [`AnalysisSession`](tsg_core::analysis::session::AnalysisSession):
+//! `open` runs the full analysis once and keeps it warm, each `edit`
+//! re-simulates only the dirty region, `close` discards the state. All
+//! requests naming one session are *pinned to one worker* (and sessions
+//! are scoped to their connection), so edits execute in request order
+//! against warm state.
 //!
 //! Responses always carry `id` and `ok`:
 //!
@@ -26,7 +38,7 @@
 //! of silently running with defaults.
 
 use crate::json::Json;
-use crate::ops::{AnalyzeOptions, SimOptions, Source};
+use crate::ops::{AnalyzeOptions, EditSpec, SimOptions, Source};
 use tsg_sim::QueueKind;
 
 /// A parsed request body.
@@ -56,6 +68,40 @@ pub enum Command {
     },
     /// Service counters snapshot.
     Stats,
+    /// Open an incremental analysis session under a client-chosen name.
+    SessionOpen {
+        /// The session name (scoped to the connection).
+        session: String,
+        /// Where the specification text comes from.
+        source: Source,
+        /// Delay assigned to arcs without a `.delay` annotation.
+        default_delay: f64,
+    },
+    /// Apply a batch of delay edits to an open session.
+    SessionEdit {
+        /// The session name.
+        session: String,
+        /// Label-addressed delay edits, applied as one batch.
+        edits: Vec<EditSpec>,
+    },
+    /// Close a session, discarding its warm state.
+    SessionClose {
+        /// The session name.
+        session: String,
+    },
+}
+
+impl Command {
+    /// The session this command addresses, if any — what the dispatcher
+    /// pins to a worker so per-session execution order is request order.
+    pub fn session_name(&self) -> Option<&str> {
+        match self {
+            Command::SessionOpen { session, .. }
+            | Command::SessionEdit { session, .. }
+            | Command::SessionClose { session } => Some(session),
+            _ => None,
+        }
+    }
 }
 
 /// One parsed request line.
@@ -121,6 +167,17 @@ pub fn parse_request(line: &str) -> Result<Request, (Json, String)> {
             "default_delay",
         ],
         "stats" => &["id", "cmd"],
+        "session.open" => &[
+            "id",
+            "cmd",
+            "session",
+            "path",
+            "text",
+            "name",
+            "default_delay",
+        ],
+        "session.edit" => &["id", "cmd", "session", "edits"],
+        "session.close" => &["id", "cmd", "session"],
         other => return Err(fail(format!("unknown cmd {other:?}"))),
     };
     for (key, _) in fields {
@@ -165,9 +222,76 @@ pub fn parse_request(line: &str) -> Result<Request, (Json, String)> {
             }
         }
         "stats" => Command::Stats,
+        "session.open" => Command::SessionOpen {
+            session: session_of(&doc).map_err(&fail)?,
+            source: source_of(&doc).map_err(&fail)?,
+            default_delay: match doc.get("default_delay") {
+                None => 1.0,
+                Some(v) => v
+                    .as_f64()
+                    .ok_or_else(|| fail("\"default_delay\" must be a number".to_owned()))?,
+            },
+        },
+        "session.edit" => Command::SessionEdit {
+            session: session_of(&doc).map_err(&fail)?,
+            edits: edits_of(&doc).map_err(&fail)?,
+        },
+        "session.close" => Command::SessionClose {
+            session: session_of(&doc).map_err(&fail)?,
+        },
         _ => unreachable!("cmd validated above"),
     };
     Ok(Request { id, cmd: body })
+}
+
+/// Extracts the mandatory `session` name field.
+fn session_of(doc: &Json) -> Result<String, String> {
+    doc.get("session")
+        .ok_or("session commands need a \"session\" name".to_owned())?
+        .as_str()
+        .filter(|s| !s.is_empty())
+        .map(str::to_owned)
+        .ok_or("\"session\" must be a non-empty string".to_owned())
+}
+
+/// Extracts the `edits` array of `{src, dst, delay}` objects.
+fn edits_of(doc: &Json) -> Result<Vec<EditSpec>, String> {
+    let items = doc
+        .get("edits")
+        .ok_or("session.edit needs an \"edits\" array".to_owned())?
+        .as_array()
+        .ok_or("\"edits\" must be an array".to_owned())?;
+    if items.is_empty() {
+        return Err("\"edits\" must not be empty".to_owned());
+    }
+    items
+        .iter()
+        .map(|item| {
+            let fields = item
+                .entries()
+                .ok_or_else(|| "each edit must be a {src, dst, delay} object".to_owned())?;
+            for (key, _) in fields {
+                if !matches!(key.as_str(), "src" | "dst" | "delay") {
+                    return Err(format!("unknown edit field {key:?}"));
+                }
+            }
+            let label = |key: &str| {
+                item.get(key)
+                    .and_then(Json::as_str)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_owned)
+                    .ok_or(format!("edit {key:?} must be a non-empty event label"))
+            };
+            Ok(EditSpec {
+                src: label("src")?,
+                dst: label("dst")?,
+                delay: item
+                    .get("delay")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| "edit \"delay\" must be a number".to_owned())?,
+            })
+        })
+        .collect()
 }
 
 /// Extracts the `path` / `text`(+`name`) source fields.

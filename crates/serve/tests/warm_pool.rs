@@ -259,6 +259,258 @@ fn shutdown_flag_stops_accepting_but_flushes_accepted_work() {
 }
 
 #[test]
+fn incremental_session_protocol_round_trips() {
+    // open → edit (dirty subset) → edit back → close, plus the error
+    // paths: unknown session, double open, bad labels. Single worker so
+    // the script is fully deterministic.
+    let osc = Json::from(tsg_stg::EXAMPLE_OSCILLATOR);
+    let edit = |id: f64, src: &str, dst: &str, delay: f64| {
+        req(&[
+            ("id", Json::Num(id)),
+            ("cmd", Json::from("session.edit")),
+            ("session", Json::from("s1")),
+            (
+                "edits",
+                Json::Arr(vec![Json::Obj(vec![
+                    ("src".to_owned(), Json::from(src)),
+                    ("dst".to_owned(), Json::from(dst)),
+                    ("delay".to_owned(), Json::Num(delay)),
+                ])]),
+            ),
+        ])
+    };
+    let script = [
+        req(&[
+            ("id", Json::Num(0.0)),
+            ("cmd", Json::from("session.open")),
+            ("session", Json::from("s1")),
+            ("text", osc.clone()),
+            ("name", Json::from("osc.g")),
+        ]),
+        edit(1.0, "a+", "c+", 8.0),
+        edit(2.0, "a+", "c+", 3.0),
+        // Error paths, all isolated per request:
+        req(&[
+            ("id", Json::Num(3.0)),
+            ("cmd", Json::from("session.open")),
+            ("session", Json::from("s1")),
+            ("text", osc.clone()),
+        ]),
+        req(&[
+            ("id", Json::Num(4.0)),
+            ("cmd", Json::from("session.edit")),
+            ("session", Json::from("nope")),
+            (
+                "edits",
+                Json::Arr(vec![Json::Obj(vec![
+                    ("src".to_owned(), Json::from("a+")),
+                    ("dst".to_owned(), Json::from("c+")),
+                    ("delay".to_owned(), Json::Num(1.0)),
+                ])]),
+            ),
+        ]),
+        edit(5.0, "a+", "zz", 1.0),
+        req(&[
+            ("id", Json::Num(6.0)),
+            ("cmd", Json::from("session.close")),
+            ("session", Json::from("s1")),
+        ]),
+        req(&[
+            ("id", Json::Num(7.0)),
+            ("cmd", Json::from("session.close")),
+            ("session", Json::from("s1")),
+        ]),
+    ]
+    .join("\n")
+        + "\n";
+    let responses = session(&script, 1);
+    assert_eq!(responses.len(), 8);
+    let out = |i: usize| responses[i].get("output").and_then(Json::as_str).unwrap();
+    let err = |i: usize| responses[i].get("error").and_then(Json::as_str).unwrap();
+
+    assert!(out(0).contains("opened session \"s1\""), "{}", out(0));
+    assert!(out(0).contains("cycle time: 10"), "{}", out(0));
+    // Stretching a+ -> c+ to 8 moves τ to 15 (the a-loop lengthens by 5).
+    assert!(out(1).contains("cycle time: 15"), "{}", out(1));
+    assert!(out(1).contains("re-simulated"), "{}", out(1));
+    // Editing back restores the original analysis exactly.
+    assert!(out(2).contains("cycle time: 10"), "{}", out(2));
+    assert!(err(3).contains("already open"), "{}", err(3));
+    assert!(err(4).contains("no open session \"nope\""), "{}", err(4));
+    assert!(err(5).contains("no event labelled \"zz\""), "{}", err(5));
+    assert!(out(6).contains("closed session \"s1\" after 2 edit(s)"));
+    assert!(err(7).contains("no open session"), "{}", err(7));
+}
+
+#[test]
+fn session_edits_survive_worker_pinning_under_load() {
+    // Many interleaved sessions and plain requests over several workers:
+    // per-session edit order must be request order (each session's final
+    // τ proves its last edit won), and responses still stream in global
+    // request order.
+    let osc = Json::from(tsg_stg::EXAMPLE_OSCILLATOR);
+    let mut script = String::new();
+    let mut id = 0.0;
+    for s in 0..6 {
+        script.push_str(&req(&[
+            ("id", Json::Num(id)),
+            ("cmd", Json::from("session.open")),
+            ("session", Json::from(format!("s{s}").as_str())),
+            ("text", osc.clone()),
+            ("name", Json::from("osc.g")),
+        ]));
+        script.push('\n');
+        id += 1.0;
+    }
+    // Interleave edits across sessions; the LAST edit per session sets
+    // a+ -> c+ to 3 + s, so τ = 10 + s.
+    for round in 0..4 {
+        for s in 0..6 {
+            let delay = if round < 3 {
+                20.0 + round as f64
+            } else {
+                3.0 + s as f64
+            };
+            script.push_str(&req(&[
+                ("id", Json::Num(id)),
+                ("cmd", Json::from("session.edit")),
+                ("session", Json::from(format!("s{s}").as_str())),
+                (
+                    "edits",
+                    Json::Arr(vec![Json::Obj(vec![
+                        ("src".to_owned(), Json::from("a+")),
+                        ("dst".to_owned(), Json::from("c+")),
+                        ("delay".to_owned(), Json::Num(delay)),
+                    ])]),
+                ),
+            ]));
+            script.push('\n');
+            id += 1.0;
+        }
+    }
+    let responses = session(&script, 4);
+    assert_eq!(responses.len(), 30);
+    for (i, r) in responses.iter().enumerate() {
+        assert_eq!(r.get("id"), Some(&Json::Num(i as f64)), "order");
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "request {i}");
+    }
+    for s in 0..6usize {
+        let last = &responses[6 + 18 + s];
+        let output = last.get("output").and_then(Json::as_str).unwrap();
+        let want = format!("cycle time: {}", 10 + s);
+        assert!(output.contains(&want), "session s{s}: {output}");
+    }
+}
+
+#[test]
+fn workspace_sweeps_a_connections_sessions() {
+    let mut ws = Workspace::new();
+    ws.session_open(1, "a", &inline_g(), 1.0).unwrap();
+    ws.session_open(1, "b", &inline_g(), 1.0).unwrap();
+    ws.session_open(2, "a", &inline_g(), 1.0).unwrap();
+    assert_eq!(ws.open_sessions(), 3);
+    ws.close_conn_sessions(1);
+    assert_eq!(ws.open_sessions(), 1);
+    // Connection 2's session survives and is still editable.
+    let out = ws
+        .session_edit(
+            2,
+            "a",
+            &[ops::EditSpec {
+                src: "a+".to_owned(),
+                dst: "c+".to_owned(),
+                delay: 6.0,
+            }],
+        )
+        .unwrap();
+    assert!(out.contains("cycle time: 13"), "{out}");
+    ws.close_conn_sessions(2);
+    assert_eq!(ws.open_sessions(), 0);
+}
+
+#[test]
+fn two_simultaneous_tcp_clients_share_one_pool() {
+    use std::io::{BufRead, BufReader};
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        serve_tcp(listener, &ServeOptions { threads: Some(2) }, None, Some(2)).unwrap()
+    });
+
+    let mut a = std::net::TcpStream::connect(addr).unwrap();
+    let mut b = std::net::TcpStream::connect(addr).unwrap();
+    let request = |id: f64| {
+        req(&[
+            ("id", Json::Num(id)),
+            ("cmd", Json::from("analyze")),
+            ("text", Json::from(tsg_stg::EXAMPLE_OSCILLATOR)),
+            ("name", Json::from("osc.g")),
+        ]) + "\n"
+    };
+    // B is served while A's connection is still open and idle — the old
+    // one-connection-at-a-time loop would block here forever.
+    b.write_all(request(2.0).as_bytes()).unwrap();
+    let mut b_reader = BufReader::new(b.try_clone().unwrap());
+    let mut line = String::new();
+    b_reader.read_line(&mut line).unwrap();
+    let response = Json::parse(line.trim()).unwrap();
+    assert_eq!(response.get("id"), Some(&Json::Num(2.0)));
+    assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+
+    // A still gets served afterwards, on the same pool.
+    a.write_all(request(1.0).as_bytes()).unwrap();
+    let mut a_reader = BufReader::new(a.try_clone().unwrap());
+    let mut line = String::new();
+    a_reader.read_line(&mut line).unwrap();
+    let response = Json::parse(line.trim()).unwrap();
+    assert_eq!(response.get("id"), Some(&Json::Num(1.0)));
+    assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+
+    a.shutdown(std::net::Shutdown::Both).unwrap();
+    b.shutdown(std::net::Shutdown::Both).unwrap();
+    let stats = server.join().unwrap();
+    assert_eq!((stats.served, stats.failed), (2, 0));
+    assert_eq!(stats.threads, 2);
+}
+
+#[test]
+fn sessions_are_scoped_per_connection() {
+    use std::io::{BufRead, BufReader};
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        serve_tcp(listener, &ServeOptions { threads: Some(2) }, None, Some(2)).unwrap()
+    });
+
+    let mut a = std::net::TcpStream::connect(addr).unwrap();
+    let mut b = std::net::TcpStream::connect(addr).unwrap();
+    let open = req(&[
+        ("id", Json::Num(1.0)),
+        ("cmd", Json::from("session.open")),
+        ("session", Json::from("shared-name")),
+        ("text", Json::from(tsg_stg::EXAMPLE_OSCILLATOR)),
+        ("name", Json::from("osc.g")),
+    ]) + "\n";
+    let read_one = |stream: &std::net::TcpStream| {
+        let mut line = String::new();
+        BufReader::new(stream.try_clone().unwrap())
+            .read_line(&mut line)
+            .unwrap();
+        Json::parse(line.trim()).unwrap()
+    };
+    a.write_all(open.as_bytes()).unwrap();
+    assert_eq!(read_one(&a).get("ok"), Some(&Json::Bool(true)));
+    // The same name opens independently on the other connection: no
+    // collision, because sessions are connection-scoped.
+    b.write_all(open.as_bytes()).unwrap();
+    assert_eq!(read_one(&b).get("ok"), Some(&Json::Bool(true)));
+
+    a.shutdown(std::net::Shutdown::Both).unwrap();
+    b.shutdown(std::net::Shutdown::Both).unwrap();
+    server.join().unwrap();
+}
+
+#[test]
 fn tcp_session_round_trips() {
     let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();

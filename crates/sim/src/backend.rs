@@ -67,6 +67,11 @@ pub trait QueueBackend<T> {
     fn capacity(&self) -> usize;
     /// Short label for benchmark output (`"binary_heap"`, `"calendar"`).
     fn name(&self) -> &'static str;
+    /// Visits every pending entry as `(time, seq, payload)`, in no
+    /// particular order — the storage-agnostic hook
+    /// [`EventQueue::checkpoint`](crate::EventQueue::checkpoint)
+    /// snapshots through. Canonicalising the order is the caller's job.
+    fn visit_entries(&self, visit: &mut dyn FnMut(f64, u64, &T));
 }
 
 /// Heap entry: min-ordered by `(time, seq)` under a reversed comparison.
@@ -167,6 +172,12 @@ impl<T> QueueBackend<T> for BinaryHeapQueue<T> {
 
     fn name(&self) -> &'static str {
         "binary_heap"
+    }
+
+    fn visit_entries(&self, visit: &mut dyn FnMut(f64, u64, &T)) {
+        for e in self.heap.iter() {
+            visit(e.time, e.seq, &e.payload);
+        }
     }
 }
 
@@ -296,6 +307,13 @@ impl<T> QueueBackend<T> for AnyQueue<T> {
         match self {
             AnyQueue::Heap(b) => b.name(),
             AnyQueue::Calendar(b) => b.name(),
+        }
+    }
+
+    fn visit_entries(&self, visit: &mut dyn FnMut(f64, u64, &T)) {
+        match self {
+            AnyQueue::Heap(b) => b.visit_entries(visit),
+            AnyQueue::Calendar(b) => b.visit_entries(visit),
         }
     }
 }

@@ -287,6 +287,12 @@ impl<T> QueueBackend<T> for CalendarQueue<T> {
     fn name(&self) -> &'static str {
         "calendar"
     }
+
+    fn visit_entries(&self, visit: &mut dyn FnMut(f64, u64, &T)) {
+        for slot in self.buckets.iter().flatten() {
+            visit(slot.event.time, slot.event.seq, &slot.event.payload);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -47,5 +47,5 @@ pub mod trace;
 pub use backend::{AnyQueue, BinaryHeapQueue, QueueBackend, QueueKind};
 pub use batch::BatchRunner;
 pub use calendar::CalendarQueue;
-pub use queue::{Event, EventQueue, ScheduleError};
+pub use queue::{Event, EventQueue, QueueCheckpoint, ScheduleError};
 pub use trace::{TraceId, TraceRecorder};

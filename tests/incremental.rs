@@ -1,0 +1,183 @@
+//! Incremental analysis sessions against the from-scratch algorithm.
+//!
+//! The correctness bar of `AnalysisSession`: after *any* sequence of
+//! delay edits on *any* graph, the session's analysis is bit-identical
+//! to `CycleTimeAnalysis::run` on the edited graph — same cycle-time
+//! bits, same critical cycle, same border records. These properties
+//! drive random edit scripts over every `tsg_gen` generator family
+//! (rings, tori, handshake pipelines, seeded random live graphs), and
+//! pin the kernel checkpoint machinery underneath: the paused
+//! event simulation resumes bit-identically on either queue backend.
+
+use proptest::prelude::*;
+use tsg::core::analysis::event_sim::{EventSimScratch, EventSimulation};
+use tsg::core::analysis::session::{AnalysisSession, DelayEdit};
+use tsg::core::analysis::CycleTimeAnalysis;
+use tsg::core::{ArcId, SignalGraph};
+use tsg::gen::{handshake_pipeline, random_live_tsg, ring, torus, PipelineConfig, RandomTsgConfig};
+use tsg::sim::QueueKind;
+
+/// One generated graph per `(family, seed)` pair, covering every
+/// generator family with modest sizes.
+fn graph(family: usize, seed: u64) -> SignalGraph {
+    match family % 4 {
+        0 => ring(4 + (seed % 29) as usize, 1 + (seed % 5) as usize, 1.5),
+        1 => torus(
+            2 + (seed % 3) as usize,
+            2 + (seed / 3 % 4) as usize,
+            2.0,
+            3.0,
+        ),
+        2 => handshake_pipeline(
+            1 + (seed % 5) as usize,
+            PipelineConfig {
+                req_delay: 2.0,
+                ack_delay: 1.0,
+                coupling_delay: 1.0 + (seed % 3) as f64,
+            },
+        ),
+        _ => random_live_tsg(seed, RandomTsgConfig::default()),
+    }
+}
+
+/// A deterministic edit script from one seed: arc indices stride
+/// through the graph, delays cycle through a small value set (including
+/// repeats and zeros).
+fn script(sg: &SignalGraph, seed: u64, count: usize) -> Vec<DelayEdit> {
+    let m = sg.arc_count() as u64;
+    (0..count as u64)
+        .map(|i| {
+            let k = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(i * 37);
+            DelayEdit {
+                arc: ArcId((k % m) as u32),
+                delay: [0.0, 0.5, 1.0, 2.5, 4.0, 7.25][(k / m % 6) as usize],
+            }
+        })
+        .collect()
+}
+
+fn assert_session_matches_scratch(session: &AnalysisSession, ctx: &str) {
+    let scratch = CycleTimeAnalysis::run(session.graph()).expect("graph stays live");
+    let a = session.analysis();
+    assert_eq!(
+        a.cycle_time().as_f64().to_bits(),
+        scratch.cycle_time().as_f64().to_bits(),
+        "{ctx}: cycle time bits"
+    );
+    assert_eq!(
+        a.cycle_time().periods(),
+        scratch.cycle_time().periods(),
+        "{ctx}: periods"
+    );
+    assert_eq!(a.critical_cycle(), scratch.critical_cycle(), "{ctx}: cycle");
+    assert_eq!(
+        a.critical_borders(),
+        scratch.critical_borders(),
+        "{ctx}: critical borders"
+    );
+    assert_eq!(a.border_events(), scratch.border_events(), "{ctx}: borders");
+    for (ra, rb) in a.records().iter().zip(scratch.records()) {
+        assert_eq!(ra.event, rb.event, "{ctx}");
+        assert_eq!(ra.distances, rb.distances, "{ctx}: record distances");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The acceptance criterion: random edit sequences on every
+    /// generator family, each step bit-identical to from-scratch.
+    #[test]
+    fn random_edit_sequences_match_from_scratch(
+        family in 0usize..4,
+        seed in 0u64..10_000,
+        edits in 1usize..10,
+    ) {
+        let sg = graph(family, seed);
+        let mut session = AnalysisSession::open(sg).expect("generated graphs are live");
+        for (step, e) in script(session.graph(), seed, edits).into_iter().enumerate() {
+            let delta = session.edit_delay(e.arc, e.delay).unwrap();
+            prop_assert!(delta.rows <= delta.rows_total);
+            prop_assert!(delta.dirty <= delta.borders);
+            assert_session_matches_scratch(
+                &session,
+                &format!("family {family} seed {seed} step {step}"),
+            );
+        }
+    }
+
+    /// Batched edits apply atomically and match from-scratch too.
+    #[test]
+    fn batched_edits_match_from_scratch(
+        family in 0usize..4,
+        seed in 0u64..10_000,
+        edits in 2usize..8,
+    ) {
+        let sg = graph(family, seed);
+        let mut session = AnalysisSession::open(sg).expect("generated graphs are live");
+        let batch = script(session.graph(), seed, edits);
+        session.edit_delays(&batch).unwrap();
+        assert_session_matches_scratch(&session, &format!("family {family} seed {seed} batch"));
+    }
+
+    /// The kernel checkpoint underneath: an event simulation paused at
+    /// a random time resumes to the uninterrupted result — on both
+    /// queue backends, including pausing on one and resuming on the
+    /// other (a `QueueCheckpoint` is storage-independent), and on
+    /// graphs whose delays a session has already edited.
+    #[test]
+    fn paused_event_simulation_resumes_bit_identically(
+        family in 0usize..4,
+        seed in 0u64..10_000,
+        edits in 0usize..6,
+        periods in 1u32..5,
+        pause_quarter in 0u32..160,
+    ) {
+        let pause_at = f64::from(pause_quarter) * 0.25;
+        let mut session = AnalysisSession::open(graph(family, seed)).expect("live");
+        for e in script(session.graph(), seed, edits) {
+            session.edit_delay(e.arc, e.delay).unwrap();
+        }
+        let sg = session.graph();
+        let straight = EventSimulation::run(sg, periods);
+        for (pause_kind, resume_kind) in [
+            (QueueKind::Heap, QueueKind::Heap),
+            (QueueKind::Heap, QueueKind::Calendar),
+            (QueueKind::Calendar, QueueKind::Heap),
+            (QueueKind::Calendar, QueueKind::Calendar),
+        ] {
+            let mut pause_scratch = EventSimScratch::new(pause_kind);
+            let mut resume_scratch = EventSimScratch::new(resume_kind);
+            let paused = EventSimulation::run_until(sg, periods, &mut pause_scratch, pause_at);
+            let resumed = paused.resume(sg, &mut resume_scratch);
+            for e in sg.events() {
+                for p in 0..periods {
+                    prop_assert_eq!(
+                        straight.time(e, p).map(f64::to_bits),
+                        resumed.time(e, p).map(f64::to_bits),
+                        "{:?}->{:?} {}_{}", pause_kind, resume_kind, sg.label(e), p
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A long deterministic soak on one graph per family: 40 edits each,
+/// verified bit-identically at every step (catches drift that only
+/// accumulates over many resumed rows).
+#[test]
+fn long_edit_soak_per_family() {
+    for family in 0..4usize {
+        let mut session = AnalysisSession::open(graph(family, 7)).expect("live");
+        for (step, e) in script(session.graph(), 7, 40).into_iter().enumerate() {
+            session.edit_delay(e.arc, e.delay).unwrap();
+            if step % 5 == 4 {
+                assert_session_matches_scratch(&session, &format!("family {family} step {step}"));
+            }
+        }
+        assert_session_matches_scratch(&session, &format!("family {family} final"));
+    }
+}
