@@ -16,6 +16,9 @@
 //! * `dispatch_overhead` — the runtime-selectable `AnyQueue` against the
 //!   static heap backend, same workload: the price of the CLI's
 //!   `--queue` flag.
+//! * `wide_vs_scalar` — the lane-batched lockstep kernel against the
+//!   scalar reference engine on the tracked ring/torus/random sweeps
+//!   (b ∈ {4, 8, 32}), asserted bit-identical before any timing.
 //! * `analysis` — `CycleTimeAnalysis::run` vs `analyze_batch` over a
 //!   64-graph `tsg_gen` sweep at 1/2/4/8 threads.
 //! * `edit_loop` — the bottleneck-hunting loop: a delay-edit script
@@ -26,8 +29,13 @@
 //! writes machine-readable `BENCH_kernel.json`.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use tsg_bench::{edit_loop_graph, edit_script, hold, push_pop, DELAY_BOUND};
+use tsg_bench::{
+    assert_wide_matches_scalar, edit_loop_graph, edit_script, hold, push_pop, wide_scenarios,
+    DELAY_BOUND,
+};
+use tsg_core::analysis::initiated::SimArena;
 use tsg_core::analysis::session::AnalysisSession;
+use tsg_core::analysis::wide::AnalysisArena;
 use tsg_core::analysis::CycleTimeAnalysis;
 use tsg_core::SignalGraph;
 use tsg_sim::{AnyQueue, BatchRunner, BinaryHeapQueue, CalendarQueue, EventQueue, QueueKind};
@@ -112,6 +120,36 @@ fn sweep_graphs() -> Vec<SignalGraph> {
         .collect()
 }
 
+fn bench_wide_vs_scalar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wide_vs_scalar");
+    let mut scalar_arena = SimArena::new();
+    let mut wide_arena = AnalysisArena::new();
+    for (name, sg) in wide_scenarios() {
+        // A speedup of a wrong answer is not a speedup: bit-identity
+        // (full analyses and every lane matrix cell) is asserted once
+        // per scenario before any timing.
+        assert_wide_matches_scalar(&sg, &name);
+
+        group.bench_with_input(BenchmarkId::new("scalar", &name), &sg, |bench, sg| {
+            bench.iter(|| {
+                CycleTimeAnalysis::run_scalar_in(black_box(sg), None, &mut scalar_arena)
+                    .unwrap()
+                    .cycle_time()
+                    .as_f64()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("wide", &name), &sg, |bench, sg| {
+            bench.iter(|| {
+                CycleTimeAnalysis::run_in(black_box(sg), None, &mut wide_arena)
+                    .unwrap()
+                    .cycle_time()
+                    .as_f64()
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_analysis(c: &mut Criterion) {
     let graphs = sweep_graphs();
     let mut group = c.benchmark_group("analysis");
@@ -185,6 +223,6 @@ fn bench_edit_loop(c: &mut Criterion) {
 criterion_group! {
     name = kernel;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
-    targets = bench_push_pop, bench_hold, bench_dispatch_overhead, bench_analysis, bench_edit_loop
+    targets = bench_push_pop, bench_hold, bench_dispatch_overhead, bench_wide_vs_scalar, bench_analysis, bench_edit_loop
 }
 criterion_main!(kernel);

@@ -5,13 +5,15 @@
 //! ```
 //!
 //! Runs the kernel's hot paths outside Criterion — per-backend queue
-//! throughput (bulk push/pop and the steady-state hold model) and
+//! throughput (bulk push/pop and the steady-state hold model), the
+//! lane-batched wide kernel against the scalar reference engine on the
+//! tracked ring/torus/random sweeps (`wide_vs_scalar`), and
 //! `CycleTimeAnalysis::analyze_batch` against the sequential loop on a
 //! 64-graph `tsg_gen` sweep — and writes the numbers to
 //! `BENCH_kernel.json` (see the README's "Performance" section for how
 //! to read it). CI runs `bench --quick` on every PR, so the perf
-//! trajectory of the queue backends and the batch pipeline is recorded
-//! from PR 2 on.
+//! trajectory of the queue backends, the wide analysis kernel and the
+//! batch pipeline is recorded from PR 2 on.
 //!
 //! Every analysis result is asserted bit-identical between the
 //! sequential and batched pipelines before any number is reported: a
@@ -20,8 +22,13 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use tsg_bench::{edit_loop_graph, edit_script, hold, push_pop, DELAY_BOUND, EDIT_LOOP_WORKLOAD};
+use tsg_bench::{
+    assert_wide_matches_scalar, edit_loop_graph, edit_script, hold, push_pop, wide_scenarios,
+    DELAY_BOUND, EDIT_LOOP_WORKLOAD,
+};
+use tsg_core::analysis::initiated::SimArena;
 use tsg_core::analysis::session::AnalysisSession;
+use tsg_core::analysis::wide::AnalysisArena;
 use tsg_core::analysis::CycleTimeAnalysis;
 use tsg_core::SignalGraph;
 use tsg_sim::{BatchRunner, CalendarQueue, EventQueue};
@@ -37,6 +44,27 @@ fn best_of(reps: usize, mut f: impl FnMut() -> usize) -> (f64, usize) {
         best = best.min(t.elapsed().as_secs_f64());
     }
     (best, ops)
+}
+
+/// Per-call seconds of `f`, timed over a calibrated batch: `f` loops
+/// until a sample spans ~2 ms of wall time, best of `reps` samples —
+/// single-call `Instant` stamps are too coarse for the µs-scale
+/// analyses of the wide-vs-scalar sweep.
+fn time_per_call(reps: usize, mut f: impl FnMut() -> usize) -> f64 {
+    let t = Instant::now();
+    let mut sink = f();
+    let once = t.elapsed().as_secs_f64().max(1e-9);
+    let iters = ((2e-3 / once) as usize).clamp(1, 1_000_000);
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        for _ in 0..iters {
+            sink = sink.wrapping_add(f());
+        }
+        best = best.min(t.elapsed().as_secs_f64() / iters as f64);
+    }
+    std::hint::black_box(sink);
+    best
 }
 
 struct QueueRow {
@@ -110,6 +138,51 @@ struct BatchRow {
     threads: usize,
     seconds: f64,
     speedup: f64,
+}
+
+struct WideRow {
+    scenario: String,
+    b: usize,
+    scalar_seconds: f64,
+    wide_seconds: f64,
+    speedup: f64,
+}
+
+/// The tentpole head-to-head: the `b` border simulations run one scalar
+/// arena at a time vs all lanes in one lockstep wide pass, on the
+/// tracked ring/torus/random sweeps. Before timing, every scenario is
+/// asserted bit-identical — full analyses (times, critical cycle,
+/// backtracked parents) *and* every cell of every lane's time matrix
+/// against the scalar kernel.
+fn measure_wide_vs_scalar(reps: usize) -> Vec<WideRow> {
+    let mut rows = Vec::new();
+    let mut scalar_arena = SimArena::new();
+    let mut wide_arena = AnalysisArena::new();
+    for (name, sg) in wide_scenarios() {
+        let b = sg.border_events().len();
+
+        // Correctness gate first: a speedup of a wrong answer is not a
+        // speedup.
+        assert_wide_matches_scalar(&sg, &name);
+
+        // Then the head-to-head, each engine on its own warm arena.
+        let scalar_seconds = time_per_call(reps, || {
+            let a = CycleTimeAnalysis::run_scalar_in(&sg, None, &mut scalar_arena).expect("live");
+            a.records().len()
+        });
+        let wide_seconds = time_per_call(reps, || {
+            let a = CycleTimeAnalysis::run_in(&sg, None, &mut wide_arena).expect("live");
+            a.records().len()
+        });
+        rows.push(WideRow {
+            scenario: name,
+            b,
+            scalar_seconds,
+            wide_seconds,
+            speedup: scalar_seconds / wide_seconds.max(1e-12),
+        });
+    }
+    rows
 }
 
 /// The 64-graph sweep of the acceptance criterion: sequential loop vs
@@ -251,6 +324,7 @@ fn json_report(
     seq_seconds: f64,
     batch_rows: &[BatchRow],
     edit_rows: &[EditLoopRow],
+    wide_rows: &[WideRow],
 ) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
@@ -277,6 +351,20 @@ fn json_report(
         );
     }
     let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"wide_vs_scalar\": {{");
+    let _ = writeln!(out, "    \"bit_identical\": true,");
+    let _ = writeln!(out, "    \"sweeps\": [");
+    for (i, r) in wide_rows.iter().enumerate() {
+        let comma = if i + 1 < wide_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "      {{\"scenario\": \"{}\", \"b\": {}, \"scalar_seconds\": {:.9}, \
+             \"wide_seconds\": {:.9}, \"speedup\": {:.3}}}{comma}",
+            r.scenario, r.b, r.scalar_seconds, r.wide_seconds, r.speedup
+        );
+    }
+    let _ = writeln!(out, "    ]");
+    let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"edit_loop\": {{");
     let _ = writeln!(out, "    \"workload\": \"{EDIT_LOOP_WORKLOAD}\",");
     let _ = writeln!(out, "    \"bit_identical\": true,");
@@ -353,6 +441,19 @@ fn main() {
         );
     }
 
+    eprintln!("measuring wide vs scalar border simulations...");
+    let wide_rows = measure_wide_vs_scalar(reps);
+    for r in &wide_rows {
+        eprintln!(
+            "  {:<22} b={:>3}: scalar {:>9.3} ms, wide {:>9.3} ms ({:.2}x)",
+            r.scenario,
+            r.b,
+            r.scalar_seconds * 1e3,
+            r.wide_seconds * 1e3,
+            r.speedup
+        );
+    }
+
     eprintln!("measuring the session edit loop ({EDIT_LOOP_WORKLOAD})...");
     let edit_rows = measure_edit_loop(&[1, 8, 64], reps);
     for r in &edit_rows {
@@ -397,6 +498,7 @@ fn main() {
         seq_seconds,
         &batch_rows,
         &edit_rows,
+        &wide_rows,
     );
     if let Err(e) = std::fs::write(&out_path, &report) {
         eprintln!("writing {out_path}: {e}");

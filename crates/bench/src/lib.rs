@@ -6,7 +6,10 @@
 //! tracked JSON measure the same workload by construction — tuning the
 //! distribution here changes both, never one.
 
+use tsg_core::analysis::initiated::SimArena;
 use tsg_core::analysis::session::DelayEdit;
+use tsg_core::analysis::wide::WideArena;
+use tsg_core::analysis::CycleTimeAnalysis;
 use tsg_core::{ArcId, SignalGraph};
 use tsg_sim::{EventQueue, QueueBackend};
 
@@ -60,6 +63,111 @@ pub const EDIT_LOOP_WORKLOAD: &str = "ring n=256 tokens=16";
 /// The edit-loop graph matching [`EDIT_LOOP_WORKLOAD`].
 pub fn edit_loop_graph() -> SignalGraph {
     tsg_gen::ring(256, 16, 1.0)
+}
+
+/// The tracked workloads of the `wide-vs-scalar` scenario: rings and
+/// tori at border counts b ∈ {4, 8, 32} (a ring's border count is its
+/// token count; an `h × w` torus has `h + w - 1` border events) plus
+/// seeded random live graphs. The Criterion suite, the `bench` binary
+/// and `tests/wide.rs` all iterate this exact list, so the tracked
+/// speedups and the bit-identity property tests cover the same graphs
+/// by construction.
+pub fn wide_scenarios() -> Vec<(String, SignalGraph)> {
+    let mut out: Vec<(String, SignalGraph)> = Vec::new();
+    for b in [4usize, 8, 32] {
+        out.push((format!("ring n=1024 b={b}"), tsg_gen::ring(1024, b, 1.0)));
+    }
+    for (h, w) in [(2usize, 3usize), (4, 5), (16, 17)] {
+        out.push((
+            format!("torus {h}x{w} b={}", h + w - 1),
+            tsg_gen::torus(h, w, 2.0, 3.0),
+        ));
+    }
+    for seed in [3u64, 17] {
+        let sg = tsg_gen::random_live_tsg(seed, tsg_gen::RandomTsgConfig::default());
+        out.push((
+            format!("random seed={seed} b={}", sg.border_events().len()),
+            sg,
+        ));
+    }
+    out
+}
+
+/// Asserts two analyses carry the same bits everywhere they report:
+/// cycle time, periods, critical cycle (i.e. the backtracked parents
+/// along the winning walk), critical borders, border order, and every
+/// per-border distance table. The one bit-identity gate shared by the
+/// Criterion suite, the `bench` binary and `tests/wide.rs` — a speedup
+/// of a wrong answer is not a speedup, and three drifting copies of
+/// this check would each gate a different subset of the result.
+///
+/// # Panics
+///
+/// Panics (with `ctx`) on the first field whose bits differ.
+pub fn assert_analyses_identical(expected: &CycleTimeAnalysis, got: &CycleTimeAnalysis, ctx: &str) {
+    assert_eq!(
+        expected.cycle_time().as_f64().to_bits(),
+        got.cycle_time().as_f64().to_bits(),
+        "{ctx}: cycle time bits"
+    );
+    assert_eq!(
+        expected.cycle_time().periods(),
+        got.cycle_time().periods(),
+        "{ctx}: periods"
+    );
+    assert_eq!(
+        expected.critical_cycle(),
+        got.critical_cycle(),
+        "{ctx}: backtracked critical cycle"
+    );
+    assert_eq!(
+        expected.critical_borders(),
+        got.critical_borders(),
+        "{ctx}: critical borders"
+    );
+    assert_eq!(
+        expected.border_events(),
+        got.border_events(),
+        "{ctx}: border order"
+    );
+    for (re, rg) in expected.records().iter().zip(got.records()) {
+        assert_eq!(re.event, rg.event, "{ctx}: record event");
+        assert_eq!(re.distances, rg.distances, "{ctx}: distance table");
+    }
+}
+
+/// The full wide-vs-scalar correctness gate for one graph: runs both
+/// engines, asserts the analyses bit-identical through
+/// [`assert_analyses_identical`], then sweeps every cell of every lane's
+/// time matrix against a per-origin scalar simulation.
+///
+/// # Panics
+///
+/// Panics (with `ctx`) on any divergence.
+pub fn assert_wide_matches_scalar(sg: &SignalGraph, ctx: &str) {
+    let scalar = CycleTimeAnalysis::run_scalar(sg).expect("scenario is live");
+    let wide = CycleTimeAnalysis::run(sg).expect("live");
+    assert_analyses_identical(&scalar, &wide, ctx);
+
+    let border = sg.border_events();
+    let b = border.len() as u32;
+    let mut lanes = WideArena::new();
+    lanes.run(sg, &border, b).expect("borders are repetitive");
+    let mut one = SimArena::new();
+    for (k, &g) in border.iter().enumerate() {
+        one.run(sg, g, b, false).expect("repetitive");
+        for e in sg.events() {
+            for p in 0..=b {
+                assert_eq!(
+                    lanes.time(k, e, p).map(f64::to_bits),
+                    one.time(e, p).map(f64::to_bits),
+                    "{ctx}: lane {k} ({}) diverged at e={} p={p}",
+                    sg.label(g),
+                    sg.label(e)
+                );
+            }
+        }
+    }
 }
 
 /// A deterministic bottleneck-hunting script over `sg`: `count` delay

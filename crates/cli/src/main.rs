@@ -33,7 +33,8 @@ USAGE:
     tsg sim FILE.ckt... [--horizon X] [--vcd PATH] [--threads N]
                         [--queue {heap|calendar}]
     tsg explore FILE [--edit SRC->DST=DELAY]... [--default-delay X]
-    tsg serve [--threads N] [--listen tcp:HOST:PORT | --listen unix:PATH]
+    tsg serve [--threads N] [--max-sessions N]
+              [--listen tcp:HOST:PORT | --listen unix:PATH]
     tsg convert FILE --to {g|dot}
     tsg demo {oscillator|muller5|stack66}
 
@@ -47,7 +48,8 @@ FILE formats (by extension):
 stream; `--vcd PATH` additionally dumps a waveform any VCD viewer opens.
 `--queue` selects the kernel queue backend (default: heap). Several
 files fan out across a `--threads N` pool (default: all cores); the
-analysis itself also runs its border simulations on that pool.
+analysis itself also runs its b border simulations on that pool, in
+lockstep lane chunks of the SIMD-friendly wide kernel.
 
 `explore` opens an incremental analysis session on FILE and applies
 each --edit (delay reassignment of the arc SRC->DST) in order,
@@ -60,7 +62,11 @@ requests (analyze/sim/batch/stats/session.open/session.edit/
 session.close) on stdin — or a TCP/Unix socket with --listen, where
 concurrent connections share one pool — answered in request order by a
 persistent warm worker pool. Responses are byte-identical to the
-one-shot commands; EOF or Ctrl-C shuts down gracefully.
+one-shot commands; EOF or Ctrl-C shuts down gracefully. Each open
+incremental session pins O(b²·n) warm state to a worker for its whole
+life, so long-lived deployments should cap them: `--max-sessions N`
+answers any session.open beyond N open sessions with a structured
+error until one closes (default: unbounded).
 ";
 
 fn main() -> ExitCode {
@@ -294,6 +300,7 @@ fn run(args: &[String]) -> Result<String, String> {
         }
         Some("serve") => {
             let mut threads: Option<usize> = None;
+            let mut max_sessions: Option<u64> = None;
             let mut listen: Option<String> = None;
             let mut i = 1;
             while i < args.len() {
@@ -301,6 +308,15 @@ fn run(args: &[String]) -> Result<String, String> {
                     "--threads" => {
                         i += 1;
                         threads = Some(parse_threads(args, i)?);
+                    }
+                    "--max-sessions" => {
+                        i += 1;
+                        max_sessions = Some(
+                            args.get(i)
+                                .and_then(|v| v.parse().ok())
+                                .filter(|&n: &u64| n >= 1)
+                                .ok_or("--max-sessions needs a positive integer")?,
+                        );
                     }
                     "--listen" => {
                         i += 1;
@@ -314,7 +330,7 @@ fn run(args: &[String]) -> Result<String, String> {
                 }
                 i += 1;
             }
-            serve(threads, listen.as_deref())
+            serve(threads, max_sessions, listen.as_deref())
         }
         Some("convert") => {
             let file = args.get(1).ok_or("convert needs a FILE argument")?;
@@ -357,8 +373,15 @@ fn run(args: &[String]) -> Result<String, String> {
 /// The `tsg serve` front-end: picks the transport, installs the SIGINT
 /// flag, runs the warm-pool request loop, and reports the session
 /// counters on stderr (stdout stays pure protocol).
-fn serve(threads: Option<usize>, listen: Option<&str>) -> Result<String, String> {
-    let opts = ServeOptions { threads };
+fn serve(
+    threads: Option<usize>,
+    max_sessions: Option<u64>,
+    listen: Option<&str>,
+) -> Result<String, String> {
+    let opts = ServeOptions {
+        threads,
+        max_sessions,
+    };
     let shutdown = tsg_serve::install_sigint_flag();
     let pool = BatchRunner::sized(threads).threads();
     let stats = match listen {
@@ -444,6 +467,16 @@ mod tests {
         assert!(run(&["analyze".into(), "x.g".into(), "--wat".into()]).is_err());
         assert!(run(&["frob".into()]).is_err());
         assert!(run(&["demo".into(), "nope".into()]).is_err());
+    }
+
+    #[test]
+    fn serve_max_sessions_flag_validation() {
+        for bad in ["0", "-1", "many", ""] {
+            let err = run(&["serve".into(), "--max-sessions".into(), bad.into()]).unwrap_err();
+            assert!(err.contains("--max-sessions"), "{bad}: {err}");
+        }
+        let err = run(&["serve".into(), "--max-sessions".into()]).unwrap_err();
+        assert!(err.contains("--max-sessions"), "{err}");
     }
 
     #[test]

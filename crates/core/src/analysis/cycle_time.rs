@@ -14,8 +14,18 @@
 //! 5. backtrack the winning simulation to recover a critical cycle
 //!    (Proposition 1), decomposing the closed walk into simple cycles
 //!    (Proposition 5).
+//!
+//! Step 2 — the hot phase — runs on the lane-batched
+//! [`WideArena`](crate::analysis::wide::WideArena): all `b` simulations
+//! advance in lockstep over **one** pass of the shared
+//! [`CyclicStructure`], so the in-arc table streams through cache once
+//! per row instead of once per simulation, and the per-arc
+//! `max(best, src + δ)` widens to `b` contiguous SIMD-friendly lanes.
+//! The scalar engine survives as [`CycleTimeAnalysis::run_scalar`] — the
+//! reference oracle every wide result is property-tested (and
+//! bench-asserted) bit-identical against — and as the parent-tracked
+//! re-run of the single winning border in step 5.
 
-use std::collections::HashMap;
 use std::fmt;
 
 use tsg_sim::BatchRunner;
@@ -23,6 +33,7 @@ use tsg_sim::BatchRunner;
 use crate::analysis::initiated::SimArena;
 use crate::analysis::session::{AnalysisSession, CycleTimeDelta, DelayEdit, EditError};
 use crate::analysis::structure::CyclicStructure;
+use crate::analysis::wide::{AnalysisArena, WideArena};
 use crate::analysis::CycleTime;
 use crate::arc::ArcId;
 use crate::event::EventId;
@@ -134,22 +145,74 @@ impl CycleTimeAnalysis {
     /// Returns [`AnalysisError::NoCyclicBehavior`] when `sg` has no
     /// repetitive events.
     pub fn run_with_periods(sg: &SignalGraph, periods: Option<u32>) -> Result<Self, AnalysisError> {
-        Self::run_in(sg, periods, &mut SimArena::new())
+        Self::run_in(sg, periods, &mut AnalysisArena::new())
     }
 
-    /// Allocation-reusing core: runs the algorithm with the time/parent
-    /// matrices of all `b` simulations living in `arena`.
+    /// Allocation-reusing core: runs the algorithm with the lane-major
+    /// wide matrix of all `b` lockstep simulations — and the scalar
+    /// arena of the parent-tracked winner re-run — living in `arena`.
     ///
     /// Repeated analyses over one arena — a design-space inner loop, a
-    /// worker thread of [`CycleTimeAnalysis::analyze_batch`] — stop
-    /// churning the allocator: after the first analysis of the largest
-    /// shape, the matrices are never reallocated again.
+    /// worker thread of [`CycleTimeAnalysis::analyze_batch`], a serve
+    /// workspace — stop churning the allocator: after the first analysis
+    /// of the largest shape, the matrices are never reallocated again.
     ///
     /// # Errors
     ///
     /// Returns [`AnalysisError::NoCyclicBehavior`] when `sg` has no
     /// repetitive events.
     pub fn run_in(
+        sg: &SignalGraph,
+        periods: Option<u32>,
+        arena: &mut AnalysisArena,
+    ) -> Result<Self, AnalysisError> {
+        let border = sg.border_events();
+        if border.is_empty() {
+            return Err(AnalysisError::NoCyclicBehavior);
+        }
+        let b = periods.unwrap_or(border.len() as u32).max(1);
+
+        // One shared evaluation structure (rebuilt into the arena's warm
+        // buffers), one lockstep pass for all b simulations.
+        let AnalysisArena {
+            wide,
+            finish,
+            structure,
+        } = arena;
+        structure.rebuild(sg);
+        wide.run_with(sg, structure, &border, b)
+            .expect("border events are repetitive by construction");
+        let records = (0..border.len())
+            .map(|k| BorderRecord {
+                event: border[k],
+                distances: wide.distance_series(k),
+            })
+            .collect();
+
+        Self::finish(sg, structure, border, records, finish)
+    }
+
+    /// The scalar reference engine: the pre-wide one-simulation-at-a-time
+    /// loop, kept as the oracle the lane-batched kernel is verified
+    /// against (`tests/wide.rs`, the `bench` binary's `wide-vs-scalar`
+    /// scenario) and as the baseline those speedups are measured from.
+    /// Bit-identical to [`CycleTimeAnalysis::run`] by construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::NoCyclicBehavior`] when `sg` has no
+    /// repetitive events.
+    pub fn run_scalar(sg: &SignalGraph) -> Result<Self, AnalysisError> {
+        Self::run_scalar_in(sg, None, &mut SimArena::new())
+    }
+
+    /// Arena-reusing form of [`CycleTimeAnalysis::run_scalar`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::NoCyclicBehavior`] when `sg` has no
+    /// repetitive events.
+    pub fn run_scalar_in(
         sg: &SignalGraph,
         periods: Option<u32>,
         arena: &mut SimArena,
@@ -160,9 +223,7 @@ impl CycleTimeAnalysis {
         }
         let b = periods.unwrap_or(border.len() as u32).max(1);
 
-        // One shared evaluation structure for all b simulations.
         let structure = CyclicStructure::new(sg);
-
         let mut records = Vec::with_capacity(border.len());
         for &g in &border {
             arena
@@ -177,13 +238,16 @@ impl CycleTimeAnalysis {
         Self::finish(sg, &structure, border, records, arena)
     }
 
-    /// Runs the algorithm with the `b` border-initiated simulations
-    /// fanned out across `runner`'s threads.
+    /// Runs the algorithm with the `b` border simulations chunked into
+    /// lane groups fanned out across `runner`'s threads.
     ///
-    /// Each worker reuses one [`SimArena`] for all the simulations it
-    /// claims; records come back in border order, so the result —
+    /// Each worker runs one [`WideArena`] over a contiguous chunk of
+    /// lanes — a lockstep SIMD-friendly pass per worker, instead of the
+    /// pre-wide one-scalar-simulation-per-claim fan-out. Every lane's
+    /// values are independent of its neighbours (lockstep only shares
+    /// the traversal), and chunks preserve border order, so the result —
     /// cycle time, critical cycle, records — is bit-identical to
-    /// [`CycleTimeAnalysis::run`].
+    /// [`CycleTimeAnalysis::run`] at every thread count.
     ///
     /// # Errors
     ///
@@ -197,16 +261,22 @@ impl CycleTimeAnalysis {
         let b = border.len() as u32;
         let structure = CyclicStructure::new(sg);
 
-        let records: Vec<BorderRecord> =
-            runner.run_with_state(&border, SimArena::new, |arena, &g| {
-                arena
-                    .run_with(sg, &structure, g, b, false)
+        let chunk = border.len().div_ceil(runner.threads().max(1));
+        let chunks: Vec<&[EventId]> = border.chunks(chunk).collect();
+        let chunk_records: Vec<Vec<BorderRecord>> =
+            runner.run_with_state(&chunks, WideArena::new, |wide, lanes| {
+                wide.run_with(sg, &structure, lanes, b)
                     .expect("border events are repetitive by construction");
-                BorderRecord {
-                    event: g,
-                    distances: arena.distance_series(),
-                }
+                lanes
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &g)| BorderRecord {
+                        event: g,
+                        distances: wide.distance_series(k),
+                    })
+                    .collect()
             });
+        let records: Vec<BorderRecord> = chunk_records.into_iter().flatten().collect();
 
         Self::finish(sg, &structure, border, records, &mut SimArena::new())
     }
@@ -215,11 +285,11 @@ impl CycleTimeAnalysis {
     /// `tsg analyze --threads`, the `repro` batch experiment and the
     /// kernel benchmarks.
     ///
-    /// Scenarios fan out across `runner` with a per-worker [`SimArena`],
-    /// so a 1000-graph sweep allocates a thread-count's worth of
-    /// matrices, not a thousand. Results preserve input order and each
-    /// entry is bit-identical to a sequential [`CycleTimeAnalysis::run`]
-    /// on the same graph.
+    /// Scenarios fan out across `runner` with a per-worker
+    /// [`AnalysisArena`], so a 1000-graph sweep allocates a
+    /// thread-count's worth of matrices, not a thousand. Results
+    /// preserve input order and each entry is bit-identical to a
+    /// sequential [`CycleTimeAnalysis::run`] on the same graph.
     ///
     /// # Examples
     ///
@@ -240,7 +310,7 @@ impl CycleTimeAnalysis {
         graphs: &[SignalGraph],
         runner: &BatchRunner,
     ) -> Vec<Result<Self, AnalysisError>> {
-        runner.run_with_state(graphs, SimArena::new, |arena, sg| {
+        runner.run_with_state(graphs, AnalysisArena::new, |arena, sg| {
             Self::run_in(sg, None, arena)
         })
     }
@@ -359,25 +429,31 @@ pub fn cycle_ratio(sg: &SignalGraph, cycle: &[ArcId]) -> CycleTime {
 /// returns the one with the largest effective length (Proposition 5
 /// guarantees it attains the walk's ratio).
 fn best_simple_cycle(sg: &SignalGraph, start: EventId, walk: &[ArcId]) -> Vec<ArcId> {
+    /// Sentinel for "event not on the current open walk" in the flat
+    /// position map (a critical walk visits events once per period, so a
+    /// dense `Vec` beats a `HashMap` on the kilo-arc walks big rings
+    /// produce).
+    const OFF_WALK: u32 = u32::MAX;
     let mut cycles: Vec<Vec<ArcId>> = Vec::new();
-    let mut pos: HashMap<EventId, usize> = HashMap::new();
-    pos.insert(start, 0);
+    let mut pos: Vec<u32> = vec![OFF_WALK; sg.event_count()];
+    pos[start.index()] = 0;
     let mut arcs: Vec<ArcId> = Vec::new();
     for &a in walk {
         arcs.push(a);
         let v = sg.arc(a).dst();
-        if let Some(&k) = pos.get(&v) {
+        let k = pos[v.index()];
+        if k != OFF_WALK {
             // arcs[k..] close a cycle at v
-            let cycle: Vec<ArcId> = arcs.split_off(k);
+            let cycle: Vec<ArcId> = arcs.split_off(k as usize);
             for c in &cycle {
                 let node = sg.arc(*c).dst();
                 if node != v {
-                    pos.remove(&node);
+                    pos[node.index()] = OFF_WALK;
                 }
             }
             cycles.push(cycle);
         } else {
-            pos.insert(v, arcs.len());
+            pos[v.index()] = arcs.len() as u32;
         }
     }
     debug_assert!(arcs.is_empty(), "walk must decompose exactly into cycles");
@@ -626,14 +702,34 @@ mod tests {
 
     #[test]
     fn run_in_reuses_arena_across_analyses() {
-        use crate::analysis::initiated::SimArena;
+        use crate::analysis::wide::AnalysisArena;
         let sg = figure2();
-        let mut arena = SimArena::new();
+        let mut arena = AnalysisArena::new();
         let first = CycleTimeAnalysis::run_in(&sg, None, &mut arena).unwrap();
         // A second analysis over the warmed arena must match exactly.
         let second = CycleTimeAnalysis::run_in(&sg, None, &mut arena).unwrap();
         assert_same_analysis(&first, &second, "arena reuse");
         assert_eq!(first.cycle_time().as_f64(), 10.0);
+    }
+
+    #[test]
+    fn wide_run_is_bit_identical_to_the_scalar_reference() {
+        // The acceptance bar of the lane-batched kernel, on the paper's
+        // own oscillator: same bits out of `run` (wide) and `run_scalar`.
+        let sg = figure2();
+        let wide = CycleTimeAnalysis::run(&sg).unwrap();
+        let scalar = CycleTimeAnalysis::run_scalar(&sg).unwrap();
+        assert_same_analysis(&scalar, &wide, "wide vs scalar");
+        for periods in [1u32, 2, 5] {
+            let wide = CycleTimeAnalysis::run_with_periods(&sg, Some(periods)).unwrap();
+            let scalar = CycleTimeAnalysis::run_scalar_in(
+                &sg,
+                Some(periods),
+                &mut crate::analysis::initiated::SimArena::new(),
+            )
+            .unwrap();
+            assert_same_analysis(&scalar, &wide, &format!("periods={periods}"));
+        }
     }
 
     #[test]

@@ -16,6 +16,20 @@
 //! cycle-time algorithm runs `b` simulations per analysis and the batch
 //! APIs run thousands of analyses per sweep; without the arena every one
 //! of them would allocate (and fault in) its own `Vec<Vec<f64>>`.
+//!
+//! The `SimArena` here is the **scalar reference kernel**: one
+//! simulation, row-major `times[p][e]`, with optional parent tracking
+//! for backtracking. Its production twin is
+//! [`wide::WideArena`](crate::analysis::wide::WideArena), which runs all
+//! `b` simulations of an analysis in lockstep over one structure pass,
+//! storing times **lane-major** (`times[p][e][lane]`) so each in-arc
+//! feeds `b` contiguous lanes with a branchless SIMD-friendly
+//! `max(best, src + δ)`. Both kernels perform per lane the exact same
+//! comparison sequence, so their results are bit-identical by
+//! construction (see the [`wide`](crate::analysis::wide) module docs
+//! for the argument, and `tests/wide.rs` for the property tests); the
+//! scalar kernel remains the oracle the wide one is verified against,
+//! and the engine for parent-tracked re-runs of the winning border.
 
 use crate::analysis::structure::CyclicStructure;
 use crate::arc::ArcId;
@@ -169,38 +183,6 @@ impl SimArena {
         Ok(())
     }
 
-    /// Dirty-region restart: recomputes rows `start_row..` of the *same*
-    /// simulation this arena last ran, assuming every earlier row is
-    /// still exact for the current delay assignment. The caller
-    /// (an [`AnalysisSession`](crate::analysis::session::AnalysisSession))
-    /// guarantees that no edited arc can influence any cell below
-    /// `start_row`; under that precondition the resulting matrix is
-    /// bit-identical to a full re-run over the edited structure.
-    ///
-    /// # Panics
-    ///
-    /// Panics when the arena's last run does not match `(origin,
-    /// periods)` or tracked parents (a resumed run cannot change shape).
-    pub(crate) fn rerun_rows_from(
-        &mut self,
-        structure: &CyclicStructure,
-        origin: EventId,
-        periods: u32,
-        start_row: usize,
-    ) {
-        assert!(
-            self.origin == origin
-                && self.periods == periods
-                && self.p_total == periods as usize + 1
-                && self.parent.is_empty(),
-            "dirty-region restart must resume the arena's own run"
-        );
-        if start_row >= self.p_total {
-            return; // the edit's influence starts beyond the horizon
-        }
-        self.compute_rows(structure, false, start_row);
-    }
-
     /// The longest-path recurrence over rows `start_row..p_total`; row
     /// `start_row - 1` (when any) must hold valid values.
     fn compute_rows(&mut self, structure: &CyclicStructure, track_parents: bool, start_row: usize) {
@@ -300,9 +282,21 @@ impl SimArena {
 
     /// All defined `δ_{g0}(g_i)` for `0 < i <= periods`, as `(i, t, δ)`.
     pub fn distance_series(&self) -> Vec<(u32, f64, f64)> {
-        (1..=self.periods)
-            .filter_map(|i| self.time(self.origin, i).map(|t| (i, t, t / i as f64)))
-            .collect()
+        let mut out = Vec::new();
+        self.distance_series_into(&mut out);
+        out
+    }
+
+    /// Allocation-reusing form of [`distance_series`](Self::distance_series):
+    /// clears `out` and fills it in place, so steady-state callers (the
+    /// serve workspace, a session's per-border records) keep one buffer
+    /// alive across runs instead of allocating a fresh `Vec` per call.
+    pub fn distance_series_into(&self, out: &mut Vec<(u32, f64, f64)>) {
+        out.clear();
+        out.extend(
+            (1..=self.periods)
+                .filter_map(|i| self.time(self.origin, i).map(|t| (i, t, t / i as f64))),
+        );
     }
 
     /// Backtracks the longest path from `g₀` to `e_p` through the arg-max

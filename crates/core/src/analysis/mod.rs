@@ -6,8 +6,12 @@
 //!   discrete-event-style on the shared `tsg-sim` kernel,
 //! * [`initiated::InitiatedSimulation`] — the event-initiated simulation
 //!   `t_g(·)` (Section IV.B),
+//! * [`wide::WideArena`] — all `b` event-initiated simulations of one
+//!   analysis in SIMD-friendly lockstep lanes over a single structure
+//!   pass (bit-identical to the scalar kernel),
 //! * [`CycleTimeAnalysis`] — the O(b²m) cycle-time algorithm with
-//!   critical-cycle backtracking (Sections VI–VII),
+//!   critical-cycle backtracking (Sections VI–VII), running on the wide
+//!   kernel,
 //! * [`session::AnalysisSession`] — incremental delta re-analysis:
 //!   delay edits re-simulate only the dirty region,
 //! * [`border`] — border and cut sets (Section VI.A),
@@ -24,6 +28,7 @@ pub mod session;
 pub mod sim;
 pub mod slack;
 pub(crate) mod structure;
+pub mod wide;
 
 pub use cycle_time::{AnalysisError, BorderRecord, CycleTimeAnalysis};
 pub use session::{AnalysisSession, CycleTimeDelta, DelayEdit, EditError};

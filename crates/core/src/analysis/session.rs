@@ -7,9 +7,9 @@
 //! border set) untouched, so of the `b` border-initiated simulations
 //! only the rows an edit can actually influence need recomputing. An
 //! [`AnalysisSession`] owns the graph plus all warm simulation state —
-//! the shared [`CyclicStructure`], the cached [`BorderRecord`]s, one
-//! warm [`SimArena`] per border event — and answers
-//! [`edit_delays`](AnalysisSession::edit_delays) queries by
+//! the shared [`CyclicStructure`], the cached [`BorderRecord`]s, and one
+//! warm lane-major [`WideArena`] holding all `b` border matrices — and
+//! answers [`edit_delays`](AnalysisSession::edit_delays) queries by
 //! re-simulating only that dirty region.
 //!
 //! # The dirty-region criterion
@@ -28,12 +28,17 @@
 //! periods before crossing `a`, where `ε(x → y)` is the minimum number
 //! of marked arcs on any path from `x` to `y` in the cyclic structure
 //! (a 0-1 BFS, O(m) per edited arc). Every row below `r0` is therefore
-//! bit-exact for the edited graph, so the session keeps one warm matrix
-//! per border event and *resumes* each simulation at its `r0` instead
-//! of re-running it from scratch — rows at or beyond `r0` recompute
-//! from the cached row `r0 - 1` with the identical recurrence. The
-//! criterion is exact at period granularity: a simulation whose `r0`
-//! exceeds the horizon is not touched at all.
+//! bit-exact for the edited graph. The session keeps all `b` matrices
+//! warm in one lane-major [`WideArena`] and *resumes* the whole batch at
+//! `min(r0)` over the dirty lanes — one shared lockstep pass recomputes
+//! rows at or beyond that minimum from the cached row below, with the
+//! identical recurrence. Lanes whose own `r0` lies deeper have their
+//! intermediate rows recomputed to bit-identical values (the recurrence
+//! is a pure function of the rows below and the dirtiness criterion
+//! guarantees the edit cannot reach them there), so the per-lane `r0`
+//! contract of the delta query is preserved while each recomputed row
+//! streams the in-arc table once for all lanes. When no lane's `r0`
+//! falls within the horizon the batch is not touched at all.
 //!
 //! The final winner-selection and critical-cycle backtracking re-run as
 //! usual (one parent-tracked simulation), so the produced
@@ -49,6 +54,7 @@ use std::fmt;
 use crate::analysis::cycle_time::{AnalysisError, BorderRecord, CycleTimeAnalysis};
 use crate::analysis::initiated::SimArena;
 use crate::analysis::structure::CyclicStructure;
+use crate::analysis::wide::WideArena;
 use crate::analysis::CycleTime;
 use crate::arc::ArcId;
 use crate::event::EventId;
@@ -82,7 +88,12 @@ pub struct CycleTimeDelta {
     pub dirty: usize,
     /// Total border simulations a from-scratch run would perform.
     pub borders: usize,
-    /// Matrix rows actually recomputed across all resumed simulations.
+    /// Matrix rows inside the per-border dirty regions — the rows whose
+    /// values the edit batch could influence, summed over the dirty
+    /// lanes. (The wide kernel recomputes whole lane-major rows from the
+    /// earliest dirty row in one shared pass; rows below each lane's own
+    /// `r0` come back bit-identical, so this counts the query's logical
+    /// dirtiness, the same metric the scalar engine reported.)
     pub rows: usize,
     /// Rows a from-scratch run would compute: `borders × (b + 1)`.
     pub rows_total: usize,
@@ -162,9 +173,9 @@ pub struct AnalysisSession {
     b: u32,
     /// The cached per-border distance tables, master copies.
     records: Vec<BorderRecord>,
-    /// One warm matrix per border event — the state the dirty-region
-    /// restarts resume into (O(b²·n) cells total).
-    border_arenas: Vec<SimArena>,
+    /// All `b` warm border matrices in one lane-major wide arena — the
+    /// state the dirty-region restarts resume into (O(b²·n) cells).
+    wide: WideArena,
     /// The arena `finish` re-runs the winner in (with parent tracking).
     finish_arena: SimArena,
     analysis: CycleTimeAnalysis,
@@ -198,19 +209,15 @@ impl AnalysisSession {
             entry_of_arc[entry.arc.index()] = slot as u32;
         }
 
-        let mut border_arenas: Vec<SimArena> = Vec::with_capacity(border.len());
-        let mut records = Vec::with_capacity(border.len());
-        for &g in &border {
-            let mut arena = SimArena::new();
-            arena
-                .run_with(&sg, &structure, g, b, false)
-                .expect("border events are repetitive by construction");
-            records.push(BorderRecord {
-                event: g,
-                distances: arena.distance_series(),
-            });
-            border_arenas.push(arena);
-        }
+        let mut wide = WideArena::new();
+        wide.run_with(&sg, &structure, &border, b)
+            .expect("border events are repetitive by construction");
+        let records: Vec<BorderRecord> = (0..border.len())
+            .map(|k| BorderRecord {
+                event: border[k],
+                distances: wide.distance_series(k),
+            })
+            .collect();
         let mut finish_arena = SimArena::new();
         let analysis = CycleTimeAnalysis::finish(
             &sg,
@@ -229,7 +236,7 @@ impl AnalysisSession {
             border,
             b,
             records,
-            border_arenas,
+            wide,
             finish_arena,
             analysis,
             edits: 0,
@@ -333,19 +340,31 @@ impl AnalysisSession {
 
         let p_total = self.b as usize + 1;
         let (mut dirty_count, mut rows) = (0usize, 0usize);
+        let mut min_r0 = p_total;
         for k in 0..self.border.len() {
             let r0 = self.restart[k] as usize;
             if r0 >= p_total {
                 continue; // influence starts beyond the horizon: clean
             }
-            let g = self.border[k];
-            self.border_arenas[k].rerun_rows_from(&self.structure, g, self.b, r0);
-            self.records[k] = BorderRecord {
-                event: g,
-                distances: self.border_arenas[k].distance_series(),
-            };
+            min_r0 = min_r0.min(r0);
             dirty_count += 1;
             rows += p_total - r0;
+        }
+        if dirty_count > 0 {
+            // One lockstep pass resumes every lane from the earliest
+            // dirty row; clean lanes' recomputed rows are bit-identical
+            // to their cached values (module docs), so only the dirty
+            // lanes' records can have changed.
+            self.wide.rerun_rows_from(&self.structure, min_r0);
+            for k in 0..self.border.len() {
+                if (self.restart[k] as usize) < p_total {
+                    // Refill the record in place: the per-lane buffer
+                    // outlives the edit loop, so steady-state edits stay
+                    // allocation-free.
+                    self.wide
+                        .distance_series_into(k, &mut self.records[k].distances);
+                }
+            }
         }
 
         self.analysis = CycleTimeAnalysis::finish(

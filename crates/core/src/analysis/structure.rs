@@ -7,7 +7,8 @@
 //! topological order, with a CSR table of in-arcs — and every simulation
 //! then runs over plain arrays.
 
-use tsg_graph::topo;
+use tsg_graph::topo::{self, TopoScratch};
+use tsg_graph::NodeId;
 
 use crate::arc::ArcId;
 use crate::event::EventId;
@@ -27,7 +28,7 @@ pub(crate) struct InArc {
 }
 
 /// Flattened cyclic part of a Signal Graph.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub(crate) struct CyclicStructure {
     /// Repetitive events in topological order of the unmarked subgraph.
     pub order: Vec<EventId>,
@@ -35,61 +36,86 @@ pub(crate) struct CyclicStructure {
     pub offsets: Vec<u32>,
     /// Flattened in-arcs (repetitive→repetitive, non-disengageable only).
     pub entries: Vec<InArc>,
+    /// Working buffers of [`CyclicStructure::rebuild`], kept so a warm
+    /// analysis arena rebuilds the structure per graph without touching
+    /// the allocator: Kahn's-algorithm scratch, the raw node order, and
+    /// the CSR fill cursor.
+    topo_scratch: TopoScratch,
+    node_order: Vec<NodeId>,
+    cursor: Vec<u32>,
 }
 
 impl CyclicStructure {
     /// Builds the structure; `O(n + m)`.
     pub fn new(sg: &SignalGraph) -> Self {
-        let order: Vec<EventId> = topo::topological_order_masked(sg.digraph(), |e| {
-            let arc = sg.arc(ArcId(e.0));
-            sg.is_repetitive(arc.src()) && sg.is_repetitive(arc.dst()) && !arc.is_marked()
-        })
-        .expect("validated unmarked subgraph is acyclic")
-        .into_iter()
-        .map(|n| EventId(n.0))
-        .filter(|&e| sg.is_repetitive(e))
-        .collect();
+        let mut s = CyclicStructure::default();
+        s.rebuild(sg);
+        s
+    }
+
+    /// Rebuilds the structure for `sg` in place, reusing every buffer —
+    /// the allocation-free form warm arenas call once per analysis.
+    /// Construction order is deterministic and identical to
+    /// [`CyclicStructure::new`], so the entry order (and with it the
+    /// simulations' arg-max comparison sequence) never depends on which
+    /// path built the structure.
+    pub fn rebuild(&mut self, sg: &SignalGraph) {
+        topo::topological_order_masked_into(
+            sg.digraph(),
+            |e| {
+                let arc = sg.arc(ArcId(e.0));
+                sg.is_repetitive(arc.src()) && sg.is_repetitive(arc.dst()) && !arc.is_marked()
+            },
+            &mut self.topo_scratch,
+            &mut self.node_order,
+        )
+        .expect("validated unmarked subgraph is acyclic");
+        self.order.clear();
+        self.order.extend(
+            self.node_order
+                .iter()
+                .map(|n| EventId(n.0))
+                .filter(|&e| sg.is_repetitive(e)),
+        );
 
         let n = sg.event_count();
-        let mut offsets = vec![0u32; n + 1];
+        self.offsets.clear();
+        self.offsets.resize(n + 1, 0);
         for a in sg.arc_ids() {
             let arc = sg.arc(a);
             if sg.is_repetitive(arc.src()) && sg.is_repetitive(arc.dst()) && !arc.is_disengageable()
             {
-                offsets[arc.dst().index() + 1] += 1;
+                self.offsets[arc.dst().index() + 1] += 1;
             }
         }
         for i in 0..n {
-            offsets[i + 1] += offsets[i];
+            self.offsets[i + 1] += self.offsets[i];
         }
-        let mut cursor = offsets.clone();
-        let mut entries = vec![
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.offsets);
+        self.entries.clear();
+        self.entries.resize(
+            *self.offsets.last().expect("offsets non-empty") as usize,
             InArc {
                 src: 0,
                 delay: 0.0,
                 marked: false,
                 arc: ArcId(0),
-            };
-            *offsets.last().expect("offsets non-empty") as usize
-        ];
+            },
+        );
         for a in sg.arc_ids() {
             let arc = sg.arc(a);
             if sg.is_repetitive(arc.src()) && sg.is_repetitive(arc.dst()) && !arc.is_disengageable()
             {
-                let slot = cursor[arc.dst().index()];
-                entries[slot as usize] = InArc {
+                let slot = self.cursor[arc.dst().index()];
+                self.entries[slot as usize] = InArc {
                     src: arc.src().0,
                     delay: arc.delay().get(),
                     marked: arc.is_marked(),
                     arc: a,
                 };
-                cursor[arc.dst().index()] += 1;
+                self.cursor[arc.dst().index()] += 1;
             }
-        }
-        CyclicStructure {
-            order,
-            offsets,
-            entries,
         }
     }
 

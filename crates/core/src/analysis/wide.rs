@@ -1,0 +1,557 @@
+//! Lane-batched event-initiated simulations: all `b` border simulations
+//! of one analysis in lockstep over a single structure pass.
+//!
+//! # Why lanes
+//!
+//! The cycle-time algorithm runs `b` event-initiated simulations that
+//! each replay the *same* longest-path recurrence over the *same*
+//! [`CyclicStructure`] — only the initiating event differs. Run one
+//! after another (or one per thread), every simulation re-streams the
+//! whole in-arc table through cache to feed a single scalar
+//! `max(best, src + δ)`. A [`WideArena`] instead stores the matrices
+//! **lane-major**:
+//!
+//! ```text
+//! times[(p · n + e) · lanes + k]  =  t_{gk,0}(e_p)      (lane k = border event g_k)
+//!
+//!           ┌ lane 0 ┬ lane 1 ┬ … ┬ lane b-1 ┐   ← contiguous f64s per (p, e)
+//! row p:    │  e = 0 cell      │  e = 1 cell │ …
+//! ```
+//!
+//! so one traversal of the in-arc table feeds `b` contiguous lanes: per
+//! in-arc the kernel loads `(src, δ, marked)` once and performs `b`
+//! branchless `max(best, src + δ)` updates on adjacent memory — the
+//! compiler's autovectorizer turns the inner loop into SIMD `max`/`add`
+//! over full vectors. Arc-table traffic drops by a factor of `b` and the
+//! arithmetic widens to the machine's vector width.
+//!
+//! # Why the results are bit-identical to the scalar kernel
+//!
+//! Per lane, the wide kernel performs *the exact comparison sequence* of
+//! the scalar kernel ([`SimArena`]):
+//!
+//! * in-arcs are visited in the same order, so the arg-max tie-breaking
+//!   (first strict improvement wins) is unchanged;
+//! * `NEG_INFINITY` ("not reached") propagates correctly through the
+//!   branchless form: delays are finite, so `NEG_INFINITY + δ` is
+//!   `NEG_INFINITY`, and it loses every strict `>` comparison — exactly
+//!   the scalar kernel's explicit skip;
+//! * row 0 is special-cased scalar before the lockstep rows begin:
+//!   marked arcs have no previous row (the scalar kernel skips them) and
+//!   lane `k`'s origin cell is pinned to `t_{gk}(g_k) = 0` after the
+//!   row's recurrence, in topological order, so later same-row reads see
+//!   the pinned value just as the scalar kernel's pre-seeded cell.
+//!
+//! Identical candidate values in identical comparison order give
+//! identical IEEE-754 results bit for bit — asserted across generator
+//! families in `tests/wide.rs` and re-asserted by the `bench` binary
+//! before any speedup is reported.
+//!
+//! The one thing the wide kernel does not track is parents: the
+//! cycle-time algorithm needs backtracking only for the single winning
+//! border event, which [`CycleTimeAnalysis::finish`] re-runs scalar with
+//! `track_parents` — `O(b·m)` against the `O(b²·m)` main phase.
+//!
+//! [`CycleTimeAnalysis::finish`]: crate::analysis::CycleTimeAnalysis
+
+use crate::analysis::initiated::{NotRepetitive, SimArena};
+use crate::analysis::structure::CyclicStructure;
+use crate::event::EventId;
+use crate::graph::SignalGraph;
+
+/// Reusable backing store — and result view — of a batch of lockstep
+/// event-initiated simulations, one lane per initiating event.
+///
+/// # Examples
+///
+/// ```
+/// use tsg_core::SignalGraph;
+/// use tsg_core::analysis::wide::WideArena;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = SignalGraph::builder();
+/// let xp = b.event("x+");
+/// let xm = b.event("x-");
+/// b.arc(xp, xm, 3.0);
+/// b.marked_arc(xm, xp, 2.0);
+/// let sg = b.build()?;
+///
+/// let mut wide = WideArena::new();
+/// wide.run(&sg, &[xp, xm], 2)?; // two lanes, one shared traversal
+/// assert_eq!(wide.time(0, xp, 1), Some(5.0));
+/// assert_eq!(wide.time(1, xm, 1), Some(5.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct WideArena {
+    /// Flat lane-major time matrix: `times[(p * n + e) * lanes + k]`.
+    times: Vec<f64>,
+    /// Initiating event of each lane.
+    origins: Vec<EventId>,
+    /// Events per row of the last run.
+    n: usize,
+    /// Rows of the last run (`periods + 1`).
+    p_total: usize,
+    /// Periods of the last run.
+    periods: u32,
+}
+
+impl Default for WideArena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WideArena {
+    /// An empty arena; the first [`WideArena::run`] sizes it.
+    pub fn new() -> Self {
+        WideArena {
+            times: Vec::new(),
+            origins: Vec::new(),
+            n: 0,
+            p_total: 0,
+            periods: 0,
+        }
+    }
+
+    /// Runs one `g₀`-initiated simulation per origin, all lanes in
+    /// lockstep over `periods` periods, reusing this arena's buffers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotRepetitive`] for the first non-repetitive origin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `periods == 0` or `origins` is empty.
+    pub fn run(
+        &mut self,
+        sg: &SignalGraph,
+        origins: &[EventId],
+        periods: u32,
+    ) -> Result<(), NotRepetitive> {
+        let structure = CyclicStructure::new(sg);
+        self.run_with(sg, &structure, origins, periods)
+    }
+
+    /// Shared-structure variant — the cycle-time algorithm builds one
+    /// [`CyclicStructure`] and batches every border event over it.
+    pub(crate) fn run_with(
+        &mut self,
+        sg: &SignalGraph,
+        structure: &CyclicStructure,
+        origins: &[EventId],
+        periods: u32,
+    ) -> Result<(), NotRepetitive> {
+        assert!(periods >= 1, "simulation needs at least one period");
+        assert!(!origins.is_empty(), "wide run needs at least one lane");
+        for &g in origins {
+            if !sg.is_repetitive(g) {
+                return Err(NotRepetitive(g));
+            }
+        }
+        let n = sg.event_count();
+        let lanes = origins.len();
+        let p_total = periods as usize + 1;
+        self.n = n;
+        self.p_total = p_total;
+        self.periods = periods;
+        self.origins.clear();
+        self.origins.extend_from_slice(origins);
+
+        // `resize` touches existing capacity only: after the first run
+        // of this shape, no allocator traffic. No global fill: the
+        // recurrence overwrites every repetitive event's cell in every
+        // row, so only the columns of events *outside* the cyclic
+        // structure (prefix/finite events — usually none) need their
+        // NEG_INFINITY reset against stale cells of a previous run.
+        let cells = p_total * n * lanes;
+        self.times.resize(cells, f64::NEG_INFINITY);
+        for e in sg.events() {
+            if !sg.is_repetitive(e) {
+                for p in 0..p_total {
+                    let base = (p * n + e.index()) * lanes;
+                    self.times[base..base + lanes].fill(f64::NEG_INFINITY);
+                }
+            }
+        }
+
+        self.compute_rows(structure, 0);
+        Ok(())
+    }
+
+    /// Dirty-region restart: recomputes rows `start_row..` of the *same*
+    /// batch this arena last ran — every lane, in one shared pass —
+    /// assuming rows below `start_row` are still exact for the current
+    /// delay assignment. The caller
+    /// ([`AnalysisSession`](crate::analysis::session::AnalysisSession))
+    /// guarantees no edited arc can influence any lane's cell below its
+    /// per-lane `r0`, and passes the minimum of those: lanes whose own
+    /// dirty region starts later have their intermediate rows recomputed
+    /// to bit-identical values (the recurrence is a pure function of the
+    /// rows below), so the resulting matrix equals a full re-run over
+    /// the edited structure bit for bit.
+    pub(crate) fn rerun_rows_from(&mut self, structure: &CyclicStructure, start_row: usize) {
+        if start_row >= self.p_total {
+            return; // the batch's earliest influence is beyond the horizon
+        }
+        self.compute_rows(structure, start_row);
+    }
+
+    /// The lockstep longest-path recurrence over rows
+    /// `start_row..p_total`: dispatches to a lane-count-specialised
+    /// instantiation for the common SIMD widths, so the per-arc lane
+    /// loops compile with a constant trip count — fully unrolled, bounds
+    /// checks folded — and fall back to the dynamic form otherwise.
+    fn compute_rows(&mut self, structure: &CyclicStructure, start_row: usize) {
+        match self.origins.len() {
+            4 => self.compute_rows_impl::<4>(structure, start_row),
+            8 => self.compute_rows_impl::<8>(structure, start_row),
+            16 => self.compute_rows_impl::<16>(structure, start_row),
+            32 => self.compute_rows_impl::<32>(structure, start_row),
+            _ => self.compute_rows_impl::<0>(structure, start_row),
+        }
+    }
+
+    /// One lane-count instantiation of the recurrence (`L == 0` is the
+    /// dynamic-width fallback); row `start_row - 1` (when any) must hold
+    /// valid values.
+    ///
+    /// Per event the row is split around the destination cell
+    /// (`split_at_mut`), so the `lanes` accumulator IS the destination —
+    /// no scratch buffer, no copy-back pass. Unmarked in-arcs always
+    /// read a *different* event's cell (the unmarked subgraph is
+    /// acyclic, so `src ≠ ev`), which lands in the left or right remnant
+    /// of the split; marked in-arcs read the previous row.
+    fn compute_rows_impl<const L: usize>(&mut self, structure: &CyclicStructure, start_row: usize) {
+        let n = self.n;
+        let p_total = self.p_total;
+        let lanes = if L == 0 { self.origins.len() } else { L };
+        let row_cells = n * lanes;
+        let WideArena { times, origins, .. } = self;
+        for p in start_row..p_total {
+            let (before, current) = times.split_at_mut(p * row_cells);
+            let row = &mut current[..row_cells];
+            let prev: &[f64] = if p > 0 {
+                &before[(p - 1) * row_cells..]
+            } else {
+                &[]
+            };
+            for &ev in &structure.order {
+                let base = ev.index() * lanes;
+                let (left, rest) = row.split_at_mut(base);
+                let (dst, right) = rest.split_at_mut(lanes);
+                let mut first = true;
+                for ia in structure.in_arcs(ev) {
+                    let sb = ia.src as usize * lanes;
+                    let src = if ia.marked {
+                        if p == 0 {
+                            continue; // no previous row: token enables for free
+                        }
+                        &prev[sb..sb + lanes]
+                    } else if sb < base {
+                        &left[sb..sb + lanes]
+                    } else {
+                        &right[sb - base - lanes..][..lanes]
+                    };
+                    accumulate(dst, src, ia.delay, first);
+                    first = false;
+                }
+                if first {
+                    dst.fill(f64::NEG_INFINITY); // no usable in-arc
+                }
+                if p == 0 {
+                    // Row 0: pin each lane's origin cell to 0, in
+                    // topological order, so later same-row reads see it
+                    // exactly as the scalar kernel's pre-seeded cell.
+                    for (k, &g) in origins.iter().enumerate() {
+                        if g == ev {
+                            dst[k] = 0.0; // t_g(g) = 0 by definition
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Allocated capacity of the lane-major time buffer, in cells.
+    ///
+    /// A warm-pool worker asserts this stays constant across requests of
+    /// the same shape, exactly like [`SimArena::capacity`].
+    pub fn capacity(&self) -> usize {
+        self.times.capacity()
+    }
+
+    /// Number of lanes of the last run.
+    pub fn lanes(&self) -> usize {
+        self.origins.len()
+    }
+
+    /// The initiating event of lane `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k` is out of range.
+    pub fn origin(&self, k: usize) -> EventId {
+        self.origins[k]
+    }
+
+    /// Periods of the last run (instances `0..=periods` are available).
+    pub fn periods(&self) -> u32 {
+        self.periods
+    }
+
+    /// `t_{gk,0}(e_p)` of lane `k`, or `None` when `g_{k,0} ⇏ e_p` —
+    /// the lane-indexed twin of [`SimArena::time`].
+    pub fn time(&self, k: usize, e: EventId, instance: u32) -> Option<f64> {
+        let p = instance as usize;
+        if p >= self.p_total || k >= self.origins.len() {
+            return None;
+        }
+        let t = self.times[(p * self.n + e.index()) * self.origins.len() + k];
+        (t > f64::NEG_INFINITY).then_some(t)
+    }
+
+    /// All defined `δ_{gk,0}(g_{k,i})` of lane `k`, as `(i, t, δ)`.
+    pub fn distance_series(&self, k: usize) -> Vec<(u32, f64, f64)> {
+        let mut out = Vec::new();
+        self.distance_series_into(k, &mut out);
+        out
+    }
+
+    /// Allocation-reusing form of [`distance_series`](Self::distance_series):
+    /// clears `out` and fills it in place, so a warm caller (an
+    /// analysis session's per-border record) keeps one buffer per lane
+    /// alive across re-runs.
+    pub fn distance_series_into(&self, k: usize, out: &mut Vec<(u32, f64, f64)>) {
+        out.clear();
+        let g = self.origins[k];
+        out.extend(
+            (1..=self.periods).filter_map(|i| self.time(k, g, i).map(|t| (i, t, t / i as f64))),
+        );
+    }
+}
+
+/// The widened recurrence step: `dst[k] = max(dst[k], src[k] + δ)` for
+/// every lane, branchless — the loop the autovectorizer turns into SIMD
+/// `add`/`max` over contiguous lanes.
+///
+/// The event's `first` in-arc stores its candidates directly instead of
+/// comparing against a freshly filled `NEG_INFINITY` accumulator — bit-
+/// identical, because `max(NEG_INFINITY, cand)` is `cand` whether `cand`
+/// is finite or `NEG_INFINITY` itself — which saves one full pass over
+/// the lanes per event.
+#[inline(always)]
+fn accumulate(dst: &mut [f64], src: &[f64], delay: f64, first: bool) {
+    if first {
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d = s + delay;
+        }
+        return;
+    }
+    for (d, &s) in dst.iter_mut().zip(src) {
+        let cand = s + delay;
+        if cand > *d {
+            *d = cand;
+        }
+    }
+}
+
+/// The reusable state of one full cycle-time analysis: the wide matrix
+/// all `b` lockstep border simulations share, plus the scalar
+/// [`SimArena`] the parent-tracked winner re-run uses.
+///
+/// [`CycleTimeAnalysis::run_in`](crate::analysis::CycleTimeAnalysis::run_in)
+/// reuses one of these per worker/request the way the scalar engine
+/// reuses a [`SimArena`]: after the first analysis of the largest shape,
+/// repeated analyses never touch the allocator.
+#[derive(Clone, Debug, Default)]
+pub struct AnalysisArena {
+    pub(crate) wide: WideArena,
+    pub(crate) finish: SimArena,
+    /// The shared evaluation structure, rebuilt in place per analysed
+    /// graph (buffer-reusing; see [`CyclicStructure::rebuild`]).
+    pub(crate) structure: CyclicStructure,
+}
+
+impl AnalysisArena {
+    /// An empty arena pair; the first analysis sizes both.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocated capacities `(wide time cells, scalar time cells,
+    /// scalar parent cells)` — the warm-pool zero-allocation assertions
+    /// check all three stay constant across same-shape requests.
+    pub fn capacity(&self) -> (usize, usize, usize) {
+        let (t, p) = self.finish.capacity();
+        (self.wide.capacity(), t, p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SignalGraph;
+
+    fn figure2() -> SignalGraph {
+        let mut b = SignalGraph::builder();
+        let e = b.initial_event("e-");
+        let f = b.finite_event("f-");
+        let ap = b.event("a+");
+        let bp = b.event("b+");
+        let cp = b.event("c+");
+        let am = b.event("a-");
+        let bm = b.event("b-");
+        let cm = b.event("c-");
+        b.arc(e, f, 3.0);
+        b.disengageable_arc(e, ap, 2.0);
+        b.disengageable_arc(f, bp, 1.0);
+        b.arc(ap, cp, 3.0);
+        b.arc(bp, cp, 2.0);
+        b.arc(cp, am, 2.0);
+        b.arc(cp, bm, 1.0);
+        b.arc(am, cm, 3.0);
+        b.arc(bm, cm, 2.0);
+        b.marked_arc(cm, ap, 2.0);
+        b.marked_arc(cm, bp, 1.0);
+        b.build().unwrap()
+    }
+
+    /// Every lane of a wide run must equal the scalar simulation of the
+    /// same origin, cell for cell, bit for bit.
+    fn assert_lanes_match_scalar(sg: &SignalGraph, wide: &WideArena, ctx: &str) {
+        let mut scalar = SimArena::new();
+        for k in 0..wide.lanes() {
+            let g = wide.origin(k);
+            scalar.run(sg, g, wide.periods(), false).unwrap();
+            for e in sg.events() {
+                for p in 0..=wide.periods() {
+                    assert_eq!(
+                        wide.time(k, e, p).map(f64::to_bits),
+                        scalar.time(e, p).map(f64::to_bits),
+                        "{ctx}: lane {k} ({}) e={} p={p}",
+                        sg.label(g),
+                        sg.label(e)
+                    );
+                }
+            }
+            assert_eq!(wide.distance_series(k), scalar.distance_series(), "{ctx}");
+        }
+    }
+
+    #[test]
+    fn lockstep_lanes_equal_scalar_simulations() {
+        let sg = figure2();
+        let borders = sg.border_events();
+        assert_eq!(borders.len(), 2);
+        let mut wide = WideArena::new();
+        for periods in [1u32, 2, 3, 7] {
+            wide.run(&sg, &borders, periods).unwrap();
+            assert_lanes_match_scalar(&sg, &wide, &format!("periods={periods}"));
+        }
+    }
+
+    #[test]
+    fn single_lane_is_the_scalar_kernel() {
+        let sg = figure2();
+        let ap = sg.event_by_label("a+").unwrap();
+        let mut wide = WideArena::new();
+        wide.run(&sg, &[ap], 2).unwrap();
+        assert_lanes_match_scalar(&sg, &wide, "single lane");
+        assert_eq!(wide.time(0, ap, 1), Some(10.0));
+    }
+
+    #[test]
+    fn arena_reuse_across_shapes_leaves_no_ghosts() {
+        let big = {
+            let mut b = SignalGraph::builder();
+            let evs: Vec<_> = (0..12).map(|i| b.event(&format!("e{i}"))).collect();
+            for w in evs.windows(2) {
+                b.arc(w[0], w[1], 1.0);
+            }
+            b.marked_arc(evs[11], evs[0], 1.0);
+            b.marked_arc(evs[5], evs[6], 0.5);
+            b.build().unwrap()
+        };
+        let small = figure2();
+        let mut wide = WideArena::new();
+        wide.run(&big, &big.border_events(), 8).unwrap();
+        assert_lanes_match_scalar(&big, &wide, "big");
+        wide.run(&small, &small.border_events(), 2).unwrap();
+        assert_lanes_match_scalar(&small, &wide, "small after big");
+    }
+
+    #[test]
+    fn rerun_rows_from_matches_full_rerun() {
+        // Edit a delay, resume from each candidate row whose cells the
+        // edit cannot influence, and compare against a from-scratch wide
+        // run of the edited graph.
+        let mut sg = figure2();
+        let borders = sg.border_events();
+        let mut wide = WideArena::new();
+        wide.run(&sg, &borders, 3).unwrap();
+
+        // The c- -> a+ marked arc: ε(a+ -> c-) = 0, marked, so r0 = 1
+        // for the a+ lane (and 1 for b+ via the same reasoning).
+        let cm = sg.event_by_label("c-").unwrap();
+        let ap = sg.event_by_label("a+").unwrap();
+        let arc = sg.arc_between(cm, ap).unwrap();
+        sg.set_delay(arc, 6.5).unwrap();
+        let structure = CyclicStructure::new(&sg);
+        wide.rerun_rows_from(&structure, 1);
+
+        let mut fresh = WideArena::new();
+        fresh.run(&sg, &borders, 3).unwrap();
+        for k in 0..borders.len() {
+            for e in sg.events() {
+                for p in 0..=3 {
+                    assert_eq!(
+                        wide.time(k, e, p).map(f64::to_bits),
+                        fresh.time(k, e, p).map(f64::to_bits),
+                        "lane {k} e={} p={p}",
+                        sg.label(e)
+                    );
+                }
+            }
+        }
+        assert_lanes_match_scalar(&sg, &wide, "after resume");
+    }
+
+    #[test]
+    fn rerun_beyond_horizon_is_a_noop() {
+        let sg = figure2();
+        let borders = sg.border_events();
+        let mut wide = WideArena::new();
+        wide.run(&sg, &borders, 2).unwrap();
+        let before = wide.times.clone();
+        let structure = CyclicStructure::new(&sg);
+        wide.rerun_rows_from(&structure, 3);
+        assert_eq!(wide.times, before);
+    }
+
+    #[test]
+    fn non_repetitive_origin_rejected() {
+        let sg = figure2();
+        let e = sg.event_by_label("e-").unwrap();
+        let ap = sg.event_by_label("a+").unwrap();
+        let mut wide = WideArena::new();
+        assert_eq!(wide.run(&sg, &[ap, e], 2).unwrap_err(), NotRepetitive(e));
+    }
+
+    #[test]
+    fn distance_series_into_reuses_the_buffer() {
+        let sg = figure2();
+        let borders = sg.border_events();
+        let mut wide = WideArena::new();
+        wide.run(&sg, &borders, 2).unwrap();
+        let mut buf = Vec::with_capacity(8);
+        let cap = buf.capacity();
+        for k in 0..wide.lanes() {
+            wide.distance_series_into(k, &mut buf);
+            assert_eq!(buf, wide.distance_series(k));
+            assert_eq!(buf.capacity(), cap, "no reallocation within capacity");
+        }
+    }
+}

@@ -12,7 +12,7 @@
 //! * [`ops`] — the analysis operations themselves, shared with the
 //!   one-shot CLI so a served response is byte-identical to the
 //!   equivalent `tsg analyze` / `tsg sim` invocation, plus the warm
-//!   per-worker [`Workspace`] (one [`SimArena`], pre-sized event
+//!   per-worker [`Workspace`] (one [`AnalysisArena`], pre-sized event
 //!   queues and the open [`AnalysisSession`]s — no per-request
 //!   allocation on the hot path after warm-up);
 //! * [`pool`] — the persistent worker [`Pool`]: dynamic claiming on the
@@ -27,7 +27,7 @@
 //!
 //! [`AnalysisSession`]: tsg_core::analysis::session::AnalysisSession
 //!
-//! [`SimArena`]: tsg_core::analysis::initiated::SimArena
+//! [`AnalysisArena`]: tsg_core::analysis::wide::AnalysisArena
 //! [`Workspace`]: ops::Workspace
 //!
 //! ## Example
@@ -46,7 +46,10 @@
 //!     "\n",
 //! );
 //! let mut out = Vec::new();
-//! let opts = ServeOptions { threads: Some(1) };
+//! let opts = ServeOptions {
+//!     threads: Some(1),
+//!     ..ServeOptions::default()
+//! };
 //! let stats = serve(Cursor::new(script), &mut out, &opts, None).unwrap();
 //! assert_eq!(stats.served, 2);
 //! let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
@@ -163,7 +166,7 @@ fn accept_loop<F>(
 where
     F: FnMut(Arc<Pool>, Arc<AtomicBool>) -> io::Result<Option<std::thread::JoinHandle<()>>>,
 {
-    let pool = Arc::new(Pool::new(opts.threads));
+    let pool = Arc::new(Pool::new(opts));
     // Connection threads need a `'static` flag; the loop below mirrors
     // the caller's borrowed one into this owned bridge every poll.
     let bridge = Arc::new(AtomicBool::new(false));

@@ -10,7 +10,9 @@
 //!   fresh state per invocation (and `report` fans the border
 //!   simulations across a thread pool);
 //! * a serve worker drives a persistent [`Workspace`] — one warm
-//!   [`SimArena`] plus pre-sized event queues — through
+//!   [`AnalysisArena`] (the lane-major wide matrix of all `b` lockstep
+//!   border simulations plus the scalar finish arena) and pre-sized
+//!   event queues — through
 //!   [`Workspace::analyze`] / [`Workspace::simulate`], which are
 //!   bit-identical to the cold paths (`CycleTimeAnalysis::run_in` ≡
 //!   `run_parallel`, `EventSimulation::run_in` ≡ `run_on`; both
@@ -22,9 +24,9 @@ use std::fmt::Write as _;
 
 use tsg_core::analysis::diagram::{self, DiagramOptions};
 use tsg_core::analysis::event_sim::{EventSimScratch, EventSimulation};
-use tsg_core::analysis::initiated::SimArena;
 use tsg_core::analysis::session::{AnalysisSession, DelayEdit};
 use tsg_core::analysis::sim::TimingSimulation;
+use tsg_core::analysis::wide::AnalysisArena;
 use tsg_core::analysis::{AnalysisError, CycleTimeAnalysis};
 use tsg_core::SignalGraph;
 use tsg_sim::{BatchRunner, QueueKind, TraceRecorder};
@@ -187,7 +189,7 @@ pub fn report(sg: &SignalGraph, opts: &AnalyzeOptions) -> String {
 /// The `tsg analyze` report, warm path: all simulations reuse `arena`.
 /// Byte-identical to [`report`] — `run_in` and `run_parallel` produce
 /// bit-identical analyses.
-pub fn report_in(sg: &SignalGraph, opts: &AnalyzeOptions, arena: &mut SimArena) -> String {
+pub fn report_in(sg: &SignalGraph, opts: &AnalyzeOptions, arena: &mut AnalysisArena) -> String {
     render_report(sg, opts, CycleTimeAnalysis::run_in(sg, None, arena))
 }
 
@@ -370,7 +372,7 @@ fn kind_slot(kind: QueueKind) -> usize {
 /// that.
 #[derive(Debug, Default)]
 pub struct Workspace {
-    arena: SimArena,
+    arena: AnalysisArena,
     graph: [Option<EventSimScratch>; 2],
     netlist: [Option<tsg_circuit::SimQueue>; 2],
     /// Open incremental sessions, keyed `"{conn}/{name}"` — the
@@ -385,8 +387,9 @@ impl Workspace {
         Self::default()
     }
 
-    /// Capacity of the analysis arena's `(times, parent)` buffers.
-    pub fn arena_capacity(&self) -> (usize, usize) {
+    /// Capacity of the analysis arena's buffers: `(wide lane-major time
+    /// cells, scalar time cells, scalar parent cells)`.
+    pub fn arena_capacity(&self) -> (usize, usize, usize) {
         self.arena.capacity()
     }
 
@@ -543,10 +546,14 @@ impl Workspace {
     }
 
     /// Drops every session a disconnected client left open — the pool
-    /// broadcasts this to all workers when a connection ends.
-    pub fn close_conn_sessions(&mut self, conn: u64) {
+    /// broadcasts this to all workers when a connection ends — and
+    /// returns how many were swept (the pool settles its session cap
+    /// with the count).
+    pub fn close_conn_sessions(&mut self, conn: u64) -> usize {
         let prefix = session_key(conn, "");
+        let before = self.sessions.len();
         self.sessions.retain(|key, _| !key.starts_with(&prefix));
+        before - self.sessions.len()
     }
 
     /// Gate-level event-driven simulation on the warm per-kind queue.

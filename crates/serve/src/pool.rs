@@ -48,6 +48,13 @@ pub struct ServeOptions {
     /// Worker threads (`None` = all cores), resolved through
     /// [`BatchRunner::sized`].
     pub threads: Option<usize>,
+    /// Pool-wide cap on concurrently open incremental sessions (`None`
+    /// = unbounded). Each open session pins O(b²·n) warm matrix cells to
+    /// a worker for its whole life, so a long-lived service should
+    /// bound them: a `session.open` beyond the cap is answered with a
+    /// structured `ok: false` error instead of growing worker memory,
+    /// and the slot frees on `session.close` or disconnect.
+    pub max_sessions: Option<u64>,
 }
 
 /// Counters of a pool (or a finished serve run).
@@ -100,6 +107,10 @@ struct PoolShared {
     failed: AtomicU64,
     threads: usize,
     next_conn: AtomicU64,
+    /// Incremental sessions currently open across every worker.
+    open_sessions: AtomicU64,
+    /// Cap on `open_sessions` (`None` = unbounded).
+    max_sessions: Option<u64>,
 }
 
 /// A persistent warm worker pool; see the module docs.
@@ -112,10 +123,12 @@ pub struct Pool {
 }
 
 impl Pool {
-    /// Spawns a pool with `threads` workers (`None` = all cores, via
-    /// [`BatchRunner::sized`]), each owning one warm [`Workspace`].
-    pub fn new(threads: Option<usize>) -> Self {
-        let threads = BatchRunner::sized(threads).threads();
+    /// Spawns a pool per `opts`: `opts.threads` workers (`None` = all
+    /// cores, via [`BatchRunner::sized`]), each owning one warm
+    /// [`Workspace`], with open incremental sessions capped pool-wide by
+    /// `opts.max_sessions`.
+    pub fn new(opts: &ServeOptions) -> Self {
+        let threads = BatchRunner::sized(opts.threads).threads();
         let shared = Arc::new(PoolShared {
             queues: Mutex::new(JobQueues {
                 shared: VecDeque::new(),
@@ -127,6 +140,8 @@ impl Pool {
             failed: AtomicU64::new(0),
             threads,
             next_conn: AtomicU64::new(0),
+            open_sessions: AtomicU64::new(0),
+            max_sessions: opts.max_sessions,
         });
         let workers = (0..threads)
             .map(|index| {
@@ -299,17 +314,23 @@ impl Pool {
             }
             // Sweep the client's sessions from every worker. The pinned
             // lanes are FIFO, so the sweep runs after every accepted
-            // session request.
+            // session request — and the loop below *waits* for each
+            // worker's acknowledgement, so when `serve_session` returns,
+            // the client's sessions (and their slots under the
+            // `--max-sessions` cap) are guaranteed released.
+            let (sweep_tx, sweep_rx) = mpsc::channel::<(u64, String)>();
             for worker in 0..self.shared.threads {
                 self.submit(
                     Some(worker),
                     Job {
                         seq: 0,
                         payload: JobPayload::CloseSessions { conn },
-                        reply: None,
+                        reply: Some(sweep_tx.clone()),
                     },
                 );
             }
+            drop(sweep_tx);
+            for _ack in sweep_rx {}
             // The writer exits once every accepted job's reply sender is
             // gone: all responses flushed.
             drop(res_tx);
@@ -368,7 +389,17 @@ fn worker_loop(shared: &PoolShared, index: usize) {
             break; // pool closed and queues drained
         };
         match job.payload {
-            JobPayload::CloseSessions { conn } => workspace.close_conn_sessions(conn),
+            JobPayload::CloseSessions { conn } => {
+                let swept = workspace.close_conn_sessions(conn);
+                shared
+                    .open_sessions
+                    .fetch_sub(swept as u64, Ordering::SeqCst);
+                if let Some(reply) = &job.reply {
+                    // Acknowledge so the disconnecting session can wait
+                    // for its slots to be released before returning.
+                    let _ = reply.send((job.seq, String::new()));
+                }
+            }
             JobPayload::Request { conn, parsed } => {
                 let response = handle(conn, parsed, &mut workspace, shared);
                 if let Some(reply) = &job.reply {
@@ -435,14 +466,52 @@ fn handle(
             session,
             source,
             default_delay,
-        } => respond(isolate(|| {
-            workspace.session_open(conn, &session, &source, default_delay)
-        })),
+        } => {
+            // Reserve a slot against the pool-wide cap before doing any
+            // work; release it when the open does not go through.
+            if let Err(e) = reserve_session_slot(shared) {
+                return respond(Err(e));
+            }
+            let result = isolate(|| workspace.session_open(conn, &session, &source, default_delay));
+            if result.is_err() {
+                shared.open_sessions.fetch_sub(1, Ordering::SeqCst);
+            }
+            respond(result)
+        }
         Command::SessionEdit { session, edits } => {
             respond(isolate(|| workspace.session_edit(conn, &session, &edits)))
         }
         Command::SessionClose { session } => {
-            respond(isolate(|| workspace.session_close(conn, &session)))
+            let result = isolate(|| workspace.session_close(conn, &session));
+            if result.is_ok() {
+                shared.open_sessions.fetch_sub(1, Ordering::SeqCst);
+            }
+            respond(result)
+        }
+    }
+}
+
+/// Reserves one open-session slot against the pool-wide cap, or
+/// explains why it cannot — the structured error a `session.open`
+/// beyond `--max-sessions` is answered with. Lock-free: concurrent
+/// opens race on a compare-exchange, so the cap is never oversubscribed.
+fn reserve_session_slot(shared: &PoolShared) -> Result<(), String> {
+    loop {
+        let open = shared.open_sessions.load(Ordering::SeqCst);
+        if let Some(cap) = shared.max_sessions {
+            if open >= cap {
+                return Err(format!(
+                    "session limit reached: {open} of {cap} session(s) open \
+                     (each holds O(b²·n) warm state); close one or raise --max-sessions"
+                ));
+            }
+        }
+        if shared
+            .open_sessions
+            .compare_exchange(open, open + 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            return Ok(());
         }
     }
 }
@@ -484,7 +553,7 @@ where
     R: BufRead + Send + 'static,
     W: Write + Send,
 {
-    let pool = Pool::new(opts.threads);
+    let pool = Pool::new(opts);
     pool.serve_session(input, output, shutdown)?;
     Ok(pool.stats())
 }

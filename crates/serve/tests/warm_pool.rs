@@ -30,6 +30,7 @@ fn session(script: &str, threads: usize) -> Vec<Json> {
     let mut out = Vec::new();
     let opts = ServeOptions {
         threads: Some(threads),
+        ..ServeOptions::default()
     };
     serve(Cursor::new(script.to_owned()), &mut out, &opts, None).expect("in-memory serve");
     String::from_utf8(out)
@@ -69,14 +70,16 @@ fn warm_analyze_is_allocation_free_and_byte_identical() {
     let first = ws.analyze(&source, &opts).unwrap();
     assert_eq!(first, cold, "warm path must match the one-shot report");
     let warm_caps = ws.arena_capacity();
-    assert!(warm_caps.0 > 0, "first analyze warms the arena");
+    assert!(warm_caps.0 > 0, "first analyze warms the wide lane matrix");
+    assert!(warm_caps.1 > 0, "and the scalar finish arena");
     for _ in 0..3 {
         let again = ws.analyze(&source, &opts).unwrap();
         assert_eq!(again, cold);
         assert_eq!(
             ws.arena_capacity(),
             warm_caps,
-            "replaying an identical request must not touch the allocator"
+            "replaying an identical request must not touch the allocator \
+             (wide, scalar-times, scalar-parent capacities all constant)"
         );
     }
 }
@@ -249,7 +252,10 @@ fn shutdown_flag_stops_accepting_but_flushes_accepted_work() {
     let stats = serve(
         Cursor::new(req(&[("cmd", Json::from("stats"))]) + "\n"),
         &mut out,
-        &ServeOptions { threads: Some(1) },
+        &ServeOptions {
+            threads: Some(1),
+            ..ServeOptions::default()
+        },
         Some(&flag),
     )
     .unwrap();
@@ -434,7 +440,16 @@ fn two_simultaneous_tcp_clients_share_one_pool() {
     let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
     let server = std::thread::spawn(move || {
-        serve_tcp(listener, &ServeOptions { threads: Some(2) }, None, Some(2)).unwrap()
+        serve_tcp(
+            listener,
+            &ServeOptions {
+                threads: Some(2),
+                ..ServeOptions::default()
+            },
+            None,
+            Some(2),
+        )
+        .unwrap()
     });
 
     let mut a = std::net::TcpStream::connect(addr).unwrap();
@@ -479,7 +494,16 @@ fn sessions_are_scoped_per_connection() {
     let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
     let server = std::thread::spawn(move || {
-        serve_tcp(listener, &ServeOptions { threads: Some(2) }, None, Some(2)).unwrap()
+        serve_tcp(
+            listener,
+            &ServeOptions {
+                threads: Some(2),
+                ..ServeOptions::default()
+            },
+            None,
+            Some(2),
+        )
+        .unwrap()
     });
 
     let mut a = std::net::TcpStream::connect(addr).unwrap();
@@ -515,7 +539,16 @@ fn tcp_session_round_trips() {
     let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
     let server = std::thread::spawn(move || {
-        serve_tcp(listener, &ServeOptions { threads: Some(2) }, None, Some(1)).unwrap()
+        serve_tcp(
+            listener,
+            &ServeOptions {
+                threads: Some(2),
+                ..ServeOptions::default()
+            },
+            None,
+            Some(1),
+        )
+        .unwrap()
     });
     let mut client = std::net::TcpStream::connect(addr).unwrap();
     let script = req(&[
@@ -549,7 +582,16 @@ fn unix_socket_session_round_trips() {
     let listener = UnixListener::bind(&path).unwrap();
     let sock = path.clone();
     let server = std::thread::spawn(move || {
-        tsg_serve::serve_unix(listener, &ServeOptions { threads: Some(1) }, None, Some(1)).unwrap()
+        tsg_serve::serve_unix(
+            listener,
+            &ServeOptions {
+                threads: Some(1),
+                ..ServeOptions::default()
+            },
+            None,
+            Some(1),
+        )
+        .unwrap()
     });
     let mut client = UnixStream::connect(&sock).unwrap();
     client
@@ -564,4 +606,138 @@ fn unix_socket_session_round_trips() {
     let stats = server.join().unwrap();
     assert_eq!(stats.served, 1);
     let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn session_cap_rejects_opens_beyond_the_limit() {
+    // One worker so the pinned-lane script is fully deterministic:
+    // two sessions fit, the third is refused with a structured error,
+    // and closing one frees its slot for a retry.
+    let osc = Json::from(tsg_stg::EXAMPLE_OSCILLATOR);
+    let open = |id: f64, name: &str| {
+        req(&[
+            ("id", Json::Num(id)),
+            ("cmd", Json::from("session.open")),
+            ("session", Json::from(name)),
+            ("text", osc.clone()),
+            ("name", Json::from("osc.g")),
+        ]) + "\n"
+    };
+    let close = |id: f64, name: &str| {
+        req(&[
+            ("id", Json::Num(id)),
+            ("cmd", Json::from("session.close")),
+            ("session", Json::from(name)),
+        ]) + "\n"
+    };
+    let script = [
+        open(1.0, "a"),
+        open(2.0, "b"),
+        open(3.0, "c"),
+        close(4.0, "a"),
+        open(5.0, "c"),
+        close(6.0, "b"),
+        close(7.0, "c"),
+    ]
+    .concat();
+    let mut out = Vec::new();
+    let opts = ServeOptions {
+        threads: Some(1),
+        max_sessions: Some(2),
+    };
+    serve(Cursor::new(script), &mut out, &opts, None).unwrap();
+    let responses: Vec<Json> = String::from_utf8(out)
+        .unwrap()
+        .lines()
+        .map(|l| Json::parse(l).unwrap())
+        .collect();
+    assert_eq!(responses.len(), 7);
+    for (i, want_ok) in [true, true, false, true, true, true, true]
+        .iter()
+        .enumerate()
+    {
+        assert_eq!(
+            responses[i].get("ok"),
+            Some(&Json::Bool(*want_ok)),
+            "request {}",
+            i + 1
+        );
+    }
+    let error = responses[2].get("error").and_then(Json::as_str).unwrap();
+    assert!(
+        error.contains("session limit reached: 2 of 2"),
+        "structured error names the cap: {error}"
+    );
+    assert!(error.contains("--max-sessions"), "{error}");
+}
+
+#[test]
+fn failed_session_open_does_not_leak_a_cap_slot() {
+    // A cap of one: an open that fails to parse must release its
+    // reserved slot, so the next valid open still fits.
+    let script = [
+        req(&[
+            ("id", Json::Num(1.0)),
+            ("cmd", Json::from("session.open")),
+            ("session", Json::from("bad")),
+            ("text", Json::from("this is not an stg file")),
+            ("name", Json::from("bad.g")),
+        ]) + "\n",
+        req(&[
+            ("id", Json::Num(2.0)),
+            ("cmd", Json::from("session.open")),
+            ("session", Json::from("good")),
+            ("text", Json::from(tsg_stg::EXAMPLE_OSCILLATOR)),
+            ("name", Json::from("osc.g")),
+        ]) + "\n",
+    ]
+    .concat();
+    let mut out = Vec::new();
+    let opts = ServeOptions {
+        threads: Some(1),
+        max_sessions: Some(1),
+    };
+    serve(Cursor::new(script), &mut out, &opts, None).unwrap();
+    let responses: Vec<Json> = String::from_utf8(out)
+        .unwrap()
+        .lines()
+        .map(|l| Json::parse(l).unwrap())
+        .collect();
+    assert_eq!(responses[0].get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(
+        responses[1].get("ok"),
+        Some(&Json::Bool(true)),
+        "slot must be free after the failed open: {:?}",
+        responses[1]
+    );
+}
+
+#[test]
+fn disconnect_sweep_releases_cap_slots() {
+    // A client leaves its session open; the end-of-connection sweep must
+    // hand the slot back so the next protocol session on the same pool
+    // can open one under a cap of 1.
+    let opts = ServeOptions {
+        threads: Some(2),
+        max_sessions: Some(1),
+    };
+    let pool = tsg_serve::Pool::new(&opts);
+    let open = req(&[
+        ("id", Json::Num(1.0)),
+        ("cmd", Json::from("session.open")),
+        ("session", Json::from("left-open")),
+        ("text", Json::from(tsg_stg::EXAMPLE_OSCILLATOR)),
+        ("name", Json::from("osc.g")),
+    ]) + "\n";
+    for round in 0..3 {
+        let mut out = Vec::new();
+        pool.serve_session(Cursor::new(open.clone()), &mut out, None)
+            .unwrap();
+        let response = Json::parse(String::from_utf8(out).unwrap().trim()).unwrap();
+        assert_eq!(
+            response.get("ok"),
+            Some(&Json::Bool(true)),
+            "round {round}: sweep must have freed the slot: {response:?}"
+        );
+    }
 }

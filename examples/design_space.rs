@@ -8,16 +8,16 @@
 //! built once, every grid point is a batch of delay edits, and only the
 //! border simulations whose cones see an edited arc re-run. Each row is
 //! cross-checked against a from-scratch `CycleTimeAnalysis::run_in`
-//! (itself reusing a single `SimArena`, so even the checking loop is
-//! allocation-free after warm-up) — bit-identical, every time.
+//! (itself reusing a single `AnalysisArena`, so even the checking loop
+//! is allocation-free after warm-up) — bit-identical, every time.
 //!
 //! ```sh
 //! cargo run --example design_space
 //! ```
 
-use tsg::core::analysis::initiated::SimArena;
 use tsg::core::analysis::session::{AnalysisSession, DelayEdit};
 use tsg::core::analysis::slack::SlackAnalysis;
+use tsg::core::analysis::wide::AnalysisArena;
 use tsg::core::analysis::CycleTimeAnalysis;
 use tsg::core::{ArcId, SignalGraph};
 use tsg::gen::{handshake_pipeline, PipelineConfig};
@@ -64,7 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .arc_ids()
         .map(|a| knob_of(session.graph(), a))
         .collect();
-    let mut arena = SimArena::new();
+    let mut arena = AnalysisArena::new();
 
     println!(
         "{:>10} {:>10} {:>10} {:>8} {:>10}  critical cycle",

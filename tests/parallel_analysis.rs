@@ -8,7 +8,7 @@
 //! backends.
 
 use proptest::prelude::*;
-use tsg::core::analysis::initiated::SimArena;
+use tsg::core::analysis::wide::AnalysisArena;
 use tsg::core::analysis::CycleTimeAnalysis;
 use tsg::core::SignalGraph;
 use tsg::gen::{random_live_tsg, ring, torus, RandomTsgConfig};
@@ -69,7 +69,7 @@ fn arena_reuse_across_generator_families() {
         random_live_tsg(7, RandomTsgConfig::default()),
         torus(3, 3, 1.0, 5.0),
     ];
-    let mut arena = SimArena::new();
+    let mut arena = AnalysisArena::new();
     for (i, sg) in graphs.iter().enumerate() {
         let reused = CycleTimeAnalysis::run_in(sg, None, &mut arena).unwrap();
         let fresh = CycleTimeAnalysis::run(sg).unwrap();

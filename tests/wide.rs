@@ -1,0 +1,140 @@
+//! The lane-batched wide kernel against the scalar reference engine.
+//!
+//! The correctness bar of PR 5: everything the analysis reports —
+//! cycle-time bits, critical cycle (i.e. the backtracked parents),
+//! critical borders, per-border distance tables, and every cell of every
+//! lane's time matrix — must be **bit-identical** between the lockstep
+//! SIMD-friendly `WideArena` kernel (what `CycleTimeAnalysis::run` now
+//! executes) and the pre-wide scalar engine (kept as
+//! `CycleTimeAnalysis::run_scalar`). The properties sweep every
+//! `tsg_gen` generator family, random edit scripts through
+//! `AnalysisSession`, and every thread count of the lane-chunked
+//! `run_parallel`.
+
+use proptest::prelude::*;
+use tsg::core::analysis::session::AnalysisSession;
+use tsg::core::analysis::CycleTimeAnalysis;
+use tsg::core::{ArcId, SignalGraph};
+use tsg::gen::{handshake_pipeline, random_live_tsg, ring, torus, PipelineConfig, RandomTsgConfig};
+use tsg::sim::BatchRunner;
+use tsg_bench::{assert_analyses_identical, assert_wide_matches_scalar};
+
+/// One generated graph per `(family, seed)` pair — the same family mix
+/// the incremental-session properties use.
+fn graph(family: usize, seed: u64) -> SignalGraph {
+    match family % 4 {
+        0 => ring(4 + (seed % 29) as usize, 1 + (seed % 5) as usize, 1.5),
+        1 => torus(
+            2 + (seed % 3) as usize,
+            2 + (seed / 3 % 4) as usize,
+            2.0,
+            3.0,
+        ),
+        2 => handshake_pipeline(
+            1 + (seed % 5) as usize,
+            PipelineConfig {
+                req_delay: 2.0,
+                ack_delay: 1.0,
+                coupling_delay: 1.0 + (seed % 3) as f64,
+            },
+        ),
+        _ => random_live_tsg(seed, RandomTsgConfig::default()),
+    }
+}
+
+/// A deterministic delay-edit script striding through the arcs.
+fn script(sg: &SignalGraph, seed: u64, count: usize) -> Vec<(ArcId, f64)> {
+    let m = sg.arc_count() as u64;
+    (0..count as u64)
+        .map(|i| {
+            let k = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(i * 41);
+            (
+                ArcId((k % m) as u32),
+                [0.0, 0.5, 1.0, 2.5, 4.0, 7.25][(k / m % 6) as usize],
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The acceptance criterion: `run` (wide) ≡ `run_scalar` on every
+    /// generator family — analyses and raw time matrices alike (the
+    /// shared gate from `tsg_bench`, the same one the bench targets
+    /// run before timing anything).
+    #[test]
+    fn wide_equals_scalar_across_families(family in 0usize..4, seed in 0u64..10_000) {
+        let sg = graph(family, seed);
+        assert_wide_matches_scalar(&sg, &format!("family {family} seed {seed}"));
+    }
+
+    /// Random edit scripts through an `AnalysisSession` (whose warm
+    /// state is now the wide matrix): every step bit-identical to a
+    /// from-scratch scalar analysis of the edited graph.
+    #[test]
+    fn session_edits_match_the_scalar_engine(
+        family in 0usize..4,
+        seed in 0u64..10_000,
+        edits in 1usize..8,
+    ) {
+        let sg = graph(family, seed);
+        let mut session = AnalysisSession::open(sg).expect("live");
+        for (step, (arc, delay)) in script(session.graph(), seed, edits).into_iter().enumerate() {
+            session.edit_delay(arc, delay).unwrap();
+            let scalar = CycleTimeAnalysis::run_scalar(session.graph()).expect("stays live");
+            assert_analyses_identical(
+                &scalar,
+                session.analysis(),
+                &format!("family {family} seed {seed} step {step}"),
+            );
+        }
+    }
+
+    /// Thread-count invariance of the lane-chunked `run_parallel`: any
+    /// chunking of the lanes produces the bits of the sequential wide
+    /// run — and hence of the scalar engine.
+    #[test]
+    fn lane_chunked_run_parallel_is_thread_count_invariant(
+        family in 0usize..4,
+        seed in 0u64..10_000,
+        threads in 1usize..9,
+    ) {
+        let sg = graph(family, seed);
+        let scalar = CycleTimeAnalysis::run_scalar(&sg).expect("live");
+        let par = CycleTimeAnalysis::run_parallel(&sg, &BatchRunner::with_threads(threads))
+            .expect("live");
+        assert_analyses_identical(&scalar, &par, &format!("family {family} seed {seed} x{threads}"));
+    }
+}
+
+/// A deterministic soak per family: 32 edits on one session, wide vs
+/// scalar verified at every step (catches drift that only accumulates
+/// over many resumed lockstep rows).
+#[test]
+fn long_wide_session_soak_per_family() {
+    for family in 0..4usize {
+        let mut session = AnalysisSession::open(graph(family, 11)).expect("live");
+        for (step, (arc, delay)) in script(session.graph(), 11, 32).into_iter().enumerate() {
+            session.edit_delay(arc, delay).unwrap();
+            let scalar = CycleTimeAnalysis::run_scalar(session.graph()).expect("live");
+            assert_analyses_identical(
+                &scalar,
+                session.analysis(),
+                &format!("family {family} step {step}"),
+            );
+        }
+    }
+}
+
+/// The tracked bench workloads of the `wide-vs-scalar` scenario are
+/// themselves property-checked here, so the bench binary's assertion
+/// never fires first in CI.
+#[test]
+fn tracked_bench_workloads_are_bit_identical() {
+    for (name, sg) in tsg_bench::wide_scenarios() {
+        assert_wide_matches_scalar(&sg, &name);
+    }
+}
