@@ -32,4 +32,7 @@ pub use enumerate::{enumerate_cycle_time, CycleInventory};
 pub use howard::howard_cycle_time;
 pub use karp::karp_cycle_time;
 pub use lawler::lawler_cycle_time;
-pub use longrun::{longrun_estimate, longrun_estimate_batch, longrun_estimate_batch_on};
+pub use longrun::{
+    longrun_estimate, longrun_estimate_batch, longrun_estimate_batch_on, longrun_estimate_mc,
+    longrun_estimate_mc_lanes, LongrunLane,
+};

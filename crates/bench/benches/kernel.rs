@@ -19,6 +19,10 @@
 //! * `wide_vs_scalar` — the lane-batched lockstep kernel against the
 //!   scalar reference engine on the tracked ring/torus/random sweeps
 //!   (b ∈ {4, 8, 32}), asserted bit-identical before any timing.
+//! * `simd_vs_portable` — the same sweeps with the wide kernel pinned
+//!   to each backend this CPU offers (portable, then SSE2/AVX2 when
+//!   detected), every backend asserted bit-identical down to each lane
+//!   matrix cell before any timing.
 //! * `analysis` — `CycleTimeAnalysis::run` vs `analyze_batch` over a
 //!   64-graph `tsg_gen` sweep at 1/2/4/8 threads.
 //! * `edit_loop` — the bottleneck-hunting loop: a delay-edit script
@@ -30,8 +34,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use tsg_bench::{
-    assert_wide_matches_scalar, edit_loop_graph, edit_script, hold, push_pop, wide_scenarios,
-    DELAY_BOUND,
+    assert_backends_match, assert_wide_matches_scalar, available_backends, edit_loop_graph,
+    edit_script, hold, push_pop, wide_scenarios, DELAY_BOUND,
 };
 use tsg_core::analysis::initiated::SimArena;
 use tsg_core::analysis::session::AnalysisSession;
@@ -150,6 +154,32 @@ fn bench_wide_vs_scalar(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_simd_vs_portable(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simd_vs_portable");
+    let backends = available_backends();
+    let mut arenas: Vec<AnalysisArena> = backends
+        .iter()
+        .map(|&b| AnalysisArena::with_kernel(b))
+        .collect();
+    for (name, sg) in wide_scenarios() {
+        // Every backend the CPU offers is asserted bit-identical —
+        // analyses and each lane matrix cell — before any timing.
+        assert_backends_match(&sg, &name);
+
+        for (backend, arena) in backends.iter().zip(arenas.iter_mut()) {
+            group.bench_with_input(BenchmarkId::new(backend.name(), &name), &sg, |bench, sg| {
+                bench.iter(|| {
+                    CycleTimeAnalysis::run_in(black_box(sg), None, arena)
+                        .unwrap()
+                        .cycle_time()
+                        .as_f64()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 fn bench_analysis(c: &mut Criterion) {
     let graphs = sweep_graphs();
     let mut group = c.benchmark_group("analysis");
@@ -223,6 +253,6 @@ fn bench_edit_loop(c: &mut Criterion) {
 criterion_group! {
     name = kernel;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
-    targets = bench_push_pop, bench_hold, bench_dispatch_overhead, bench_wide_vs_scalar, bench_analysis, bench_edit_loop
+    targets = bench_push_pop, bench_hold, bench_dispatch_overhead, bench_wide_vs_scalar, bench_simd_vs_portable, bench_analysis, bench_edit_loop
 }
 criterion_main!(kernel);

@@ -7,7 +7,11 @@
 //! Runs the kernel's hot paths outside Criterion — per-backend queue
 //! throughput (bulk push/pop and the steady-state hold model), the
 //! lane-batched wide kernel against the scalar reference engine on the
-//! tracked ring/torus/random sweeps (`wide_vs_scalar`), and
+//! tracked ring/torus/random sweeps (`wide_vs_scalar`), the explicit
+//! SIMD backends against the portable loop on the same sweeps
+//! (`simd_vs_portable`, with the detected CPU feature level recorded),
+//! the lane-batched Monte-Carlo long-run estimator against the
+//! sequential per-seed loop (`longrun_lanes`), and
 //! `CycleTimeAnalysis::analyze_batch` against the sequential loop on a
 //! 64-graph `tsg_gen` sweep — and writes the numbers to
 //! `BENCH_kernel.json` (see the README's "Performance" section for how
@@ -16,20 +20,23 @@
 //! batch pipeline is recorded from PR 2 on.
 //!
 //! Every analysis result is asserted bit-identical between the
-//! sequential and batched pipelines before any number is reported: a
-//! speedup of a wrong answer is not a speedup.
+//! sequential and batched pipelines before any number is reported —
+//! per lane-matrix cell for the SIMD backends, per sorted estimate
+//! distribution for the Monte-Carlo lanes: a speedup of a wrong answer
+//! is not a speedup.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use tsg_baselines::{longrun_estimate_mc, longrun_estimate_mc_lanes};
 use tsg_bench::{
-    assert_wide_matches_scalar, edit_loop_graph, edit_script, hold, push_pop, wide_scenarios,
-    DELAY_BOUND, EDIT_LOOP_WORKLOAD,
+    assert_backends_match, assert_wide_matches_scalar, available_backends, edit_loop_graph,
+    edit_script, hold, push_pop, wide_scenarios, DELAY_BOUND, EDIT_LOOP_WORKLOAD,
 };
 use tsg_core::analysis::initiated::SimArena;
 use tsg_core::analysis::session::AnalysisSession;
 use tsg_core::analysis::wide::AnalysisArena;
-use tsg_core::analysis::CycleTimeAnalysis;
+use tsg_core::analysis::{CycleTimeAnalysis, KernelBackend};
 use tsg_core::SignalGraph;
 use tsg_sim::{BatchRunner, CalendarQueue, EventQueue};
 
@@ -185,6 +192,123 @@ fn measure_wide_vs_scalar(reps: usize) -> Vec<WideRow> {
     rows
 }
 
+struct SimdRow {
+    scenario: String,
+    b: usize,
+    backend: &'static str,
+    seconds: f64,
+    /// Portable-loop seconds over this backend's seconds; 1.0 for the
+    /// portable row itself.
+    speedup: f64,
+}
+
+/// The explicit-SIMD head-to-head: the same tracked sweeps as
+/// `wide_vs_scalar`, but with the wide kernel pinned to each backend
+/// this CPU offers. Before timing, every backend is asserted
+/// bit-identical to the portable loop down to each lane matrix cell.
+fn measure_simd_vs_portable(reps: usize) -> Vec<SimdRow> {
+    let backends = available_backends();
+    let mut arenas: Vec<AnalysisArena> = backends
+        .iter()
+        .map(|&b| AnalysisArena::with_kernel(b))
+        .collect();
+    let mut rows = Vec::new();
+    for (name, sg) in wide_scenarios() {
+        let b = sg.border_events().len();
+        assert_backends_match(&sg, &name);
+
+        let mut portable_seconds = f64::INFINITY;
+        for (backend, arena) in backends.iter().zip(arenas.iter_mut()) {
+            let seconds = time_per_call(reps, || {
+                let a = CycleTimeAnalysis::run_in(&sg, None, arena).expect("live");
+                a.records().len()
+            });
+            if *backend == KernelBackend::Portable {
+                portable_seconds = seconds;
+            }
+            rows.push(SimdRow {
+                scenario: name.clone(),
+                b,
+                backend: backend.name(),
+                seconds,
+                speedup: portable_seconds / seconds.max(1e-12),
+            });
+        }
+    }
+    rows
+}
+
+struct LongrunRow {
+    workload: String,
+    lanes: usize,
+    periods: u32,
+    sequential_seconds: f64,
+    lanes_seconds: f64,
+    speedup: f64,
+}
+
+/// The lane-batched Monte-Carlo long-run estimator vs the sequential
+/// per-seed loop. Before timing, the batch's estimate distribution is
+/// asserted equal (as sorted bit patterns) to the sequential one — on
+/// this estimator the lanes reproduce the per-seed streams bitwise, so
+/// sorted equality is the weakest gate that still pins every value.
+fn measure_longrun_lanes(reps: usize, periods: u32) -> Vec<LongrunRow> {
+    const JITTER: f64 = 0.1;
+    let workloads: [(String, SignalGraph); 2] = [
+        ("ring n=64 tokens=8".to_owned(), tsg_gen::ring(64, 8, 2.0)),
+        (
+            "random seed=7".to_owned(),
+            tsg_gen::random_live_tsg(7, tsg_gen::RandomTsgConfig::default()),
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (workload, sg) in &workloads {
+        for lanes in [4usize, 8, 32] {
+            let seeds: Vec<u64> = (0..lanes as u64).collect();
+
+            // Distribution-equality gate first.
+            let mut batch: Vec<u64> = longrun_estimate_mc_lanes(sg, periods, JITTER, &seeds)
+                .iter()
+                .map(|l| l.estimate.map_or(u64::MAX, f64::to_bits))
+                .collect();
+            let mut seq: Vec<u64> = seeds
+                .iter()
+                .map(|&s| {
+                    longrun_estimate_mc(sg, periods, JITTER, s).map_or(u64::MAX, f64::to_bits)
+                })
+                .collect();
+            batch.sort_unstable();
+            seq.sort_unstable();
+            assert_eq!(
+                batch, seq,
+                "{workload} K={lanes}: lane batch distribution diverged from sequential seeds"
+            );
+
+            let sequential_seconds = time_per_call(reps, || {
+                seeds
+                    .iter()
+                    .filter(|&&s| longrun_estimate_mc(sg, periods, JITTER, s).is_some())
+                    .count()
+            });
+            let lanes_seconds = time_per_call(reps, || {
+                longrun_estimate_mc_lanes(sg, periods, JITTER, &seeds)
+                    .iter()
+                    .filter(|l| l.estimate.is_some())
+                    .count()
+            });
+            rows.push(LongrunRow {
+                workload: workload.clone(),
+                lanes,
+                periods,
+                sequential_seconds,
+                lanes_seconds,
+                speedup: sequential_seconds / lanes_seconds.max(1e-12),
+            });
+        }
+    }
+    rows
+}
+
 /// The 64-graph sweep of the acceptance criterion: sequential loop vs
 /// `analyze_batch` at several thread counts, asserted bit-identical.
 fn measure_analysis(
@@ -317,6 +441,7 @@ fn measure_edit_loop(edit_counts: &[usize], reps: usize) -> Vec<EditLoopRow> {
     out
 }
 
+#[allow(clippy::too_many_arguments)]
 fn json_report(
     quick: bool,
     queue_rows: &[QueueRow],
@@ -325,6 +450,8 @@ fn json_report(
     batch_rows: &[BatchRow],
     edit_rows: &[EditLoopRow],
     wide_rows: &[WideRow],
+    simd_rows: &[SimdRow],
+    longrun_rows: &[LongrunRow],
 ) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
@@ -334,6 +461,24 @@ fn json_report(
         out,
         "  \"threads_available\": {},",
         std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    // The CPU feature level the auto dispatcher selected (honouring a
+    // TSG_KERNEL override), plus every backend this CPU can run — CI
+    // greps these to assert SIMD was selected or explicitly reported
+    // unavailable.
+    let _ = writeln!(
+        out,
+        "  \"kernel_detected\": \"{}\",",
+        KernelBackend::detect().name()
+    );
+    let _ = writeln!(
+        out,
+        "  \"kernels_available\": [{}],",
+        available_backends()
+            .iter()
+            .map(|b| format!("\"{}\"", b.name()))
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     let _ = writeln!(out, "  \"queue\": [");
     for (i, r) in queue_rows.iter().enumerate() {
@@ -361,6 +506,34 @@ fn json_report(
             "      {{\"scenario\": \"{}\", \"b\": {}, \"scalar_seconds\": {:.9}, \
              \"wide_seconds\": {:.9}, \"speedup\": {:.3}}}{comma}",
             r.scenario, r.b, r.scalar_seconds, r.wide_seconds, r.speedup
+        );
+    }
+    let _ = writeln!(out, "    ]");
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"simd_vs_portable\": {{");
+    let _ = writeln!(out, "    \"bit_identical\": true,");
+    let _ = writeln!(out, "    \"sweeps\": [");
+    for (i, r) in simd_rows.iter().enumerate() {
+        let comma = if i + 1 < simd_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "      {{\"scenario\": \"{}\", \"b\": {}, \"backend\": \"{}\", \
+             \"seconds\": {:.9}, \"speedup_vs_portable\": {:.3}}}{comma}",
+            r.scenario, r.b, r.backend, r.seconds, r.speedup
+        );
+    }
+    let _ = writeln!(out, "    ]");
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"longrun_lanes\": {{");
+    let _ = writeln!(out, "    \"distribution_equal\": true,");
+    let _ = writeln!(out, "    \"sweeps\": [");
+    for (i, r) in longrun_rows.iter().enumerate() {
+        let comma = if i + 1 < longrun_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "      {{\"workload\": \"{}\", \"lanes\": {}, \"periods\": {}, \
+             \"sequential_seconds\": {:.9}, \"lanes_seconds\": {:.9}, \"speedup\": {:.3}}}{comma}",
+            r.workload, r.lanes, r.periods, r.sequential_seconds, r.lanes_seconds, r.speedup
         );
     }
     let _ = writeln!(out, "    ]");
@@ -454,6 +627,36 @@ fn main() {
         );
     }
 
+    eprintln!(
+        "measuring simd vs portable (detected: {})...",
+        KernelBackend::detect().name()
+    );
+    let simd_rows = measure_simd_vs_portable(reps);
+    for r in &simd_rows {
+        eprintln!(
+            "  {:<22} b={:>3} {:<8}: {:>9.3} ms ({:.2}x vs portable)",
+            r.scenario,
+            r.b,
+            r.backend,
+            r.seconds * 1e3,
+            r.speedup
+        );
+    }
+
+    let mc_periods = if quick { 32 } else { 96 };
+    eprintln!("measuring lane-batched Monte-Carlo long-run estimation...");
+    let longrun_rows = measure_longrun_lanes(reps, mc_periods);
+    for r in &longrun_rows {
+        eprintln!(
+            "  {:<18} K={:>2}: sequential {:>8.3} ms, lanes {:>8.3} ms ({:.2}x)",
+            r.workload,
+            r.lanes,
+            r.sequential_seconds * 1e3,
+            r.lanes_seconds * 1e3,
+            r.speedup
+        );
+    }
+
     eprintln!("measuring the session edit loop ({EDIT_LOOP_WORKLOAD})...");
     let edit_rows = measure_edit_loop(&[1, 8, 64], reps);
     for r in &edit_rows {
@@ -499,6 +702,8 @@ fn main() {
         &batch_rows,
         &edit_rows,
         &wide_rows,
+        &simd_rows,
+        &longrun_rows,
     );
     if let Err(e) = std::fs::write(&out_path, &report) {
         eprintln!("writing {out_path}: {e}");

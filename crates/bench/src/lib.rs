@@ -9,7 +9,7 @@
 use tsg_core::analysis::initiated::SimArena;
 use tsg_core::analysis::session::DelayEdit;
 use tsg_core::analysis::wide::WideArena;
-use tsg_core::analysis::CycleTimeAnalysis;
+use tsg_core::analysis::{CycleTimeAnalysis, KernelBackend};
 use tsg_core::{ArcId, SignalGraph};
 use tsg_sim::{EventQueue, QueueBackend};
 
@@ -165,6 +165,64 @@ pub fn assert_wide_matches_scalar(sg: &SignalGraph, ctx: &str) {
                     sg.label(g),
                     sg.label(e)
                 );
+            }
+        }
+    }
+}
+
+/// The explicit wide-kernel backends this CPU can run, narrowest
+/// first — always starts with [`KernelBackend::Portable`], then SSE2
+/// and AVX2 when the features are present. `Auto` is excluded: it
+/// resolves to one of these, and the sweeps want each backend pinned.
+pub fn available_backends() -> Vec<KernelBackend> {
+    [
+        KernelBackend::Portable,
+        KernelBackend::Sse2,
+        KernelBackend::Avx2,
+    ]
+    .into_iter()
+    .filter(|b| b.resolve() == Ok(*b))
+    .collect()
+}
+
+/// The simd-vs-portable correctness gate for one graph: runs the
+/// scalar reference engine plus every backend this CPU offers, asserts
+/// all analyses bit-identical through [`assert_analyses_identical`],
+/// then sweeps every cell of every lane's time matrix of each SIMD
+/// backend against the portable loop's cells.
+///
+/// # Panics
+///
+/// Panics (with `ctx` and the backend name) on any divergence.
+pub fn assert_backends_match(sg: &SignalGraph, ctx: &str) {
+    let scalar = CycleTimeAnalysis::run_scalar(sg).expect("scenario is live");
+    let border = sg.border_events();
+    let b = border.len() as u32;
+    let mut reference: Option<WideArena> = None;
+    for backend in available_backends() {
+        let got = CycleTimeAnalysis::run_with_kernel(sg, backend).expect("live");
+        assert_analyses_identical(&scalar, &got, &format!("{ctx} [{}]", backend.name()));
+
+        let mut lanes = WideArena::with_kernel(backend);
+        lanes.run(sg, &border, b).expect("borders are repetitive");
+        match &reference {
+            // Portable comes first in `available_backends`, so the
+            // reference cells are always the portable loop's.
+            None => reference = Some(lanes),
+            Some(portable) => {
+                for k in 0..border.len() {
+                    for e in sg.events() {
+                        for p in 0..=b {
+                            assert_eq!(
+                                lanes.time(k, e, p).map(f64::to_bits),
+                                portable.time(k, e, p).map(f64::to_bits),
+                                "{ctx} [{}]: cell diverged at lane {k} e={} p={p}",
+                                backend.name(),
+                                sg.label(e)
+                            );
+                        }
+                    }
+                }
             }
         }
     }

@@ -17,7 +17,7 @@ use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use tsg_core::analysis::session::AnalysisSession;
-use tsg_core::analysis::CycleTimeAnalysis;
+use tsg_core::analysis::{CycleTimeAnalysis, KernelBackend};
 use tsg_serve::ops::{self, AnalyzeOptions, EditSpec, SimOptions};
 use tsg_serve::ServeOptions;
 use tsg_sim::BatchRunner;
@@ -27,14 +27,16 @@ tsg — performance analysis based on timing simulation (DAC'94)
 
 USAGE:
     tsg analyze FILE [--diagram] [--dot] [--baselines] [--slack] [--default-delay X]
-                     [--threads N]
+                     [--threads N] [--kernel {auto|portable|sse2|avx2}]
     tsg sim FILE.g... [--periods N] [--vcd PATH] [--default-delay X]
                       [--threads N] [--queue {heap|calendar}]
     tsg sim FILE.ckt... [--horizon X] [--vcd PATH] [--threads N]
                         [--queue {heap|calendar}]
     tsg explore FILE [--edit SRC->DST=DELAY]... [--default-delay X]
+                     [--kernel {auto|portable|sse2|avx2}]
     tsg serve [--threads N] [--max-sessions N]
               [--listen tcp:HOST:PORT | --listen unix:PATH]
+              [--kernel {auto|portable|sse2|avx2}]
     tsg convert FILE --to {g|dot}
     tsg demo {oscillator|muller5|stack66}
 
@@ -50,6 +52,11 @@ stream; `--vcd PATH` additionally dumps a waveform any VCD viewer opens.
 files fan out across a `--threads N` pool (default: all cores); the
 analysis itself also runs its b border simulations on that pool, in
 lockstep lane chunks of the SIMD-friendly wide kernel.
+
+`--kernel` pins the wide-kernel backend (default `auto`: the widest
+the CPU supports — AVX2, then SSE2, then the portable loop). All
+backends are bit-identical; requesting one the CPU lacks is an error,
+never a silent downgrade.
 
 `explore` opens an incremental analysis session on FILE and applies
 each --edit (delay reassignment of the arc SRC->DST) in order,
@@ -89,6 +96,18 @@ fn parse_threads(args: &[String], i: usize) -> Result<usize, String> {
     BatchRunner::parse_threads(args.get(i).map(String::as_str))
 }
 
+/// Parses and strictly resolves a `--kernel` argument: an unknown name
+/// or a backend the CPU lacks is a flag error up front, never a silent
+/// downgrade mid-run.
+fn parse_kernel(args: &[String], i: usize) -> Result<KernelBackend, String> {
+    args.get(i)
+        .ok_or("--kernel needs {auto|portable|sse2|avx2}".to_owned())?
+        .parse::<KernelBackend>()
+        .map_err(|e| e.to_string())?
+        .resolve()
+        .map_err(|e| e.to_string())
+}
+
 fn run(args: &[String]) -> Result<String, String> {
     match args.first().map(String::as_str) {
         Some("analyze") => {
@@ -111,6 +130,10 @@ fn run(args: &[String]) -> Result<String, String> {
                     "--threads" => {
                         i += 1;
                         opts.threads = Some(parse_threads(args, i)?);
+                    }
+                    "--kernel" => {
+                        i += 1;
+                        opts.kernel = parse_kernel(args, i)?;
                     }
                     other => return Err(format!("unknown flag {other:?}")),
                 }
@@ -231,6 +254,7 @@ fn run(args: &[String]) -> Result<String, String> {
                 .ok_or("explore needs a FILE argument")?;
             let mut edits: Vec<EditSpec> = Vec::new();
             let mut default_delay = 1.0;
+            let mut kernel = KernelBackend::Auto;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -246,13 +270,18 @@ fn run(args: &[String]) -> Result<String, String> {
                             .and_then(|v| v.parse().ok())
                             .ok_or("--default-delay needs a number")?;
                     }
+                    "--kernel" => {
+                        i += 1;
+                        kernel = parse_kernel(args, i)?;
+                    }
                     other => return Err(format!("unknown flag {other:?}")),
                 }
                 i += 1;
             }
             let text = std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
             let sg = ops::load(file, &text, default_delay)?;
-            let mut session = AnalysisSession::open(sg).map_err(|e| e.to_string())?;
+            let mut session =
+                AnalysisSession::open_with_kernel(sg, kernel).map_err(|e| e.to_string())?;
             let mut out = format!(
                 "opened session on {file}: {} events, {} arcs, {} border event(s)\n",
                 session.graph().event_count(),
@@ -302,12 +331,17 @@ fn run(args: &[String]) -> Result<String, String> {
             let mut threads: Option<usize> = None;
             let mut max_sessions: Option<u64> = None;
             let mut listen: Option<String> = None;
+            let mut kernel = KernelBackend::Auto;
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
                     "--threads" => {
                         i += 1;
                         threads = Some(parse_threads(args, i)?);
+                    }
+                    "--kernel" => {
+                        i += 1;
+                        kernel = parse_kernel(args, i)?;
                     }
                     "--max-sessions" => {
                         i += 1;
@@ -330,7 +364,7 @@ fn run(args: &[String]) -> Result<String, String> {
                 }
                 i += 1;
             }
-            serve(threads, max_sessions, listen.as_deref())
+            serve(threads, max_sessions, kernel, listen.as_deref())
         }
         Some("convert") => {
             let file = args.get(1).ok_or("convert needs a FILE argument")?;
@@ -376,11 +410,13 @@ fn run(args: &[String]) -> Result<String, String> {
 fn serve(
     threads: Option<usize>,
     max_sessions: Option<u64>,
+    kernel: KernelBackend,
     listen: Option<&str>,
 ) -> Result<String, String> {
     let opts = ServeOptions {
         threads,
         max_sessions,
+        kernel,
     };
     let shutdown = tsg_serve::install_sigint_flag();
     let pool = BatchRunner::sized(threads).threads();
@@ -524,6 +560,58 @@ mod tests {
             "pdf".into(),
         ])
         .is_err());
+    }
+
+    #[test]
+    fn analyze_kernel_flag_matches_auto_and_validates() {
+        let dir = std::env::temp_dir().join("tsg-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("kernel-osc.g");
+        std::fs::write(&path, tsg_stg::EXAMPLE_OSCILLATOR).unwrap();
+        let p = path.to_string_lossy().into_owned();
+        let auto = run(&["analyze".into(), p.clone()]).unwrap();
+        let portable = run(&[
+            "analyze".into(),
+            p.clone(),
+            "--kernel".into(),
+            "portable".into(),
+        ])
+        .unwrap();
+        assert_eq!(auto, portable, "backends are bit-identical");
+        let err = run(&[
+            "analyze".into(),
+            p.clone(),
+            "--kernel".into(),
+            "avx512".into(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("unknown kernel backend"), "{err}");
+        let err = run(&["analyze".into(), p.clone(), "--kernel".into()]).unwrap_err();
+        assert!(err.contains("--kernel"), "{err}");
+        // A backend the CPU lacks is refused up front, not downgraded.
+        for backend in [KernelBackend::Sse2, KernelBackend::Avx2] {
+            if backend.resolve().is_err() {
+                let err = run(&[
+                    "analyze".into(),
+                    p.clone(),
+                    "--kernel".into(),
+                    backend.name().into(),
+                ])
+                .unwrap_err();
+                assert!(err.contains("not available"), "{err}");
+            }
+        }
+        // explore honours the same flag.
+        let out = run(&[
+            "explore".into(),
+            p,
+            "--kernel".into(),
+            "portable".into(),
+            "--edit".into(),
+            "a+->c+=3".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("verified: bit-identical"), "{out}");
     }
 
     #[test]

@@ -33,7 +33,7 @@ use tsg_sim::BatchRunner;
 use crate::analysis::initiated::SimArena;
 use crate::analysis::session::{AnalysisSession, CycleTimeDelta, DelayEdit, EditError};
 use crate::analysis::structure::CyclicStructure;
-use crate::analysis::wide::{AnalysisArena, WideArena};
+use crate::analysis::wide::{AnalysisArena, KernelBackend, WideArena};
 use crate::analysis::CycleTime;
 use crate::arc::ArcId;
 use crate::event::EventId;
@@ -148,6 +148,20 @@ impl CycleTimeAnalysis {
         Self::run_in(sg, periods, &mut AnalysisArena::new())
     }
 
+    /// Runs the algorithm on an explicitly chosen [`KernelBackend`] —
+    /// the one-shot form behind `tsg analyze --kernel`. `kernel` is
+    /// resolved leniently (see [`AnalysisArena::with_kernel`]); validate
+    /// with [`KernelBackend::resolve`] first where an unavailable
+    /// request must be a structured error instead of a fallback.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::NoCyclicBehavior`] when `sg` has no
+    /// repetitive events.
+    pub fn run_with_kernel(sg: &SignalGraph, kernel: KernelBackend) -> Result<Self, AnalysisError> {
+        Self::run_in(sg, None, &mut AnalysisArena::with_kernel(kernel))
+    }
+
     /// Allocation-reusing core: runs the algorithm with the lane-major
     /// wide matrix of all `b` lockstep simulations — and the scalar
     /// arena of the parent-tracked winner re-run — living in `arena`.
@@ -254,6 +268,26 @@ impl CycleTimeAnalysis {
     /// Returns [`AnalysisError::NoCyclicBehavior`] when `sg` has no
     /// repetitive events.
     pub fn run_parallel(sg: &SignalGraph, runner: &BatchRunner) -> Result<Self, AnalysisError> {
+        Self::run_parallel_on(sg, runner, KernelBackend::Auto)
+    }
+
+    /// [`run_parallel`](Self::run_parallel) on an explicitly chosen
+    /// [`KernelBackend`]: every worker's [`WideArena`] is pinned to the
+    /// same resolved backend, so a serve pool or `--kernel` flag
+    /// controls the whole fan-out. `kernel` is resolved leniently (see
+    /// [`AnalysisArena::with_kernel`]); validate with
+    /// [`KernelBackend::resolve`] first where an unavailable request
+    /// must be a structured error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::NoCyclicBehavior`] when `sg` has no
+    /// repetitive events.
+    pub fn run_parallel_on(
+        sg: &SignalGraph,
+        runner: &BatchRunner,
+        kernel: KernelBackend,
+    ) -> Result<Self, AnalysisError> {
         let border = sg.border_events();
         if border.is_empty() {
             return Err(AnalysisError::NoCyclicBehavior);
@@ -263,8 +297,10 @@ impl CycleTimeAnalysis {
 
         let chunk = border.len().div_ceil(runner.threads().max(1));
         let chunks: Vec<&[EventId]> = border.chunks(chunk).collect();
-        let chunk_records: Vec<Vec<BorderRecord>> =
-            runner.run_with_state(&chunks, WideArena::new, |wide, lanes| {
+        let chunk_records: Vec<Vec<BorderRecord>> = runner.run_with_state(
+            &chunks,
+            || WideArena::with_kernel(kernel),
+            |wide, lanes| {
                 wide.run_with(sg, &structure, lanes, b)
                     .expect("border events are repetitive by construction");
                 lanes
@@ -275,7 +311,8 @@ impl CycleTimeAnalysis {
                         distances: wide.distance_series(k),
                     })
                     .collect()
-            });
+            },
+        );
         let records: Vec<BorderRecord> = chunk_records.into_iter().flatten().collect();
 
         Self::finish(sg, &structure, border, records, &mut SimArena::new())

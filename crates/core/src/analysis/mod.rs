@@ -32,6 +32,7 @@ pub mod wide;
 
 pub use cycle_time::{AnalysisError, BorderRecord, CycleTimeAnalysis};
 pub use session::{AnalysisSession, CycleTimeDelta, DelayEdit, EditError};
+pub use wide::{KernelBackend, KernelUnavailable, UnknownKernel};
 
 use crate::time::Ratio;
 use std::fmt;

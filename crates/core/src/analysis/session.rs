@@ -54,7 +54,7 @@ use std::fmt;
 use crate::analysis::cycle_time::{AnalysisError, BorderRecord, CycleTimeAnalysis};
 use crate::analysis::initiated::SimArena;
 use crate::analysis::structure::CyclicStructure;
-use crate::analysis::wide::WideArena;
+use crate::analysis::wide::{KernelBackend, WideArena};
 use crate::analysis::CycleTime;
 use crate::arc::ArcId;
 use crate::event::EventId;
@@ -198,6 +198,22 @@ impl AnalysisSession {
     /// Returns [`AnalysisError::NoCyclicBehavior`] when `sg` has no
     /// repetitive events.
     pub fn open(sg: SignalGraph) -> Result<Self, AnalysisError> {
+        Self::open_with_kernel(sg, KernelBackend::Auto)
+    }
+
+    /// [`open`](Self::open) on an explicitly chosen [`KernelBackend`]:
+    /// the session's warm wide arena — and hence every dirty-region
+    /// resume — runs on it for the session's whole lifetime. `kernel`
+    /// is resolved leniently (see
+    /// [`WideArena::with_kernel`](crate::analysis::wide::WideArena::with_kernel));
+    /// validate with [`KernelBackend::resolve`] first where an
+    /// unavailable request must be a structured error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::NoCyclicBehavior`] when `sg` has no
+    /// repetitive events.
+    pub fn open_with_kernel(sg: SignalGraph, kernel: KernelBackend) -> Result<Self, AnalysisError> {
         let border = sg.border_events();
         if border.is_empty() {
             return Err(AnalysisError::NoCyclicBehavior);
@@ -209,7 +225,7 @@ impl AnalysisSession {
             entry_of_arc[entry.arc.index()] = slot as u32;
         }
 
-        let mut wide = WideArena::new();
+        let mut wide = WideArena::with_kernel(kernel);
         wide.run_with(&sg, &structure, &border, b)
             .expect("border events are repetitive by construction");
         let records: Vec<BorderRecord> = (0..border.len())
@@ -259,6 +275,12 @@ impl AnalysisSession {
     /// Number of edit batches applied so far.
     pub fn edits_applied(&self) -> u64 {
         self.edits
+    }
+
+    /// The resolved kernel backend the session's warm wide arena (and
+    /// every dirty-region resume) runs on.
+    pub fn kernel(&self) -> KernelBackend {
+        self.wide.kernel()
     }
 
     /// Resolves a label-addressed edit (`src -> dst`) to the first arc

@@ -20,10 +20,41 @@
 //!
 //! so one traversal of the in-arc table feeds `b` contiguous lanes: per
 //! in-arc the kernel loads `(src, δ, marked)` once and performs `b`
-//! branchless `max(best, src + δ)` updates on adjacent memory — the
-//! compiler's autovectorizer turns the inner loop into SIMD `max`/`add`
-//! over full vectors. Arc-table traffic drops by a factor of `b` and the
-//! arithmetic widens to the machine's vector width.
+//! branchless `max(best, src + δ)` updates on adjacent memory. Arc-table
+//! traffic drops by a factor of `b` and the arithmetic widens to the
+//! machine's vector width.
+//!
+//! # Explicit SIMD and runtime dispatch
+//!
+//! The portable lane loop is autovectorizer-friendly, but the x86-64
+//! baseline only guarantees 128-bit SSE2 — a portable build leaves half
+//! of an AVX2 machine's vector width on the table. [`KernelBackend`]
+//! closes that gap with explicit `core::arch::x86_64` paths over the
+//! contiguous lane dimension:
+//!
+//! | backend    | lane step | instructions                         | remainder lanes          |
+//! |------------|-----------|--------------------------------------|--------------------------|
+//! | `Avx2`     | 4 × f64   | `_mm256_add_pd` / `_mm256_max_pd`    | `_mm256_maskload_pd` / `_mm256_maskstore_pd` |
+//! | `Sse2`     | 2 × f64   | `_mm_add_pd` / `_mm_max_pd`          | scalar tail lane         |
+//! | `Portable` | compiler  | autovectorized scalar loop           | n/a                      |
+//!
+//! Selection is **runtime** dispatch: `Auto` resolves to the widest
+//! feature `is_x86_feature_detected!` reports (overridable through the
+//! `TSG_KERNEL` environment variable), and each `unsafe` dispatch arm
+//! carries its *own* `is_x86_feature_detected!` guard, so no intrinsic
+//! block can execute without the CPU check that makes it sound. The
+//! portable loop is the guaranteed fallback on every architecture.
+//!
+//! The SIMD paths are bit-identical to the portable loop (and hence to
+//! the scalar oracle): `src + δ` maps to a vector `add`, and the scalar
+//! `if cand > best { best = cand }` maps to `max_pd(cand, best)` — x86
+//! `MAXPD` returns its *second* operand on ties, so ties keep `best`
+//! exactly like the strict `>`. No lane is ever NaN (delays are finite
+//! and `NEG_INFINITY + δ` stays `NEG_INFINITY`), so `MAXPD`'s NaN corner
+//! is unreachable. Lane storage lives on a 64-byte-aligned allocation,
+//! so rows start on cache-line boundaries: vector loads never split a
+//! line more often than the lane offset forces, and `run_parallel`'s
+//! per-worker matrices cannot false-share a line with a neighbour.
 //!
 //! # Why the results are bit-identical to the scalar kernel
 //!
@@ -44,8 +75,8 @@
 //!
 //! Identical candidate values in identical comparison order give
 //! identical IEEE-754 results bit for bit — asserted across generator
-//! families in `tests/wide.rs` and re-asserted by the `bench` binary
-//! before any speedup is reported.
+//! families *and backends* in `tests/wide.rs` and re-asserted by the
+//! `bench` binary before any speedup is reported.
 //!
 //! The one thing the wide kernel does not track is parents: the
 //! cycle-time algorithm needs backtracking only for the single winning
@@ -54,10 +85,241 @@
 //!
 //! [`CycleTimeAnalysis::finish`]: crate::analysis::CycleTimeAnalysis
 
+use std::fmt;
+use std::str::FromStr;
+use std::sync::OnceLock;
+
 use crate::analysis::initiated::{NotRepetitive, SimArena};
 use crate::analysis::structure::CyclicStructure;
 use crate::event::EventId;
 use crate::graph::SignalGraph;
+
+/// The wide kernel's execution backend.
+///
+/// `Auto` (the default) resolves at runtime to the widest path the CPU
+/// supports; the explicit variants pin the choice — `Portable` forces
+/// the autovectorized fallback loop, `Sse2`/`Avx2` the explicit-SIMD
+/// paths. Deployments audit or pin the decision through
+/// `tsg analyze --kernel`, `tsg serve --kernel`, the serve `stats` op
+/// and the `TSG_KERNEL` environment variable.
+///
+/// # Examples
+///
+/// ```
+/// use tsg_core::analysis::wide::KernelBackend;
+///
+/// let pinned: KernelBackend = "portable".parse().unwrap();
+/// assert_eq!(pinned.resolve(), Ok(KernelBackend::Portable));
+/// // `Auto` always resolves to a concrete, available backend.
+/// assert_ne!(KernelBackend::Auto.resolve().unwrap(), KernelBackend::Auto);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum KernelBackend {
+    /// Resolve to the widest available SIMD path at runtime.
+    #[default]
+    Auto,
+    /// The autovectorized portable lane loop — available everywhere.
+    Portable,
+    /// Explicit 2-wide `_mm_add_pd`/`_mm_max_pd` over the lanes.
+    Sse2,
+    /// Explicit 4-wide `_mm256_add_pd`/`_mm256_max_pd` over the lanes.
+    Avx2,
+}
+
+impl KernelBackend {
+    /// The lowercase wire/flag name (`auto`, `portable`, `sse2`, `avx2`)
+    /// — what [`FromStr`] parses and the serve `stats` op reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelBackend::Auto => "auto",
+            KernelBackend::Portable => "portable",
+            KernelBackend::Sse2 => "sse2",
+            KernelBackend::Avx2 => "avx2",
+        }
+    }
+
+    /// Whether this backend can execute on the current CPU.
+    fn available(self) -> bool {
+        match self {
+            KernelBackend::Auto | KernelBackend::Portable => true,
+            #[cfg(target_arch = "x86_64")]
+            KernelBackend::Sse2 => std::arch::is_x86_feature_detected!("sse2"),
+            #[cfg(target_arch = "x86_64")]
+            KernelBackend::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => false,
+        }
+    }
+
+    /// The widest backend the CPU's feature flags allow, ignoring any
+    /// environment override.
+    fn widest_available() -> KernelBackend {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return KernelBackend::Avx2;
+            }
+            if std::arch::is_x86_feature_detected!("sse2") {
+                return KernelBackend::Sse2;
+            }
+        }
+        KernelBackend::Portable
+    }
+
+    /// The backend `Auto` resolves to on this machine: the `TSG_KERNEL`
+    /// override when it names an available backend, else the widest the
+    /// CPU supports. Never returns `Auto`.
+    ///
+    /// `TSG_KERNEL` is read once per process and ignored when unset,
+    /// unparsable, `auto`, or naming an unavailable feature — it is a
+    /// deployment/CI forcing knob (e.g. `TSG_KERNEL=portable` runs the
+    /// whole suite on the fallback loop), not a validated user input;
+    /// the `--kernel` flags are the loud, validated path.
+    pub fn detect() -> KernelBackend {
+        fn env_override() -> Option<KernelBackend> {
+            static CACHE: OnceLock<Option<KernelBackend>> = OnceLock::new();
+            *CACHE.get_or_init(|| {
+                let forced: KernelBackend = std::env::var("TSG_KERNEL").ok()?.parse().ok()?;
+                (forced != KernelBackend::Auto && forced.available()).then_some(forced)
+            })
+        }
+        env_override().unwrap_or_else(Self::widest_available)
+    }
+
+    /// Resolves to a concrete, executable backend: `Auto` becomes
+    /// [`KernelBackend::detect`], explicit choices are validated against
+    /// the CPU. The result is never `Auto`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelUnavailable`] when an explicitly requested
+    /// feature is missing on this CPU — the structured error the
+    /// `--kernel` flags surface.
+    pub fn resolve(self) -> Result<KernelBackend, KernelUnavailable> {
+        match self {
+            KernelBackend::Auto => Ok(Self::detect()),
+            b if b.available() => Ok(b),
+            b => Err(KernelUnavailable(b)),
+        }
+    }
+
+    /// [`resolve`](Self::resolve) that never fails: an unavailable
+    /// explicit request falls back to the widest available backend.
+    /// Deep engine paths use this so validation stays at the user-facing
+    /// edge (flags validate loudly with [`resolve`](Self::resolve)
+    /// *before* any arena is built).
+    pub fn resolve_lenient(self) -> KernelBackend {
+        self.resolve().unwrap_or_else(|_| Self::widest_available())
+    }
+}
+
+impl fmt::Display for KernelBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for KernelBackend {
+    type Err = UnknownKernel;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "auto" => Ok(KernelBackend::Auto),
+            "portable" => Ok(KernelBackend::Portable),
+            "sse2" => Ok(KernelBackend::Sse2),
+            "avx2" => Ok(KernelBackend::Avx2),
+            _ => Err(UnknownKernel(s.to_string())),
+        }
+    }
+}
+
+/// Parse error of [`KernelBackend`]: the string names no backend.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownKernel(pub String);
+
+impl fmt::Display for UnknownKernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown kernel backend `{}` (expected auto, portable, sse2 or avx2)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for UnknownKernel {}
+
+/// An explicitly requested [`KernelBackend`] whose CPU feature the
+/// running machine does not report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KernelUnavailable(pub KernelBackend);
+
+impl fmt::Display for KernelUnavailable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "kernel backend `{}` is not available on this CPU",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for KernelUnavailable {}
+
+/// One cache line of lane storage — the alignment carrier of
+/// [`AlignedF64Vec`]. `repr(C, align(64))` with eight f64s makes size
+/// equal alignment, so a `Vec` of these tiles gap-free.
+#[derive(Clone, Copy, Debug)]
+#[repr(C, align(64))]
+struct CacheLine([f64; 8]);
+
+/// A growable `f64` buffer on a 64-byte-aligned allocation with
+/// `Vec::resize` fill semantics — the lane matrix's backing store, so
+/// every row starts on a cache-line boundary and aligned vector loads
+/// of the buffer head are valid.
+#[derive(Clone, Debug, Default)]
+struct AlignedF64Vec {
+    chunks: Vec<CacheLine>,
+    len: usize,
+}
+
+impl AlignedF64Vec {
+    fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocated capacity in f64 cells.
+    fn capacity(&self) -> usize {
+        self.chunks.capacity() * 8
+    }
+
+    fn as_slice(&self) -> &[f64] {
+        // SAFETY: `chunks` stores at least `len.div_ceil(8)` cache lines
+        // of initialised f64s; `CacheLine` is `repr(C)` with size equal
+        // to its alignment (64), so the lines tile contiguously and the
+        // first `len` f64s are one valid slice.
+        unsafe { std::slice::from_raw_parts(self.chunks.as_ptr().cast::<f64>(), self.len) }
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [f64] {
+        // SAFETY: as in `as_slice`, plus `&mut self` gives exclusivity.
+        unsafe { std::slice::from_raw_parts_mut(self.chunks.as_mut_ptr().cast::<f64>(), self.len) }
+    }
+
+    /// `Vec::resize` semantics: growth fills exactly `old_len..new_len`
+    /// with `value` (cells below `old_len` keep their contents), shrink
+    /// just drops length — so callers' stale-cell reasoning carries over
+    /// from the plain `Vec` unchanged.
+    fn resize(&mut self, new_len: usize, value: f64) {
+        let old = self.len;
+        self.chunks
+            .resize(new_len.div_ceil(8), CacheLine([value; 8]));
+        self.len = new_len;
+        if new_len > old {
+            self.as_mut_slice()[old..].fill(value);
+        }
+    }
+}
 
 /// Reusable backing store — and result view — of a batch of lockstep
 /// event-initiated simulations, one lane per initiating event.
@@ -85,8 +347,9 @@ use crate::graph::SignalGraph;
 /// ```
 #[derive(Clone, Debug)]
 pub struct WideArena {
-    /// Flat lane-major time matrix: `times[(p * n + e) * lanes + k]`.
-    times: Vec<f64>,
+    /// Flat lane-major time matrix: `times[(p * n + e) * lanes + k]`,
+    /// on a 64-byte-aligned allocation.
+    times: AlignedF64Vec,
     /// Initiating event of each lane.
     origins: Vec<EventId>,
     /// Events per row of the last run.
@@ -95,6 +358,8 @@ pub struct WideArena {
     p_total: usize,
     /// Periods of the last run.
     periods: u32,
+    /// The resolved execution backend (never `Auto`).
+    backend: KernelBackend,
 }
 
 impl Default for WideArena {
@@ -104,15 +369,32 @@ impl Default for WideArena {
 }
 
 impl WideArena {
-    /// An empty arena; the first [`WideArena::run`] sizes it.
+    /// An empty arena on the auto-detected kernel backend; the first
+    /// [`WideArena::run`] sizes it.
     pub fn new() -> Self {
+        Self::with_kernel(KernelBackend::Auto)
+    }
+
+    /// An empty arena pinned to `kernel`, resolved leniently: `Auto`
+    /// becomes the detected backend and an unavailable explicit request
+    /// falls back to the widest available one — validate loudly first
+    /// with [`KernelBackend::resolve`] where a structured error is
+    /// wanted.
+    pub fn with_kernel(kernel: KernelBackend) -> Self {
         WideArena {
-            times: Vec::new(),
+            times: AlignedF64Vec::new(),
             origins: Vec::new(),
             n: 0,
             p_total: 0,
             periods: 0,
+            backend: kernel.resolve_lenient(),
         }
+    }
+
+    /// The resolved execution backend of this arena (never
+    /// [`KernelBackend::Auto`]).
+    pub fn kernel(&self) -> KernelBackend {
+        self.backend
     }
 
     /// Runs one `g₀`-initiated simulation per origin, all lanes in
@@ -168,11 +450,12 @@ impl WideArena {
         // NEG_INFINITY reset against stale cells of a previous run.
         let cells = p_total * n * lanes;
         self.times.resize(cells, f64::NEG_INFINITY);
+        let times = self.times.as_mut_slice();
         for e in sg.events() {
             if !sg.is_repetitive(e) {
                 for p in 0..p_total {
                     let base = (p * n + e.index()) * lanes;
-                    self.times[base..base + lanes].fill(f64::NEG_INFINITY);
+                    times[base..base + lanes].fill(f64::NEG_INFINITY);
                 }
             }
         }
@@ -200,11 +483,55 @@ impl WideArena {
     }
 
     /// The lockstep longest-path recurrence over rows
-    /// `start_row..p_total`: dispatches to a lane-count-specialised
-    /// instantiation for the common SIMD widths, so the per-arc lane
-    /// loops compile with a constant trip count — fully unrolled, bounds
-    /// checks folded — and fall back to the dynamic form otherwise.
+    /// `start_row..p_total`: the runtime dispatch point of
+    /// [`KernelBackend`].
+    ///
+    /// The SIMD arms each re-check `is_x86_feature_detected!` *in the
+    /// match guard*, so the `unsafe` call they contain can never execute
+    /// without the CPU check that makes it sound (std caches the cpuid
+    /// result, so the re-check is an atomic load). Anything that fails
+    /// its guard — and every non-x86 build — falls through to the
+    /// portable loop, which dispatches to a lane-count-specialised
+    /// instantiation for the common SIMD widths so the per-arc lane
+    /// loops compile with a constant trip count.
     fn compute_rows(&mut self, structure: &CyclicStructure, start_row: usize) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            let (n, p_total) = (self.n, self.p_total);
+            match self.backend {
+                KernelBackend::Avx2 if std::arch::is_x86_feature_detected!("avx2") => {
+                    let WideArena { times, origins, .. } = self;
+                    // SAFETY: this arm's own guard just verified AVX2.
+                    unsafe {
+                        rows_avx2(
+                            times.as_mut_slice(),
+                            origins,
+                            structure,
+                            n,
+                            p_total,
+                            start_row,
+                        );
+                    }
+                    return;
+                }
+                KernelBackend::Sse2 if std::arch::is_x86_feature_detected!("sse2") => {
+                    let WideArena { times, origins, .. } = self;
+                    // SAFETY: this arm's own guard just verified SSE2.
+                    unsafe {
+                        rows_sse2(
+                            times.as_mut_slice(),
+                            origins,
+                            structure,
+                            n,
+                            p_total,
+                            start_row,
+                        );
+                    }
+                    return;
+                }
+                _ => {}
+            }
+        }
         match self.origins.len() {
             4 => self.compute_rows_impl::<4>(structure, start_row),
             8 => self.compute_rows_impl::<8>(structure, start_row),
@@ -230,6 +557,7 @@ impl WideArena {
         let lanes = if L == 0 { self.origins.len() } else { L };
         let row_cells = n * lanes;
         let WideArena { times, origins, .. } = self;
+        let times = times.as_mut_slice();
         for p in start_row..p_total {
             let (before, current) = times.split_at_mut(p * row_cells);
             let row = &mut current[..row_cells];
@@ -309,7 +637,7 @@ impl WideArena {
         if p >= self.p_total || k >= self.origins.len() {
             return None;
         }
-        let t = self.times[(p * self.n + e.index()) * self.origins.len() + k];
+        let t = self.times.as_slice()[(p * self.n + e.index()) * self.origins.len() + k];
         (t > f64::NEG_INFINITY).then_some(t)
     }
 
@@ -334,8 +662,8 @@ impl WideArena {
 }
 
 /// The widened recurrence step: `dst[k] = max(dst[k], src[k] + δ)` for
-/// every lane, branchless — the loop the autovectorizer turns into SIMD
-/// `add`/`max` over contiguous lanes.
+/// every lane, branchless — the portable loop the autovectorizer turns
+/// into SIMD `add`/`max` over contiguous lanes.
 ///
 /// The event's `first` in-arc stores its candidates directly instead of
 /// comparing against a freshly filled `NEG_INFINITY` accumulator — bit-
@@ -358,6 +686,250 @@ fn accumulate(dst: &mut [f64], src: &[f64], delay: f64, first: bool) {
     }
 }
 
+/// The per-backend lane arithmetic of the explicit-SIMD row loop: the
+/// two operations [`rows_body`] needs per in-arc.
+///
+/// Implementations must keep `dst` on ties in `fold` (the portable
+/// loop's strict `>`), which `max_pd(cand, best)` does for free: x86
+/// `MAXPD` returns its second operand on ties.
+#[cfg(target_arch = "x86_64")]
+trait LaneOps {
+    /// `dst[k] = src[k] + delay` — the event's first usable in-arc.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support the implementing backend's feature (the
+    /// dispatch arm's `is_x86_feature_detected!` guard).
+    unsafe fn first(dst: &mut [f64], src: &[f64], delay: f64);
+
+    /// `dst[k] = max(dst[k], src[k] + delay)`, keeping `dst` on ties.
+    ///
+    /// # Safety
+    ///
+    /// As [`LaneOps::first`].
+    unsafe fn fold(dst: &mut [f64], src: &[f64], delay: f64);
+}
+
+/// A 4-lane mask with the first `rem` (1..=3) 64-bit lanes enabled,
+/// built by sliding a load window over a constant sign pattern.
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+unsafe fn tail_mask(rem: usize) -> std::arch::x86_64::__m256i {
+    use std::arch::x86_64::_mm256_loadu_si256;
+    debug_assert!((1..=3).contains(&rem));
+    const PATTERN: [i64; 8] = [-1, -1, -1, -1, 0, 0, 0, 0];
+    _mm256_loadu_si256(PATTERN.as_ptr().add(4 - rem).cast())
+}
+
+/// 4-wide AVX2 lane arithmetic; remainder lanes go through
+/// `maskload`/`maskstore`, which architecturally never touch the
+/// masked-out lanes (no out-of-bounds access, no fault).
+#[cfg(target_arch = "x86_64")]
+struct Avx2Ops;
+
+#[cfg(target_arch = "x86_64")]
+impl LaneOps for Avx2Ops {
+    #[inline(always)]
+    unsafe fn first(dst: &mut [f64], src: &[f64], delay: f64) {
+        use std::arch::x86_64::*;
+        debug_assert_eq!(dst.len(), src.len());
+        let n = dst.len();
+        let d = _mm256_set1_pd(delay);
+        let mut i = 0usize;
+        while i + 4 <= n {
+            let s = _mm256_loadu_pd(src.as_ptr().add(i));
+            _mm256_storeu_pd(dst.as_mut_ptr().add(i), _mm256_add_pd(s, d));
+            i += 4;
+        }
+        if i < n {
+            let mask = tail_mask(n - i);
+            let s = _mm256_maskload_pd(src.as_ptr().add(i), mask);
+            _mm256_maskstore_pd(dst.as_mut_ptr().add(i), mask, _mm256_add_pd(s, d));
+        }
+    }
+
+    #[inline(always)]
+    unsafe fn fold(dst: &mut [f64], src: &[f64], delay: f64) {
+        use std::arch::x86_64::*;
+        debug_assert_eq!(dst.len(), src.len());
+        let n = dst.len();
+        let d = _mm256_set1_pd(delay);
+        let mut i = 0usize;
+        while i + 4 <= n {
+            let cand = _mm256_add_pd(_mm256_loadu_pd(src.as_ptr().add(i)), d);
+            let best = _mm256_loadu_pd(dst.as_ptr().add(i));
+            // MAXPD returns its second operand on ties: `(cand, best)`
+            // keeps `best` unless `cand` is strictly greater — exactly
+            // the portable `if cand > *d { *d = cand }`. No NaN can
+            // reach here (finite delays; NEG_INFINITY + δ = NEG_INFINITY).
+            _mm256_storeu_pd(dst.as_mut_ptr().add(i), _mm256_max_pd(cand, best));
+            i += 4;
+        }
+        if i < n {
+            let mask = tail_mask(n - i);
+            let cand = _mm256_add_pd(_mm256_maskload_pd(src.as_ptr().add(i), mask), d);
+            let best = _mm256_maskload_pd(dst.as_ptr().add(i), mask);
+            _mm256_maskstore_pd(dst.as_mut_ptr().add(i), mask, _mm256_max_pd(cand, best));
+        }
+    }
+}
+
+/// 2-wide SSE2 lane arithmetic; the odd remainder lane runs the scalar
+/// step (bit-identical to the portable loop by construction).
+#[cfg(target_arch = "x86_64")]
+struct Sse2Ops;
+
+#[cfg(target_arch = "x86_64")]
+impl LaneOps for Sse2Ops {
+    #[inline(always)]
+    unsafe fn first(dst: &mut [f64], src: &[f64], delay: f64) {
+        use std::arch::x86_64::*;
+        debug_assert_eq!(dst.len(), src.len());
+        let n = dst.len();
+        let d = _mm_set1_pd(delay);
+        let mut i = 0usize;
+        while i + 2 <= n {
+            let s = _mm_loadu_pd(src.as_ptr().add(i));
+            _mm_storeu_pd(dst.as_mut_ptr().add(i), _mm_add_pd(s, d));
+            i += 2;
+        }
+        if i < n {
+            dst[i] = src[i] + delay;
+        }
+    }
+
+    #[inline(always)]
+    unsafe fn fold(dst: &mut [f64], src: &[f64], delay: f64) {
+        use std::arch::x86_64::*;
+        debug_assert_eq!(dst.len(), src.len());
+        let n = dst.len();
+        let d = _mm_set1_pd(delay);
+        let mut i = 0usize;
+        while i + 2 <= n {
+            let cand = _mm_add_pd(_mm_loadu_pd(src.as_ptr().add(i)), d);
+            let best = _mm_loadu_pd(dst.as_ptr().add(i));
+            // Same tie/NaN argument as the AVX2 fold: MAXPD keeps its
+            // second operand on ties.
+            _mm_storeu_pd(dst.as_mut_ptr().add(i), _mm_max_pd(cand, best));
+            i += 2;
+        }
+        if i < n {
+            let cand = src[i] + delay;
+            if cand > dst[i] {
+                dst[i] = cand;
+            }
+        }
+    }
+}
+
+/// The dynamic-width row recurrence shared by the explicit-SIMD
+/// backends: the exact control flow of
+/// [`WideArena::compute_rows_impl`], with the per-arc lane arithmetic
+/// delegated to `K`. `#[inline(always)]` so each `#[target_feature]`
+/// wrapper compiles the whole body — intrinsics included — with its
+/// feature set enabled.
+///
+/// # Safety
+///
+/// The CPU must support the feature `K`'s intrinsics require.
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+unsafe fn rows_body<K: LaneOps>(
+    times: &mut [f64],
+    origins: &[EventId],
+    structure: &CyclicStructure,
+    n: usize,
+    p_total: usize,
+    start_row: usize,
+) {
+    let lanes = origins.len();
+    let row_cells = n * lanes;
+    for p in start_row..p_total {
+        let (before, current) = times.split_at_mut(p * row_cells);
+        let row = &mut current[..row_cells];
+        let prev: &[f64] = if p > 0 {
+            &before[(p - 1) * row_cells..]
+        } else {
+            &[]
+        };
+        for &ev in &structure.order {
+            let base = ev.index() * lanes;
+            let (left, rest) = row.split_at_mut(base);
+            let (dst, right) = rest.split_at_mut(lanes);
+            let mut first = true;
+            for ia in structure.in_arcs(ev) {
+                let sb = ia.src as usize * lanes;
+                let src = if ia.marked {
+                    if p == 0 {
+                        continue; // no previous row: token enables for free
+                    }
+                    &prev[sb..sb + lanes]
+                } else if sb < base {
+                    &left[sb..sb + lanes]
+                } else {
+                    &right[sb - base - lanes..][..lanes]
+                };
+                if first {
+                    K::first(dst, src, ia.delay);
+                } else {
+                    K::fold(dst, src, ia.delay);
+                }
+                first = false;
+            }
+            if first {
+                dst.fill(f64::NEG_INFINITY); // no usable in-arc
+            }
+            if p == 0 {
+                // Row 0: pin each lane's origin cell to 0, in
+                // topological order — see `compute_rows_impl`.
+                for (k, &g) in origins.iter().enumerate() {
+                    if g == ev {
+                        dst[k] = 0.0; // t_g(g) = 0 by definition
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// AVX2 instantiation of the row recurrence.
+///
+/// # Safety
+///
+/// The CPU must support AVX2 (`is_x86_feature_detected!("avx2")`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+#[target_feature(enable = "avx2")]
+unsafe fn rows_avx2(
+    times: &mut [f64],
+    origins: &[EventId],
+    structure: &CyclicStructure,
+    n: usize,
+    p_total: usize,
+    start_row: usize,
+) {
+    rows_body::<Avx2Ops>(times, origins, structure, n, p_total, start_row);
+}
+
+/// SSE2 instantiation of the row recurrence.
+///
+/// # Safety
+///
+/// The CPU must support SSE2 (`is_x86_feature_detected!("sse2")` —
+/// baseline on x86-64, but the dispatch guard checks anyway).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn rows_sse2(
+    times: &mut [f64],
+    origins: &[EventId],
+    structure: &CyclicStructure,
+    n: usize,
+    p_total: usize,
+    start_row: usize,
+) {
+    rows_body::<Sse2Ops>(times, origins, structure, n, p_total, start_row);
+}
+
 /// The reusable state of one full cycle-time analysis: the wide matrix
 /// all `b` lockstep border simulations share, plus the scalar
 /// [`SimArena`] the parent-tracked winner re-run uses.
@@ -376,9 +948,24 @@ pub struct AnalysisArena {
 }
 
 impl AnalysisArena {
-    /// An empty arena pair; the first analysis sizes both.
+    /// An empty arena pair on the auto-detected kernel backend; the
+    /// first analysis sizes both.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty arena pair pinned to `kernel` (resolved leniently, like
+    /// [`WideArena::with_kernel`]).
+    pub fn with_kernel(kernel: KernelBackend) -> Self {
+        AnalysisArena {
+            wide: WideArena::with_kernel(kernel),
+            ..Self::default()
+        }
+    }
+
+    /// The resolved kernel backend the wide phase runs on.
+    pub fn kernel(&self) -> KernelBackend {
+        self.wide.kernel()
     }
 
     /// Allocated capacities `(wide time cells, scalar time cells,
@@ -441,15 +1028,30 @@ mod tests {
         }
     }
 
+    /// The backends that resolve on the running machine — always at
+    /// least `Portable`, plus each SIMD path the CPU supports.
+    fn available_backends() -> Vec<KernelBackend> {
+        [
+            KernelBackend::Portable,
+            KernelBackend::Sse2,
+            KernelBackend::Avx2,
+        ]
+        .into_iter()
+        .filter(|b| b.resolve() == Ok(*b))
+        .collect()
+    }
+
     #[test]
     fn lockstep_lanes_equal_scalar_simulations() {
         let sg = figure2();
         let borders = sg.border_events();
         assert_eq!(borders.len(), 2);
-        let mut wide = WideArena::new();
-        for periods in [1u32, 2, 3, 7] {
-            wide.run(&sg, &borders, periods).unwrap();
-            assert_lanes_match_scalar(&sg, &wide, &format!("periods={periods}"));
+        for backend in available_backends() {
+            let mut wide = WideArena::with_kernel(backend);
+            for periods in [1u32, 2, 3, 7] {
+                wide.run(&sg, &borders, periods).unwrap();
+                assert_lanes_match_scalar(&sg, &wide, &format!("{backend} periods={periods}"));
+            }
         }
     }
 
@@ -457,10 +1059,12 @@ mod tests {
     fn single_lane_is_the_scalar_kernel() {
         let sg = figure2();
         let ap = sg.event_by_label("a+").unwrap();
-        let mut wide = WideArena::new();
-        wide.run(&sg, &[ap], 2).unwrap();
-        assert_lanes_match_scalar(&sg, &wide, "single lane");
-        assert_eq!(wide.time(0, ap, 1), Some(10.0));
+        for backend in available_backends() {
+            let mut wide = WideArena::with_kernel(backend);
+            wide.run(&sg, &[ap], 2).unwrap();
+            assert_lanes_match_scalar(&sg, &wide, &format!("single lane on {backend}"));
+            assert_eq!(wide.time(0, ap, 1), Some(10.0));
+        }
     }
 
     #[test]
@@ -476,11 +1080,13 @@ mod tests {
             b.build().unwrap()
         };
         let small = figure2();
-        let mut wide = WideArena::new();
-        wide.run(&big, &big.border_events(), 8).unwrap();
-        assert_lanes_match_scalar(&big, &wide, "big");
-        wide.run(&small, &small.border_events(), 2).unwrap();
-        assert_lanes_match_scalar(&small, &wide, "small after big");
+        for backend in available_backends() {
+            let mut wide = WideArena::with_kernel(backend);
+            wide.run(&big, &big.border_events(), 8).unwrap();
+            assert_lanes_match_scalar(&big, &wide, &format!("big on {backend}"));
+            wide.run(&small, &small.border_events(), 2).unwrap();
+            assert_lanes_match_scalar(&small, &wide, &format!("small after big on {backend}"));
+        }
     }
 
     #[test]
@@ -525,10 +1131,10 @@ mod tests {
         let borders = sg.border_events();
         let mut wide = WideArena::new();
         wide.run(&sg, &borders, 2).unwrap();
-        let before = wide.times.clone();
+        let before = wide.times.as_slice().to_vec();
         let structure = CyclicStructure::new(&sg);
         wide.rerun_rows_from(&structure, 3);
-        assert_eq!(wide.times, before);
+        assert_eq!(wide.times.as_slice(), &before[..]);
     }
 
     #[test]
@@ -552,6 +1158,114 @@ mod tests {
             wide.distance_series_into(k, &mut buf);
             assert_eq!(buf, wide.distance_series(k));
             assert_eq!(buf.capacity(), cap, "no reallocation within capacity");
+        }
+    }
+
+    #[test]
+    fn kernel_backend_parses_and_displays_round_trip() {
+        for b in [
+            KernelBackend::Auto,
+            KernelBackend::Portable,
+            KernelBackend::Sse2,
+            KernelBackend::Avx2,
+        ] {
+            assert_eq!(b.name().parse::<KernelBackend>(), Ok(b));
+            assert_eq!(b.to_string(), b.name());
+        }
+        assert_eq!("AVX2".parse::<KernelBackend>(), Ok(KernelBackend::Avx2));
+        assert_eq!(
+            "wide".parse::<KernelBackend>(),
+            Err(UnknownKernel("wide".to_string()))
+        );
+        assert_eq!(KernelBackend::default(), KernelBackend::Auto);
+    }
+
+    #[test]
+    fn resolution_never_yields_auto_and_portable_always_resolves() {
+        let auto = KernelBackend::Auto.resolve().unwrap();
+        assert_ne!(auto, KernelBackend::Auto);
+        assert_eq!(
+            KernelBackend::Portable.resolve(),
+            Ok(KernelBackend::Portable)
+        );
+        // Lenient resolution agrees with strict wherever strict succeeds.
+        assert_eq!(KernelBackend::Auto.resolve_lenient(), auto);
+        for b in available_backends() {
+            assert_eq!(b.resolve_lenient(), b);
+        }
+        // An arena never stores `Auto`.
+        assert_ne!(WideArena::new().kernel(), KernelBackend::Auto);
+        assert_ne!(AnalysisArena::new().kernel(), KernelBackend::Auto);
+    }
+
+    #[test]
+    fn lane_storage_is_cache_line_aligned() {
+        let sg = figure2();
+        let mut wide = WideArena::new();
+        wide.run(&sg, &sg.border_events(), 3).unwrap();
+        assert_eq!(
+            wide.times.as_slice().as_ptr() as usize % 64,
+            0,
+            "lane matrix must start on a cache-line boundary"
+        );
+    }
+
+    #[test]
+    fn aligned_vec_matches_vec_resize_semantics() {
+        let mut aligned = AlignedF64Vec::new();
+        let mut reference: Vec<f64> = Vec::new();
+        for (len, value) in [(5usize, 1.0f64), (19, 2.0), (7, 3.0), (23, 4.0), (23, 5.0)] {
+            aligned.resize(len, value);
+            reference.resize(len, value);
+            assert_eq!(aligned.as_slice(), &reference[..], "len {len}");
+        }
+        // Mutations through the slice persist across a growth.
+        aligned.as_mut_slice()[0] = 9.5;
+        reference[0] = 9.5;
+        aligned.resize(40, 0.25);
+        reference.resize(40, 0.25);
+        assert_eq!(aligned.as_slice(), &reference[..]);
+        assert!(aligned.capacity() >= 40);
+    }
+
+    /// The explicit-SIMD backends against the portable loop, cell for
+    /// cell, at lane counts that exercise full vectors, masked AVX2
+    /// tails (1..=3 remainder lanes) and the SSE2 scalar tail.
+    #[test]
+    fn simd_backends_match_portable_at_every_remainder_width() {
+        let sg = {
+            let mut b = SignalGraph::builder();
+            let evs: Vec<_> = (0..9).map(|i| b.event(&format!("n{i}"))).collect();
+            for w in evs.windows(2) {
+                b.arc(w[0], w[1], 1.0 + (w[0].index() % 3) as f64 * 0.5);
+            }
+            b.marked_arc(evs[8], evs[0], 2.0);
+            b.marked_arc(evs[3], evs[4], 0.75);
+            b.build().unwrap()
+        };
+        let repetitive: Vec<EventId> = sg.events().filter(|&e| sg.is_repetitive(e)).collect();
+        for lanes in [1usize, 2, 3, 4, 5, 6, 7, 8, 9] {
+            let origins = &repetitive[..lanes.min(repetitive.len())];
+            let mut portable = WideArena::with_kernel(KernelBackend::Portable);
+            portable.run(&sg, origins, 4).unwrap();
+            for backend in available_backends() {
+                let mut simd = WideArena::with_kernel(backend);
+                simd.run(&sg, origins, 4).unwrap();
+                assert_eq!(
+                    simd.times
+                        .as_slice()
+                        .iter()
+                        .map(|t| t.to_bits())
+                        .collect::<Vec<_>>(),
+                    portable
+                        .times
+                        .as_slice()
+                        .iter()
+                        .map(|t| t.to_bits())
+                        .collect::<Vec<_>>(),
+                    "{backend} with {lanes} lanes"
+                );
+            }
         }
     }
 }

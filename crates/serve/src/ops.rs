@@ -26,7 +26,7 @@ use tsg_core::analysis::diagram::{self, DiagramOptions};
 use tsg_core::analysis::event_sim::{EventSimScratch, EventSimulation};
 use tsg_core::analysis::session::{AnalysisSession, DelayEdit};
 use tsg_core::analysis::sim::TimingSimulation;
-use tsg_core::analysis::wide::AnalysisArena;
+use tsg_core::analysis::wide::{AnalysisArena, KernelBackend};
 use tsg_core::analysis::{AnalysisError, CycleTimeAnalysis};
 use tsg_core::SignalGraph;
 use tsg_sim::{BatchRunner, QueueKind, TraceRecorder};
@@ -119,6 +119,11 @@ pub struct AnalyzeOptions {
     /// Thread-pool size for the one-shot [`report`] path (`None` = all
     /// cores); ignored by the warm per-worker path.
     pub threads: Option<usize>,
+    /// Wide-kernel backend. `Auto` means "whatever the executing
+    /// workspace is pinned to" (the widest available one by default);
+    /// an explicit backend is honoured or refused with a structured
+    /// error, never silently downgraded.
+    pub kernel: KernelBackend,
 }
 
 impl Default for AnalyzeOptions {
@@ -130,6 +135,7 @@ impl Default for AnalyzeOptions {
             slack: false,
             default_delay: 1.0,
             threads: None,
+            kernel: KernelBackend::Auto,
         }
     }
 }
@@ -182,7 +188,7 @@ pub fn report(sg: &SignalGraph, opts: &AnalyzeOptions) -> String {
     render_report(
         sg,
         opts,
-        CycleTimeAnalysis::run_parallel(sg, &BatchRunner::sized(opts.threads)),
+        CycleTimeAnalysis::run_parallel_on(sg, &BatchRunner::sized(opts.threads), opts.kernel),
     )
 }
 
@@ -387,6 +393,21 @@ impl Workspace {
         Self::default()
     }
 
+    /// An empty workspace pinned to `kernel` (resolved leniently: an
+    /// unavailable backend falls back to the widest available one).
+    /// Every warm analysis and session opened here runs on it.
+    pub fn with_kernel(kernel: KernelBackend) -> Self {
+        Workspace {
+            arena: AnalysisArena::with_kernel(kernel),
+            ..Self::default()
+        }
+    }
+
+    /// The resolved wide-kernel backend this workspace executes on.
+    pub fn kernel(&self) -> KernelBackend {
+        self.arena.kernel()
+    }
+
     /// Capacity of the analysis arena's buffers: `(wide lane-major time
     /// cells, scalar time cells, scalar parent cells)`.
     pub fn arena_capacity(&self) -> (usize, usize, usize) {
@@ -418,7 +439,20 @@ impl Workspace {
     pub fn analyze(&mut self, source: &Source, opts: &AnalyzeOptions) -> Result<String, String> {
         let text = source.read()?;
         let sg = load(source.name(), &text, opts.default_delay)?;
-        Ok(report_in(&sg, opts, &mut self.arena))
+        match opts.kernel {
+            KernelBackend::Auto => Ok(report_in(&sg, opts, &mut self.arena)),
+            requested => {
+                // An explicit per-request kernel is honoured or refused,
+                // never silently downgraded; it runs on a fresh arena so
+                // the workspace's pinned backend stays warm.
+                let resolved = requested.resolve().map_err(|e| e.to_string())?;
+                Ok(report_in(
+                    &sg,
+                    opts,
+                    &mut AnalysisArena::with_kernel(resolved),
+                ))
+            }
+        }
     }
 
     /// `tsg sim` on the warm queues. Byte-identical to the one-shot
@@ -489,7 +523,8 @@ impl Workspace {
         }
         let text = source.read()?;
         let sg = load(source.name(), &text, default_delay)?;
-        let session = AnalysisSession::open(sg).map_err(|e| e.to_string())?;
+        let session = AnalysisSession::open_with_kernel(sg, self.arena.kernel())
+            .map_err(|e| e.to_string())?;
         let mut out = format!(
             "opened session {name:?}: {} events, {} arcs, {} border event(s)\n",
             session.graph().event_count(),

@@ -32,6 +32,7 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use tsg_core::analysis::wide::KernelBackend;
 use tsg_sim::BatchRunner;
 
 use crate::json::Json;
@@ -55,6 +56,11 @@ pub struct ServeOptions {
     /// structured `ok: false` error instead of growing worker memory,
     /// and the slot frees on `session.close` or disconnect.
     pub max_sessions: Option<u64>,
+    /// Wide-kernel backend every worker workspace is pinned to
+    /// (`Auto` = the widest the CPU supports). Resolved leniently at
+    /// pool spawn; the CLI validates an explicit `--kernel` strictly
+    /// before it gets here.
+    pub kernel: KernelBackend,
 }
 
 /// Counters of a pool (or a finished serve run).
@@ -111,6 +117,9 @@ struct PoolShared {
     open_sessions: AtomicU64,
     /// Cap on `open_sessions` (`None` = unbounded).
     max_sessions: Option<u64>,
+    /// The resolved backend every worker workspace runs on — reported
+    /// by the `stats` op so deployments can audit the dispatch decision.
+    kernel: KernelBackend,
 }
 
 /// A persistent warm worker pool; see the module docs.
@@ -142,6 +151,7 @@ impl Pool {
             next_conn: AtomicU64::new(0),
             open_sessions: AtomicU64::new(0),
             max_sessions: opts.max_sessions,
+            kernel: opts.kernel.resolve_lenient(),
         });
         let workers = (0..threads)
             .map(|index| {
@@ -365,7 +375,7 @@ impl Drop for Pool {
 /// One worker: claims jobs — own pinned lane first, then the shared
 /// lane — against its lifelong warm workspace.
 fn worker_loop(shared: &PoolShared, index: usize) {
-    let mut workspace = Workspace::new();
+    let mut workspace = Workspace::with_kernel(shared.kernel);
     loop {
         let job = {
             let mut queues = shared.queues.lock().expect("pool mutex never poisoned");
@@ -446,6 +456,7 @@ fn handle(
                 shared.served.load(Ordering::SeqCst),
                 shared.failed.load(Ordering::SeqCst),
                 shared.threads,
+                shared.kernel.name(),
             );
             shared.served.fetch_add(1, Ordering::SeqCst);
             response

@@ -30,8 +30,14 @@
 //! {"id": 1, "ok": true, "output": "graph: ...\n"}
 //! {"id": 2, "ok": false, "error": "reading spec.g: ..."}
 //! {"id": 4, "ok": true, "results": [{"ok": true, "output": "..."}]}
-//! {"id": 5, "ok": true, "served": 4, "failed": 0, "threads": 8}
+//! {"id": 5, "ok": true, "served": 4, "failed": 0, "threads": 8, "kernel": "avx2"}
 //! ```
+//!
+//! `analyze`/`batch` requests accept a `"kernel"` field
+//! (`"auto"`/`"portable"`/`"sse2"`/`"avx2"`) pinning the wide-kernel
+//! backend for that request; an unavailable backend is refused with a
+//! structured error, and the `stats` response reports the backend the
+//! pool's warm workspaces run on.
 //!
 //! Unknown fields are rejected, not ignored — the same strictness the
 //! CLI applies to unknown flags, so a typo'd option fails loudly instead
@@ -39,6 +45,7 @@
 
 use crate::json::Json;
 use crate::ops::{AnalyzeOptions, EditSpec, SimOptions, Source};
+use tsg_core::analysis::wide::KernelBackend;
 use tsg_sim::QueueKind;
 
 /// A parsed request body.
@@ -144,6 +151,7 @@ pub fn parse_request(line: &str) -> Result<Request, (Json, String)> {
             "baselines",
             "slack",
             "default_delay",
+            "kernel",
         ],
         "sim" => &[
             "id",
@@ -165,6 +173,7 @@ pub fn parse_request(line: &str) -> Result<Request, (Json, String)> {
             "baselines",
             "slack",
             "default_delay",
+            "kernel",
         ],
         "stats" => &["id", "cmd"],
         "session.open" => &[
@@ -337,6 +346,13 @@ fn analyze_opts(doc: &Json) -> Result<AnalyzeOptions, String> {
         // Intra-request parallelism is pool-level in serve mode; the
         // warm path never consults this.
         threads: None,
+        kernel: match doc.get("kernel") {
+            None => KernelBackend::Auto,
+            Some(v) => v
+                .as_str()
+                .ok_or("\"kernel\" must be a string".to_owned())
+                .and_then(|s| s.parse::<KernelBackend>().map_err(|e| e.to_string()))?,
+        },
     })
 }
 
@@ -419,14 +435,16 @@ pub fn batch_response(id: &Json, results: &[Result<String, String>]) -> String {
 }
 
 /// A `stats` response: counters cover requests *completed* before this
-/// one executed (the stats request itself is excluded).
-pub fn stats_response(id: &Json, served: u64, failed: u64, threads: usize) -> String {
+/// one executed (the stats request itself is excluded). `kernel` is the
+/// resolved wide-kernel backend the pool's workspaces run on.
+pub fn stats_response(id: &Json, served: u64, failed: u64, threads: usize, kernel: &str) -> String {
     Json::Obj(vec![
         ("id".to_owned(), id.clone()),
         ("ok".to_owned(), Json::Bool(true)),
         ("served".to_owned(), Json::from(served)),
         ("failed".to_owned(), Json::from(failed)),
         ("threads".to_owned(), Json::from(threads as u64)),
+        ("kernel".to_owned(), Json::from(kernel)),
     ])
     .dump()
 }
@@ -471,6 +489,25 @@ mod tests {
         assert_eq!(opts.queue, QueueKind::Calendar);
         let (_, e) = parse_request(r#"{"cmd":"sim","path":"c.ckt","queue":"splay"}"#).unwrap_err();
         assert!(e.contains("unknown queue backend"), "{e}");
+    }
+
+    #[test]
+    fn parses_kernel_backend_and_rejects_unknown() {
+        let r = parse_request(r#"{"cmd":"analyze","path":"a.g","kernel":"portable"}"#).unwrap();
+        let Command::Analyze { opts, .. } = r.cmd else {
+            panic!("wrong cmd");
+        };
+        assert_eq!(opts.kernel, KernelBackend::Portable);
+        let r = parse_request(r#"{"cmd":"batch","paths":["a.g"],"kernel":"sse2"}"#).unwrap();
+        let Command::Batch { opts, .. } = r.cmd else {
+            panic!("wrong cmd");
+        };
+        assert_eq!(opts.kernel, KernelBackend::Sse2);
+        let (_, e) =
+            parse_request(r#"{"cmd":"analyze","path":"a.g","kernel":"avx512"}"#).unwrap_err();
+        assert!(e.contains("unknown kernel backend"), "{e}");
+        let (_, e) = parse_request(r#"{"cmd":"sim","path":"a.g","kernel":"avx2"}"#).unwrap_err();
+        assert!(e.contains("unknown field"), "{e}");
     }
 
     #[test]
@@ -525,8 +562,8 @@ mod tests {
             r#"{"id":null,"ok":false,"error":"bad \"quote\""}"#
         );
         assert_eq!(
-            stats_response(&Json::Str("s".into()), 5, 1, 4),
-            r#"{"id":"s","ok":true,"served":5,"failed":1,"threads":4}"#
+            stats_response(&Json::Str("s".into()), 5, 1, 4, "avx2"),
+            r#"{"id":"s","ok":true,"served":5,"failed":1,"threads":4,"kernel":"avx2"}"#
         );
         assert_eq!(
             batch_response(&Json::Num(1.0), &[Ok("a\n".into()), Err("e".into())]),

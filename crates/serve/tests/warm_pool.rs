@@ -183,6 +183,53 @@ fn responses_arrive_in_request_order_with_error_isolation() {
 }
 
 #[test]
+fn kernel_pinned_requests_and_stats_report_backend() {
+    use tsg_core::analysis::KernelBackend;
+    let analyze = |extra: &[(&str, Json)]| {
+        let mut fields = vec![
+            ("id", Json::Num(0.0)),
+            ("cmd", Json::from("analyze")),
+            ("text", Json::from(tsg_stg::EXAMPLE_OSCILLATOR)),
+            ("name", Json::from("osc.g")),
+        ];
+        fields.extend(extra.iter().cloned());
+        req(&fields)
+    };
+    let script = [
+        analyze(&[]),
+        analyze(&[("kernel", Json::from("portable"))]),
+        req(&[("id", Json::Num(2.0)), ("cmd", Json::from("stats"))]),
+    ]
+    .join("\n")
+        + "\n";
+    let responses = session(&script, 1);
+    assert_eq!(
+        responses[0].get("output"),
+        responses[1].get("output"),
+        "a portable-pinned analysis is byte-identical to the auto one"
+    );
+    let kernel = responses[2]
+        .get("kernel")
+        .and_then(Json::as_str)
+        .expect("stats reports the pool's kernel backend");
+    assert!(["portable", "sse2", "avx2"].contains(&kernel), "{kernel}");
+    // An explicitly requested backend the CPU lacks is refused with a
+    // structured error, never silently downgraded.
+    for backend in [KernelBackend::Sse2, KernelBackend::Avx2] {
+        if backend.resolve().is_ok() {
+            continue;
+        }
+        let responses = session(
+            &(analyze(&[("kernel", Json::from(backend.name()))]) + "\n"),
+            1,
+        );
+        assert_eq!(responses[0].get("ok"), Some(&Json::Bool(false)));
+        let err = responses[0].get("error").and_then(Json::as_str).unwrap();
+        assert!(err.contains("not available"), "{err}");
+    }
+}
+
+#[test]
 fn parallel_pool_preserves_order_and_output() {
     // 24 requests of varying cost over 4 workers: responses must still
     // stream in request order and match the single-worker outputs.
@@ -644,6 +691,7 @@ fn session_cap_rejects_opens_beyond_the_limit() {
     let opts = ServeOptions {
         threads: Some(1),
         max_sessions: Some(2),
+        ..ServeOptions::default()
     };
     serve(Cursor::new(script), &mut out, &opts, None).unwrap();
     let responses: Vec<Json> = String::from_utf8(out)
@@ -696,6 +744,7 @@ fn failed_session_open_does_not_leak_a_cap_slot() {
     let opts = ServeOptions {
         threads: Some(1),
         max_sessions: Some(1),
+        ..ServeOptions::default()
     };
     serve(Cursor::new(script), &mut out, &opts, None).unwrap();
     let responses: Vec<Json> = String::from_utf8(out)
@@ -720,6 +769,7 @@ fn disconnect_sweep_releases_cap_slots() {
     let opts = ServeOptions {
         threads: Some(2),
         max_sessions: Some(1),
+        ..ServeOptions::default()
     };
     let pool = tsg_serve::Pool::new(&opts);
     let open = req(&[

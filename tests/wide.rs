@@ -10,6 +10,12 @@
 //! `tsg_gen` generator family, random edit scripts through
 //! `AnalysisSession`, and every thread count of the lane-chunked
 //! `run_parallel`.
+//!
+//! PR 6 widens the bar to the explicit-SIMD backends: every backend
+//! the CPU offers (portable always, SSE2/AVX2 when detected) must
+//! produce the same bits as `run_scalar` — including odd lane counts
+//! that force the masked remainder paths, and sessions resumed
+//! mid-matrix with the kernel pinned per backend.
 
 use proptest::prelude::*;
 use tsg::core::analysis::session::AnalysisSession;
@@ -17,7 +23,10 @@ use tsg::core::analysis::CycleTimeAnalysis;
 use tsg::core::{ArcId, SignalGraph};
 use tsg::gen::{handshake_pipeline, random_live_tsg, ring, torus, PipelineConfig, RandomTsgConfig};
 use tsg::sim::BatchRunner;
-use tsg_bench::{assert_analyses_identical, assert_wide_matches_scalar};
+use tsg_bench::{
+    assert_analyses_identical, assert_backends_match, assert_wide_matches_scalar,
+    available_backends,
+};
 
 /// One generated graph per `(family, seed)` pair — the same family mix
 /// the incremental-session properties use.
@@ -90,6 +99,59 @@ proptest! {
                 session.analysis(),
                 &format!("family {family} seed {seed} step {step}"),
             );
+        }
+    }
+
+    /// Every explicit kernel backend this CPU offers (portable always;
+    /// SSE2/AVX2 when detected) ≡ `run_scalar` on every generator
+    /// family — analyses bit-identical, and every SIMD backend's lane
+    /// matrix cell-identical to the portable loop's.
+    #[test]
+    fn every_backend_equals_scalar_across_families(family in 0usize..4, seed in 0u64..10_000) {
+        let sg = graph(family, seed);
+        assert_backends_match(&sg, &format!("family {family} seed {seed}"));
+    }
+
+    /// Odd lane counts force the remainder paths (AVX2 maskload /
+    /// maskstore tails, the SSE2 scalar lane): rings with b ∈ {1, 3,
+    /// 5, 7} tokens give exactly b lanes, never a multiple of the
+    /// vector width.
+    #[test]
+    fn odd_lane_counts_exercise_the_masked_remainders(
+        bi in 0usize..4,
+        seed in 0u64..10_000,
+    ) {
+        let b = [1usize, 3, 5, 7][bi];
+        let n = b + 1 + (seed % 40) as usize;
+        let sg = ring(n, b, 1.5);
+        assert_backends_match(&sg, &format!("ring n={n} b={b} seed {seed}"));
+    }
+
+    /// Random edit scripts on a session pinned to each backend: every
+    /// resume recomputes only the rows below the edit, so the matrix
+    /// the SIMD kernel continues from is the portable/scalar one —
+    /// every step must stay bit-identical to a from-scratch scalar
+    /// analysis.
+    #[test]
+    fn session_edits_resume_mid_matrix_on_every_backend(
+        family in 0usize..4,
+        seed in 0u64..10_000,
+        edits in 1usize..6,
+    ) {
+        for backend in available_backends() {
+            let sg = graph(family, seed);
+            let mut session = AnalysisSession::open_with_kernel(sg, backend).expect("live");
+            for (step, (arc, delay)) in
+                script(session.graph(), seed, edits).into_iter().enumerate()
+            {
+                session.edit_delay(arc, delay).unwrap();
+                let scalar = CycleTimeAnalysis::run_scalar(session.graph()).expect("stays live");
+                assert_analyses_identical(
+                    &scalar,
+                    session.analysis(),
+                    &format!("family {family} seed {seed} step {step} [{}]", backend.name()),
+                );
+            }
         }
     }
 
