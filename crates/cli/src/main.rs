@@ -15,9 +15,11 @@
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 use tsg_core::analysis::session::AnalysisSession;
 use tsg_core::analysis::{CycleTimeAnalysis, KernelBackend};
+use tsg_serve::json::Json;
 use tsg_serve::ops::{self, AnalyzeOptions, EditSpec, SimOptions};
 use tsg_serve::ServeOptions;
 use tsg_sim::BatchRunner;
@@ -34,9 +36,13 @@ USAGE:
                         [--queue {heap|calendar}]
     tsg explore FILE [--edit SRC->DST=DELAY]... [--default-delay X]
                      [--kernel {auto|portable|sse2|avx2}]
-    tsg serve [--threads N] [--max-sessions N]
+    tsg serve [--threads N] [--max-sessions N] [--max-pending N]
+              [--default-deadline MS] [--drain-deadline MS]
+              [--io-timeout MS] [--max-request-bytes N]
               [--listen tcp:HOST:PORT | --listen unix:PATH]
               [--kernel {auto|portable|sse2|avx2}]
+    tsg ping {tcp:HOST:PORT|unix:PATH} [--count N] [--deadline-ms MS]
+             [--retries N]
     tsg convert FILE --to {g|dot}
     tsg demo {oscillator|muller5|stack66}
 
@@ -74,6 +80,24 @@ incremental session pins O(b²·n) warm state to a worker for its whole
 life, so long-lived deployments should cap them: `--max-sessions N`
 answers any session.open beyond N open sessions with a structured
 error until one closes (default: unbounded).
+
+Serve hardening knobs: every request may carry `deadline_ms`
+(`--default-deadline MS` applies one to requests that do not); a fired
+deadline answers a structured `deadline_exceeded` error with the
+partial progress. `--max-pending N` bounds the dispatch queue —
+past it requests are answered `overloaded` with a retry-after hint.
+`--drain-deadline MS` (default 5000) bounds graceful shutdown: after
+Ctrl-C, in-flight work gets that long before being cancelled.
+`--io-timeout MS` arms socket read/write timeouts so stalled clients
+cannot hold connections forever; `--max-request-bytes N` (default
+1048576) bounds one request line. The `TSG_CHAOS` environment variable
+arms fault injection (see the README's Operations section).
+
+`ping` is the matching load probe: it sends `--count N` stats requests
+(default 1) over one connection, honours `overloaded` retry-after
+hints with exponential backoff (`--retries N`, default 3), and reports
+ok/failed counts and latency; `--deadline-ms` attaches a deadline to
+each probe.
 ";
 
 fn main() -> ExitCode {
@@ -94,6 +118,15 @@ fn main() -> ExitCode {
 
 fn parse_threads(args: &[String], i: usize) -> Result<usize, String> {
     BatchRunner::parse_threads(args.get(i).map(String::as_str))
+}
+
+/// Parses a millisecond duration argument for `flag`.
+fn parse_ms(args: &[String], i: usize, flag: &str) -> Result<Duration, String> {
+    args.get(i)
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&ms| ms >= 1)
+        .map(Duration::from_millis)
+        .ok_or(format!("{flag} needs a positive number of milliseconds"))
 }
 
 /// Parses and strictly resolves a `--kernel` argument: an unknown name
@@ -328,29 +361,56 @@ fn run(args: &[String]) -> Result<String, String> {
             Ok(out)
         }
         Some("serve") => {
-            let mut threads: Option<usize> = None;
-            let mut max_sessions: Option<u64> = None;
+            let mut opts = ServeOptions::default();
             let mut listen: Option<String> = None;
-            let mut kernel = KernelBackend::Auto;
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
                     "--threads" => {
                         i += 1;
-                        threads = Some(parse_threads(args, i)?);
+                        opts.threads = Some(parse_threads(args, i)?);
                     }
                     "--kernel" => {
                         i += 1;
-                        kernel = parse_kernel(args, i)?;
+                        opts.kernel = parse_kernel(args, i)?;
                     }
                     "--max-sessions" => {
                         i += 1;
-                        max_sessions = Some(
+                        opts.max_sessions = Some(
                             args.get(i)
                                 .and_then(|v| v.parse().ok())
                                 .filter(|&n: &u64| n >= 1)
                                 .ok_or("--max-sessions needs a positive integer")?,
                         );
+                    }
+                    "--max-pending" => {
+                        i += 1;
+                        opts.max_pending = Some(
+                            args.get(i)
+                                .and_then(|v| v.parse().ok())
+                                .filter(|&n: &usize| n >= 1)
+                                .ok_or("--max-pending needs a positive integer")?,
+                        );
+                    }
+                    "--default-deadline" => {
+                        i += 1;
+                        opts.default_deadline = Some(parse_ms(args, i, "--default-deadline")?);
+                    }
+                    "--drain-deadline" => {
+                        i += 1;
+                        opts.drain_deadline = parse_ms(args, i, "--drain-deadline")?;
+                    }
+                    "--io-timeout" => {
+                        i += 1;
+                        opts.io_timeout = Some(parse_ms(args, i, "--io-timeout")?);
+                    }
+                    "--max-request-bytes" => {
+                        i += 1;
+                        opts.max_request_bytes = args
+                            .get(i)
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&n: &usize| n >= 1)
+                            .ok_or("--max-request-bytes needs a positive integer")?;
                     }
                     "--listen" => {
                         i += 1;
@@ -364,7 +424,48 @@ fn run(args: &[String]) -> Result<String, String> {
                 }
                 i += 1;
             }
-            serve(threads, max_sessions, kernel, listen.as_deref())
+            serve(&opts, listen.as_deref())
+        }
+        Some("ping") => {
+            let target = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or("ping needs tcp:HOST:PORT or unix:PATH")?;
+            let mut count = 1u32;
+            let mut deadline_ms: Option<u64> = None;
+            let mut retries = 3u32;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--count" => {
+                        i += 1;
+                        count = args
+                            .get(i)
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&n: &u32| n >= 1)
+                            .ok_or("--count needs a positive integer")?;
+                    }
+                    "--deadline-ms" => {
+                        i += 1;
+                        deadline_ms = Some(
+                            args.get(i)
+                                .and_then(|v| v.parse().ok())
+                                .filter(|&ms: &u64| ms >= 1)
+                                .ok_or("--deadline-ms needs a positive number of milliseconds")?,
+                        );
+                    }
+                    "--retries" => {
+                        i += 1;
+                        retries = args
+                            .get(i)
+                            .and_then(|v| v.parse().ok())
+                            .ok_or("--retries needs an integer")?;
+                    }
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+                i += 1;
+            }
+            ping(target, count, deadline_ms, retries)
         }
         Some("convert") => {
             let file = args.get(1).ok_or("convert needs a FILE argument")?;
@@ -407,26 +508,16 @@ fn run(args: &[String]) -> Result<String, String> {
 /// The `tsg serve` front-end: picks the transport, installs the SIGINT
 /// flag, runs the warm-pool request loop, and reports the session
 /// counters on stderr (stdout stays pure protocol).
-fn serve(
-    threads: Option<usize>,
-    max_sessions: Option<u64>,
-    kernel: KernelBackend,
-    listen: Option<&str>,
-) -> Result<String, String> {
-    let opts = ServeOptions {
-        threads,
-        max_sessions,
-        kernel,
-    };
+fn serve(opts: &ServeOptions, listen: Option<&str>) -> Result<String, String> {
     let shutdown = tsg_serve::install_sigint_flag();
-    let pool = BatchRunner::sized(threads).threads();
+    let pool = BatchRunner::sized(opts.threads).threads();
     let stats = match listen {
         None => {
             eprintln!("tsg serve: reading requests from stdin ({pool} worker thread(s))");
             tsg_serve::serve(
                 std::io::BufReader::new(std::io::stdin()),
                 std::io::stdout(),
-                &opts,
+                opts,
                 Some(shutdown),
             )
         }
@@ -436,7 +527,7 @@ fn serve(
                     .map_err(|e| format!("binding tcp {addr}: {e}"))?;
                 let local = listener.local_addr().map_err(|e| e.to_string())?;
                 eprintln!("tsg serve: listening on tcp {local} ({pool} worker thread(s))");
-                tsg_serve::serve_tcp(listener, &opts, Some(shutdown), None)
+                tsg_serve::serve_tcp(listener, opts, Some(shutdown), None)
             }
             #[cfg(unix)]
             Some(("unix", path)) => {
@@ -451,7 +542,7 @@ fn serve(
                 let listener = std::os::unix::net::UnixListener::bind(path)
                     .map_err(|e| format!("binding unix {path}: {e}"))?;
                 eprintln!("tsg serve: listening on unix {path} ({pool} worker thread(s))");
-                let result = tsg_serve::serve_unix(listener, &opts, Some(shutdown), None);
+                let result = tsg_serve::serve_unix(listener, opts, Some(shutdown), None);
                 let _ = std::fs::remove_file(path);
                 result
             }
@@ -463,7 +554,126 @@ fn serve(
         "tsg serve: shut down after {} ok / {} failed request(s) on {} worker thread(s)",
         stats.served, stats.failed, stats.threads
     );
+    if stats.rejected_overloaded
+        + stats.deadline_exceeded
+        + stats.cancelled
+        + stats.timed_out_connections
+        + stats.drained_in_flight
+        > 0
+    {
+        eprintln!(
+            "tsg serve: {} overloaded, {} deadline-exceeded, {} cancelled, \
+             {} timed-out connection(s), {} drained in flight",
+            stats.rejected_overloaded,
+            stats.deadline_exceeded,
+            stats.cancelled,
+            stats.timed_out_connections,
+            stats.drained_in_flight
+        );
+    }
     Ok(String::new())
+}
+
+/// The `tsg ping` load probe: sends `count` stats requests over one
+/// connection, honouring `overloaded` retry-after hints with
+/// exponential backoff, and reports ok/failed counts and latency.
+fn ping(
+    target: &str,
+    count: u32,
+    deadline_ms: Option<u64>,
+    retries: u32,
+) -> Result<String, String> {
+    use std::io::{BufRead, BufReader, Write};
+    let (mut reader, mut writer): (Box<dyn BufRead>, Box<dyn Write>) = match target.split_once(':')
+    {
+        Some(("tcp", addr)) => {
+            let stream = std::net::TcpStream::connect(addr)
+                .map_err(|e| format!("connecting tcp {addr}: {e}"))?;
+            let clone = stream.try_clone().map_err(|e| e.to_string())?;
+            (Box::new(BufReader::new(clone)), Box::new(stream))
+        }
+        #[cfg(unix)]
+        Some(("unix", path)) => {
+            let stream = std::os::unix::net::UnixStream::connect(path)
+                .map_err(|e| format!("connecting unix {path}: {e}"))?;
+            let clone = stream.try_clone().map_err(|e| e.to_string())?;
+            (Box::new(BufReader::new(clone)), Box::new(stream))
+        }
+        _ => return Err("ping takes tcp:HOST:PORT or unix:PATH".to_owned()),
+    };
+    let mut ok = 0u32;
+    let mut failed = 0u32;
+    let mut retried = 0u32;
+    let mut latencies: Vec<Duration> = Vec::with_capacity(count as usize);
+    let mut last = String::new();
+    for k in 0..count {
+        let request = match deadline_ms {
+            Some(ms) => format!("{{\"id\":{k},\"cmd\":\"stats\",\"deadline_ms\":{ms}}}\n"),
+            None => format!("{{\"id\":{k},\"cmd\":\"stats\"}}\n"),
+        };
+        let mut attempt = 0u32;
+        loop {
+            let start = Instant::now();
+            writer
+                .write_all(request.as_bytes())
+                .and_then(|()| writer.flush())
+                .map_err(|e| format!("sending probe {k}: {e}"))?;
+            let mut line = String::new();
+            let n = reader
+                .read_line(&mut line)
+                .map_err(|e| format!("reading probe {k} response: {e}"))?;
+            if n == 0 {
+                return Err(format!("server closed the connection after {ok} probe(s)"));
+            }
+            let elapsed = start.elapsed();
+            let doc = Json::parse(line.trim()).ok();
+            let code = doc
+                .as_ref()
+                .and_then(|d| d.get("code"))
+                .and_then(Json::as_str)
+                .map(str::to_owned);
+            if code.as_deref() == Some("overloaded") && attempt < retries {
+                // Honour the server's hint, with exponential backoff on
+                // repeated rejections.
+                let hint = doc
+                    .as_ref()
+                    .and_then(|d| d.get("retry_after_ms"))
+                    .and_then(Json::as_f64)
+                    .unwrap_or(50.0);
+                attempt += 1;
+                retried += 1;
+                std::thread::sleep(Duration::from_millis(
+                    (hint as u64).saturating_mul(1 << attempt.min(6)) / 2,
+                ));
+                continue;
+            }
+            let succeeded = doc
+                .as_ref()
+                .and_then(|d| d.get("ok"))
+                .is_some_and(|v| *v == Json::Bool(true));
+            if succeeded {
+                ok += 1;
+            } else {
+                failed += 1;
+            }
+            latencies.push(elapsed);
+            last = line.trim().to_owned();
+            break;
+        }
+    }
+    let ms = |d: &Duration| d.as_secs_f64() * 1e3;
+    let min = latencies.iter().min().map(ms).unwrap_or(0.0);
+    let max = latencies.iter().max().map(ms).unwrap_or(0.0);
+    let mean = latencies.iter().map(ms).sum::<f64>() / latencies.len().max(1) as f64;
+    let mut out = format!(
+        "pinged {target}: {ok} ok, {failed} failed of {count} probe(s) ({retried} retried)\n"
+    );
+    let _ = writeln!(
+        out,
+        "latency: min {min:.2} ms / mean {mean:.2} ms / max {max:.2} ms"
+    );
+    let _ = writeln!(out, "last response: {last}");
+    Ok(out)
 }
 
 #[cfg(test)]

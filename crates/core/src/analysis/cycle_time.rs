@@ -28,12 +28,12 @@
 
 use std::fmt;
 
-use tsg_sim::BatchRunner;
+use tsg_sim::{BatchRunner, CancelKind, CancelToken};
 
 use crate::analysis::initiated::SimArena;
 use crate::analysis::session::{AnalysisSession, CycleTimeDelta, DelayEdit, EditError};
 use crate::analysis::structure::CyclicStructure;
-use crate::analysis::wide::{AnalysisArena, KernelBackend, WideArena};
+use crate::analysis::wide::{AnalysisArena, Cancelled, Halt, KernelBackend, WideArena};
 use crate::analysis::CycleTime;
 use crate::arc::ArcId;
 use crate::event::EventId;
@@ -46,6 +46,18 @@ pub enum AnalysisError {
     /// The graph has no repetitive events, hence no cycles and no cycle
     /// time (a purely acyclic PERT computation).
     NoCyclicBehavior,
+    /// The analysis observed its [`CancelToken`] mid-flight — the
+    /// request's deadline passed or it was cancelled explicitly — and
+    /// stopped cooperatively after `rows_done` of `rows_total` lockstep
+    /// simulation rows.
+    Cancelled {
+        /// Whether a deadline or an explicit cancel stopped the run.
+        kind: CancelKind,
+        /// Fully computed matrix rows at the moment of the abort.
+        rows_done: usize,
+        /// Rows a complete run would have computed.
+        rows_total: usize,
+    },
 }
 
 impl fmt::Display for AnalysisError {
@@ -53,6 +65,16 @@ impl fmt::Display for AnalysisError {
         match self {
             AnalysisError::NoCyclicBehavior => {
                 write!(f, "graph has no repetitive events: cycle time is undefined")
+            }
+            AnalysisError::Cancelled {
+                kind,
+                rows_done,
+                rows_total,
+            } => {
+                write!(
+                    f,
+                    "{kind} after {rows_done} of {rows_total} simulation row(s)"
+                )
             }
         }
     }
@@ -180,6 +202,29 @@ impl CycleTimeAnalysis {
         periods: Option<u32>,
         arena: &mut AnalysisArena,
     ) -> Result<Self, AnalysisError> {
+        Self::run_in_with_cancel(sg, periods, arena, None)
+    }
+
+    /// [`run_in`](Self::run_in) with cooperative cancellation: `cancel`
+    /// is polled once per lockstep matrix row, so a deadline or an
+    /// explicit cancel aborts a long analysis within one row of work and
+    /// returns [`AnalysisError::Cancelled`] with the progress made. The
+    /// arena stays valid for reuse — the next run overwrites the
+    /// partially written matrix from row 0.
+    ///
+    /// (The O(b·m) parent-tracked winner re-run in the finish step is
+    /// not polled: it is one simulation against the main phase's `b`.)
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::NoCyclicBehavior`] for graphs without repetitive
+    /// events; [`AnalysisError::Cancelled`] when `cancel` fires first.
+    pub fn run_in_with_cancel(
+        sg: &SignalGraph,
+        periods: Option<u32>,
+        arena: &mut AnalysisArena,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Self, AnalysisError> {
         let border = sg.border_events();
         if border.is_empty() {
             return Err(AnalysisError::NoCyclicBehavior);
@@ -194,8 +239,19 @@ impl CycleTimeAnalysis {
             structure,
         } = arena;
         structure.rebuild(sg);
-        wide.run_with(sg, structure, &border, b)
-            .expect("border events are repetitive by construction");
+        match wide.run_with(sg, structure, &border, b, cancel) {
+            Ok(()) => {}
+            Err(Halt::NotRepetitive(_)) => {
+                unreachable!("border events are repetitive by construction")
+            }
+            Err(Halt::Cancelled(c)) => {
+                return Err(AnalysisError::Cancelled {
+                    kind: c.kind,
+                    rows_done: c.rows_done,
+                    rows_total: c.rows_total,
+                })
+            }
+        }
         let records = (0..border.len())
             .map(|k| BorderRecord {
                 event: border[k],
@@ -288,6 +344,25 @@ impl CycleTimeAnalysis {
         runner: &BatchRunner,
         kernel: KernelBackend,
     ) -> Result<Self, AnalysisError> {
+        Self::run_parallel_with_cancel(sg, runner, kernel, None)
+    }
+
+    /// [`run_parallel_on`](Self::run_parallel_on) with cooperative
+    /// cancellation: every worker polls the shared `cancel` once per
+    /// matrix row of its lane chunk, so one deadline stops the whole
+    /// fan-out within a row per worker. On cancellation the reported
+    /// progress is the *least* advanced worker's row count.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::NoCyclicBehavior`] for graphs without repetitive
+    /// events; [`AnalysisError::Cancelled`] when `cancel` fires first.
+    pub fn run_parallel_with_cancel(
+        sg: &SignalGraph,
+        runner: &BatchRunner,
+        kernel: KernelBackend,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Self, AnalysisError> {
         let border = sg.border_events();
         if border.is_empty() {
             return Err(AnalysisError::NoCyclicBehavior);
@@ -297,23 +372,47 @@ impl CycleTimeAnalysis {
 
         let chunk = border.len().div_ceil(runner.threads().max(1));
         let chunks: Vec<&[EventId]> = border.chunks(chunk).collect();
-        let chunk_records: Vec<Vec<BorderRecord>> = runner.run_with_state(
+        let chunk_records: Vec<Result<Vec<BorderRecord>, Cancelled>> = runner.run_with_state(
             &chunks,
             || WideArena::with_kernel(kernel),
-            |wide, lanes| {
-                wide.run_with(sg, &structure, lanes, b)
-                    .expect("border events are repetitive by construction");
-                lanes
+            |wide, lanes| match wide.run_with(sg, &structure, lanes, b, cancel) {
+                Ok(()) => Ok(lanes
                     .iter()
                     .enumerate()
                     .map(|(k, &g)| BorderRecord {
                         event: g,
                         distances: wide.distance_series(k),
                     })
-                    .collect()
+                    .collect()),
+                Err(Halt::NotRepetitive(_)) => {
+                    unreachable!("border events are repetitive by construction")
+                }
+                Err(Halt::Cancelled(c)) => Err(c),
             },
         );
-        let records: Vec<BorderRecord> = chunk_records.into_iter().flatten().collect();
+        let mut records: Vec<BorderRecord> = Vec::with_capacity(border.len());
+        let mut cancelled: Option<Cancelled> = None;
+        for chunk in chunk_records {
+            match chunk {
+                Ok(mut r) => records.append(&mut r),
+                Err(c) => {
+                    cancelled = Some(match cancelled {
+                        Some(prev) => Cancelled {
+                            rows_done: prev.rows_done.min(c.rows_done),
+                            ..c
+                        },
+                        None => c,
+                    })
+                }
+            }
+        }
+        if let Some(c) = cancelled {
+            return Err(AnalysisError::Cancelled {
+                kind: c.kind,
+                rows_done: c.rows_done,
+                rows_total: c.rows_total,
+            });
+        }
 
         Self::finish(sg, &structure, border, records, &mut SimArena::new())
     }

@@ -15,10 +15,42 @@
 //! sources), and it feeds the long-run estimator in `tsg-baselines`
 //! through the same kernel as the gate-level netlist simulator.
 
-use tsg_sim::{AnyQueue, EventQueue, QueueCheckpoint, QueueKind, TraceRecorder};
+use tsg_sim::{
+    AnyQueue, CancelKind, CancelToken, EventQueue, QueueCheckpoint, QueueKind, TraceRecorder,
+};
 
 use crate::event::{EventId, Polarity};
 use crate::graph::SignalGraph;
+
+/// Pops between cancellation polls of the event-driven drain loop: one
+/// arrival is far cheaper than a matrix row, so the check is amortised
+/// over a batch instead of paid per event.
+const CANCEL_POLL_EVERY: u64 = 256;
+
+/// Error of [`EventSimulation::run_in_with_cancel`]: the drain loop
+/// observed its token mid-run. The scratch stays reusable — a later
+/// uncancelled run primes it from scratch as usual.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimCancelled {
+    /// Why the run stopped.
+    pub kind: CancelKind,
+    /// Token arrivals processed before the abort.
+    pub events_done: u64,
+    /// Arrivals still pending in the queue at the abort.
+    pub pending: usize,
+}
+
+impl std::fmt::Display for SimCancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} after {} event arrival(s) ({} pending)",
+            self.kind, self.events_done, self.pending
+        )
+    }
+}
+
+impl std::error::Error for SimCancelled {}
 
 /// A pending token arrival for instantiation `instance` of `target`.
 #[derive(Clone, Copy, Debug)]
@@ -141,10 +173,31 @@ impl EventSimulation {
     ///
     /// Panics if `periods == 0`.
     pub fn run_in(sg: &SignalGraph, periods: u32, scratch: &mut EventSimScratch) -> Self {
+        Self::run_in_with_cancel(sg, periods, scratch, None).expect("no cancel token was supplied")
+    }
+
+    /// [`run_in`](Self::run_in) under a cancellation token: the drain
+    /// loop polls `cancel` every few hundred arrivals and aborts with a
+    /// structured [`SimCancelled`] carrying its progress. The scratch
+    /// remains reusable for later runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimCancelled`] when `cancel` fires mid-drain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `periods == 0`.
+    pub fn run_in_with_cancel(
+        sg: &SignalGraph,
+        periods: u32,
+        scratch: &mut EventSimScratch,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Self, SimCancelled> {
         let mut times = prime(sg, periods, scratch);
         let EventSimScratch { queue, remaining } = scratch;
-        drain(sg, queue, remaining, &mut times, None);
-        EventSimulation { times, periods }
+        drain(sg, queue, remaining, &mut times, None, cancel)?;
+        Ok(EventSimulation { times, periods })
     }
 
     /// Runs the simulation until every event at or before `pause_at` has
@@ -167,7 +220,8 @@ impl EventSimulation {
     ) -> PausedEventSim {
         let mut times = prime(sg, periods, scratch);
         let EventSimScratch { queue, remaining } = scratch;
-        drain(sg, queue, remaining, &mut times, Some(pause_at));
+        drain(sg, queue, remaining, &mut times, Some(pause_at), None)
+            .expect("no cancel token was supplied");
         PausedEventSim {
             queue: queue.checkpoint(),
             remaining: remaining.clone(),
@@ -372,20 +426,39 @@ fn drain(
     remaining: &mut [u32],
     times: &mut [Vec<f64>],
     pause_at: Option<f64>,
-) {
-    match pause_at {
-        None => {
-            while let Some(ev) = queue.pop() {
-                arrive(sg, queue, remaining, times, ev);
-            }
+    cancel: Option<&CancelToken>,
+) -> Result<(), SimCancelled> {
+    let mut processed = 0u64;
+    let poll = |processed: u64, pending: usize| {
+        if !processed.is_multiple_of(CANCEL_POLL_EVERY) {
+            return Ok(());
         }
+        match cancel.and_then(CancelToken::check) {
+            Some(kind) => Err(SimCancelled {
+                kind,
+                events_done: processed,
+                pending,
+            }),
+            None => Ok(()),
+        }
+    };
+    match pause_at {
+        None => loop {
+            poll(processed, queue.len())?;
+            let Some(ev) = queue.pop() else { break };
+            arrive(sg, queue, remaining, times, ev);
+            processed += 1;
+        },
         Some(stop) => {
             while queue.peek_time().is_some_and(|t| t <= stop) {
+                poll(processed, queue.len())?;
                 let ev = queue.pop().expect("peeked");
                 arrive(sg, queue, remaining, times, ev);
+                processed += 1;
             }
         }
     }
+    Ok(())
 }
 
 /// A paused event-driven simulation: the kernel's [`QueueCheckpoint`]
@@ -428,7 +501,7 @@ impl PausedEventSim {
         remaining.clear();
         remaining.extend_from_slice(&self.remaining);
         let mut times = self.times.clone();
-        drain(sg, queue, remaining, &mut times, None);
+        drain(sg, queue, remaining, &mut times, None, None).expect("no cancel token was supplied");
         EventSimulation {
             times,
             periods: self.periods,
@@ -632,6 +705,31 @@ mod tests {
         let straight = EventSimulation::run(&sg, 2);
         for e in sg.events() {
             assert_eq!(straight.time(e, 1), resumed.time(e, 1));
+        }
+    }
+
+    #[test]
+    fn cancelled_drain_reports_progress_and_a_rerun_succeeds() {
+        let sg = figure2();
+        let mut scratch = EventSimScratch::new(QueueKind::Heap);
+        let token = CancelToken::cancel_after_checks(0);
+        let err =
+            EventSimulation::run_in_with_cancel(&sg, 4, &mut scratch, Some(&token)).unwrap_err();
+        assert_eq!(err.kind, CancelKind::Explicit);
+        assert_eq!(err.events_done, 0);
+        assert!(err.pending > 0, "sources had scheduled tokens");
+        // The scratch stays reusable: an uncancelled rerun matches cold.
+        let warm = EventSimulation::run_in(&sg, 4, &mut scratch);
+        let cold = EventSimulation::run(&sg, 4);
+        for e in sg.events() {
+            for p in 0..4 {
+                assert_eq!(
+                    cold.time(e, p).map(f64::to_bits),
+                    warm.time(e, p).map(f64::to_bits),
+                    "{}_{p}",
+                    sg.label(e)
+                );
+            }
         }
     }
 

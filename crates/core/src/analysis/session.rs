@@ -51,10 +51,12 @@
 use std::collections::VecDeque;
 use std::fmt;
 
+use tsg_sim::{CancelKind, CancelToken};
+
 use crate::analysis::cycle_time::{AnalysisError, BorderRecord, CycleTimeAnalysis};
 use crate::analysis::initiated::SimArena;
 use crate::analysis::structure::CyclicStructure;
-use crate::analysis::wide::{KernelBackend, WideArena};
+use crate::analysis::wide::{Halt, KernelBackend, WideArena};
 use crate::analysis::CycleTime;
 use crate::arc::ArcId;
 use crate::event::EventId;
@@ -117,6 +119,19 @@ pub enum EditError {
     NoSuchEvent(String),
     /// A label-addressed edit named an event pair with no connecting arc.
     NoArcBetween(String, String),
+    /// The batch's re-analysis was cancelled mid-flight. Unlike the
+    /// validation errors, the edits *are* applied to the graph; the
+    /// cached analysis is stale until the next uncancelled
+    /// [`edit_delays`](AnalysisSession::edit_delays) call (even with an
+    /// empty batch) heals the matrix bit-identically.
+    Cancelled {
+        /// Why the run stopped.
+        kind: CancelKind,
+        /// Matrix rows that were complete when the run stopped.
+        rows_done: usize,
+        /// Rows a full resume pass computes.
+        rows_total: usize,
+    },
 }
 
 impl fmt::Display for EditError {
@@ -131,6 +146,16 @@ impl fmt::Display for EditError {
             }
             EditError::NoSuchEvent(l) => write!(f, "no event labelled {l:?}"),
             EditError::NoArcBetween(s, d) => write!(f, "no arc from {s:?} to {d:?}"),
+            EditError::Cancelled {
+                kind,
+                rows_done,
+                rows_total,
+            } => {
+                write!(
+                    f,
+                    "{kind} after {rows_done} of {rows_total} simulation row(s)"
+                )
+            }
         }
     }
 }
@@ -180,6 +205,10 @@ pub struct AnalysisSession {
     finish_arena: SimArena,
     analysis: CycleTimeAnalysis,
     edits: u64,
+    /// First matrix row a cancelled resume left stale (`None` when the
+    /// session is healed). The next resume starts at or below this row
+    /// and refreshes every record, restoring bit-identity to scratch.
+    dirty_from: Option<usize>,
     /// Scratch: per-border restart row of the current edit batch
     /// (`UNREACHED` = untouched).
     restart: Vec<u32>,
@@ -214,6 +243,23 @@ impl AnalysisSession {
     /// Returns [`AnalysisError::NoCyclicBehavior`] when `sg` has no
     /// repetitive events.
     pub fn open_with_kernel(sg: SignalGraph, kernel: KernelBackend) -> Result<Self, AnalysisError> {
+        Self::open_with_cancel(sg, kernel, None)
+    }
+
+    /// [`open_with_kernel`](Self::open_with_kernel) under a cancellation
+    /// token: the opening full analysis polls `cancel` once per matrix
+    /// row and no session is created when it fires.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::NoCyclicBehavior`] when `sg` has no
+    /// repetitive events, or [`AnalysisError::Cancelled`] when `cancel`
+    /// fires mid-analysis.
+    pub fn open_with_cancel(
+        sg: SignalGraph,
+        kernel: KernelBackend,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Self, AnalysisError> {
         let border = sg.border_events();
         if border.is_empty() {
             return Err(AnalysisError::NoCyclicBehavior);
@@ -226,8 +272,19 @@ impl AnalysisSession {
         }
 
         let mut wide = WideArena::with_kernel(kernel);
-        wide.run_with(&sg, &structure, &border, b)
-            .expect("border events are repetitive by construction");
+        match wide.run_with(&sg, &structure, &border, b, cancel) {
+            Ok(()) => {}
+            Err(Halt::NotRepetitive(_)) => {
+                unreachable!("border events are repetitive by construction")
+            }
+            Err(Halt::Cancelled(c)) => {
+                return Err(AnalysisError::Cancelled {
+                    kind: c.kind,
+                    rows_done: c.rows_done,
+                    rows_total: c.rows_total,
+                })
+            }
+        }
         let records: Vec<BorderRecord> = (0..border.len())
             .map(|k| BorderRecord {
                 event: border[k],
@@ -256,6 +313,7 @@ impl AnalysisSession {
             finish_arena,
             analysis,
             edits: 0,
+            dirty_from: None,
             dist_back: vec![UNREACHED; n],
             deque: VecDeque::new(),
         })
@@ -275,6 +333,13 @@ impl AnalysisSession {
     /// Number of edit batches applied so far.
     pub fn edits_applied(&self) -> u64 {
         self.edits
+    }
+
+    /// Whether a cancelled resume left the cached analysis stale; the
+    /// next uncancelled [`edit_delays`](Self::edit_delays) call (even
+    /// with an empty batch) heals it.
+    pub fn is_stale(&self) -> bool {
+        self.dirty_from.is_some()
     }
 
     /// The resolved kernel backend the session's warm wide arena (and
@@ -329,6 +394,34 @@ impl AnalysisSession {
     /// Returns [`EditError`] — and leaves the session untouched — when
     /// any edit names an unknown arc or an invalid delay.
     pub fn edit_delays(&mut self, edits: &[DelayEdit]) -> Result<CycleTimeDelta, EditError> {
+        self.edit_delays_with_cancel(edits, None)
+    }
+
+    /// [`edit_delays`](Self::edit_delays) under a cancellation token:
+    /// the dirty-region resume polls `cancel` once per recomputed matrix
+    /// row.
+    ///
+    /// On cancellation the edits **are** applied to the graph but the
+    /// cached [`analysis`](Self::analysis) is stale: the session
+    /// remembers which rows were left unhealed and the next uncancelled
+    /// call — any edit batch, even an empty one — recomputes them
+    /// together with its own dirty region, restoring the
+    /// bit-identical-to-scratch invariant. Rows already recomputed
+    /// before the abort are final (the recurrence is a pure function of
+    /// the rows below), so a healing pass resumes where the cancelled
+    /// one stopped rather than starting over.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation [`EditError`]s — and leaves the session
+    /// untouched — for an unknown arc or invalid delay, or
+    /// [`EditError::Cancelled`] when `cancel` fires mid-resume (edits
+    /// applied, analysis stale until healed).
+    pub fn edit_delays_with_cancel(
+        &mut self,
+        edits: &[DelayEdit],
+        cancel: Option<&CancelToken>,
+    ) -> Result<CycleTimeDelta, EditError> {
         // Validate the whole batch before mutating anything.
         for e in edits {
             if e.arc.index() >= self.sg.arc_count() {
@@ -361,10 +454,13 @@ impl AnalysisSession {
         }
 
         let p_total = self.b as usize + 1;
+        // Rows a cancelled earlier pass left stale dirty *every* lane
+        // from that row on — fold them into this batch's per-lane r0.
+        let stale = self.dirty_from.unwrap_or(p_total);
         let (mut dirty_count, mut rows) = (0usize, 0usize);
         let mut min_r0 = p_total;
         for k in 0..self.border.len() {
-            let r0 = self.restart[k] as usize;
+            let r0 = (self.restart[k] as usize).min(stale);
             if r0 >= p_total {
                 continue; // influence starts beyond the horizon: clean
             }
@@ -377,9 +473,20 @@ impl AnalysisSession {
             // dirty row; clean lanes' recomputed rows are bit-identical
             // to their cached values (module docs), so only the dirty
             // lanes' records can have changed.
-            self.wide.rerun_rows_from(&self.structure, min_r0);
+            if let Err(c) = self.wide.rerun_rows_from(&self.structure, min_r0, cancel) {
+                // Rows below `rows_done` were already recomputed for the
+                // edited structure and are final; everything from there
+                // on stays stale until a later pass heals it.
+                self.dirty_from = Some(c.rows_done);
+                return Err(EditError::Cancelled {
+                    kind: c.kind,
+                    rows_done: c.rows_done,
+                    rows_total: p_total,
+                });
+            }
+            self.dirty_from = None;
             for k in 0..self.border.len() {
-                if (self.restart[k] as usize) < p_total {
+                if (self.restart[k] as usize).min(stale) < p_total {
                     // Refill the record in place: the per-lane buffer
                     // outlives the edit loop, so steady-state edits stay
                     // allocation-free.
@@ -682,6 +789,51 @@ mod tests {
             CycleTimeAnalysis::rerun_in(&mut session, &[DelayEdit { arc, delay: 12.0 }]).unwrap();
         assert!(delta.after.as_f64() > delta.before.as_f64());
         assert_matches_scratch(&session, "rerun_in");
+    }
+
+    #[test]
+    fn cancelled_edit_heals_bit_identically_on_the_next_call() {
+        let mut session = AnalysisSession::open(figure2()).unwrap();
+        let arc = session.resolve_arc("a+", "c+").unwrap();
+        for budget in 0..3u64 {
+            let token = CancelToken::cancel_after_checks(budget);
+            let delay = 8.0 + budget as f64;
+            let err = session
+                .edit_delays_with_cancel(&[DelayEdit { arc, delay }], Some(&token))
+                .unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    EditError::Cancelled {
+                        kind: CancelKind::Explicit,
+                        ..
+                    }
+                ),
+                "{err}"
+            );
+            assert!(session.is_stale());
+            // The edit is applied even though the analysis is stale.
+            assert_eq!(session.graph().arc(arc).delay().get(), delay);
+            // A later uncancelled call — here an empty batch — heals.
+            session.edit_delays(&[]).unwrap();
+            assert!(!session.is_stale());
+            assert_matches_scratch(&session, &format!("healed after budget {budget}"));
+        }
+    }
+
+    #[test]
+    fn cancelled_open_reports_progress() {
+        let token = CancelToken::cancel_after_checks(1);
+        let err = AnalysisSession::open_with_cancel(figure2(), KernelBackend::Auto, Some(&token))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            AnalysisError::Cancelled {
+                kind: CancelKind::Explicit,
+                rows_done: 1,
+                rows_total: 3
+            }
+        );
     }
 
     #[test]

@@ -89,6 +89,8 @@ use std::fmt;
 use std::str::FromStr;
 use std::sync::OnceLock;
 
+use tsg_sim::{CancelKind, CancelToken};
+
 use crate::analysis::initiated::{NotRepetitive, SimArena};
 use crate::analysis::structure::CyclicStructure;
 use crate::event::EventId;
@@ -266,6 +268,26 @@ impl fmt::Display for KernelUnavailable {
 
 impl std::error::Error for KernelUnavailable {}
 
+/// A wide run stopped by its [`CancelToken`] before filling every row.
+///
+/// Rows `0..rows_done` hold exact values for the current delay
+/// assignment; rows at and above `rows_done` are stale or partially
+/// overwritten. The matrix heals on the next uncancelled (re-)run that
+/// restarts at or below `rows_done`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Cancelled {
+    pub kind: CancelKind,
+    pub rows_done: usize,
+    pub rows_total: usize,
+}
+
+/// Why [`WideArena::run_with`] returned before filling the matrix.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum Halt {
+    NotRepetitive(NotRepetitive),
+    Cancelled(Cancelled),
+}
+
 /// One cache line of lane storage — the alignment carrier of
 /// [`AlignedF64Vec`]. `repr(C, align(64))` with eight f64s makes size
 /// equal alignment, so a `Vec` of these tiles gap-free.
@@ -414,23 +436,30 @@ impl WideArena {
         periods: u32,
     ) -> Result<(), NotRepetitive> {
         let structure = CyclicStructure::new(sg);
-        self.run_with(sg, &structure, origins, periods)
+        match self.run_with(sg, &structure, origins, periods, None) {
+            Ok(()) => Ok(()),
+            Err(Halt::NotRepetitive(e)) => Err(e),
+            Err(Halt::Cancelled(_)) => unreachable!("no cancel token was supplied"),
+        }
     }
 
     /// Shared-structure variant — the cycle-time algorithm builds one
-    /// [`CyclicStructure`] and batches every border event over it.
+    /// [`CyclicStructure`] and batches every border event over it. A
+    /// [`CancelToken`] is polled once per matrix row; on cancellation
+    /// the matrix is left partially written (see [`Cancelled`]).
     pub(crate) fn run_with(
         &mut self,
         sg: &SignalGraph,
         structure: &CyclicStructure,
         origins: &[EventId],
         periods: u32,
-    ) -> Result<(), NotRepetitive> {
+        cancel: Option<&CancelToken>,
+    ) -> Result<(), Halt> {
         assert!(periods >= 1, "simulation needs at least one period");
         assert!(!origins.is_empty(), "wide run needs at least one lane");
         for &g in origins {
             if !sg.is_repetitive(g) {
-                return Err(NotRepetitive(g));
+                return Err(Halt::NotRepetitive(NotRepetitive(g)));
             }
         }
         let n = sg.event_count();
@@ -460,8 +489,8 @@ impl WideArena {
             }
         }
 
-        self.compute_rows(structure, 0);
-        Ok(())
+        self.compute_rows(structure, 0, cancel)
+            .map_err(Halt::Cancelled)
     }
 
     /// Dirty-region restart: recomputes rows `start_row..` of the *same*
@@ -475,11 +504,16 @@ impl WideArena {
     /// to bit-identical values (the recurrence is a pure function of the
     /// rows below), so the resulting matrix equals a full re-run over
     /// the edited structure bit for bit.
-    pub(crate) fn rerun_rows_from(&mut self, structure: &CyclicStructure, start_row: usize) {
+    pub(crate) fn rerun_rows_from(
+        &mut self,
+        structure: &CyclicStructure,
+        start_row: usize,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(), Cancelled> {
         if start_row >= self.p_total {
-            return; // the batch's earliest influence is beyond the horizon
+            return Ok(()); // the batch's earliest influence is beyond the horizon
         }
-        self.compute_rows(structure, start_row);
+        self.compute_rows(structure, start_row, cancel)
     }
 
     /// The lockstep longest-path recurrence over rows
@@ -494,7 +528,12 @@ impl WideArena {
     /// portable loop, which dispatches to a lane-count-specialised
     /// instantiation for the common SIMD widths so the per-arc lane
     /// loops compile with a constant trip count.
-    fn compute_rows(&mut self, structure: &CyclicStructure, start_row: usize) {
+    fn compute_rows(
+        &mut self,
+        structure: &CyclicStructure,
+        start_row: usize,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(), Cancelled> {
         #[cfg(target_arch = "x86_64")]
         {
             let (n, p_total) = (self.n, self.p_total);
@@ -502,7 +541,7 @@ impl WideArena {
                 KernelBackend::Avx2 if std::arch::is_x86_feature_detected!("avx2") => {
                     let WideArena { times, origins, .. } = self;
                     // SAFETY: this arm's own guard just verified AVX2.
-                    unsafe {
+                    return unsafe {
                         rows_avx2(
                             times.as_mut_slice(),
                             origins,
@@ -510,14 +549,14 @@ impl WideArena {
                             n,
                             p_total,
                             start_row,
-                        );
-                    }
-                    return;
+                            cancel,
+                        )
+                    };
                 }
                 KernelBackend::Sse2 if std::arch::is_x86_feature_detected!("sse2") => {
                     let WideArena { times, origins, .. } = self;
                     // SAFETY: this arm's own guard just verified SSE2.
-                    unsafe {
+                    return unsafe {
                         rows_sse2(
                             times.as_mut_slice(),
                             origins,
@@ -525,19 +564,19 @@ impl WideArena {
                             n,
                             p_total,
                             start_row,
-                        );
-                    }
-                    return;
+                            cancel,
+                        )
+                    };
                 }
                 _ => {}
             }
         }
         match self.origins.len() {
-            4 => self.compute_rows_impl::<4>(structure, start_row),
-            8 => self.compute_rows_impl::<8>(structure, start_row),
-            16 => self.compute_rows_impl::<16>(structure, start_row),
-            32 => self.compute_rows_impl::<32>(structure, start_row),
-            _ => self.compute_rows_impl::<0>(structure, start_row),
+            4 => self.compute_rows_impl::<4>(structure, start_row, cancel),
+            8 => self.compute_rows_impl::<8>(structure, start_row, cancel),
+            16 => self.compute_rows_impl::<16>(structure, start_row, cancel),
+            32 => self.compute_rows_impl::<32>(structure, start_row, cancel),
+            _ => self.compute_rows_impl::<0>(structure, start_row, cancel),
         }
     }
 
@@ -551,7 +590,12 @@ impl WideArena {
     /// read a *different* event's cell (the unmarked subgraph is
     /// acyclic, so `src ≠ ev`), which lands in the left or right remnant
     /// of the split; marked in-arcs read the previous row.
-    fn compute_rows_impl<const L: usize>(&mut self, structure: &CyclicStructure, start_row: usize) {
+    fn compute_rows_impl<const L: usize>(
+        &mut self,
+        structure: &CyclicStructure,
+        start_row: usize,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(), Cancelled> {
         let n = self.n;
         let p_total = self.p_total;
         let lanes = if L == 0 { self.origins.len() } else { L };
@@ -559,6 +603,16 @@ impl WideArena {
         let WideArena { times, origins, .. } = self;
         let times = times.as_mut_slice();
         for p in start_row..p_total {
+            // One poll per matrix row: a row is `O(m · lanes)` work, so
+            // the check cost vanishes while aborts still land within one
+            // row of the signal.
+            if let Some(kind) = cancel.and_then(CancelToken::check) {
+                return Err(Cancelled {
+                    kind,
+                    rows_done: p,
+                    rows_total: p_total,
+                });
+            }
             let (before, current) = times.split_at_mut(p * row_cells);
             let row = &mut current[..row_cells];
             let prev: &[f64] = if p > 0 {
@@ -601,6 +655,7 @@ impl WideArena {
                 }
             }
         }
+        Ok(())
     }
 
     /// Allocated capacity of the lane-major time buffer, in cells.
@@ -841,10 +896,19 @@ unsafe fn rows_body<K: LaneOps>(
     n: usize,
     p_total: usize,
     start_row: usize,
-) {
+    cancel: Option<&CancelToken>,
+) -> Result<(), Cancelled> {
     let lanes = origins.len();
     let row_cells = n * lanes;
     for p in start_row..p_total {
+        // One poll per matrix row — see `compute_rows_impl`.
+        if let Some(kind) = cancel.and_then(CancelToken::check) {
+            return Err(Cancelled {
+                kind,
+                rows_done: p,
+                rows_total: p_total,
+            });
+        }
         let (before, current) = times.split_at_mut(p * row_cells);
         let row = &mut current[..row_cells];
         let prev: &[f64] = if p > 0 {
@@ -890,6 +954,7 @@ unsafe fn rows_body<K: LaneOps>(
             }
         }
     }
+    Ok(())
 }
 
 /// AVX2 instantiation of the row recurrence.
@@ -907,8 +972,9 @@ unsafe fn rows_avx2(
     n: usize,
     p_total: usize,
     start_row: usize,
-) {
-    rows_body::<Avx2Ops>(times, origins, structure, n, p_total, start_row);
+    cancel: Option<&CancelToken>,
+) -> Result<(), Cancelled> {
+    rows_body::<Avx2Ops>(times, origins, structure, n, p_total, start_row, cancel)
 }
 
 /// SSE2 instantiation of the row recurrence.
@@ -926,8 +992,9 @@ unsafe fn rows_sse2(
     n: usize,
     p_total: usize,
     start_row: usize,
-) {
-    rows_body::<Sse2Ops>(times, origins, structure, n, p_total, start_row);
+    cancel: Option<&CancelToken>,
+) -> Result<(), Cancelled> {
+    rows_body::<Sse2Ops>(times, origins, structure, n, p_total, start_row, cancel)
 }
 
 /// The reusable state of one full cycle-time analysis: the wide matrix
@@ -1106,7 +1173,7 @@ mod tests {
         let arc = sg.arc_between(cm, ap).unwrap();
         sg.set_delay(arc, 6.5).unwrap();
         let structure = CyclicStructure::new(&sg);
-        wide.rerun_rows_from(&structure, 1);
+        wide.rerun_rows_from(&structure, 1, None).unwrap();
 
         let mut fresh = WideArena::new();
         fresh.run(&sg, &borders, 3).unwrap();
@@ -1133,8 +1200,52 @@ mod tests {
         wide.run(&sg, &borders, 2).unwrap();
         let before = wide.times.as_slice().to_vec();
         let structure = CyclicStructure::new(&sg);
-        wide.rerun_rows_from(&structure, 3);
+        wide.rerun_rows_from(&structure, 3, None).unwrap();
         assert_eq!(wide.times.as_slice(), &before[..]);
+    }
+
+    #[test]
+    fn cancelled_rerun_heals_bit_identically_on_the_next_pass() {
+        // Abort a resumed run at every possible row, then finish without
+        // a token: the half-written matrix must heal to the exact bits
+        // of a from-scratch run on every backend.
+        for backend in available_backends() {
+            let mut sg = figure2();
+            let borders = sg.border_events();
+            let mut wide = WideArena::with_kernel(backend);
+            wide.run(&sg, &borders, 5).unwrap();
+            let cm = sg.event_by_label("c-").unwrap();
+            let ap = sg.event_by_label("a+").unwrap();
+            let arc = sg.arc_between(cm, ap).unwrap();
+            sg.set_delay(arc, 6.5).unwrap();
+            let structure = CyclicStructure::new(&sg);
+            for budget in 0..4u64 {
+                let token = CancelToken::cancel_after_checks(budget);
+                let err = wide
+                    .rerun_rows_from(&structure, 1, Some(&token))
+                    .unwrap_err();
+                assert_eq!(err.kind, CancelKind::Explicit, "{backend}");
+                assert_eq!(err.rows_done, 1 + budget as usize, "{backend}");
+                assert_eq!(err.rows_total, 6, "{backend}");
+            }
+            wide.rerun_rows_from(&structure, 1, None).unwrap();
+            let mut fresh = WideArena::with_kernel(backend);
+            fresh.run(&sg, &borders, 5).unwrap();
+            assert_eq!(
+                wide.times
+                    .as_slice()
+                    .iter()
+                    .map(|t| t.to_bits())
+                    .collect::<Vec<_>>(),
+                fresh
+                    .times
+                    .as_slice()
+                    .iter()
+                    .map(|t| t.to_bits())
+                    .collect::<Vec<_>>(),
+                "{backend}: healed matrix must equal from-scratch"
+            );
+        }
     }
 
     #[test]

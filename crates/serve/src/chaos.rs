@@ -1,0 +1,248 @@
+//! Fault injection for the serve tier.
+//!
+//! The pool carries a [`Chaos`] runtime built from a [`ChaosConfig`]
+//! (builder field on `ServeOptions`) that the `TSG_CHAOS` environment
+//! variable can override. Each fault point fires deterministically on
+//! every Nth crossing of its site, so soak tests can predict exactly
+//! how many faults a request sequence injects:
+//!
+//! * `panic=N`  — the worker panics on every Nth request *before*
+//!   executing it (exercises the `isolate` catch-unwind path);
+//! * `delay=N:MS` — every Nth request sleeps `MS` milliseconds before
+//!   executing (exercises deadlines, admission control and drain);
+//! * `garble=N` — every Nth response line is truncated and corrupted
+//!   before the writer sends it (exercises client-side framing);
+//! * `read_err=N` — every Nth request line read from a connection is
+//!   replaced with an I/O error (exercises the reader error path).
+//!
+//! All counters are per-pool, shared across workers and connections.
+//! `N = 0` (the default) disables a point. Parsing is forgiving:
+//! malformed `TSG_CHAOS` clauses warn on stderr and fall back to the
+//! builder value rather than refusing to start.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Which faults to inject, and how often. All zero (the default) means
+/// no injection; the chaos runtime is then a handful of never-taken
+/// branches on cold paths.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Panic inside the worker on every Nth request (0 = never).
+    pub panic_every: u32,
+    /// Sleep before executing every Nth request (0 = never).
+    pub delay_every: u32,
+    /// How long the injected delay sleeps, in milliseconds.
+    pub delay_ms: u64,
+    /// Truncate-and-corrupt every Nth response line (0 = never).
+    pub garble_every: u32,
+    /// Fail every Nth connection read with an I/O error (0 = never).
+    pub read_err_every: u32,
+}
+
+impl ChaosConfig {
+    /// True when at least one fault point is armed.
+    pub fn is_active(&self) -> bool {
+        self.panic_every > 0
+            || self.delay_every > 0
+            || self.garble_every > 0
+            || self.read_err_every > 0
+    }
+
+    /// Applies `TSG_CHAOS`-style clauses (`panic=20,delay=7:15,
+    /// garble=11,read_err=31`) over `self`. Unknown or malformed
+    /// clauses leave the builder value in place and warn on stderr.
+    pub fn with_env_spec(mut self, spec: &str) -> Self {
+        for clause in spec.split(',').filter(|c| !c.trim().is_empty()) {
+            let Some((key, value)) = clause.split_once('=') else {
+                eprintln!("tsg serve: ignoring malformed TSG_CHAOS clause {clause:?}");
+                continue;
+            };
+            let parsed = match key.trim() {
+                "panic" => value.trim().parse().map(|n| self.panic_every = n),
+                "garble" => value.trim().parse().map(|n| self.garble_every = n),
+                "read_err" => value.trim().parse().map(|n| self.read_err_every = n),
+                "delay" => {
+                    let (every, ms) = value.split_once(':').unwrap_or((value, "0"));
+                    every.trim().parse().and_then(|n: u32| {
+                        ms.trim().parse().map(|ms| {
+                            self.delay_every = n;
+                            self.delay_ms = ms;
+                        })
+                    })
+                }
+                _ => {
+                    eprintln!("tsg serve: ignoring unknown TSG_CHAOS clause {clause:?}");
+                    continue;
+                }
+            };
+            if parsed.is_err() {
+                eprintln!("tsg serve: ignoring malformed TSG_CHAOS clause {clause:?}");
+            }
+        }
+        self
+    }
+
+    /// The config with the `TSG_CHAOS` environment variable (if any)
+    /// applied over it — what `Pool::new` actually installs.
+    pub fn from_env(self) -> Self {
+        match std::env::var("TSG_CHAOS") {
+            Ok(spec) => self.with_env_spec(&spec),
+            Err(_) => self,
+        }
+    }
+}
+
+/// The shared chaos runtime: the armed config plus one crossing counter
+/// per fault point.
+#[derive(Debug, Default)]
+pub struct Chaos {
+    config: ChaosConfig,
+    requests: AtomicU64,
+    delays: AtomicU64,
+    responses: AtomicU64,
+    reads: AtomicU64,
+}
+
+/// True on every `every`th crossing (1-indexed: crossings `every`,
+/// `2*every`, ...); never when `every` is 0.
+fn fires(counter: &AtomicU64, every: u32) -> bool {
+    if every == 0 {
+        return false;
+    }
+    let n = counter.fetch_add(1, Ordering::Relaxed) + 1;
+    n.is_multiple_of(u64::from(every))
+}
+
+impl Chaos {
+    /// A runtime for `config` with all crossing counters at zero.
+    pub fn new(config: ChaosConfig) -> Self {
+        Chaos {
+            config,
+            ..Self::default()
+        }
+    }
+
+    /// The armed configuration.
+    pub fn config(&self) -> &ChaosConfig {
+        &self.config
+    }
+
+    /// Call at the top of request execution, inside the panic isolation
+    /// boundary: sleeps on every `delay_every`th request and panics on
+    /// every `panic_every`th.
+    ///
+    /// # Panics
+    ///
+    /// Panics deliberately when the panic fault point fires.
+    pub fn before_request(&self) {
+        if fires(&self.delays, self.config.delay_every) {
+            std::thread::sleep(Duration::from_millis(self.config.delay_ms));
+        }
+        if fires(&self.requests, self.config.panic_every) {
+            panic!("chaos: injected worker panic");
+        }
+    }
+
+    /// Truncates and corrupts `line` on every `garble_every`th response;
+    /// returns whether it fired. The result is deliberately unparseable
+    /// (half a JSON document with a flipped byte) so clients must treat
+    /// it as a framing error, never as data.
+    pub fn garble(&self, line: &mut String) -> bool {
+        if !fires(&self.responses, self.config.garble_every) {
+            return false;
+        }
+        let mut cut = line.len() / 2;
+        while cut > 0 && !line.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        line.truncate(cut);
+        line.push('\u{1b}');
+        true
+    }
+
+    /// True on every `read_err_every`th connection read: the reader
+    /// replaces the line with an injected I/O error.
+    pub fn fail_read(&self) -> bool {
+        fires(&self.reads, self.config.read_err_every)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_inert() {
+        let chaos = Chaos::new(ChaosConfig::default());
+        assert!(!chaos.config().is_active());
+        for _ in 0..100 {
+            chaos.before_request();
+            assert!(!chaos.fail_read());
+            let mut line = String::from("{\"ok\":true}");
+            assert!(!chaos.garble(&mut line));
+            assert_eq!(line, "{\"ok\":true}");
+        }
+    }
+
+    #[test]
+    fn fault_points_fire_on_every_nth_crossing() {
+        let chaos = Chaos::new(ChaosConfig {
+            read_err_every: 3,
+            garble_every: 2,
+            ..ChaosConfig::default()
+        });
+        let reads: Vec<bool> = (0..6).map(|_| chaos.fail_read()).collect();
+        assert_eq!(reads, [false, false, true, false, false, true]);
+        let mut line = String::from("{\"id\":1,\"ok\":true}");
+        assert!(!chaos.garble(&mut line));
+        assert!(chaos.garble(&mut line));
+        assert_ne!(line, "{\"id\":1,\"ok\":true}");
+        assert!(line.len() < "{\"id\":1,\"ok\":true}".len());
+    }
+
+    #[test]
+    fn injected_panic_is_catchable() {
+        let chaos = Chaos::new(ChaosConfig {
+            panic_every: 1,
+            ..ChaosConfig::default()
+        });
+        let caught = std::panic::catch_unwind(|| chaos.before_request());
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn env_spec_overrides_builder_values() {
+        let base = ChaosConfig {
+            panic_every: 5,
+            ..ChaosConfig::default()
+        };
+        let cfg = base.with_env_spec("panic=20,delay=7:15,garble=11,read_err=31");
+        assert_eq!(
+            cfg,
+            ChaosConfig {
+                panic_every: 20,
+                delay_every: 7,
+                delay_ms: 15,
+                garble_every: 11,
+                read_err_every: 31,
+            }
+        );
+        assert!(cfg.is_active());
+    }
+
+    #[test]
+    fn malformed_env_clauses_keep_builder_values() {
+        let base = ChaosConfig {
+            panic_every: 5,
+            delay_every: 2,
+            delay_ms: 9,
+            ..ChaosConfig::default()
+        };
+        let cfg = base.with_env_spec("panic=lots,delay=x:y,nonsense,unknown=3,,garble=4");
+        assert_eq!(cfg.panic_every, 5);
+        assert_eq!(cfg.delay_every, 2);
+        assert_eq!(cfg.delay_ms, 9);
+        assert_eq!(cfg.garble_every, 4);
+    }
+}

@@ -17,6 +17,13 @@ use std::fmt::Write as _;
 /// Maximum nesting depth a parsed document may have.
 const MAX_DEPTH: usize = 64;
 
+/// Maximum byte length of a parsed document — the same defence as
+/// [`MAX_DEPTH`], for width instead of depth: a hostile request cannot
+/// make the parser build an arbitrarily large tree. The protocol reader
+/// bounds request lines earlier (and configurably); this cap is the
+/// parser's own last line.
+pub const MAX_DOCUMENT_BYTES: usize = 8 * 1024 * 1024;
+
 /// A JSON value.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Json {
@@ -42,6 +49,12 @@ impl Json {
     /// Returns a human-readable message naming the byte offset of the
     /// first problem.
     pub fn parse(text: &str) -> Result<Json, String> {
+        if text.len() > MAX_DOCUMENT_BYTES {
+            return Err(format!(
+                "document of {} bytes exceeds the {MAX_DOCUMENT_BYTES}-byte limit",
+                text.len()
+            ));
+        }
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
@@ -499,6 +512,12 @@ mod tests {
     fn rejects_runaway_nesting() {
         let deep = "[".repeat(100) + &"]".repeat(100);
         assert!(Json::parse(&deep).unwrap_err().contains("nesting"));
+    }
+
+    #[test]
+    fn rejects_oversized_documents() {
+        let huge = format!("\"{}\"", "x".repeat(MAX_DOCUMENT_BYTES + 1));
+        assert!(Json::parse(&huge).unwrap_err().contains("byte limit"));
     }
 
     #[test]

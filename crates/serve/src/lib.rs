@@ -65,11 +65,13 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+pub mod chaos;
 pub mod json;
 pub mod ops;
 pub mod pool;
 pub mod protocol;
 
+pub use chaos::ChaosConfig;
 pub use pool::{serve, Pool, ServeOptions, ServeStats};
 
 /// How often the socket accept loops poll the shutdown flag.
@@ -105,6 +107,11 @@ pub fn serve_tcp(
         move |pool, flag| match listener.accept() {
             Ok((stream, peer)) => {
                 stream.set_nonblocking(false)?;
+                // A stalled or vanished client trips these timeouts; the
+                // session counts it and ends cleanly instead of holding
+                // the connection forever.
+                stream.set_read_timeout(opts.io_timeout)?;
+                stream.set_write_timeout(opts.io_timeout)?;
                 let reader = BufReader::new(stream.try_clone()?);
                 Ok(Some(std::thread::spawn(move || {
                     if let Err(e) = pool.serve_session(reader, stream, Some(flag.as_ref())) {
@@ -139,6 +146,8 @@ pub fn serve_unix(
         move |pool, flag| match listener.accept() {
             Ok((stream, _)) => {
                 stream.set_nonblocking(false)?;
+                stream.set_read_timeout(opts.io_timeout)?;
+                stream.set_write_timeout(opts.io_timeout)?;
                 let reader = BufReader::new(stream.try_clone()?);
                 Ok(Some(std::thread::spawn(move || {
                     if let Err(e) = pool.serve_session(reader, stream, Some(flag.as_ref())) {

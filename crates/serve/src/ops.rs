@@ -20,16 +20,54 @@
 
 use std::borrow::Cow;
 use std::collections::HashMap;
-use std::fmt::Write as _;
+use std::fmt::{self, Write as _};
 
 use tsg_core::analysis::diagram::{self, DiagramOptions};
 use tsg_core::analysis::event_sim::{EventSimScratch, EventSimulation};
-use tsg_core::analysis::session::{AnalysisSession, DelayEdit};
+use tsg_core::analysis::session::{AnalysisSession, DelayEdit, EditError};
 use tsg_core::analysis::sim::TimingSimulation;
 use tsg_core::analysis::wide::{AnalysisArena, KernelBackend};
 use tsg_core::analysis::{AnalysisError, CycleTimeAnalysis};
 use tsg_core::SignalGraph;
-use tsg_sim::{BatchRunner, QueueKind, TraceRecorder};
+use tsg_sim::{BatchRunner, CancelKind, CancelToken, QueueKind, TraceRecorder};
+
+/// Error of a workspace operation: either a plain user-facing message
+/// (rendered exactly as before this type existed) or a structured
+/// cooperative cancellation the serve tier maps to a coded response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OpError {
+    /// Plain failure text.
+    Msg(String),
+    /// The operation observed its cancel token mid-compute.
+    Cancelled {
+        /// Why the token fired.
+        kind: CancelKind,
+        /// Work units (matrix rows / event arrivals) done at the abort.
+        done: u64,
+        /// Units a complete run performs (`done + pending` for event
+        /// sims, where the full count is not known up front).
+        total: u64,
+    },
+}
+
+impl From<String> for OpError {
+    fn from(msg: String) -> Self {
+        OpError::Msg(msg)
+    }
+}
+
+impl fmt::Display for OpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpError::Msg(m) => f.write_str(m),
+            OpError::Cancelled { kind, done, total } => {
+                write!(f, "{kind} after {done} of {total} work unit(s)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OpError {}
 
 /// Where a request's specification text comes from.
 #[derive(Clone, Debug)]
@@ -196,7 +234,37 @@ pub fn report(sg: &SignalGraph, opts: &AnalyzeOptions) -> String {
 /// Byte-identical to [`report`] — `run_in` and `run_parallel` produce
 /// bit-identical analyses.
 pub fn report_in(sg: &SignalGraph, opts: &AnalyzeOptions, arena: &mut AnalysisArena) -> String {
-    render_report(sg, opts, CycleTimeAnalysis::run_in(sg, None, arena))
+    report_in_with_cancel(sg, opts, arena, None).expect("no cancel token was supplied")
+}
+
+/// [`report_in`] with a cooperative cancel token. Analysis failures
+/// other than cancellation ("no cyclic behavior", kernel refusals) are
+/// still rendered *inline* in the report — byte-identical to the
+/// uncancelled path — so only a fired token surfaces as an error.
+///
+/// # Errors
+///
+/// Returns [`OpError::Cancelled`] when `cancel` fires mid-analysis.
+pub fn report_in_with_cancel(
+    sg: &SignalGraph,
+    opts: &AnalyzeOptions,
+    arena: &mut AnalysisArena,
+    cancel: Option<&CancelToken>,
+) -> Result<String, OpError> {
+    let analysis = CycleTimeAnalysis::run_in_with_cancel(sg, None, arena, cancel);
+    if let Err(AnalysisError::Cancelled {
+        kind,
+        rows_done,
+        rows_total,
+    }) = analysis
+    {
+        return Err(OpError::Cancelled {
+            kind,
+            done: rows_done as u64,
+            total: rows_total as u64,
+        });
+    }
+    Ok(render_report(sg, opts, analysis))
 }
 
 fn render_report(
@@ -311,7 +379,9 @@ fn render_report(
 ///
 /// Returns read/parse/flag-validation failures as user-facing messages.
 pub fn simulate_file(file: &str, opts: &SimOptions) -> Result<String, String> {
-    Workspace::new().simulate(&Source::Path(file.to_owned()), opts)
+    Workspace::new()
+        .simulate(&Source::Path(file.to_owned()), opts, None)
+        .map_err(|e| e.to_string())
 }
 
 /// Workspace key of connection `conn`'s session `name`.
@@ -346,6 +416,25 @@ pub fn apply_edits(
     session: &mut AnalysisSession,
     edits: &[EditSpec],
 ) -> Result<tsg_core::analysis::session::CycleTimeDelta, String> {
+    apply_edits_with_cancel(session, edits, None).map_err(|e| e.to_string())
+}
+
+/// [`apply_edits`] with a cooperative cancel token. On
+/// [`OpError::Cancelled`] the edits *are* applied but the session's
+/// analysis is stale ([`AnalysisSession::is_stale`]); the next
+/// uncancelled edit call (even with an empty batch) heals it
+/// bit-identically, so the session stays usable.
+///
+/// # Errors
+///
+/// Returns unresolvable labels or invalid delays as [`OpError::Msg`]
+/// (the session is unchanged), or [`OpError::Cancelled`] when `cancel`
+/// fires mid-rerun.
+pub fn apply_edits_with_cancel(
+    session: &mut AnalysisSession,
+    edits: &[EditSpec],
+    cancel: Option<&CancelToken>,
+) -> Result<tsg_core::analysis::session::CycleTimeDelta, OpError> {
     let resolved: Vec<DelayEdit> = edits
         .iter()
         .map(|e| {
@@ -358,7 +447,20 @@ pub fn apply_edits(
                 .map_err(|err| err.to_string())
         })
         .collect::<Result<_, _>>()?;
-    session.edit_delays(&resolved).map_err(|e| e.to_string())
+    session
+        .edit_delays_with_cancel(&resolved, cancel)
+        .map_err(|e| match e {
+            EditError::Cancelled {
+                kind,
+                rows_done,
+                rows_total,
+            } => OpError::Cancelled {
+                kind,
+                done: rows_done as u64,
+                total: rows_total as u64,
+            },
+            other => OpError::Msg(other.to_string()),
+        })
 }
 
 /// Index of a [`QueueKind`] into the per-kind warm-state slots.
@@ -435,22 +537,24 @@ impl Workspace {
     ///
     /// # Errors
     ///
-    /// Returns read/parse failures as user-facing messages.
-    pub fn analyze(&mut self, source: &Source, opts: &AnalyzeOptions) -> Result<String, String> {
+    /// Returns read/parse failures as [`OpError::Msg`], or
+    /// [`OpError::Cancelled`] when `cancel` fires mid-analysis.
+    pub fn analyze(
+        &mut self,
+        source: &Source,
+        opts: &AnalyzeOptions,
+        cancel: Option<&CancelToken>,
+    ) -> Result<String, OpError> {
         let text = source.read()?;
         let sg = load(source.name(), &text, opts.default_delay)?;
         match opts.kernel {
-            KernelBackend::Auto => Ok(report_in(&sg, opts, &mut self.arena)),
+            KernelBackend::Auto => report_in_with_cancel(&sg, opts, &mut self.arena, cancel),
             requested => {
                 // An explicit per-request kernel is honoured or refused,
                 // never silently downgraded; it runs on a fresh arena so
                 // the workspace's pinned backend stays warm.
                 let resolved = requested.resolve().map_err(|e| e.to_string())?;
-                Ok(report_in(
-                    &sg,
-                    opts,
-                    &mut AnalysisArena::with_kernel(resolved),
-                ))
+                report_in_with_cancel(&sg, opts, &mut AnalysisArena::with_kernel(resolved), cancel)
             }
         }
     }
@@ -458,34 +562,43 @@ impl Workspace {
     /// `tsg sim` on the warm queues. Byte-identical to the one-shot
     /// [`simulate_file`] on the same source and options.
     ///
+    /// Netlist (`.ckt`) simulations are not cancellable: their own
+    /// 2 000 000-step cap already bounds them, so `cancel` only guards
+    /// the signal-graph path.
+    ///
     /// # Errors
     ///
-    /// Returns read/parse/flag-validation failures as user-facing
-    /// messages.
-    pub fn simulate(&mut self, source: &Source, opts: &SimOptions) -> Result<String, String> {
+    /// Returns read/parse/flag-validation failures as [`OpError::Msg`],
+    /// or [`OpError::Cancelled`] when `cancel` fires mid-simulation.
+    pub fn simulate(
+        &mut self,
+        source: &Source,
+        opts: &SimOptions,
+        cancel: Option<&CancelToken>,
+    ) -> Result<String, OpError> {
         let text = source.read()?;
         if source.name().ends_with(".ckt") {
             if opts.periods.is_some() {
-                return Err(
+                return Err(OpError::Msg(
                     "--periods applies to .g signal graphs; netlist simulations take --horizon"
                         .to_owned(),
-                );
+                ));
             }
             if opts.default_delay.is_some() {
-                return Err(
+                return Err(OpError::Msg(
                     "--default-delay applies to .g signal graphs; netlists carry their own pin \
                      delays"
                         .to_owned(),
-                );
+                ));
             }
             let nl = tsg_circuit::parse::parse_ckt(&text).map_err(|e| e.to_string())?;
-            self.simulate_netlist(&nl, opts)
+            self.simulate_netlist(&nl, opts).map_err(OpError::Msg)
         } else {
             if opts.horizon.is_some() {
-                return Err(
+                return Err(OpError::Msg(
                     "--horizon applies to .ckt netlists; signal-graph simulations take --periods"
                         .to_owned(),
-                );
+                ));
             }
             let sg = tsg_stg::parse_stg(
                 &text,
@@ -494,7 +607,7 @@ impl Workspace {
                 },
             )
             .map_err(|e| e.to_string())?;
-            self.simulate_graph(&sg, opts)
+            self.simulate_graph(&sg, opts, cancel)
         }
     }
 
@@ -509,22 +622,36 @@ impl Workspace {
     /// # Errors
     ///
     /// Returns read/parse/analysis failures — or a name collision — as
-    /// user-facing messages.
+    /// [`OpError::Msg`], or [`OpError::Cancelled`] when `cancel` fires
+    /// during the opening analysis (no session is kept in that case).
     pub fn session_open(
         &mut self,
         conn: u64,
         name: &str,
         source: &Source,
         default_delay: f64,
-    ) -> Result<String, String> {
+        cancel: Option<&CancelToken>,
+    ) -> Result<String, OpError> {
         let key = session_key(conn, name);
         if self.sessions.contains_key(&key) {
-            return Err(format!("session {name:?} is already open"));
+            return Err(OpError::Msg(format!("session {name:?} is already open")));
         }
         let text = source.read()?;
         let sg = load(source.name(), &text, default_delay)?;
-        let session = AnalysisSession::open_with_kernel(sg, self.arena.kernel())
-            .map_err(|e| e.to_string())?;
+        let session = AnalysisSession::open_with_cancel(sg, self.arena.kernel(), cancel).map_err(
+            |e| match e {
+                AnalysisError::Cancelled {
+                    kind,
+                    rows_done,
+                    rows_total,
+                } => OpError::Cancelled {
+                    kind,
+                    done: rows_done as u64,
+                    total: rows_total as u64,
+                },
+                other => OpError::Msg(other.to_string()),
+            },
+        )?;
         let mut out = format!(
             "opened session {name:?}: {} events, {} arcs, {} border event(s)\n",
             session.graph().event_count(),
@@ -542,19 +669,23 @@ impl Workspace {
     /// # Errors
     ///
     /// Returns unknown-session, unresolvable-label and invalid-delay
-    /// failures as user-facing messages; the session survives them
-    /// unchanged.
+    /// failures as [`OpError::Msg`] (the session survives them
+    /// unchanged), or [`OpError::Cancelled`] when `cancel` fires
+    /// mid-rerun — the edits *are* applied then, the session stays open
+    /// with a stale analysis, and the next uncancelled edit (even an
+    /// empty batch) heals it bit-identically.
     pub fn session_edit(
         &mut self,
         conn: u64,
         name: &str,
         edits: &[EditSpec],
-    ) -> Result<String, String> {
+        cancel: Option<&CancelToken>,
+    ) -> Result<String, OpError> {
         let session = self
             .sessions
             .get_mut(&session_key(conn, name))
             .ok_or_else(|| format!("no open session {name:?}"))?;
-        let delta = apply_edits(session, edits)?;
+        let delta = apply_edits_with_cancel(session, edits, cancel)?;
         let mut out = session_summary(session);
         let _ = writeln!(
             out,
@@ -569,11 +700,11 @@ impl Workspace {
     /// # Errors
     ///
     /// Returns an unknown-session message.
-    pub fn session_close(&mut self, conn: u64, name: &str) -> Result<String, String> {
+    pub fn session_close(&mut self, conn: u64, name: &str) -> Result<String, OpError> {
         let session = self
             .sessions
             .remove(&session_key(conn, name))
-            .ok_or_else(|| format!("no open session {name:?}"))?;
+            .ok_or_else(|| OpError::Msg(format!("no open session {name:?}")))?;
         Ok(format!(
             "closed session {name:?} after {} edit(s)\n",
             session.edits_applied()
@@ -634,11 +765,23 @@ impl Workspace {
     }
 
     /// Signal-graph event simulation on the warm per-kind scratch.
-    fn simulate_graph(&mut self, sg: &SignalGraph, opts: &SimOptions) -> Result<String, String> {
+    fn simulate_graph(
+        &mut self,
+        sg: &SignalGraph,
+        opts: &SimOptions,
+        cancel: Option<&CancelToken>,
+    ) -> Result<String, OpError> {
         let periods = opts.periods.unwrap_or(4);
         let scratch = self.graph[kind_slot(opts.queue)]
             .get_or_insert_with(|| EventSimScratch::new(opts.queue));
-        let sim = EventSimulation::run_in(sg, periods, scratch);
+        let sim =
+            EventSimulation::run_in_with_cancel(sg, periods, scratch, cancel).map_err(|c| {
+                OpError::Cancelled {
+                    kind: c.kind,
+                    done: c.events_done,
+                    total: c.events_done + c.pending as u64,
+                }
+            })?;
         let chron = sim.chronological(sg);
         let mut out = String::new();
         let _ = writeln!(

@@ -23,6 +23,30 @@
 //! completions back into request order (a `BTreeMap` keyed by arrival
 //! sequence) and flushes after every response, so a client pipelining
 //! requests sees each answer as soon as ordering allows.
+//!
+//! # Hardening
+//!
+//! Every request carries a [`CancelToken`] built at arrival: its
+//! deadline is the request's `deadline_ms` (or the pool's default), and
+//! it belongs to the pool-wide *drain group*, so one flag flip cancels
+//! everything queued and in flight. The compute kernels poll the token
+//! cooperatively and abort with structured progress, which the worker
+//! renders as a `deadline_exceeded`/`cancelled` coded response.
+//!
+//! Admission control bounds the dispatch queues: past `max_pending`, a
+//! request is answered `overloaded` (with the depth and a retry hint)
+//! without ever reaching a worker. Request lines are read under a byte
+//! cap — an oversized line is skipped in bounded chunks and answered
+//! `request_too_large`. Socket read/write timeouts surface here as a
+//! clean disconnect counted in `timed_out_connections`, not an error.
+//!
+//! When a shutdown flag is raised, each session stops accepting, and a
+//! detached watchdog gives in-flight work `drain_deadline` to finish
+//! before cancelling the stragglers through the drain group.
+//!
+//! The [`chaos`](crate::chaos) fault points (worker panics, injected
+//! delays, garbled response lines, refused reads) are threaded through
+//! this module so soak tests can prove all of the above under fire.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, BufRead, Write};
@@ -30,21 +54,25 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use tsg_core::analysis::wide::KernelBackend;
-use tsg_sim::BatchRunner;
+use tsg_sim::{BatchRunner, CancelKind, CancelToken};
 
+use crate::chaos::{Chaos, ChaosConfig};
 use crate::json::Json;
-use crate::ops::{Source, Workspace};
+use crate::ops::{OpError, Source, Workspace};
 use crate::protocol::{self, Command, Request};
 
 /// How often the session loop re-checks the shutdown flag while waiting
 /// for the next request line.
 const SHUTDOWN_POLL: Duration = Duration::from_millis(50);
 
+/// How often the drain watchdog re-checks for quiescence.
+const DRAIN_POLL: Duration = Duration::from_millis(25);
+
 /// Configuration of a serve session.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug)]
 pub struct ServeOptions {
     /// Worker threads (`None` = all cores), resolved through
     /// [`BatchRunner::sized`].
@@ -61,10 +89,48 @@ pub struct ServeOptions {
     /// pool spawn; the CLI validates an explicit `--kernel` strictly
     /// before it gets here.
     pub kernel: KernelBackend,
+    /// Pool-wide cap on queued-but-unclaimed requests (`None` =
+    /// unbounded). Past it, new requests are answered `overloaded`
+    /// without reaching a worker (`--max-pending`).
+    pub max_pending: Option<usize>,
+    /// Deadline applied to requests that do not carry their own
+    /// `deadline_ms` (`None` = no default; `--default-deadline`).
+    pub default_deadline: Option<Duration>,
+    /// How long a graceful shutdown lets in-flight work finish before
+    /// cancelling the stragglers (`--drain-deadline`).
+    pub drain_deadline: Duration,
+    /// Socket read/write timeout applied by the TCP/Unix transports so
+    /// a stalled client cannot hold a session forever (`None` = never
+    /// time out; `--io-timeout`).
+    pub io_timeout: Option<Duration>,
+    /// Cap on one request line's byte length; longer lines are skipped
+    /// and answered `request_too_large` (`--max-request-bytes`).
+    pub max_request_bytes: usize,
+    /// Fault-injection config (builder baseline; the `TSG_CHAOS`
+    /// environment variable overrides it at pool spawn).
+    pub chaos: ChaosConfig,
 }
 
-/// Counters of a pool (or a finished serve run).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            threads: None,
+            max_sessions: None,
+            kernel: KernelBackend::Auto,
+            max_pending: None,
+            default_deadline: None,
+            drain_deadline: Duration::from_secs(5),
+            io_timeout: None,
+            max_request_bytes: 1024 * 1024,
+            chaos: ChaosConfig::default(),
+        }
+    }
+}
+
+/// Counters of a pool (or a finished serve run). Every request ends in
+/// exactly one of `served` or `failed`; the more specific counters
+/// break `failed` (and connection endings) down by cause.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServeStats {
     /// Requests answered with `ok: true`.
     pub served: u64,
@@ -72,6 +138,19 @@ pub struct ServeStats {
     pub failed: u64,
     /// Workers the pool ran.
     pub threads: usize,
+    /// Requests currently queued but not yet claimed by a worker.
+    pub queue_depth: usize,
+    /// Requests answered `overloaded` at admission.
+    pub rejected_overloaded: u64,
+    /// Requests whose deadline fired mid-compute.
+    pub deadline_exceeded: u64,
+    /// Requests cancelled explicitly (drain or client cancel).
+    pub cancelled: u64,
+    /// Connections ended by a socket read/write timeout.
+    pub timed_out_connections: u64,
+    /// Requests still queued or in flight when a drain deadline
+    /// cancelled them.
+    pub drained_in_flight: u64,
 }
 
 /// What a queued job carries.
@@ -81,7 +160,11 @@ enum JobPayload {
         /// The protocol session (connection) the request arrived on.
         conn: u64,
         /// The parse outcome; errors become `ok: false` responses.
-        parsed: Result<Request, (Json, String)>,
+        /// Boxed: a parsed request dwarfs the housekeeping variant.
+        parsed: Box<Result<Request, (Json, String)>>,
+        /// The request's cancel token — deadline armed at arrival, in
+        /// the pool's drain group.
+        token: CancelToken,
     },
     /// Housekeeping broadcast: a connection ended, drop its sessions.
     CloseSessions {
@@ -120,6 +203,80 @@ struct PoolShared {
     /// The resolved backend every worker workspace runs on — reported
     /// by the `stats` op so deployments can audit the dispatch decision.
     kernel: KernelBackend,
+    /// Request jobs queued but not yet claimed by a worker.
+    pending: AtomicU64,
+    /// Request jobs a worker is executing right now.
+    in_flight: AtomicU64,
+    /// Cap on `pending` (`None` = unbounded).
+    max_pending: Option<usize>,
+    /// Deadline for requests without their own `deadline_ms`.
+    default_deadline: Option<Duration>,
+    /// Grace period a drain gives in-flight work.
+    drain_deadline: Duration,
+    /// Byte cap on one request line.
+    max_request_bytes: usize,
+    /// The drain group every request token joins: one flip cancels
+    /// everything queued and in flight.
+    drain: Arc<AtomicBool>,
+    /// Fault-injection runtime.
+    chaos: Chaos,
+    /// Requests answered `overloaded` at admission.
+    rejected_overloaded: AtomicU64,
+    /// Requests whose deadline fired mid-compute.
+    deadline_exceeded: AtomicU64,
+    /// Requests cancelled explicitly.
+    cancelled: AtomicU64,
+    /// Connections ended by a socket timeout.
+    timed_out_connections: AtomicU64,
+    /// Requests cancelled by a drain deadline.
+    drained_in_flight: AtomicU64,
+}
+
+impl PoolShared {
+    /// Cancels everything queued and in flight through the drain group.
+    /// Idempotent: only the first call charges `drained_in_flight`.
+    fn cancel_in_flight(&self) {
+        if !self.drain.swap(true, Ordering::SeqCst) {
+            let stragglers =
+                self.in_flight.load(Ordering::SeqCst) + self.pending.load(Ordering::SeqCst);
+            self.drained_in_flight
+                .fetch_add(stragglers, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Snapshot of a pool's counters.
+fn stats_of(shared: &PoolShared) -> ServeStats {
+    ServeStats {
+        served: shared.served.load(Ordering::SeqCst),
+        failed: shared.failed.load(Ordering::SeqCst),
+        threads: shared.threads,
+        queue_depth: shared.pending.load(Ordering::SeqCst) as usize,
+        rejected_overloaded: shared.rejected_overloaded.load(Ordering::SeqCst),
+        deadline_exceeded: shared.deadline_exceeded.load(Ordering::SeqCst),
+        cancelled: shared.cancelled.load(Ordering::SeqCst),
+        timed_out_connections: shared.timed_out_connections.load(Ordering::SeqCst),
+        drained_in_flight: shared.drained_in_flight.load(Ordering::SeqCst),
+    }
+}
+
+/// True for the error kinds a socket read/write timeout surfaces as.
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// What the reader thread hands the session loop per line.
+enum ReadEvent {
+    /// One request line (lossily decoded: invalid UTF-8 becomes a parse
+    /// error response, not a dead connection).
+    Line(String),
+    /// A line longer than the byte cap, skipped without buffering it.
+    Oversized,
+    /// The connection read failed (or a chaos point refused it).
+    Err(io::Error),
 }
 
 /// A persistent warm worker pool; see the module docs.
@@ -152,6 +309,19 @@ impl Pool {
             open_sessions: AtomicU64::new(0),
             max_sessions: opts.max_sessions,
             kernel: opts.kernel.resolve_lenient(),
+            pending: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            max_pending: opts.max_pending,
+            default_deadline: opts.default_deadline,
+            drain_deadline: opts.drain_deadline,
+            max_request_bytes: opts.max_request_bytes,
+            drain: Arc::new(AtomicBool::new(false)),
+            chaos: Chaos::new(opts.chaos.from_env()),
+            rejected_overloaded: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            timed_out_connections: AtomicU64::new(0),
+            drained_in_flight: AtomicU64::new(0),
         });
         let workers = (0..threads)
             .map(|index| {
@@ -170,11 +340,15 @@ impl Pool {
     /// Pool-wide counters: requests completed so far across every
     /// protocol session this pool served.
     pub fn stats(&self) -> ServeStats {
-        ServeStats {
-            served: self.shared.served.load(Ordering::SeqCst),
-            failed: self.shared.failed.load(Ordering::SeqCst),
-            threads: self.shared.threads,
-        }
+        stats_of(&self.shared)
+    }
+
+    /// Cancels every queued and in-flight request through the drain
+    /// group — what the drain watchdog fires when the drain deadline
+    /// passes. Idempotent; the pool still serves new requests (their
+    /// tokens fire immediately), so this is for shutdown paths.
+    pub fn cancel_in_flight(&self) {
+        self.shared.cancel_in_flight();
     }
 
     /// The worker every request naming session `name` on connection
@@ -191,6 +365,9 @@ impl Pool {
 
     /// Enqueues a job on the shared lane or a worker's pinned lane.
     fn submit(&self, pin: Option<usize>, job: Job) {
+        if matches!(job.payload, JobPayload::Request { .. }) {
+            self.shared.pending.fetch_add(1, Ordering::SeqCst);
+        }
         let mut queues = self
             .shared
             .queues
@@ -220,14 +397,18 @@ impl Pool {
     /// line (`read` restarts after a signal under glibc's `SA_RESTART`,
     /// so checking the flag only between reads would leave an idle
     /// session uninterruptible): accepted requests finish, responses
-    /// flush, and the loop exits cleanly. When the session ends, the
-    /// client's open incremental sessions are swept from every worker.
+    /// flush, and the loop exits cleanly — a detached watchdog cancels
+    /// stragglers that outlive the pool's drain deadline. When the
+    /// session ends, the client's open incremental sessions are swept
+    /// from every worker.
     ///
     /// # Errors
     ///
     /// Returns I/O errors of the input or output stream. Request-level
     /// failures are *not* errors: they become `ok: false` response
-    /// lines and count into the pool's `failed` counter.
+    /// lines and count into the pool's `failed` counter. A socket
+    /// read/write timeout is also not an error: the session ends
+    /// cleanly and counts into `timed_out_connections`.
     pub fn serve_session<R, W>(
         &self,
         input: R,
@@ -242,6 +423,8 @@ impl Pool {
         let (res_tx, res_rx) = mpsc::channel::<(u64, String)>();
 
         let mut read_err: Option<io::Error> = None;
+        let mut timed_out = false;
+        let shared = &self.shared;
         let write_result: io::Result<()> = std::thread::scope(|scope| {
             let writer = scope.spawn(move || -> io::Result<()> {
                 let mut pending: BTreeMap<u64, String> = BTreeMap::new();
@@ -249,7 +432,8 @@ impl Pool {
                 for (seq, response) in res_rx {
                     pending.insert(seq, response);
                     // Flush every response the order now allows.
-                    while let Some(ready) = pending.remove(&next) {
+                    while let Some(mut ready) = pending.remove(&next) {
+                        shared.chaos.garble(&mut ready);
                         output.write_all(ready.as_bytes())?;
                         output.write_all(b"\n")?;
                         output.flush()?;
@@ -266,24 +450,12 @@ impl Pool {
             // and feeds the pool — pinned to a worker when the request
             // names an incremental session. After a shutdown the
             // detached reader unblocks at its next line (or EOF/process
-            // exit) and finds the channel closed.
-            let (line_tx, line_rx) = mpsc::channel::<io::Result<String>>();
-            std::thread::spawn(move || {
-                let mut input = input;
-                let mut line = String::new();
-                loop {
-                    line.clear();
-                    let result = match input.read_line(&mut line) {
-                        Ok(0) => break, // EOF
-                        Ok(_) => Ok(std::mem::take(&mut line)),
-                        Err(e) => Err(e),
-                    };
-                    let failed = result.is_err();
-                    if line_tx.send(result).is_err() || failed {
-                        break;
-                    }
-                }
-            });
+            // exit) and finds the channel closed. Lines are read under
+            // the pool's byte cap: an oversized line is skipped in
+            // bounded chunks and reported, never buffered whole.
+            let (line_tx, line_rx) = mpsc::channel::<ReadEvent>();
+            let reader_shared = Arc::clone(&self.shared);
+            std::thread::spawn(move || read_lines(input, &reader_shared, &line_tx));
             let mut seq = 0u64;
             loop {
                 if shutdown.is_some_and(|flag| flag.load(Ordering::SeqCst)) {
@@ -293,12 +465,48 @@ impl Pool {
                     break; // output died: stop accepting for this session
                 }
                 match line_rx.recv_timeout(SHUTDOWN_POLL) {
-                    Ok(Ok(line)) => {
+                    Ok(ReadEvent::Line(line)) => {
                         let trimmed = line.trim();
                         if trimmed.is_empty() || trimmed.starts_with('#') {
                             continue;
                         }
                         let parsed = protocol::parse_request(trimmed);
+                        // Admission control: past the pending cap, answer
+                        // `overloaded` here — the job never reaches a
+                        // worker, so a flooded pool stays responsive.
+                        if let Some(cap) = shared.max_pending {
+                            let depth = shared.pending.load(Ordering::SeqCst) as usize;
+                            if depth >= cap {
+                                let id = match &parsed {
+                                    Ok(request) => request.id.clone(),
+                                    Err((id, _)) => id.clone(),
+                                };
+                                shared.rejected_overloaded.fetch_add(1, Ordering::SeqCst);
+                                shared.failed.fetch_add(1, Ordering::SeqCst);
+                                let retry_ms =
+                                    50 * (depth as u64 / shared.threads.max(1) as u64 + 1);
+                                let line = protocol::overloaded_response(&id, depth, retry_ms);
+                                if res_tx.send((seq, line)).is_err() {
+                                    break;
+                                }
+                                seq += 1;
+                                continue;
+                            }
+                        }
+                        // The cancel token arms at arrival, so queue wait
+                        // counts against the deadline, and joins the
+                        // drain group, so a drain flip reaches queued
+                        // work too.
+                        let deadline = parsed
+                            .as_ref()
+                            .ok()
+                            .and_then(|request| request.deadline)
+                            .or(shared.default_deadline);
+                        let token = match deadline {
+                            Some(d) => CancelToken::with_deadline(d),
+                            None => CancelToken::new(),
+                        }
+                        .in_group(&shared.drain);
                         let pin = parsed
                             .as_ref()
                             .ok()
@@ -308,19 +516,45 @@ impl Pool {
                             pin,
                             Job {
                                 seq,
-                                payload: JobPayload::Request { conn, parsed },
+                                payload: JobPayload::Request {
+                                    conn,
+                                    parsed: Box::new(parsed),
+                                    token,
+                                },
                                 reply: Some(res_tx.clone()),
                             },
                         );
                         seq += 1;
                     }
-                    Ok(Err(e)) => {
+                    Ok(ReadEvent::Oversized) => {
+                        shared.failed.fetch_add(1, Ordering::SeqCst);
+                        let line = protocol::too_large_response(shared.max_request_bytes);
+                        if res_tx.send((seq, line)).is_err() {
+                            break;
+                        }
+                        seq += 1;
+                    }
+                    Ok(ReadEvent::Err(e)) if is_timeout(&e) => {
+                        // A stalled client hit the socket timeout: end the
+                        // session cleanly, count it, keep the pool alive.
+                        shared.timed_out_connections.fetch_add(1, Ordering::SeqCst);
+                        timed_out = true;
+                        break;
+                    }
+                    Ok(ReadEvent::Err(e)) => {
                         read_err = Some(e);
                         break;
                     }
                     Err(mpsc::RecvTimeoutError::Timeout) => continue,
                     Err(mpsc::RecvTimeoutError::Disconnected) => break, // EOF
                 }
+            }
+            // A graceful shutdown lets in-flight work finish below (the
+            // writer join waits for it) — under a watchdog that cancels
+            // stragglers through the drain group once the drain deadline
+            // passes, so shutdown completes in bounded time.
+            if shutdown.is_some_and(|flag| flag.load(Ordering::SeqCst)) {
+                arm_drain_watchdog(Arc::clone(&self.shared));
             }
             // Sweep the client's sessions from every worker. The pinned
             // lanes are FIFO, so the sweep runs after every accepted
@@ -347,12 +581,95 @@ impl Pool {
             writer.join().expect("writer thread never panics")
         });
 
-        write_result?;
+        if let Err(e) = write_result {
+            if is_timeout(&e) {
+                self.shared
+                    .timed_out_connections
+                    .fetch_add(1, Ordering::SeqCst);
+            } else {
+                return Err(e);
+            }
+        }
         if let Some(e) = read_err {
             return Err(e);
         }
+        let _ = timed_out; // already counted; the session ends Ok
         Ok(())
     }
+}
+
+/// The detached per-session reader: drains `input` line by line under
+/// the pool's byte cap (and its chaos read fault point) into `tx`.
+fn read_lines<R: BufRead>(mut input: R, shared: &PoolShared, tx: &mpsc::Sender<ReadEvent>) {
+    let cap = shared.max_request_bytes as u64;
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        if shared.chaos.fail_read() {
+            let _ = tx.send(ReadEvent::Err(io::Error::other(
+                "chaos: injected read error",
+            )));
+            return;
+        }
+        buf.clear();
+        // `cap + 1` so a line of exactly `cap` content bytes plus its
+        // newline still fits; anything longer truncates mid-line.
+        match io::Read::take(&mut input, cap + 1).read_until(b'\n', &mut buf) {
+            Ok(0) => return, // EOF
+            Ok(n) if n as u64 > cap && buf.last() != Some(&b'\n') => {
+                // Oversized: skip to the end of the line in bounded
+                // chunks without ever holding the whole line.
+                loop {
+                    buf.clear();
+                    match io::Read::take(&mut input, 64 * 1024).read_until(b'\n', &mut buf) {
+                        Ok(0) => break, // EOF mid-line
+                        Ok(_) => {
+                            if buf.last() == Some(&b'\n') {
+                                break;
+                            }
+                        }
+                        Err(e) => {
+                            let _ = tx.send(ReadEvent::Err(e));
+                            return;
+                        }
+                    }
+                }
+                if tx.send(ReadEvent::Oversized).is_err() {
+                    return;
+                }
+            }
+            Ok(_) => {
+                // Lossy decode: a line with invalid UTF-8 still reaches
+                // the parser (and fails there with a structured
+                // response) instead of killing the connection.
+                let line = String::from_utf8_lossy(&buf).into_owned();
+                if tx.send(ReadEvent::Line(line)).is_err() {
+                    return;
+                }
+            }
+            Err(e) => {
+                let _ = tx.send(ReadEvent::Err(e));
+                return;
+            }
+        }
+    }
+}
+
+/// Gives in-flight work until the pool's drain deadline to finish, then
+/// cancels the stragglers through the drain group. Detached: returns
+/// early (without cancelling anything) once the pool is quiescent.
+fn arm_drain_watchdog(shared: Arc<PoolShared>) {
+    std::thread::spawn(move || {
+        let deadline = Instant::now() + shared.drain_deadline;
+        while Instant::now() < deadline {
+            if shared.in_flight.load(Ordering::SeqCst) == 0
+                && shared.pending.load(Ordering::SeqCst) == 0
+            {
+                return;
+            }
+            std::thread::sleep(DRAIN_POLL);
+        }
+        shared.cancel_in_flight();
+    });
 }
 
 impl Drop for Pool {
@@ -410,8 +727,15 @@ fn worker_loop(shared: &PoolShared, index: usize) {
                     let _ = reply.send((job.seq, String::new()));
                 }
             }
-            JobPayload::Request { conn, parsed } => {
-                let response = handle(conn, parsed, &mut workspace, shared);
+            JobPayload::Request {
+                conn,
+                parsed,
+                token,
+            } => {
+                shared.pending.fetch_sub(1, Ordering::SeqCst);
+                shared.in_flight.fetch_add(1, Ordering::SeqCst);
+                let response = handle(conn, *parsed, &token, &mut workspace, shared);
+                shared.in_flight.fetch_sub(1, Ordering::SeqCst);
                 if let Some(reply) = &job.reply {
                     // A dead session writer just discards the response;
                     // the pool keeps serving its other sessions.
@@ -423,53 +747,80 @@ fn worker_loop(shared: &PoolShared, index: usize) {
 }
 
 /// Executes one parsed request against a worker's warm workspace and
-/// renders its response. Never panics: handler panics are caught and
-/// reported as that request's failure.
+/// renders its response. Never panics: handler panics (including
+/// injected chaos panics) are caught and reported as that request's
+/// failure.
 fn handle(
     conn: u64,
     parsed: Result<Request, (Json, String)>,
+    token: &CancelToken,
     workspace: &mut Workspace,
     shared: &PoolShared,
 ) -> String {
-    let Request { id, cmd } = match parsed {
+    let Request { id, cmd, .. } = match parsed {
         Ok(req) => req,
         Err((id, msg)) => {
             shared.failed.fetch_add(1, Ordering::SeqCst);
             return protocol::err_response(&id, &msg);
         }
     };
-    let respond = |result: Result<String, String>| match result {
+    let respond = |result: Result<String, OpError>| match result {
         Ok(output) => {
             shared.served.fetch_add(1, Ordering::SeqCst);
             protocol::ok_response(&id, &output)
         }
-        Err(e) => {
+        Err(OpError::Msg(e)) => {
             shared.failed.fetch_add(1, Ordering::SeqCst);
             protocol::err_response(&id, &e)
         }
+        Err(OpError::Cancelled { kind, done, total }) => {
+            shared.failed.fetch_add(1, Ordering::SeqCst);
+            let (code, counter) = match kind {
+                CancelKind::Deadline => ("deadline_exceeded", &shared.deadline_exceeded),
+                CancelKind::Explicit => ("cancelled", &shared.cancelled),
+            };
+            counter.fetch_add(1, Ordering::SeqCst);
+            protocol::coded_err_response(
+                &id,
+                code,
+                &format!("{kind} after {done} of {total} work unit(s)"),
+                &[("done", Json::from(done)), ("total", Json::from(total))],
+            )
+        }
     };
+    // The delay/panic fault points fire before the command dispatch,
+    // inside the same isolation boundary as a real handler panic.
+    if let Err(injected) = isolate(|| {
+        shared.chaos.before_request();
+        Ok(String::new())
+    }) {
+        return respond(Err(injected));
+    }
+    let cancel = Some(token);
     match cmd {
         Command::Stats => {
             // Snapshot first so the stats request does not count itself.
-            let response = protocol::stats_response(
-                &id,
-                shared.served.load(Ordering::SeqCst),
-                shared.failed.load(Ordering::SeqCst),
-                shared.threads,
-                shared.kernel.name(),
-            );
+            let response = protocol::stats_response(&id, &stats_of(shared), shared.kernel.name());
             shared.served.fetch_add(1, Ordering::SeqCst);
             response
         }
-        Command::Analyze { source, opts } => respond(isolate(|| workspace.analyze(&source, &opts))),
-        Command::Sim { source, opts } => respond(isolate(|| workspace.simulate(&source, &opts))),
+        Command::Analyze { source, opts } => {
+            respond(isolate(|| workspace.analyze(&source, &opts, cancel)))
+        }
+        Command::Sim { source, opts } => {
+            respond(isolate(|| workspace.simulate(&source, &opts, cancel)))
+        }
         Command::Batch { paths, opts } => {
             let results: Vec<Result<String, String>> = paths
                 .iter()
-                .map(|path| isolate(|| workspace.analyze(&Source::Path(path.clone()), &opts)))
+                .map(|path| {
+                    isolate(|| workspace.analyze(&Source::Path(path.clone()), &opts, cancel))
+                        .map_err(|e| e.to_string())
+                })
                 .collect();
             // A batch is one request: it always yields an ok response
-            // with per-item results inline.
+            // with per-item results inline (a fired token fails the
+            // remaining items fast — they poll the same token).
             shared.served.fetch_add(1, Ordering::SeqCst);
             protocol::batch_response(&id, &results)
         }
@@ -481,17 +832,18 @@ fn handle(
             // Reserve a slot against the pool-wide cap before doing any
             // work; release it when the open does not go through.
             if let Err(e) = reserve_session_slot(shared) {
-                return respond(Err(e));
+                return respond(Err(OpError::Msg(e)));
             }
-            let result = isolate(|| workspace.session_open(conn, &session, &source, default_delay));
+            let result =
+                isolate(|| workspace.session_open(conn, &session, &source, default_delay, cancel));
             if result.is_err() {
                 shared.open_sessions.fetch_sub(1, Ordering::SeqCst);
             }
             respond(result)
         }
-        Command::SessionEdit { session, edits } => {
-            respond(isolate(|| workspace.session_edit(conn, &session, &edits)))
-        }
+        Command::SessionEdit { session, edits } => respond(isolate(|| {
+            workspace.session_edit(conn, &session, &edits, cancel)
+        })),
         Command::SessionClose { session } => {
             let result = isolate(|| workspace.session_close(conn, &session));
             if result.is_ok() {
@@ -529,9 +881,9 @@ fn reserve_session_slot(shared: &PoolShared) -> Result<(), String> {
 
 /// Runs a request handler, converting a panic into a per-request error
 /// so one poisoned input cannot take the worker (or the pool) down.
-fn isolate<F>(f: F) -> Result<String, String>
+fn isolate<F>(f: F) -> Result<String, OpError>
 where
-    F: FnOnce() -> Result<String, String>,
+    F: FnOnce() -> Result<String, OpError>,
 {
     match catch_unwind(AssertUnwindSafe(f)) {
         Ok(result) => result,
@@ -541,7 +893,9 @@ where
                 .map(String::as_str)
                 .or_else(|| panic.downcast_ref::<&str>().copied())
                 .unwrap_or("unknown panic");
-            Err(format!("internal error: request handler panicked: {msg}"))
+            Err(OpError::Msg(format!(
+                "internal error: request handler panicked: {msg}"
+            )))
         }
     }
 }

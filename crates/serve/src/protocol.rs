@@ -42,9 +42,20 @@
 //! Unknown fields are rejected, not ignored — the same strictness the
 //! CLI applies to unknown flags, so a typo'd option fails loudly instead
 //! of silently running with defaults.
+//!
+//! Every request additionally accepts a `"deadline_ms"` field: the
+//! wall-clock budget for that request. A request that exceeds it is
+//! cancelled cooperatively and answered with a *structured* failure —
+//! `ok: false` plus a machine-readable `code` (`"deadline_exceeded"`,
+//! `"cancelled"`, `"overloaded"`, `"request_too_large"`) and
+//! progress/backoff detail fields — so clients can branch on the code
+//! instead of parsing prose.
+
+use std::time::Duration;
 
 use crate::json::Json;
 use crate::ops::{AnalyzeOptions, EditSpec, SimOptions, Source};
+use crate::pool::ServeStats;
 use tsg_core::analysis::wide::KernelBackend;
 use tsg_sim::QueueKind;
 
@@ -118,6 +129,9 @@ pub struct Request {
     pub id: Json,
     /// The request body.
     pub cmd: Command,
+    /// Per-request wall-clock budget (`"deadline_ms"`); `None` falls
+    /// back to the server's `--default-deadline`, if any.
+    pub deadline: Option<Duration>,
 }
 
 /// Parses one request line.
@@ -152,6 +166,7 @@ pub fn parse_request(line: &str) -> Result<Request, (Json, String)> {
             "slack",
             "default_delay",
             "kernel",
+            "deadline_ms",
         ],
         "sim" => &[
             "id",
@@ -163,6 +178,7 @@ pub fn parse_request(line: &str) -> Result<Request, (Json, String)> {
             "horizon",
             "default_delay",
             "queue",
+            "deadline_ms",
         ],
         "batch" => &[
             "id",
@@ -174,8 +190,9 @@ pub fn parse_request(line: &str) -> Result<Request, (Json, String)> {
             "slack",
             "default_delay",
             "kernel",
+            "deadline_ms",
         ],
-        "stats" => &["id", "cmd"],
+        "stats" => &["id", "cmd", "deadline_ms"],
         "session.open" => &[
             "id",
             "cmd",
@@ -184,9 +201,10 @@ pub fn parse_request(line: &str) -> Result<Request, (Json, String)> {
             "text",
             "name",
             "default_delay",
+            "deadline_ms",
         ],
-        "session.edit" => &["id", "cmd", "session", "edits"],
-        "session.close" => &["id", "cmd", "session"],
+        "session.edit" => &["id", "cmd", "session", "edits", "deadline_ms"],
+        "session.close" => &["id", "cmd", "session", "deadline_ms"],
         other => return Err(fail(format!("unknown cmd {other:?}"))),
     };
     for (key, _) in fields {
@@ -250,7 +268,20 @@ pub fn parse_request(line: &str) -> Result<Request, (Json, String)> {
         },
         _ => unreachable!("cmd validated above"),
     };
-    Ok(Request { id, cmd: body })
+    let deadline = match doc.get("deadline_ms") {
+        None => None,
+        Some(v) => Some(
+            v.as_f64()
+                .filter(|ms| ms.is_finite() && *ms > 0.0)
+                .and_then(|ms| Duration::try_from_secs_f64(ms / 1000.0).ok())
+                .ok_or_else(|| fail("\"deadline_ms\" must be a positive number".to_owned()))?,
+        ),
+    };
+    Ok(Request {
+        id,
+        cmd: body,
+        deadline,
+    })
 }
 
 /// Extracts the mandatory `session` name field.
@@ -411,6 +442,53 @@ pub fn err_response(id: &Json, error: &str) -> String {
     .dump()
 }
 
+/// A *structured* failure response: `code` is the machine-readable
+/// category a client branches on (`"deadline_exceeded"`, `"cancelled"`,
+/// `"overloaded"`, `"request_too_large"`), `error` the human-facing
+/// message, and `detail` extra fields (progress counts, queue depth,
+/// retry hints) appended verbatim.
+pub fn coded_err_response(id: &Json, code: &str, error: &str, detail: &[(&str, Json)]) -> String {
+    let mut fields = vec![
+        ("id".to_owned(), id.clone()),
+        ("ok".to_owned(), Json::Bool(false)),
+        ("code".to_owned(), Json::from(code)),
+        ("error".to_owned(), Json::from(error)),
+    ];
+    for (key, value) in detail {
+        fields.push(((*key).to_owned(), value.clone()));
+    }
+    Json::Obj(fields).dump()
+}
+
+/// The `overloaded` rejection an admission-controlled pool answers with
+/// when its pending queue is full: carries the observed queue depth and
+/// a retry-after backoff hint.
+pub fn overloaded_response(id: &Json, queue_depth: usize, retry_after_ms: u64) -> String {
+    coded_err_response(
+        id,
+        "overloaded",
+        &format!(
+            "pool is overloaded: {queue_depth} request(s) pending; \
+             retry after {retry_after_ms} ms or raise --max-pending"
+        ),
+        &[
+            ("queue_depth", Json::from(queue_depth as u64)),
+            ("retry_after_ms", Json::from(retry_after_ms)),
+        ],
+    )
+}
+
+/// The `request_too_large` rejection for a frame over the configured
+/// line limit. The line is discarded unread, so no `id` can be echoed.
+pub fn too_large_response(limit: usize) -> String {
+    coded_err_response(
+        &Json::Null,
+        "request_too_large",
+        &format!("request line exceeds the {limit}-byte limit (--max-request-bytes)"),
+        &[("limit_bytes", Json::from(limit as u64))],
+    )
+}
+
 /// A `batch` response: per-item results in input order.
 pub fn batch_response(id: &Json, results: &[Result<String, String>]) -> String {
     let items: Vec<Json> = results
@@ -436,15 +514,38 @@ pub fn batch_response(id: &Json, results: &[Result<String, String>]) -> String {
 
 /// A `stats` response: counters cover requests *completed* before this
 /// one executed (the stats request itself is excluded). `kernel` is the
-/// resolved wide-kernel backend the pool's workspaces run on.
-pub fn stats_response(id: &Json, served: u64, failed: u64, threads: usize, kernel: &str) -> String {
+/// resolved wide-kernel backend the pool's workspaces run on; the
+/// robustness counters let operators see degradation (rejections,
+/// deadline aborts, timed-out clients) instead of guessing.
+pub fn stats_response(id: &Json, stats: &ServeStats, kernel: &str) -> String {
     Json::Obj(vec![
         ("id".to_owned(), id.clone()),
         ("ok".to_owned(), Json::Bool(true)),
-        ("served".to_owned(), Json::from(served)),
-        ("failed".to_owned(), Json::from(failed)),
-        ("threads".to_owned(), Json::from(threads as u64)),
+        ("served".to_owned(), Json::from(stats.served)),
+        ("failed".to_owned(), Json::from(stats.failed)),
+        ("threads".to_owned(), Json::from(stats.threads as u64)),
         ("kernel".to_owned(), Json::from(kernel)),
+        (
+            "queue_depth".to_owned(),
+            Json::from(stats.queue_depth as u64),
+        ),
+        (
+            "rejected_overloaded".to_owned(),
+            Json::from(stats.rejected_overloaded),
+        ),
+        (
+            "deadline_exceeded".to_owned(),
+            Json::from(stats.deadline_exceeded),
+        ),
+        ("cancelled".to_owned(), Json::from(stats.cancelled)),
+        (
+            "timed_out_connections".to_owned(),
+            Json::from(stats.timed_out_connections),
+        ),
+        (
+            "drained_in_flight".to_owned(),
+            Json::from(stats.drained_in_flight),
+        ),
     ])
     .dump()
 }
@@ -552,6 +653,42 @@ mod tests {
     }
 
     #[test]
+    fn parses_and_validates_deadlines() {
+        let r = parse_request(r#"{"cmd":"stats"}"#).unwrap();
+        assert_eq!(r.deadline, None);
+        let r = parse_request(r#"{"cmd":"analyze","path":"a.g","deadline_ms":250}"#).unwrap();
+        assert_eq!(r.deadline, Some(Duration::from_millis(250)));
+        let r = parse_request(r#"{"cmd":"sim","path":"a.g","deadline_ms":0.5}"#).unwrap();
+        assert_eq!(r.deadline, Some(Duration::from_micros(500)));
+        for bad in ["0", "-5", "1e400", "\"fast\"", "null"] {
+            let line = format!(r#"{{"cmd":"stats","deadline_ms":{bad}}}"#);
+            let (_, e) = parse_request(&line).unwrap_err();
+            assert!(
+                e.contains("\"deadline_ms\"") || e.contains("invalid JSON"),
+                "{line}: {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn structured_errors_carry_codes_and_detail() {
+        let line = overloaded_response(&Json::Num(9.0), 32, 50);
+        assert_eq!(
+            line,
+            concat!(
+                r#"{"id":9,"ok":false,"code":"overloaded","#,
+                r#""error":"pool is overloaded: 32 request(s) pending; "#,
+                r#"retry after 50 ms or raise --max-pending","#,
+                r#""queue_depth":32,"retry_after_ms":50}"#
+            )
+        );
+        let line = too_large_response(1024);
+        assert!(line.contains(r#""code":"request_too_large""#), "{line}");
+        assert!(line.contains(r#""limit_bytes":1024"#), "{line}");
+        assert!(line.starts_with(r#"{"id":null,"ok":false"#), "{line}");
+    }
+
+    #[test]
     fn responses_echo_ids_and_escape_output() {
         assert_eq!(
             ok_response(&Json::Num(3.0), "line1\nline2\n"),
@@ -561,9 +698,24 @@ mod tests {
             err_response(&Json::Null, "bad \"quote\""),
             r#"{"id":null,"ok":false,"error":"bad \"quote\""}"#
         );
+        let stats = ServeStats {
+            served: 5,
+            failed: 1,
+            threads: 4,
+            queue_depth: 2,
+            rejected_overloaded: 1,
+            deadline_exceeded: 3,
+            cancelled: 0,
+            timed_out_connections: 0,
+            drained_in_flight: 0,
+        };
         assert_eq!(
-            stats_response(&Json::Str("s".into()), 5, 1, 4, "avx2"),
-            r#"{"id":"s","ok":true,"served":5,"failed":1,"threads":4,"kernel":"avx2"}"#
+            stats_response(&Json::Str("s".into()), &stats, "avx2"),
+            concat!(
+                r#"{"id":"s","ok":true,"served":5,"failed":1,"threads":4,"kernel":"avx2","#,
+                r#""queue_depth":2,"rejected_overloaded":1,"deadline_exceeded":3,"#,
+                r#""cancelled":0,"timed_out_connections":0,"drained_in_flight":0}"#
+            )
         );
         assert_eq!(
             batch_response(&Json::Num(1.0), &[Ok("a\n".into()), Err("e".into())]),

@@ -67,13 +67,13 @@ fn warm_analyze_is_allocation_free_and_byte_identical() {
         let sg = ops::load("osc.g", tsg_stg::EXAMPLE_OSCILLATOR, 1.0).unwrap();
         ops::report(&sg, &opts)
     };
-    let first = ws.analyze(&source, &opts).unwrap();
+    let first = ws.analyze(&source, &opts, None).unwrap();
     assert_eq!(first, cold, "warm path must match the one-shot report");
     let warm_caps = ws.arena_capacity();
     assert!(warm_caps.0 > 0, "first analyze warms the wide lane matrix");
     assert!(warm_caps.1 > 0, "and the scalar finish arena");
     for _ in 0..3 {
-        let again = ws.analyze(&source, &opts).unwrap();
+        let again = ws.analyze(&source, &opts, None).unwrap();
         assert_eq!(again, cold);
         assert_eq!(
             ws.arena_capacity(),
@@ -98,15 +98,19 @@ fn warm_sim_queues_stay_put_per_backend() {
             queue: kind,
             ..SimOptions::default()
         };
-        let g_cold = Workspace::new().simulate(&inline_g(), &g_opts).unwrap();
-        let c_cold = Workspace::new().simulate(&inline_ckt(), &c_opts).unwrap();
-        assert_eq!(ws.simulate(&inline_g(), &g_opts).unwrap(), g_cold);
-        assert_eq!(ws.simulate(&inline_ckt(), &c_opts).unwrap(), c_cold);
+        let g_cold = Workspace::new()
+            .simulate(&inline_g(), &g_opts, None)
+            .unwrap();
+        let c_cold = Workspace::new()
+            .simulate(&inline_ckt(), &c_opts, None)
+            .unwrap();
+        assert_eq!(ws.simulate(&inline_g(), &g_opts, None).unwrap(), g_cold);
+        assert_eq!(ws.simulate(&inline_ckt(), &c_opts, None).unwrap(), c_cold);
         let g_cap = ws.graph_queue_capacity(kind).expect("warmed");
         let c_cap = ws.netlist_queue_capacity(kind).expect("warmed");
         for _ in 0..3 {
-            assert_eq!(ws.simulate(&inline_g(), &g_opts).unwrap(), g_cold);
-            assert_eq!(ws.simulate(&inline_ckt(), &c_opts).unwrap(), c_cold);
+            assert_eq!(ws.simulate(&inline_g(), &g_opts, None).unwrap(), g_cold);
+            assert_eq!(ws.simulate(&inline_ckt(), &c_opts, None).unwrap(), c_cold);
             assert_eq!(ws.graph_queue_capacity(kind), Some(g_cap));
             assert_eq!(ws.netlist_queue_capacity(kind), Some(c_cap));
         }
@@ -126,14 +130,14 @@ fn failed_netlist_run_keeps_the_warm_queue() {
         horizon: Some(10.0),
         ..SimOptions::default()
     };
-    let err = ws.simulate(&bad, &opts).unwrap_err();
+    let err = ws.simulate(&bad, &opts, None).unwrap_err().to_string();
     assert!(err.contains("simulation failed"), "{err}");
     assert!(
         ws.netlist_queue_capacity(QueueKind::Heap).is_some(),
         "error isolation must not leak the warm queue"
     );
     // And the workspace still serves good requests afterwards.
-    assert!(ws.simulate(&inline_ckt(), &opts).is_ok());
+    assert!(ws.simulate(&inline_ckt(), &opts, None).is_ok());
 }
 
 #[test]
@@ -458,9 +462,9 @@ fn session_edits_survive_worker_pinning_under_load() {
 #[test]
 fn workspace_sweeps_a_connections_sessions() {
     let mut ws = Workspace::new();
-    ws.session_open(1, "a", &inline_g(), 1.0).unwrap();
-    ws.session_open(1, "b", &inline_g(), 1.0).unwrap();
-    ws.session_open(2, "a", &inline_g(), 1.0).unwrap();
+    ws.session_open(1, "a", &inline_g(), 1.0, None).unwrap();
+    ws.session_open(1, "b", &inline_g(), 1.0, None).unwrap();
+    ws.session_open(2, "a", &inline_g(), 1.0, None).unwrap();
     assert_eq!(ws.open_sessions(), 3);
     ws.close_conn_sessions(1);
     assert_eq!(ws.open_sessions(), 1);
@@ -474,6 +478,7 @@ fn workspace_sweeps_a_connections_sessions() {
                 dst: "c+".to_owned(),
                 delay: 6.0,
             }],
+            None,
         )
         .unwrap();
     assert!(out.contains("cycle time: 13"), "{out}");

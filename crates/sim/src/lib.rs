@@ -41,11 +41,13 @@
 pub mod backend;
 pub mod batch;
 pub mod calendar;
+pub mod cancel;
 pub mod queue;
 pub mod trace;
 
 pub use backend::{AnyQueue, BinaryHeapQueue, QueueBackend, QueueKind};
 pub use batch::BatchRunner;
 pub use calendar::CalendarQueue;
+pub use cancel::{CancelKind, CancelToken};
 pub use queue::{Event, EventQueue, QueueCheckpoint, ScheduleError};
 pub use trace::{TraceId, TraceRecorder};

@@ -11,11 +11,11 @@
 
 use proptest::prelude::*;
 use tsg::core::analysis::event_sim::{EventSimScratch, EventSimulation};
-use tsg::core::analysis::session::{AnalysisSession, DelayEdit};
-use tsg::core::analysis::CycleTimeAnalysis;
+use tsg::core::analysis::session::{AnalysisSession, DelayEdit, EditError};
+use tsg::core::analysis::{AnalysisError, CycleTimeAnalysis, KernelBackend};
 use tsg::core::{ArcId, SignalGraph};
 use tsg::gen::{handshake_pipeline, random_live_tsg, ring, torus, PipelineConfig, RandomTsgConfig};
-use tsg::sim::QueueKind;
+use tsg::sim::{CancelToken, QueueKind};
 
 /// One generated graph per `(family, seed)` pair, covering every
 /// generator family with modest sizes.
@@ -179,5 +179,88 @@ fn long_edit_soak_per_family() {
             }
         }
         assert_session_matches_scratch(&session, &format!("family {family} final"));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cancellation bit-safety (PR 7): a session aborted mid-matrix by a
+// cancel token stays consistent — the edits are applied, the session
+// reports itself stale, and the next uncancelled call (even an empty
+// batch) heals it to the exact bits a fresh analysis produces.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random batches under a random check budget: whether the token
+    /// fires or the batch survives, the healed session is always
+    /// bit-identical to from-scratch.
+    #[test]
+    fn aborted_batch_edits_heal_bit_identically(
+        family in 0usize..4,
+        seed in 0u64..10_000,
+        edits in 2usize..8,
+        budget in 0u64..8,
+    ) {
+        let sg = graph(family, seed);
+        let mut session = AnalysisSession::open(sg).expect("generated graphs are live");
+        let batch = script(session.graph(), seed, edits);
+        let token = CancelToken::cancel_after_checks(budget);
+        match session.edit_delays_with_cancel(&batch, Some(&token)) {
+            Ok(_) => prop_assert!(!session.is_stale()),
+            Err(EditError::Cancelled { rows_done, rows_total, .. }) => {
+                prop_assert!(session.is_stale());
+                prop_assert!(rows_done <= rows_total);
+                // An empty uncancelled batch heals the stale region.
+                session.edit_delays(&[]).unwrap();
+            }
+            Err(e) => panic!("unexpected edit error: {e:?}"),
+        }
+        prop_assert!(!session.is_stale());
+        assert_session_matches_scratch(
+            &session,
+            &format!("family {family} seed {seed} abort budget {budget}"),
+        );
+    }
+}
+
+/// A deterministic soak of repeated aborts mid-script: every chunk is
+/// attempted under a tiny check budget, healed when it fired, and the
+/// session must match from-scratch after every step.
+#[test]
+fn repeated_aborts_mid_script_heal_bit_identically() {
+    for family in 0..4usize {
+        let mut session = AnalysisSession::open(graph(family, 13)).expect("live");
+        let edits = script(session.graph(), 13, 24);
+        for (step, chunk) in edits.chunks(3).enumerate() {
+            let token = CancelToken::cancel_after_checks((step % 4) as u64);
+            match session.edit_delays_with_cancel(chunk, Some(&token)) {
+                Ok(_) => {}
+                Err(EditError::Cancelled { .. }) => {
+                    session.edit_delays(&[]).unwrap();
+                }
+                Err(e) => panic!("unexpected edit error: {e:?}"),
+            }
+            assert!(!session.is_stale());
+            assert_session_matches_scratch(&session, &format!("family {family} step {step}"));
+        }
+    }
+}
+
+/// An opening analysis aborted by its token creates no session; a clean
+/// retry on the same graph is bit-identical to from-scratch.
+#[test]
+fn cancelled_open_retries_cleanly() {
+    for family in 0..4usize {
+        let aborted = AnalysisSession::open_with_cancel(
+            graph(family, 3),
+            KernelBackend::Auto,
+            Some(&CancelToken::cancel_after_checks(0)),
+        );
+        assert!(
+            matches!(aborted, Err(AnalysisError::Cancelled { .. })),
+            "family {family}: a zero-budget token must abort the open"
+        );
+        let session = AnalysisSession::open(graph(family, 3)).expect("live");
+        assert_session_matches_scratch(&session, &format!("family {family} clean reopen"));
     }
 }

@@ -200,3 +200,33 @@ fn tracked_bench_workloads_are_bit_identical() {
         assert_wide_matches_scalar(&sg, &name);
     }
 }
+
+/// Cancellation bit-safety of the wide kernel (PR 7): a run aborted
+/// mid-matrix reports its partial progress and leaves the arena fully
+/// reusable — the next uncancelled run in the *same* arena overwrites
+/// the partial matrix and produces the exact bits of a fresh analysis.
+#[test]
+fn cancelled_run_leaves_arena_bit_identical_on_rerun() {
+    use tsg::core::analysis::wide::AnalysisArena;
+    use tsg::core::analysis::AnalysisError;
+    use tsg::sim::{CancelKind, CancelToken};
+    for family in 0..4usize {
+        let sg = graph(family, 11);
+        let full = CycleTimeAnalysis::run(&sg).expect("live");
+        let mut arena = AnalysisArena::new();
+        let token = CancelToken::cancel_after_checks(1);
+        match CycleTimeAnalysis::run_in_with_cancel(&sg, None, &mut arena, Some(&token)) {
+            Err(AnalysisError::Cancelled {
+                kind,
+                rows_done,
+                rows_total,
+            }) => {
+                assert_eq!(kind, CancelKind::Explicit);
+                assert!(rows_done < rows_total, "family {family}: partial progress");
+            }
+            other => panic!("family {family}: expected cancellation, got {other:?}"),
+        }
+        let redo = CycleTimeAnalysis::run_in(&sg, None, &mut arena).expect("live");
+        assert_analyses_identical(&full, &redo, &format!("family {family} post-abort arena"));
+    }
+}
