@@ -13,7 +13,11 @@
 //! the lane-batched Monte-Carlo long-run estimator against the
 //! sequential per-seed loop (`longrun_lanes`), and
 //! `CycleTimeAnalysis::analyze_batch` against the sequential loop on a
-//! 64-graph `tsg_gen` sweep — and writes the numbers to
+//! 64-graph `tsg_gen` sweep, the warm-session delay-edit loop
+//! (`edit_loop`), and the structural-edit loop (`structural_edit`):
+//! mixed split/nudge scripts replayed as from-scratch re-analyses vs
+//! one session resuming through `edit_structure` — and writes the
+//! numbers to
 //! `BENCH_kernel.json` (see the README's "Performance" section for how
 //! to read it). CI runs `bench --quick` on every PR, so the perf
 //! trajectory of the queue backends, the wide analysis kernel and the
@@ -30,8 +34,9 @@ use std::time::Instant;
 
 use tsg_baselines::{longrun_estimate_mc, longrun_estimate_mc_lanes};
 use tsg_bench::{
-    assert_backends_match, assert_wide_matches_scalar, available_backends, edit_loop_graph,
-    edit_script, hold, push_pop, wide_scenarios, DELAY_BOUND, EDIT_LOOP_WORKLOAD,
+    apply_graph_edits, assert_backends_match, assert_wide_matches_scalar, available_backends,
+    edit_loop_graph, edit_script, hold, push_pop, structural_edit_script, wide_scenarios,
+    DELAY_BOUND, EDIT_LOOP_WORKLOAD,
 };
 use tsg_core::analysis::initiated::SimArena;
 use tsg_core::analysis::session::AnalysisSession;
@@ -441,6 +446,73 @@ fn measure_edit_loop(edit_counts: &[usize], reps: usize) -> Vec<EditLoopRow> {
     out
 }
 
+/// The design-exploration loop of PR 8: a mixed structural script
+/// (pipeline-stage splits interleaved with delay nudges) replayed as
+/// from-scratch re-analyses of a mutated graph clone vs one warm
+/// [`AnalysisSession`] resuming through
+/// [`edit_structure`](AnalysisSession::edit_structure) — remapping its
+/// lanes onto each batch's new border set instead of reseeding — and
+/// asserted bit-identical batch by batch.
+fn measure_structural_edit_loop(batch_counts: &[usize], reps: usize) -> Vec<EditLoopRow> {
+    let base = edit_loop_graph();
+    let mut out = Vec::new();
+    for &batches in batch_counts {
+        let script = structural_edit_script(&base, batches);
+
+        let mut full_best = f64::INFINITY;
+        let mut reference: Vec<u64> = Vec::new();
+        for _ in 0..reps.max(1) {
+            let mut sg = base.clone();
+            let t = Instant::now();
+            let taus: Vec<u64> = script
+                .iter()
+                .map(|batch| {
+                    apply_graph_edits(&mut sg, batch);
+                    CycleTimeAnalysis::run(&sg)
+                        .expect("script keeps the ring live")
+                        .cycle_time()
+                        .as_f64()
+                        .to_bits()
+                })
+                .collect();
+            full_best = full_best.min(t.elapsed().as_secs_f64());
+            reference = taus;
+        }
+
+        let mut session_best = f64::INFINITY;
+        let (mut rows, mut rows_total) = (0usize, 0usize);
+        for _ in 0..reps.max(1) {
+            let mut session = AnalysisSession::open(base.clone()).expect("ring is live");
+            (rows, rows_total) = (0, 0);
+            let t = Instant::now();
+            let taus: Vec<u64> = script
+                .iter()
+                .map(|batch| {
+                    let delta = session.edit_structure(batch).expect("valid batch");
+                    rows += delta.rows;
+                    rows_total += delta.rows_total;
+                    session.analysis().cycle_time().as_f64().to_bits()
+                })
+                .collect();
+            session_best = session_best.min(t.elapsed().as_secs_f64());
+            assert_eq!(
+                taus, reference,
+                "structural session edits diverged from from-scratch re-analysis"
+            );
+        }
+
+        out.push(EditLoopRow {
+            edits: batches,
+            full_seconds: full_best,
+            session_seconds: session_best,
+            speedup: full_best / session_best.max(1e-12),
+            rows,
+            rows_total,
+        });
+    }
+    out
+}
+
 #[allow(clippy::too_many_arguments)]
 fn json_report(
     quick: bool,
@@ -449,6 +521,7 @@ fn json_report(
     seq_seconds: f64,
     batch_rows: &[BatchRow],
     edit_rows: &[EditLoopRow],
+    struct_rows: &[EditLoopRow],
     wide_rows: &[WideRow],
     simd_rows: &[SimdRow],
     longrun_rows: &[LongrunRow],
@@ -547,6 +620,21 @@ fn json_report(
         let _ = writeln!(
             out,
             "      {{\"edits\": {}, \"full_seconds\": {:.9}, \"session_seconds\": {:.9}, \
+             \"speedup\": {:.3}, \"rows_resimulated\": {}, \"rows_full\": {}}}{comma}",
+            r.edits, r.full_seconds, r.session_seconds, r.speedup, r.rows, r.rows_total
+        );
+    }
+    let _ = writeln!(out, "    ]");
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"structural_edit\": {{");
+    let _ = writeln!(out, "    \"workload\": \"{EDIT_LOOP_WORKLOAD}\",");
+    let _ = writeln!(out, "    \"bit_identical\": true,");
+    let _ = writeln!(out, "    \"sweeps\": [");
+    for (i, r) in struct_rows.iter().enumerate() {
+        let comma = if i + 1 < struct_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "      {{\"batches\": {}, \"full_seconds\": {:.9}, \"session_seconds\": {:.9}, \
              \"speedup\": {:.3}, \"rows_resimulated\": {}, \"rows_full\": {}}}{comma}",
             r.edits, r.full_seconds, r.session_seconds, r.speedup, r.rows, r.rows_total
         );
@@ -671,6 +759,20 @@ fn main() {
         );
     }
 
+    eprintln!("measuring the structural edit loop ({EDIT_LOOP_WORKLOAD})...");
+    let struct_rows = measure_structural_edit_loop(&[1, 8, 64], reps);
+    for r in &struct_rows {
+        eprintln!(
+            "  {:>3} batch(es): full {:>8.2} ms, session {:>8.2} ms ({:.2}x, {} of {} rows)",
+            r.edits,
+            r.full_seconds * 1e3,
+            r.session_seconds * 1e3,
+            r.speedup,
+            r.rows,
+            r.rows_total
+        );
+    }
+
     let graphs: Vec<SignalGraph> = (0..graph_count as u64)
         .map(|seed| tsg_gen::random_live_tsg(seed, tsg_gen::RandomTsgConfig::default()))
         .collect();
@@ -701,6 +803,7 @@ fn main() {
         seq_seconds,
         &batch_rows,
         &edit_rows,
+        &struct_rows,
         &wide_rows,
         &simd_rows,
         &longrun_rows,

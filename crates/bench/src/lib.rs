@@ -7,10 +7,10 @@
 //! distribution here changes both, never one.
 
 use tsg_core::analysis::initiated::SimArena;
-use tsg_core::analysis::session::DelayEdit;
+use tsg_core::analysis::session::{DelayEdit, GraphEdit};
 use tsg_core::analysis::wide::WideArena;
 use tsg_core::analysis::{CycleTimeAnalysis, KernelBackend};
-use tsg_core::{ArcId, SignalGraph};
+use tsg_core::{ArcId, EventId, SignalGraph};
 use tsg_sim::{EventQueue, QueueBackend};
 
 /// Upper bound of [`delay`]'s distribution; the calendar backend under
@@ -244,6 +244,98 @@ pub fn edit_script(sg: &SignalGraph, count: usize) -> Vec<DelayEdit> {
         .collect()
 }
 
+/// Applies one [`GraphEdit`] batch directly to a graph through the
+/// mutation API — the "from-scratch" arm of the structural-edit bench
+/// (mutate a clone, rerun the full analysis), and the mirror
+/// [`structural_edit_script`] builds its later batches against.
+///
+/// # Panics
+///
+/// Panics if an edit is rejected: the scripts produced here are valid
+/// by construction, so a rejection is a harness bug.
+pub fn apply_graph_edits(sg: &mut SignalGraph, batch: &[GraphEdit]) {
+    for edit in batch {
+        match edit {
+            GraphEdit::Delay { arc, delay } => sg.set_delay(*arc, *delay).expect("valid delay"),
+            GraphEdit::AddArc {
+                src,
+                dst,
+                delay,
+                marked,
+            } => {
+                sg.add_arc(*src, *dst, *delay, *marked).expect("valid arc");
+            }
+            GraphEdit::RemoveArc { arc } => sg.remove_arc(*arc).expect("live arc"),
+            GraphEdit::AddEvent { label } => {
+                sg.add_event(label).expect("fresh label");
+            }
+            GraphEdit::RemoveEvent { event } => sg.remove_event(*event).expect("isolated event"),
+        }
+    }
+}
+
+/// A deterministic mixed structural script over `sg`: `count` batches
+/// alternating always-valid pipeline-stage splits (one fresh event
+/// each, the second half marked) with delay nudges — the
+/// `structural_edit` bench workload, valid by construction so the
+/// full-reanalysis and session-resume arms time identical work. Batches
+/// are built against an evolving mirror of the graph, so the ids each
+/// batch names are exactly the ids the session assigns when the batches
+/// apply in order.
+pub fn structural_edit_script(sg: &SignalGraph, count: usize) -> Vec<Vec<GraphEdit>> {
+    let mut mirror = sg.clone();
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let batch = if i.is_multiple_of(2) {
+            let cyclic: Vec<ArcId> = mirror
+                .arc_ids()
+                .filter(|&a| {
+                    let arc = mirror.arc(a);
+                    mirror.is_live_arc(a)
+                        && !arc.is_disengageable()
+                        && mirror.is_repetitive(arc.src())
+                        && mirror.is_repetitive(arc.dst())
+                })
+                .collect();
+            let a = cyclic[(i * 31) % cyclic.len()];
+            let arc = mirror.arc(a);
+            let mid = EventId(mirror.event_count() as u32);
+            let half = arc.delay().get() / 2.0;
+            vec![
+                GraphEdit::RemoveArc { arc: a },
+                GraphEdit::AddEvent {
+                    label: format!("s{i}"),
+                },
+                GraphEdit::AddArc {
+                    src: arc.src(),
+                    dst: mid,
+                    delay: half,
+                    marked: arc.is_marked(),
+                },
+                GraphEdit::AddArc {
+                    src: mid,
+                    dst: arc.dst(),
+                    delay: half,
+                    marked: true,
+                },
+            ]
+        } else {
+            let live: Vec<ArcId> = mirror
+                .arc_ids()
+                .filter(|&a| mirror.is_live_arc(a))
+                .collect();
+            let arc = live[(i * 37) % live.len()];
+            vec![GraphEdit::Delay {
+                arc,
+                delay: mirror.arc(arc).delay().get() + 0.25 + (i % 4) as f64 * 0.25,
+            }]
+        };
+        apply_graph_edits(&mut mirror, &batch);
+        out.push(batch);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,6 +352,27 @@ mod tests {
             ),
             200
         );
+    }
+
+    #[test]
+    fn structural_script_matches_between_session_and_scratch() {
+        let sg = tsg_gen::ring(16, 2, 1.0);
+        let script = structural_edit_script(&sg, 9);
+        assert_eq!(script.len(), 9);
+
+        let mut session =
+            tsg_core::analysis::session::AnalysisSession::open(sg.clone()).expect("cyclic");
+        let mut scratch = sg;
+        for (i, batch) in script.iter().enumerate() {
+            session
+                .edit_structure(batch)
+                .unwrap_or_else(|e| panic!("batch {i} rejected: {e}"));
+            apply_graph_edits(&mut scratch, batch);
+            let full = CycleTimeAnalysis::run(&scratch).expect("cyclic");
+            assert_analyses_identical(&full, session.analysis(), &format!("batch {i}"));
+        }
+        // Splits added one fresh event per even-indexed batch.
+        assert_eq!(scratch.event_count(), 16 + 5);
     }
 
     #[test]

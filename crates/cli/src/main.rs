@@ -18,7 +18,7 @@ use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 use tsg_core::analysis::session::AnalysisSession;
-use tsg_core::analysis::{CycleTimeAnalysis, KernelBackend};
+use tsg_core::analysis::KernelBackend;
 use tsg_serve::json::Json;
 use tsg_serve::ops::{self, AnalyzeOptions, EditSpec, SimOptions};
 use tsg_serve::ServeOptions;
@@ -36,6 +36,8 @@ USAGE:
                         [--queue {heap|calendar}]
     tsg explore FILE [--edit SRC->DST=DELAY]... [--default-delay X]
                      [--kernel {auto|portable|sse2|avx2}]
+                     [--report {text|json}]
+                     [--optimize [--moves N] [--seed S] [--objective tau]]
     tsg serve [--threads N] [--max-sessions N] [--max-pending N]
               [--default-deadline MS] [--drain-deadline MS]
               [--io-timeout MS] [--max-request-bytes N]
@@ -67,8 +69,18 @@ never a silent downgrade.
 `explore` opens an incremental analysis session on FILE and applies
 each --edit (delay reassignment of the arc SRC->DST) in order,
 re-simulating only the dirty region per edit and reporting the cycle
-time after each step — the paper's bottleneck-hunting loop. The final
-state is verified bit-identical to a from-scratch analysis.
+time after each step — the paper's bottleneck-hunting loop. With
+--optimize the session then runs the speculative design-exploration
+loop: --moves N candidate edits (delay nudges, arc rewires,
+pipeline-stage insertions; default 16) are proposed by a --seed-driven
+deterministic generator, each scored by incremental re-analysis
+against a snapshot, committed only when it strictly lowers the
+--objective (tau, the cycle time — the only objective so far), and
+rolled back otherwise, so the accepted trajectory is monotone.
+`--report json` renders the whole trajectory as one JSON object per
+line (per-edit/per-move tau, critical cycle, rows resumed) for
+downstream tooling. In every mode the final state is verified
+bit-identical to a from-scratch analysis.
 
 `serve` runs the long-running analysis service: newline-delimited JSON
 requests (analyze/sim/batch/stats/session.open/session.edit/
@@ -288,6 +300,11 @@ fn run(args: &[String]) -> Result<String, String> {
             let mut edits: Vec<EditSpec> = Vec::new();
             let mut default_delay = 1.0;
             let mut kernel = KernelBackend::Auto;
+            let mut optimize = false;
+            let mut moves: usize = 16;
+            let mut seed: u64 = 0;
+            let mut optimizer_flag: Option<&str> = None;
+            let mut report_json = false;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -307,57 +324,201 @@ fn run(args: &[String]) -> Result<String, String> {
                         i += 1;
                         kernel = parse_kernel(args, i)?;
                     }
+                    "--optimize" => optimize = true,
+                    "--moves" => {
+                        i += 1;
+                        moves = args
+                            .get(i)
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&n: &usize| n >= 1)
+                            .ok_or("--moves needs a positive integer")?;
+                        optimizer_flag.get_or_insert("--moves");
+                    }
+                    "--seed" => {
+                        i += 1;
+                        seed = args
+                            .get(i)
+                            .and_then(|v| v.parse().ok())
+                            .ok_or("--seed needs a non-negative integer")?;
+                        optimizer_flag.get_or_insert("--seed");
+                    }
+                    "--objective" => {
+                        i += 1;
+                        match args.get(i).map(String::as_str) {
+                            Some("tau") => {}
+                            Some(other) => {
+                                return Err(format!(
+                                    "unknown objective {other:?} (only \"tau\", the cycle time, \
+                                     is supported)"
+                                ))
+                            }
+                            None => return Err("--objective needs a name (tau)".to_owned()),
+                        }
+                        optimizer_flag.get_or_insert("--objective");
+                    }
+                    "--report" => {
+                        i += 1;
+                        report_json = match args.get(i).map(String::as_str) {
+                            Some("text") => false,
+                            Some("json") => true,
+                            _ => return Err("--report takes text or json".to_owned()),
+                        };
+                    }
                     other => return Err(format!("unknown flag {other:?}")),
                 }
                 i += 1;
+            }
+            if let (Some(flag), false) = (optimizer_flag, optimize) {
+                return Err(format!("{flag} requires --optimize"));
             }
             let text = std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
             let sg = ops::load(file, &text, default_delay)?;
             let mut session =
                 AnalysisSession::open_with_kernel(sg, kernel).map_err(|e| e.to_string())?;
-            let mut out = format!(
-                "opened session on {file}: {} events, {} arcs, {} border event(s)\n",
-                session.graph().event_count(),
-                session.graph().arc_count(),
-                session.analysis().border_events().len()
-            );
-            out.push_str(&ops::session_summary(&session));
-            for spec in &edits {
-                let delta = ops::apply_edits(&mut session, std::slice::from_ref(spec))?;
+            let critical_of = |session: &AnalysisSession| {
+                session
+                    .graph()
+                    .display_path(session.analysis().critical_cycle())
+                    .to_string()
+            };
+            let mut out = String::new();
+            if report_json {
+                let critical = critical_of(&session);
+                let line = Json::Obj(vec![
+                    ("opened".to_owned(), Json::from(file.as_str())),
+                    (
+                        "events".to_owned(),
+                        Json::from(session.graph().event_count() as u64),
+                    ),
+                    (
+                        "arcs".to_owned(),
+                        Json::from(session.graph().arc_count() as u64),
+                    ),
+                    (
+                        "borders".to_owned(),
+                        Json::from(session.analysis().border_events().len() as u64),
+                    ),
+                    (
+                        "tau".to_owned(),
+                        Json::Num(session.analysis().cycle_time().as_f64()),
+                    ),
+                    ("critical".to_owned(), Json::from(critical.as_str())),
+                ]);
+                let _ = writeln!(out, "{}", line.dump());
+            } else {
                 let _ = writeln!(
                     out,
-                    "edit {}->{}={}: re-simulated {} of {} border simulation(s) ({} of {} rows)",
-                    spec.src,
-                    spec.dst,
-                    spec.delay,
-                    delta.dirty,
-                    delta.borders,
-                    delta.rows,
-                    delta.rows_total
+                    "opened session on {file}: {} events, {} arcs, {} border event(s)",
+                    session.graph().event_count(),
+                    session.graph().arc_count(),
+                    session.analysis().border_events().len()
                 );
                 out.push_str(&ops::session_summary(&session));
+            }
+            for spec in &edits {
+                let delta = ops::apply_edits(&mut session, std::slice::from_ref(spec))?;
+                if report_json {
+                    let edit = format!("{}->{}={}", spec.src, spec.dst, spec.delay);
+                    let critical = critical_of(&session);
+                    let line = Json::Obj(vec![
+                        ("edit".to_owned(), Json::from(edit.as_str())),
+                        ("tau".to_owned(), Json::Num(delta.after.as_f64())),
+                        ("critical".to_owned(), Json::from(critical.as_str())),
+                        ("dirty".to_owned(), Json::from(delta.dirty as u64)),
+                        ("borders".to_owned(), Json::from(delta.borders as u64)),
+                        ("rows".to_owned(), Json::from(delta.rows as u64)),
+                        ("rows_total".to_owned(), Json::from(delta.rows_total as u64)),
+                    ]);
+                    let _ = writeln!(out, "{}", line.dump());
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "edit {}->{}={}: re-simulated {} of {} border simulation(s) ({} of {} \
+                         rows)",
+                        spec.src,
+                        spec.dst,
+                        spec.delay,
+                        delta.dirty,
+                        delta.borders,
+                        delta.rows,
+                        delta.rows_total
+                    );
+                    out.push_str(&ops::session_summary(&session));
+                }
+            }
+            let outcome = if optimize {
+                Some(ops::optimize_session(&mut session, moves, seed, None))
+            } else {
+                None
+            };
+            if let Some(outcome) = &outcome {
+                for m in &outcome.trajectory {
+                    if report_json {
+                        let line = Json::Obj(vec![
+                            ("move".to_owned(), Json::from(m.index as u64)),
+                            ("action".to_owned(), Json::from(m.action.as_str())),
+                            ("tau_before".to_owned(), Json::Num(m.tau_before)),
+                            ("tau_after".to_owned(), Json::Num(m.tau_after)),
+                            ("critical".to_owned(), Json::from(m.critical.as_str())),
+                            ("accepted".to_owned(), Json::Bool(m.accepted)),
+                            ("rows".to_owned(), Json::from(m.rows as u64)),
+                            ("rows_total".to_owned(), Json::from(m.rows_total as u64)),
+                        ]);
+                        let _ = writeln!(out, "{}", line.dump());
+                    } else {
+                        let _ = writeln!(
+                            out,
+                            "move {}: {}: tau {} -> {} ({}, {} of {} rows)",
+                            m.index,
+                            m.action,
+                            m.tau_before,
+                            m.tau_after,
+                            if m.accepted { "accepted" } else { "rejected" },
+                            m.rows,
+                            m.rows_total
+                        );
+                    }
+                }
+                if !report_json {
+                    let _ = writeln!(
+                        out,
+                        "optimized: tau {} -> {} after {} accepted of {} proposed move(s)",
+                        outcome.initial,
+                        outcome.final_tau,
+                        outcome.accepted,
+                        outcome.trajectory.len()
+                    );
+                    out.push_str(&ops::session_summary(&session));
+                }
             }
             // Trust, but verify: the final incremental state must be
             // bit-identical to a from-scratch analysis of the edited
             // graph.
-            let scratch = CycleTimeAnalysis::run(session.graph()).map_err(|e| e.to_string())?;
-            let incremental = session.analysis();
-            if incremental.cycle_time().as_f64().to_bits()
-                != scratch.cycle_time().as_f64().to_bits()
-                || incremental.critical_cycle() != scratch.critical_cycle()
-            {
-                return Err(format!(
-                    "internal error: incremental analysis diverged from scratch \
-                     ({} vs {})",
-                    incremental.cycle_time(),
-                    scratch.cycle_time()
-                ));
+            ops::verify_session(&session)?;
+            if report_json {
+                let mut fields = vec![
+                    ("verified".to_owned(), Json::Bool(true)),
+                    ("edits".to_owned(), Json::from(session.edits_applied())),
+                ];
+                if let Some(outcome) = &outcome {
+                    fields.extend([
+                        ("initial".to_owned(), Json::Num(outcome.initial)),
+                        ("final".to_owned(), Json::Num(outcome.final_tau)),
+                        ("accepted".to_owned(), Json::from(outcome.accepted as u64)),
+                        (
+                            "proposed".to_owned(),
+                            Json::from(outcome.trajectory.len() as u64),
+                        ),
+                    ]);
+                }
+                let _ = writeln!(out, "{}", Json::Obj(fields).dump());
+            } else {
+                let _ = writeln!(
+                    out,
+                    "verified: bit-identical to a from-scratch analysis after {} edit(s)",
+                    session.edits_applied()
+                );
             }
-            let _ = writeln!(
-                out,
-                "verified: bit-identical to a from-scratch analysis after {} edit(s)",
-                session.edits_applied()
-            );
             Ok(out)
         }
         Some("serve") => {
@@ -1032,6 +1193,121 @@ mod tests {
         assert!(err.contains("SRC->DST=DELAY"), "{err}");
         let err = run(&["explore".into(), p, "--edit".into(), "zz->a+=1".into()]).unwrap_err();
         assert!(err.contains("no event labelled"), "{err}");
+    }
+
+    #[test]
+    fn explore_optimize_runs_a_monotone_verified_loop() {
+        let dir = std::env::temp_dir().join("tsg-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("optimize.g");
+        std::fs::write(&path, tsg_stg::EXAMPLE_OSCILLATOR).unwrap();
+        let p = path.to_string_lossy().into_owned();
+        let argv: Vec<String> = [
+            "explore",
+            &p,
+            "--optimize",
+            "--moves",
+            "16",
+            "--seed",
+            "42",
+            "--objective",
+            "tau",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        let out = run(&argv).unwrap();
+        assert_eq!(out.matches("move ").count(), 16, "{out}");
+        assert!(out.contains("optimized: tau 10 -> "), "{out}");
+        assert!(out.contains("verified: bit-identical"), "{out}");
+        // The committed τ never climbs: accepted moves strictly improve
+        // it, rejected moves leave it where it was.
+        let mut committed = 10.0_f64;
+        for line in out.lines().filter(|l| l.starts_with("move ")) {
+            let rest = line.split("tau ").nth(1).expect("move line shape");
+            let (before, rest) = rest.split_once(" -> ").expect("move line shape");
+            let before: f64 = before.parse().unwrap();
+            let after: f64 = rest.split(' ').next().unwrap().parse().unwrap();
+            assert_eq!(before, committed, "{line}");
+            if line.contains("(accepted") {
+                assert!(after < before, "{line}");
+            } else {
+                assert_eq!(after, before, "{line}");
+            }
+            committed = after;
+        }
+        assert!(committed <= 10.0, "final tau is never worse: {out}");
+        // Same seed, same run: the whole trajectory is reproducible.
+        assert_eq!(run(&argv).unwrap(), out);
+        // Optimizer flags demand --optimize; bad operands are refused.
+        for bad in [
+            vec!["explore", &p, "--moves", "8"],
+            vec!["explore", &p, "--seed", "1"],
+            vec!["explore", &p, "--objective", "tau"],
+            vec!["explore", &p, "--optimize", "--moves", "0"],
+            vec!["explore", &p, "--optimize", "--objective", "area"],
+            vec!["explore", &p, "--report", "xml"],
+        ] {
+            let argv: Vec<String> = bad.iter().map(|s| (*s).to_owned()).collect();
+            assert!(run(&argv).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn explore_report_json_emits_trajectory_lines() {
+        let dir = std::env::temp_dir().join("tsg-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.g");
+        std::fs::write(&path, tsg_stg::EXAMPLE_OSCILLATOR).unwrap();
+        let p = path.to_string_lossy().into_owned();
+        let out = run(&[
+            "explore".into(),
+            p.clone(),
+            "--edit".into(),
+            "a+->c+=8".into(),
+            "--report".into(),
+            "json".into(),
+        ])
+        .unwrap();
+        let lines: Vec<Json> = out
+            .lines()
+            .map(|l| Json::parse(l).expect("every line is one JSON object"))
+            .collect();
+        assert_eq!(lines.len(), 3, "opened + one edit + verified: {out}");
+        assert_eq!(lines[0].get("tau"), Some(&Json::Num(10.0)));
+        assert_eq!(lines[1].get("edit"), Some(&Json::from("a+->c+=8")));
+        assert_eq!(lines[1].get("tau"), Some(&Json::Num(15.0)));
+        assert!(lines[1].get("critical").is_some(), "{out}");
+        assert!(lines[1].get("rows").is_some(), "{out}");
+        assert_eq!(lines[2].get("verified"), Some(&Json::Bool(true)));
+        assert_eq!(lines[2].get("edits"), Some(&Json::Num(1.0)));
+        // The optimizer trajectory renders as JSON too, one move a line.
+        let out = run(&[
+            "explore".into(),
+            p,
+            "--optimize".into(),
+            "--moves".into(),
+            "8".into(),
+            "--seed".into(),
+            "7".into(),
+            "--report".into(),
+            "json".into(),
+        ])
+        .unwrap();
+        let lines: Vec<Json> = out.lines().map(|l| Json::parse(l).unwrap()).collect();
+        assert_eq!(lines.len(), 10, "opened + 8 moves + summary: {out}");
+        for (i, m) in lines[1..9].iter().enumerate() {
+            assert_eq!(m.get("move"), Some(&Json::Num(i as f64)), "{out}");
+            assert!(m.get("action").is_some(), "{out}");
+            assert!(m.get("tau_after").is_some(), "{out}");
+            assert!(matches!(m.get("accepted"), Some(Json::Bool(_))), "{out}");
+        }
+        let summary = &lines[9];
+        assert_eq!(summary.get("verified"), Some(&Json::Bool(true)));
+        assert_eq!(summary.get("initial"), Some(&Json::Num(10.0)));
+        assert_eq!(summary.get("proposed"), Some(&Json::Num(8.0)));
+        let final_tau = summary.get("final").and_then(Json::as_f64).unwrap();
+        assert!(final_tau <= 10.0, "{out}");
     }
 
     #[test]

@@ -48,6 +48,38 @@
 //! session holds `b` matrices of `(b+1) × n` floats, O(b²·n) cells,
 //! instead of one.
 //!
+//! # Structural edits and the border-set remap contract
+//!
+//! [`edit_structure`](AnalysisSession::edit_structure) extends the
+//! delta contract to *structural* mutations — add/remove arc and event
+//! ([`GraphEdit`]). A batch is applied through [`SignalGraph`]'s
+//! mutation API (tombstoning ids, so every cached `ArcId`/`EventId`
+//! stays valid), re-validated as a whole, and rolled back untouched if
+//! any rule breaks. For a committed batch the session rebuilds the
+//! [`CyclicStructure`] in place on its warm scratch and then remaps the
+//! lane axis of the wide arena by one rule:
+//!
+//! * **Border set unchanged and no new events** — every surviving
+//!   border keeps its warm lane. The dirty row of each lane is the
+//!   minimum over (a) pre-apply bounds `ε_old(g → src) + marked`
+//!   computed on the *old* graph for removed and re-delayed arcs (any
+//!   influenced cell owes its change to an old-graph path through the
+//!   arc), and (b) post-apply bounds computed on the *new* graph for
+//!   added arcs (any newly-created path crosses the new arc). All lanes
+//!   resume in lockstep from the global minimum, exactly like a delay
+//!   batch; rows below it are provably bit-identical.
+//! * **Border set changed (or the event axis grew)** — the lane ↔
+//!   border mapping is stale: dead lanes are retired, new borders get
+//!   lanes, and one full warm pass reseeds the whole arena
+//!   (allocation-reusing, same buffers). The delta then reports
+//!   `rows == rows_total`.
+//!
+//! Either way the refreshed analysis is bit-identical to a from-scratch
+//! run on the mutated graph. A cancelled structural resume (or reseed)
+//! behaves like a cancelled delay resume: the graph mutation is
+//! committed, the matrix remembers its first stale row, and the next
+//! uncancelled call — even an empty batch — heals it.
+//!
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -76,6 +108,49 @@ pub struct DelayEdit {
     pub arc: ArcId,
     /// The new delay (must be finite and non-negative).
     pub delay: f64,
+}
+
+/// One edit of an [`AnalysisSession::edit_structure`] batch: a delay
+/// assignment or a structural mutation of the graph itself.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GraphEdit {
+    /// Assign `delay` to `arc` — the [`DelayEdit`] fast path; an
+    /// all-delay batch delegates to
+    /// [`edit_delays`](AnalysisSession::edit_delays) unchanged.
+    Delay {
+        /// The arc whose delay changes.
+        arc: ArcId,
+        /// The new delay (must be finite and non-negative).
+        delay: f64,
+    },
+    /// Add an arc `src → dst`, optionally carrying an initial token
+    /// (see [`SignalGraph::add_arc`]).
+    AddArc {
+        /// Source event.
+        src: EventId,
+        /// Destination event.
+        dst: EventId,
+        /// The arc's delay.
+        delay: f64,
+        /// Whether the arc carries an initial token.
+        marked: bool,
+    },
+    /// Remove (tombstone) an arc; its id slot stays valid.
+    RemoveArc {
+        /// The arc to remove.
+        arc: ArcId,
+    },
+    /// Add a repetitive event with the given label; its id is the
+    /// graph's `event_count()` at the point the edit applies.
+    AddEvent {
+        /// The new event's label (parsed leniently, like the builder).
+        label: String,
+    },
+    /// Remove an event; it must have no remaining live arcs.
+    RemoveEvent {
+        /// The event to remove.
+        event: EventId,
+    },
 }
 
 /// What one delta query changed, and how much work it saved.
@@ -119,6 +194,12 @@ pub enum EditError {
     NoSuchEvent(String),
     /// A label-addressed edit named an event pair with no connecting arc.
     NoArcBetween(String, String),
+    /// A structural edit broke a per-operation or batch-level graph
+    /// rule; the whole batch is rolled back and the session unchanged.
+    Invalid(crate::validate::ValidationError),
+    /// The batch leaves a graph with no border events (no cyclic
+    /// behavior to analyse); rolled back, session unchanged.
+    NoCyclicBehavior,
     /// The batch's re-analysis was cancelled mid-flight. Unlike the
     /// validation errors, the edits *are* applied to the graph; the
     /// cached analysis is stale until the next uncancelled
@@ -146,6 +227,10 @@ impl fmt::Display for EditError {
             }
             EditError::NoSuchEvent(l) => write!(f, "no event labelled {l:?}"),
             EditError::NoArcBetween(s, d) => write!(f, "no arc from {s:?} to {d:?}"),
+            EditError::Invalid(v) => write!(f, "invalid structural edit: {v}"),
+            EditError::NoCyclicBehavior => {
+                write!(f, "edit batch leaves no cyclic behavior to analyse")
+            }
             EditError::Cancelled {
                 kind,
                 rows_done,
@@ -424,7 +509,7 @@ impl AnalysisSession {
     ) -> Result<CycleTimeDelta, EditError> {
         // Validate the whole batch before mutating anything.
         for e in edits {
-            if e.arc.index() >= self.sg.arc_count() {
+            if !self.sg.is_live_arc(e.arc) {
                 return Err(EditError::UnknownArc(e.arc));
             }
             if Delay::new(e.delay).is_err() {
@@ -453,6 +538,236 @@ impl AnalysisSession {
             // never feed a border simulation: delay applied, zero dirty.
         }
 
+        let (dirty_count, rows) = self.resume_dirty_rows(cancel)?;
+        self.refinish();
+        self.edits += 1;
+        Ok(CycleTimeDelta {
+            before,
+            after: self.analysis.cycle_time(),
+            dirty: dirty_count,
+            borders: self.border.len(),
+            rows,
+            rows_total: self.border.len() * (self.b as usize + 1),
+        })
+    }
+
+    /// Applies one structural edit; see
+    /// [`edit_structure`](Self::edit_structure).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EditError`] when the edit breaks a graph rule; the
+    /// session is rolled back untouched.
+    pub fn edit(&mut self, edit: GraphEdit) -> Result<CycleTimeDelta, EditError> {
+        self.edit_structure(&[edit])
+    }
+
+    /// Applies a batch of structural and delay edits ([`GraphEdit`]) and
+    /// re-analyses incrementally, per the module-level border-set remap
+    /// contract: when the batch leaves the border set (and the event
+    /// axis) unchanged, every warm lane resumes from the min dirty row
+    /// like a delay batch; otherwise the lane mapping is rebuilt and one
+    /// full warm pass reseeds the arena. Either way the refreshed
+    /// [`analysis`](Self::analysis) is bit-identical to a from-scratch
+    /// [`CycleTimeAnalysis::run`] on the mutated graph.
+    ///
+    /// An all-[`Delay`](GraphEdit::Delay) batch takes the
+    /// [`edit_delays`](Self::edit_delays) fast path unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EditError`] — rolling the graph back so the session is
+    /// untouched — when any edit breaks a per-operation rule
+    /// ([`EditError::Invalid`], [`EditError::UnknownArc`],
+    /// [`EditError::InvalidDelay`]), when the mutated graph fails
+    /// whole-graph validation, or when it has no border events left
+    /// ([`EditError::NoCyclicBehavior`]).
+    pub fn edit_structure(&mut self, edits: &[GraphEdit]) -> Result<CycleTimeDelta, EditError> {
+        self.edit_structure_with_cancel(edits, None)
+    }
+
+    /// [`edit_structure`](Self::edit_structure) under a cancellation
+    /// token, polled once per recomputed matrix row. Like a cancelled
+    /// delay batch, a cancelled structural batch **is** committed to the
+    /// graph — including a border-set change, whose new lane mapping is
+    /// installed before the reseed starts — and the stale matrix heals
+    /// on the next uncancelled call.
+    ///
+    /// # Errors
+    ///
+    /// The validation errors of [`edit_structure`](Self::edit_structure)
+    /// (batch rolled back), or [`EditError::Cancelled`] (batch applied,
+    /// analysis stale until healed).
+    pub fn edit_structure_with_cancel(
+        &mut self,
+        edits: &[GraphEdit],
+        cancel: Option<&CancelToken>,
+    ) -> Result<CycleTimeDelta, EditError> {
+        if edits.iter().all(|e| matches!(e, GraphEdit::Delay { .. })) {
+            let delays: Vec<DelayEdit> = edits
+                .iter()
+                .map(|e| match *e {
+                    GraphEdit::Delay { arc, delay } => DelayEdit { arc, delay },
+                    _ => unreachable!("all-delay batch"),
+                })
+                .collect();
+            return self.edit_delays_with_cancel(&delays, cancel);
+        }
+
+        let before = self.analysis.cycle_time();
+        let old_event_count = self.sg.event_count();
+        self.restart.fill(UNREACHED);
+
+        // Pre-apply pass on the OLD graph: a cell influenced by a
+        // removal or re-delay owes its change to an old-graph path
+        // through the arc, so the old-graph token distance bounds it.
+        for e in edits {
+            let arc = match *e {
+                GraphEdit::Delay { arc, .. } | GraphEdit::RemoveArc { arc } => arc,
+                _ => continue,
+            };
+            if self.sg.is_live_arc(arc) && self.entry_of_arc[arc.index()] != NO_ENTRY {
+                self.lower_restart_rows(arc);
+            }
+        }
+
+        // Apply the batch on a transactional copy of the graph; any
+        // rejected edit (or failed whole-graph validation) drops the
+        // copy and leaves the session untouched.
+        let backup = self.sg.clone();
+        let mut added: Vec<ArcId> = Vec::new();
+        for e in edits {
+            let result = match e {
+                GraphEdit::Delay { arc, delay } => {
+                    if !self.sg.is_live_arc(*arc) {
+                        self.sg = backup;
+                        return Err(EditError::UnknownArc(*arc));
+                    }
+                    match self.sg.set_delay(*arc, *delay) {
+                        Ok(()) => Ok(()),
+                        Err(_) => {
+                            self.sg = backup;
+                            return Err(EditError::InvalidDelay {
+                                arc: *arc,
+                                delay: *delay,
+                            });
+                        }
+                    }
+                }
+                GraphEdit::AddArc {
+                    src,
+                    dst,
+                    delay,
+                    marked,
+                } => self
+                    .sg
+                    .add_arc(*src, *dst, *delay, *marked)
+                    .map(|a| added.push(a)),
+                GraphEdit::RemoveArc { arc } => self.sg.remove_arc(*arc),
+                GraphEdit::AddEvent { label } => self.sg.add_event(label).map(|_| ()),
+                GraphEdit::RemoveEvent { event } => self.sg.remove_event(*event),
+            };
+            if let Err(v) = result {
+                self.sg = backup;
+                return Err(EditError::Invalid(v));
+            }
+        }
+        if let Err(v) = self.sg.validate() {
+            self.sg = backup;
+            return Err(EditError::Invalid(v));
+        }
+        let new_border = self.sg.border_events();
+        if new_border.is_empty() {
+            self.sg = backup;
+            return Err(EditError::NoCyclicBehavior);
+        }
+
+        // Committed. Rebuild the flattened structure in place on the
+        // warm scratch, then refresh the arc→entry map for it.
+        self.structure.rebuild(&self.sg);
+        self.entry_of_arc.clear();
+        self.entry_of_arc.resize(self.sg.arc_count(), NO_ENTRY);
+        for (slot, entry) in self.structure.entries.iter().enumerate() {
+            self.entry_of_arc[entry.arc.index()] = slot as u32;
+        }
+
+        let (dirty_count, rows);
+        if new_border == self.border && self.sg.event_count() == old_event_count {
+            // Surviving borders keep their warm lanes. Post-apply pass
+            // on the NEW graph: any newly-created path crosses an added
+            // arc, so the new-graph token distances bound the additions.
+            for &a in &added {
+                if self.entry_of_arc[a.index()] != NO_ENTRY {
+                    self.lower_restart_rows(a);
+                }
+            }
+            (dirty_count, rows) = self.resume_dirty_rows(cancel)?;
+        } else {
+            // Border set changed or the event axis grew: retire dead
+            // lanes, seed lanes for the new borders, reseed in full.
+            // Lane metadata is installed BEFORE the cancellable run so a
+            // cancelled reseed heals through the standard stale path.
+            self.border = new_border;
+            self.b = self.border.len() as u32;
+            self.restart.clear();
+            self.restart.resize(self.border.len(), UNREACHED);
+            self.records.truncate(self.border.len());
+            for (k, &g) in self.border.iter().enumerate() {
+                match self.records.get_mut(k) {
+                    Some(r) => r.event = g,
+                    None => self.records.push(BorderRecord {
+                        event: g,
+                        distances: Vec::new(),
+                    }),
+                }
+            }
+            let p_total = self.b as usize + 1;
+            match self
+                .wide
+                .run_with(&self.sg, &self.structure, &self.border, self.b, cancel)
+            {
+                Ok(()) => {}
+                Err(Halt::NotRepetitive(_)) => {
+                    unreachable!("border events are repetitive by construction")
+                }
+                Err(Halt::Cancelled(c)) => {
+                    self.dirty_from = Some(c.rows_done);
+                    return Err(EditError::Cancelled {
+                        kind: c.kind,
+                        rows_done: c.rows_done,
+                        rows_total: p_total,
+                    });
+                }
+            }
+            self.dirty_from = None;
+            for k in 0..self.border.len() {
+                self.wide
+                    .distance_series_into(k, &mut self.records[k].distances);
+            }
+            (dirty_count, rows) = (self.border.len(), self.border.len() * p_total);
+        }
+
+        self.refinish();
+        self.edits += 1;
+        Ok(CycleTimeDelta {
+            before,
+            after: self.analysis.cycle_time(),
+            dirty: dirty_count,
+            borders: self.border.len(),
+            rows,
+            rows_total: self.border.len() * (self.b as usize + 1),
+        })
+    }
+
+    /// Resumes every lane whose dirty row (this batch's `restart`,
+    /// folded with a cancelled earlier pass's stale watermark) falls
+    /// within the horizon, in one lockstep pass from the global minimum,
+    /// then refreshes the dirty lanes' records. Returns
+    /// `(dirty_lanes, dirty_rows)`.
+    fn resume_dirty_rows(
+        &mut self,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(usize, usize), EditError> {
         let p_total = self.b as usize + 1;
         // Rows a cancelled earlier pass left stale dirty *every* lane
         // from that row on — fold them into this batch's per-lane r0.
@@ -495,7 +810,13 @@ impl AnalysisSession {
                 }
             }
         }
+        Ok((dirty_count, rows))
+    }
 
+    /// Re-runs winner selection and critical-cycle backtracking from the
+    /// cached records; the border set was verified non-empty by the
+    /// caller.
+    fn refinish(&mut self) {
         self.analysis = CycleTimeAnalysis::finish(
             &self.sg,
             &self.structure,
@@ -503,16 +824,29 @@ impl AnalysisSession {
             self.records.clone(),
             &mut self.finish_arena,
         )
-        .expect("edits cannot change the border set");
-        self.edits += 1;
-        Ok(CycleTimeDelta {
-            before,
-            after: self.analysis.cycle_time(),
-            dirty: dirty_count,
-            borders: self.border.len(),
-            rows,
-            rows_total: self.border.len() * p_total,
-        })
+        .expect("border set verified non-empty");
+    }
+
+    /// Captures the full warm state — graph, structure, records, wide
+    /// arena — for later [`rollback`](Self::rollback). Speculative
+    /// explorers snapshot once, try an edit batch, and roll back the
+    /// losers; a rollback restores warm-lane state too, so the next
+    /// speculation resumes incrementally instead of reopening.
+    pub fn snapshot(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            state: Box::new(self.clone()),
+        }
+    }
+
+    /// Restores the session to `snapshot`, keeping the snapshot usable
+    /// for further rollbacks (one clone per call).
+    pub fn rollback(&mut self, snapshot: &SessionSnapshot) {
+        *self = (*snapshot.state).clone();
+    }
+
+    /// Restores the session to `snapshot`, consuming it (no clone).
+    pub fn restore(&mut self, snapshot: SessionSnapshot) {
+        *self = *snapshot.state;
     }
 
     /// Lowers each border's restart row to `ε(g → src(a)) + marked(a)`,
@@ -528,6 +862,17 @@ impl AnalysisSession {
             }
         }
     }
+}
+
+/// A point-in-time copy of an [`AnalysisSession`]'s full warm state;
+/// created by [`AnalysisSession::snapshot`], applied by
+/// [`rollback`](AnalysisSession::rollback) /
+/// [`restore`](AnalysisSession::restore). The backbone of speculative
+/// design exploration: try a structural edit, keep it if the objective
+/// improves, roll back if not — without ever reopening the session.
+#[derive(Clone, Debug)]
+pub struct SessionSnapshot {
+    state: Box<AnalysisSession>,
 }
 
 /// 0-1 BFS over the cyclic structure's arc set, backwards: `dist[e]`
@@ -834,6 +1179,238 @@ mod tests {
                 rows_total: 3
             }
         );
+    }
+
+    /// Split the `src -> dst` arc into a pipeline stage through a fresh
+    /// event: the inserted `label -> dst` arc is marked, so the batch
+    /// adds a token, changes the border set, and grows the event axis —
+    /// the full reseed path.
+    fn split_batch(session: &AnalysisSession, src: &str, dst: &str, label: &str) -> Vec<GraphEdit> {
+        let arc = session.resolve_arc(src, dst).unwrap();
+        let a = session.graph().arc(arc);
+        let (s, d, delay) = (a.src(), a.dst(), a.delay().get());
+        let mid = EventId(session.graph().event_count() as u32);
+        vec![
+            GraphEdit::RemoveArc { arc },
+            GraphEdit::AddEvent {
+                label: label.to_owned(),
+            },
+            GraphEdit::AddArc {
+                src: s,
+                dst: mid,
+                delay: delay / 2.0,
+                marked: false,
+            },
+            GraphEdit::AddArc {
+                src: mid,
+                dst: d,
+                delay: delay / 2.0,
+                marked: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn structural_add_arc_resumes_warm_lanes() {
+        // An unmarked cyclic arc that leaves the border set and event
+        // axis unchanged: surviving borders keep their warm lanes and
+        // resume from the post-apply token-distance bound.
+        let mut session = AnalysisSession::open(figure2()).unwrap();
+        let ap = session.graph().event_by_label("a+").unwrap();
+        let bm = session.graph().event_by_label("b-").unwrap();
+        let delta = session
+            .edit(GraphEdit::AddArc {
+                src: ap,
+                dst: bm,
+                delay: 4.0,
+                marked: false,
+            })
+            .unwrap();
+        // Border [a+, b+] with b = 2: r0(a+) = ε(a+→a+) = 0,
+        // r0(b+) = ε(b+→a+) = 1 → (3 - 0) + (3 - 1) = 5 of 6 rows.
+        assert_eq!((delta.dirty, delta.borders), (2, 2));
+        assert_eq!((delta.rows, delta.rows_total), (5, 6));
+        assert_matches_scratch(&session, "add unmarked arc");
+    }
+
+    #[test]
+    fn structural_remove_arc_resumes_warm_lanes() {
+        let mut session = AnalysisSession::open(figure2()).unwrap();
+        let ap = session.graph().event_by_label("a+").unwrap();
+        let bm = session.graph().event_by_label("b-").unwrap();
+        session
+            .edit(GraphEdit::AddArc {
+                src: ap,
+                dst: bm,
+                delay: 9.0,
+                marked: false,
+            })
+            .unwrap();
+        let arc = session.graph().arc_between(ap, bm).unwrap();
+        // Removal bounds come from the pre-apply pass on the OLD graph.
+        let delta = session.edit(GraphEdit::RemoveArc { arc }).unwrap();
+        assert_eq!((delta.rows, delta.rows_total), (5, 6));
+        assert!(!session.graph().is_live_arc(arc));
+        assert_matches_scratch(&session, "remove arc");
+    }
+
+    #[test]
+    fn pipeline_split_reseeds_the_border_lanes() {
+        let mut session = AnalysisSession::open(figure2()).unwrap();
+        let batch = split_batch(&session, "a+", "c+", "s+");
+        let delta = session.edit_structure(&batch).unwrap();
+        // The marked s+ -> c+ arc makes c+ a border event: [a+, b+]
+        // becomes [a+, b+, c+], every lane reseeds.
+        assert_eq!(session.analysis().border_events().len(), 3);
+        assert_eq!((delta.dirty, delta.borders), (3, 3));
+        assert_eq!(delta.rows, delta.rows_total);
+        assert_eq!(session.graph().event_count(), 9);
+        assert_matches_scratch(&session, "pipeline split");
+        // The session stays incrementally editable on the new shape.
+        let arc = session.resolve_arc("s+", "c+").unwrap();
+        session.edit_delay(arc, 4.0).unwrap();
+        assert_matches_scratch(&session, "delay edit after split");
+    }
+
+    #[test]
+    fn mixed_delay_and_structural_edits_in_one_batch() {
+        let mut session = AnalysisSession::open(figure2()).unwrap();
+        let d_arc = session.resolve_arc("b+", "c+").unwrap();
+        let mut batch = split_batch(&session, "a+", "c+", "s+");
+        batch.push(GraphEdit::Delay {
+            arc: d_arc,
+            delay: 7.5,
+        });
+        session.edit_structure(&batch).unwrap();
+        assert_eq!(session.graph().arc(d_arc).delay().get(), 7.5);
+        assert_matches_scratch(&session, "mixed batch");
+    }
+
+    #[test]
+    fn all_delay_graph_edits_take_the_fast_path() {
+        let mut session = AnalysisSession::open(figure2()).unwrap();
+        let arc = session.resolve_arc("a+", "c+").unwrap();
+        let delta = session
+            .edit_structure(&[GraphEdit::Delay { arc, delay: 8.0 }])
+            .unwrap();
+        assert!(delta.rows <= delta.rows_total);
+        assert_matches_scratch(&session, "delay via edit_structure");
+    }
+
+    #[test]
+    fn invalid_structural_batch_rolls_back_untouched() {
+        let mut session = AnalysisSession::open(figure2()).unwrap();
+        let ap = session.graph().event_by_label("a+").unwrap();
+        let bm = session.graph().event_by_label("b-").unwrap();
+        let arcs_before = session.graph().arc_count();
+        // Valid prefix, then an unknown arc: whole batch rolled back.
+        let err = session
+            .edit_structure(&[
+                GraphEdit::AddArc {
+                    src: ap,
+                    dst: bm,
+                    delay: 1.0,
+                    marked: false,
+                },
+                GraphEdit::RemoveArc { arc: ArcId(10_000) },
+            ])
+            .unwrap_err();
+        assert!(matches!(err, EditError::Invalid(_)), "{err}");
+        assert_eq!(session.graph().arc_count(), arcs_before);
+        assert_eq!(session.edits_applied(), 0);
+        assert_matches_scratch(&session, "after rollback");
+
+        // A batch that passes per-op checks but fails whole-graph
+        // validation (a dangling event breaks strong connectivity).
+        let err = session
+            .edit_structure(&[GraphEdit::AddEvent {
+                label: "orphan".to_owned(),
+            }])
+            .unwrap_err();
+        assert!(matches!(err, EditError::Invalid(_)), "{err}");
+        assert_eq!(session.graph().event_count(), 8);
+        assert_matches_scratch(&session, "after validation rollback");
+    }
+
+    #[test]
+    fn emptying_the_border_is_rejected() {
+        let mut b = SignalGraph::builder();
+        let x = b.event("x+");
+        let y = b.event("x-");
+        b.arc(x, y, 1.0);
+        let marked = b.marked_arc(y, x, 1.0);
+        let sg = b.build().unwrap();
+        let mut session = AnalysisSession::open(sg).unwrap();
+        let err = session
+            .edit(GraphEdit::RemoveArc { arc: marked })
+            .unwrap_err();
+        // The batch leaves {x+, x-} with no token anywhere — no border
+        // event, nothing to analyse — so it must roll back. (It would
+        // also fail liveness validation; the border check is the
+        // structured error when validation alone cannot catch it.)
+        assert!(
+            matches!(err, EditError::Invalid(_) | EditError::NoCyclicBehavior),
+            "{err}"
+        );
+        assert!(session.graph().is_live_arc(marked));
+        assert_matches_scratch(&session, "after border-emptying rollback");
+    }
+
+    #[test]
+    fn cancelled_structural_edit_heals_bit_identically() {
+        for budget in 0..3u64 {
+            let mut session = AnalysisSession::open(figure2()).unwrap();
+            let batch = split_batch(&session, "a+", "c+", "s+");
+            let token = CancelToken::cancel_after_checks(budget);
+            let err = session
+                .edit_structure_with_cancel(&batch, Some(&token))
+                .unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    EditError::Cancelled {
+                        kind: CancelKind::Explicit,
+                        ..
+                    }
+                ),
+                "{err}"
+            );
+            assert!(session.is_stale());
+            // The structural batch is committed even though the
+            // analysis is stale...
+            assert_eq!(session.graph().event_count(), 9);
+            // ...and any later uncancelled call heals bit-identically.
+            session.edit_delays(&[]).unwrap();
+            assert!(!session.is_stale());
+            assert_matches_scratch(&session, &format!("healed split, budget {budget}"));
+        }
+    }
+
+    #[test]
+    fn snapshot_rollback_restores_warm_state() {
+        let mut session = AnalysisSession::open(figure2()).unwrap();
+        let tau0 = session.analysis().cycle_time().as_f64();
+        let snap = session.snapshot();
+
+        let batch = split_batch(&session, "a+", "c+", "s+");
+        session.edit_structure(&batch).unwrap();
+        assert_eq!(session.graph().event_count(), 9);
+
+        session.rollback(&snap);
+        assert_eq!(session.graph().event_count(), 8);
+        assert_eq!(session.analysis().cycle_time().as_f64(), tau0);
+        assert_eq!(session.edits_applied(), 0);
+        assert_matches_scratch(&session, "after rollback");
+
+        // The rolled-back session stays warm and editable.
+        let arc = session.resolve_arc("a+", "c+").unwrap();
+        session.edit_delay(arc, 6.0).unwrap();
+        assert_matches_scratch(&session, "edit after rollback");
+
+        // `restore` consumes the snapshot without cloning.
+        session.restore(snap);
+        assert_eq!(session.analysis().cycle_time().as_f64(), tau0);
+        assert_matches_scratch(&session, "after restore");
     }
 
     #[test]

@@ -60,11 +60,18 @@ impl CyclicStructure {
     /// simulations' arg-max comparison sequence) never depends on which
     /// path built the structure.
     pub fn rebuild(&mut self, sg: &SignalGraph) {
+        // Tombstoned arcs must stay out of the mask: they are detached
+        // from the adjacency lists but still enumerated by `edge_ids`,
+        // and a mask-enabled dead edge would inflate the in-degree
+        // counts into a spurious cycle.
         topo::topological_order_masked_into(
             sg.digraph(),
             |e| {
                 let arc = sg.arc(ArcId(e.0));
-                sg.is_repetitive(arc.src()) && sg.is_repetitive(arc.dst()) && !arc.is_marked()
+                arc.is_alive()
+                    && sg.is_repetitive(arc.src())
+                    && sg.is_repetitive(arc.dst())
+                    && !arc.is_marked()
             },
             &mut self.topo_scratch,
             &mut self.node_order,
@@ -83,7 +90,10 @@ impl CyclicStructure {
         self.offsets.resize(n + 1, 0);
         for a in sg.arc_ids() {
             let arc = sg.arc(a);
-            if sg.is_repetitive(arc.src()) && sg.is_repetitive(arc.dst()) && !arc.is_disengageable()
+            if arc.is_alive()
+                && sg.is_repetitive(arc.src())
+                && sg.is_repetitive(arc.dst())
+                && !arc.is_disengageable()
             {
                 self.offsets[arc.dst().index() + 1] += 1;
             }
@@ -105,7 +115,10 @@ impl CyclicStructure {
         );
         for a in sg.arc_ids() {
             let arc = sg.arc(a);
-            if sg.is_repetitive(arc.src()) && sg.is_repetitive(arc.dst()) && !arc.is_disengageable()
+            if arc.is_alive()
+                && sg.is_repetitive(arc.src())
+                && sg.is_repetitive(arc.dst())
+                && !arc.is_disengageable()
             {
                 let slot = self.cursor[arc.dst().index()];
                 self.entries[slot as usize] = InArc {

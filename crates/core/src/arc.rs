@@ -38,6 +38,7 @@ pub struct Arc {
     delay: Delay,
     marked: bool,
     disengageable: bool,
+    alive: bool,
 }
 
 impl Arc {
@@ -54,7 +55,18 @@ impl Arc {
             delay,
             marked,
             disengageable,
+            alive: true,
         }
+    }
+
+    /// Tombstones the arc: it keeps its [`ArcId`] slot (so other ids
+    /// never shift) but reads as unmarked and non-disengageable, which
+    /// keeps every consumer that filters raw arc slices by marking or
+    /// disengageability harmless without a separate liveness check.
+    pub(crate) fn kill(&mut self) {
+        self.alive = false;
+        self.marked = false;
+        self.disengageable = false;
     }
 
     /// Source event (the direct predecessor).
@@ -89,6 +101,13 @@ impl Arc {
     pub fn is_disengageable(&self) -> bool {
         self.disengageable
     }
+
+    /// `false` when the arc has been removed by
+    /// [`SignalGraph::remove_arc`](crate::SignalGraph::remove_arc) and
+    /// only its id slot remains.
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
 }
 
 #[cfg(test)]
@@ -109,6 +128,23 @@ mod tests {
         assert_eq!(a.delay().get(), 3.0);
         assert!(a.is_marked());
         assert!(!a.is_disengageable());
+    }
+
+    #[test]
+    fn killed_arc_reads_as_inert() {
+        let mut a = Arc::new(
+            EventId(0),
+            EventId(1),
+            Delay::new(3.0).unwrap(),
+            true,
+            false,
+        );
+        assert!(a.is_alive());
+        a.kill();
+        assert!(!a.is_alive());
+        assert!(!a.is_marked(), "tombstone must not look like a token");
+        assert!(!a.is_disengageable());
+        assert_eq!(a.src(), EventId(0), "endpoints survive for diagnostics");
     }
 
     #[test]

@@ -59,7 +59,11 @@ impl SignalGraphBuilder {
         if self.by_label.insert(key.clone(), id).is_some() {
             self.errors.push(ValidationError::DuplicateLabel(key));
         }
-        self.events.push(EventNode { label, kind });
+        self.events.push(EventNode {
+            label,
+            kind,
+            alive: true,
+        });
         id
     }
 
@@ -158,14 +162,19 @@ impl SignalGraphBuilder {
         for _ in 0..self.events.len() {
             graph.add_node();
         }
-        for arc in &self.arcs {
+        let mut pair: HashMap<(u32, u32), Vec<u32>> = HashMap::new();
+        for (i, arc) in self.arcs.iter().enumerate() {
             graph.add_edge(NodeId(arc.src().0), NodeId(arc.dst().0));
+            pair.entry((arc.src().0, arc.dst().0))
+                .or_default()
+                .push(i as u32);
         }
         let sg = SignalGraph {
             events: self.events,
             arcs: self.arcs,
             graph,
             by_label: self.by_label,
+            pair,
         };
         validate::validate(&sg)?;
         Ok(sg)

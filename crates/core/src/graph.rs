@@ -53,12 +53,17 @@ pub struct SignalGraph {
     pub(crate) arcs: Vec<Arc>,
     pub(crate) graph: DiGraph,
     pub(crate) by_label: HashMap<String, EventId>,
+    /// `(src, dst)` → live arc ids in insertion order; the adjacency
+    /// index behind [`arc_between`](SignalGraph::arc_between).
+    pub(crate) pair: HashMap<(u32, u32), Vec<u32>>,
 }
 
 #[derive(Clone, Debug)]
 pub(crate) struct EventNode {
     pub(crate) label: EventLabel,
     pub(crate) kind: EventKind,
+    /// `false` once removed; the slot stays so [`EventId`]s never shift.
+    pub(crate) alive: bool,
 }
 
 /// Alias emphasising that delays are part of the model, matching the
@@ -107,12 +112,39 @@ impl SignalGraph {
         self.arcs.len()
     }
 
-    /// Number of repetitive events (`|A_r|`).
+    /// Number of repetitive events (`|A_r|`); removed events do not
+    /// count.
     pub fn repetitive_count(&self) -> usize {
         self.events
             .iter()
-            .filter(|e| e.kind == EventKind::Repetitive)
+            .filter(|e| e.alive && e.kind == EventKind::Repetitive)
             .count()
+    }
+
+    /// Number of live (non-removed) events. [`event_count`]
+    /// (Self::event_count) stays the raw id bound, which removal never
+    /// shrinks.
+    pub fn live_event_count(&self) -> usize {
+        self.events.iter().filter(|e| e.alive).count()
+    }
+
+    /// Number of live (non-removed) arcs. [`arc_count`]
+    /// (Self::arc_count) stays the raw id bound, which removal never
+    /// shrinks.
+    pub fn live_arc_count(&self) -> usize {
+        self.arcs.iter().filter(|a| a.is_alive()).count()
+    }
+
+    /// `true` when `e` is an event of this graph and has not been
+    /// removed.
+    pub fn is_live_event(&self, e: EventId) -> bool {
+        self.events.get(e.index()).is_some_and(|n| n.alive)
+    }
+
+    /// `true` when `a` is an arc of this graph and has not been
+    /// removed.
+    pub fn is_live_arc(&self, a: ArcId) -> bool {
+        self.arcs.get(a.index()).is_some_and(|x| x.is_alive())
     }
 
     /// The label of `e`.
@@ -133,9 +165,12 @@ impl SignalGraph {
         self.events[e.index()].kind
     }
 
-    /// `true` when `e` is repetitive (`e ∈ A_r`).
+    /// `true` when `e` is repetitive (`e ∈ A_r`). Removed events are
+    /// never repetitive, so every border/cyclic-structure filter built
+    /// on this predicate skips tombstones automatically.
     pub fn is_repetitive(&self, e: EventId) -> bool {
-        self.kind(e) == EventKind::Repetitive
+        let node = &self.events[e.index()];
+        node.alive && node.kind == EventKind::Repetitive
     }
 
     /// Looks up an event by its display label (e.g. `"a+"`).
@@ -153,9 +188,12 @@ impl SignalGraph {
         self.events().filter(|&e| self.is_repetitive(e))
     }
 
-    /// Iterator over the prefix (initial + finite) events.
+    /// Iterator over the live prefix (initial + finite) events.
     pub fn prefix_events(&self) -> impl Iterator<Item = EventId> + '_ {
-        self.events().filter(|&e| !self.is_repetitive(e))
+        self.events().filter(|&e| {
+            let node = &self.events[e.index()];
+            node.alive && node.kind.is_prefix()
+        })
     }
 
     /// Iterator over all arc ids in insertion order.
@@ -199,11 +237,177 @@ impl SignalGraph {
         Ok(())
     }
 
-    /// The first arc (in insertion order) leading from `src` to `dst`,
-    /// if any — how label-addressed delay edits (`tsg explore --edit
-    /// "a+->b+=3"`) resolve to an [`ArcId`].
+    /// Adds a repetitive event with a fresh dense [`EventId`]
+    /// (`event_count()` before the call). Labels are parsed leniently
+    /// like the builder's: `"a+"`/`"a-"` become signal transitions,
+    /// anything else a bare label.
+    ///
+    /// Structural mutations check per-operation rules only; batch-level
+    /// invariants (liveness, strong connectivity of the cyclic part)
+    /// are re-checked by [`validate`](Self::validate), which
+    /// [`AnalysisSession::edit_structure`]
+    /// (crate::analysis::session::AnalysisSession::edit_structure)
+    /// runs after applying a whole edit batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidationError::DuplicateLabel`] when a live event
+    /// already carries the label (labels of removed events are
+    /// reusable).
+    pub fn add_event(&mut self, label: &str) -> Result<EventId, crate::validate::ValidationError> {
+        use crate::validate::ValidationError;
+        let parsed: EventLabel = label
+            .parse()
+            .unwrap_or_else(|_| EventLabel::bare(label.to_owned()));
+        let key = parsed.to_string();
+        if self.by_label.contains_key(&key) {
+            return Err(ValidationError::DuplicateLabel(key));
+        }
+        let id = EventId(self.events.len() as u32);
+        self.by_label.insert(key, id);
+        self.events.push(EventNode {
+            label: parsed,
+            kind: EventKind::Repetitive,
+            alive: true,
+        });
+        self.graph.add_node();
+        Ok(id)
+    }
+
+    /// Removes event `e`: its id slot becomes a tombstone (no other
+    /// [`EventId`] shifts) and its label is free for reuse. The event
+    /// must have no remaining live arcs — remove those first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidationError::UnknownEvent`] for an out-of-range or
+    /// already-removed id, [`ValidationError::EventHasArcs`] when live
+    /// arcs still touch `e`.
+    pub fn remove_event(&mut self, e: EventId) -> Result<(), crate::validate::ValidationError> {
+        use crate::validate::ValidationError;
+        if !self.is_live_event(e) {
+            return Err(ValidationError::UnknownEvent(e));
+        }
+        if self.in_arcs(e).next().is_some() || self.out_arcs(e).next().is_some() {
+            return Err(ValidationError::EventHasArcs(e));
+        }
+        let node = &mut self.events[e.index()];
+        node.alive = false;
+        let key = node.label.to_string();
+        if self.by_label.get(&key) == Some(&e) {
+            self.by_label.remove(&key);
+        }
+        Ok(())
+    }
+
+    /// Adds an arc `src → dst` with the given delay, optionally
+    /// carrying an initial token, and returns its fresh dense [`ArcId`]
+    /// (`arc_count()` before the call).
+    ///
+    /// Per-operation rules mirror the builder's arc rules: both
+    /// endpoints must be live, marked arcs must connect repetitive
+    /// events, and prefix↔repetitive arcs are rejected (a plain
+    /// prefix→repetitive arc would deadlock the destination's second
+    /// occurrence; repetitive→prefix is forbidden outright). Batch
+    /// invariants — every cycle still carries a token, the cyclic part
+    /// stays strongly connected — are [`validate`](Self::validate)'s
+    /// job after the whole batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidationError::UnknownEvent`] for a dead or
+    /// out-of-range endpoint, [`ValidationError::InvalidDelay`],
+    /// [`ValidationError::MarkedArcOutsideCycle`],
+    /// [`ValidationError::RepetitiveBeforePrefix`] or
+    /// [`ValidationError::PrefixArcNotDisengageable`].
+    pub fn add_arc(
+        &mut self,
+        src: EventId,
+        dst: EventId,
+        delay: f64,
+        marked: bool,
+    ) -> Result<ArcId, crate::validate::ValidationError> {
+        use crate::validate::ValidationError;
+        if !self.is_live_event(src) {
+            return Err(ValidationError::UnknownEvent(src));
+        }
+        if !self.is_live_event(dst) {
+            return Err(ValidationError::UnknownEvent(dst));
+        }
+        let delay = crate::time::Delay::new(delay)
+            .map_err(|source| ValidationError::InvalidDelay { src, dst, source })?;
+        let (src_rep, dst_rep) = (self.is_repetitive(src), self.is_repetitive(dst));
+        if src_rep && !dst_rep {
+            return Err(ValidationError::RepetitiveBeforePrefix { src, dst });
+        }
+        if marked && !(src_rep && dst_rep) {
+            return Err(ValidationError::MarkedArcOutsideCycle { src, dst });
+        }
+        if !src_rep && dst_rep {
+            return Err(ValidationError::PrefixArcNotDisengageable { src, dst });
+        }
+        let id = ArcId(self.arcs.len() as u32);
+        self.arcs.push(Arc::new(src, dst, delay, marked, false));
+        self.graph.add_edge(NodeId(src.0), NodeId(dst.0));
+        self.pair.entry((src.0, dst.0)).or_default().push(id.0);
+        Ok(id)
+    }
+
+    /// Removes arc `a`: its id slot becomes a tombstone reading as
+    /// unmarked and non-disengageable (no other [`ArcId`] shifts), it
+    /// disappears from [`in_arcs`](Self::in_arcs)/[`out_arcs`]
+    /// (Self::out_arcs)/[`arc_between`](Self::arc_between), and its
+    /// endpoint record survives for diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidationError::UnknownArc`] for an out-of-range or
+    /// already-removed id.
+    pub fn remove_arc(&mut self, a: ArcId) -> Result<(), crate::validate::ValidationError> {
+        use crate::validate::ValidationError;
+        if !self.is_live_arc(a) {
+            return Err(ValidationError::UnknownArc(a));
+        }
+        let (src, dst) = {
+            let arc = &self.arcs[a.index()];
+            (arc.src(), arc.dst())
+        };
+        self.graph.remove_edge(EdgeId(a.0));
+        if let Some(ids) = self.pair.get_mut(&(src.0, dst.0)) {
+            ids.retain(|&i| i != a.0);
+            if ids.is_empty() {
+                self.pair.remove(&(src.0, dst.0));
+            }
+        }
+        self.arcs[a.index()].kill();
+        Ok(())
+    }
+
+    /// Re-checks every structural rule the builder enforced, skipping
+    /// tombstones — the batch-level gate after a sequence of
+    /// [`add_arc`](Self::add_arc)/[`remove_arc`](Self::remove_arc)/
+    /// [`add_event`](Self::add_event)/[`remove_event`]
+    /// (Self::remove_event) mutations.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated rule; see [`crate::validate`].
+    pub fn validate(&self) -> Result<(), crate::validate::ValidationError> {
+        crate::validate::validate(self)
+    }
+
+    /// The first live arc (in insertion order) leading from `src` to
+    /// `dst`, if any — how label-addressed edits (`tsg explore --edit
+    /// "a+->b+=3"`, the serve tier's structural ops) resolve to an
+    /// [`ArcId`]. An `O(1)` lookup in the `(src, dst)` adjacency index,
+    /// maintained by [`add_arc`](Self::add_arc)/[`remove_arc`]
+    /// (Self::remove_arc) — this runs once per edit in the hot explore
+    /// loop, where the old linear scan over all arcs was measurable.
     pub fn arc_between(&self, src: EventId, dst: EventId) -> Option<ArcId> {
-        self.out_arcs(src).find(|&a| self.arc(a).dst() == dst)
+        self.pair
+            .get(&(src.0, dst.0))
+            .and_then(|v| v.first())
+            .map(|&i| ArcId(i))
     }
 
     /// Arcs entering `e`.
@@ -252,10 +456,12 @@ impl SignalGraph {
         arcs.iter().filter(|&&a| self.arc(a).is_marked()).count() as u32
     }
 
-    /// `true` when every delay is an exact integer (enables exact rational
-    /// cycle times).
+    /// `true` when every live arc's delay is an exact integer (enables
+    /// exact rational cycle times).
     pub fn has_integral_delays(&self) -> bool {
-        self.arcs.iter().all(|a| a.delay().is_integral())
+        self.arcs
+            .iter()
+            .all(|a| !a.is_alive() || a.delay().is_integral())
     }
 
     /// Projects out the cyclic part: the subgraph induced by the repetitive
@@ -274,6 +480,9 @@ impl SignalGraph {
         let mut arcs = Vec::new();
         for a in self.arc_ids() {
             let arc = self.arc(a);
+            if !arc.is_alive() {
+                continue;
+            }
             let (s, d) = (to_local[arc.src().index()], to_local[arc.dst().index()]);
             if s != usize::MAX && d != usize::MAX {
                 graph.add_edge(NodeId(s as u32), NodeId(d as u32));
@@ -366,5 +575,125 @@ mod tests {
         let sg = two_phase();
         let all: Vec<_> = sg.arc_ids().collect();
         assert_eq!(sg.display_path(&all), "x+ -1-> x- -2*-> x+");
+    }
+
+    #[test]
+    fn arc_between_uses_first_live_parallel_arc() {
+        let mut b = SignalGraph::builder();
+        let a = b.event("a");
+        let c = b.event("b");
+        let first = b.arc(a, c, 1.0);
+        let second = b.arc(a, c, 2.0);
+        b.marked_arc(c, a, 1.0);
+        let mut sg = b.build().unwrap();
+        assert_eq!(sg.arc_between(a, c), Some(first));
+        sg.remove_arc(first).unwrap();
+        assert_eq!(sg.arc_between(a, c), Some(second));
+        sg.remove_arc(second).unwrap();
+        assert_eq!(sg.arc_between(a, c), None);
+    }
+
+    #[test]
+    fn add_and_remove_arc_keep_ids_stable() {
+        let mut sg = two_phase();
+        let xp = sg.event_by_label("x+").unwrap();
+        let xm = sg.event_by_label("x-").unwrap();
+        let extra = sg.add_arc(xp, xm, 4.0, false).unwrap();
+        assert_eq!(extra, ArcId(2), "dense id continues after the builder");
+        assert_eq!(sg.arc_count(), 3);
+        assert_eq!(sg.live_arc_count(), 3);
+        sg.remove_arc(extra).unwrap();
+        assert_eq!(sg.arc_count(), 3, "tombstone keeps the slot");
+        assert_eq!(sg.live_arc_count(), 2);
+        assert!(!sg.is_live_arc(extra));
+        assert!(sg.in_arcs(xm).all(|a| a != extra));
+        assert_eq!(
+            sg.remove_arc(extra).unwrap_err(),
+            crate::validate::ValidationError::UnknownArc(extra)
+        );
+        // The original arcs and the validation invariants are intact.
+        assert!(sg.validate().is_ok());
+    }
+
+    #[test]
+    fn add_event_rules_and_label_reuse() {
+        let mut sg = two_phase();
+        assert!(matches!(
+            sg.add_event("x+"),
+            Err(crate::validate::ValidationError::DuplicateLabel(_))
+        ));
+        let y = sg.add_event("y").unwrap();
+        assert_eq!(y, EventId(2));
+        assert!(sg.is_repetitive(y));
+        // A bare new event has no arcs: removable, and its label frees up.
+        sg.remove_event(y).unwrap();
+        assert!(!sg.is_live_event(y));
+        assert!(sg.event_by_label("y").is_none());
+        assert_eq!(sg.live_event_count(), 2);
+        assert_eq!(sg.add_event("y").unwrap(), EventId(3));
+    }
+
+    #[test]
+    fn remove_event_refuses_while_arcs_remain() {
+        let mut sg = two_phase();
+        let xp = sg.event_by_label("x+").unwrap();
+        assert_eq!(
+            sg.remove_event(xp).unwrap_err(),
+            crate::validate::ValidationError::EventHasArcs(xp)
+        );
+        assert!(sg.is_live_event(xp));
+    }
+
+    #[test]
+    fn add_arc_rejects_rule_violations() {
+        use crate::validate::ValidationError;
+        let mut b = SignalGraph::builder();
+        let i = b.initial_event("go");
+        let xp = b.event("x+");
+        let xm = b.event("x-");
+        b.disengageable_arc(i, xp, 1.0);
+        b.arc(xp, xm, 1.0);
+        b.marked_arc(xm, xp, 1.0);
+        let mut sg = b.build().unwrap();
+        assert!(matches!(
+            sg.add_arc(xp, i, 1.0, false),
+            Err(ValidationError::RepetitiveBeforePrefix { .. })
+        ));
+        assert!(matches!(
+            sg.add_arc(i, xp, 1.0, false),
+            Err(ValidationError::PrefixArcNotDisengageable { .. })
+        ));
+        assert!(matches!(
+            sg.add_arc(i, xp, 1.0, true),
+            Err(ValidationError::MarkedArcOutsideCycle { .. })
+        ));
+        assert!(matches!(
+            sg.add_arc(xp, xm, -1.0, false),
+            Err(ValidationError::InvalidDelay { .. })
+        ));
+        assert!(matches!(
+            sg.add_arc(EventId(99), xm, 1.0, false),
+            Err(ValidationError::UnknownEvent(_))
+        ));
+    }
+
+    #[test]
+    fn structural_queries_skip_tombstones() {
+        let mut sg = two_phase();
+        let xp = sg.event_by_label("x+").unwrap();
+        let xm = sg.event_by_label("x-").unwrap();
+        // Insert a pipeline stage: x+ -> s -> x- replaces x+ -> x-.
+        let s = sg.add_event("s").unwrap();
+        let old = sg.arc_between(xp, xm).unwrap();
+        sg.remove_arc(old).unwrap();
+        sg.add_arc(xp, s, 0.5, false).unwrap();
+        sg.add_arc(s, xm, 0.5, true).unwrap();
+        assert!(sg.validate().is_ok());
+        assert_eq!(sg.repetitive_count(), 3);
+        // The border now includes s (head of the new marked arc).
+        assert_eq!(sg.border_events(), vec![xp, xm]);
+        let view = sg.repetitive_view();
+        assert_eq!(view.arcs.len(), 3, "dead arc excluded from the view");
+        assert!(!sg.has_integral_delays());
     }
 }

@@ -95,9 +95,13 @@ impl Marking {
             .all(|a| !self.arc_active(sg, a) || self.tokens[a.index()] > 0)
     }
 
-    /// All events enabled in this marking, in id order.
+    /// All live events enabled in this marking, in id order. (A removed
+    /// event has no live in-arcs and would otherwise look vacuously
+    /// enabled.)
     pub fn enabled_events(&self, sg: &SignalGraph) -> Vec<EventId> {
-        sg.events().filter(|&e| self.is_enabled(sg, e)).collect()
+        sg.events()
+            .filter(|&e| sg.is_live_event(e) && self.is_enabled(sg, e))
+            .collect()
     }
 
     /// Fires `e`: consumes a token from each active in-arc (spending

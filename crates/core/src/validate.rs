@@ -73,6 +73,14 @@ pub enum ValidationError {
     NotStronglyConnected,
     /// The prefix subgraph has a cycle.
     CyclicPrefix,
+    /// A structural mutation addressed an out-of-range or removed
+    /// event.
+    UnknownEvent(EventId),
+    /// A structural mutation addressed an out-of-range or removed arc.
+    UnknownArc(crate::arc::ArcId),
+    /// [`SignalGraph::remove_event`](crate::SignalGraph::remove_event)
+    /// was asked to remove an event that still has live arcs.
+    EventHasArcs(EventId),
 }
 
 impl fmt::Display for ValidationError {
@@ -120,6 +128,11 @@ impl fmt::Display for ValidationError {
                 write!(f, "repetitive subgraph is not strongly connected")
             }
             ValidationError::CyclicPrefix => write!(f, "prefix subgraph contains a cycle"),
+            ValidationError::UnknownEvent(e) => write!(f, "no live event {e}"),
+            ValidationError::UnknownArc(a) => write!(f, "no live arc {a}"),
+            ValidationError::EventHasArcs(e) => {
+                write!(f, "event {e} still has live arcs; remove them first")
+            }
         }
     }
 }
@@ -145,6 +158,9 @@ pub(crate) fn validate(sg: &SignalGraph) -> Result<(), ValidationError> {
 
 fn check_event_rules(sg: &SignalGraph) -> Result<(), ValidationError> {
     for e in sg.events() {
+        if !sg.is_live_event(e) {
+            continue;
+        }
         match sg.kind(e) {
             EventKind::Initial => {
                 if sg.in_arcs(e).next().is_some() {
@@ -165,6 +181,9 @@ fn check_event_rules(sg: &SignalGraph) -> Result<(), ValidationError> {
 fn check_arc_rules(sg: &SignalGraph) -> Result<(), ValidationError> {
     for id in sg.arc_ids() {
         let arc = sg.arc(id);
+        if !arc.is_alive() {
+            continue;
+        }
         let (src, dst) = (arc.src(), arc.dst());
         let src_rep = sg.is_repetitive(src);
         let dst_rep = sg.is_repetitive(dst);
@@ -186,9 +205,16 @@ fn check_arc_rules(sg: &SignalGraph) -> Result<(), ValidationError> {
 
 fn check_liveness(sg: &SignalGraph) -> Result<(), ValidationError> {
     // The unmarked repetitive subgraph must be acyclic.
+    // The mask must exclude tombstoned arcs: they are detached from the
+    // adjacency lists (so Kahn's algorithm would never relax them) but
+    // still enumerated by `edge_ids`, and a mask-enabled dead edge
+    // would inflate in-degrees into a spurious cycle report.
     let res = topo::topological_order_masked(sg.digraph(), |e| {
         let arc = sg.arc(crate::arc::ArcId(e.0));
-        sg.is_repetitive(arc.src()) && sg.is_repetitive(arc.dst()) && !arc.is_marked()
+        arc.is_alive()
+            && sg.is_repetitive(arc.src())
+            && sg.is_repetitive(arc.dst())
+            && !arc.is_marked()
     });
     match res {
         Ok(_) => Ok(()),
@@ -213,6 +239,9 @@ fn check_connectivity(sg: &SignalGraph) -> Result<(), ValidationError> {
     let mut has_self_arc = false;
     for id in sg.arc_ids() {
         let arc = sg.arc(id);
+        if !arc.is_alive() {
+            continue;
+        }
         let (s, d) = (map[arc.src().index()], map[arc.dst().index()]);
         if s != usize::MAX && d != usize::MAX {
             sub.add_edge(NodeId(s as u32), NodeId(d as u32));
@@ -236,7 +265,9 @@ fn check_connectivity(sg: &SignalGraph) -> Result<(), ValidationError> {
 fn check_prefix_acyclic(sg: &SignalGraph) -> Result<(), ValidationError> {
     let res = topo::topological_order_masked(sg.digraph(), |e| {
         let arc = sg.arc(crate::arc::ArcId(e.0));
-        !sg.is_repetitive(arc.src()) && !sg.is_repetitive(arc.dst())
+        // Liveness first: a dead arc is detached from adjacency, and a
+        // mask-enabled dead edge would corrupt the in-degree counts.
+        arc.is_alive() && !sg.is_repetitive(arc.src()) && !sg.is_repetitive(arc.dst())
     });
     res.map(|_| ()).map_err(|_| ValidationError::CyclicPrefix)
 }

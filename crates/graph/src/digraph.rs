@@ -116,6 +116,27 @@ impl DiGraph {
         id
     }
 
+    /// Detaches edge `e` from its endpoints' adjacency lists.
+    ///
+    /// The edge's endpoint record stays in place — [`edge_count`]
+    /// (Self::edge_count) is unchanged, [`src`](Self::src)/[`dst`]
+    /// (Self::dst) keep answering, and no other edge's id shifts — but
+    /// [`out_edges`](Self::out_edges)/[`in_edges`](Self::in_edges) no
+    /// longer report `e`. This tombstoning is what keeps dense edge ids
+    /// stable across removals; callers that iterate `edge_ids` must
+    /// track liveness themselves. Removing an already-detached edge is
+    /// a no-op. `O(degree)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is not an edge of this graph.
+    pub fn remove_edge(&mut self, e: EdgeId) {
+        assert!(e.index() < self.edges.len(), "edge out of bounds");
+        let (s, d) = self.edges[e.index()];
+        self.out[s.index()].retain(|&x| x != e);
+        self.inn[d.index()].retain(|&x| x != e);
+    }
+
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.out.len()
@@ -241,6 +262,46 @@ mod tests {
         let mut g = DiGraph::new();
         let a = g.add_node();
         g.add_edge(a, NodeId(7));
+    }
+
+    #[test]
+    fn remove_edge_detaches_but_keeps_ids_stable() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let e1 = g.add_edge(a, b);
+        let e2 = g.add_edge(a, b);
+        let e3 = g.add_edge(b, a);
+        g.remove_edge(e1);
+        assert_eq!(g.edge_count(), 3, "tombstoned edge keeps its slot");
+        assert_eq!(g.out_edges(a), &[e2]);
+        assert_eq!(g.in_edges(b), &[e2]);
+        assert_eq!(g.endpoints(e1), (a, b), "endpoint record survives");
+        assert_eq!(g.out_edges(b), &[e3]);
+        // Removing again is a no-op.
+        g.remove_edge(e1);
+        assert_eq!(g.out_edges(a), &[e2]);
+        // A later edge still gets the next dense id.
+        let e4 = g.add_edge(a, a);
+        assert_eq!(e4, EdgeId(3));
+    }
+
+    #[test]
+    fn remove_self_loop() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let e = g.add_edge(a, a);
+        g.remove_edge(e);
+        assert!(g.out_edges(a).is_empty());
+        assert!(g.in_edges(a).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn remove_edge_invalid_id_panics() {
+        let mut g = DiGraph::new();
+        g.add_node();
+        g.remove_edge(EdgeId(0));
     }
 
     #[test]

@@ -24,11 +24,13 @@ use std::fmt::{self, Write as _};
 
 use tsg_core::analysis::diagram::{self, DiagramOptions};
 use tsg_core::analysis::event_sim::{EventSimScratch, EventSimulation};
-use tsg_core::analysis::session::{AnalysisSession, DelayEdit, EditError};
+use tsg_core::analysis::session::{
+    AnalysisSession, CycleTimeDelta, DelayEdit, EditError, GraphEdit,
+};
 use tsg_core::analysis::sim::TimingSimulation;
 use tsg_core::analysis::wide::{AnalysisArena, KernelBackend};
 use tsg_core::analysis::{AnalysisError, CycleTimeAnalysis};
-use tsg_core::SignalGraph;
+use tsg_core::{ArcId, EventId, SignalGraph};
 use tsg_sim::{BatchRunner, CancelKind, CancelToken, QueueKind, TraceRecorder};
 
 /// Error of a workspace operation: either a plain user-facing message
@@ -139,6 +141,179 @@ impl EditSpec {
             delay: delay.parse().map_err(|_| err())?,
         })
     }
+}
+
+/// One label-addressed operation of a `session.edit` batch: a delay
+/// assignment (the untyped legacy `{src, dst, delay}` form) or a
+/// structural mutation (`{"op": ...}` objects). Labels of events a
+/// preceding [`AddEvent`](EditOp::AddEvent) in the *same* batch
+/// introduces resolve too, so one batch can splice a pipeline stage.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EditOp {
+    /// Set the delay of the arc `src -> dst`.
+    Delay(EditSpec),
+    /// Add an arc between the named events.
+    AddArc {
+        /// Source event label.
+        src: String,
+        /// Destination event label.
+        dst: String,
+        /// The new arc's delay.
+        delay: f64,
+        /// Whether the arc carries an initial token.
+        marked: bool,
+    },
+    /// Remove the (first) arc between the named events.
+    RemoveArc {
+        /// Source event label.
+        src: String,
+        /// Destination event label.
+        dst: String,
+    },
+    /// Add a repetitive event with the given label.
+    AddEvent {
+        /// The new event's label.
+        label: String,
+    },
+    /// Remove the named event (it must have no live arcs left).
+    RemoveEvent {
+        /// The event's label.
+        label: String,
+    },
+}
+
+/// Resolves a batch of label-addressed [`EditOp`]s against `session`'s
+/// graph — labels introduced by earlier `AddEvent` ops in the batch
+/// resolve to their yet-to-exist ids, which [`SignalGraph::add_event`]
+/// assigns densely — and applies them through
+/// [`AnalysisSession::edit_structure`] as one transaction.
+///
+/// # Errors
+///
+/// Returns unresolvable labels and rejected batches as
+/// [`OpError::Msg`] (the session is unchanged), or
+/// [`OpError::Cancelled`] when `cancel` fires mid-rerun (batch applied,
+/// analysis stale until the next uncancelled edit heals it).
+pub fn apply_struct_edits_with_cancel(
+    session: &mut AnalysisSession,
+    ops: &[EditOp],
+    cancel: Option<&CancelToken>,
+) -> Result<CycleTimeDelta, OpError> {
+    if ops.iter().all(|op| matches!(op, EditOp::Delay(_))) {
+        let specs: Vec<EditSpec> = ops
+            .iter()
+            .map(|op| match op {
+                EditOp::Delay(s) => s.clone(),
+                _ => unreachable!("all-delay batch"),
+            })
+            .collect();
+        return apply_edits_with_cancel(session, &specs, cancel);
+    }
+    // Events an AddEvent earlier in the batch introduces get the next
+    // dense ids, so later ops can address them by label already.
+    let mut pending: HashMap<&str, EventId> = HashMap::new();
+    let mut next_id = session.graph().event_count() as u32;
+    let mut edits: Vec<GraphEdit> = Vec::with_capacity(ops.len());
+    for op in ops {
+        let lookup = |label: &str| {
+            session
+                .graph()
+                .event_by_label(label)
+                .or_else(|| pending.get(label).copied())
+                .ok_or_else(|| EditError::NoSuchEvent(label.to_owned()).to_string())
+        };
+        match op {
+            EditOp::Delay(spec) => {
+                let arc = session
+                    .resolve_arc(&spec.src, &spec.dst)
+                    .map_err(|e| e.to_string())?;
+                edits.push(GraphEdit::Delay {
+                    arc,
+                    delay: spec.delay,
+                });
+            }
+            EditOp::AddArc {
+                src,
+                dst,
+                delay,
+                marked,
+            } => {
+                let (s, d) = (lookup(src)?, lookup(dst)?);
+                edits.push(GraphEdit::AddArc {
+                    src: s,
+                    dst: d,
+                    delay: *delay,
+                    marked: *marked,
+                });
+            }
+            EditOp::RemoveArc { src, dst } => {
+                let arc = session.resolve_arc(src, dst).map_err(|e| e.to_string())?;
+                edits.push(GraphEdit::RemoveArc { arc });
+            }
+            EditOp::AddEvent { label } => {
+                pending.insert(label, EventId(next_id));
+                next_id += 1;
+                edits.push(GraphEdit::AddEvent {
+                    label: label.clone(),
+                });
+            }
+            EditOp::RemoveEvent { label } => {
+                let event = lookup(label)?;
+                edits.push(GraphEdit::RemoveEvent { event });
+            }
+        }
+    }
+    session
+        .edit_structure_with_cancel(&edits, cancel)
+        .map_err(|e| match e {
+            EditError::Cancelled {
+                kind,
+                rows_done,
+                rows_total,
+            } => OpError::Cancelled {
+                kind,
+                done: rows_done as u64,
+                total: rows_total as u64,
+            },
+            other => OpError::Msg(other.to_string()),
+        })
+}
+
+/// [`apply_struct_edits_with_cancel`] without a token, errors rendered
+/// as plain messages — what `tsg explore` calls.
+///
+/// # Errors
+///
+/// Returns unresolvable labels and rejected batches as user-facing
+/// messages; the session is unchanged then.
+pub fn apply_struct_edits(
+    session: &mut AnalysisSession,
+    ops: &[EditOp],
+) -> Result<CycleTimeDelta, String> {
+    apply_struct_edits_with_cancel(session, ops, None).map_err(|e| e.to_string())
+}
+
+/// Checks that `session`'s incremental analysis is bit-identical to a
+/// from-scratch run on its current graph — the self-verification both
+/// `tsg explore` and `session.explore` end with.
+///
+/// # Errors
+///
+/// Returns a user-facing divergence message (an internal-error class
+/// that must never happen).
+pub fn verify_session(session: &AnalysisSession) -> Result<(), String> {
+    let scratch = CycleTimeAnalysis::run(session.graph()).map_err(|e| e.to_string())?;
+    let incremental = session.analysis();
+    if incremental.cycle_time().as_f64().to_bits() != scratch.cycle_time().as_f64().to_bits()
+        || incremental.critical_cycle() != scratch.critical_cycle()
+    {
+        return Err(format!(
+            "internal error: incremental analysis diverged from scratch ({} vs {})",
+            incremental.cycle_time(),
+            scratch.cycle_time()
+        ));
+    }
+    Ok(())
 }
 
 /// Flags of an `analyze` invocation (CLI flags or request fields).
@@ -463,6 +638,228 @@ pub fn apply_edits_with_cancel(
         })
 }
 
+/// One proposed move of [`optimize_session`]'s trajectory — what the
+/// explorer tried, what it did to the objective, and how much
+/// re-simulation scoring it cost.
+#[derive(Clone, Debug)]
+pub struct MoveRecord {
+    /// Move number, 0-based.
+    pub index: usize,
+    /// Human-readable description of the proposed edit batch.
+    pub action: String,
+    /// Objective (cycle time) before the move.
+    pub tau_before: f64,
+    /// Objective after the move — equals `tau_before` when rejected
+    /// (the session was rolled back).
+    pub tau_after: f64,
+    /// The critical cycle after the move, rendered as a path.
+    pub critical: String,
+    /// Whether the move improved the objective and was kept.
+    pub accepted: bool,
+    /// Matrix rows the scoring re-analysis recomputed (0 when the
+    /// proposal was rejected by validation before any scoring).
+    pub rows: usize,
+    /// Rows a from-scratch scoring run would compute.
+    pub rows_total: usize,
+}
+
+/// Result of [`optimize_session`]: the accepted-move trajectory and the
+/// objective's endpoints.
+#[derive(Clone, Debug)]
+pub struct OptimizeOutcome {
+    /// Cycle time when the loop started.
+    pub initial: f64,
+    /// Cycle time of the committed final state (≤ `initial`: only
+    /// strict improvements are kept).
+    pub final_tau: f64,
+    /// Moves that improved the objective and were committed.
+    pub accepted: usize,
+    /// Every proposed move, in order.
+    pub trajectory: Vec<MoveRecord>,
+}
+
+/// SplitMix64 — the deterministic inline generator seeding the move
+/// proposals, so `--seed` reproduces a whole optimization run exactly.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// The live arcs of the cyclic part — the only arcs whose mutation can
+/// move the cycle time, hence the move generator's candidate pool.
+fn cyclic_arcs(sg: &SignalGraph) -> Vec<ArcId> {
+    sg.arc_ids()
+        .filter(|&a| {
+            let arc = sg.arc(a);
+            sg.is_live_arc(a)
+                && !arc.is_disengageable()
+                && sg.is_repetitive(arc.src())
+                && sg.is_repetitive(arc.dst())
+        })
+        .collect()
+}
+
+/// Proposes one speculative edit batch: a delay nudge, an arc rewire,
+/// or a pipeline-stage insertion. Proposals may be structurally invalid
+/// (rewires especially) — the optimizer scores through the session's
+/// transactional edit API, so a rejected batch just counts as a
+/// rejected move.
+fn propose_move(
+    session: &AnalysisSession,
+    rng: &mut SplitMix64,
+    fresh: &mut u64,
+) -> (String, Vec<GraphEdit>) {
+    let sg = session.graph();
+    let arcs = cyclic_arcs(sg);
+    let a = arcs[rng.below(arcs.len() as u64) as usize];
+    let arc = sg.arc(a);
+    let (src, dst) = (arc.src(), arc.dst());
+    let name = |e: EventId| sg.label(e).to_string();
+    match rng.below(3) {
+        0 => {
+            // Delay nudge: speed the arc up by a quarter.
+            let delay = arc.delay().get() * 0.75;
+            (
+                format!("nudge {}->{} to {delay}", name(src), name(dst)),
+                vec![GraphEdit::Delay { arc: a, delay }],
+            )
+        }
+        1 => {
+            // Pipeline-stage insertion: split the arc through a fresh
+            // event and mark the second half — one more token on the
+            // cycle, the classical throughput move.
+            let label = loop {
+                *fresh += 1;
+                let candidate = format!("p{fresh}");
+                if sg.event_by_label(&candidate).is_none() {
+                    break candidate;
+                }
+            };
+            let mid = EventId(sg.event_count() as u32);
+            let half = arc.delay().get() / 2.0;
+            (
+                format!("split {}->{} through {label}", name(src), name(dst)),
+                vec![
+                    GraphEdit::RemoveArc { arc: a },
+                    GraphEdit::AddEvent {
+                        label: label.clone(),
+                    },
+                    GraphEdit::AddArc {
+                        src,
+                        dst: mid,
+                        delay: half,
+                        marked: arc.is_marked(),
+                    },
+                    GraphEdit::AddArc {
+                        src: mid,
+                        dst,
+                        delay: half,
+                        marked: true,
+                    },
+                ],
+            )
+        }
+        _ => {
+            // Arc rewire: retarget the arc at another repetitive event.
+            // Often invalid (liveness/connectivity) — rejection-tolerant
+            // by design.
+            let events: Vec<EventId> = sg.events().filter(|&e| sg.is_repetitive(e)).collect();
+            let new_dst = events[rng.below(events.len() as u64) as usize];
+            (
+                format!(
+                    "rewire {}->{} to {}->{}",
+                    name(src),
+                    name(dst),
+                    name(src),
+                    name(new_dst)
+                ),
+                vec![
+                    GraphEdit::RemoveArc { arc: a },
+                    GraphEdit::AddArc {
+                        src,
+                        dst: new_dst,
+                        delay: arc.delay().get(),
+                        marked: arc.is_marked(),
+                    },
+                ],
+            )
+        }
+    }
+}
+
+/// The speculative design-exploration loop behind `tsg explore
+/// --optimize` and `session.explore`: propose `moves` random candidate
+/// edits (delay nudges, arc rewires, pipeline-stage insertions), score
+/// each by incremental re-analysis against a snapshot, commit the ones
+/// that strictly lower the cycle time and roll the rest back. The
+/// accepted-τ trajectory is monotone non-increasing by construction,
+/// so `final_tau <= initial` always holds.
+///
+/// `cancel` is polled between moves: a fired token stops proposing and
+/// returns the trajectory so far — the session is never left mid-move,
+/// so no healing is needed.
+pub fn optimize_session(
+    session: &mut AnalysisSession,
+    moves: usize,
+    seed: u64,
+    cancel: Option<&CancelToken>,
+) -> OptimizeOutcome {
+    let mut rng = SplitMix64(seed ^ 0xD6E8_FEB8_6659_FD93);
+    let initial = session.analysis().cycle_time().as_f64();
+    let mut trajectory = Vec::with_capacity(moves);
+    let mut accepted = 0usize;
+    let mut fresh = 0u64;
+    for index in 0..moves {
+        if cancel.is_some_and(|t| t.check().is_some()) {
+            break;
+        }
+        let tau_before = session.analysis().cycle_time().as_f64();
+        let (action, batch) = propose_move(session, &mut rng, &mut fresh);
+        let snap = session.snapshot();
+        // A rejected batch rolls itself back; a scored one that does
+        // not improve is rolled back to the snapshot. Only strict
+        // improvements survive, so the committed τ never climbs.
+        let scored = session.edit_structure(&batch).ok();
+        let improved = scored.is_some_and(|d| d.after.as_f64() < tau_before);
+        let (rows, rows_total) = scored.map_or((0, 0), |d| (d.rows, d.rows_total));
+        if improved {
+            accepted += 1;
+        } else if scored.is_some() {
+            session.restore(snap);
+        }
+        trajectory.push(MoveRecord {
+            index,
+            action,
+            tau_before,
+            tau_after: session.analysis().cycle_time().as_f64(),
+            critical: session
+                .graph()
+                .display_path(session.analysis().critical_cycle())
+                .to_string(),
+            accepted: improved,
+            rows,
+            rows_total,
+        });
+    }
+    OptimizeOutcome {
+        initial,
+        final_tau: session.analysis().cycle_time().as_f64(),
+        accepted,
+        trajectory,
+    }
+}
+
 /// Index of a [`QueueKind`] into the per-kind warm-state slots.
 fn kind_slot(kind: QueueKind) -> usize {
     match kind {
@@ -663,12 +1060,14 @@ impl Workspace {
         Ok(out)
     }
 
-    /// `session.edit`: applies one batch of label-addressed delay edits,
-    /// re-simulating only the dirty region.
+    /// `session.edit`: applies one batch of label-addressed delay and
+    /// structural edits as one transaction, re-simulating only the
+    /// dirty region (or reseeding the warm lanes when the batch changes
+    /// the border set).
     ///
     /// # Errors
     ///
-    /// Returns unknown-session, unresolvable-label and invalid-delay
+    /// Returns unknown-session, unresolvable-label and rejected-batch
     /// failures as [`OpError::Msg`] (the session survives them
     /// unchanged), or [`OpError::Cancelled`] when `cancel` fires
     /// mid-rerun — the edits *are* applied then, the session stays open
@@ -678,20 +1077,72 @@ impl Workspace {
         &mut self,
         conn: u64,
         name: &str,
-        edits: &[EditSpec],
+        edits: &[EditOp],
         cancel: Option<&CancelToken>,
     ) -> Result<String, OpError> {
         let session = self
             .sessions
             .get_mut(&session_key(conn, name))
             .ok_or_else(|| format!("no open session {name:?}"))?;
-        let delta = apply_edits_with_cancel(session, edits, cancel)?;
+        let delta = apply_struct_edits_with_cancel(session, edits, cancel)?;
         let mut out = session_summary(session);
         let _ = writeln!(
             out,
             "re-simulated {} of {} border simulation(s) ({} of {} rows)",
             delta.dirty, delta.borders, delta.rows, delta.rows_total
         );
+        Ok(out)
+    }
+
+    /// `session.explore`: runs the speculative optimization loop
+    /// ([`optimize_session`]) on an open session, committing the moves
+    /// that lower the cycle time, and self-verifies the final state
+    /// against a from-scratch analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns an unknown-session message. A fired `cancel` merely
+    /// stops proposing further moves — the moves already committed
+    /// stay, the session is consistent, and the response reports the
+    /// partial trajectory.
+    pub fn session_explore(
+        &mut self,
+        conn: u64,
+        name: &str,
+        moves: usize,
+        seed: u64,
+        cancel: Option<&CancelToken>,
+    ) -> Result<String, OpError> {
+        let session = self
+            .sessions
+            .get_mut(&session_key(conn, name))
+            .ok_or_else(|| format!("no open session {name:?}"))?;
+        let outcome = optimize_session(session, moves, seed, cancel);
+        let mut out = String::new();
+        for m in &outcome.trajectory {
+            let _ = writeln!(
+                out,
+                "move {}: {}: tau {} -> {} ({}, {} of {} rows)",
+                m.index,
+                m.action,
+                m.tau_before,
+                m.tau_after,
+                if m.accepted { "accepted" } else { "rejected" },
+                m.rows,
+                m.rows_total
+            );
+        }
+        let _ = writeln!(
+            out,
+            "optimized: tau {} -> {} after {} accepted of {} proposed move(s)",
+            outcome.initial,
+            outcome.final_tau,
+            outcome.accepted,
+            outcome.trajectory.len()
+        );
+        out.push_str(&session_summary(session));
+        verify_session(session)?;
+        let _ = writeln!(out, "verified: bit-identical to a from-scratch analysis");
         Ok(out)
     }
 

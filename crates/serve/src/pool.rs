@@ -844,6 +844,13 @@ fn handle(
         Command::SessionEdit { session, edits } => respond(isolate(|| {
             workspace.session_edit(conn, &session, &edits, cancel)
         })),
+        Command::SessionExplore {
+            session,
+            moves,
+            seed,
+        } => respond(isolate(|| {
+            workspace.session_explore(conn, &session, moves, seed, cancel)
+        })),
         Command::SessionClose { session } => {
             let result = isolate(|| workspace.session_close(conn, &session));
             if result.is_ok() {

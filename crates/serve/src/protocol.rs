@@ -13,7 +13,14 @@
 //! {"id": 6, "cmd": "session.open", "session": "s1", "path": "spec.g"}
 //! {"id": 7, "cmd": "session.edit", "session": "s1",
 //!  "edits": [{"src": "a+", "dst": "c+", "delay": 5}]}
-//! {"id": 8, "cmd": "session.close", "session": "s1"}
+//! {"id": 8, "cmd": "session.edit", "session": "s1",
+//!  "edits": [{"op": "add_event", "label": "s+"},
+//!            {"op": "add_arc", "src": "a+", "dst": "s+", "delay": 1},
+//!            {"op": "add_arc", "src": "s+", "dst": "c+", "delay": 1,
+//!             "marked": true},
+//!            {"op": "remove_arc", "src": "a+", "dst": "c+"}]}
+//! {"id": 9, "cmd": "session.explore", "session": "s1", "moves": 16}
+//! {"id": 10, "cmd": "session.close", "session": "s1"}
 //! ```
 //!
 //! The `session.*` commands drive an incremental
@@ -23,6 +30,17 @@
 //! requests naming one session are *pinned to one worker* (and sessions
 //! are scoped to their connection), so edits execute in request order
 //! against warm state.
+//!
+//! An `edits` entry is either the bare `{src, dst, delay}` delay form
+//! or a structural `{"op": ...}` object — `add_arc` (optionally
+//! `"marked": true`), `remove_arc`, `add_event`, `remove_event`,
+//! `delay` — applied as one transaction: a batch that breaks a graph
+//! rule is rolled back whole and answered with a plain error, the
+//! session untouched. `session.explore` runs the speculative
+//! optimization loop on the open session: `moves` proposals (default
+//! 16), each scored by incremental re-analysis and committed only when
+//! it lowers the cycle time; `seed` (default 0) makes the run
+//! reproducible.
 //!
 //! Responses always carry `id` and `ok`:
 //!
@@ -54,7 +72,7 @@
 use std::time::Duration;
 
 use crate::json::Json;
-use crate::ops::{AnalyzeOptions, EditSpec, SimOptions, Source};
+use crate::ops::{AnalyzeOptions, EditOp, EditSpec, SimOptions, Source};
 use crate::pool::ServeStats;
 use tsg_core::analysis::wide::KernelBackend;
 use tsg_sim::QueueKind;
@@ -95,12 +113,22 @@ pub enum Command {
         /// Delay assigned to arcs without a `.delay` annotation.
         default_delay: f64,
     },
-    /// Apply a batch of delay edits to an open session.
+    /// Apply a batch of delay and structural edits to an open session,
+    /// as one transaction.
     SessionEdit {
         /// The session name.
         session: String,
-        /// Label-addressed delay edits, applied as one batch.
-        edits: Vec<EditSpec>,
+        /// Label-addressed edits, applied as one batch.
+        edits: Vec<EditOp>,
+    },
+    /// Run the speculative optimization loop on an open session.
+    SessionExplore {
+        /// The session name.
+        session: String,
+        /// Candidate moves to propose.
+        moves: usize,
+        /// Seed of the deterministic move generator.
+        seed: u64,
     },
     /// Close a session, discarding its warm state.
     SessionClose {
@@ -116,6 +144,7 @@ impl Command {
         match self {
             Command::SessionOpen { session, .. }
             | Command::SessionEdit { session, .. }
+            | Command::SessionExplore { session, .. }
             | Command::SessionClose { session } => Some(session),
             _ => None,
         }
@@ -204,6 +233,7 @@ pub fn parse_request(line: &str) -> Result<Request, (Json, String)> {
             "deadline_ms",
         ],
         "session.edit" => &["id", "cmd", "session", "edits", "deadline_ms"],
+        "session.explore" => &["id", "cmd", "session", "moves", "seed", "deadline_ms"],
         "session.close" => &["id", "cmd", "session", "deadline_ms"],
         other => return Err(fail(format!("unknown cmd {other:?}"))),
     };
@@ -263,6 +293,25 @@ pub fn parse_request(line: &str) -> Result<Request, (Json, String)> {
             session: session_of(&doc).map_err(&fail)?,
             edits: edits_of(&doc).map_err(&fail)?,
         },
+        "session.explore" => Command::SessionExplore {
+            session: session_of(&doc).map_err(&fail)?,
+            moves: match doc.get("moves") {
+                None => 16,
+                Some(v) => v
+                    .as_f64()
+                    .filter(|m| m.fract() == 0.0 && *m >= 1.0 && *m <= 100_000.0)
+                    .map(|m| m as usize)
+                    .ok_or_else(|| fail("\"moves\" must be a positive integer".to_owned()))?,
+            },
+            seed: match doc.get("seed") {
+                None => 0,
+                Some(v) => v
+                    .as_f64()
+                    .filter(|s| s.fract() == 0.0 && *s >= 0.0 && *s <= u32::MAX as f64)
+                    .map(|s| s as u64)
+                    .ok_or_else(|| fail("\"seed\" must be a non-negative integer".to_owned()))?,
+            },
+        },
         "session.close" => Command::SessionClose {
             session: session_of(&doc).map_err(&fail)?,
         },
@@ -294,8 +343,9 @@ fn session_of(doc: &Json) -> Result<String, String> {
         .ok_or("\"session\" must be a non-empty string".to_owned())
 }
 
-/// Extracts the `edits` array of `{src, dst, delay}` objects.
-fn edits_of(doc: &Json) -> Result<Vec<EditSpec>, String> {
+/// Extracts the `edits` array: bare `{src, dst, delay}` delay objects
+/// or structural `{"op": ...}` objects.
+fn edits_of(doc: &Json) -> Result<Vec<EditOp>, String> {
     let items = doc
         .get("edits")
         .ok_or("session.edit needs an \"edits\" array".to_owned())?
@@ -304,34 +354,88 @@ fn edits_of(doc: &Json) -> Result<Vec<EditSpec>, String> {
     if items.is_empty() {
         return Err("\"edits\" must not be empty".to_owned());
     }
-    items
-        .iter()
-        .map(|item| {
-            let fields = item
-                .entries()
-                .ok_or_else(|| "each edit must be a {src, dst, delay} object".to_owned())?;
-            for (key, _) in fields {
-                if !matches!(key.as_str(), "src" | "dst" | "delay") {
-                    return Err(format!("unknown edit field {key:?}"));
-                }
+    items.iter().map(edit_op_of).collect()
+}
+
+/// Parses one `edits` entry.
+fn edit_op_of(item: &Json) -> Result<EditOp, String> {
+    let fields = item
+        .entries()
+        .ok_or_else(|| "each edit must be a JSON object".to_owned())?;
+    let label = |key: &str| {
+        item.get(key)
+            .and_then(Json::as_str)
+            .filter(|s| !s.is_empty())
+            .map(str::to_owned)
+            .ok_or(format!("edit {key:?} must be a non-empty event label"))
+    };
+    let delay = || {
+        item.get("delay")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| "edit \"delay\" must be a number".to_owned())
+    };
+    let check = |known: &[&str]| {
+        for (key, _) in fields {
+            if !known.contains(&key.as_str()) {
+                return Err(format!("unknown edit field {key:?}"));
             }
-            let label = |key: &str| {
-                item.get(key)
-                    .and_then(Json::as_str)
-                    .filter(|s| !s.is_empty())
-                    .map(str::to_owned)
-                    .ok_or(format!("edit {key:?} must be a non-empty event label"))
-            };
-            Ok(EditSpec {
+        }
+        Ok(())
+    };
+    let Some(op) = item.get("op") else {
+        // The legacy bare delay form.
+        check(&["src", "dst", "delay"])?;
+        return Ok(EditOp::Delay(EditSpec {
+            src: label("src")?,
+            dst: label("dst")?,
+            delay: delay()?,
+        }));
+    };
+    match op.as_str().ok_or("edit \"op\" must be a string")? {
+        "delay" => {
+            check(&["op", "src", "dst", "delay"])?;
+            Ok(EditOp::Delay(EditSpec {
                 src: label("src")?,
                 dst: label("dst")?,
-                delay: item
-                    .get("delay")
-                    .and_then(Json::as_f64)
-                    .ok_or_else(|| "edit \"delay\" must be a number".to_owned())?,
+                delay: delay()?,
+            }))
+        }
+        "add_arc" => {
+            check(&["op", "src", "dst", "delay", "marked"])?;
+            Ok(EditOp::AddArc {
+                src: label("src")?,
+                dst: label("dst")?,
+                delay: delay()?,
+                marked: match item.get("marked") {
+                    None => false,
+                    Some(v) => v.as_bool().ok_or("edit \"marked\" must be a boolean")?,
+                },
             })
-        })
-        .collect()
+        }
+        "remove_arc" => {
+            check(&["op", "src", "dst"])?;
+            Ok(EditOp::RemoveArc {
+                src: label("src")?,
+                dst: label("dst")?,
+            })
+        }
+        "add_event" => {
+            check(&["op", "label"])?;
+            Ok(EditOp::AddEvent {
+                label: label("label")?,
+            })
+        }
+        "remove_event" => {
+            check(&["op", "label"])?;
+            Ok(EditOp::RemoveEvent {
+                label: label("label")?,
+            })
+        }
+        other => Err(format!(
+            "unknown edit op {other:?} (expected delay, add_arc, remove_arc, add_event or \
+             remove_event)"
+        )),
+    }
 }
 
 /// Extracts the `path` / `text`(+`name`) source fields.
@@ -648,6 +752,95 @@ mod tests {
             (r#"{"cmd":"stats","path":"a.g"}"#, "unknown field"),
         ] {
             let (_, e) = parse_request(line).unwrap_err();
+            assert!(e.contains(needle), "{line}: {e}");
+        }
+    }
+
+    #[test]
+    fn parses_structural_edit_ops() {
+        let line = concat!(
+            r#"{"cmd":"session.edit","session":"s","edits":["#,
+            r#"{"src":"a+","dst":"c+","delay":5},"#,
+            r#"{"op":"delay","src":"a+","dst":"c+","delay":6},"#,
+            r#"{"op":"add_event","label":"s+"},"#,
+            r#"{"op":"add_arc","src":"a+","dst":"s+","delay":1},"#,
+            r#"{"op":"add_arc","src":"s+","dst":"c+","delay":1,"marked":true},"#,
+            r#"{"op":"remove_arc","src":"a+","dst":"c+"},"#,
+            r#"{"op":"remove_event","label":"s+"}]}"#
+        );
+        let r = parse_request(line).unwrap();
+        let Command::SessionEdit { session, edits } = r.cmd else {
+            panic!("wrong cmd");
+        };
+        assert_eq!(session, "s");
+        assert_eq!(edits.len(), 7);
+        // The bare legacy form and the explicit "op":"delay" form parse
+        // to the same variant.
+        assert!(matches!(&edits[0], EditOp::Delay(s) if s.delay == 5.0));
+        assert!(matches!(&edits[1], EditOp::Delay(s) if s.delay == 6.0));
+        assert!(matches!(&edits[2], EditOp::AddEvent { label } if label == "s+"));
+        assert!(matches!(&edits[3], EditOp::AddArc { marked: false, .. }));
+        assert!(matches!(&edits[4], EditOp::AddArc { marked: true, .. }));
+        assert!(matches!(&edits[5], EditOp::RemoveArc { src, dst } if src == "a+" && dst == "c+"));
+        assert!(matches!(&edits[6], EditOp::RemoveEvent { label } if label == "s+"));
+    }
+
+    #[test]
+    fn rejects_malformed_edit_ops() {
+        for (edit, needle) in [
+            (r#"{"op":"frob"}"#, "unknown edit op"),
+            (r#"{"op":"delay","src":"a+","dst":"c+"}"#, "\"delay\""),
+            (r#"{"op":"add_arc","src":"a+","delay":1}"#, "\"dst\""),
+            (
+                r#"{"op":"add_arc","src":"a+","dst":"b+","delay":1,"marked":3}"#,
+                "boolean",
+            ),
+            (r#"{"op":"add_event"}"#, "\"label\""),
+            (r#"{"op":"add_event","label":""}"#, "non-empty"),
+            (
+                r#"{"op":"remove_arc","src":"a+","dst":"b+","delay":1}"#,
+                "unknown edit field",
+            ),
+            (
+                r#"{"src":"a+","dst":"b+","delay":1,"marked":true}"#,
+                "unknown edit field",
+            ),
+            (r#"{"op":"remove_event","src":"a+"}"#, "unknown edit field"),
+            (r#"7"#, "JSON object"),
+        ] {
+            let line = format!(r#"{{"cmd":"session.edit","session":"s","edits":[{edit}]}}"#);
+            let (_, e) = parse_request(&line).unwrap_err();
+            assert!(e.contains(needle), "{edit}: {e}");
+        }
+    }
+
+    #[test]
+    fn parses_session_explore_with_defaults_and_bounds() {
+        let r = parse_request(r#"{"cmd":"session.explore","session":"s"}"#).unwrap();
+        let Command::SessionExplore {
+            session,
+            moves,
+            seed,
+        } = r.cmd
+        else {
+            panic!("wrong cmd");
+        };
+        assert_eq!((session.as_str(), moves, seed), ("s", 16, 0));
+        let r = parse_request(r#"{"cmd":"session.explore","session":"s","moves":64,"seed":7}"#)
+            .unwrap();
+        assert_eq!(r.cmd.session_name(), Some("s"));
+        let Command::SessionExplore { moves, seed, .. } = r.cmd else {
+            panic!("wrong cmd");
+        };
+        assert_eq!((moves, seed), (64, 7));
+        for (bad, needle) in [
+            (r#""moves":0"#, "\"moves\""),
+            (r#""moves":2.5"#, "\"moves\""),
+            (r#""seed":-1"#, "\"seed\""),
+            (r#""edits":[]"#, "unknown field"),
+        ] {
+            let line = format!(r#"{{"cmd":"session.explore","session":"s",{bad}}}"#);
+            let (_, e) = parse_request(&line).unwrap_err();
             assert!(e.contains(needle), "{line}: {e}");
         }
     }

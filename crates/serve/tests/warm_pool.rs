@@ -473,17 +473,193 @@ fn workspace_sweeps_a_connections_sessions() {
         .session_edit(
             2,
             "a",
-            &[ops::EditSpec {
+            &[ops::EditOp::Delay(ops::EditSpec {
                 src: "a+".to_owned(),
                 dst: "c+".to_owned(),
                 delay: 6.0,
-            }],
+            })],
             None,
         )
         .unwrap();
     assert!(out.contains("cycle time: 13"), "{out}");
     ws.close_conn_sessions(2);
     assert_eq!(ws.open_sessions(), 0);
+}
+
+#[test]
+fn workspace_applies_structural_edits_transactionally() {
+    let mut ws = Workspace::new();
+    ws.session_open(1, "s", &inline_g(), 1.0, None).unwrap();
+    // Pipeline-split a+ -> c+ through a fresh event in ONE batch: the
+    // AddArc ops address "x+" before the graph has it, exercising the
+    // pending-label resolution.
+    let out = ws
+        .session_edit(
+            1,
+            "s",
+            &[
+                ops::EditOp::AddEvent {
+                    label: "x+".to_owned(),
+                },
+                ops::EditOp::AddArc {
+                    src: "a+".to_owned(),
+                    dst: "x+".to_owned(),
+                    delay: 1.5,
+                    marked: false,
+                },
+                ops::EditOp::AddArc {
+                    src: "x+".to_owned(),
+                    dst: "c+".to_owned(),
+                    delay: 1.5,
+                    marked: true,
+                },
+                ops::EditOp::RemoveArc {
+                    src: "a+".to_owned(),
+                    dst: "c+".to_owned(),
+                },
+            ],
+            None,
+        )
+        .unwrap();
+    // The extra token halves the a-cycle; the b-path cycle now rules.
+    assert!(out.contains("cycle time: 8"), "{out}");
+    assert!(out.contains("re-simulated"), "{out}");
+    // A batch naming a now-gone arc is rejected whole...
+    let err = ws
+        .session_edit(
+            1,
+            "s",
+            &[ops::EditOp::RemoveArc {
+                src: "a+".to_owned(),
+                dst: "c+".to_owned(),
+            }],
+            None,
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("no arc from"), "{err}");
+    // ...and a batch that would orphan an event rolls back whole too.
+    let err = ws
+        .session_edit(
+            1,
+            "s",
+            &[ops::EditOp::AddEvent {
+                label: "orphan".to_owned(),
+            }],
+            None,
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("invalid structural edit"), "{err}");
+    // The session survives both rejections with its state intact.
+    let out = ws
+        .session_edit(
+            1,
+            "s",
+            &[ops::EditOp::Delay(ops::EditSpec {
+                src: "b+".to_owned(),
+                dst: "c+".to_owned(),
+                delay: 2.0,
+            })],
+            None,
+        )
+        .unwrap();
+    assert!(out.contains("cycle time: 8"), "{out}");
+}
+
+#[test]
+fn workspace_explore_is_monotone_deterministic_and_verified() {
+    let mut ws = Workspace::new();
+    ws.session_open(1, "a", &inline_g(), 1.0, None).unwrap();
+    ws.session_open(1, "b", &inline_g(), 1.0, None).unwrap();
+    let out = ws.session_explore(1, "a", 16, 42, None).unwrap();
+    assert_eq!(out.matches("move ").count(), 16, "{out}");
+    assert!(out.contains("optimized: tau 10 -> "), "{out}");
+    assert!(
+        out.contains("verified: bit-identical to a from-scratch analysis"),
+        "{out}"
+    );
+    // The committed τ trajectory is monotone non-increasing: each move
+    // starts from the previous committed value, accepted moves strictly
+    // improve it, rejected moves leave it untouched.
+    let mut committed = 10.0_f64;
+    let mut accepted = 0usize;
+    for line in out.lines().filter(|l| l.starts_with("move ")) {
+        let rest = line.split("tau ").nth(1).expect("move line shape");
+        let (before, rest) = rest.split_once(" -> ").expect("move line shape");
+        let before: f64 = before.parse().unwrap();
+        let after: f64 = rest.split(' ').next().unwrap().parse().unwrap();
+        assert_eq!(before, committed, "{line}");
+        if line.contains("(accepted") {
+            assert!(after < before, "{line}");
+            accepted += 1;
+        } else {
+            assert_eq!(after, before, "{line}");
+        }
+        committed = after;
+    }
+    let final_tau: f64 = out
+        .split("optimized: tau 10 -> ")
+        .nth(1)
+        .unwrap()
+        .split(' ')
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert_eq!(final_tau, committed, "summary matches the trajectory");
+    assert!(out.contains(&format!("{accepted} accepted")), "{out}");
+    // Same seed on an identical session reproduces the run exactly.
+    assert_eq!(ws.session_explore(1, "b", 16, 42, None).unwrap(), out);
+}
+
+#[test]
+fn protocol_sessions_take_structural_edits_and_explore() {
+    let mut script = String::new();
+    let open = req(&[
+        ("id", Json::Num(0.0)),
+        ("cmd", Json::from("session.open")),
+        ("session", Json::from("s")),
+        ("text", Json::from(tsg_stg::EXAMPLE_OSCILLATOR)),
+        ("name", Json::from("osc.g")),
+    ]);
+    script.push_str(&open);
+    script.push('\n');
+    // One transactional structural batch: splice a pipeline stage.
+    script.push_str(concat!(
+        r#"{"id":1,"cmd":"session.edit","session":"s","edits":["#,
+        r#"{"op":"add_event","label":"x+"},"#,
+        r#"{"op":"add_arc","src":"a+","dst":"x+","delay":1.5},"#,
+        r#"{"op":"add_arc","src":"x+","dst":"c+","delay":1.5,"marked":true},"#,
+        r#"{"op":"remove_arc","src":"a+","dst":"c+"}]}"#,
+    ));
+    script.push('\n');
+    // A rejected batch answers ok:false but keeps the session open.
+    script.push_str(concat!(
+        r#"{"id":2,"cmd":"session.edit","session":"s","edits":["#,
+        r#"{"op":"remove_event","label":"x+"}]}"#,
+    ));
+    script.push('\n');
+    script.push_str(r#"{"id":3,"cmd":"session.explore","session":"s","moves":8,"seed":3}"#);
+    script.push('\n');
+    script.push_str(r#"{"id":4,"cmd":"session.close","session":"s"}"#);
+    script.push('\n');
+    let responses = session(&script, 2);
+    assert_eq!(responses.len(), 5);
+    for (i, r) in responses.iter().enumerate() {
+        assert_eq!(r.get("id"), Some(&Json::Num(i as f64)), "order");
+        let want_ok = i != 2;
+        assert_eq!(r.get("ok"), Some(&Json::Bool(want_ok)), "request {i}");
+    }
+    let edited = responses[1].get("output").and_then(Json::as_str).unwrap();
+    assert!(edited.contains("cycle time: 8"), "{edited}");
+    assert!(edited.contains("re-simulated"), "{edited}");
+    let error = responses[2].get("error").and_then(Json::as_str).unwrap();
+    assert!(error.contains("invalid structural edit"), "{error}");
+    let explored = responses[3].get("output").and_then(Json::as_str).unwrap();
+    assert!(explored.contains("optimized: tau 8 -> "), "{explored}");
+    assert!(
+        explored.contains("verified: bit-identical to a from-scratch analysis"),
+        "{explored}"
+    );
 }
 
 #[test]

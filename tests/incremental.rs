@@ -11,9 +11,9 @@
 
 use proptest::prelude::*;
 use tsg::core::analysis::event_sim::{EventSimScratch, EventSimulation};
-use tsg::core::analysis::session::{AnalysisSession, DelayEdit, EditError};
+use tsg::core::analysis::session::{AnalysisSession, DelayEdit, EditError, GraphEdit};
 use tsg::core::analysis::{AnalysisError, CycleTimeAnalysis, KernelBackend};
-use tsg::core::{ArcId, SignalGraph};
+use tsg::core::{ArcId, EventId, SignalGraph};
 use tsg::gen::{handshake_pipeline, random_live_tsg, ring, torus, PipelineConfig, RandomTsgConfig};
 use tsg::sim::{CancelToken, QueueKind};
 
@@ -21,7 +21,7 @@ use tsg::sim::{CancelToken, QueueKind};
 /// generator family with modest sizes.
 fn graph(family: usize, seed: u64) -> SignalGraph {
     match family % 4 {
-        0 => ring(4 + (seed % 29) as usize, 1 + (seed % 5) as usize, 1.5),
+        0 => ring(5 + (seed % 28) as usize, 1 + (seed % 5) as usize, 1.5),
         1 => torus(
             2 + (seed % 3) as usize,
             2 + (seed / 3 % 4) as usize,
@@ -56,6 +56,99 @@ fn script(sg: &SignalGraph, seed: u64, count: usize) -> Vec<DelayEdit> {
             }
         })
         .collect()
+}
+
+/// One deterministic mixed move per `k`: a delay edit, a pipeline-stage
+/// split (always valid), a speculative marked-arc addition, or an arc
+/// removal. The last two may break a graph rule — the session's
+/// transactional edit API rejects those batches whole, which the
+/// properties treat as a legal (state-preserving) outcome.
+fn mixed_batch(sg: &SignalGraph, k: u64, fresh: &mut u32) -> Vec<GraphEdit> {
+    let live: Vec<ArcId> = sg.arc_ids().filter(|&a| sg.is_live_arc(a)).collect();
+    let pick_arc = |xs: &[ArcId], j: u64| xs[(j % xs.len() as u64) as usize];
+    match k % 5 {
+        0 | 1 => vec![GraphEdit::Delay {
+            arc: pick_arc(&live, k / 5),
+            delay: [0.0, 0.5, 1.0, 2.5, 4.0, 7.25][(k / 7 % 6) as usize],
+        }],
+        2 => {
+            // Pipeline split: replace a cyclic arc by two halves through
+            // a fresh event, the second half marked — always valid.
+            let cyclic: Vec<ArcId> = sg
+                .arc_ids()
+                .filter(|&a| {
+                    let arc = sg.arc(a);
+                    sg.is_live_arc(a)
+                        && !arc.is_disengageable()
+                        && sg.is_repetitive(arc.src())
+                        && sg.is_repetitive(arc.dst())
+                })
+                .collect();
+            let a = pick_arc(&cyclic, k / 5);
+            let arc = sg.arc(a);
+            *fresh += 1;
+            let mid = EventId(sg.event_count() as u32);
+            let half = arc.delay().get() / 2.0;
+            vec![
+                GraphEdit::RemoveArc { arc: a },
+                GraphEdit::AddEvent {
+                    label: format!("w{fresh}"),
+                },
+                GraphEdit::AddArc {
+                    src: arc.src(),
+                    dst: mid,
+                    delay: half,
+                    marked: arc.is_marked(),
+                },
+                GraphEdit::AddArc {
+                    src: mid,
+                    dst: arc.dst(),
+                    delay: half,
+                    marked: true,
+                },
+            ]
+        }
+        3 => {
+            // Speculative arc addition between two repetitive events;
+            // an unmarked choice that closes a token-free cycle is
+            // rejected by validation.
+            let reps: Vec<EventId> = sg
+                .events()
+                .filter(|&e| sg.is_live_event(e) && sg.is_repetitive(e))
+                .collect();
+            let u = reps[(k / 5 % reps.len() as u64) as usize];
+            let v = reps[(k / 11 % reps.len() as u64) as usize];
+            vec![GraphEdit::AddArc {
+                src: u,
+                dst: v,
+                delay: [0.5, 1.0, 2.0][(k / 13 % 3) as usize],
+                marked: k.is_multiple_of(2),
+            }]
+        }
+        _ => vec![GraphEdit::RemoveArc {
+            arc: pick_arc(&live, k / 5),
+        }],
+    }
+}
+
+/// Key of the `step`-th mixed move of a seeded script.
+fn mix_key(seed: u64, step: u64) -> u64 {
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(step * 43)
+}
+
+/// Applies one mixed batch, tolerating transactional rejection (the
+/// session is unchanged then) and panicking on any other error.
+fn apply_mixed(session: &mut AnalysisSession, batch: &[GraphEdit], ctx: &str) -> bool {
+    match session.edit_structure(batch) {
+        Ok(delta) => {
+            assert!(delta.rows <= delta.rows_total, "{ctx}");
+            assert!(delta.dirty <= delta.borders, "{ctx}");
+            true
+        }
+        Err(EditError::Invalid(_) | EditError::NoCyclicBehavior) => false,
+        Err(e) => panic!("{ctx}: unexpected edit error: {e:?}"),
+    }
 }
 
 fn assert_session_matches_scratch(session: &AnalysisSession, ctx: &str) {
@@ -120,6 +213,43 @@ proptest! {
         let batch = script(session.graph(), seed, edits);
         session.edit_delays(&batch).unwrap();
         assert_session_matches_scratch(&session, &format!("family {family} seed {seed} batch"));
+    }
+
+    /// Structural incremental edits (PR 8): random interleavings of
+    /// delay edits, pipeline splits, arc additions and removals on
+    /// every generator family — after every step (applied or rejected
+    /// whole) the session is bit-identical to from-scratch.
+    #[test]
+    fn mixed_structural_scripts_match_from_scratch(
+        family in 0usize..4,
+        seed in 0u64..10_000,
+        steps in 1usize..8,
+    ) {
+        let mut session = AnalysisSession::open(graph(family, seed)).expect("live");
+        let mut fresh = 0u32;
+        for step in 0..steps as u64 {
+            let ctx = format!("family {family} seed {seed} struct step {step}");
+            let batch = mixed_batch(session.graph(), mix_key(seed, step), &mut fresh);
+            apply_mixed(&mut session, &batch, &ctx);
+            assert_session_matches_scratch(&session, &ctx);
+        }
+    }
+
+    /// One batch mixing a delay edit with a structural splice applies
+    /// atomically and matches from-scratch.
+    #[test]
+    fn combined_delay_and_structural_batches_match_from_scratch(
+        family in 0usize..4,
+        seed in 0u64..10_000,
+    ) {
+        let mut session = AnalysisSession::open(graph(family, seed)).expect("live");
+        let mut fresh = 0u32;
+        let delay = mixed_batch(session.graph(), mix_key(seed, 0) / 5 * 5, &mut fresh);
+        let split = mixed_batch(session.graph(), mix_key(seed, 1) / 5 * 5 + 2, &mut fresh);
+        let batch: Vec<GraphEdit> = delay.into_iter().chain(split).collect();
+        let ctx = format!("family {family} seed {seed} combined");
+        apply_mixed(&mut session, &batch, &ctx);
+        assert_session_matches_scratch(&session, &ctx);
     }
 
     /// The kernel checkpoint underneath: an event simulation paused at
@@ -221,6 +351,44 @@ proptest! {
             &format!("family {family} seed {seed} abort budget {budget}"),
         );
     }
+
+    /// Cancel-then-heal for *structural* edits: a pipeline split whose
+    /// lane reseed (or dirty-row resume) is aborted leaves the new
+    /// graph committed with a stale analysis, and the next uncancelled
+    /// call heals it to the from-scratch bits.
+    #[test]
+    fn aborted_structural_edits_heal_bit_identically(
+        family in 0usize..4,
+        seed in 0u64..10_000,
+        budget in 0u64..8,
+    ) {
+        let mut session = AnalysisSession::open(graph(family, seed)).expect("live");
+        let mut fresh = 0u32;
+        // Force the always-valid split move (key % 5 == 2) so the only
+        // possible failure is the cancellation under test.
+        let batch = mixed_batch(session.graph(), mix_key(seed, 0) / 5 * 5 + 2, &mut fresh);
+        let event_count = session.graph().event_count();
+        let token = CancelToken::cancel_after_checks(budget);
+        match session.edit_structure_with_cancel(&batch, Some(&token)) {
+            Ok(_) => prop_assert!(!session.is_stale()),
+            Err(EditError::Cancelled { rows_done, rows_total, .. }) => {
+                prop_assert!(session.is_stale());
+                prop_assert!(rows_done <= rows_total);
+                prop_assert_eq!(
+                    session.graph().event_count(),
+                    event_count + 1,
+                    "the structural batch commits even when the rerun is cancelled"
+                );
+                session.edit_delays(&[]).unwrap();
+            }
+            Err(e) => panic!("unexpected edit error: {e:?}"),
+        }
+        prop_assert!(!session.is_stale());
+        assert_session_matches_scratch(
+            &session,
+            &format!("family {family} seed {seed} struct abort budget {budget}"),
+        );
+    }
 }
 
 /// A deterministic soak of repeated aborts mid-script: every chunk is
@@ -242,6 +410,35 @@ fn repeated_aborts_mid_script_heal_bit_identically() {
             }
             assert!(!session.is_stale());
             assert_session_matches_scratch(&session, &format!("family {family} step {step}"));
+        }
+    }
+}
+
+/// A long deterministic structural soak on one graph per family: 24
+/// mixed moves (delay nudges, splits, additions, removals) with a
+/// cancel-then-heal cycle every fourth step, bit-verified throughout.
+#[test]
+fn long_structural_soak_with_aborts_per_family() {
+    for family in 0..4usize {
+        let mut session = AnalysisSession::open(graph(family, 17)).expect("live");
+        let mut fresh = 0u32;
+        for step in 0..24u64 {
+            let ctx = format!("family {family} struct soak step {step}");
+            let batch = mixed_batch(session.graph(), mix_key(17, step), &mut fresh);
+            if step % 4 == 3 {
+                let token = CancelToken::cancel_after_checks(step % 3);
+                match session.edit_structure_with_cancel(&batch, Some(&token)) {
+                    Ok(_) | Err(EditError::Invalid(_) | EditError::NoCyclicBehavior) => {}
+                    Err(EditError::Cancelled { .. }) => {
+                        session.edit_delays(&[]).unwrap();
+                    }
+                    Err(e) => panic!("{ctx}: unexpected edit error: {e:?}"),
+                }
+            } else {
+                apply_mixed(&mut session, &batch, &ctx);
+            }
+            assert!(!session.is_stale(), "{ctx}");
+            assert_session_matches_scratch(&session, &ctx);
         }
     }
 }

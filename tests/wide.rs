@@ -16,6 +16,12 @@
 //! produce the same bits as `run_scalar` — including odd lane counts
 //! that force the masked remainder paths, and sessions resumed
 //! mid-matrix with the kernel pinned per backend.
+//!
+//! PR 8 adds structural edits to the mix: interleaved pipeline-stage
+//! splits and delay nudges applied through
+//! `AnalysisSession::edit_structure` remap the warm lanes onto the
+//! edited border set, and each batch must leave the session
+//! bit-identical to a from-scratch scalar analysis — on every backend.
 
 use proptest::prelude::*;
 use tsg::core::analysis::session::AnalysisSession;
@@ -25,14 +31,14 @@ use tsg::gen::{handshake_pipeline, random_live_tsg, ring, torus, PipelineConfig,
 use tsg::sim::BatchRunner;
 use tsg_bench::{
     assert_analyses_identical, assert_backends_match, assert_wide_matches_scalar,
-    available_backends,
+    available_backends, structural_edit_script,
 };
 
 /// One generated graph per `(family, seed)` pair — the same family mix
 /// the incremental-session properties use.
 fn graph(family: usize, seed: u64) -> SignalGraph {
     match family % 4 {
-        0 => ring(4 + (seed % 29) as usize, 1 + (seed % 5) as usize, 1.5),
+        0 => ring(5 + (seed % 28) as usize, 1 + (seed % 5) as usize, 1.5),
         1 => torus(
             2 + (seed % 3) as usize,
             2 + (seed / 3 % 4) as usize,
@@ -155,6 +161,34 @@ proptest! {
         }
     }
 
+    /// Interleaved structural + delay scripts on a session pinned to
+    /// each backend: pipeline-stage splits grow the event set (and can
+    /// grow or shuffle the border set, forcing a lane remap of the warm
+    /// wide matrix), delay nudges dirty individual rows — after every
+    /// batch the resumed state must hold the exact bits of a
+    /// from-scratch scalar analysis of the edited graph.
+    #[test]
+    fn structural_scripts_resume_on_every_backend(
+        family in 0usize..4,
+        seed in 0u64..10_000,
+        batches in 1usize..6,
+    ) {
+        for backend in available_backends() {
+            let sg = graph(family, seed);
+            let script = structural_edit_script(&sg, batches);
+            let mut session = AnalysisSession::open_with_kernel(sg, backend).expect("live");
+            for (step, batch) in script.iter().enumerate() {
+                session.edit_structure(batch).unwrap();
+                let scalar = CycleTimeAnalysis::run_scalar(session.graph()).expect("stays live");
+                assert_analyses_identical(
+                    &scalar,
+                    session.analysis(),
+                    &format!("family {family} seed {seed} batch {step} [{}]", backend.name()),
+                );
+            }
+        }
+    }
+
     /// Thread-count invariance of the lane-chunked `run_parallel`: any
     /// chunking of the lanes produces the bits of the sequential wide
     /// run — and hence of the scalar engine.
@@ -187,6 +221,30 @@ fn long_wide_session_soak_per_family() {
                 session.analysis(),
                 &format!("family {family} step {step}"),
             );
+        }
+    }
+}
+
+/// A deterministic structural soak per family and backend: 16
+/// interleaved split/nudge batches on one session, so the wide matrix
+/// grows through repeated lane remaps and the accumulated state is
+/// verified against the scalar engine at every step.
+#[test]
+fn long_structural_soak_per_family_on_every_backend() {
+    for family in 0..4usize {
+        for backend in available_backends() {
+            let sg = graph(family, 11);
+            let script = structural_edit_script(&sg, 16);
+            let mut session = AnalysisSession::open_with_kernel(sg, backend).expect("live");
+            for (step, batch) in script.iter().enumerate() {
+                session.edit_structure(batch).unwrap();
+                let scalar = CycleTimeAnalysis::run_scalar(session.graph()).expect("live");
+                assert_analyses_identical(
+                    &scalar,
+                    session.analysis(),
+                    &format!("family {family} step {step} [{}]", backend.name()),
+                );
+            }
         }
     }
 }
