@@ -11,7 +11,10 @@
 //! SIMD backends against the portable loop on the same sweeps
 //! (`simd_vs_portable`, with the detected CPU feature level recorded),
 //! the lane-batched Monte-Carlo long-run estimator against the
-//! sequential per-seed loop (`longrun_lanes`), and
+//! sequential per-seed loop (`longrun_lanes`), the delay-scenario
+//! matrix — min/typ/max corners and seeded sample sets — swept as
+//! extra lanes of one lockstep pass against per-scenario re-analysis
+//! (`corner_sweep`), and
 //! `CycleTimeAnalysis::analyze_batch` against the sequential loop on a
 //! 64-graph `tsg_gen` sweep, the warm-session delay-edit loop
 //! (`edit_loop`), and the structural-edit loop (`structural_edit`):
@@ -34,14 +37,14 @@ use std::time::Instant;
 
 use tsg_baselines::{longrun_estimate_mc, longrun_estimate_mc_lanes};
 use tsg_bench::{
-    apply_graph_edits, assert_backends_match, assert_wide_matches_scalar, available_backends,
-    edit_loop_graph, edit_script, hold, push_pop, structural_edit_script, wide_scenarios,
-    DELAY_BOUND, EDIT_LOOP_WORKLOAD,
+    apply_graph_edits, assert_backends_match, assert_scenarios_match_scalar,
+    assert_wide_matches_scalar, available_backends, edit_loop_graph, edit_script, hold, push_pop,
+    structural_edit_script, wide_scenarios, DELAY_BOUND, EDIT_LOOP_WORKLOAD,
 };
 use tsg_core::analysis::initiated::SimArena;
 use tsg_core::analysis::session::AnalysisSession;
 use tsg_core::analysis::wide::AnalysisArena;
-use tsg_core::analysis::{CycleTimeAnalysis, KernelBackend};
+use tsg_core::analysis::{Corner, CycleTimeAnalysis, KernelBackend, ScenarioSet};
 use tsg_core::SignalGraph;
 use tsg_sim::{BatchRunner, CalendarQueue, EventQueue};
 
@@ -237,6 +240,92 @@ fn measure_simd_vs_portable(reps: usize) -> Vec<SimdRow> {
                 backend: backend.name(),
                 seconds,
                 speedup: portable_seconds / seconds.max(1e-12),
+            });
+        }
+    }
+    rows
+}
+
+struct CornerRow {
+    workload: String,
+    kind: &'static str,
+    scenarios: usize,
+    per_scenario_seconds: f64,
+    sweep_seconds: f64,
+    speedup: f64,
+}
+
+/// The corner-sweep head-to-head of PR 9: `s` delay scenarios analysed
+/// as extra lanes of one lockstep wide pass
+/// (`CycleTimeAnalysis::run_scenarios_in`) vs `s` per-scenario
+/// re-analyses on the same warm arena. The reweighted graphs of the
+/// baseline arm are prebuilt outside the timed region, so both sides
+/// time pure analysis. Before timing, every scenario lane is asserted
+/// bit-identical to a from-scratch analysis of its reweighted graph.
+fn measure_corner_sweep(reps: usize) -> Vec<CornerRow> {
+    // Small border counts are the representative corner-analysis shape
+    // (and where scenario lanes pay most: a per-scenario re-analysis at
+    // b lanes under-fills the SIMD kernel that b·s lanes saturate); the
+    // b=32 torus tracks the saturation point where the baseline is
+    // already fully lane-amortised.
+    let workloads: [(String, SignalGraph); 3] = [
+        ("ring n=1024 b=4".to_owned(), tsg_gen::ring(1024, 4, 1.0)),
+        ("ring n=1024 b=8".to_owned(), tsg_gen::ring(1024, 8, 1.0)),
+        (
+            "torus 16x17 b=32".to_owned(),
+            tsg_gen::torus(16, 17, 2.0, 3.0),
+        ),
+    ];
+    let mut arena = AnalysisArena::new();
+    let mut rows = Vec::new();
+    for (workload, sg) in &workloads {
+        for s in [3usize, 8, 32] {
+            // s = 3 is the classic min/typ/max corner sweep; the larger
+            // counts are seeded Monte-Carlo scenario matrices.
+            let (kind, set) = if s == 3 {
+                let corners = [Corner::Min, Corner::Typ, Corner::Max];
+                (
+                    "corners",
+                    ScenarioSet::corners(10.0, &corners, sg.arc_count()).expect("valid spec"),
+                )
+            } else {
+                (
+                    "samples",
+                    ScenarioSet::samples(s, 7, 10.0, sg.arc_count()).expect("valid spec"),
+                )
+            };
+
+            // Correctness gate first: a speedup of a wrong answer is
+            // not a speedup.
+            assert_scenarios_match_scalar(sg, &set, workload);
+
+            // Re-analysis per scenario means exactly what a caller
+            // without `run_scenarios` would do: materialise the
+            // scenario's reweighted graph, then analyse it — both
+            // timed, both on the same warm arena as the sweep arm.
+            let per_scenario_seconds = time_per_call(reps, || {
+                (0..set.len())
+                    .map(|j| {
+                        let g = set.reweighted(sg, j);
+                        CycleTimeAnalysis::run_in(&g, None, &mut arena)
+                            .expect("live")
+                            .records()
+                            .len()
+                    })
+                    .sum::<usize>()
+            });
+            let sweep_seconds = time_per_call(reps, || {
+                CycleTimeAnalysis::run_scenarios_in(sg, &set, None, &mut arena, None)
+                    .expect("live")
+                    .len()
+            });
+            rows.push(CornerRow {
+                workload: workload.clone(),
+                kind,
+                scenarios: s,
+                per_scenario_seconds,
+                sweep_seconds,
+                speedup: per_scenario_seconds / sweep_seconds.max(1e-12),
             });
         }
     }
@@ -525,6 +614,7 @@ fn json_report(
     wide_rows: &[WideRow],
     simd_rows: &[SimdRow],
     longrun_rows: &[LongrunRow],
+    corner_rows: &[CornerRow],
 ) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
@@ -641,6 +731,20 @@ fn json_report(
     }
     let _ = writeln!(out, "    ]");
     let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"corner_sweep\": {{");
+    let _ = writeln!(out, "    \"bit_identical\": true,");
+    let _ = writeln!(out, "    \"sweeps\": [");
+    for (i, r) in corner_rows.iter().enumerate() {
+        let comma = if i + 1 < corner_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "      {{\"workload\": \"{}\", \"kind\": \"{}\", \"scenarios\": {}, \
+             \"per_scenario_seconds\": {:.9}, \"sweep_seconds\": {:.9}, \"speedup\": {:.3}}}{comma}",
+            r.workload, r.kind, r.scenarios, r.per_scenario_seconds, r.sweep_seconds, r.speedup
+        );
+    }
+    let _ = writeln!(out, "    ]");
+    let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"analysis\": {{");
     let _ = writeln!(out, "    \"graphs\": {graphs},");
     let _ = writeln!(out, "    \"sequential_seconds\": {seq_seconds:.9},");
@@ -745,6 +849,20 @@ fn main() {
         );
     }
 
+    eprintln!("measuring the corner/scenario sweep vs per-scenario re-analysis...");
+    let corner_rows = measure_corner_sweep(reps);
+    for r in &corner_rows {
+        eprintln!(
+            "  {:<18} {:<8} s={:>2}: per-scenario {:>8.3} ms, sweep {:>8.3} ms ({:.2}x)",
+            r.workload,
+            r.kind,
+            r.scenarios,
+            r.per_scenario_seconds * 1e3,
+            r.sweep_seconds * 1e3,
+            r.speedup
+        );
+    }
+
     eprintln!("measuring the session edit loop ({EDIT_LOOP_WORKLOAD})...");
     let edit_rows = measure_edit_loop(&[1, 8, 64], reps);
     for r in &edit_rows {
@@ -807,6 +925,7 @@ fn main() {
         &wide_rows,
         &simd_rows,
         &longrun_rows,
+        &corner_rows,
     );
     if let Err(e) = std::fs::write(&out_path, &report) {
         eprintln!("writing {out_path}: {e}");

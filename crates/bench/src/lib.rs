@@ -9,7 +9,7 @@
 use tsg_core::analysis::initiated::SimArena;
 use tsg_core::analysis::session::{DelayEdit, GraphEdit};
 use tsg_core::analysis::wide::WideArena;
-use tsg_core::analysis::{CycleTimeAnalysis, KernelBackend};
+use tsg_core::analysis::{CycleTimeAnalysis, KernelBackend, ScenarioSet};
 use tsg_core::{ArcId, EventId, SignalGraph};
 use tsg_sim::{EventQueue, QueueBackend};
 
@@ -225,6 +225,30 @@ pub fn assert_backends_match(sg: &SignalGraph, ctx: &str) {
                 }
             }
         }
+    }
+}
+
+/// The scenario-sweep correctness gate for one graph: runs the whole
+/// scenario matrix in one lockstep wide pass, then asserts every
+/// scenario lane bit-identical — through [`assert_analyses_identical`],
+/// so times, critical cycle and backtracked parents included — to a
+/// from-scratch *scalar* analysis of the corresponding reweighted
+/// graph, which is the definition of what a scenario lane means.
+///
+/// # Panics
+///
+/// Panics (with `ctx` and the scenario label) on any divergence.
+pub fn assert_scenarios_match_scalar(sg: &SignalGraph, set: &ScenarioSet, ctx: &str) {
+    let swept = CycleTimeAnalysis::run_scenarios(sg, set).expect("scenarios stay live");
+    assert_eq!(swept.len(), set.len(), "{ctx}: scenario count");
+    for j in 0..set.len() {
+        let scratch = CycleTimeAnalysis::run_scalar(&set.reweighted(sg, j))
+            .expect("reweighting keeps the graph live");
+        assert_analyses_identical(
+            &scratch,
+            swept.analysis(j),
+            &format!("{ctx} [{}]", set.label(j)),
+        );
     }
 }
 

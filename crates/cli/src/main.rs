@@ -18,7 +18,7 @@ use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 use tsg_core::analysis::session::AnalysisSession;
-use tsg_core::analysis::KernelBackend;
+use tsg_core::analysis::{Corner, KernelBackend, ScenarioSet};
 use tsg_serve::json::Json;
 use tsg_serve::ops::{self, AnalyzeOptions, EditSpec, SimOptions};
 use tsg_serve::ServeOptions;
@@ -30,6 +30,8 @@ tsg — performance analysis based on timing simulation (DAC'94)
 USAGE:
     tsg analyze FILE [--diagram] [--dot] [--baselines] [--slack] [--default-delay X]
                      [--threads N] [--kernel {auto|portable|sse2|avx2}]
+                     [--corners min,typ,max] [--derate PCT]
+                     [--samples K] [--seed S]
     tsg sim FILE.g... [--periods N] [--vcd PATH] [--default-delay X]
                       [--threads N] [--queue {heap|calendar}]
     tsg sim FILE.ckt... [--horizon X] [--vcd PATH] [--threads N]
@@ -37,7 +39,8 @@ USAGE:
     tsg explore FILE [--edit SRC->DST=DELAY]... [--default-delay X]
                      [--kernel {auto|portable|sse2|avx2}]
                      [--report {text|json}]
-                     [--optimize [--moves N] [--seed S] [--objective tau]]
+                     [--optimize [--moves N] [--seed S] [--samples K]
+                                 [--objective {tau|tau-p95}]]
     tsg serve [--threads N] [--max-sessions N] [--max-pending N]
               [--default-deadline MS] [--drain-deadline MS]
               [--io-timeout MS] [--max-request-bytes N]
@@ -66,6 +69,15 @@ the CPU supports — AVX2, then SSE2, then the portable loop). All
 backends are bit-identical; requesting one the CPU lacks is an error,
 never a silent downgrade.
 
+`analyze --corners min,typ,max` sweeps delay corners as extra scenario
+lanes of the same wide-kernel pass — every arc derated by `--derate`
+PCT (default 10) for `min`, inflated for `max` — and reports τ per
+corner, the τ distribution, and per-arc criticality (the fraction of
+scenarios in which the arc lies on the critical cycle). `--samples K
+--seed S` sweeps K seeded Monte-Carlo delay scenarios instead (each
+arc's delay drawn uniformly within ±PCT); sample j of K is
+bit-identical regardless of K. Corners win when both are given.
+
 `explore` opens an incremental analysis session on FILE and applies
 each --edit (delay reassignment of the arc SRC->DST) in order,
 re-simulating only the dirty region per edit and reporting the cycle
@@ -75,8 +87,11 @@ loop: --moves N candidate edits (delay nudges, arc rewires,
 pipeline-stage insertions; default 16) are proposed by a --seed-driven
 deterministic generator, each scored by incremental re-analysis
 against a snapshot, committed only when it strictly lowers the
---objective (tau, the cycle time — the only objective so far), and
-rolled back otherwise, so the accepted trajectory is monotone.
+--objective, and rolled back otherwise, so the accepted trajectory is
+monotone. `--objective tau` (the default) minimises the nominal cycle
+time; `--objective tau-p95` enables `--samples K` (default 16) seeded
+delay scenarios on the session and minimises the 95th-percentile τ
+over them — robust optimization under delay variation.
 `--report json` renders the whole trajectory as one JSON object per
 line (per-edit/per-move tau, critical cycle, rows resumed) for
 downstream tooling. In every mode the final state is verified
@@ -179,6 +194,42 @@ fn run(args: &[String]) -> Result<String, String> {
                     "--kernel" => {
                         i += 1;
                         opts.kernel = parse_kernel(args, i)?;
+                    }
+                    "--corners" => {
+                        i += 1;
+                        let list = args
+                            .get(i)
+                            .ok_or("--corners needs a comma-separated list (min,typ,max)")?;
+                        opts.corners = list
+                            .split(',')
+                            .map(|c| c.trim().parse::<Corner>().map_err(|e| e.to_string()))
+                            .collect::<Result<Vec<_>, _>>()?;
+                        if opts.corners.is_empty() {
+                            return Err("--corners needs at least one corner name".to_owned());
+                        }
+                    }
+                    "--derate" => {
+                        i += 1;
+                        opts.derate = args
+                            .get(i)
+                            .and_then(|v| v.parse().ok())
+                            .filter(|d: &f64| d.is_finite() && *d >= 0.0 && *d < 100.0)
+                            .ok_or("--derate needs a percentage in [0, 100)")?;
+                    }
+                    "--samples" => {
+                        i += 1;
+                        opts.samples = args
+                            .get(i)
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&k: &usize| (1..=4096).contains(&k))
+                            .ok_or("--samples needs an integer in 1..=4096")?;
+                    }
+                    "--seed" => {
+                        i += 1;
+                        opts.seed = args
+                            .get(i)
+                            .and_then(|v| v.parse().ok())
+                            .ok_or("--seed needs a non-negative integer")?;
                     }
                     other => return Err(format!("unknown flag {other:?}")),
                 }
@@ -303,6 +354,8 @@ fn run(args: &[String]) -> Result<String, String> {
             let mut optimize = false;
             let mut moves: usize = 16;
             let mut seed: u64 = 0;
+            let mut objective = ops::Objective::Tau;
+            let mut samples: usize = 16;
             let mut optimizer_flag: Option<&str> = None;
             let mut report_json = false;
             let mut i = 2;
@@ -344,17 +397,20 @@ fn run(args: &[String]) -> Result<String, String> {
                     }
                     "--objective" => {
                         i += 1;
-                        match args.get(i).map(String::as_str) {
-                            Some("tau") => {}
-                            Some(other) => {
-                                return Err(format!(
-                                    "unknown objective {other:?} (only \"tau\", the cycle time, \
-                                     is supported)"
-                                ))
-                            }
-                            None => return Err("--objective needs a name (tau)".to_owned()),
-                        }
+                        objective = ops::Objective::parse(
+                            args.get(i)
+                                .ok_or("--objective needs a name (tau, tau-p95)")?,
+                        )?;
                         optimizer_flag.get_or_insert("--objective");
+                    }
+                    "--samples" => {
+                        i += 1;
+                        samples = args
+                            .get(i)
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&k: &usize| (1..=4096).contains(&k))
+                            .ok_or("--samples needs an integer in 1..=4096")?;
+                        optimizer_flag.get_or_insert("--samples");
                     }
                     "--report" => {
                         i += 1;
@@ -447,7 +503,30 @@ fn run(args: &[String]) -> Result<String, String> {
                 }
             }
             let outcome = if optimize {
-                Some(ops::optimize_session(&mut session, moves, seed, None))
+                // The robust objective scores over sampled delay
+                // scenarios, so the session needs lanes to score.
+                if objective == ops::Objective::TauP95 && session.scenario_analysis().is_none() {
+                    let set =
+                        ScenarioSet::samples(samples, seed, 10.0, session.graph().arc_count())
+                            .map_err(|e| e.to_string())?;
+                    session.enable_scenarios(&set).map_err(|e| e.to_string())?;
+                }
+                if !report_json {
+                    if let Some(sa) = session.scenario_analysis() {
+                        let _ = writeln!(
+                            out,
+                            "objective: {objective} over {} scenario lane(s)",
+                            sa.len()
+                        );
+                    }
+                }
+                Some(ops::optimize_session(
+                    &mut session,
+                    moves,
+                    seed,
+                    objective,
+                    None,
+                ))
             } else {
                 None
             };
@@ -489,6 +568,16 @@ fn run(args: &[String]) -> Result<String, String> {
                         outcome.trajectory.len()
                     );
                     out.push_str(&ops::session_summary(&session));
+                    if let Some(sa) = session.scenario_analysis() {
+                        let _ = writeln!(
+                            out,
+                            "tau distribution: mean {:.4}  p50 {:.4}  p95 {:.4}  max {:.4}",
+                            sa.tau_mean(),
+                            sa.tau_quantile(0.5),
+                            sa.tau_quantile(0.95),
+                            sa.tau_quantile(1.0)
+                        );
+                    }
                 }
             }
             // Trust, but verify: the final incremental state must be
@@ -502,6 +591,7 @@ fn run(args: &[String]) -> Result<String, String> {
                 ];
                 if let Some(outcome) = &outcome {
                     fields.extend([
+                        ("objective".to_owned(), Json::from(objective.name())),
                         ("initial".to_owned(), Json::Num(outcome.initial)),
                         ("final".to_owned(), Json::Num(outcome.final_tau)),
                         ("accepted".to_owned(), Json::from(outcome.accepted as u64)),
@@ -1251,6 +1341,126 @@ mod tests {
             let argv: Vec<String> = bad.iter().map(|s| (*s).to_owned()).collect();
             assert!(run(&argv).is_err(), "{bad:?}");
         }
+    }
+
+    #[test]
+    fn analyze_corners_and_samples_report_scenarios() {
+        let dir = std::env::temp_dir().join("tsg-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corners.g");
+        std::fs::write(&path, tsg_stg::EXAMPLE_OSCILLATOR).unwrap();
+        let p = path.to_string_lossy().into_owned();
+        let out = run(&[
+            "analyze".into(),
+            p.clone(),
+            "--corners".into(),
+            "min,typ,max".into(),
+            "--derate".into(),
+            "10".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("scenarios: 3 corner(s), derate 10%"), "{out}");
+        assert!(out.contains("tau distribution:"), "{out}");
+        assert!(out.contains("arc criticality:"), "{out}");
+        // typ is the nominal graph: its corner tau equals the headline tau.
+        assert!(out.contains("min"), "{out}");
+        // Sampled scenarios instead; sample j is seed-deterministic.
+        let sampled = run(&[
+            "analyze".into(),
+            p.clone(),
+            "--samples".into(),
+            "4".into(),
+            "--seed".into(),
+            "7".into(),
+        ])
+        .unwrap();
+        assert!(
+            sampled.contains("scenarios: 4 sample(s), jitter 10%, seed 7"),
+            "{sampled}"
+        );
+        assert_eq!(
+            sampled,
+            run(&[
+                "analyze".into(),
+                p.clone(),
+                "--samples".into(),
+                "4".into(),
+                "--seed".into(),
+                "7".into(),
+            ])
+            .unwrap(),
+            "same seed, same report"
+        );
+        // Flag validation: bad corner names, derate and samples bounds.
+        for bad in [
+            vec!["analyze", &p, "--corners", "min,worst"],
+            vec!["analyze", &p, "--corners", ""],
+            vec!["analyze", &p, "--derate", "100"],
+            vec!["analyze", &p, "--derate", "-1"],
+            vec!["analyze", &p, "--samples", "0"],
+            vec!["analyze", &p, "--samples", "4097"],
+            vec!["analyze", &p, "--seed", "x"],
+        ] {
+            let argv: Vec<String> = bad.iter().map(|s| (*s).to_owned()).collect();
+            assert!(run(&argv).is_err(), "{bad:?}");
+        }
+        let err = run(&["analyze".into(), p, "--corners".into(), "min,worst".into()]).unwrap_err();
+        assert!(err.contains("unknown corner"), "{err}");
+    }
+
+    #[test]
+    fn explore_optimize_tau_p95_is_monotone_over_scenarios() {
+        let dir = std::env::temp_dir().join("tsg-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("optimize-p95.g");
+        std::fs::write(&path, tsg_stg::EXAMPLE_OSCILLATOR).unwrap();
+        let p = path.to_string_lossy().into_owned();
+        let argv: Vec<String> = [
+            "explore",
+            &p,
+            "--optimize",
+            "--moves",
+            "12",
+            "--seed",
+            "42",
+            "--objective",
+            "tau-p95",
+            "--samples",
+            "8",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        let out = run(&argv).unwrap();
+        assert!(
+            out.contains("objective: tau-p95 over 8 scenario lane(s)"),
+            "{out}"
+        );
+        assert!(out.contains("tau distribution:"), "{out}");
+        assert!(out.contains("verified: bit-identical"), "{out}");
+        // The committed objective value (p95 over the scenario lanes)
+        // never climbs, exactly like the nominal-tau loop.
+        let mut committed: Option<f64> = None;
+        for line in out.lines().filter(|l| l.starts_with("move ")) {
+            let rest = line.split("tau ").nth(1).expect("move line shape");
+            let (before, rest) = rest.split_once(" -> ").expect("move line shape");
+            let before: f64 = before.parse().unwrap();
+            let after: f64 = rest.split(' ').next().unwrap().parse().unwrap();
+            if let Some(c) = committed {
+                assert_eq!(before, c, "{line}");
+            }
+            if line.contains("(accepted") {
+                assert!(after < before, "{line}");
+            } else {
+                assert_eq!(after, before, "{line}");
+            }
+            committed = Some(after);
+        }
+        // Same seed, same run: trajectory and distribution reproduce.
+        assert_eq!(run(&argv).unwrap(), out);
+        // --samples demands --optimize, like the other optimizer flags.
+        let err = run(&["explore".into(), p, "--samples".into(), "8".into()]).unwrap_err();
+        assert!(err.contains("--samples requires --optimize"), "{err}");
     }
 
     #[test]

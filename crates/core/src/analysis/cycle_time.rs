@@ -31,6 +31,7 @@ use std::fmt;
 use tsg_sim::{BatchRunner, CancelKind, CancelToken};
 
 use crate::analysis::initiated::SimArena;
+use crate::analysis::scenario::{ScenarioAnalysis, ScenarioSet};
 use crate::analysis::session::{AnalysisSession, CycleTimeDelta, DelayEdit, EditError};
 use crate::analysis::structure::CyclicStructure;
 use crate::analysis::wide::{AnalysisArena, Cancelled, Halt, KernelBackend, WideArena};
@@ -58,6 +59,16 @@ pub enum AnalysisError {
         /// Rows a complete run would have computed.
         rows_total: usize,
     },
+    /// The requested simulation batch has nothing to simulate — zero
+    /// lanes (no borders × scenarios) or zero periods. A malformed
+    /// request is a structured error, never a panic, so a served
+    /// request can't abort a worker.
+    DegenerateBatch {
+        /// Requested lane count (`borders × scenarios`).
+        lanes: usize,
+        /// Requested simulation periods.
+        periods: u32,
+    },
 }
 
 impl fmt::Display for AnalysisError {
@@ -74,6 +85,12 @@ impl fmt::Display for AnalysisError {
                 write!(
                     f,
                     "{kind} after {rows_done} of {rows_total} simulation row(s)"
+                )
+            }
+            AnalysisError::DegenerateBatch { lanes, periods } => {
+                write!(
+                    f,
+                    "degenerate simulation batch: {lanes} lane(s) over {periods} period(s)"
                 )
             }
         }
@@ -106,6 +123,83 @@ impl BorderRecord {
 fn ratio_cmp(a: (f64, u32), b: (f64, u32)) -> std::cmp::Ordering {
     // a.0/a.1 vs b.0/b.1 by cross multiplication (denominators positive).
     (a.0 * b.1 as f64).total_cmp(&(b.0 * a.1 as f64))
+}
+
+/// Maps a kernel [`Halt`] onto the public error. `NotRepetitive` cannot
+/// escape the analysis entry points — every lane is initiated from a
+/// border event, which is repetitive by construction — but the mapping
+/// stays total so a future caller mistake is a structured error, not UB.
+pub(crate) fn halt_to_error(halt: Halt) -> AnalysisError {
+    match halt {
+        Halt::NotRepetitive(_) => {
+            unreachable!("border events are repetitive by construction")
+        }
+        Halt::Cancelled(c) => AnalysisError::Cancelled {
+            kind: c.kind,
+            rows_done: c.rows_done,
+            rows_total: c.rows_total,
+        },
+        Halt::Degenerate { lanes, periods } => AnalysisError::DegenerateBatch { lanes, periods },
+    }
+}
+
+/// Per-row working-set budget of a scenario-sweep chunk (current +
+/// previous matrix row and the δ table, all `lanes` wide): half a
+/// typical per-core L2, leaving room for the structure tables. Purely a
+/// blocking factor — results are bit-identical at any value.
+const L2_BUDGET_BYTES: usize = 512 * 1024;
+
+/// Overwrites `scratch`'s live-arc delays with scenario `j`'s
+/// reweighting of `nominal` — the in-place form of
+/// [`ScenarioSet::reweighted`], bit-identical to it (same
+/// `delay × factor` products through the same `set_delay`), letting the
+/// scenario runners serve every finish step from one scratch clone
+/// instead of materialising a graph per scenario.
+fn reweight_in_place(
+    scratch: &mut SignalGraph,
+    nominal: &SignalGraph,
+    set: &ScenarioSet,
+    j: usize,
+) {
+    for a in nominal.arc_ids() {
+        if !nominal.is_live_arc(a) {
+            continue;
+        }
+        let scaled = nominal.arc(a).delay().get() * set.factor(j, a);
+        scratch
+            .set_delay(a, scaled)
+            .expect("factors in (0, 2) keep delays finite and non-negative");
+    }
+}
+
+/// Flattens per-worker record chunks, preserving chunk order; on
+/// cancellation the reported progress is the *least* advanced worker's
+/// row count (any other halt surfaces as-is).
+fn merge_chunk_records(
+    chunks: Vec<Result<Vec<BorderRecord>, Halt>>,
+    capacity: usize,
+) -> Result<Vec<BorderRecord>, AnalysisError> {
+    let mut records: Vec<BorderRecord> = Vec::with_capacity(capacity);
+    let mut cancelled: Option<Cancelled> = None;
+    for chunk in chunks {
+        match chunk {
+            Ok(mut r) => records.append(&mut r),
+            Err(Halt::Cancelled(c)) => {
+                cancelled = Some(match cancelled {
+                    Some(prev) => Cancelled {
+                        rows_done: prev.rows_done.min(c.rows_done),
+                        ..c
+                    },
+                    None => c,
+                })
+            }
+            Err(halt) => return Err(halt_to_error(halt)),
+        }
+    }
+    if let Some(c) = cancelled {
+        return Err(halt_to_error(Halt::Cancelled(c)));
+    }
+    Ok(records)
 }
 
 /// Result of the paper's cycle-time algorithm.
@@ -239,18 +333,8 @@ impl CycleTimeAnalysis {
             structure,
         } = arena;
         structure.rebuild(sg);
-        match wide.run_with(sg, structure, &border, b, cancel) {
-            Ok(()) => {}
-            Err(Halt::NotRepetitive(_)) => {
-                unreachable!("border events are repetitive by construction")
-            }
-            Err(Halt::Cancelled(c)) => {
-                return Err(AnalysisError::Cancelled {
-                    kind: c.kind,
-                    rows_done: c.rows_done,
-                    rows_total: c.rows_total,
-                })
-            }
+        if let Err(halt) = wide.run_with(sg, structure, &border, b, cancel) {
+            return Err(halt_to_error(halt));
         }
         let records = (0..border.len())
             .map(|k| BorderRecord {
@@ -372,30 +456,208 @@ impl CycleTimeAnalysis {
 
         let chunk = border.len().div_ceil(runner.threads().max(1));
         let chunks: Vec<&[EventId]> = border.chunks(chunk).collect();
-        let chunk_records: Vec<Result<Vec<BorderRecord>, Cancelled>> = runner.run_with_state(
+        let chunk_records: Vec<Result<Vec<BorderRecord>, Halt>> = runner.run_with_state(
             &chunks,
             || WideArena::with_kernel(kernel),
-            |wide, lanes| match wide.run_with(sg, &structure, lanes, b, cancel) {
-                Ok(()) => Ok(lanes
+            |wide, lanes| {
+                wide.run_with(sg, &structure, lanes, b, cancel)?;
+                Ok(lanes
                     .iter()
                     .enumerate()
                     .map(|(k, &g)| BorderRecord {
                         event: g,
                         distances: wide.distance_series(k),
                     })
-                    .collect()),
-                Err(Halt::NotRepetitive(_)) => {
-                    unreachable!("border events are repetitive by construction")
-                }
-                Err(Halt::Cancelled(c)) => Err(c),
+                    .collect())
             },
         );
-        let mut records: Vec<BorderRecord> = Vec::with_capacity(border.len());
+        let records = merge_chunk_records(chunk_records, border.len())?;
+
+        Self::finish(sg, &structure, border, records, &mut SimArena::new())
+    }
+
+    /// Runs the algorithm under every delay scenario of `set` in one
+    /// scenario-lane sweep: the wide kernel packs `borders × scenarios`
+    /// lanes, so all scenarios share a single lockstep pass over the
+    /// nominal in-arc table with per-lane δ vectors — instead of one
+    /// full re-analysis per scenario.
+    ///
+    /// Scenario `j`'s lanes are bit-identical to a from-scratch
+    /// [`run`](Self::run) on [`ScenarioSet::reweighted`]`(sg, j)` (the
+    /// bench suite asserts exactly that before timing anything), and the
+    /// per-scenario finish re-runs the winner on the reweighted graph,
+    /// so each [`ScenarioAnalysis::analysis`] is a full, exact result.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::NoCyclicBehavior`] for graphs without repetitive
+    /// events; [`AnalysisError::DegenerateBatch`] when `set` spans no
+    /// scenarios.
+    pub fn run_scenarios(
+        sg: &SignalGraph,
+        set: &ScenarioSet,
+    ) -> Result<ScenarioAnalysis, AnalysisError> {
+        Self::run_scenarios_in(sg, set, None, &mut AnalysisArena::new(), None)
+    }
+
+    /// Arena-reusing, cancellable form of
+    /// [`run_scenarios`](Self::run_scenarios); `cancel` is polled once
+    /// per lockstep matrix row across all scenario lanes.
+    ///
+    /// # Errors
+    ///
+    /// As [`run_scenarios`](Self::run_scenarios), plus
+    /// [`AnalysisError::Cancelled`] when `cancel` fires first.
+    pub fn run_scenarios_in(
+        sg: &SignalGraph,
+        set: &ScenarioSet,
+        periods: Option<u32>,
+        arena: &mut AnalysisArena,
+        cancel: Option<&CancelToken>,
+    ) -> Result<ScenarioAnalysis, AnalysisError> {
+        let border = sg.border_events();
+        if border.is_empty() {
+            return Err(AnalysisError::NoCyclicBehavior);
+        }
+        let b = periods.unwrap_or(border.len() as u32).max(1);
+        let s = set.len();
+
+        // Scenario δs are `nominal × factor` — the exact product
+        // `ScenarioSet::reweighted` stores (set_delay keeps the bits),
+        // so kernel lanes and scalar re-runs on the reweighted graph
+        // fold bit-identical δs by construction, without materialising
+        // one graph clone per scenario on the hot path.
+        let AnalysisArena {
+            wide,
+            finish,
+            structure,
+        } = arena;
+        structure.rebuild(sg);
+
+        // Scenarios are swept in cache-sized chunks: a chunk's hot set
+        // per matrix row — the current/previous row pair plus the δ
+        // table, all `lanes` wide — should stay L2-resident, or a large
+        // `b × s` matrix turns the lockstep pass memory-bound and loses
+        // to per-scenario re-analysis. Lanes are independent, so chunk
+        // boundaries cannot change any lane's cells: the result is
+        // bit-identical at every chunk size.
+        let bn = border.len();
+        let n = sg.event_count();
+        let per_lane_bytes = (2 * n + sg.arc_count()) * std::mem::size_of::<f64>();
+        let scen_chunk = (L2_BUDGET_BYTES / (per_lane_bytes * bn).max(1)).clamp(1, s);
+        let mut scenario_records: Vec<Vec<BorderRecord>> = Vec::with_capacity(s);
+        let mut j0 = 0usize;
+        while j0 < s {
+            let sc = scen_chunk.min(s - j0);
+            if let Err(halt) = wide.run_scenarios_with(
+                sg,
+                structure,
+                &border,
+                sc,
+                |arc, jj| sg.arc(arc).delay().get() * set.factor(j0 + jj, arc),
+                b,
+                cancel,
+            ) {
+                return Err(halt_to_error(halt));
+            }
+            for jj in 0..sc {
+                scenario_records.push(
+                    (0..bn)
+                        .map(|k| BorderRecord {
+                            event: border[k],
+                            distances: wide.distance_series(jj * bn + k),
+                        })
+                        .collect(),
+                );
+            }
+            j0 += sc;
+        }
+
+        // The finish step's parent-tracked winner re-run reads a real
+        // graph; one scratch clone serves every scenario in turn with
+        // its delays overwritten in place — s full clones (label
+        // strings included) would cost more than the sweep itself.
+        let mut scratch = sg.clone();
+        let labels = (0..s).map(|j| set.label(j).to_string()).collect();
+        let mut per = Vec::with_capacity(s);
+        for (j, records) in scenario_records.into_iter().enumerate() {
+            reweight_in_place(&mut scratch, sg, set, j);
+            // Rebuild per scenario over the same warm buffers: no
+            // allocation after the first.
+            structure.rebuild(&scratch);
+            per.push(Self::finish(
+                &scratch,
+                structure,
+                border.clone(),
+                records,
+                finish,
+            )?);
+        }
+        Ok(ScenarioAnalysis::new(labels, per))
+    }
+
+    /// [`run_scenarios`](Self::run_scenarios) with the scenario lanes
+    /// chunked across `runner`'s threads: each worker sweeps a
+    /// contiguous block of scenarios (all borders of each) over its own
+    /// [`WideArena`] pinned to `kernel`. Chunks preserve scenario order
+    /// and lanes are independent, so the result is bit-identical to the
+    /// sequential sweep at every thread count.
+    ///
+    /// # Errors
+    ///
+    /// As [`run_scenarios`](Self::run_scenarios), plus
+    /// [`AnalysisError::Cancelled`] when `cancel` fires first (reported
+    /// progress is the least advanced worker's row count).
+    pub fn run_scenarios_parallel_on(
+        sg: &SignalGraph,
+        set: &ScenarioSet,
+        runner: &BatchRunner,
+        kernel: KernelBackend,
+        cancel: Option<&CancelToken>,
+    ) -> Result<ScenarioAnalysis, AnalysisError> {
+        let border = sg.border_events();
+        if border.is_empty() {
+            return Err(AnalysisError::NoCyclicBehavior);
+        }
+        let b = border.len() as u32;
+        let s = set.len();
+        let structure = CyclicStructure::new(sg);
+
+        let bn = border.len();
+        let scenario_ids: Vec<usize> = (0..s).collect();
+        let chunk = s.div_ceil(runner.threads().max(1)).max(1);
+        let chunks: Vec<&[usize]> = scenario_ids.chunks(chunk).collect();
+        let chunk_records: Vec<Result<Vec<Vec<BorderRecord>>, Halt>> = runner.run_with_state(
+            &chunks,
+            || WideArena::with_kernel(kernel),
+            |wide, ids| {
+                wide.run_scenarios_with(
+                    sg,
+                    &structure,
+                    &border,
+                    ids.len(),
+                    |arc, jj| sg.arc(arc).delay().get() * set.factor(ids[jj], arc),
+                    b,
+                    cancel,
+                )?;
+                Ok((0..ids.len())
+                    .map(|jj| {
+                        (0..bn)
+                            .map(|k| BorderRecord {
+                                event: border[k],
+                                distances: wide.distance_series(jj * bn + k),
+                            })
+                            .collect()
+                    })
+                    .collect())
+            },
+        );
+        let mut scenario_records: Vec<Vec<BorderRecord>> = Vec::with_capacity(s);
         let mut cancelled: Option<Cancelled> = None;
         for chunk in chunk_records {
             match chunk {
-                Ok(mut r) => records.append(&mut r),
-                Err(c) => {
+                Ok(mut r) => scenario_records.append(&mut r),
+                Err(Halt::Cancelled(c)) => {
                     cancelled = Some(match cancelled {
                         Some(prev) => Cancelled {
                             rows_done: prev.rows_done.min(c.rows_done),
@@ -404,17 +666,30 @@ impl CycleTimeAnalysis {
                         None => c,
                     })
                 }
+                Err(halt) => return Err(halt_to_error(halt)),
             }
         }
         if let Some(c) = cancelled {
-            return Err(AnalysisError::Cancelled {
-                kind: c.kind,
-                rows_done: c.rows_done,
-                rows_total: c.rows_total,
-            });
+            return Err(halt_to_error(Halt::Cancelled(c)));
         }
 
-        Self::finish(sg, &structure, border, records, &mut SimArena::new())
+        let labels = (0..s).map(|j| set.label(j).to_string()).collect();
+        let mut finish = SimArena::new();
+        let mut fin_structure = CyclicStructure::new(sg);
+        let mut scratch = sg.clone();
+        let mut per = Vec::with_capacity(s);
+        for (j, records) in scenario_records.into_iter().enumerate() {
+            reweight_in_place(&mut scratch, sg, set, j);
+            fin_structure.rebuild(&scratch);
+            per.push(Self::finish(
+                &scratch,
+                &fin_structure,
+                border.clone(),
+                records,
+                &mut finish,
+            )?);
+        }
+        Ok(ScenarioAnalysis::new(labels, per))
     }
 
     /// Analyzes many graphs in parallel — the many-graph sweep behind

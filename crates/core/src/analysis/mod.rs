@@ -24,6 +24,7 @@ pub mod cycle_time;
 pub mod diagram;
 pub mod event_sim;
 pub mod initiated;
+pub mod scenario;
 pub mod session;
 pub mod sim;
 pub mod slack;
@@ -31,8 +32,9 @@ pub(crate) mod structure;
 pub mod wide;
 
 pub use cycle_time::{AnalysisError, BorderRecord, CycleTimeAnalysis};
+pub use scenario::{Corner, ScenarioAnalysis, ScenarioSet, ScenarioSpecError, UnknownCorner};
 pub use session::{AnalysisSession, CycleTimeDelta, DelayEdit, EditError};
-pub use wide::{KernelBackend, KernelUnavailable, UnknownKernel};
+pub use wide::{KernelBackend, KernelUnavailable, UnknownKernel, WideRunError};
 
 use crate::time::Ratio;
 use std::fmt;

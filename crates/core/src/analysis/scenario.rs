@@ -1,0 +1,584 @@
+//! Delay scenarios: the per-arc delay assignments the scenario-lane
+//! kernel sweeps — min/typ/max *corners* derated by a percentage, or
+//! seeded Monte-Carlo *samples* from a per-arc variation model.
+//!
+//! A [`ScenarioSet`] is the bridge between a user-facing specification
+//! (`--corners min,typ,max --derate 10`, `--samples 64 --seed 7`) and
+//! the kernel's per-lane δ table: it derives one multiplicative factor
+//! per (scenario, arc slot) and materialises each scenario's
+//! *reweighted graph* — the nominal graph with every live arc's delay
+//! replaced by `nominal × factor`. Both the wide kernel's δ vectors and
+//! the scalar verification oracle read delays from the *same*
+//! reweighted graph, so scenario lanes are bit-identical to scalar
+//! re-runs by construction.
+//!
+//! # Deterministic sampling
+//!
+//! Sampled scenarios follow the RNG-stream discipline of
+//! `longrun_estimate_mc_lanes`: scenario `j` owns an independent
+//! `SmallRng` stream seeded `seed + j`, drawing one factor per arc slot
+//! in `ArcId` order. Because streams never share state, sample scenario
+//! `j` of `K` is bit-identical regardless of `K` — growing a sweep adds
+//! lanes without disturbing the ones already measured.
+
+use std::fmt;
+use std::str::FromStr;
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+use crate::analysis::cycle_time::CycleTimeAnalysis;
+use crate::arc::ArcId;
+use crate::graph::SignalGraph;
+
+/// A classic delay corner: every arc derated the same way.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Corner {
+    /// All delays scaled by `1 − derate/100`.
+    Min,
+    /// Nominal delays (factor exactly `1.0`).
+    Typ,
+    /// All delays scaled by `1 + derate/100`.
+    Max,
+}
+
+impl Corner {
+    /// The lowercase flag/wire name (`min`, `typ`, `max`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Corner::Min => "min",
+            Corner::Typ => "typ",
+            Corner::Max => "max",
+        }
+    }
+
+    /// The multiplicative delay factor of this corner at `derate`
+    /// percent.
+    fn factor(self, derate: f64) -> f64 {
+        match self {
+            Corner::Min => 1.0 - derate / 100.0,
+            Corner::Typ => 1.0,
+            Corner::Max => 1.0 + derate / 100.0,
+        }
+    }
+}
+
+impl fmt::Display for Corner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Corner {
+    type Err = UnknownCorner;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "min" => Ok(Corner::Min),
+            "typ" => Ok(Corner::Typ),
+            "max" => Ok(Corner::Max),
+            _ => Err(UnknownCorner(s.to_string())),
+        }
+    }
+}
+
+/// Parse error of [`Corner`]: the string names no corner.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownCorner(pub String);
+
+impl fmt::Display for UnknownCorner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown corner `{}` (expected min, typ or max)", self.0)
+    }
+}
+
+impl std::error::Error for UnknownCorner {}
+
+/// An invalid scenario specification — zero scenarios, or a derate
+/// outside the range that keeps every scaled delay valid.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum ScenarioSpecError {
+    /// The specification names no scenarios (empty corner list or
+    /// `samples 0`).
+    Empty,
+    /// The derate percentage is outside `[0, 100)` — a min corner or
+    /// sampled factor would turn a delay negative (or NaN).
+    InvalidDerate(f64),
+}
+
+impl fmt::Display for ScenarioSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioSpecError::Empty => write!(f, "scenario set is empty"),
+            ScenarioSpecError::InvalidDerate(d) => {
+                write!(f, "derate {d}% is outside [0, 100)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioSpecError {}
+
+/// How a [`ScenarioSet`]'s factors are derived — retained so structural
+/// edits can re-derive the set for a changed arc-slot count
+/// ([`ScenarioSet::resized`]) without losing determinism.
+#[derive(Clone, Debug, PartialEq)]
+enum ScenarioSpec {
+    Corners {
+        derate: f64,
+        which: Vec<Corner>,
+    },
+    Samples {
+        count: usize,
+        seed: u64,
+        jitter: f64,
+    },
+}
+
+/// A fixed set of delay scenarios over one graph's arc-slot space:
+/// per-scenario labels and per-(scenario, arc) multiplicative factors.
+///
+/// # Examples
+///
+/// ```
+/// use tsg_core::SignalGraph;
+/// use tsg_core::analysis::scenario::{Corner, ScenarioSet};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = SignalGraph::builder();
+/// let xp = b.event("x+");
+/// let xm = b.event("x-");
+/// b.arc(xp, xm, 3.0);
+/// b.marked_arc(xm, xp, 2.0);
+/// let sg = b.build()?;
+///
+/// let set = ScenarioSet::corners(
+///     10.0,
+///     &[Corner::Min, Corner::Typ, Corner::Max],
+///     sg.arc_count(),
+/// )?;
+/// assert_eq!(set.len(), 3);
+/// assert_eq!(set.label(0), "min");
+/// let typ = set.reweighted(&sg, 1); // typ: factors are exactly 1.0
+/// let a = sg.arc_ids().next().unwrap();
+/// assert_eq!(typ.arc(a).delay(), sg.arc(a).delay());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioSet {
+    spec: ScenarioSpec,
+    labels: Vec<String>,
+    /// `factors[j * arc_slots + a]`: scenario `j`'s factor for arc slot
+    /// `a` (slots indexed by `ArcId::index`, tombstones included so the
+    /// sampled streams stay aligned across structural edits).
+    factors: Vec<f64>,
+    arc_slots: usize,
+}
+
+impl ScenarioSet {
+    /// Corner scenarios in the given order, each scaling every arc by
+    /// the corner's factor at `derate` percent.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioSpecError::Empty`] when `which` is empty;
+    /// [`ScenarioSpecError::InvalidDerate`] when `derate` is outside
+    /// `[0, 100)`.
+    pub fn corners(
+        derate: f64,
+        which: &[Corner],
+        arc_slots: usize,
+    ) -> Result<Self, ScenarioSpecError> {
+        if which.is_empty() {
+            return Err(ScenarioSpecError::Empty);
+        }
+        if !(0.0..100.0).contains(&derate) {
+            return Err(ScenarioSpecError::InvalidDerate(derate));
+        }
+        Ok(Self::derive(
+            ScenarioSpec::Corners {
+                derate,
+                which: which.to_vec(),
+            },
+            arc_slots,
+        ))
+    }
+
+    /// `count` sampled scenarios: scenario `j` draws one factor per arc
+    /// slot in `ArcId` order from an independent stream seeded
+    /// `seed + j`, each factor uniform in `[1 − jitter, 1 + jitter)` —
+    /// the `longrun_estimate_mc_lanes` discipline, so scenario `j` is
+    /// bit-identical regardless of `count`.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioSpecError::Empty`] when `count == 0`;
+    /// [`ScenarioSpecError::InvalidDerate`] when `jitter_pct` is outside
+    /// `[0, 100)`.
+    pub fn samples(
+        count: usize,
+        seed: u64,
+        jitter_pct: f64,
+        arc_slots: usize,
+    ) -> Result<Self, ScenarioSpecError> {
+        if count == 0 {
+            return Err(ScenarioSpecError::Empty);
+        }
+        if !(0.0..100.0).contains(&jitter_pct) {
+            return Err(ScenarioSpecError::InvalidDerate(jitter_pct));
+        }
+        Ok(Self::derive(
+            ScenarioSpec::Samples {
+                count,
+                seed,
+                jitter: jitter_pct / 100.0,
+            },
+            arc_slots,
+        ))
+    }
+
+    fn derive(spec: ScenarioSpec, arc_slots: usize) -> Self {
+        let (labels, factors) = match &spec {
+            ScenarioSpec::Corners { derate, which } => {
+                let labels = which.iter().map(|c| c.name().to_string()).collect();
+                let mut factors = Vec::with_capacity(which.len() * arc_slots);
+                for c in which {
+                    let f = c.factor(*derate);
+                    factors.extend(std::iter::repeat_n(f, arc_slots));
+                }
+                (labels, factors)
+            }
+            ScenarioSpec::Samples {
+                count,
+                seed,
+                jitter,
+            } => {
+                let labels = (0..*count).map(|j| format!("s{j}")).collect();
+                let mut factors = Vec::with_capacity(count * arc_slots);
+                for j in 0..*count {
+                    // Independent stream per scenario — adding scenarios
+                    // never perturbs earlier ones.
+                    let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(j as u64));
+                    factors.extend((0..arc_slots).map(|_| jitter_factor(&mut rng, *jitter)));
+                }
+                (labels, factors)
+            }
+        };
+        ScenarioSet {
+            spec,
+            labels,
+            factors,
+            arc_slots,
+        }
+    }
+
+    /// The same specification re-derived over a different arc-slot
+    /// count — the structural-edit hook: after arcs are added the new
+    /// slots get deterministic factors and existing corner factors are
+    /// unchanged. (Sampled factors for existing slots are re-drawn from
+    /// the same per-scenario streams, so the set stays a pure function
+    /// of `(spec, arc_slots)`.)
+    pub fn resized(&self, arc_slots: usize) -> Self {
+        Self::derive(self.spec.clone(), arc_slots)
+    }
+
+    /// Number of scenarios `s`.
+    #[allow(clippy::len_without_is_empty)] // construction rejects empty sets
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The display label of scenario `j` (`min`/`typ`/`max` or `s{j}`).
+    pub fn label(&self, j: usize) -> &str {
+        &self.labels[j]
+    }
+
+    /// Scenario `j`'s multiplicative factor for arc slot `a`.
+    pub fn factor(&self, j: usize, a: ArcId) -> f64 {
+        self.factors[j * self.arc_slots + a.index()]
+    }
+
+    /// The arc-slot count the factors were derived over.
+    pub fn arc_slots(&self) -> usize {
+        self.arc_slots
+    }
+
+    /// Scenario `j`'s reweighted graph: `sg` with every live arc's
+    /// delay replaced by `nominal × factor(j, arc)` — the canonical
+    /// delay source both the kernel δ table and the scalar verification
+    /// oracle read, which is what makes them bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sg` has more arc slots than this set was derived
+    /// over (call [`resized`](Self::resized) after structural edits),
+    /// or if a scaled delay is invalid (impossible for valid specs:
+    /// factors stay within `(0, 2)`).
+    pub fn reweighted(&self, sg: &SignalGraph, j: usize) -> SignalGraph {
+        assert!(
+            sg.arc_count() <= self.arc_slots,
+            "scenario set derived over {} arc slots, graph has {}",
+            self.arc_slots,
+            sg.arc_count()
+        );
+        let mut out = sg.clone();
+        for a in sg.arc_ids() {
+            if !sg.is_live_arc(a) {
+                continue;
+            }
+            let scaled = sg.arc(a).delay().get() * self.factor(j, a);
+            out.set_delay(a, scaled)
+                .expect("factors in (0, 2) keep delays finite and non-negative");
+        }
+        out
+    }
+}
+
+/// A uniform draw in `[0, 1)` from the top 53 bits of the stream —
+/// the exact conversion `longrun_estimate_mc_lanes` uses, duplicated
+/// here so core carries no dependency on the baselines crate.
+fn unit_f64(rng: &mut SmallRng) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Multiplicative delay perturbation in `[1 − jitter, 1 + jitter)`;
+/// exactly `1.0` at `jitter == 0`.
+fn jitter_factor(rng: &mut SmallRng, jitter: f64) -> f64 {
+    1.0 + jitter * (2.0 * unit_f64(rng) - 1.0)
+}
+
+/// The result of one scenario sweep: a full [`CycleTimeAnalysis`] per
+/// scenario, plus the distribution summaries reports surface — τ per
+/// corner, τ mean/quantiles, and per-arc criticality probabilities.
+#[derive(Clone, Debug)]
+pub struct ScenarioAnalysis {
+    labels: Vec<String>,
+    per: Vec<CycleTimeAnalysis>,
+}
+
+impl ScenarioAnalysis {
+    pub(crate) fn new(labels: Vec<String>, per: Vec<CycleTimeAnalysis>) -> Self {
+        debug_assert_eq!(labels.len(), per.len());
+        ScenarioAnalysis { labels, per }
+    }
+
+    /// Number of scenarios analysed.
+    #[allow(clippy::len_without_is_empty)] // always at least one scenario
+    pub fn len(&self) -> usize {
+        self.per.len()
+    }
+
+    /// The display label of scenario `j`.
+    pub fn label(&self, j: usize) -> &str {
+        &self.labels[j]
+    }
+
+    /// The full analysis of scenario `j`.
+    pub fn analysis(&self, j: usize) -> &CycleTimeAnalysis {
+        &self.per[j]
+    }
+
+    /// All per-scenario analyses, scenario-ordered.
+    pub fn analyses(&self) -> &[CycleTimeAnalysis] {
+        &self.per
+    }
+
+    /// τ of every scenario, scenario-ordered.
+    pub fn taus(&self) -> Vec<f64> {
+        self.per.iter().map(|a| a.cycle_time().as_f64()).collect()
+    }
+
+    /// Mean τ over the scenarios.
+    pub fn tau_mean(&self) -> f64 {
+        self.taus().iter().sum::<f64>() / self.len() as f64
+    }
+
+    /// Nearest-rank quantile of the τ distribution (`q` in `[0, 1]`;
+    /// `q = 0.5` is the median, `q = 1.0` the maximum).
+    pub fn tau_quantile(&self, q: f64) -> f64 {
+        let mut taus = self.taus();
+        taus.sort_by(f64::total_cmp);
+        let s = taus.len();
+        let idx = ((q * s as f64).ceil().max(1.0) as usize - 1).min(s - 1);
+        taus[idx]
+    }
+
+    /// Per-arc criticality: for every arc on at least one scenario's
+    /// critical cycle, the fraction of scenarios whose critical cycle
+    /// contains it — sorted most-critical first (ties by arc index).
+    pub fn criticality(&self) -> Vec<(ArcId, f64)> {
+        let mut counts: Vec<(ArcId, usize)> = Vec::new();
+        for a in &self.per {
+            for &arc in a.critical_cycle() {
+                match counts.iter_mut().find(|(x, _)| *x == arc) {
+                    Some((_, c)) => *c += 1,
+                    None => counts.push((arc, 1)),
+                }
+            }
+        }
+        counts.sort_by_key(|&(arc, c)| (std::cmp::Reverse(c), arc.index()));
+        let s = self.len() as f64;
+        counts
+            .into_iter()
+            .map(|(arc, c)| (arc, c as f64 / s))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SignalGraph;
+
+    fn figure2() -> SignalGraph {
+        let mut b = SignalGraph::builder();
+        let e = b.initial_event("e-");
+        let f = b.finite_event("f-");
+        let ap = b.event("a+");
+        let bp = b.event("b+");
+        let cp = b.event("c+");
+        let am = b.event("a-");
+        let bm = b.event("b-");
+        let cm = b.event("c-");
+        b.arc(e, f, 3.0);
+        b.disengageable_arc(e, ap, 2.0);
+        b.disengageable_arc(f, bp, 1.0);
+        b.arc(ap, cp, 3.0);
+        b.arc(bp, cp, 2.0);
+        b.arc(cp, am, 2.0);
+        b.arc(cp, bm, 1.0);
+        b.arc(am, cm, 3.0);
+        b.arc(bm, cm, 2.0);
+        b.marked_arc(cm, ap, 2.0);
+        b.marked_arc(cm, bp, 1.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn corner_factors_and_labels() {
+        let set = ScenarioSet::corners(10.0, &[Corner::Min, Corner::Typ, Corner::Max], 4).unwrap();
+        assert_eq!(set.len(), 3);
+        assert_eq!(
+            (0..3).map(|j| set.label(j)).collect::<Vec<_>>(),
+            ["min", "typ", "max"]
+        );
+        let a0 = ArcId(0);
+        assert_eq!(set.factor(0, a0), 0.9);
+        assert_eq!(set.factor(1, a0), 1.0);
+        assert_eq!(set.factor(2, a0), 1.1);
+    }
+
+    #[test]
+    fn corner_parse_round_trip_and_errors() {
+        for c in [Corner::Min, Corner::Typ, Corner::Max] {
+            assert_eq!(c.name().parse::<Corner>(), Ok(c));
+            assert_eq!(c.to_string(), c.name());
+        }
+        assert_eq!("TYP".parse::<Corner>(), Ok(Corner::Typ));
+        assert_eq!(
+            "fast".parse::<Corner>(),
+            Err(UnknownCorner("fast".to_string()))
+        );
+        assert_eq!(
+            ScenarioSet::corners(10.0, &[], 4).unwrap_err(),
+            ScenarioSpecError::Empty
+        );
+        assert_eq!(
+            ScenarioSet::corners(100.0, &[Corner::Min], 4).unwrap_err(),
+            ScenarioSpecError::InvalidDerate(100.0)
+        );
+        assert_eq!(
+            ScenarioSet::samples(0, 1, 10.0, 4).unwrap_err(),
+            ScenarioSpecError::Empty
+        );
+    }
+
+    /// The satellite requirement: sample scenario `j` of `K` must be
+    /// bit-identical regardless of `K` — per-scenario streams never
+    /// share state.
+    #[test]
+    fn sample_scenarios_are_independent_of_count() {
+        let slots = 7;
+        let small = ScenarioSet::samples(3, 42, 15.0, slots).unwrap();
+        let large = ScenarioSet::samples(64, 42, 15.0, slots).unwrap();
+        for j in 0..small.len() {
+            for a in 0..slots {
+                let arc = ArcId(a as u32);
+                assert_eq!(
+                    small.factor(j, arc).to_bits(),
+                    large.factor(j, arc).to_bits(),
+                    "scenario {j} slot {a}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resized_is_deterministic_and_spec_preserving() {
+        let set = ScenarioSet::samples(4, 7, 20.0, 5).unwrap();
+        let grown = set.resized(9);
+        assert_eq!(grown.len(), 4);
+        assert_eq!(grown.arc_slots(), 9);
+        // Re-deriving at the same size reproduces the set exactly.
+        assert_eq!(grown.resized(5), set);
+        let corners = ScenarioSet::corners(5.0, &[Corner::Max], 3).unwrap();
+        assert_eq!(corners.resized(6).factor(0, ArcId(5)), 1.05);
+    }
+
+    #[test]
+    fn reweighted_scales_only_live_arcs() {
+        let sg = figure2();
+        let set = ScenarioSet::corners(
+            10.0,
+            &[Corner::Min, Corner::Typ, Corner::Max],
+            sg.arc_count(),
+        )
+        .unwrap();
+        let typ = set.reweighted(&sg, 1);
+        for a in sg.arc_ids() {
+            assert_eq!(
+                typ.arc(a).delay().get().to_bits(),
+                sg.arc(a).delay().get().to_bits(),
+                "typ corner must be bitwise nominal"
+            );
+        }
+        let max = set.reweighted(&sg, 2);
+        for a in sg.arc_ids().filter(|&a| sg.is_live_arc(a)) {
+            assert_eq!(
+                max.arc(a).delay().get().to_bits(),
+                (sg.arc(a).delay().get() * 1.1).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_use_nearest_rank() {
+        let sg = figure2();
+        let set = ScenarioSet::corners(
+            10.0,
+            &[Corner::Min, Corner::Typ, Corner::Max],
+            sg.arc_count(),
+        )
+        .unwrap();
+        let per: Vec<_> = (0..set.len())
+            .map(|j| CycleTimeAnalysis::run(&set.reweighted(&sg, j)).unwrap())
+            .collect();
+        let labels = (0..set.len()).map(|j| set.label(j).to_string()).collect();
+        let sa = ScenarioAnalysis::new(labels, per);
+        let taus = sa.taus();
+        // Corners scale every delay uniformly, so τ scales with them.
+        assert_eq!(taus.len(), 3);
+        assert!(taus[0] < taus[1] && taus[1] < taus[2]);
+        assert_eq!(sa.tau_quantile(0.0), taus[0]);
+        assert_eq!(sa.tau_quantile(0.5), taus[1]);
+        assert_eq!(sa.tau_quantile(1.0), taus[2]);
+        let mean = (taus[0] + taus[1] + taus[2]) / 3.0;
+        assert!((sa.tau_mean() - mean).abs() < 1e-12);
+        // Every scenario's critical cycle exists; probabilities in (0,1].
+        for (_, p) in sa.criticality() {
+            assert!(p > 0.0 && p <= 1.0);
+        }
+    }
+}

@@ -85,8 +85,9 @@ use std::fmt;
 
 use tsg_sim::{CancelKind, CancelToken};
 
-use crate::analysis::cycle_time::{AnalysisError, BorderRecord, CycleTimeAnalysis};
+use crate::analysis::cycle_time::{halt_to_error, AnalysisError, BorderRecord, CycleTimeAnalysis};
 use crate::analysis::initiated::SimArena;
+use crate::analysis::scenario::{ScenarioAnalysis, ScenarioSet};
 use crate::analysis::structure::CyclicStructure;
 use crate::analysis::wide::{Halt, KernelBackend, WideArena};
 use crate::analysis::CycleTime;
@@ -301,6 +302,36 @@ pub struct AnalysisSession {
     dist_back: Vec<u32>,
     /// Scratch: the BFS deque.
     deque: VecDeque<EventId>,
+    /// Warm corner/sample-lane state, when
+    /// [`enable_scenarios`](Self::enable_scenarios) turned it on.
+    scenarios: Option<ScenarioState>,
+}
+
+/// The session's warm scenario-lane state: one `b × s` wide arena whose
+/// lanes mirror the nominal matrices under each scenario's reweighted
+/// delays, kept in lockstep with the nominal arena by the same dirty-row
+/// resumes. The two staleness flags let a cancelled pass heal later:
+/// `stale_weights` marks the reweighted graphs / δ table out of sync
+/// with the session graph (structural batch committed but not yet
+/// resynced), `needs_reseed` marks the whole lane matrix stale (border
+/// set or event axis changed).
+#[derive(Clone, Debug)]
+struct ScenarioState {
+    set: ScenarioSet,
+    /// Per-scenario reweighted graphs — the canonical delay source for
+    /// both the δ table and the per-scenario winner re-runs.
+    reweighted: Vec<SignalGraph>,
+    /// All `b × s` scenario matrices, lane `j·b + k`.
+    wide: WideArena,
+    /// Arena the per-scenario winner re-runs use.
+    finish: SimArena,
+    /// Scratch structure rebuilt per reweighted graph for the re-runs.
+    structure: CyclicStructure,
+    analysis: ScenarioAnalysis,
+    /// First scenario-matrix row a cancelled pass left stale.
+    dirty_from: Option<usize>,
+    stale_weights: bool,
+    needs_reseed: bool,
 }
 
 impl AnalysisSession {
@@ -357,18 +388,12 @@ impl AnalysisSession {
         }
 
         let mut wide = WideArena::with_kernel(kernel);
-        match wide.run_with(&sg, &structure, &border, b, cancel) {
-            Ok(()) => {}
-            Err(Halt::NotRepetitive(_)) => {
-                unreachable!("border events are repetitive by construction")
-            }
-            Err(Halt::Cancelled(c)) => {
-                return Err(AnalysisError::Cancelled {
-                    kind: c.kind,
-                    rows_done: c.rows_done,
-                    rows_total: c.rows_total,
-                })
-            }
+        if let Err(halt) = wide.run_with(&sg, &structure, &border, b, cancel) {
+            // `NotRepetitive` cannot fire (border events are repetitive
+            // by construction) and `Degenerate` cannot either (border
+            // verified non-empty, b >= 1), but the mapping is total so
+            // either would surface as a structured error, not a panic.
+            return Err(halt_to_error(halt));
         }
         let records: Vec<BorderRecord> = (0..border.len())
             .map(|k| BorderRecord {
@@ -401,6 +426,7 @@ impl AnalysisSession {
             dirty_from: None,
             dist_back: vec![UNREACHED; n],
             deque: VecDeque::new(),
+            scenarios: None,
         })
     }
 
@@ -420,11 +446,16 @@ impl AnalysisSession {
         self.edits
     }
 
-    /// Whether a cancelled resume left the cached analysis stale; the
-    /// next uncancelled [`edit_delays`](Self::edit_delays) call (even
-    /// with an empty batch) heals it.
+    /// Whether a cancelled resume left the cached analysis (nominal or
+    /// scenario) stale; the next uncancelled
+    /// [`edit_delays`](Self::edit_delays) call (even with an empty
+    /// batch) heals it.
     pub fn is_stale(&self) -> bool {
         self.dirty_from.is_some()
+            || self
+                .scenarios
+                .as_ref()
+                .is_some_and(|s| s.dirty_from.is_some() || s.stale_weights || s.needs_reseed)
     }
 
     /// The resolved kernel backend the session's warm wide arena (and
@@ -536,10 +567,30 @@ impl AnalysisSession {
             }
             // Arcs outside the cyclic structure (prefix/disengageable)
             // never feed a border simulation: delay applied, zero dirty.
+
+            // Keep the scenario lanes' delay sources in lockstep: each
+            // reweighted graph takes the scaled edit and the warm δ
+            // table folds it in place, so the scenario matrices resume
+            // from the same min dirty row as the nominal one. (A stale
+            // scenario state resyncs wholesale in `refresh_scenarios`.)
+            if let Some(scen) = self.scenarios.as_mut() {
+                if !scen.stale_weights && !scen.needs_reseed {
+                    for j in 0..scen.set.len() {
+                        let scaled = e.delay * scen.set.factor(j, e.arc);
+                        scen.reweighted[j]
+                            .set_delay(e.arc, scaled)
+                            .expect("scaled delay stays finite and non-negative");
+                        if slot != NO_ENTRY {
+                            scen.wide.set_scenario_delay(slot as usize, j, scaled);
+                        }
+                    }
+                }
+            }
         }
 
         let (dirty_count, rows) = self.resume_dirty_rows(cancel)?;
         self.refinish();
+        self.refresh_scenarios(cancel)?;
         self.edits += 1;
         Ok(CycleTimeDelta {
             before,
@@ -691,6 +742,14 @@ impl AnalysisSession {
             self.entry_of_arc[entry.arc.index()] = slot as u32;
         }
 
+        // The batch re-flattened the in-arc table and may have changed
+        // the arc set, so the scenario reweighted graphs and the δ table
+        // are stale until `refresh_scenarios` resyncs them. Flagged
+        // before the cancellable resume so an abort heals later.
+        if let Some(scen) = self.scenarios.as_mut() {
+            scen.stale_weights = true;
+        }
+
         let (dirty_count, rows);
         if new_border == self.border && self.sg.event_count() == old_event_count {
             // Surviving borders keep their warm lanes. Post-apply pass
@@ -722,6 +781,11 @@ impl AnalysisSession {
                 }
             }
             let p_total = self.b as usize + 1;
+            // The scenario lane axis is stale too — flag the full
+            // reseed before the cancellable nominal run.
+            if let Some(scen) = self.scenarios.as_mut() {
+                scen.needs_reseed = true;
+            }
             match self
                 .wide
                 .run_with(&self.sg, &self.structure, &self.border, self.b, cancel)
@@ -729,6 +793,9 @@ impl AnalysisSession {
                 Ok(()) => {}
                 Err(Halt::NotRepetitive(_)) => {
                     unreachable!("border events are repetitive by construction")
+                }
+                Err(Halt::Degenerate { .. }) => {
+                    unreachable!("border set verified non-empty above and b >= 1")
                 }
                 Err(Halt::Cancelled(c)) => {
                     self.dirty_from = Some(c.rows_done);
@@ -748,6 +815,7 @@ impl AnalysisSession {
         }
 
         self.refinish();
+        self.refresh_scenarios(cancel)?;
         self.edits += 1;
         Ok(CycleTimeDelta {
             before,
@@ -784,6 +852,13 @@ impl AnalysisSession {
             rows += p_total - r0;
         }
         if dirty_count > 0 {
+            // The scenario lanes share the dirty bound (the `r0`
+            // criterion is a property of the structure, not the
+            // delays): record it up front so a cancelled nominal
+            // resume still heals the scenario matrices later.
+            if let Some(scen) = self.scenarios.as_mut() {
+                scen.dirty_from = Some(scen.dirty_from.map_or(min_r0, |d| d.min(min_r0)));
+            }
             // One lockstep pass resumes every lane from the earliest
             // dirty row; clean lanes' recomputed rows are bit-identical
             // to their cached values (module docs), so only the dirty
@@ -825,6 +900,199 @@ impl AnalysisSession {
             &mut self.finish_arena,
         )
         .expect("border set verified non-empty");
+    }
+
+    /// Turns on corner/sample-lane analysis: one `b × s` wide pass over
+    /// the session's graph computes every (border, scenario) matrix, and
+    /// from then on every edit batch keeps the scenario lanes warm —
+    /// delay edits fold the scaled delays into the δ table and resume
+    /// all scenario lanes from the same min dirty row as the nominal
+    /// matrix; structural edits resync the reweighted graphs (reseeding
+    /// only when the border set or event axis changed). The produced
+    /// [`ScenarioAnalysis`] is bit-identical to
+    /// [`CycleTimeAnalysis::run_scenarios`] on
+    /// [`graph`](Self::graph) with the same set.
+    ///
+    /// Calling it again replaces the scenario set; `set` is re-derived
+    /// over the session graph's arc-slot count, so a set built for a
+    /// different graph generation is fine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::Cancelled`] when `cancel` fires
+    /// mid-sweep; no scenario state is installed then.
+    pub fn enable_scenarios(
+        &mut self,
+        set: &ScenarioSet,
+    ) -> Result<&ScenarioAnalysis, AnalysisError> {
+        self.enable_scenarios_with_cancel(set, None)
+    }
+
+    /// [`enable_scenarios`](Self::enable_scenarios) under a cancellation
+    /// token, polled once per scenario-matrix row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::Cancelled`] when `cancel` fires
+    /// mid-sweep; no scenario state is installed then.
+    pub fn enable_scenarios_with_cancel(
+        &mut self,
+        set: &ScenarioSet,
+        cancel: Option<&CancelToken>,
+    ) -> Result<&ScenarioAnalysis, AnalysisError> {
+        let set = set.resized(self.sg.arc_count());
+        let s = set.len();
+        let reweighted: Vec<SignalGraph> = (0..s).map(|j| set.reweighted(&self.sg, j)).collect();
+        let mut wide = WideArena::with_kernel(self.wide.kernel());
+        if let Err(halt) = wide.run_scenarios_with(
+            &self.sg,
+            &self.structure,
+            &self.border,
+            s,
+            |arc, j| reweighted[j].arc(arc).delay().get(),
+            self.b,
+            cancel,
+        ) {
+            return Err(halt_to_error(halt));
+        }
+        let mut structure = CyclicStructure::new(&self.sg);
+        let mut finish = SimArena::new();
+        let analysis = finish_scenarios(
+            &self.border,
+            &set,
+            &reweighted,
+            &wide,
+            &mut structure,
+            &mut finish,
+        );
+        self.scenarios = Some(ScenarioState {
+            set,
+            reweighted,
+            wide,
+            finish,
+            structure,
+            analysis,
+            dirty_from: None,
+            stale_weights: false,
+            needs_reseed: false,
+        });
+        Ok(&self.scenarios.as_ref().expect("just installed").analysis)
+    }
+
+    /// Drops the warm scenario state; edits go back to nominal-only.
+    pub fn disable_scenarios(&mut self) {
+        self.scenarios = None;
+    }
+
+    /// The current scenario analysis, when scenarios are enabled —
+    /// always bit-identical to
+    /// [`CycleTimeAnalysis::run_scenarios`] on
+    /// [`graph`](Self::graph) with the current set.
+    pub fn scenario_analysis(&self) -> Option<&ScenarioAnalysis> {
+        self.scenarios.as_ref().map(|s| &s.analysis)
+    }
+
+    /// The enabled scenario set (re-derived over the current arc-slot
+    /// count), if any.
+    pub fn scenario_set(&self) -> Option<&ScenarioSet> {
+        self.scenarios.as_ref().map(|s| &s.set)
+    }
+
+    /// Number of enabled scenario lanes per border (0 when disabled).
+    pub fn scenario_count(&self) -> usize {
+        self.scenarios.as_ref().map_or(0, |s| s.set.len())
+    }
+
+    /// Brings the scenario state back in sync with the session graph
+    /// after an edit batch (or heals a cancelled earlier pass): resyncs
+    /// stale reweighted graphs / δ tables, reseeds or resumes the lane
+    /// matrices from the recorded dirty row, and re-runs every
+    /// scenario's winner selection. No-op when scenarios are disabled.
+    fn refresh_scenarios(&mut self, cancel: Option<&CancelToken>) -> Result<(), EditError> {
+        let p_total = self.b as usize + 1;
+        let Some(scen) = self.scenarios.as_mut() else {
+            return Ok(());
+        };
+        if scen.stale_weights {
+            scen.set = scen.set.resized(self.sg.arc_count());
+            let reweighted: Vec<SignalGraph> = (0..scen.set.len())
+                .map(|j| scen.set.reweighted(&self.sg, j))
+                .collect();
+            scen.reweighted = reweighted;
+            if !scen.needs_reseed {
+                // Slots remapped but the lane axis survived: re-derive
+                // the δ table in place, the matrices resume below.
+                let ScenarioState {
+                    reweighted, wide, ..
+                } = scen;
+                wide.rebuild_scenario_deltas(&self.structure, |arc, j| {
+                    reweighted[j].arc(arc).delay().get()
+                });
+            }
+            scen.stale_weights = false;
+        }
+        if scen.needs_reseed {
+            scen.needs_reseed = false;
+            let ScenarioState {
+                set,
+                reweighted,
+                wide,
+                ..
+            } = scen;
+            match wide.run_scenarios_with(
+                &self.sg,
+                &self.structure,
+                &self.border,
+                set.len(),
+                |arc, j| reweighted[j].arc(arc).delay().get(),
+                self.b,
+                cancel,
+            ) {
+                Ok(()) => {}
+                Err(Halt::NotRepetitive(_)) => {
+                    unreachable!("border events are repetitive by construction")
+                }
+                Err(Halt::Degenerate { .. }) => {
+                    unreachable!("border verified non-empty and scenario sets are never empty")
+                }
+                Err(Halt::Cancelled(c)) => {
+                    // Shape and δ table are installed before the rows
+                    // compute, so the standard resume heals from here.
+                    scen.dirty_from = Some(c.rows_done);
+                    return Err(EditError::Cancelled {
+                        kind: c.kind,
+                        rows_done: c.rows_done,
+                        rows_total: p_total,
+                    });
+                }
+            }
+            scen.dirty_from = None;
+        } else if let Some(r0) = scen.dirty_from {
+            if r0 < p_total {
+                if let Err(c) = scen.wide.rerun_rows_from(&self.structure, r0, cancel) {
+                    scen.dirty_from = Some(c.rows_done);
+                    return Err(EditError::Cancelled {
+                        kind: c.kind,
+                        rows_done: c.rows_done,
+                        rows_total: p_total,
+                    });
+                }
+            }
+            scen.dirty_from = None;
+        }
+        // Winner selection re-runs on the reweighted graphs every
+        // batch, mirroring the nominal `refinish`.
+        let ScenarioState {
+            set,
+            reweighted,
+            wide,
+            finish,
+            structure,
+            analysis,
+            ..
+        } = scen;
+        *analysis = finish_scenarios(&self.border, set, reweighted, wide, structure, finish);
+        Ok(())
     }
 
     /// Captures the full warm state — graph, structure, records, wide
@@ -873,6 +1141,38 @@ impl AnalysisSession {
 #[derive(Clone, Debug)]
 pub struct SessionSnapshot {
     state: Box<AnalysisSession>,
+}
+
+/// Collects each scenario's records from its `b` lanes (lane `j·b + k`)
+/// and re-runs winner selection + critical-cycle backtracking on the
+/// scenario's reweighted graph — the same finish a from-scratch
+/// [`CycleTimeAnalysis::run_scenarios`] performs, so the session's
+/// scenario analyses stay bit-identical to scratch.
+fn finish_scenarios(
+    border: &[EventId],
+    set: &ScenarioSet,
+    reweighted: &[SignalGraph],
+    wide: &WideArena,
+    structure: &mut CyclicStructure,
+    finish: &mut SimArena,
+) -> ScenarioAnalysis {
+    let bn = border.len();
+    let labels: Vec<String> = (0..set.len()).map(|j| set.label(j).to_string()).collect();
+    let mut per = Vec::with_capacity(set.len());
+    for (j, rg) in reweighted.iter().enumerate() {
+        let records: Vec<BorderRecord> = (0..bn)
+            .map(|k| BorderRecord {
+                event: border[k],
+                distances: wide.distance_series(j * bn + k),
+            })
+            .collect();
+        structure.rebuild(rg);
+        per.push(
+            CycleTimeAnalysis::finish(rg, structure, border.to_vec(), records, finish)
+                .expect("border set verified non-empty"),
+        );
+    }
+    ScenarioAnalysis::new(labels, per)
 }
 
 /// 0-1 BFS over the cyclic structure's arc set, backwards: `dist[e]`
@@ -1411,6 +1711,172 @@ mod tests {
         session.restore(snap);
         assert_eq!(session.analysis().cycle_time().as_f64(), tau0);
         assert_matches_scratch(&session, "after restore");
+    }
+
+    fn assert_scenarios_match_scratch(session: &AnalysisSession, ctx: &str) {
+        let set = session.scenario_set().expect("scenarios enabled");
+        let scratch = CycleTimeAnalysis::run_scenarios(session.graph(), set).unwrap();
+        let live = session.scenario_analysis().unwrap();
+        assert_eq!(live.len(), scratch.len(), "{ctx}: scenario count");
+        for j in 0..live.len() {
+            assert_eq!(live.label(j), scratch.label(j), "{ctx}: label {j}");
+            let (a, b) = (live.analysis(j), scratch.analysis(j));
+            assert_eq!(
+                a.cycle_time().as_f64().to_bits(),
+                b.cycle_time().as_f64().to_bits(),
+                "{ctx}: scenario {j} cycle time"
+            );
+            assert_eq!(
+                a.critical_cycle(),
+                b.critical_cycle(),
+                "{ctx}: scenario {j}"
+            );
+            assert_eq!(
+                a.critical_borders(),
+                b.critical_borders(),
+                "{ctx}: scenario {j}"
+            );
+        }
+    }
+
+    #[test]
+    fn scenario_lanes_stay_warm_across_edit_kinds() {
+        use crate::analysis::scenario::Corner;
+
+        let mut session = AnalysisSession::open(figure2()).unwrap();
+        let set = ScenarioSet::corners(
+            10.0,
+            &[Corner::Min, Corner::Typ, Corner::Max],
+            session.graph().arc_count(),
+        )
+        .unwrap();
+        session.enable_scenarios(&set).unwrap();
+        assert_eq!(session.scenario_count(), 3);
+        assert_scenarios_match_scratch(&session, "after enable");
+
+        // Delay edits fold the scaled δs in place and resume the
+        // scenario lanes from the nominal min dirty row.
+        let arc = session.resolve_arc("a+", "c+").unwrap();
+        session.edit_delay(arc, 9.0).unwrap();
+        assert_matches_scratch(&session, "delay edit, nominal");
+        assert_scenarios_match_scratch(&session, "delay edit");
+
+        // Warm structural path: border set and event axis survive.
+        let ap = session.graph().event_by_label("a+").unwrap();
+        let bm = session.graph().event_by_label("b-").unwrap();
+        session
+            .edit(GraphEdit::AddArc {
+                src: ap,
+                dst: bm,
+                delay: 4.0,
+                marked: false,
+            })
+            .unwrap();
+        assert_matches_scratch(&session, "structural add, nominal");
+        assert_scenarios_match_scratch(&session, "structural add");
+
+        // Reseed path: the batch changes the border set, so the set is
+        // re-derived over the grown arc axis and all lanes reseed.
+        let batch = split_batch(&session, "b+", "c+", "s+");
+        session.edit_structure(&batch).unwrap();
+        assert_eq!(
+            session.scenario_set().unwrap().arc_slots(),
+            session.graph().arc_count()
+        );
+        assert_matches_scratch(&session, "split, nominal");
+        assert_scenarios_match_scratch(&session, "split reseed");
+
+        session.disable_scenarios();
+        assert_eq!(session.scenario_count(), 0);
+        assert!(session.scenario_analysis().is_none());
+    }
+
+    #[test]
+    fn sampled_scenarios_follow_session_edits() {
+        let mut session = AnalysisSession::open(figure2()).unwrap();
+        let set = ScenarioSet::samples(5, 42, 20.0, session.graph().arc_count()).unwrap();
+        session.enable_scenarios(&set).unwrap();
+        assert_scenarios_match_scratch(&session, "sampled enable");
+
+        let arc = session.resolve_arc("c-", "b+").unwrap();
+        session.edit_delay(arc, 7.5).unwrap();
+        assert_scenarios_match_scratch(&session, "sampled delay edit");
+    }
+
+    #[test]
+    fn cancelled_scenario_refresh_heals_bit_identically() {
+        use crate::analysis::scenario::Corner;
+
+        let mut session = AnalysisSession::open(figure2()).unwrap();
+        let set = ScenarioSet::corners(
+            15.0,
+            &[Corner::Min, Corner::Typ, Corner::Max],
+            session.graph().arc_count(),
+        )
+        .unwrap();
+        session.enable_scenarios(&set).unwrap();
+        let arc = session.resolve_arc("a+", "c+").unwrap();
+
+        // Sweep the cancel budget across both the nominal resume and
+        // the scenario refresh; every abort must heal bit-identically
+        // on the next uncancelled (empty) batch.
+        for budget in 0..8u64 {
+            let token = CancelToken::cancel_after_checks(budget);
+            let delay = 8.0 + budget as f64;
+            match session.edit_delays_with_cancel(&[DelayEdit { arc, delay }], Some(&token)) {
+                Ok(_) => {}
+                Err(EditError::Cancelled { .. }) => {
+                    assert!(session.is_stale());
+                    session.edit_delays(&[]).unwrap();
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+            assert!(!session.is_stale());
+            assert_eq!(session.graph().arc(arc).delay().get(), delay);
+            assert_matches_scratch(&session, &format!("budget {budget}, nominal"));
+            assert_scenarios_match_scratch(&session, &format!("budget {budget}"));
+        }
+
+        // A cancelled structural reseed heals the scenario axis too.
+        let batch = split_batch(&session, "a+", "c+", "t+");
+        let token = CancelToken::cancel_after_checks(2);
+        let err = session
+            .edit_structure_with_cancel(&batch, Some(&token))
+            .unwrap_err();
+        assert!(matches!(err, EditError::Cancelled { .. }), "{err}");
+        assert!(session.is_stale());
+        session.edit_delays(&[]).unwrap();
+        assert!(!session.is_stale());
+        assert_matches_scratch(&session, "healed split, nominal");
+        assert_scenarios_match_scratch(&session, "healed split");
+    }
+
+    #[test]
+    fn snapshot_rollback_restores_scenario_state() {
+        use crate::analysis::scenario::Corner;
+
+        let mut session = AnalysisSession::open(figure2()).unwrap();
+        let set = ScenarioSet::corners(
+            10.0,
+            &[Corner::Min, Corner::Max],
+            session.graph().arc_count(),
+        )
+        .unwrap();
+        session.enable_scenarios(&set).unwrap();
+        let taus0 = session.scenario_analysis().unwrap().taus();
+        let snap = session.snapshot();
+
+        let arc = session.resolve_arc("a+", "c+").unwrap();
+        session.edit_delay(arc, 11.0).unwrap();
+        assert_ne!(session.scenario_analysis().unwrap().taus(), taus0);
+
+        session.rollback(&snap);
+        assert_eq!(session.scenario_analysis().unwrap().taus(), taus0);
+        assert_scenarios_match_scratch(&session, "after rollback");
+
+        // The rolled-back scenario lanes stay warm and editable.
+        session.edit_delay(arc, 6.0).unwrap();
+        assert_scenarios_match_scratch(&session, "edit after rollback");
     }
 
     #[test]

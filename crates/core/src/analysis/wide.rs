@@ -1,5 +1,6 @@
 //! Lane-batched event-initiated simulations: all `b` border simulations
-//! of one analysis in lockstep over a single structure pass.
+//! of one analysis — across all `s` delay scenarios — in lockstep over a
+//! single structure pass.
 //!
 //! # Why lanes
 //!
@@ -23,6 +24,32 @@
 //! branchless `max(best, src + δ)` updates on adjacent memory. Arc-table
 //! traffic drops by a factor of `b` and the arithmetic widens to the
 //! machine's vector width.
+//!
+//! # Scenario lanes: `lanes = b × s`
+//!
+//! The same amortisation applies across *delay scenarios* — min/typ/max
+//! corners or sampled per-arc variation assignments: only the δ of each
+//! in-arc changes, never the traversal. [`WideArena::run_scenarios_with`]
+//! generalises the lane dimension to every (border, scenario) pair,
+//! scenario-major:
+//!
+//! ```text
+//! times[(p · n + e) · (b · s) + lane]     lane = j · b + k
+//!                                         (scenario j, border event g_k)
+//!
+//!           ┌── scenario 0 ──┬── scenario 1 ──┬ … ┬── scenario s-1 ──┐
+//! (p, e):   │ k=0 … k=b-1    │ k=0 … k=b-1    │ … │ k=0 … k=b-1      │
+//! ```
+//!
+//! Per-arc delays become per-lane δ *vectors*: one flat table
+//! `deltas[slot · (b·s) + lane]` parallel to the in-arc entries, with
+//! scenario `j`'s delay replicated over its `b` border lanes. The SIMD
+//! kernels load the δ vector with the same width as the time lanes
+//! (`first_v`/`fold_v`), so one lockstep pass sweeps all `b·s`
+//! simulations; with an empty delta table the nominal scalar-δ path is
+//! unchanged. Per lane the result is bit-identical to a scalar run on
+//! the correspondingly reweighted graph: the candidates are the same
+//! f64 products, folded in the same comparison order.
 //!
 //! # Explicit SIMD and runtime dispatch
 //!
@@ -93,6 +120,7 @@ use tsg_sim::{CancelKind, CancelToken};
 
 use crate::analysis::initiated::{NotRepetitive, SimArena};
 use crate::analysis::structure::CyclicStructure;
+use crate::arc::ArcId;
 use crate::event::EventId;
 use crate::graph::SignalGraph;
 
@@ -286,7 +314,44 @@ pub(crate) struct Cancelled {
 pub(crate) enum Halt {
     NotRepetitive(NotRepetitive),
     Cancelled(Cancelled),
+    /// The batch shape is degenerate: zero lanes or zero periods.
+    Degenerate {
+        lanes: usize,
+        periods: u32,
+    },
 }
+
+/// Why a [`WideArena::run`] call failed.
+///
+/// A malformed batch — no lanes, no scenarios, zero periods — is a
+/// structured error, never a panic, so a served request can never abort
+/// a worker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WideRunError {
+    /// An initiating event is not repetitive.
+    NotRepetitive(NotRepetitive),
+    /// The requested batch shape has nothing to simulate.
+    Degenerate {
+        /// Requested lane count (`origins × scenarios`).
+        lanes: usize,
+        /// Requested simulation periods.
+        periods: u32,
+    },
+}
+
+impl fmt::Display for WideRunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WideRunError::NotRepetitive(e) => e.fmt(f),
+            WideRunError::Degenerate { lanes, periods } => write!(
+                f,
+                "degenerate simulation batch: {lanes} lane(s) over {periods} period(s)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WideRunError {}
 
 /// One cache line of lane storage — the alignment carrier of
 /// [`AlignedF64Vec`]. `repr(C, align(64))` with eight f64s makes size
@@ -372,8 +437,17 @@ pub struct WideArena {
     /// Flat lane-major time matrix: `times[(p * n + e) * lanes + k]`,
     /// on a 64-byte-aligned allocation.
     times: AlignedF64Vec,
-    /// Initiating event of each lane.
+    /// Initiating event of each *border* lane; lane `j·b + k` of a
+    /// scenario run shares `origins[k]`.
     origins: Vec<EventId>,
+    /// Delay scenarios of the last run (1 in nominal mode); the total
+    /// lane count is `origins.len() * scenarios`.
+    scenarios: usize,
+    /// Per-lane δ table of a scenario run, parallel to the structure's
+    /// in-arc entries: `deltas[slot * lanes + lane]`, scenario `j`'s
+    /// delay replicated over its `b` border lanes. Empty in nominal
+    /// mode, where the kernels fold the structure's scalar δ instead.
+    deltas: Vec<f64>,
     /// Events per row of the last run.
     n: usize,
     /// Rows of the last run (`periods + 1`).
@@ -406,6 +480,8 @@ impl WideArena {
         WideArena {
             times: AlignedF64Vec::new(),
             origins: Vec::new(),
+            scenarios: 1,
+            deltas: Vec::new(),
             n: 0,
             p_total: 0,
             periods: 0,
@@ -424,21 +500,23 @@ impl WideArena {
     ///
     /// # Errors
     ///
-    /// Returns [`NotRepetitive`] for the first non-repetitive origin.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `periods == 0` or `origins` is empty.
+    /// Returns [`WideRunError::NotRepetitive`] for the first
+    /// non-repetitive origin, and [`WideRunError::Degenerate`] when
+    /// `origins` is empty or `periods == 0` — a structured error, never
+    /// a panic, so a malformed serve request can't abort a worker.
     pub fn run(
         &mut self,
         sg: &SignalGraph,
         origins: &[EventId],
         periods: u32,
-    ) -> Result<(), NotRepetitive> {
+    ) -> Result<(), WideRunError> {
         let structure = CyclicStructure::new(sg);
         match self.run_with(sg, &structure, origins, periods, None) {
             Ok(()) => Ok(()),
-            Err(Halt::NotRepetitive(e)) => Err(e),
+            Err(Halt::NotRepetitive(e)) => Err(WideRunError::NotRepetitive(e)),
+            Err(Halt::Degenerate { lanes, periods }) => {
+                Err(WideRunError::Degenerate { lanes, periods })
+            }
             Err(Halt::Cancelled(_)) => unreachable!("no cancel token was supplied"),
         }
     }
@@ -455,15 +533,113 @@ impl WideArena {
         periods: u32,
         cancel: Option<&CancelToken>,
     ) -> Result<(), Halt> {
-        assert!(periods >= 1, "simulation needs at least one period");
-        assert!(!origins.is_empty(), "wide run needs at least one lane");
+        Self::validate(sg, origins, 1, periods)?;
+        self.scenarios = 1;
+        self.deltas.clear();
+        self.seed_and_compute(sg, structure, origins, periods, cancel)
+    }
+
+    /// Scenario-lane variant: packs `origins.len() × scenarios` lanes —
+    /// lane `j·b + k` simulates border `g_k` under delay scenario `j` —
+    /// and sweeps them all in one lockstep pass over the *nominal*
+    /// structure. `delay_of(arc, j)` supplies scenario `j`'s delay for
+    /// `arc`; the values are packed into the per-lane δ table the
+    /// kernels fold instead of the structure's scalar delay. Per lane
+    /// the result is bit-identical to a scalar run on the
+    /// correspondingly reweighted graph.
+    #[allow(clippy::too_many_arguments)] // matrix + dims + per-lane delays + cancel: kernel-entry plumbing
+    pub(crate) fn run_scenarios_with<F: FnMut(ArcId, usize) -> f64>(
+        &mut self,
+        sg: &SignalGraph,
+        structure: &CyclicStructure,
+        origins: &[EventId],
+        scenarios: usize,
+        mut delay_of: F,
+        periods: u32,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(), Halt> {
+        Self::validate(sg, origins, scenarios, periods)?;
+        self.scenarios = scenarios;
+        let b = origins.len();
+        let lanes = b * scenarios;
+        self.deltas.clear();
+        self.deltas.resize(structure.entries.len() * lanes, 0.0);
+        for (slot, entry) in structure.entries.iter().enumerate() {
+            for j in 0..scenarios {
+                let base = slot * lanes + j * b;
+                self.deltas[base..base + b].fill(delay_of(entry.arc, j));
+            }
+        }
+        self.seed_and_compute(sg, structure, origins, periods, cancel)
+    }
+
+    /// Rebuilds the whole δ table for the *current* batch shape against
+    /// a (possibly re-flattened) structure — the session's
+    /// structural-edit hook: slots remap when the in-arc table is
+    /// rebuilt, so the table is re-derived while the lane matrix itself
+    /// resumes from the min dirty row.
+    pub(crate) fn rebuild_scenario_deltas<F: FnMut(ArcId, usize) -> f64>(
+        &mut self,
+        structure: &CyclicStructure,
+        mut delay_of: F,
+    ) {
+        let b = self.origins.len();
+        let lanes = b * self.scenarios;
+        self.deltas.clear();
+        self.deltas.resize(structure.entries.len() * lanes, 0.0);
+        for (slot, entry) in structure.entries.iter().enumerate() {
+            for j in 0..self.scenarios {
+                let base = slot * lanes + j * b;
+                self.deltas[base..base + b].fill(delay_of(entry.arc, j));
+            }
+        }
+    }
+
+    /// Updates the stored δ vector of in-arc table slot `slot` for one
+    /// scenario — the session's delay-edit hook, so a resumed scenario
+    /// matrix folds the edited delay without a full δ-table rebuild.
+    pub(crate) fn set_scenario_delay(&mut self, slot: usize, scenario: usize, delay: f64) {
+        debug_assert!(!self.deltas.is_empty(), "arena is not in scenario mode");
+        let b = self.origins.len();
+        let lanes = b * self.scenarios;
+        let base = slot * lanes + scenario * b;
+        self.deltas[base..base + b].fill(delay);
+    }
+
+    /// The shape/precondition gate of every run entry point: degenerate
+    /// batches and non-repetitive origins are structured [`Halt`]s.
+    fn validate(
+        sg: &SignalGraph,
+        origins: &[EventId],
+        scenarios: usize,
+        periods: u32,
+    ) -> Result<(), Halt> {
+        if periods == 0 || origins.is_empty() || scenarios == 0 {
+            return Err(Halt::Degenerate {
+                lanes: origins.len() * scenarios,
+                periods,
+            });
+        }
         for &g in origins {
             if !sg.is_repetitive(g) {
                 return Err(Halt::NotRepetitive(NotRepetitive(g)));
             }
         }
+        Ok(())
+    }
+
+    /// Installs the batch shape, resets stale cells and computes every
+    /// row — the shared tail of the validated run entry points.
+    fn seed_and_compute(
+        &mut self,
+        sg: &SignalGraph,
+        structure: &CyclicStructure,
+        origins: &[EventId],
+        periods: u32,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(), Halt> {
         let n = sg.event_count();
-        let lanes = origins.len();
+        let lanes = origins.len() * self.scenarios;
         let p_total = periods as usize + 1;
         self.n = n;
         self.p_total = p_total;
@@ -536,15 +712,22 @@ impl WideArena {
     ) -> Result<(), Cancelled> {
         #[cfg(target_arch = "x86_64")]
         {
-            let (n, p_total) = (self.n, self.p_total);
+            let (n, p_total, scenarios) = (self.n, self.p_total, self.scenarios);
             match self.backend {
                 KernelBackend::Avx2 if std::arch::is_x86_feature_detected!("avx2") => {
-                    let WideArena { times, origins, .. } = self;
+                    let WideArena {
+                        times,
+                        origins,
+                        deltas,
+                        ..
+                    } = self;
                     // SAFETY: this arm's own guard just verified AVX2.
                     return unsafe {
                         rows_avx2(
                             times.as_mut_slice(),
                             origins,
+                            scenarios,
+                            deltas,
                             structure,
                             n,
                             p_total,
@@ -554,12 +737,19 @@ impl WideArena {
                     };
                 }
                 KernelBackend::Sse2 if std::arch::is_x86_feature_detected!("sse2") => {
-                    let WideArena { times, origins, .. } = self;
+                    let WideArena {
+                        times,
+                        origins,
+                        deltas,
+                        ..
+                    } = self;
                     // SAFETY: this arm's own guard just verified SSE2.
                     return unsafe {
                         rows_sse2(
                             times.as_mut_slice(),
                             origins,
+                            scenarios,
+                            deltas,
                             structure,
                             n,
                             p_total,
@@ -571,7 +761,7 @@ impl WideArena {
                 _ => {}
             }
         }
-        match self.origins.len() {
+        match self.lanes() {
             4 => self.compute_rows_impl::<4>(structure, start_row, cancel),
             8 => self.compute_rows_impl::<8>(structure, start_row, cancel),
             16 => self.compute_rows_impl::<16>(structure, start_row, cancel),
@@ -598,9 +788,15 @@ impl WideArena {
     ) -> Result<(), Cancelled> {
         let n = self.n;
         let p_total = self.p_total;
-        let lanes = if L == 0 { self.origins.len() } else { L };
+        let b = self.origins.len();
+        let lanes = if L == 0 { b * self.scenarios } else { L };
         let row_cells = n * lanes;
-        let WideArena { times, origins, .. } = self;
+        let WideArena {
+            times,
+            origins,
+            deltas,
+            ..
+        } = self;
         let times = times.as_mut_slice();
         for p in start_row..p_total {
             // One poll per matrix row: a row is `O(m · lanes)` work, so
@@ -624,8 +820,9 @@ impl WideArena {
                 let base = ev.index() * lanes;
                 let (left, rest) = row.split_at_mut(base);
                 let (dst, right) = rest.split_at_mut(lanes);
+                let slot0 = structure.offsets[ev.index()] as usize;
                 let mut first = true;
-                for ia in structure.in_arcs(ev) {
+                for (off, ia) in structure.in_arcs(ev).iter().enumerate() {
                     let sb = ia.src as usize * lanes;
                     let src = if ia.marked {
                         if p == 0 {
@@ -637,7 +834,12 @@ impl WideArena {
                     } else {
                         &right[sb - base - lanes..][..lanes]
                     };
-                    accumulate(dst, src, ia.delay, first);
+                    if deltas.is_empty() {
+                        accumulate(dst, src, ia.delay, first);
+                    } else {
+                        let dbase = (slot0 + off) * lanes;
+                        accumulate_v(dst, src, &deltas[dbase..dbase + lanes], first);
+                    }
                     first = false;
                 }
                 if first {
@@ -647,9 +849,12 @@ impl WideArena {
                     // Row 0: pin each lane's origin cell to 0, in
                     // topological order, so later same-row reads see it
                     // exactly as the scalar kernel's pre-seeded cell.
+                    // Border k owns lanes k, k+b, … — one per scenario.
                     for (k, &g) in origins.iter().enumerate() {
                         if g == ev {
-                            dst[k] = 0.0; // t_g(g) = 0 by definition
+                            for lane in (k..lanes).step_by(b) {
+                                dst[lane] = 0.0; // t_g(g) = 0 by definition
+                            }
                         }
                     }
                 }
@@ -666,18 +871,34 @@ impl WideArena {
         self.times.capacity()
     }
 
-    /// Number of lanes of the last run.
+    /// Number of lanes of the last run (`borders × scenarios`).
     pub fn lanes(&self) -> usize {
+        self.origins.len() * self.scenarios
+    }
+
+    /// Number of border lanes (initiating events) of the last run.
+    pub fn borders(&self) -> usize {
         self.origins.len()
     }
 
-    /// The initiating event of lane `k`.
+    /// Number of delay scenarios of the last run (1 in nominal mode).
+    pub fn scenarios(&self) -> usize {
+        self.scenarios
+    }
+
+    /// The initiating event of lane `k` (`origins[k mod b]` — lanes of
+    /// the same border across scenarios share their origin).
     ///
     /// # Panics
     ///
-    /// Panics when `k` is out of range.
+    /// Panics when the arena has never run.
     pub fn origin(&self, k: usize) -> EventId {
-        self.origins[k]
+        self.origins[k % self.origins.len()]
+    }
+
+    /// The delay-scenario index of lane `k` (`k / b`).
+    pub fn scenario_of(&self, k: usize) -> usize {
+        k / self.origins.len()
     }
 
     /// Periods of the last run (instances `0..=periods` are available).
@@ -689,10 +910,11 @@ impl WideArena {
     /// the lane-indexed twin of [`SimArena::time`].
     pub fn time(&self, k: usize, e: EventId, instance: u32) -> Option<f64> {
         let p = instance as usize;
-        if p >= self.p_total || k >= self.origins.len() {
+        let lanes = self.lanes();
+        if p >= self.p_total || k >= lanes {
             return None;
         }
-        let t = self.times.as_slice()[(p * self.n + e.index()) * self.origins.len() + k];
+        let t = self.times.as_slice()[(p * self.n + e.index()) * lanes + k];
         (t > f64::NEG_INFINITY).then_some(t)
     }
 
@@ -709,7 +931,7 @@ impl WideArena {
     /// alive across re-runs.
     pub fn distance_series_into(&self, k: usize, out: &mut Vec<(u32, f64, f64)>) {
         out.clear();
-        let g = self.origins[k];
+        let g = self.origin(k);
         out.extend(
             (1..=self.periods).filter_map(|i| self.time(k, g, i).map(|t| (i, t, t / i as f64))),
         );
@@ -741,6 +963,26 @@ fn accumulate(dst: &mut [f64], src: &[f64], delay: f64, first: bool) {
     }
 }
 
+/// The scenario-lane form of [`accumulate`]: the delay is a per-lane δ
+/// vector instead of a broadcast scalar — same branchless shape, so the
+/// autovectorizer emits the same `add`/`max` with a vector load of the
+/// δs in place of the splat.
+#[inline(always)]
+fn accumulate_v(dst: &mut [f64], src: &[f64], deltas: &[f64], first: bool) {
+    if first {
+        for ((d, &s), &dl) in dst.iter_mut().zip(src).zip(deltas) {
+            *d = s + dl;
+        }
+        return;
+    }
+    for ((d, &s), &dl) in dst.iter_mut().zip(src).zip(deltas) {
+        let cand = s + dl;
+        if cand > *d {
+            *d = cand;
+        }
+    }
+}
+
 /// The per-backend lane arithmetic of the explicit-SIMD row loop: the
 /// two operations [`rows_body`] needs per in-arc.
 ///
@@ -763,6 +1005,23 @@ trait LaneOps {
     ///
     /// As [`LaneOps::first`].
     unsafe fn fold(dst: &mut [f64], src: &[f64], delay: f64);
+
+    /// `dst[k] = src[k] + deltas[k]` — [`LaneOps::first`] with a
+    /// per-lane δ vector (the scenario-lane delay table) in place of
+    /// the broadcast scalar.
+    ///
+    /// # Safety
+    ///
+    /// As [`LaneOps::first`].
+    unsafe fn first_v(dst: &mut [f64], src: &[f64], deltas: &[f64]);
+
+    /// `dst[k] = max(dst[k], src[k] + deltas[k])`, keeping `dst` on
+    /// ties — [`LaneOps::fold`] with a per-lane δ vector.
+    ///
+    /// # Safety
+    ///
+    /// As [`LaneOps::first`].
+    unsafe fn fold_v(dst: &mut [f64], src: &[f64], deltas: &[f64]);
 }
 
 /// A 4-lane mask with the first `rem` (1..=3) 64-bit lanes enabled,
@@ -827,6 +1086,52 @@ impl LaneOps for Avx2Ops {
             _mm256_maskstore_pd(dst.as_mut_ptr().add(i), mask, _mm256_max_pd(cand, best));
         }
     }
+
+    #[inline(always)]
+    unsafe fn first_v(dst: &mut [f64], src: &[f64], deltas: &[f64]) {
+        use std::arch::x86_64::*;
+        debug_assert_eq!(dst.len(), src.len());
+        debug_assert_eq!(dst.len(), deltas.len());
+        let n = dst.len();
+        let mut i = 0usize;
+        while i + 4 <= n {
+            let s = _mm256_loadu_pd(src.as_ptr().add(i));
+            let d = _mm256_loadu_pd(deltas.as_ptr().add(i));
+            _mm256_storeu_pd(dst.as_mut_ptr().add(i), _mm256_add_pd(s, d));
+            i += 4;
+        }
+        if i < n {
+            let mask = tail_mask(n - i);
+            let s = _mm256_maskload_pd(src.as_ptr().add(i), mask);
+            let d = _mm256_maskload_pd(deltas.as_ptr().add(i), mask);
+            _mm256_maskstore_pd(dst.as_mut_ptr().add(i), mask, _mm256_add_pd(s, d));
+        }
+    }
+
+    #[inline(always)]
+    unsafe fn fold_v(dst: &mut [f64], src: &[f64], deltas: &[f64]) {
+        use std::arch::x86_64::*;
+        debug_assert_eq!(dst.len(), src.len());
+        debug_assert_eq!(dst.len(), deltas.len());
+        let n = dst.len();
+        let mut i = 0usize;
+        while i + 4 <= n {
+            let d = _mm256_loadu_pd(deltas.as_ptr().add(i));
+            let cand = _mm256_add_pd(_mm256_loadu_pd(src.as_ptr().add(i)), d);
+            let best = _mm256_loadu_pd(dst.as_ptr().add(i));
+            // Same tie/NaN argument as `fold`: MAXPD keeps its second
+            // operand on ties.
+            _mm256_storeu_pd(dst.as_mut_ptr().add(i), _mm256_max_pd(cand, best));
+            i += 4;
+        }
+        if i < n {
+            let mask = tail_mask(n - i);
+            let d = _mm256_maskload_pd(deltas.as_ptr().add(i), mask);
+            let cand = _mm256_add_pd(_mm256_maskload_pd(src.as_ptr().add(i), mask), d);
+            let best = _mm256_maskload_pd(dst.as_ptr().add(i), mask);
+            _mm256_maskstore_pd(dst.as_mut_ptr().add(i), mask, _mm256_max_pd(cand, best));
+        }
+    }
 }
 
 /// 2-wide SSE2 lane arithmetic; the odd remainder lane runs the scalar
@@ -875,6 +1180,48 @@ impl LaneOps for Sse2Ops {
             }
         }
     }
+
+    #[inline(always)]
+    unsafe fn first_v(dst: &mut [f64], src: &[f64], deltas: &[f64]) {
+        use std::arch::x86_64::*;
+        debug_assert_eq!(dst.len(), src.len());
+        debug_assert_eq!(dst.len(), deltas.len());
+        let n = dst.len();
+        let mut i = 0usize;
+        while i + 2 <= n {
+            let s = _mm_loadu_pd(src.as_ptr().add(i));
+            let d = _mm_loadu_pd(deltas.as_ptr().add(i));
+            _mm_storeu_pd(dst.as_mut_ptr().add(i), _mm_add_pd(s, d));
+            i += 2;
+        }
+        if i < n {
+            dst[i] = src[i] + deltas[i];
+        }
+    }
+
+    #[inline(always)]
+    unsafe fn fold_v(dst: &mut [f64], src: &[f64], deltas: &[f64]) {
+        use std::arch::x86_64::*;
+        debug_assert_eq!(dst.len(), src.len());
+        debug_assert_eq!(dst.len(), deltas.len());
+        let n = dst.len();
+        let mut i = 0usize;
+        while i + 2 <= n {
+            let d = _mm_loadu_pd(deltas.as_ptr().add(i));
+            let cand = _mm_add_pd(_mm_loadu_pd(src.as_ptr().add(i)), d);
+            let best = _mm_loadu_pd(dst.as_ptr().add(i));
+            // Same tie/NaN argument as the AVX2 fold: MAXPD keeps its
+            // second operand on ties.
+            _mm_storeu_pd(dst.as_mut_ptr().add(i), _mm_max_pd(cand, best));
+            i += 2;
+        }
+        if i < n {
+            let cand = src[i] + deltas[i];
+            if cand > dst[i] {
+                dst[i] = cand;
+            }
+        }
+    }
 }
 
 /// The dynamic-width row recurrence shared by the explicit-SIMD
@@ -889,16 +1236,20 @@ impl LaneOps for Sse2Ops {
 /// The CPU must support the feature `K`'s intrinsics require.
 #[cfg(target_arch = "x86_64")]
 #[inline(always)]
+#[allow(clippy::too_many_arguments)]
 unsafe fn rows_body<K: LaneOps>(
     times: &mut [f64],
     origins: &[EventId],
+    scenarios: usize,
+    deltas: &[f64],
     structure: &CyclicStructure,
     n: usize,
     p_total: usize,
     start_row: usize,
     cancel: Option<&CancelToken>,
 ) -> Result<(), Cancelled> {
-    let lanes = origins.len();
+    let b = origins.len();
+    let lanes = b * scenarios;
     let row_cells = n * lanes;
     for p in start_row..p_total {
         // One poll per matrix row — see `compute_rows_impl`.
@@ -918,10 +1269,11 @@ unsafe fn rows_body<K: LaneOps>(
         };
         for &ev in &structure.order {
             let base = ev.index() * lanes;
+            let slot0 = structure.offsets[ev.index()] as usize;
             let (left, rest) = row.split_at_mut(base);
             let (dst, right) = rest.split_at_mut(lanes);
             let mut first = true;
-            for ia in structure.in_arcs(ev) {
+            for (off, ia) in structure.in_arcs(ev).iter().enumerate() {
                 let sb = ia.src as usize * lanes;
                 let src = if ia.marked {
                     if p == 0 {
@@ -933,10 +1285,19 @@ unsafe fn rows_body<K: LaneOps>(
                 } else {
                     &right[sb - base - lanes..][..lanes]
                 };
-                if first {
-                    K::first(dst, src, ia.delay);
+                if deltas.is_empty() {
+                    if first {
+                        K::first(dst, src, ia.delay);
+                    } else {
+                        K::fold(dst, src, ia.delay);
+                    }
                 } else {
-                    K::fold(dst, src, ia.delay);
+                    let dv = &deltas[(slot0 + off) * lanes..][..lanes];
+                    if first {
+                        K::first_v(dst, src, dv);
+                    } else {
+                        K::fold_v(dst, src, dv);
+                    }
                 }
                 first = false;
             }
@@ -945,10 +1306,14 @@ unsafe fn rows_body<K: LaneOps>(
             }
             if p == 0 {
                 // Row 0: pin each lane's origin cell to 0, in
-                // topological order — see `compute_rows_impl`.
+                // topological order — see `compute_rows_impl`. Lane
+                // j*b + k is (scenario j, border k), so border k owns
+                // every b-strided lane starting at k.
                 for (k, &g) in origins.iter().enumerate() {
                     if g == ev {
-                        dst[k] = 0.0; // t_g(g) = 0 by definition
+                        for lane in (k..lanes).step_by(b) {
+                            dst[lane] = 0.0; // t_g(g) = 0 by definition
+                        }
                     }
                 }
             }
@@ -965,16 +1330,21 @@ unsafe fn rows_body<K: LaneOps>(
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx")]
 #[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
 unsafe fn rows_avx2(
     times: &mut [f64],
     origins: &[EventId],
+    scenarios: usize,
+    deltas: &[f64],
     structure: &CyclicStructure,
     n: usize,
     p_total: usize,
     start_row: usize,
     cancel: Option<&CancelToken>,
 ) -> Result<(), Cancelled> {
-    rows_body::<Avx2Ops>(times, origins, structure, n, p_total, start_row, cancel)
+    rows_body::<Avx2Ops>(
+        times, origins, scenarios, deltas, structure, n, p_total, start_row, cancel,
+    )
 }
 
 /// SSE2 instantiation of the row recurrence.
@@ -985,16 +1355,21 @@ unsafe fn rows_avx2(
 /// baseline on x86-64, but the dispatch guard checks anyway).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "sse2")]
+#[allow(clippy::too_many_arguments)]
 unsafe fn rows_sse2(
     times: &mut [f64],
     origins: &[EventId],
+    scenarios: usize,
+    deltas: &[f64],
     structure: &CyclicStructure,
     n: usize,
     p_total: usize,
     start_row: usize,
     cancel: Option<&CancelToken>,
 ) -> Result<(), Cancelled> {
-    rows_body::<Sse2Ops>(times, origins, structure, n, p_total, start_row, cancel)
+    rows_body::<Sse2Ops>(
+        times, origins, scenarios, deltas, structure, n, p_total, start_row, cancel,
+    )
 }
 
 /// The reusable state of one full cycle-time analysis: the wide matrix
@@ -1254,7 +1629,161 @@ mod tests {
         let e = sg.event_by_label("e-").unwrap();
         let ap = sg.event_by_label("a+").unwrap();
         let mut wide = WideArena::new();
-        assert_eq!(wide.run(&sg, &[ap, e], 2).unwrap_err(), NotRepetitive(e));
+        assert_eq!(
+            wide.run(&sg, &[ap, e], 2).unwrap_err(),
+            WideRunError::NotRepetitive(NotRepetitive(e))
+        );
+    }
+
+    #[test]
+    fn degenerate_batches_are_structured_errors_not_panics() {
+        let sg = figure2();
+        let ap = sg.event_by_label("a+").unwrap();
+        let mut wide = WideArena::new();
+        assert_eq!(
+            wide.run(&sg, &[], 2).unwrap_err(),
+            WideRunError::Degenerate {
+                lanes: 0,
+                periods: 2
+            }
+        );
+        assert_eq!(
+            wide.run(&sg, &[ap], 0).unwrap_err(),
+            WideRunError::Degenerate {
+                lanes: 1,
+                periods: 0
+            }
+        );
+        let structure = CyclicStructure::new(&sg);
+        assert_eq!(
+            wide.run_scenarios_with(&sg, &structure, &[ap], 0, |_, _| 1.0, 2, None)
+                .unwrap_err(),
+            Halt::Degenerate {
+                lanes: 0,
+                periods: 2
+            }
+        );
+    }
+
+    /// Every scenario lane must equal, bit for bit, a nominal wide run
+    /// on the correspondingly reweighted graph — the kernel-level
+    /// contract everything above (run_scenarios, sessions, bench
+    /// assertions) builds on.
+    #[test]
+    fn scenario_lanes_equal_reweighted_reruns() {
+        let sg = figure2();
+        let borders = sg.border_events();
+        let factors = [0.85f64, 1.0, 1.15];
+        let structure = CyclicStructure::new(&sg);
+        for backend in available_backends() {
+            let mut wide = WideArena::with_kernel(backend);
+            wide.run_scenarios_with(
+                &sg,
+                &structure,
+                &borders,
+                factors.len(),
+                |arc, j| sg.arc(arc).delay().get() * factors[j],
+                4,
+                None,
+            )
+            .unwrap();
+            assert_eq!(wide.lanes(), borders.len() * factors.len());
+            for (j, &f) in factors.iter().enumerate() {
+                let mut re = sg.clone();
+                let arcs: Vec<_> = re.arc_ids().collect();
+                for a in arcs {
+                    let d = re.arc(a).delay().get() * f;
+                    re.set_delay(a, d).unwrap();
+                }
+                let mut nominal = WideArena::with_kernel(backend);
+                nominal.run(&re, &borders, 4).unwrap();
+                for k in 0..borders.len() {
+                    let lane = j * borders.len() + k;
+                    assert_eq!(wide.origin(lane), borders[k]);
+                    assert_eq!(wide.scenario_of(lane), j);
+                    for e in sg.events() {
+                        for p in 0..=4 {
+                            assert_eq!(
+                                wide.time(lane, e, p).map(f64::to_bits),
+                                nominal.time(k, e, p).map(f64::to_bits),
+                                "{backend} scenario {j} lane {k} e={} p={p}",
+                                sg.label(e)
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// A scenario matrix resumes from a dirty row after
+    /// `set_scenario_delay` exactly like a from-scratch scenario run
+    /// with the edited delay.
+    #[test]
+    fn scenario_resume_matches_from_scratch() {
+        let sg = figure2();
+        let borders = sg.border_events();
+        let b = borders.len();
+        let cm = sg.event_by_label("c-").unwrap();
+        let ap = sg.event_by_label("a+").unwrap();
+        let arc = sg.arc_between(cm, ap).unwrap();
+        let structure = CyclicStructure::new(&sg);
+        let slot = structure
+            .in_arcs(ap)
+            .iter()
+            .position(|ia| ia.arc == arc)
+            .map(|off| structure.offsets[ap.index()] as usize + off)
+            .unwrap();
+        const FACTORS: [f64; 3] = [0.9, 1.0, 1.2];
+        let sgr = &sg;
+        let delay_of = |edited: Option<(usize, f64)>| {
+            move |a: ArcId, j: usize| match edited {
+                Some((ea, d)) if ea == a.index() && j == 1 => d,
+                _ => sgr.arc(a).delay().get() * FACTORS[j],
+            }
+        };
+        for backend in available_backends() {
+            let mut wide = WideArena::with_kernel(backend);
+            wide.run_scenarios_with(
+                &sg,
+                &structure,
+                &borders,
+                FACTORS.len(),
+                delay_of(None),
+                5,
+                None,
+            )
+            .unwrap();
+            // Edit scenario 1's delay for the marked c- -> a+ arc and
+            // resume from row 1 (the marked-arc dirty bound).
+            wide.set_scenario_delay(slot, 1, 6.5);
+            wide.rerun_rows_from(&structure, 1, None).unwrap();
+
+            let mut fresh = WideArena::with_kernel(backend);
+            fresh
+                .run_scenarios_with(
+                    &sg,
+                    &structure,
+                    &borders,
+                    FACTORS.len(),
+                    delay_of(Some((arc.index(), 6.5))),
+                    5,
+                    None,
+                )
+                .unwrap();
+            for lane in 0..b * FACTORS.len() {
+                for e in sg.events() {
+                    for p in 0..=5 {
+                        assert_eq!(
+                            wide.time(lane, e, p).map(f64::to_bits),
+                            fresh.time(lane, e, p).map(f64::to_bits),
+                            "{backend} lane {lane} e={} p={p}",
+                            sg.label(e)
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

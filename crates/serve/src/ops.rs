@@ -29,7 +29,7 @@ use tsg_core::analysis::session::{
 };
 use tsg_core::analysis::sim::TimingSimulation;
 use tsg_core::analysis::wide::{AnalysisArena, KernelBackend};
-use tsg_core::analysis::{AnalysisError, CycleTimeAnalysis};
+use tsg_core::analysis::{AnalysisError, Corner, CycleTimeAnalysis, ScenarioAnalysis, ScenarioSet};
 use tsg_core::{ArcId, EventId, SignalGraph};
 use tsg_sim::{BatchRunner, CancelKind, CancelToken, QueueKind, TraceRecorder};
 
@@ -313,7 +313,84 @@ pub fn verify_session(session: &AnalysisSession) -> Result<(), String> {
             scratch.cycle_time()
         ));
     }
+    // When scenario lanes are enabled, every lane must match a scratch
+    // sweep too — the incremental matrices and δ tables get the same
+    // bit-identity guarantee as the nominal analysis.
+    if let (Some(set), Some(sa)) = (session.scenario_set(), session.scenario_analysis()) {
+        let scratch =
+            CycleTimeAnalysis::run_scenarios(session.graph(), set).map_err(|e| e.to_string())?;
+        for j in 0..sa.len() {
+            let (inc, ref_) = (sa.analysis(j), scratch.analysis(j));
+            if inc.cycle_time().as_f64().to_bits() != ref_.cycle_time().as_f64().to_bits()
+                || inc.critical_cycle() != ref_.critical_cycle()
+            {
+                return Err(format!(
+                    "internal error: scenario {} diverged from scratch ({} vs {})",
+                    sa.label(j),
+                    inc.cycle_time(),
+                    ref_.cycle_time()
+                ));
+            }
+        }
+    }
     Ok(())
+}
+
+/// What [`optimize_session`]'s accept/reject decisions minimise.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Objective {
+    /// The nominal cycle time τ.
+    #[default]
+    Tau,
+    /// The 95th-percentile τ over the session's sampled delay
+    /// scenarios — robust optimization: a move only counts if it helps
+    /// under delay variation, not just at nominal.
+    TauP95,
+}
+
+impl Objective {
+    /// The flag/wire name (`tau`, `tau-p95`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Objective::Tau => "tau",
+            Objective::TauP95 => "tau-p95",
+        }
+    }
+
+    /// Parses the flag form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a user-facing message naming the supported objectives.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "tau" => Ok(Objective::Tau),
+            "tau-p95" => Ok(Objective::TauP95),
+            other => Err(format!(
+                "unknown objective {other:?} (expected \"tau\", the cycle time, or \
+                 \"tau-p95\", the 95th-percentile cycle time over sampled scenarios)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for Objective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The scalar a session state scores as under `objective`. `TauP95`
+/// falls back to the nominal τ when no scenarios are enabled, so the
+/// objective is total either way.
+fn objective_value(session: &AnalysisSession, objective: Objective) -> f64 {
+    match objective {
+        Objective::Tau => session.analysis().cycle_time().as_f64(),
+        Objective::TauP95 => session.scenario_analysis().map_or_else(
+            || session.analysis().cycle_time().as_f64(),
+            |sa| sa.tau_quantile(0.95),
+        ),
+    }
 }
 
 /// Flags of an `analyze` invocation (CLI flags or request fields).
@@ -337,6 +414,18 @@ pub struct AnalyzeOptions {
     /// an explicit backend is honoured or refused with a structured
     /// error, never silently downgraded.
     pub kernel: KernelBackend,
+    /// Delay corners to sweep as scenario lanes alongside the nominal
+    /// analysis (`--corners min,typ,max`). Empty = no corner sweep.
+    /// Takes precedence over `samples` when both are given.
+    pub corners: Vec<Corner>,
+    /// Derate percentage of the min/max corners — and the jitter
+    /// percentage of sampled scenarios (`--derate`).
+    pub derate: f64,
+    /// Number of seeded Monte-Carlo delay scenarios to sweep
+    /// (`--samples`; `0` = off).
+    pub samples: usize,
+    /// Seed of the sampled scenarios' per-lane RNG streams (`--seed`).
+    pub seed: u64,
 }
 
 impl Default for AnalyzeOptions {
@@ -349,7 +438,36 @@ impl Default for AnalyzeOptions {
             default_delay: 1.0,
             threads: None,
             kernel: KernelBackend::Auto,
+            corners: Vec::new(),
+            derate: 10.0,
+            samples: 0,
+            seed: 0,
         }
+    }
+}
+
+/// The scenario set an `analyze` invocation's flags ask for, over
+/// `arc_slots` arc slots: corners win over samples, neither means
+/// `None` (nominal-only analysis).
+///
+/// # Errors
+///
+/// Returns invalid specifications (derate outside `[0, 100)`) as
+/// user-facing messages.
+pub fn scenario_set_for(
+    opts: &AnalyzeOptions,
+    arc_slots: usize,
+) -> Result<Option<ScenarioSet>, String> {
+    if !opts.corners.is_empty() {
+        ScenarioSet::corners(opts.derate, &opts.corners, arc_slots)
+            .map(Some)
+            .map_err(|e| e.to_string())
+    } else if opts.samples > 0 {
+        ScenarioSet::samples(opts.samples, opts.seed, opts.derate, arc_slots)
+            .map(Some)
+            .map_err(|e| e.to_string())
+    } else {
+        Ok(None)
     }
 }
 
@@ -396,13 +514,22 @@ pub fn load(file: &str, text: &str, default_delay: f64) -> Result<SignalGraph, S
 
 /// The `tsg analyze` report, one-shot path: the `b` border-initiated
 /// simulations fan out across a [`BatchRunner`] pool sized by
-/// `opts.threads`.
+/// `opts.threads` — and so do the scenario lanes when `opts` asks for
+/// a corner or sample sweep (scenarios chunked across the workers,
+/// bit-identical at any thread count).
 pub fn report(sg: &SignalGraph, opts: &AnalyzeOptions) -> String {
-    render_report(
-        sg,
-        opts,
-        CycleTimeAnalysis::run_parallel_on(sg, &BatchRunner::sized(opts.threads), opts.kernel),
-    )
+    let runner = BatchRunner::sized(opts.threads);
+    let analysis = CycleTimeAnalysis::run_parallel_on(sg, &runner, opts.kernel);
+    let scenarios = match scenario_set_for(opts, sg.arc_count()) {
+        Ok(None) => Ok(None),
+        Ok(Some(set)) => {
+            CycleTimeAnalysis::run_scenarios_parallel_on(sg, &set, &runner, opts.kernel, None)
+                .map(Some)
+                .map_err(|e| e.to_string())
+        }
+        Err(e) => Err(e),
+    };
+    render_report(sg, opts, analysis, scenarios)
 }
 
 /// The `tsg analyze` report, warm path: all simulations reuse `arena`.
@@ -439,13 +566,36 @@ pub fn report_in_with_cancel(
             total: rows_total as u64,
         });
     }
-    Ok(render_report(sg, opts, analysis))
+    // The scenario sweep reuses the same warm arena the nominal
+    // analysis just ran on; only a fired token surfaces as an error,
+    // everything else renders inline like the nominal block.
+    let scenarios = match scenario_set_for(opts, sg.arc_count()) {
+        Ok(None) => Ok(None),
+        Ok(Some(set)) => match CycleTimeAnalysis::run_scenarios_in(sg, &set, None, arena, cancel) {
+            Ok(sa) => Ok(Some(sa)),
+            Err(AnalysisError::Cancelled {
+                kind,
+                rows_done,
+                rows_total,
+            }) => {
+                return Err(OpError::Cancelled {
+                    kind,
+                    done: rows_done as u64,
+                    total: rows_total as u64,
+                });
+            }
+            Err(e) => Err(e.to_string()),
+        },
+        Err(e) => Err(e),
+    };
+    Ok(render_report(sg, opts, analysis, scenarios))
 }
 
 fn render_report(
     sg: &SignalGraph,
     opts: &AnalyzeOptions,
     analysis: Result<CycleTimeAnalysis, AnalysisError>,
+    scenarios: Result<Option<ScenarioAnalysis>, String>,
 ) -> String {
     let mut out = String::new();
     let _ = writeln!(
@@ -485,6 +635,59 @@ fn render_report(
         }
         Err(e) => {
             let _ = writeln!(out, "cycle time: undefined ({e})");
+        }
+    }
+    match scenarios {
+        Ok(None) => {}
+        Ok(Some(sa)) => {
+            if opts.corners.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "scenarios: {} sample(s), jitter {}%, seed {}",
+                    sa.len(),
+                    opts.derate,
+                    opts.seed
+                );
+            } else {
+                let _ = writeln!(
+                    out,
+                    "scenarios: {} corner(s), derate {}%",
+                    sa.len(),
+                    opts.derate
+                );
+            }
+            let _ = writeln!(
+                out,
+                "tau distribution: mean {:.4}  p50 {:.4}  p95 {:.4}  max {:.4}",
+                sa.tau_mean(),
+                sa.tau_quantile(0.5),
+                sa.tau_quantile(0.95),
+                sa.tau_quantile(1.0)
+            );
+            if !opts.corners.is_empty() {
+                for j in 0..sa.len() {
+                    let _ = writeln!(
+                        out,
+                        "  {:<6} tau {}",
+                        sa.label(j),
+                        sa.analysis(j).cycle_time()
+                    );
+                }
+            }
+            let _ = writeln!(out, "arc criticality:");
+            for (a, p) in sa.criticality() {
+                let arc = sg.arc(a);
+                let _ = writeln!(
+                    out,
+                    "  {} -> {} : {:.2}",
+                    sg.label(arc.src()),
+                    sg.label(arc.dst()),
+                    p
+                );
+            }
+        }
+        Err(e) => {
+            let _ = writeln!(out, "scenarios: unavailable ({e})");
         }
     }
     if opts.baselines {
@@ -802,9 +1005,11 @@ fn propose_move(
 /// --optimize` and `session.explore`: propose `moves` random candidate
 /// edits (delay nudges, arc rewires, pipeline-stage insertions), score
 /// each by incremental re-analysis against a snapshot, commit the ones
-/// that strictly lower the cycle time and roll the rest back. The
-/// accepted-τ trajectory is monotone non-increasing by construction,
-/// so `final_tau <= initial` always holds.
+/// that strictly lower the `objective` and roll the rest back. The
+/// accepted-objective trajectory is monotone non-increasing by
+/// construction, so `final_tau <= initial` always holds — with
+/// [`Objective::TauP95`] the scored value is the 95th-percentile τ over
+/// the session's enabled scenario lanes (nominal τ if none are).
 ///
 /// `cancel` is polled between moves: a fired token stops proposing and
 /// returns the trajectory so far — the session is never left mid-move,
@@ -813,10 +1018,11 @@ pub fn optimize_session(
     session: &mut AnalysisSession,
     moves: usize,
     seed: u64,
+    objective: Objective,
     cancel: Option<&CancelToken>,
 ) -> OptimizeOutcome {
     let mut rng = SplitMix64(seed ^ 0xD6E8_FEB8_6659_FD93);
-    let initial = session.analysis().cycle_time().as_f64();
+    let initial = objective_value(session, objective);
     let mut trajectory = Vec::with_capacity(moves);
     let mut accepted = 0usize;
     let mut fresh = 0u64;
@@ -824,14 +1030,17 @@ pub fn optimize_session(
         if cancel.is_some_and(|t| t.check().is_some()) {
             break;
         }
-        let tau_before = session.analysis().cycle_time().as_f64();
+        let tau_before = objective_value(session, objective);
         let (action, batch) = propose_move(session, &mut rng, &mut fresh);
         let snap = session.snapshot();
         // A rejected batch rolls itself back; a scored one that does
         // not improve is rolled back to the snapshot. Only strict
-        // improvements survive, so the committed τ never climbs.
+        // improvements survive, so the committed objective never
+        // climbs. Scoring a move re-runs the scenario lanes too (the
+        // session refreshes them per edit batch), so TauP95 sees the
+        // move's effect across the whole delay distribution.
         let scored = session.edit_structure(&batch).ok();
-        let improved = scored.is_some_and(|d| d.after.as_f64() < tau_before);
+        let improved = scored.is_some() && objective_value(session, objective) < tau_before;
         let (rows, rows_total) = scored.map_or((0, 0), |d| (d.rows, d.rows_total));
         if improved {
             accepted += 1;
@@ -842,7 +1051,7 @@ pub fn optimize_session(
             index,
             action,
             tau_before,
-            tau_after: session.analysis().cycle_time().as_f64(),
+            tau_after: objective_value(session, objective),
             critical: session
                 .graph()
                 .display_path(session.analysis().critical_cycle())
@@ -854,7 +1063,7 @@ pub fn optimize_session(
     }
     OptimizeOutcome {
         initial,
-        final_tau: session.analysis().cycle_time().as_f64(),
+        final_tau: objective_value(session, objective),
         accepted,
         trajectory,
     }
@@ -1096,29 +1305,47 @@ impl Workspace {
 
     /// `session.explore`: runs the speculative optimization loop
     /// ([`optimize_session`]) on an open session, committing the moves
-    /// that lower the cycle time, and self-verifies the final state
-    /// against a from-scratch analysis.
+    /// that lower the objective, and self-verifies the final state
+    /// against a from-scratch analysis (scenario lanes included). With
+    /// [`Objective::TauP95`], `samples` seeded delay scenarios are
+    /// enabled on the session first (kept enabled afterwards, so the
+    /// response's distribution summary reflects the final state).
     ///
     /// # Errors
     ///
-    /// Returns an unknown-session message. A fired `cancel` merely
-    /// stops proposing further moves — the moves already committed
-    /// stay, the session is consistent, and the response reports the
-    /// partial trajectory.
+    /// Returns an unknown-session message, or a scenario-enablement
+    /// failure for `tau-p95`. A fired `cancel` merely stops proposing
+    /// further moves — the moves already committed stay, the session is
+    /// consistent, and the response reports the partial trajectory.
+    #[allow(clippy::too_many_arguments)] // one knob per protocol field of session.explore
     pub fn session_explore(
         &mut self,
         conn: u64,
         name: &str,
         moves: usize,
         seed: u64,
+        objective: Objective,
+        samples: usize,
         cancel: Option<&CancelToken>,
     ) -> Result<String, OpError> {
         let session = self
             .sessions
             .get_mut(&session_key(conn, name))
             .ok_or_else(|| format!("no open session {name:?}"))?;
-        let outcome = optimize_session(session, moves, seed, cancel);
         let mut out = String::new();
+        if objective == Objective::TauP95 && session.scenario_analysis().is_none() {
+            let set = ScenarioSet::samples(samples.max(1), seed, 10.0, session.graph().arc_count())
+                .map_err(|e| e.to_string())?;
+            session.enable_scenarios(&set).map_err(|e| e.to_string())?;
+        }
+        if let Some(sa) = session.scenario_analysis() {
+            let _ = writeln!(
+                out,
+                "objective: {objective} over {} scenario lane(s)",
+                sa.len()
+            );
+        }
+        let outcome = optimize_session(session, moves, seed, objective, cancel);
         for m in &outcome.trajectory {
             let _ = writeln!(
                 out,
@@ -1141,6 +1368,16 @@ impl Workspace {
             outcome.trajectory.len()
         );
         out.push_str(&session_summary(session));
+        if let Some(sa) = session.scenario_analysis() {
+            let _ = writeln!(
+                out,
+                "tau distribution: mean {:.4}  p50 {:.4}  p95 {:.4}  max {:.4}",
+                sa.tau_mean(),
+                sa.tau_quantile(0.5),
+                sa.tau_quantile(0.95),
+                sa.tau_quantile(1.0)
+            );
+        }
         verify_session(session)?;
         let _ = writeln!(out, "verified: bit-identical to a from-scratch analysis");
         Ok(out)

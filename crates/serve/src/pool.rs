@@ -61,7 +61,7 @@ use tsg_sim::{BatchRunner, CancelKind, CancelToken};
 
 use crate::chaos::{Chaos, ChaosConfig};
 use crate::json::Json;
-use crate::ops::{OpError, Source, Workspace};
+use crate::ops::{AnalyzeOptions, Objective, OpError, Source, Workspace};
 use crate::protocol::{self, Command, Request};
 
 /// How often the session loop re-checks the shutdown flag while waiting
@@ -151,6 +151,11 @@ pub struct ServeStats {
     /// Requests still queued or in flight when a drain deadline
     /// cancelled them.
     pub drained_in_flight: u64,
+    /// Requests that carried a scenario sweep (corners, samples, or a
+    /// `tau-p95` explore objective).
+    pub scenario_requests: u64,
+    /// Scenario lanes those requests asked for, summed.
+    pub scenario_lanes: u64,
 }
 
 /// What a queued job carries.
@@ -230,6 +235,32 @@ struct PoolShared {
     timed_out_connections: AtomicU64,
     /// Requests cancelled by a drain deadline.
     drained_in_flight: AtomicU64,
+    /// Requests that carried a scenario sweep.
+    scenario_requests: AtomicU64,
+    /// Scenario lanes those requests asked for, summed.
+    scenario_lanes: AtomicU64,
+}
+
+impl PoolShared {
+    /// Charges one scenario-sweeping request of `lanes` lanes into the
+    /// scenario counters (no-op for nominal-only requests).
+    fn note_scenarios(&self, lanes: usize) {
+        if lanes > 0 {
+            self.scenario_requests.fetch_add(1, Ordering::SeqCst);
+            self.scenario_lanes
+                .fetch_add(lanes as u64, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Scenario lanes an `analyze`/`batch` request's options ask for per
+/// input (0 = nominal-only).
+fn scenario_lanes_of(opts: &AnalyzeOptions) -> usize {
+    if opts.corners.is_empty() {
+        opts.samples
+    } else {
+        opts.corners.len()
+    }
 }
 
 impl PoolShared {
@@ -257,6 +288,8 @@ fn stats_of(shared: &PoolShared) -> ServeStats {
         cancelled: shared.cancelled.load(Ordering::SeqCst),
         timed_out_connections: shared.timed_out_connections.load(Ordering::SeqCst),
         drained_in_flight: shared.drained_in_flight.load(Ordering::SeqCst),
+        scenario_requests: shared.scenario_requests.load(Ordering::SeqCst),
+        scenario_lanes: shared.scenario_lanes.load(Ordering::SeqCst),
     }
 }
 
@@ -322,6 +355,8 @@ impl Pool {
             cancelled: AtomicU64::new(0),
             timed_out_connections: AtomicU64::new(0),
             drained_in_flight: AtomicU64::new(0),
+            scenario_requests: AtomicU64::new(0),
+            scenario_lanes: AtomicU64::new(0),
         });
         let workers = (0..threads)
             .map(|index| {
@@ -805,12 +840,14 @@ fn handle(
             response
         }
         Command::Analyze { source, opts } => {
+            shared.note_scenarios(scenario_lanes_of(&opts));
             respond(isolate(|| workspace.analyze(&source, &opts, cancel)))
         }
         Command::Sim { source, opts } => {
             respond(isolate(|| workspace.simulate(&source, &opts, cancel)))
         }
         Command::Batch { paths, opts } => {
+            shared.note_scenarios(scenario_lanes_of(&opts));
             let results: Vec<Result<String, String>> = paths
                 .iter()
                 .map(|path| {
@@ -848,9 +885,16 @@ fn handle(
             session,
             moves,
             seed,
-        } => respond(isolate(|| {
-            workspace.session_explore(conn, &session, moves, seed, cancel)
-        })),
+            objective,
+            samples,
+        } => {
+            if objective == Objective::TauP95 {
+                shared.note_scenarios(samples.max(1));
+            }
+            respond(isolate(|| {
+                workspace.session_explore(conn, &session, moves, seed, objective, samples, cancel)
+            }))
+        }
         Command::SessionClose { session } => {
             let result = isolate(|| workspace.session_close(conn, &session));
             if result.is_ok() {

@@ -57,6 +57,15 @@
 //! structured error, and the `stats` response reports the backend the
 //! pool's warm workspaces run on.
 //!
+//! `analyze`/`batch` requests also accept scenario-sweep fields:
+//! `"corners"` (a `"min,typ,max"` string or array of corner names) with
+//! `"derate"` (percent, default 10), or `"samples"` (seeded Monte-Carlo
+//! scenario count) with `"seed"` — the report then carries a τ
+//! distribution summary and per-arc criticality probabilities swept as
+//! extra kernel lanes. `session.explore` accepts `"objective"`
+//! (`"tau"` or `"tau-p95"`) and `"samples"`: `tau-p95` optimizes the
+//! 95th-percentile τ over sampled delay scenarios.
+//!
 //! Unknown fields are rejected, not ignored — the same strictness the
 //! CLI applies to unknown flags, so a typo'd option fails loudly instead
 //! of silently running with defaults.
@@ -72,9 +81,10 @@
 use std::time::Duration;
 
 use crate::json::Json;
-use crate::ops::{AnalyzeOptions, EditOp, EditSpec, SimOptions, Source};
+use crate::ops::{AnalyzeOptions, EditOp, EditSpec, Objective, SimOptions, Source};
 use crate::pool::ServeStats;
 use tsg_core::analysis::wide::KernelBackend;
+use tsg_core::analysis::Corner;
 use tsg_sim::QueueKind;
 
 /// A parsed request body.
@@ -127,8 +137,13 @@ pub enum Command {
         session: String,
         /// Candidate moves to propose.
         moves: usize,
-        /// Seed of the deterministic move generator.
+        /// Seed of the deterministic move generator (and of the sampled
+        /// scenarios a `tau-p95` objective enables).
         seed: u64,
+        /// What accepted moves must strictly lower.
+        objective: Objective,
+        /// Sampled scenario lanes a `tau-p95` objective scores over.
+        samples: usize,
     },
     /// Close a session, discarding its warm state.
     SessionClose {
@@ -195,6 +210,10 @@ pub fn parse_request(line: &str) -> Result<Request, (Json, String)> {
             "slack",
             "default_delay",
             "kernel",
+            "corners",
+            "derate",
+            "samples",
+            "seed",
             "deadline_ms",
         ],
         "sim" => &[
@@ -219,6 +238,10 @@ pub fn parse_request(line: &str) -> Result<Request, (Json, String)> {
             "slack",
             "default_delay",
             "kernel",
+            "corners",
+            "derate",
+            "samples",
+            "seed",
             "deadline_ms",
         ],
         "stats" => &["id", "cmd", "deadline_ms"],
@@ -233,7 +256,16 @@ pub fn parse_request(line: &str) -> Result<Request, (Json, String)> {
             "deadline_ms",
         ],
         "session.edit" => &["id", "cmd", "session", "edits", "deadline_ms"],
-        "session.explore" => &["id", "cmd", "session", "moves", "seed", "deadline_ms"],
+        "session.explore" => &[
+            "id",
+            "cmd",
+            "session",
+            "moves",
+            "seed",
+            "objective",
+            "samples",
+            "deadline_ms",
+        ],
         "session.close" => &["id", "cmd", "session", "deadline_ms"],
         other => return Err(fail(format!("unknown cmd {other:?}"))),
     };
@@ -310,6 +342,21 @@ pub fn parse_request(line: &str) -> Result<Request, (Json, String)> {
                     .filter(|s| s.fract() == 0.0 && *s >= 0.0 && *s <= u32::MAX as f64)
                     .map(|s| s as u64)
                     .ok_or_else(|| fail("\"seed\" must be a non-negative integer".to_owned()))?,
+            },
+            objective: match doc.get("objective") {
+                None => Objective::Tau,
+                Some(v) => v
+                    .as_str()
+                    .ok_or_else(|| fail("\"objective\" must be a string".to_owned()))
+                    .and_then(|s| Objective::parse(s).map_err(&fail))?,
+            },
+            samples: match doc.get("samples") {
+                None => 16,
+                Some(v) => v
+                    .as_f64()
+                    .filter(|s| s.fract() == 0.0 && *s >= 1.0 && *s <= 4096.0)
+                    .map(|s| s as usize)
+                    .ok_or_else(|| fail("\"samples\" must be an integer in 1..=4096".to_owned()))?,
             },
         },
         "session.close" => Command::SessionClose {
@@ -488,7 +535,64 @@ fn analyze_opts(doc: &Json) -> Result<AnalyzeOptions, String> {
                 .ok_or("\"kernel\" must be a string".to_owned())
                 .and_then(|s| s.parse::<KernelBackend>().map_err(|e| e.to_string()))?,
         },
+        corners: corners_of(doc)?,
+        derate: match doc.get("derate") {
+            None => 10.0,
+            Some(v) => v
+                .as_f64()
+                .filter(|d| d.is_finite() && *d >= 0.0 && *d < 100.0)
+                .ok_or("\"derate\" must be a percentage in [0, 100)")?,
+        },
+        samples: match doc.get("samples") {
+            None => 0,
+            Some(v) => v
+                .as_f64()
+                .filter(|s| s.fract() == 0.0 && *s >= 1.0 && *s <= 4096.0)
+                .map(|s| s as usize)
+                .ok_or("\"samples\" must be an integer in 1..=4096")?,
+        },
+        seed: match doc.get("seed") {
+            None => 0,
+            Some(v) => v
+                .as_f64()
+                .filter(|s| s.fract() == 0.0 && *s >= 0.0 && *s <= u32::MAX as f64)
+                .map(|s| s as u64)
+                .ok_or("\"seed\" must be a non-negative integer")?,
+        },
     })
+}
+
+/// Extracts the optional `corners` field: a `"min,typ,max"` string or
+/// an array of corner names, each parsed strictly.
+fn corners_of(doc: &Json) -> Result<Vec<Corner>, String> {
+    let Some(v) = doc.get("corners") else {
+        return Ok(Vec::new());
+    };
+    let names: Vec<String> = if let Some(s) = v.as_str() {
+        s.split(',')
+            .map(str::trim)
+            .filter(|c| !c.is_empty())
+            .map(str::to_owned)
+            .collect()
+    } else if let Some(items) = v.as_array() {
+        items
+            .iter()
+            .map(|c| {
+                c.as_str()
+                    .map(str::to_owned)
+                    .ok_or("\"corners\" entries must be strings".to_owned())
+            })
+            .collect::<Result<_, _>>()?
+    } else {
+        return Err("\"corners\" must be a string or array of corner names".to_owned());
+    };
+    if names.is_empty() {
+        return Err("\"corners\" must name at least one corner".to_owned());
+    }
+    names
+        .iter()
+        .map(|n| n.parse::<Corner>().map_err(|e| e.to_string()))
+        .collect()
 }
 
 fn sim_opts(doc: &Json) -> Result<SimOptions, String> {
@@ -649,6 +753,14 @@ pub fn stats_response(id: &Json, stats: &ServeStats, kernel: &str) -> String {
         (
             "drained_in_flight".to_owned(),
             Json::from(stats.drained_in_flight),
+        ),
+        (
+            "scenario_requests".to_owned(),
+            Json::from(stats.scenario_requests),
+        ),
+        (
+            "scenario_lanes".to_owned(),
+            Json::from(stats.scenario_lanes),
         ),
     ])
     .dump()
@@ -821,28 +933,80 @@ mod tests {
             session,
             moves,
             seed,
+            objective,
+            samples,
         } = r.cmd
         else {
             panic!("wrong cmd");
         };
         assert_eq!((session.as_str(), moves, seed), ("s", 16, 0));
-        let r = parse_request(r#"{"cmd":"session.explore","session":"s","moves":64,"seed":7}"#)
-            .unwrap();
+        assert_eq!((objective, samples), (Objective::Tau, 16));
+        let r = parse_request(
+            r#"{"cmd":"session.explore","session":"s","moves":64,"seed":7,"objective":"tau-p95","samples":8}"#,
+        )
+        .unwrap();
         assert_eq!(r.cmd.session_name(), Some("s"));
-        let Command::SessionExplore { moves, seed, .. } = r.cmd else {
+        let Command::SessionExplore {
+            moves,
+            seed,
+            objective,
+            samples,
+            ..
+        } = r.cmd
+        else {
             panic!("wrong cmd");
         };
         assert_eq!((moves, seed), (64, 7));
+        assert_eq!((objective, samples), (Objective::TauP95, 8));
         for (bad, needle) in [
             (r#""moves":0"#, "\"moves\""),
             (r#""moves":2.5"#, "\"moves\""),
             (r#""seed":-1"#, "\"seed\""),
+            (r#""objective":"area""#, "unknown objective"),
+            (r#""samples":0"#, "\"samples\""),
             (r#""edits":[]"#, "unknown field"),
         ] {
             let line = format!(r#"{{"cmd":"session.explore","session":"s",{bad}}}"#);
             let (_, e) = parse_request(&line).unwrap_err();
             assert!(e.contains(needle), "{line}: {e}");
         }
+    }
+
+    #[test]
+    fn parses_scenario_fields_and_rejects_bad_ones() {
+        let r =
+            parse_request(r#"{"cmd":"analyze","path":"a.g","corners":"min,typ,max","derate":5}"#)
+                .unwrap();
+        let Command::Analyze { opts, .. } = r.cmd else {
+            panic!("wrong cmd");
+        };
+        assert_eq!(opts.corners, [Corner::Min, Corner::Typ, Corner::Max]);
+        assert_eq!(opts.derate, 5.0);
+        let r = parse_request(
+            r#"{"cmd":"batch","paths":["a.g"],"corners":["max"],"samples":3,"seed":9}"#,
+        )
+        .unwrap();
+        let Command::Batch { opts, .. } = r.cmd else {
+            panic!("wrong cmd");
+        };
+        assert_eq!(opts.corners, [Corner::Max]);
+        assert_eq!((opts.samples, opts.seed), (3, 9));
+        for (bad, needle) in [
+            (r#""corners":"fast""#, "unknown corner"),
+            (r#""corners":"""#, "at least one"),
+            (r#""corners":7"#, "\"corners\""),
+            (r#""derate":100"#, "\"derate\""),
+            (r#""derate":-1"#, "\"derate\""),
+            (r#""samples":0"#, "\"samples\""),
+            (r#""samples":1.5"#, "\"samples\""),
+            (r#""seed":-3"#, "\"seed\""),
+        ] {
+            let line = format!(r#"{{"cmd":"analyze","path":"a.g",{bad}}}"#);
+            let (_, e) = parse_request(&line).unwrap_err();
+            assert!(e.contains(needle), "{line}: {e}");
+        }
+        let (_, e) = parse_request(r#"{"cmd":"sim","path":"a.g","corners":"min"}"#).unwrap_err();
+        assert!(e.contains("unknown field"), "{e}");
     }
 
     #[test]
@@ -901,13 +1065,16 @@ mod tests {
             cancelled: 0,
             timed_out_connections: 0,
             drained_in_flight: 0,
+            scenario_requests: 2,
+            scenario_lanes: 6,
         };
         assert_eq!(
             stats_response(&Json::Str("s".into()), &stats, "avx2"),
             concat!(
                 r#"{"id":"s","ok":true,"served":5,"failed":1,"threads":4,"kernel":"avx2","#,
                 r#""queue_depth":2,"rejected_overloaded":1,"deadline_exceeded":3,"#,
-                r#""cancelled":0,"timed_out_connections":0,"drained_in_flight":0}"#
+                r#""cancelled":0,"timed_out_connections":0,"drained_in_flight":0,"#,
+                r#""scenario_requests":2,"scenario_lanes":6}"#
             )
         );
         assert_eq!(

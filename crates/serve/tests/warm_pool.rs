@@ -570,7 +570,9 @@ fn workspace_explore_is_monotone_deterministic_and_verified() {
     let mut ws = Workspace::new();
     ws.session_open(1, "a", &inline_g(), 1.0, None).unwrap();
     ws.session_open(1, "b", &inline_g(), 1.0, None).unwrap();
-    let out = ws.session_explore(1, "a", 16, 42, None).unwrap();
+    let out = ws
+        .session_explore(1, "a", 16, 42, ops::Objective::Tau, 16, None)
+        .unwrap();
     assert_eq!(out.matches("move ").count(), 16, "{out}");
     assert!(out.contains("optimized: tau 10 -> "), "{out}");
     assert!(
@@ -608,7 +610,11 @@ fn workspace_explore_is_monotone_deterministic_and_verified() {
     assert_eq!(final_tau, committed, "summary matches the trajectory");
     assert!(out.contains(&format!("{accepted} accepted")), "{out}");
     // Same seed on an identical session reproduces the run exactly.
-    assert_eq!(ws.session_explore(1, "b", 16, 42, None).unwrap(), out);
+    assert_eq!(
+        ws.session_explore(1, "b", 16, 42, ops::Objective::Tau, 16, None)
+            .unwrap(),
+        out
+    );
 }
 
 #[test]

@@ -12,10 +12,11 @@
 use proptest::prelude::*;
 use tsg::core::analysis::event_sim::{EventSimScratch, EventSimulation};
 use tsg::core::analysis::session::{AnalysisSession, DelayEdit, EditError, GraphEdit};
-use tsg::core::analysis::{AnalysisError, CycleTimeAnalysis, KernelBackend};
+use tsg::core::analysis::{AnalysisError, Corner, CycleTimeAnalysis, KernelBackend, ScenarioSet};
 use tsg::core::{ArcId, EventId, SignalGraph};
 use tsg::gen::{handshake_pipeline, random_live_tsg, ring, torus, PipelineConfig, RandomTsgConfig};
 use tsg::sim::{CancelToken, QueueKind};
+use tsg_bench::{assert_analyses_identical, available_backends};
 
 /// One generated graph per `(family, seed)` pair, covering every
 /// generator family with modest sizes.
@@ -151,6 +152,41 @@ fn apply_mixed(session: &mut AnalysisSession, batch: &[GraphEdit], ctx: &str) ->
     }
 }
 
+/// A scenario set over `sg`'s arcs: corner sets of 1–3 corners for
+/// even `pick`, seeded sample sets of 1–5 lanes otherwise (the same
+/// mix the wide-kernel properties sweep).
+fn scenario_set(sg: &SignalGraph, pick: u64) -> ScenarioSet {
+    const CORNERS: [Corner; 3] = [Corner::Min, Corner::Typ, Corner::Max];
+    let slots = sg.arc_count();
+    if pick.is_multiple_of(2) {
+        let count = 1 + (pick / 2 % 3) as usize;
+        let derate = [5.0, 10.0, 25.0][(pick / 7 % 3) as usize];
+        ScenarioSet::corners(derate, &CORNERS[..count], slots).expect("non-empty corner list")
+    } else {
+        let count = 1 + (pick / 2 % 5) as usize;
+        ScenarioSet::samples(count, pick, 10.0, slots).expect("non-zero sample count")
+    }
+}
+
+/// Every scenario lane the session keeps warm must hold the exact bits
+/// of a from-scratch *scalar* analysis of the corresponding reweighted
+/// graph — the session's own (possibly resized) set is the oracle, so
+/// structural edits that grow the arc table are covered too.
+fn assert_scenario_lanes_match_scratch(session: &AnalysisSession, ctx: &str) {
+    let set = session.scenario_set().expect("scenarios enabled");
+    let sa = session.scenario_analysis().expect("scenarios enabled");
+    assert_eq!(sa.len(), set.len(), "{ctx}: scenario lane count");
+    for j in 0..set.len() {
+        let scalar = CycleTimeAnalysis::run_scalar(&set.reweighted(session.graph(), j))
+            .expect("reweighting keeps the graph live");
+        assert_analyses_identical(
+            &scalar,
+            sa.analysis(j),
+            &format!("{ctx} [{}]", set.label(j)),
+        );
+    }
+}
+
 fn assert_session_matches_scratch(session: &AnalysisSession, ctx: &str) {
     let scratch = CycleTimeAnalysis::run(session.graph()).expect("graph stays live");
     let a = session.analysis();
@@ -252,6 +288,85 @@ proptest! {
         assert_session_matches_scratch(&session, &ctx);
     }
 
+    /// Scenario lanes ride the session's incremental resume (PR 9):
+    /// with a corner or sample set enabled, every delay edit resumes
+    /// *all* `b × s` lanes from the minimum dirty row, and after every
+    /// step each scenario lane must match a from-scratch scalar
+    /// analysis of its reweighted graph — alongside the nominal lanes.
+    #[test]
+    fn scenario_lanes_survive_random_delay_edits(
+        family in 0usize..4,
+        seed in 0u64..10_000,
+        edits in 1usize..6,
+        pick in 0u64..1_000,
+    ) {
+        let sg = graph(family, seed);
+        let mut session = AnalysisSession::open(sg).expect("generated graphs are live");
+        let set = scenario_set(session.graph(), pick);
+        session.enable_scenarios(&set).expect("live");
+        assert_scenario_lanes_match_scratch(
+            &session,
+            &format!("family {family} seed {seed} pick {pick} enable"),
+        );
+        for (step, e) in script(session.graph(), seed, edits).into_iter().enumerate() {
+            session.edit_delay(e.arc, e.delay).unwrap();
+            let ctx = format!("family {family} seed {seed} pick {pick} step {step}");
+            assert_session_matches_scratch(&session, &ctx);
+            assert_scenario_lanes_match_scratch(&session, &ctx);
+        }
+    }
+
+    /// Scenario lanes across *structural* edit scripts: splices that
+    /// grow the arc table force the session to re-derive the factor
+    /// matrix over the new slots and reseed every scenario lane; after
+    /// every batch (applied or rejected whole) each lane must still
+    /// match the scalar engine on its reweighted graph.
+    #[test]
+    fn scenario_lanes_survive_mixed_structural_scripts(
+        family in 0usize..4,
+        seed in 0u64..10_000,
+        steps in 1usize..6,
+        pick in 0u64..1_000,
+    ) {
+        let mut session = AnalysisSession::open(graph(family, seed)).expect("live");
+        let set = scenario_set(session.graph(), pick);
+        session.enable_scenarios(&set).expect("live");
+        let mut fresh = 0u32;
+        for step in 0..steps as u64 {
+            let ctx = format!("family {family} seed {seed} pick {pick} struct step {step}");
+            let batch = mixed_batch(session.graph(), mix_key(seed, step), &mut fresh);
+            apply_mixed(&mut session, &batch, &ctx);
+            assert_session_matches_scratch(&session, &ctx);
+            assert_scenario_lanes_match_scratch(&session, &ctx);
+        }
+    }
+
+    /// The same resume discipline holds with the kernel pinned to each
+    /// backend this CPU offers: scenario lanes resumed mid-matrix by a
+    /// short edit script stay bit-identical to the scalar engine on
+    /// every backend.
+    #[test]
+    fn scenario_lanes_resume_mid_matrix_on_every_backend(
+        family in 0usize..4,
+        seed in 0u64..10_000,
+        edits in 1usize..4,
+        pick in 0u64..1_000,
+    ) {
+        for backend in available_backends() {
+            let sg = graph(family, seed);
+            let mut session = AnalysisSession::open_with_kernel(sg, backend).expect("live");
+            let set = scenario_set(session.graph(), pick);
+            session.enable_scenarios(&set).expect("live");
+            for (step, e) in script(session.graph(), seed, edits).into_iter().enumerate() {
+                session.edit_delay(e.arc, e.delay).unwrap();
+                assert_scenario_lanes_match_scratch(
+                    &session,
+                    &format!("family {family} seed {seed} pick {pick} step {step} [{}]", backend.name()),
+                );
+            }
+        }
+    }
+
     /// The kernel checkpoint underneath: an event simulation paused at
     /// a random time resumes to the uninterrupted result — on both
     /// queue backends, including pausing on one and resuming on the
@@ -309,6 +424,27 @@ fn long_edit_soak_per_family() {
             }
         }
         assert_session_matches_scratch(&session, &format!("family {family} final"));
+    }
+}
+
+/// A deterministic scenario soak per family: 16 mixed structural moves
+/// on one session with a 4-sample set enabled throughout, nominal and
+/// scenario lanes bit-verified after every batch (catches factor-matrix
+/// drift that only shows after repeated reseeds and lane remaps).
+#[test]
+fn long_scenario_soak_per_family() {
+    for family in 0..4usize {
+        let mut session = AnalysisSession::open(graph(family, 9)).expect("live");
+        let set = ScenarioSet::samples(4, 9, 10.0, session.graph().arc_count()).expect("live");
+        session.enable_scenarios(&set).expect("live");
+        let mut fresh = 0u32;
+        for step in 0..16u64 {
+            let ctx = format!("family {family} scenario soak step {step}");
+            let batch = mixed_batch(session.graph(), mix_key(9, step), &mut fresh);
+            apply_mixed(&mut session, &batch, &ctx);
+            assert_session_matches_scratch(&session, &ctx);
+            assert_scenario_lanes_match_scratch(&session, &ctx);
+        }
     }
 }
 

@@ -22,17 +22,40 @@
 //! `AnalysisSession::edit_structure` remap the warm lanes onto the
 //! edited border set, and each batch must leave the session
 //! bit-identical to a from-scratch scalar analysis — on every backend.
+//!
+//! PR 9 adds the scenario axis: a `ScenarioSet` of `s` delay
+//! reweightings (derated corners or seeded samples) widens the lane
+//! matrix to `b × s`, and every scenario lane of one lockstep sweep
+//! must hold the exact bits of a from-scratch scalar analysis of the
+//! per-scenario reweighted graph — across every generator family,
+//! every backend, odd `b × s` remainder shapes, and any thread count.
 
 use proptest::prelude::*;
 use tsg::core::analysis::session::AnalysisSession;
-use tsg::core::analysis::CycleTimeAnalysis;
+use tsg::core::analysis::wide::AnalysisArena;
+use tsg::core::analysis::{Corner, CycleTimeAnalysis, ScenarioSet};
 use tsg::core::{ArcId, SignalGraph};
 use tsg::gen::{handshake_pipeline, random_live_tsg, ring, torus, PipelineConfig, RandomTsgConfig};
 use tsg::sim::BatchRunner;
 use tsg_bench::{
-    assert_analyses_identical, assert_backends_match, assert_wide_matches_scalar,
-    available_backends, structural_edit_script,
+    assert_analyses_identical, assert_backends_match, assert_scenarios_match_scalar,
+    assert_wide_matches_scalar, available_backends, structural_edit_script,
 };
+
+/// A scenario set over `sg`'s arcs: corner sets of 1–3 corners for
+/// even `pick`, seeded sample sets of 1–5 lanes otherwise.
+fn scenario_set(sg: &SignalGraph, pick: u64) -> ScenarioSet {
+    const CORNERS: [Corner; 3] = [Corner::Min, Corner::Typ, Corner::Max];
+    let slots = sg.arc_count();
+    if pick.is_multiple_of(2) {
+        let count = 1 + (pick / 2 % 3) as usize;
+        let derate = [5.0, 10.0, 25.0][(pick / 7 % 3) as usize];
+        ScenarioSet::corners(derate, &CORNERS[..count], slots).expect("non-empty corner list")
+    } else {
+        let count = 1 + (pick / 2 % 5) as usize;
+        ScenarioSet::samples(count, pick, 10.0, slots).expect("non-zero sample count")
+    }
+}
 
 /// One generated graph per `(family, seed)` pair — the same family mix
 /// the incremental-session properties use.
@@ -203,6 +226,86 @@ proptest! {
         let par = CycleTimeAnalysis::run_parallel(&sg, &BatchRunner::with_threads(threads))
             .expect("live");
         assert_analyses_identical(&scalar, &par, &format!("family {family} seed {seed} x{threads}"));
+    }
+
+    /// The scenario acceptance criterion: one lockstep sweep over a
+    /// corner or sample set ≡ a scalar re-run per reweighted graph, on
+    /// every generator family (the shared gate from `tsg_bench`, the
+    /// same one the `corner_sweep` bench runs before timing anything).
+    #[test]
+    fn scenario_lanes_equal_scalar_across_families(
+        family in 0usize..4,
+        seed in 0u64..10_000,
+        pick in 0u64..1_000,
+    ) {
+        let sg = graph(family, seed);
+        let set = scenario_set(&sg, pick);
+        assert_scenarios_match_scalar(&sg, &set, &format!("family {family} seed {seed} pick {pick}"));
+    }
+
+    /// Odd `b × s` lane products force the masked remainder paths of
+    /// every backend: rings with b ∈ {1, 3, 5, 7} tokens crossed with
+    /// s ∈ {1, 3, 5} scenarios give lane counts like 3, 15, 35 — never
+    /// a multiple of the vector width. Each backend's sweep is pinned
+    /// through its own arena and checked lane-by-lane against the
+    /// scalar engine on the reweighted graph.
+    #[test]
+    fn odd_scenario_lane_products_on_every_backend(
+        bi in 0usize..4,
+        si in 0usize..3,
+        seed in 0u64..10_000,
+    ) {
+        let b = [1usize, 3, 5, 7][bi];
+        let n = b + 1 + (seed % 40) as usize;
+        let sg = ring(n, b, 1.5);
+        let s = [1usize, 3, 5][si];
+        let set = ScenarioSet::samples(s, seed, 10.0, sg.arc_count()).expect("s >= 1");
+        for backend in available_backends() {
+            let mut arena = AnalysisArena::with_kernel(backend);
+            let swept = CycleTimeAnalysis::run_scenarios_in(&sg, &set, None, &mut arena, None)
+                .expect("rings stay live");
+            for j in 0..set.len() {
+                let scalar = CycleTimeAnalysis::run_scalar(&set.reweighted(&sg, j))
+                    .expect("reweighting keeps the ring live");
+                assert_analyses_identical(
+                    &scalar,
+                    swept.analysis(j),
+                    &format!("ring n={n} b={b} s={s} seed {seed} [{}] lane {j}", backend.name()),
+                );
+            }
+        }
+    }
+
+    /// Thread-count invariance of the scenario-chunked parallel sweep:
+    /// any split of the scenario axis across workers produces the bits
+    /// of the sequential sweep — and hence of the scalar engine.
+    #[test]
+    fn scenario_parallel_sweep_is_thread_count_invariant(
+        family in 0usize..4,
+        seed in 0u64..10_000,
+        pick in 0u64..1_000,
+        threads in 1usize..9,
+    ) {
+        use tsg::core::analysis::KernelBackend;
+        let sg = graph(family, seed);
+        let set = scenario_set(&sg, pick);
+        let seq = CycleTimeAnalysis::run_scenarios(&sg, &set).expect("live");
+        let par = CycleTimeAnalysis::run_scenarios_parallel_on(
+            &sg,
+            &set,
+            &BatchRunner::with_threads(threads),
+            KernelBackend::Auto,
+            None,
+        )
+        .expect("live");
+        prop_assert_eq!(seq.len(), par.len());
+        for j in 0..set.len() {
+            assert_analyses_identical(
+                seq.analysis(j),
+                par.analysis(j),
+                &format!("family {family} seed {seed} pick {pick} x{threads} lane {j}"),
+            );
+        }
     }
 }
 
