@@ -44,10 +44,13 @@ USAGE:
     tsg serve [--threads N] [--max-sessions N] [--max-pending N]
               [--default-deadline MS] [--drain-deadline MS]
               [--io-timeout MS] [--max-request-bytes N]
+              [--max-connections N]
               [--listen tcp:HOST:PORT | --listen unix:PATH]
               [--kernel {auto|portable|sse2|avx2}]
     tsg ping {tcp:HOST:PORT|unix:PATH} [--count N] [--deadline-ms MS]
-             [--retries N]
+             [--retries N] [--max-backoff-ms MS]
+    tsg bench-serve [--connections N] [--requests N] [--threads N]
+                    [--out PATH] [--quick]
     tsg convert FILE --to {g|dot}
     tsg demo {oscillator|muller5|stack66}
 
@@ -99,9 +102,14 @@ bit-identical to a from-scratch analysis.
 
 `serve` runs the long-running analysis service: newline-delimited JSON
 requests (analyze/sim/batch/stats/session.open/session.edit/
-session.close) on stdin — or a TCP/Unix socket with --listen, where
-concurrent connections share one pool — answered in request order by a
-persistent warm worker pool. Responses are byte-identical to the
+session.close) on stdin — or a TCP/Unix socket with --listen, where a
+single readiness event loop multiplexes every connection onto one
+shared pool (thousands of idle or slow clients cost buffers, not
+threads; `--max-connections N` caps the live set, excess clients wait
+in the OS accept backlog) — answered in request order by a persistent
+warm worker pool. Workers are supervised: one dying mid-request
+answers that request `worker_lost` and respawns with a fresh
+workspace. Responses are byte-identical to the
 one-shot commands; EOF or Ctrl-C shuts down gracefully. Each open
 incremental session pins O(b²·n) warm state to a worker for its whole
 life, so long-lived deployments should cap them: `--max-sessions N`
@@ -122,9 +130,22 @@ arms fault injection (see the README's Operations section).
 
 `ping` is the matching load probe: it sends `--count N` stats requests
 (default 1) over one connection, honours `overloaded` retry-after
-hints with exponential backoff (`--retries N`, default 3), and reports
-ok/failed counts and latency; `--deadline-ms` attaches a deadline to
-each probe.
+hints with decorrelated-jitter backoff — each sleep is drawn uniformly
+between the server's `retry_after_ms` hint (the floor) and 3x the
+previous sleep, capped by `--max-backoff-ms MS` (default 5000), so a
+fleet of synchronized clients spreads out instead of thundering back
+at a recovering server in lockstep (`--retries N`, default 3) — and
+reports ok/failed counts and latency; `--deadline-ms` attaches a
+deadline to each probe.
+
+`bench-serve` is the serve-tier load generator: it spawns an in-process
+TCP server and `--connections N` concurrent client connections (default
+8), each issuing `--requests N` requests (default 32) drawn from three
+mixes (inline analyze, session open/edit/close, stats+sim), and writes
+throughput plus p50/p95/max latency into `BENCH_serve.json` (`--out
+PATH`) so the serve tier joins the tracked perf trajectory. `--quick`
+shrinks the run for smoke tests; `TSG_CHAOS` faults apply, making it a
+ready-made hostile-load harness.
 ";
 
 fn main() -> ExitCode {
@@ -663,6 +684,15 @@ fn run(args: &[String]) -> Result<String, String> {
                             .filter(|&n: &usize| n >= 1)
                             .ok_or("--max-request-bytes needs a positive integer")?;
                     }
+                    "--max-connections" => {
+                        i += 1;
+                        opts.max_connections = Some(
+                            args.get(i)
+                                .and_then(|v| v.parse().ok())
+                                .filter(|&n: &usize| n >= 1)
+                                .ok_or("--max-connections needs a positive integer")?,
+                        );
+                    }
                     "--listen" => {
                         i += 1;
                         listen = Some(
@@ -685,6 +715,7 @@ fn run(args: &[String]) -> Result<String, String> {
             let mut count = 1u32;
             let mut deadline_ms: Option<u64> = None;
             let mut retries = 3u32;
+            let mut max_backoff_ms = 5000u64;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -712,11 +743,61 @@ fn run(args: &[String]) -> Result<String, String> {
                             .and_then(|v| v.parse().ok())
                             .ok_or("--retries needs an integer")?;
                     }
+                    "--max-backoff-ms" => {
+                        i += 1;
+                        max_backoff_ms = args
+                            .get(i)
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&ms: &u64| ms >= 1)
+                            .ok_or("--max-backoff-ms needs a positive number of milliseconds")?;
+                    }
                     other => return Err(format!("unknown flag {other:?}")),
                 }
                 i += 1;
             }
-            ping(target, count, deadline_ms, retries)
+            ping(target, count, deadline_ms, retries, max_backoff_ms)
+        }
+        Some("bench-serve") => {
+            let mut connections = 8usize;
+            let mut requests = 32usize;
+            let mut threads: Option<usize> = None;
+            let mut out_path = "BENCH_serve.json".to_owned();
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--connections" => {
+                        i += 1;
+                        connections = args
+                            .get(i)
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&n: &usize| n >= 1)
+                            .ok_or("--connections needs a positive integer")?;
+                    }
+                    "--requests" => {
+                        i += 1;
+                        requests = args
+                            .get(i)
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&n: &usize| n >= 1)
+                            .ok_or("--requests needs a positive integer")?;
+                    }
+                    "--threads" => {
+                        i += 1;
+                        threads = Some(parse_threads(args, i)?);
+                    }
+                    "--out" => {
+                        i += 1;
+                        out_path = args.get(i).cloned().ok_or("--out needs a path")?;
+                    }
+                    "--quick" => {
+                        connections = 4;
+                        requests = 8;
+                    }
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+                i += 1;
+            }
+            bench_serve(connections, requests, threads, &out_path)
         }
         Some("convert") => {
             let file = args.get(1).ok_or("convert needs a FILE argument")?;
@@ -822,17 +903,37 @@ fn serve(opts: &ServeOptions, listen: Option<&str>) -> Result<String, String> {
             stats.drained_in_flight
         );
     }
+    if stats.worker_lost + stats.worker_respawns > 0 {
+        eprintln!(
+            "tsg serve: {} request(s) lost to dead workers, {} worker respawn(s)",
+            stats.worker_lost, stats.worker_respawns
+        );
+    }
     Ok(String::new())
+}
+
+/// One decorrelated-jitter backoff step: uniform between the server's
+/// `retry_after_ms` hint (the floor — the server knows its queue) and
+/// three times the previous sleep, capped at `cap`. Unlike plain
+/// exponential backoff, every client draws a different sleep, so a
+/// fleet rejected together does not thunder back together; the floor
+/// still wins over the cap when the server asks for a longer wait.
+fn backoff_ms(prev: u64, hint: u64, cap: u64, rng: &mut ops::SplitMix64) -> u64 {
+    let floor = hint.max(1);
+    let ceiling = prev.saturating_mul(3).clamp(floor, cap.max(floor));
+    floor + rng.below(ceiling - floor + 1)
 }
 
 /// The `tsg ping` load probe: sends `count` stats requests over one
 /// connection, honouring `overloaded` retry-after hints with
-/// exponential backoff, and reports ok/failed counts and latency.
+/// decorrelated-jitter backoff under `max_backoff` (see [`backoff_ms`]),
+/// and reports ok/failed counts and latency.
 fn ping(
     target: &str,
     count: u32,
     deadline_ms: Option<u64>,
     retries: u32,
+    max_backoff: u64,
 ) -> Result<String, String> {
     use std::io::{BufRead, BufReader, Write};
     let (mut reader, mut writer): (Box<dyn BufRead>, Box<dyn Write>) = match target.split_once(':')
@@ -857,12 +958,16 @@ fn ping(
     let mut retried = 0u32;
     let mut latencies: Vec<Duration> = Vec::with_capacity(count as usize);
     let mut last = String::new();
+    // Seeded per process so concurrent probes decorrelate from each
+    // other — the whole point of jittered backoff.
+    let mut rng = ops::SplitMix64(u64::from(std::process::id()) ^ 0xD6E8_FEB8_6659_FD93);
     for k in 0..count {
         let request = match deadline_ms {
             Some(ms) => format!("{{\"id\":{k},\"cmd\":\"stats\",\"deadline_ms\":{ms}}}\n"),
             None => format!("{{\"id\":{k},\"cmd\":\"stats\"}}\n"),
         };
         let mut attempt = 0u32;
+        let mut prev_sleep = 0u64;
         loop {
             let start = Instant::now();
             writer
@@ -884,8 +989,6 @@ fn ping(
                 .and_then(Json::as_str)
                 .map(str::to_owned);
             if code.as_deref() == Some("overloaded") && attempt < retries {
-                // Honour the server's hint, with exponential backoff on
-                // repeated rejections.
                 let hint = doc
                     .as_ref()
                     .and_then(|d| d.get("retry_after_ms"))
@@ -893,9 +996,8 @@ fn ping(
                     .unwrap_or(50.0);
                 attempt += 1;
                 retried += 1;
-                std::thread::sleep(Duration::from_millis(
-                    (hint as u64).saturating_mul(1 << attempt.min(6)) / 2,
-                ));
+                prev_sleep = backoff_ms(prev_sleep, hint as u64, max_backoff, &mut rng);
+                std::thread::sleep(Duration::from_millis(prev_sleep));
                 continue;
             }
             let succeeded = doc
@@ -927,9 +1029,280 @@ fn ping(
     Ok(out)
 }
 
+/// What one bench connection observed: per-request outcomes and
+/// latencies, plus how often it had to redial after the server (or an
+/// injected fault) dropped the connection mid-stream.
+struct BenchOutcome {
+    ok: u64,
+    failed: u64,
+    reconnects: u64,
+    latencies: Vec<Duration>,
+}
+
+/// The `tsg bench-serve` load generator: boots an in-process TCP serve
+/// loop on a loopback port, drives it with `connections` concurrent
+/// client threads issuing `requests` requests each (three workload
+/// mixes assigned round-robin: inline `analyze`, incremental
+/// `session.open`/`edit`/`close`, and `stats`+`sim`), then writes
+/// throughput and latency percentiles into `out_path` as JSON.
+fn bench_serve(
+    connections: usize,
+    requests: usize,
+    threads: Option<usize>,
+    out_path: &str,
+) -> Result<String, String> {
+    use std::sync::atomic::AtomicBool;
+    use std::sync::atomic::Ordering::SeqCst;
+
+    let listener =
+        std::net::TcpListener::bind("127.0.0.1:0").map_err(|e| format!("binding bench: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    let opts = ServeOptions {
+        threads,
+        ..ServeOptions::default()
+    };
+    let workers = BatchRunner::sized(threads).threads();
+    // The tiny oscillator travels inline (a JSON string literal), so
+    // the bench needs no fixture files on disk.
+    let text = Json::from(tsg_stg::EXAMPLE_OSCILLATOR).dump();
+    let shutdown = AtomicBool::new(false);
+
+    let started = Instant::now();
+    let (stats, outcomes) = std::thread::scope(|scope| {
+        let server = scope.spawn(|| tsg_serve::serve_tcp(listener, &opts, Some(&shutdown), None));
+        let clients: Vec<_> = (0..connections)
+            .map(|index| {
+                let text = text.as_str();
+                scope.spawn(move || bench_client(addr, index, requests, text))
+            })
+            .collect();
+        let outcomes: Vec<BenchOutcome> = clients
+            .into_iter()
+            .map(|h| h.join().expect("bench client thread"))
+            .collect();
+        shutdown.store(true, SeqCst);
+        (server.join().expect("bench server thread"), outcomes)
+    });
+    let stats = stats.map_err(|e| format!("bench server: {e}"))?;
+    let wall = started.elapsed();
+
+    let mut latencies: Vec<Duration> = outcomes
+        .iter()
+        .flat_map(|o| o.latencies.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    let total_ok: u64 = outcomes.iter().map(|o| o.ok).sum();
+    let total_failed: u64 = outcomes.iter().map(|o| o.failed).sum();
+    let reconnects: u64 = outcomes.iter().map(|o| o.reconnects).sum();
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    let pct = |p: f64| -> f64 {
+        match latencies.len() {
+            0 => 0.0,
+            n => ms(latencies[((n - 1) as f64 * p).round() as usize]),
+        }
+    };
+    let throughput = latencies.len() as f64 / wall.as_secs_f64().max(1e-9);
+
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::from("serve")),
+        ("connections".into(), Json::from(connections as u64)),
+        (
+            "requests_per_connection".into(),
+            Json::from(requests as u64),
+        ),
+        ("threads".into(), Json::from(workers as u64)),
+        ("total_ok".into(), Json::from(total_ok)),
+        ("total_failed".into(), Json::from(total_failed)),
+        ("reconnects".into(), Json::from(reconnects)),
+        ("wall_s".into(), Json::Num(wall.as_secs_f64())),
+        ("throughput_rps".into(), Json::Num(throughput)),
+        (
+            "latency_ms".into(),
+            Json::Obj(vec![
+                ("p50".into(), Json::Num(pct(0.50))),
+                ("p95".into(), Json::Num(pct(0.95))),
+                ("max".into(), Json::Num(pct(1.0))),
+            ]),
+        ),
+        (
+            "server".into(),
+            Json::Obj(vec![
+                ("served".into(), Json::from(stats.served)),
+                ("failed".into(), Json::from(stats.failed)),
+                (
+                    "rejected_overloaded".into(),
+                    Json::from(stats.rejected_overloaded),
+                ),
+                ("worker_lost".into(), Json::from(stats.worker_lost)),
+                ("worker_respawns".into(), Json::from(stats.worker_respawns)),
+                (
+                    "timed_out_connections".into(),
+                    Json::from(stats.timed_out_connections),
+                ),
+            ]),
+        ),
+    ]);
+    std::fs::write(out_path, doc.dump() + "\n").map_err(|e| format!("writing {out_path}: {e}"))?;
+
+    let mut out = format!(
+        "bench-serve: {connections} connection(s) x {requests} request(s) on {workers} worker thread(s)\n"
+    );
+    let _ = writeln!(
+        out,
+        "{total_ok} ok / {total_failed} failed, {reconnects} reconnect(s), {throughput:.0} req/s"
+    );
+    let _ = writeln!(
+        out,
+        "latency: p50 {:.2} ms / p95 {:.2} ms / max {:.2} ms",
+        pct(0.50),
+        pct(0.95),
+        pct(1.0)
+    );
+    let _ = writeln!(
+        out,
+        "server: {} served, {} failed, {} worker respawn(s)",
+        stats.served, stats.failed, stats.worker_respawns
+    );
+    let _ = writeln!(out, "wrote {out_path}");
+    Ok(out)
+}
+
+/// One bench connection: issues `requests` requests from the mix its
+/// index selects, redialling (a bounded number of times) when the
+/// connection drops mid-stream so injected faults degrade throughput
+/// instead of aborting the run.
+fn bench_client(
+    addr: std::net::SocketAddr,
+    index: usize,
+    requests: usize,
+    text: &str,
+) -> BenchOutcome {
+    use std::io::{BufRead, BufReader, Write};
+    type Wire = (BufReader<std::net::TcpStream>, std::net::TcpStream);
+    let connect = || -> Option<Wire> {
+        for _ in 0..50 {
+            if let Ok(stream) = std::net::TcpStream::connect(addr) {
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+                if let Ok(clone) = stream.try_clone() {
+                    return Some((BufReader::new(clone), stream));
+                }
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        None
+    };
+    let mut out = BenchOutcome {
+        ok: 0,
+        failed: 0,
+        reconnects: 0,
+        latencies: Vec::with_capacity(requests),
+    };
+    let Some((mut reader, mut writer)) = connect() else {
+        out.failed = requests as u64;
+        return out;
+    };
+    for k in 0..requests {
+        let id = (index * requests + k) as u64;
+        let request = match index % 3 {
+            0 => format!("{{\"id\":{id},\"cmd\":\"analyze\",\"name\":\"bench.g\",\"text\":{text}}}\n"),
+            1 => {
+                let session = format!("b{index}");
+                match k % 3 {
+                    0 => format!(
+                        "{{\"id\":{id},\"cmd\":\"session.open\",\"session\":\"{session}\",\"name\":\"bench.g\",\"text\":{text}}}\n"
+                    ),
+                    1 => format!(
+                        "{{\"id\":{id},\"cmd\":\"session.edit\",\"session\":\"{session}\",\"edits\":[{{\"src\":\"a+\",\"dst\":\"c+\",\"delay\":{}}}]}}\n",
+                        4 + k % 5
+                    ),
+                    _ => format!(
+                        "{{\"id\":{id},\"cmd\":\"session.close\",\"session\":\"{session}\"}}\n"
+                    ),
+                }
+            }
+            _ if k % 2 == 0 => format!("{{\"id\":{id},\"cmd\":\"stats\"}}\n"),
+            _ => format!(
+                "{{\"id\":{id},\"cmd\":\"sim\",\"name\":\"bench.g\",\"text\":{text},\"periods\":1}}\n"
+            ),
+        };
+        let start = Instant::now();
+        let mut answered = false;
+        for _attempt in 0..3 {
+            let sent = writer
+                .write_all(request.as_bytes())
+                .and_then(|()| writer.flush());
+            if sent.is_ok() {
+                let mut line = String::new();
+                if matches!(reader.read_line(&mut line), Ok(n) if n > 0) {
+                    let succeeded = Json::parse(line.trim())
+                        .ok()
+                        .and_then(|d| d.get("ok").cloned())
+                        .is_some_and(|v| v == Json::Bool(true));
+                    if succeeded {
+                        out.ok += 1;
+                    } else {
+                        out.failed += 1;
+                    }
+                    out.latencies.push(start.elapsed());
+                    answered = true;
+                    break;
+                }
+            }
+            // The connection dropped (server drain, injected rst, ...):
+            // dial again and retry this request. A session-mix edit can
+            // legitimately fail after a redial — the new connection is a
+            // new session namespace — and counts as failed, not fatal.
+            out.reconnects += 1;
+            match connect() {
+                Some((r, w)) => {
+                    reader = r;
+                    writer = w;
+                }
+                None => break,
+            }
+        }
+        if !answered {
+            out.failed += 1;
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn backoff_stays_between_hint_floor_and_cap() {
+        let mut rng = ops::SplitMix64(42);
+        let mut prev = 0u64;
+        for _ in 0..200 {
+            prev = backoff_ms(prev, 50, 5000, &mut rng);
+            assert!((50..=5000).contains(&prev), "{prev}");
+        }
+        // The server's hint is a floor even when it exceeds the cap:
+        // "wait 9 s" must not be shortened by a 5 s client-side cap.
+        let sleep = backoff_ms(prev, 9000, 5000, &mut rng);
+        assert!(sleep >= 9000, "{sleep}");
+        // A zero hint still sleeps at least a millisecond.
+        assert!(backoff_ms(0, 0, 5000, &mut rng) >= 1);
+    }
+
+    #[test]
+    fn backoff_is_jittered_not_lockstep() {
+        // Two clients with different seeds must draw different schedules
+        // once the window opens up — that is the decorrelation property.
+        let (mut a, mut b) = (ops::SplitMix64(1), ops::SplitMix64(2));
+        let (mut pa, mut pb) = (0u64, 0u64);
+        let mut diverged = false;
+        for _ in 0..20 {
+            pa = backoff_ms(pa, 50, 5000, &mut a);
+            pb = backoff_ms(pb, 50, 5000, &mut b);
+            diverged |= pa != pb;
+        }
+        assert!(diverged);
+    }
 
     #[test]
     fn help_is_printed() {

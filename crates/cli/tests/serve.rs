@@ -227,4 +227,48 @@ fn serve_rejects_bad_flags() {
         .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("tcp:HOST:PORT"));
+    let out = tsg()
+        .args(["serve", "--max-connections", "0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let out = tsg()
+        .args(["bench-serve", "--connections", "zero"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+/// `tsg bench-serve --quick` runs a real in-process load test and
+/// leaves the tracked benchmark artifact behind with sane numbers.
+#[test]
+fn bench_serve_quick_writes_benchmark_json() {
+    let dir = std::env::temp_dir().join("tsg-cli-bench-serve-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out_path = dir.join("BENCH_serve.json");
+    let _ = std::fs::remove_file(&out_path);
+    let stdout = one_shot(&[
+        "bench-serve",
+        "--quick",
+        "--threads",
+        "2",
+        "--out",
+        out_path.to_str().unwrap(),
+    ]);
+    assert!(stdout.contains("bench-serve: 4 connection(s) x 8 request(s)"));
+    assert!(stdout.contains("latency: p50"));
+    let doc = Json::parse(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
+    assert_eq!(doc.get("bench"), Some(&Json::from("serve")));
+    assert_eq!(doc.get("connections"), Some(&Json::Num(4.0)));
+    let ok = doc.get("total_ok").and_then(Json::as_f64).unwrap();
+    let failed = doc.get("total_failed").and_then(Json::as_f64).unwrap();
+    assert_eq!(ok + failed, 32.0, "every request accounted for");
+    assert_eq!(failed, 0.0, "a clean run fails nothing");
+    assert!(doc.get("throughput_rps").and_then(Json::as_f64).unwrap() > 0.0);
+    let latency = doc.get("latency_ms").expect("latency block");
+    for key in ["p50", "p95", "max"] {
+        assert!(latency.get(key).and_then(Json::as_f64).unwrap() >= 0.0);
+    }
+    let server = doc.get("server").expect("server counters");
+    assert_eq!(server.get("served").and_then(Json::as_f64), Some(32.0));
 }

@@ -13,7 +13,19 @@
 //! * `garble=N` — every Nth response line is truncated and corrupted
 //!   before the writer sends it (exercises client-side framing);
 //! * `read_err=N` — every Nth request line read from a connection is
-//!   replaced with an I/O error (exercises the reader error path).
+//!   replaced with an I/O error (exercises the reader error path);
+//! * `kill=N` — every Nth request takes its whole worker down *outside*
+//!   the per-request isolation boundary (exercises worker supervision:
+//!   the request is answered `worker_lost` and the worker respawns with
+//!   a fresh workspace);
+//! * `rst=N` — every Nth response's connection is closed abruptly
+//!   halfway through the response bytes (exercises client reconnect);
+//! * `dribble=N:MS` — every Nth response is written one byte per `MS`
+//!   milliseconds (exercises slow-client isolation: the dribbled
+//!   connection must cost a buffer, never a worker or the event loop);
+//! * `halfopen=N` — every Nth accepted connection is ignored: its
+//!   bytes are discarded and nothing is ever answered (exercises
+//!   parked-connection reaping).
 //!
 //! All counters are per-pool, shared across workers and connections.
 //! `N = 0` (the default) disables a point. Parsing is forgiving:
@@ -38,6 +50,18 @@ pub struct ChaosConfig {
     pub garble_every: u32,
     /// Fail every Nth connection read with an I/O error (0 = never).
     pub read_err_every: u32,
+    /// Kill the whole worker on every Nth request, outside the
+    /// per-request isolation boundary (0 = never).
+    pub kill_every: u32,
+    /// Abruptly close the connection halfway through every Nth
+    /// response (0 = never).
+    pub rst_every: u32,
+    /// Write every Nth response one byte at a time (0 = never).
+    pub dribble_every: u32,
+    /// Pacing between dribbled bytes, in milliseconds.
+    pub dribble_ms: u64,
+    /// Never read every Nth accepted connection (0 = never).
+    pub halfopen_every: u32,
 }
 
 impl ChaosConfig {
@@ -47,6 +71,10 @@ impl ChaosConfig {
             || self.delay_every > 0
             || self.garble_every > 0
             || self.read_err_every > 0
+            || self.kill_every > 0
+            || self.rst_every > 0
+            || self.dribble_every > 0
+            || self.halfopen_every > 0
     }
 
     /// Applies `TSG_CHAOS`-style clauses (`panic=20,delay=7:15,
@@ -62,12 +90,24 @@ impl ChaosConfig {
                 "panic" => value.trim().parse().map(|n| self.panic_every = n),
                 "garble" => value.trim().parse().map(|n| self.garble_every = n),
                 "read_err" => value.trim().parse().map(|n| self.read_err_every = n),
+                "kill" => value.trim().parse().map(|n| self.kill_every = n),
+                "rst" => value.trim().parse().map(|n| self.rst_every = n),
+                "halfopen" => value.trim().parse().map(|n| self.halfopen_every = n),
                 "delay" => {
                     let (every, ms) = value.split_once(':').unwrap_or((value, "0"));
                     every.trim().parse().and_then(|n: u32| {
                         ms.trim().parse().map(|ms| {
                             self.delay_every = n;
                             self.delay_ms = ms;
+                        })
+                    })
+                }
+                "dribble" => {
+                    let (every, ms) = value.split_once(':').unwrap_or((value, "1"));
+                    every.trim().parse().and_then(|n: u32| {
+                        ms.trim().parse().map(|ms| {
+                            self.dribble_every = n;
+                            self.dribble_ms = ms;
                         })
                     })
                 }
@@ -102,6 +142,10 @@ pub struct Chaos {
     delays: AtomicU64,
     responses: AtomicU64,
     reads: AtomicU64,
+    kills: AtomicU64,
+    rsts: AtomicU64,
+    dribbles: AtomicU64,
+    accepts: AtomicU64,
 }
 
 /// True on every `every`th crossing (1-indexed: crossings `every`,
@@ -166,6 +210,37 @@ impl Chaos {
     pub fn fail_read(&self) -> bool {
         fires(&self.reads, self.config.read_err_every)
     }
+
+    /// Call once per request *outside* the per-request isolation
+    /// boundary: panics on every `kill_every`th request, taking the
+    /// whole worker thread down so supervision must respawn it.
+    ///
+    /// # Panics
+    ///
+    /// Panics deliberately when the kill fault point fires.
+    pub fn kill_worker(&self) {
+        if fires(&self.kills, self.config.kill_every) {
+            panic!("chaos: injected worker kill");
+        }
+    }
+
+    /// True on every `rst_every`th response: the connection is closed
+    /// abruptly halfway through the response bytes.
+    pub fn rst(&self) -> bool {
+        fires(&self.rsts, self.config.rst_every)
+    }
+
+    /// True on every `dribble_every`th response: the response is
+    /// written one byte per [`ChaosConfig::dribble_ms`] milliseconds.
+    pub fn dribble(&self) -> bool {
+        fires(&self.dribbles, self.config.dribble_every)
+    }
+
+    /// True on every `halfopen_every`th accepted connection: the
+    /// server discards its bytes and never answers it.
+    pub fn halfopen(&self) -> bool {
+        fires(&self.accepts, self.config.halfopen_every)
+    }
 }
 
 #[cfg(test)]
@@ -217,7 +292,9 @@ mod tests {
             panic_every: 5,
             ..ChaosConfig::default()
         };
-        let cfg = base.with_env_spec("panic=20,delay=7:15,garble=11,read_err=31");
+        let cfg = base.with_env_spec(
+            "panic=20,delay=7:15,garble=11,read_err=31,kill=13,rst=4,dribble=5:2,halfopen=6",
+        );
         assert_eq!(
             cfg,
             ChaosConfig {
@@ -226,9 +303,49 @@ mod tests {
                 delay_ms: 15,
                 garble_every: 11,
                 read_err_every: 31,
+                kill_every: 13,
+                rst_every: 4,
+                dribble_every: 5,
+                dribble_ms: 2,
+                halfopen_every: 6,
             }
         );
         assert!(cfg.is_active());
+    }
+
+    #[test]
+    fn connection_fault_points_fire_on_every_nth_crossing() {
+        let chaos = Chaos::new(ChaosConfig {
+            rst_every: 2,
+            dribble_every: 3,
+            dribble_ms: 1,
+            halfopen_every: 2,
+            ..ChaosConfig::default()
+        });
+        let rsts: Vec<bool> = (0..4).map(|_| chaos.rst()).collect();
+        assert_eq!(rsts, [false, true, false, true]);
+        let dribbles: Vec<bool> = (0..6).map(|_| chaos.dribble()).collect();
+        assert_eq!(dribbles, [false, false, true, false, false, true]);
+        let accepts: Vec<bool> = (0..4).map(|_| chaos.halfopen()).collect();
+        assert_eq!(accepts, [false, true, false, true]);
+    }
+
+    #[test]
+    fn injected_kill_is_catchable_outside_isolation() {
+        let chaos = Chaos::new(ChaosConfig {
+            kill_every: 2,
+            ..ChaosConfig::default()
+        });
+        chaos.kill_worker();
+        let caught = std::panic::catch_unwind(|| chaos.kill_worker());
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn dribble_without_pacing_defaults_to_one_ms() {
+        let cfg = ChaosConfig::default().with_env_spec("dribble=9");
+        assert_eq!(cfg.dribble_every, 9);
+        assert_eq!(cfg.dribble_ms, 1);
     }
 
     #[test]

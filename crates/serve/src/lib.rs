@@ -22,8 +22,13 @@
 //!   responses, graceful EOF/SIGINT shutdown, and served/failed
 //!   counters surfaced by the `stats` request;
 //! * transports — stdin/stdout ([`serve`]), TCP ([`serve_tcp`]) and Unix
-//!   sockets ([`serve_unix`]); socket connections are accepted
-//!   concurrently and all share the one pool.
+//!   sockets ([`serve_unix`]); socket connections all share the one
+//!   pool. On Unix they are multiplexed by the [`reactor`] readiness
+//!   event loop — one thread, `poll(2)`, nonblocking sockets, bounded
+//!   per-connection buffers — so thousands of idle, half-open or
+//!   dribbling clients cost buffers, not threads, and the worker pool
+//!   stays available for well-behaved requests. Elsewhere the
+//!   historical thread-per-connection loop is retained.
 //!
 //! [`AnalysisSession`]: tsg_core::analysis::session::AnalysisSession
 //!
@@ -57,12 +62,16 @@
 //! assert!(lines[1].contains(r#""served":1"#));
 //! ```
 
-use std::io::{self, BufReader};
+use std::io;
+#[cfg(not(unix))]
+use std::io::BufReader;
 use std::net::TcpListener;
 #[cfg(unix)]
 use std::os::unix::net::UnixListener;
 use std::sync::atomic::{AtomicBool, Ordering};
+#[cfg(not(unix))]
 use std::sync::Arc;
+#[cfg(not(unix))]
 use std::time::Duration;
 
 pub mod chaos;
@@ -70,39 +79,69 @@ pub mod json;
 pub mod ops;
 pub mod pool;
 pub mod protocol;
+#[cfg(unix)]
+mod reactor;
 
 pub use chaos::ChaosConfig;
 pub use pool::{serve, Pool, ServeOptions, ServeStats};
 
 /// How often the socket accept loops poll the shutdown flag.
+#[cfg(not(unix))]
 const ACCEPT_POLL: Duration = Duration::from_millis(25);
 
-/// Serves protocol sessions over TCP: connections are accepted
-/// concurrently, each running its own in-order protocol session, all
-/// sharing **one** warm worker [`Pool`] (returned stats are the pool's
-/// aggregate counters).
+/// Serves protocol sessions over TCP: all connections share **one**
+/// warm worker [`Pool`] (returned stats are the pool's aggregate
+/// counters). On Unix the connections are multiplexed by the readiness
+/// event loop — thousands of concurrent clients on one thread, bounded
+/// buffers per connection, `opts.max_connections` capping the live set.
 ///
-/// The accept loop exits when `shutdown` is raised or, if
-/// `max_connections` is set, after accepting that many connections —
-/// without a bound and with no shutdown flag it serves forever. Open
-/// connections are drained before the call returns. Per-connection I/O
-/// failures (a client vanishing mid-response) are reported to stderr
-/// and do not stop the listener or the pool.
+/// The loop exits when `shutdown` is raised or, if `accept_budget` is
+/// set, after accepting that many connections — without a budget and
+/// with no shutdown flag it serves forever. Open connections are
+/// drained before the call returns. Per-connection I/O failures (a
+/// client vanishing mid-response) close that connection and do not
+/// stop the listener or the pool.
 ///
 /// # Errors
 ///
 /// Returns listener-level I/O errors (binding problems surface in the
 /// caller; accept errors other than would-block are fatal).
+#[cfg(unix)]
 pub fn serve_tcp(
     listener: TcpListener,
     opts: &ServeOptions,
     shutdown: Option<&AtomicBool>,
-    max_connections: Option<u64>,
+    accept_budget: Option<u64>,
+) -> io::Result<ServeStats> {
+    listener.set_nonblocking(true)?;
+    let pool = Pool::new(opts);
+    reactor::run(
+        &reactor::Listener::Tcp(listener),
+        &pool,
+        opts,
+        shutdown,
+        accept_budget,
+    )?;
+    Ok(pool.stats())
+}
+
+/// Serves protocol sessions over TCP — the thread-per-connection
+/// fallback for platforms without the `poll(2)` readiness loop.
+///
+/// # Errors
+///
+/// Returns listener-level I/O errors.
+#[cfg(not(unix))]
+pub fn serve_tcp(
+    listener: TcpListener,
+    opts: &ServeOptions,
+    shutdown: Option<&AtomicBool>,
+    accept_budget: Option<u64>,
 ) -> io::Result<ServeStats> {
     listener.set_nonblocking(true)?;
     accept_loop(
         shutdown,
-        max_connections,
+        accept_budget,
         opts,
         move |pool, flag| match listener.accept() {
             Ok((stream, peer)) => {
@@ -125,7 +164,7 @@ pub fn serve_tcp(
     )
 }
 
-/// Serves protocol sessions over a Unix socket — same concurrent
+/// Serves protocol sessions over a Unix socket — same multiplexed
 /// shared-pool loop as [`serve_tcp`].
 ///
 /// # Errors
@@ -136,36 +175,27 @@ pub fn serve_unix(
     listener: UnixListener,
     opts: &ServeOptions,
     shutdown: Option<&AtomicBool>,
-    max_connections: Option<u64>,
+    accept_budget: Option<u64>,
 ) -> io::Result<ServeStats> {
     listener.set_nonblocking(true)?;
-    accept_loop(
-        shutdown,
-        max_connections,
+    let pool = Pool::new(opts);
+    reactor::run(
+        &reactor::Listener::Unix(listener),
+        &pool,
         opts,
-        move |pool, flag| match listener.accept() {
-            Ok((stream, _)) => {
-                stream.set_nonblocking(false)?;
-                stream.set_read_timeout(opts.io_timeout)?;
-                stream.set_write_timeout(opts.io_timeout)?;
-                let reader = BufReader::new(stream.try_clone()?);
-                Ok(Some(std::thread::spawn(move || {
-                    if let Err(e) = pool.serve_session(reader, stream, Some(flag.as_ref())) {
-                        eprintln!("tsg serve: unix connection: {e}");
-                    }
-                })))
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
-            Err(e) => Err(e),
-        },
-    )
+        shutdown,
+        accept_budget,
+    )?;
+    Ok(pool.stats())
 }
 
-/// The shared accept loop of both socket transports: polls `accept` (a
-/// non-blocking accept attempt returning a spawned connection thread,
-/// `None` on would-block), mirrors the caller's shutdown flag into one
-/// the `'static` connection threads can watch, and drains every
-/// connection before reporting the pool's aggregate stats.
+/// The shared accept loop of the thread-per-connection fallback: polls
+/// `accept` (a non-blocking accept attempt returning a spawned
+/// connection thread, `None` on would-block), mirrors the caller's
+/// shutdown flag into one the `'static` connection threads can watch,
+/// and drains every connection before reporting the pool's aggregate
+/// stats.
+#[cfg(not(unix))]
 fn accept_loop<F>(
     shutdown: Option<&AtomicBool>,
     max_connections: Option<u64>,

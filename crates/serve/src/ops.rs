@@ -883,10 +883,15 @@ pub struct OptimizeOutcome {
 
 /// SplitMix64 — the deterministic inline generator seeding the move
 /// proposals, so `--seed` reproduces a whole optimization run exactly.
-struct SplitMix64(u64);
+/// Public because the CLI reuses it for decorrelated retry jitter:
+/// one tiny, dependency-free generator for every non-cryptographic use.
+pub struct SplitMix64(pub u64);
 
 impl SplitMix64 {
-    fn next(&mut self) -> u64 {
+    /// The next raw 64-bit draw (an RNG, not an iterator — there is no
+    /// sensible `Iterator` impl for an infinite entropy stream here).
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> u64 {
         self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.0;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -894,7 +899,8 @@ impl SplitMix64 {
         z ^ (z >> 31)
     }
 
-    fn below(&mut self, n: u64) -> u64 {
+    /// A draw uniform in `0..n` (`n = 0` is treated as 1).
+    pub fn below(&mut self, n: u64) -> u64 {
         self.next() % n.max(1)
     }
 }

@@ -44,9 +44,23 @@
 //! detached watchdog gives in-flight work `drain_deadline` to finish
 //! before cancelling the stragglers through the drain group.
 //!
-//! The [`chaos`](crate::chaos) fault points (worker panics, injected
-//! delays, garbled response lines, refused reads) are threaded through
-//! this module so soak tests can prove all of the above under fire.
+//! Workers run under supervision: a panic that escapes the per-request
+//! isolation boundary (a chaos `kill`, a bug in the dispatch loop) is
+//! caught, the in-flight request is answered with a structured
+//! `worker_lost` error, the dead workspace's session slots are
+//! released, and the worker respawns with a fresh [`Workspace`] — the
+//! pool self-heals instead of shrinking.
+//!
+//! On Unix the socket transports do not run one `serve_session` per
+//! connection: the [`reactor`](crate::reactor) readiness event loop
+//! multiplexes every connection onto this pool through
+//! [`Pool::dispatch_line`] and [`Reply::Reactor`], so a stalled client
+//! costs one buffer, never a thread.
+//!
+//! The [`chaos`](crate::chaos) fault points (worker panics and kills,
+//! injected delays, garbled response lines, refused reads, connection
+//! resets, dribbled writes) are threaded through this module and the
+//! reactor so soak tests can prove all of the above under fire.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, BufRead, Write};
@@ -106,6 +120,11 @@ pub struct ServeOptions {
     /// Cap on one request line's byte length; longer lines are skipped
     /// and answered `request_too_large` (`--max-request-bytes`).
     pub max_request_bytes: usize,
+    /// Cap on concurrently open multiplexed connections (`None` =
+    /// unbounded). At the cap the event loop stops polling the
+    /// listener, so further clients wait in the OS accept backlog until
+    /// a slot frees (`--max-connections`).
+    pub max_connections: Option<usize>,
     /// Fault-injection config (builder baseline; the `TSG_CHAOS`
     /// environment variable overrides it at pool spawn).
     pub chaos: ChaosConfig,
@@ -122,6 +141,7 @@ impl Default for ServeOptions {
             drain_deadline: Duration::from_secs(5),
             io_timeout: None,
             max_request_bytes: 1024 * 1024,
+            max_connections: None,
             chaos: ChaosConfig::default(),
         }
     }
@@ -151,6 +171,13 @@ pub struct ServeStats {
     /// Requests still queued or in flight when a drain deadline
     /// cancelled them.
     pub drained_in_flight: u64,
+    /// Requests answered `worker_lost` because the worker executing
+    /// them died outside the per-request isolation boundary.
+    pub worker_lost: u64,
+    /// Workers respawned with a fresh workspace after a death.
+    pub worker_respawns: u64,
+    /// Connections (protocol sessions) open right now.
+    pub active_connections: usize,
     /// Requests that carried a scenario sweep (corners, samples, or a
     /// `tau-p95` explore objective).
     pub scenario_requests: u64,
@@ -178,12 +205,65 @@ enum JobPayload {
     },
 }
 
+/// Where a finished job's response line goes back to.
+#[derive(Clone)]
+pub(crate) enum Reply {
+    /// A thread-per-session writer: `(seq, line)`, reordered by the
+    /// session's dedicated writer thread.
+    Session(mpsc::Sender<(u64, String)>),
+    /// The readiness event loop: `(conn, seq, line)` routed back to the
+    /// connection's state machine, plus a wake callback so the loop's
+    /// `poll` returns and packs the response immediately.
+    #[cfg_attr(not(unix), allow(dead_code))]
+    Reactor {
+        conn: u64,
+        tx: mpsc::Sender<(u64, u64, String)>,
+        wake: Arc<dyn Fn() + Send + Sync>,
+    },
+}
+
+impl Reply {
+    /// Delivers one response line; a dead receiver discards it.
+    fn send(&self, seq: u64, line: String) {
+        match self {
+            Reply::Session(tx) => {
+                let _ = tx.send((seq, line));
+            }
+            Reply::Reactor { conn, tx, wake } => {
+                if tx.send((*conn, seq, line)).is_ok() {
+                    wake();
+                }
+            }
+        }
+    }
+}
+
+/// What supervision needs to answer a request whose worker died
+/// executing it: the request id and where the `worker_lost` response
+/// goes.
+struct LostJob {
+    seq: u64,
+    id: Json,
+    reply: Option<Reply>,
+}
+
+/// Outcome of [`Pool::dispatch_line`].
+pub(crate) enum Dispatch {
+    /// Blank or comment line: no request, no sequence number consumed.
+    Skipped,
+    /// Answered at admission without reaching a worker; the response
+    /// line is returned here, already counted into the stats.
+    Rejected(String),
+    /// Accepted and queued; the response will arrive on the reply.
+    Submitted,
+}
+
 /// One queued unit of work, tagged with its per-connection arrival
-/// order and the channel its response (if any) goes back on.
+/// order and where its response (if any) goes back.
 struct Job {
     seq: u64,
     payload: JobPayload,
-    reply: Option<mpsc::Sender<(u64, String)>>,
+    reply: Option<Reply>,
 }
 
 /// The two dispatch lanes; see the module docs.
@@ -235,6 +315,18 @@ struct PoolShared {
     timed_out_connections: AtomicU64,
     /// Requests cancelled by a drain deadline.
     drained_in_flight: AtomicU64,
+    /// Requests answered `worker_lost` because their worker died.
+    worker_lost: AtomicU64,
+    /// Workers respawned after a death.
+    worker_respawns: AtomicU64,
+    /// Connections (protocol sessions) open right now.
+    active_connections: AtomicU64,
+    /// Per-worker: the request executing right now, stashed so
+    /// supervision can answer it if the worker dies mid-request.
+    current_jobs: Vec<Mutex<Option<LostJob>>>,
+    /// Per-worker gauge of open incremental sessions, so a dead
+    /// worker's share can be released from `open_sessions`.
+    worker_sessions: Vec<AtomicU64>,
     /// Requests that carried a scenario sweep.
     scenario_requests: AtomicU64,
     /// Scenario lanes those requests asked for, summed.
@@ -288,8 +380,21 @@ fn stats_of(shared: &PoolShared) -> ServeStats {
         cancelled: shared.cancelled.load(Ordering::SeqCst),
         timed_out_connections: shared.timed_out_connections.load(Ordering::SeqCst),
         drained_in_flight: shared.drained_in_flight.load(Ordering::SeqCst),
+        worker_lost: shared.worker_lost.load(Ordering::SeqCst),
+        worker_respawns: shared.worker_respawns.load(Ordering::SeqCst),
+        active_connections: shared.active_connections.load(Ordering::SeqCst) as usize,
         scenario_requests: shared.scenario_requests.load(Ordering::SeqCst),
         scenario_lanes: shared.scenario_lanes.load(Ordering::SeqCst),
+    }
+}
+
+/// RAII release of one `active_connections` charge, so every exit path
+/// of a protocol session balances the gauge.
+struct ConnGuard<'a>(&'a PoolShared);
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        self.0.active_connections.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -355,13 +460,18 @@ impl Pool {
             cancelled: AtomicU64::new(0),
             timed_out_connections: AtomicU64::new(0),
             drained_in_flight: AtomicU64::new(0),
+            worker_lost: AtomicU64::new(0),
+            worker_respawns: AtomicU64::new(0),
+            active_connections: AtomicU64::new(0),
+            current_jobs: (0..threads).map(|_| Mutex::new(None)).collect(),
+            worker_sessions: (0..threads).map(|_| AtomicU64::new(0)).collect(),
             scenario_requests: AtomicU64::new(0),
             scenario_lanes: AtomicU64::new(0),
         });
         let workers = (0..threads)
             .map(|index| {
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared, index))
+                std::thread::spawn(move || supervise(&shared, index))
             })
             .collect();
         Pool { shared, workers }
@@ -421,6 +531,132 @@ impl Pool {
         }
     }
 
+    /// Parses and dispatches one raw request line arriving on
+    /// connection `conn`: skips blanks and comments, answers
+    /// `overloaded` at admission past the pending cap, otherwise arms
+    /// the cancel token and queues the job — pinned to a worker when it
+    /// names an incremental session. Shared by the thread-per-session
+    /// loop and the readiness event loop.
+    pub(crate) fn dispatch_line(&self, conn: u64, seq: u64, line: &str, reply: &Reply) -> Dispatch {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            return Dispatch::Skipped;
+        }
+        let shared = &self.shared;
+        let parsed = protocol::parse_request(trimmed);
+        // Admission control: past the pending cap, answer `overloaded`
+        // here — the job never reaches a worker, so a flooded pool
+        // stays responsive.
+        if let Some(cap) = shared.max_pending {
+            let depth = shared.pending.load(Ordering::SeqCst) as usize;
+            if depth >= cap {
+                let id = match &parsed {
+                    Ok(request) => request.id.clone(),
+                    Err((id, _)) => id.clone(),
+                };
+                shared.rejected_overloaded.fetch_add(1, Ordering::SeqCst);
+                shared.failed.fetch_add(1, Ordering::SeqCst);
+                let retry_ms = 50 * (depth as u64 / shared.threads.max(1) as u64 + 1);
+                return Dispatch::Rejected(protocol::overloaded_response(&id, depth, retry_ms));
+            }
+        }
+        // The cancel token arms at arrival, so queue wait counts
+        // against the deadline, and joins the drain group, so a drain
+        // flip reaches queued work too.
+        let deadline = parsed
+            .as_ref()
+            .ok()
+            .and_then(|request| request.deadline)
+            .or(shared.default_deadline);
+        let token = match deadline {
+            Some(d) => CancelToken::with_deadline(d),
+            None => CancelToken::new(),
+        }
+        .in_group(&shared.drain);
+        let pin = parsed
+            .as_ref()
+            .ok()
+            .and_then(|request| request.cmd.session_name())
+            .map(|name| self.pin_of(conn, name));
+        self.submit(
+            pin,
+            Job {
+                seq,
+                payload: JobPayload::Request {
+                    conn,
+                    parsed: Box::new(parsed),
+                    token,
+                },
+                reply: Some(reply.clone()),
+            },
+        );
+        Dispatch::Submitted
+    }
+
+    /// Allocates a fresh connection id.
+    pub(crate) fn alloc_conn(&self) -> u64 {
+        self.shared.next_conn.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Charges one open connection into `active_connections`.
+    pub(crate) fn note_conn_open(&self) {
+        self.shared
+            .active_connections
+            .fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Releases one open connection from `active_connections`.
+    pub(crate) fn note_conn_closed(&self) {
+        self.shared
+            .active_connections
+            .fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Counts one connection ended by an idle/progress timeout.
+    pub(crate) fn note_conn_timeout(&self) {
+        self.shared
+            .timed_out_connections
+            .fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Counts and renders the response for one oversized request line.
+    pub(crate) fn reject_oversized(&self) -> String {
+        self.shared.failed.fetch_add(1, Ordering::SeqCst);
+        protocol::too_large_response(self.shared.max_request_bytes)
+    }
+
+    /// Byte cap on one request line (`--max-request-bytes`).
+    pub(crate) fn max_request_bytes(&self) -> usize {
+        self.shared.max_request_bytes
+    }
+
+    /// The pool's fault-injection runtime.
+    pub(crate) fn chaos(&self) -> &Chaos {
+        &self.shared.chaos
+    }
+
+    /// Sweeps connection `conn`'s incremental sessions from every
+    /// worker, fire-and-forget: the pinned lanes are FIFO, so the sweep
+    /// runs after every request the connection queued.
+    pub(crate) fn sweep_conn(&self, conn: u64) {
+        for worker in 0..self.shared.threads {
+            self.submit(
+                Some(worker),
+                Job {
+                    seq: 0,
+                    payload: JobPayload::CloseSessions { conn },
+                    reply: None,
+                },
+            );
+        }
+    }
+
+    /// Arms the drain watchdog: in-flight work gets the pool's drain
+    /// deadline to finish before the stragglers are cancelled.
+    pub(crate) fn arm_drain_watchdog(&self) {
+        arm_drain_watchdog(Arc::clone(&self.shared));
+    }
+
     /// Runs one protocol session over this pool until `input` reaches
     /// EOF (or `shutdown` is raised), streaming one response line per
     /// request to `output` in request order.
@@ -454,7 +690,9 @@ impl Pool {
         R: BufRead + Send + 'static,
         W: Write + Send,
     {
-        let conn = self.shared.next_conn.fetch_add(1, Ordering::SeqCst);
+        let conn = self.alloc_conn();
+        self.note_conn_open();
+        let _active = ConnGuard(&self.shared);
         let (res_tx, res_rx) = mpsc::channel::<(u64, String)>();
 
         let mut read_err: Option<io::Error> = None;
@@ -491,6 +729,7 @@ impl Pool {
             let (line_tx, line_rx) = mpsc::channel::<ReadEvent>();
             let reader_shared = Arc::clone(&self.shared);
             std::thread::spawn(move || read_lines(input, &reader_shared, &line_tx));
+            let reply = Reply::Session(res_tx.clone());
             let mut seq = 0u64;
             loop {
                 if shutdown.is_some_and(|flag| flag.load(Ordering::SeqCst)) {
@@ -501,65 +740,16 @@ impl Pool {
                 }
                 match line_rx.recv_timeout(SHUTDOWN_POLL) {
                     Ok(ReadEvent::Line(line)) => {
-                        let trimmed = line.trim();
-                        if trimmed.is_empty() || trimmed.starts_with('#') {
-                            continue;
-                        }
-                        let parsed = protocol::parse_request(trimmed);
-                        // Admission control: past the pending cap, answer
-                        // `overloaded` here — the job never reaches a
-                        // worker, so a flooded pool stays responsive.
-                        if let Some(cap) = shared.max_pending {
-                            let depth = shared.pending.load(Ordering::SeqCst) as usize;
-                            if depth >= cap {
-                                let id = match &parsed {
-                                    Ok(request) => request.id.clone(),
-                                    Err((id, _)) => id.clone(),
-                                };
-                                shared.rejected_overloaded.fetch_add(1, Ordering::SeqCst);
-                                shared.failed.fetch_add(1, Ordering::SeqCst);
-                                let retry_ms =
-                                    50 * (depth as u64 / shared.threads.max(1) as u64 + 1);
-                                let line = protocol::overloaded_response(&id, depth, retry_ms);
-                                if res_tx.send((seq, line)).is_err() {
+                        match self.dispatch_line(conn, seq, &line, &reply) {
+                            Dispatch::Skipped => {}
+                            Dispatch::Rejected(response) => {
+                                if res_tx.send((seq, response)).is_err() {
                                     break;
                                 }
                                 seq += 1;
-                                continue;
                             }
+                            Dispatch::Submitted => seq += 1,
                         }
-                        // The cancel token arms at arrival, so queue wait
-                        // counts against the deadline, and joins the
-                        // drain group, so a drain flip reaches queued
-                        // work too.
-                        let deadline = parsed
-                            .as_ref()
-                            .ok()
-                            .and_then(|request| request.deadline)
-                            .or(shared.default_deadline);
-                        let token = match deadline {
-                            Some(d) => CancelToken::with_deadline(d),
-                            None => CancelToken::new(),
-                        }
-                        .in_group(&shared.drain);
-                        let pin = parsed
-                            .as_ref()
-                            .ok()
-                            .and_then(|request| request.cmd.session_name())
-                            .map(|name| self.pin_of(conn, name));
-                        self.submit(
-                            pin,
-                            Job {
-                                seq,
-                                payload: JobPayload::Request {
-                                    conn,
-                                    parsed: Box::new(parsed),
-                                    token,
-                                },
-                                reply: Some(res_tx.clone()),
-                            },
-                        );
-                        seq += 1;
                     }
                     Ok(ReadEvent::Oversized) => {
                         shared.failed.fetch_add(1, Ordering::SeqCst);
@@ -604,14 +794,15 @@ impl Pool {
                     Job {
                         seq: 0,
                         payload: JobPayload::CloseSessions { conn },
-                        reply: Some(sweep_tx.clone()),
+                        reply: Some(Reply::Session(sweep_tx.clone())),
                     },
                 );
             }
             drop(sweep_tx);
             for _ack in sweep_rx {}
             // The writer exits once every accepted job's reply sender is
-            // gone: all responses flushed.
+            // gone: all responses flushed. `reply` holds one such clone.
+            drop(reply);
             drop(res_tx);
             writer.join().expect("writer thread never panics")
         });
@@ -724,6 +915,39 @@ impl Drop for Pool {
     }
 }
 
+/// Runs `worker_loop` under supervision: a panic that escapes the
+/// per-request isolation boundary (a chaos `kill`, a bug in the
+/// dispatch loop itself) is caught here, the in-flight request is
+/// answered with a structured `worker_lost` error, the dead workspace's
+/// open-session slots are released, and the loop re-enters with a fresh
+/// [`Workspace`] — the pool self-heals instead of shrinking.
+fn supervise(shared: &PoolShared, index: usize) {
+    loop {
+        match catch_unwind(AssertUnwindSafe(|| worker_loop(shared, index))) {
+            Ok(()) => return, // pool closed: clean exit
+            Err(_) => {
+                let lost = shared.current_jobs[index]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .take();
+                if let Some(job) = lost {
+                    shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                    shared.failed.fetch_add(1, Ordering::SeqCst);
+                    shared.worker_lost.fetch_add(1, Ordering::SeqCst);
+                    if let Some(reply) = &job.reply {
+                        reply.send(job.seq, protocol::worker_lost_response(&job.id));
+                    }
+                }
+                // The dead workspace took its open sessions with it:
+                // release their slots under the --max-sessions cap.
+                let orphaned = shared.worker_sessions[index].swap(0, Ordering::SeqCst);
+                shared.open_sessions.fetch_sub(orphaned, Ordering::SeqCst);
+                shared.worker_respawns.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
 /// One worker: claims jobs — own pinned lane first, then the shared
 /// lane — against its lifelong warm workspace.
 fn worker_loop(shared: &PoolShared, index: usize) {
@@ -756,10 +980,12 @@ fn worker_loop(shared: &PoolShared, index: usize) {
                 shared
                     .open_sessions
                     .fetch_sub(swept as u64, Ordering::SeqCst);
+                shared.worker_sessions[index]
+                    .store(workspace.open_sessions() as u64, Ordering::SeqCst);
                 if let Some(reply) = &job.reply {
                     // Acknowledge so the disconnecting session can wait
                     // for its slots to be released before returning.
-                    let _ = reply.send((job.seq, String::new()));
+                    reply.send(job.seq, String::new());
                 }
             }
             JobPayload::Request {
@@ -769,12 +995,34 @@ fn worker_loop(shared: &PoolShared, index: usize) {
             } => {
                 shared.pending.fetch_sub(1, Ordering::SeqCst);
                 shared.in_flight.fetch_add(1, Ordering::SeqCst);
+                // Stash what supervision needs to answer this request
+                // should the worker die executing it.
+                let id = match parsed.as_ref() {
+                    Ok(request) => request.id.clone(),
+                    Err((id, _)) => id.clone(),
+                };
+                *shared.current_jobs[index]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(LostJob {
+                    seq: job.seq,
+                    id,
+                    reply: job.reply.clone(),
+                });
+                // The kill fault point fires here, *outside* `isolate`,
+                // so it takes the whole worker down and supervision —
+                // not the per-request catch — must answer the request.
+                shared.chaos.kill_worker();
                 let response = handle(conn, *parsed, &token, &mut workspace, shared);
+                shared.worker_sessions[index]
+                    .store(workspace.open_sessions() as u64, Ordering::SeqCst);
+                *shared.current_jobs[index]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
                 shared.in_flight.fetch_sub(1, Ordering::SeqCst);
                 if let Some(reply) = &job.reply {
                     // A dead session writer just discards the response;
                     // the pool keeps serving its other sessions.
-                    let _ = reply.send((job.seq, response));
+                    reply.send(job.seq, response);
                 }
             }
         }

@@ -629,6 +629,106 @@ fn sim_opts(doc: &Json) -> Result<SimOptions, String> {
     })
 }
 
+/// One frame the streaming [`FrameDecoder`] produced.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// A complete request line (without its newline), lossily decoded:
+    /// invalid UTF-8 reaches the parser and fails there with a
+    /// structured response instead of killing the connection.
+    Line(String),
+    /// A line that exceeded the byte cap. Its bytes were discarded as
+    /// they arrived — the decoder never buffers more than the cap — and
+    /// the frame surfaces once the terminating newline (or EOF) shows
+    /// where the next request starts.
+    Oversized,
+}
+
+/// Incremental newline-frame decoder for the multiplexed transports.
+///
+/// The readiness event loop reads whatever bytes a socket has — a
+/// dribbling client may deliver one byte per poll tick — and feeds them
+/// here; the decoder buffers the partial frame (bounded by the
+/// `max_request_bytes` cap) and emits each request line exactly once as
+/// its newline arrives, so a request split across arbitrarily many
+/// reads resumes where it left off. Oversized lines are skipped in
+/// place: the buffer is dropped, subsequent bytes are discarded
+/// unbuffered, and one [`Frame::Oversized`] is emitted at the line's
+/// end. This mirrors the blocking reader's framing byte for byte.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    /// Byte cap on one line's content (the newline is not counted).
+    cap: usize,
+    /// The partial frame accumulated so far; never grows past `cap`.
+    buf: Vec<u8>,
+    /// Mid-skip of an oversized line: discard until the next newline.
+    skipping: bool,
+}
+
+impl FrameDecoder {
+    /// A decoder capping each line's content at `cap` bytes.
+    pub fn new(cap: usize) -> Self {
+        FrameDecoder {
+            cap,
+            buf: Vec::new(),
+            skipping: false,
+        }
+    }
+
+    /// True while a frame is partially buffered (or being skipped) —
+    /// i.e. the peer owes us the rest of a line.
+    pub fn mid_frame(&self) -> bool {
+        self.skipping || !self.buf.is_empty()
+    }
+
+    /// Consumes one read's worth of bytes, appending every frame they
+    /// complete to `out` in arrival order.
+    pub fn feed_into(&mut self, mut bytes: &[u8], out: &mut Vec<Frame>) {
+        while !bytes.is_empty() {
+            let Some(nl) = bytes.iter().position(|&b| b == b'\n') else {
+                // No newline: buffer (or keep skipping) and wait.
+                if !self.skipping {
+                    if self.buf.len() + bytes.len() > self.cap {
+                        self.buf.clear();
+                        self.skipping = true;
+                    } else {
+                        self.buf.extend_from_slice(bytes);
+                    }
+                }
+                return;
+            };
+            let (head, rest) = bytes.split_at(nl);
+            bytes = &rest[1..];
+            if self.skipping {
+                self.skipping = false;
+                out.push(Frame::Oversized);
+            } else if self.buf.len() + head.len() > self.cap {
+                self.buf.clear();
+                out.push(Frame::Oversized);
+            } else {
+                self.buf.extend_from_slice(head);
+                out.push(Frame::Line(String::from_utf8_lossy(&self.buf).into_owned()));
+                self.buf.clear();
+            }
+        }
+    }
+
+    /// Flushes the partial frame at EOF: a client that half-closes
+    /// without a trailing newline still gets its last request served
+    /// (or its oversized line answered), matching the blocking reader.
+    pub fn finish(&mut self) -> Option<Frame> {
+        if self.skipping {
+            self.skipping = false;
+            return Some(Frame::Oversized);
+        }
+        if self.buf.is_empty() {
+            return None;
+        }
+        let line = String::from_utf8_lossy(&self.buf).into_owned();
+        self.buf.clear();
+        Some(Frame::Line(line))
+    }
+}
+
 /// A successful `analyze`/`sim` response.
 pub fn ok_response(id: &Json, output: &str) -> String {
     Json::Obj(vec![
@@ -683,6 +783,23 @@ pub fn overloaded_response(id: &Json, queue_depth: usize, retry_after_ms: u64) -
             ("queue_depth", Json::from(queue_depth as u64)),
             ("retry_after_ms", Json::from(retry_after_ms)),
         ],
+    )
+}
+
+/// The `worker_lost` failure: the worker executing this request died
+/// outside the per-request isolation boundary (a crash, not a caught
+/// handler panic) and the pool respawned it with a fresh workspace. The
+/// request may or may not have taken effect, so clients should treat it
+/// like a timeout: retry idempotent work, and expect any incremental
+/// sessions the dead worker held to be gone (follow-up session requests
+/// answer "no session named ..." — reopen and replay).
+pub fn worker_lost_response(id: &Json) -> String {
+    coded_err_response(
+        id,
+        "worker_lost",
+        "the worker executing this request died and was respawned; \
+         retry, and reopen any incremental sessions it held",
+        &[],
     )
 }
 
@@ -753,6 +870,15 @@ pub fn stats_response(id: &Json, stats: &ServeStats, kernel: &str) -> String {
         (
             "drained_in_flight".to_owned(),
             Json::from(stats.drained_in_flight),
+        ),
+        ("worker_lost".to_owned(), Json::from(stats.worker_lost)),
+        (
+            "worker_respawns".to_owned(),
+            Json::from(stats.worker_respawns),
+        ),
+        (
+            "active_connections".to_owned(),
+            Json::from(stats.active_connections as u64),
         ),
         (
             "scenario_requests".to_owned(),
@@ -1065,6 +1191,9 @@ mod tests {
             cancelled: 0,
             timed_out_connections: 0,
             drained_in_flight: 0,
+            worker_lost: 1,
+            worker_respawns: 1,
+            active_connections: 7,
             scenario_requests: 2,
             scenario_lanes: 6,
         };
@@ -1074,6 +1203,7 @@ mod tests {
                 r#"{"id":"s","ok":true,"served":5,"failed":1,"threads":4,"kernel":"avx2","#,
                 r#""queue_depth":2,"rejected_overloaded":1,"deadline_exceeded":3,"#,
                 r#""cancelled":0,"timed_out_connections":0,"drained_in_flight":0,"#,
+                r#""worker_lost":1,"worker_respawns":1,"active_connections":7,"#,
                 r#""scenario_requests":2,"scenario_lanes":6}"#
             )
         );
@@ -1081,5 +1211,94 @@ mod tests {
             batch_response(&Json::Num(1.0), &[Ok("a\n".into()), Err("e".into())]),
             r#"{"id":1,"ok":true,"results":[{"ok":true,"output":"a\n"},{"ok":false,"error":"e"}]}"#
         );
+        let line = worker_lost_response(&Json::Num(9.0));
+        assert!(
+            line.starts_with(r#"{"id":9,"ok":false,"code":"worker_lost""#),
+            "{line}"
+        );
+    }
+
+    /// Feeds `chunks` into a fresh decoder and collects every frame.
+    fn decode(cap: usize, chunks: &[&[u8]]) -> Vec<Frame> {
+        let mut decoder = FrameDecoder::new(cap);
+        let mut out = Vec::new();
+        for chunk in chunks {
+            decoder.feed_into(chunk, &mut out);
+        }
+        if let Some(tail) = decoder.finish() {
+            out.push(tail);
+        }
+        out
+    }
+
+    #[test]
+    fn frame_decoder_resumes_across_arbitrary_chunking() {
+        // One read, two frames.
+        assert_eq!(
+            decode(64, &[b"{\"id\":1}\n{\"id\":2}\n"]),
+            [
+                Frame::Line("{\"id\":1}".into()),
+                Frame::Line("{\"id\":2}".into())
+            ]
+        );
+        // Byte-at-a-time dribble reassembles into the same frames.
+        let script = b"{\"id\":1}\n{\"id\":2}\n";
+        let bytes: Vec<&[u8]> = script.chunks(1).collect();
+        assert_eq!(
+            decode(64, &bytes),
+            [
+                Frame::Line("{\"id\":1}".into()),
+                Frame::Line("{\"id\":2}".into())
+            ]
+        );
+        // A split anywhere mid-frame resumes without loss.
+        assert_eq!(
+            decode(64, &[b"{\"id\"", b":1}\n{\"i", b"d\":2}\n"]),
+            [
+                Frame::Line("{\"id\":1}".into()),
+                Frame::Line("{\"id\":2}".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn frame_decoder_skips_oversized_lines_in_bounded_memory() {
+        // A line one byte over the cap is oversized; the cap itself fits.
+        assert_eq!(
+            decode(4, &[b"abcd\nabcde\nok!\n"]),
+            [
+                Frame::Line("abcd".into()),
+                Frame::Oversized,
+                Frame::Line("ok!".into())
+            ]
+        );
+        // The oversized line's bytes are discarded as they stream in:
+        // the buffer never holds more than the cap even for a huge line.
+        let mut decoder = FrameDecoder::new(8);
+        let mut out = Vec::new();
+        for _ in 0..1000 {
+            decoder.feed_into(b"xxxxxxxxxxxxxxxx", &mut out);
+            assert!(decoder.buf.len() <= 8, "buffer stays under the cap");
+        }
+        assert!(out.is_empty(), "no frame until the line ends");
+        assert!(decoder.mid_frame());
+        decoder.feed_into(b"\nok\n", &mut out);
+        assert_eq!(out, [Frame::Oversized, Frame::Line("ok".into())]);
+        assert!(!decoder.mid_frame());
+    }
+
+    #[test]
+    fn frame_decoder_flushes_partial_frame_at_eof() {
+        // No trailing newline: EOF flushes the last request.
+        assert_eq!(
+            decode(64, &[b"{\"cmd\":\"stats\"}"]),
+            [Frame::Line("{\"cmd\":\"stats\"}".into())]
+        );
+        // EOF mid-skip of an oversized line still reports it.
+        assert_eq!(decode(2, &[b"abcdef"]), [Frame::Oversized]);
+        // Invalid UTF-8 decodes lossily instead of killing the stream.
+        let frames = decode(64, &[b"\xff\xfe{bad}\n"]);
+        assert_eq!(frames.len(), 1);
+        assert!(matches!(&frames[0], Frame::Line(l) if l.contains("{bad}")));
     }
 }
